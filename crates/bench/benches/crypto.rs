@@ -1,0 +1,40 @@
+//! Host-side cost of the cryptographic primitives (Table V measures their
+//! cost on the CC2538; these benches measure the real Rust implementations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_crypto::{keccak256, sha256};
+
+fn bench_crypto(c: &mut Criterion) {
+    let short = vec![0xabu8; 64];
+    let long = vec![0xcdu8; 4096];
+    let key = PrivateKey::from_seed(b"bench key");
+    let digest = keccak256(b"benchmark payment payload");
+    let signature = key.sign_prehashed(&digest);
+    let public_key = key.public_key();
+
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(30);
+    group.bench_function("keccak256_64B", |bencher| {
+        bencher.iter(|| keccak256(black_box(&short)))
+    });
+    group.bench_function("keccak256_4KiB", |bencher| {
+        bencher.iter(|| keccak256(black_box(&long)))
+    });
+    group.bench_function("sha256_64B", |bencher| {
+        bencher.iter(|| sha256(black_box(&short)))
+    });
+    group.bench_function("ecdsa_sign", |bencher| {
+        bencher.iter(|| key.sign_prehashed(black_box(&digest)))
+    });
+    group.bench_function("ecdsa_verify", |bencher| {
+        bencher.iter(|| public_key.verify_prehashed(black_box(&digest), black_box(&signature)))
+    });
+    group.bench_function("ecdsa_recover", |bencher| {
+        bencher.iter(|| signature.recover(black_box(&digest)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

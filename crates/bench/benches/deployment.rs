@@ -1,0 +1,58 @@
+//! Contract deployment cost (the paper's Figure 4 / Table II macro
+//! benchmark): constructors of each workload class plus the paper's own
+//! payment-channel contract.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyevm_channel::contracts;
+use tinyevm_corpus::{CorpusConfig, WorkloadClass};
+use tinyevm_evm::{deploy, deploy_with, EvmConfig, NullHost, ScriptedSensors};
+use tinyevm_types::U256;
+
+fn bench_deployment(c: &mut Criterion) {
+    let config = EvmConfig::cc2538();
+    // One representative contract per workload class (CryptoHeavy excluded
+    // from the timed loop — it is the multi-second outlier class).
+    let corpus = CorpusConfig {
+        count: 400,
+        ..CorpusConfig::paper_scale()
+    }
+    .generate();
+    let representatives: Vec<_> = [
+        WorkloadClass::Light,
+        WorkloadClass::Typical,
+        WorkloadClass::StorageHeavy,
+    ]
+    .iter()
+    .filter_map(|class| corpus.iter().find(|contract| contract.class == *class))
+    .collect();
+
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(20);
+    for contract in representatives {
+        group.bench_with_input(
+            BenchmarkId::new("class", format!("{:?}", contract.class)),
+            contract,
+            |bencher, contract| {
+                bencher.iter(|| deploy(&config, black_box(&contract.init_code)).unwrap())
+            },
+        );
+    }
+    let channel_init = contracts::payment_channel_init_code(0, 1);
+    group.bench_function("payment_channel_constructor", |bencher| {
+        bencher.iter(|| {
+            let mut sensors = ScriptedSensors::new().with_reading(0, U256::from(2150u64));
+            deploy_with(
+                &config,
+                black_box(&channel_init),
+                &[],
+                &mut NullHost::new(),
+                &mut sensors,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deployment);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Interpreter throughput: arithmetic loops, storage access, hashing and the
+//! payment-channel runtime that the off-chain protocol executes per payment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_channel::contracts;
+use tinyevm_evm::{asm, Evm, EvmConfig};
+use tinyevm_types::U256;
+
+fn loop_program(iterations: u32) -> Vec<u8> {
+    let source = format!(
+        "PUSH3 0x{iterations:06x} PUSH1 0x00
+         @loop: JUMPDEST
+         DUP1 DUP1 MUL PUSH1 0x07 ADD POP
+         PUSH1 0x01 ADD DUP2 DUP2 LT PUSHLABEL @loop JUMPI
+         POP POP STOP"
+    );
+    asm::assemble(&source).unwrap()
+}
+
+fn bench_evm(c: &mut Criterion) {
+    let arithmetic = loop_program(1_000);
+    let hashing = asm::assemble(
+        "PUSH2 0x0100 PUSH1 0x00
+         @loop: JUMPDEST
+         PUSH1 0x40 PUSH1 0x00 SHA3 POP
+         PUSH1 0x01 ADD DUP2 DUP2 LT PUSHLABEL @loop JUMPI
+         POP POP STOP",
+    )
+    .unwrap();
+    let storage = asm::assemble(
+        "PUSH1 0x1f PUSH1 0x00
+         @loop: JUMPDEST
+         DUP1 DUP1 SSTORE DUP1 SLOAD POP
+         PUSH1 0x01 ADD DUP2 DUP2 LT PUSHLABEL @loop JUMPI
+         POP POP STOP",
+    )
+    .unwrap();
+    let channel_runtime = contracts::payment_channel_runtime_code();
+    let record_calldata = contracts::record_payment_calldata(1, U256::from(1_000u64));
+
+    let mut group = c.benchmark_group("evm_exec");
+    group.bench_function("arithmetic_loop_1000", |bencher| {
+        bencher.iter(|| {
+            Evm::new(EvmConfig::cc2538())
+                .execute(black_box(&arithmetic), &[])
+                .unwrap()
+        })
+    });
+    group.bench_function("keccak_loop_256", |bencher| {
+        bencher.iter(|| {
+            Evm::new(EvmConfig::cc2538())
+                .execute(black_box(&hashing), &[])
+                .unwrap()
+        })
+    });
+    group.bench_function("storage_loop_31", |bencher| {
+        bencher.iter(|| {
+            Evm::new(EvmConfig::cc2538())
+                .execute(black_box(&storage), &[])
+                .unwrap()
+        })
+    });
+    group.bench_function("payment_channel_record", |bencher| {
+        bencher.iter(|| {
+            Evm::new(EvmConfig::cc2538())
+                .execute(black_box(&channel_runtime), black_box(&record_calldata))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evm);
+criterion_main!(benches);

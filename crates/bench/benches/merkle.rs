@@ -1,0 +1,38 @@
+//! Merkle-Sum-Tree construction, proving and verification — the on-chain
+//! contract's overspend-audit data structure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyevm_chain::{MerkleSumTree, SumLeaf};
+use tinyevm_types::{H256, Wei};
+
+fn tree_with(leaves: usize) -> MerkleSumTree {
+    MerkleSumTree::from_leaves(
+        (0..leaves as u64)
+            .map(|i| SumLeaf::new(H256::from_low_u64(i), Wei::from(i + 1)))
+            .collect(),
+    )
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_sum_tree");
+    for &size in &[16usize, 256, 1024] {
+        let tree = tree_with(size);
+        let root = tree.root();
+        let proof = tree.prove(size / 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("root", size), &tree, |bencher, tree| {
+            bencher.iter(|| black_box(tree.root()))
+        });
+        group.bench_with_input(BenchmarkId::new("prove", size), &tree, |bencher, tree| {
+            bencher.iter(|| black_box(tree.prove(size / 2).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("verify", size),
+            &(root, proof),
+            |bencher, (root, proof)| bencher.iter(|| MerkleSumTree::verify(black_box(root), black_box(proof))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merkle);
+criterion_main!(benches);

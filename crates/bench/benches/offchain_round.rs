@@ -1,0 +1,46 @@
+//! The off-chain protocol itself: channel opening and single payment rounds
+//! (the operation the paper reports at 584 ms of device time; here we
+//! measure the simulator's host-side cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_channel::ProtocolDriver;
+use tinyevm_types::Wei;
+
+fn bench_offchain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offchain_round");
+    group.sample_size(10);
+
+    group.bench_function("open_channel", |bencher| {
+        bencher.iter(|| {
+            let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(100));
+            driver.publish_template().unwrap();
+            black_box(driver.open_channel().unwrap())
+        })
+    });
+
+    group.bench_function("single_payment", |bencher| {
+        bencher.iter_batched(
+            || {
+                let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(100));
+                driver.publish_template().unwrap();
+                driver.open_channel().unwrap();
+                driver
+            },
+            |mut driver| black_box(driver.pay(Wei::from_eth_milli(1)).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_session_3_payments_and_settle", |bencher| {
+        bencher.iter(|| {
+            let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(100));
+            driver.run_session(3, Wei::from_eth_milli(2)).unwrap();
+            black_box(driver.close_and_settle().unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_offchain);
+criterion_main!(benches);

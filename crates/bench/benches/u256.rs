@@ -1,0 +1,39 @@
+//! Host-side cost of the 256-bit arithmetic the interpreter is built on —
+//! the software emulation layer whose MCU cost the paper calls out as "in
+//! the order of hundreds of MCU cycles" per opcode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_types::U256;
+
+fn bench_u256(c: &mut Criterion) {
+    let a = U256::from_hex("0xfedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210")
+        .unwrap();
+    let b = U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+        .unwrap();
+    let modulus = U256::from_hex("0xfffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .unwrap();
+
+    let mut group = c.benchmark_group("u256");
+    group.bench_function("add", |bencher| {
+        bencher.iter(|| black_box(a).wrapping_add(black_box(b)))
+    });
+    group.bench_function("mul", |bencher| {
+        bencher.iter(|| black_box(a).wrapping_mul(black_box(b)))
+    });
+    group.bench_function("div_rem", |bencher| {
+        bencher.iter(|| black_box(a).div_rem(black_box(b)))
+    });
+    group.bench_function("mulmod", |bencher| {
+        bencher.iter(|| black_box(a).mul_mod(black_box(b), black_box(modulus)))
+    });
+    group.bench_function("exp", |bencher| {
+        bencher.iter(|| black_box(a).wrapping_pow(black_box(U256::from(65537u64))))
+    });
+    group.bench_function("to_be_bytes", |bencher| {
+        bencher.iter(|| black_box(a).to_be_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_u256);
+criterion_main!(benches);

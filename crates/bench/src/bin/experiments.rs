@@ -1,0 +1,87 @@
+//! Regenerates every table and figure of the TinyEVM paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tinyevm-bench --release --bin experiments            # everything, 7,000 contracts
+//! cargo run -p tinyevm-bench --release --bin experiments -- --quick # 700 contracts, faster
+//! cargo run -p tinyevm-bench --release --bin experiments -- --count 2000
+//! ```
+//!
+//! Results are printed to stdout and written to `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tinyevm_bench::{corpus_experiment, offchain_experiment, table1_text, table3_text};
+use tinyevm_channel::contracts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut count = 7_000usize;
+    let mut payments = 3usize;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--quick" => count = 700,
+            "--count" => {
+                index += 1;
+                count = args
+                    .get(index)
+                    .and_then(|value| value.parse().ok())
+                    .unwrap_or(count);
+            }
+            "--payments" => {
+                index += 1;
+                payments = args
+                    .get(index)
+                    .and_then(|value| value.parse().ok())
+                    .unwrap_or(payments);
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--count N] [--payments N]");
+                return;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        index += 1;
+    }
+
+    let output_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&output_dir).expect("create output directory");
+    let emit = |name: &str, content: &str| {
+        println!("{content}");
+        println!("{}", "-".repeat(78));
+        fs::write(output_dir.join(name), content).expect("write experiment output");
+    };
+
+    println!(
+        "TinyEVM experiment harness — {count} corpus contracts, {payments} off-chain payment(s)\n"
+    );
+
+    // Table I is static: the instruction-set census.
+    emit("table1.txt", &table1_text());
+
+    // Table III uses the actual size of the payment-channel template we ship.
+    let template_bytes = contracts::payment_channel_init_code(0, 1).len();
+    emit("table3.txt", &table3_text(template_bytes));
+
+    // The corpus macro-benchmark: Table II, Figures 3a-3c and 4.
+    eprintln!("running the corpus macro-benchmark ({count} contracts)...");
+    let corpus = corpus_experiment(count, 8 * 1024);
+    emit("table2.txt", &corpus.table2_text());
+    emit("fig3a.txt", &corpus.fig3a_text());
+    emit("fig3b.txt", &corpus.fig3b_text());
+    emit("fig3c.txt", &corpus.fig3c_text());
+    emit("fig4.txt", &corpus.fig4_text());
+
+    // The off-chain payment micro-benchmark: Tables IV, V and Figure 5.
+    eprintln!("running the off-chain payment micro-benchmark...");
+    let offchain = offchain_experiment(payments);
+    emit("table4.txt", &offchain.table4_text());
+    emit("table5.txt", &offchain.table5_text());
+    emit("fig5.txt", &offchain.fig5_text());
+
+    emit("summary.txt", &offchain.summary_text(&corpus));
+    eprintln!("wrote results to {}", output_dir.display());
+}

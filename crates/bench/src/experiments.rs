@@ -1,0 +1,556 @@
+//! The experiment implementations.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tinyevm_corpus::{histogram, summarize, CorpusConfig, DistributionSummary};
+use tinyevm_device::{Footprint, Mcu, PowerState};
+use tinyevm_evm::opcode::{evm_census, tinyevm_census};
+use tinyevm_evm::{deploy, EvmConfig};
+use tinyevm_channel::ProtocolDriver;
+use tinyevm_types::Wei;
+
+/// Results of the corpus macro-benchmark (Table II, Figures 3 and 4).
+#[derive(Debug, Clone)]
+pub struct CorpusExperiment {
+    /// Number of contracts attempted.
+    pub total: usize,
+    /// Number deployed successfully.
+    pub deployed: usize,
+    /// Bytecode sizes of the successfully deployed contracts (bytes).
+    pub sizes: Vec<f64>,
+    /// Bytecode sizes of the contracts that failed to deploy (bytes).
+    pub failed_sizes: Vec<f64>,
+    /// Maximum stack pointer per deployed contract.
+    pub stack_pointers: Vec<f64>,
+    /// Stack bytes (32 × stack pointer) per deployed contract.
+    pub stack_bytes: Vec<f64>,
+    /// Device memory needed by the deployment (bytes).
+    pub memory_usage: Vec<f64>,
+    /// Modelled deployment times (milliseconds).
+    pub times_ms: Vec<f64>,
+    /// The code-size limit used (bytes).
+    pub code_limit: usize,
+}
+
+impl CorpusExperiment {
+    /// Fraction of contracts that deployed successfully.
+    pub fn deployability(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.deployed as f64 / self.total as f64
+    }
+
+    /// Table II: max / min / mean / std of the measured columns.
+    pub fn table2_text(&self) -> String {
+        let columns: [(&str, DistributionSummary); 5] = [
+            ("Contract Size (B)", summarize(&self.sizes)),
+            ("Stack Pointer", summarize(&self.stack_pointers)),
+            ("Stack (Bytes)", summarize(&self.stack_bytes)),
+            ("Memory (Bytes)", summarize(&self.memory_usage)),
+            ("Deployment Time (ms)", summarize(&self.times_ms)),
+        ];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table II — overview of the {} successfully deployed contracts (paper: 5,953)",
+            self.deployed
+        );
+        let _ = writeln!(
+            out,
+            "{:<24}{:>12}{:>12}{:>12}{:>12}",
+            "Measurement", "Max", "Min", "Mean", "Std"
+        );
+        for (name, summary) in &columns {
+            let _ = writeln!(
+                out,
+                "{:<24}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",
+                name, summary.max, summary.min, summary.mean, summary.std_dev
+            );
+        }
+        let _ = writeln!(
+            out,
+            "(Paper: size 10,058/28/4,023/2,899 · SP 41/3/8/3 · time 9,159/5/215/277 ms)"
+        );
+        out
+    }
+
+    /// Figure 3a: the size distribution against the device capacity, plus
+    /// the headline deployability percentage.
+    pub fn fig3a_text(&self) -> String {
+        let mut all_sizes = self.sizes.clone();
+        all_sizes.extend_from_slice(&self.failed_sizes);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 3a — contract size distribution vs the {} B deployment limit",
+            self.code_limit
+        );
+        let _ = writeln!(
+            out,
+            "deployability: {:.1}% ({} of {}) — paper: 93% (5,953 of ~6,400 valid)",
+            self.deployability() * 100.0,
+            self.deployed,
+            self.total
+        );
+        for (edge, count) in histogram(&all_sizes, 20) {
+            let marker = if edge <= self.code_limit as f64 { ' ' } else { '*' };
+            let bar = "#".repeat((count as f64 / self.total as f64 * 200.0).round() as usize);
+            let _ = writeln!(out, "  ≤{edge:>8.0} B{marker} {count:>5} {bar}");
+        }
+        let _ = writeln!(out, "  (* bins beyond the device deployment limit)");
+        out
+    }
+
+    /// Figure 3b: device memory usage against contract size (sampled
+    /// scatter), with the invariant that memory never exceeds the shipped
+    /// size.
+    pub fn fig3b_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 3b — device memory usage vs contract size (first 40 deployed contracts)"
+        );
+        let _ = writeln!(out, "{:>14}{:>16}", "size (B)", "memory (B)");
+        for (size, memory) in self.sizes.iter().zip(&self.memory_usage).take(40) {
+            let _ = writeln!(out, "{size:>14.0}{memory:>16.0}");
+        }
+        let violations = self
+            .sizes
+            .iter()
+            .zip(&self.memory_usage)
+            .filter(|(size, memory)| memory > size)
+            .count();
+        let _ = writeln!(
+            out,
+            "memory ≤ shipped size for every deployment: {} violations (paper: none)",
+            violations
+        );
+        out
+    }
+
+    /// Figure 3c: distribution of the maximum stack pointer.
+    pub fn fig3c_text(&self) -> String {
+        let summary = summarize(&self.stack_pointers);
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 3c — maximum stack pointer distribution");
+        for (edge, count) in histogram(&self.stack_pointers, 14) {
+            let bar = "#".repeat((count as f64 / self.deployed.max(1) as f64 * 120.0).round() as usize);
+            let _ = writeln!(out, "  ≤{edge:>5.1} {count:>5} {bar}");
+        }
+        let _ = writeln!(
+            out,
+            "mean {:.1}, max {:.0} (paper: mean 8, max 41; Ethereum allows 1024)",
+            summary.mean, summary.max
+        );
+        out
+    }
+
+    /// Figure 4: deployment time against bytecode size.
+    pub fn fig4_text(&self) -> String {
+        let time = summarize(&self.times_ms);
+        let correlation = correlation(&self.sizes, &self.times_ms);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 4 — deployment time vs bytecode size (first 40 deployed contracts)"
+        );
+        let _ = writeln!(out, "{:>14}{:>18}", "size (B)", "deploy time (ms)");
+        for (size, ms) in self.sizes.iter().zip(&self.times_ms).take(40) {
+            let _ = writeln!(out, "{size:>14.0}{ms:>18.1}");
+        }
+        let _ = writeln!(
+            out,
+            "mean {:.0} ms, std {:.0} ms, max {:.0} ms, size↔time correlation r = {:.2}",
+            time.mean, time.std_dev, time.max, correlation
+        );
+        let _ = writeln!(
+            out,
+            "(paper: mean 215 ms, std 277 ms, max 9,159 ms, and no correlation with size)"
+        );
+        out
+    }
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut covariance = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        covariance += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    covariance / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Runs the corpus macro-benchmark with `count` synthetic contracts and the
+/// given runtime-code limit.
+pub fn corpus_experiment(count: usize, code_limit: usize) -> CorpusExperiment {
+    let corpus = CorpusConfig {
+        count,
+        ..CorpusConfig::paper_scale()
+    }
+    .generate();
+    let config = EvmConfig::cc2538().with_code_limit(code_limit);
+    let mcu = Mcu::cc2538();
+    let mut experiment = CorpusExperiment {
+        total: corpus.len(),
+        deployed: 0,
+        sizes: Vec::new(),
+        failed_sizes: Vec::new(),
+        stack_pointers: Vec::new(),
+        stack_bytes: Vec::new(),
+        memory_usage: Vec::new(),
+        times_ms: Vec::new(),
+        code_limit,
+    };
+    for contract in &corpus {
+        match deploy(&config, &contract.init_code) {
+            Ok(result) => {
+                experiment.deployed += 1;
+                experiment.sizes.push(contract.size() as f64);
+                experiment
+                    .stack_pointers
+                    .push(result.metrics.max_stack_pointer as f64);
+                experiment
+                    .stack_bytes
+                    .push(result.metrics.stack_bytes() as f64);
+                experiment
+                    .memory_usage
+                    .push(result.deployed_memory_bytes as f64);
+                experiment
+                    .times_ms
+                    .push(mcu.deployment_time(&result.metrics).as_secs_f64() * 1000.0);
+            }
+            Err(_) => experiment.failed_sizes.push(contract.size() as f64),
+        }
+    }
+    experiment
+}
+
+/// Table I: the opcode-category comparison between the original EVM and
+/// TinyEVM's off-chain instruction set.
+pub fn table1_text() -> String {
+    let evm = evm_census();
+    let tiny = tinyevm_census();
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I — EVM vs TinyEVM specification");
+    let _ = writeln!(out, "{:<28}{:>12}{:>12}{:>14}{:>12}", "Component", "EVM", "TinyEVM", "paper EVM", "paper Tiny");
+    let rows = [
+        ("Stack memory", "256-bit".to_string(), "256-bit".to_string(), "256-bit", "256-bit"),
+        ("Random access memory", "8-bit".to_string(), "8-bit".to_string(), "8-bit", "8-bit"),
+        ("Storage space", "256-bit".to_string(), "8-bit".to_string(), "256-bit", "8-bit"),
+        ("Operation opcodes", evm.operation.to_string(), tiny.operation.to_string(), "27", "27"),
+        ("Smart contract opcodes", evm.smart_contract.to_string(), tiny.smart_contract.to_string(), "25", "21"),
+        ("Memory opcodes", evm.memory.to_string(), tiny.memory.to_string(), "13", "13"),
+        ("Blockchain opcodes", evm.blockchain.to_string(), tiny.blockchain.to_string(), "6", "-"),
+        ("IoT opcodes", evm.iot.to_string(), tiny.iot.to_string(), "-", "1"),
+    ];
+    for (name, evm_value, tiny_value, paper_evm, paper_tiny) in rows {
+        let _ = writeln!(
+            out,
+            "{:<28}{:>12}{:>12}{:>14}{:>12}",
+            name, evm_value, tiny_value, paper_evm, paper_tiny
+        );
+    }
+    out
+}
+
+/// Table III: the device memory footprint.
+pub fn table3_text(template_bytes: usize) -> String {
+    let footprint = Footprint::tinyevm_on_cc2538(template_bytes);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III — memory footprint on the CC2538 (32 KB RAM / 512 KB ROM)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>10}{:>9}{:>10}{:>9}",
+        "Component", "RAM (B)", "RAM %", "ROM (B)", "ROM %"
+    );
+    for component in &footprint.components {
+        let _ = writeln!(
+            out,
+            "{:<28}{:>10}{:>8.0}%{:>10}{:>8.1}%",
+            component.name,
+            component.ram_bytes,
+            footprint.ram_percent(component),
+            component.rom_bytes,
+            footprint.rom_percent(component)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<28}{:>10}{:>8.0}%{:>10}{:>8.1}%",
+        "Total footprint",
+        footprint.ram_used(),
+        footprint.ram_used() as f64 / footprint.ram_total as f64 * 100.0,
+        footprint.rom_used(),
+        footprint.rom_used() as f64 / footprint.rom_total as f64 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>10}{:>8.0}%{:>10}{:>8.1}%",
+        "Available memory",
+        footprint.ram_available(),
+        footprint.ram_available() as f64 / footprint.ram_total as f64 * 100.0,
+        footprint.rom_available(),
+        footprint.rom_available() as f64 / footprint.rom_total as f64 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "(Paper: Contiki-NG 10,394 B / 33%, TinyEVM 13,286 B / 42%, template 2,035 B / 5%, total 80% RAM)"
+    );
+    out
+}
+
+/// Results of the off-chain payment micro-benchmark (Tables IV and V,
+/// Figure 5, and the 584 ms / 215 ms headline numbers).
+#[derive(Debug)]
+pub struct OffChainExperiment {
+    /// The driver after the measured session (holds the timeline / energy).
+    pub driver: ProtocolDriver,
+    /// Per-payment round reports.
+    pub rounds: Vec<tinyevm_channel::RoundReport>,
+    /// Time the channel-creation constructor took on the sender.
+    pub channel_create_time: Duration,
+}
+
+/// Runs the off-chain session used by Tables IV / V and Figure 5.
+pub fn offchain_experiment(payments: usize) -> OffChainExperiment {
+    let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(100));
+    driver.publish_template().expect("template publishes");
+    let open = driver.open_channel().expect("channel opens");
+    let mut rounds = Vec::with_capacity(payments);
+    for _ in 0..payments {
+        rounds.push(driver.pay(Wei::from_eth_milli(5)).expect("payment succeeds"));
+    }
+    OffChainExperiment {
+        driver,
+        rounds,
+        channel_create_time: open.sender_create_time,
+    }
+}
+
+impl OffChainExperiment {
+    /// Table IV: the sender's per-state energy for the measured session.
+    pub fn table4_text(&self) -> String {
+        let report = self.driver.sender_energy();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table IV — sender (smart car) energy over {} payment round(s) at {:.1} V",
+            self.rounds.len(),
+            report.voltage
+        );
+        let _ = writeln!(
+            out,
+            "{:<24}{:>12}{:>14}{:>13}",
+            "State", "Time (ms)", "Current (mA)", "Energy (mJ)"
+        );
+        for state in &report.states {
+            let _ = writeln!(
+                out,
+                "{:<24}{:>12.0}{:>14.1}{:>13.2}",
+                state.state.label(),
+                state.time.as_secs_f64() * 1000.0,
+                state.current_ma,
+                state.energy_mj
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<24}{:>12.0}{:>14}{:>13.2}",
+            "Total",
+            report.total_time().as_secs_f64() * 1000.0,
+            "-",
+            report.total_energy_mj()
+        );
+        let _ = writeln!(
+            out,
+            "crypto-engine share {:.0}% (paper: 19.1 mJ of 29.6 mJ ≈ 65% for one round)",
+            report.share_of(PowerState::CryptoEngine) * 100.0
+        );
+        let per_round = report.total_energy_mj() / self.rounds.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "energy per payment ≈ {per_round:.1} mJ → ≈ {} payments per 10 kJ battery (paper: ~333,000)",
+            (10_000_000.0 / per_round) as u64
+        );
+        out
+    }
+
+    /// Table V: cryptographic operation latencies of the device model,
+    /// alongside the real software implementations' correctness.
+    pub fn table5_text(&self) -> String {
+        let latencies = tinyevm_device::CryptoEngine::cc2538().latencies();
+        let mut out = String::new();
+        let _ = writeln!(out, "Table V — cryptographic operation latency model");
+        let _ = writeln!(out, "{:<34}{:>8}{:>12}", "Operation", "Mode", "Time");
+        let _ = writeln!(
+            out,
+            "{:<34}{:>8}{:>9} ms",
+            "ECDSA - Signature",
+            "HW",
+            latencies.ecdsa_sign.as_millis()
+        );
+        let _ = writeln!(
+            out,
+            "{:<34}{:>8}{:>9} ms",
+            "SHA256 - Hash function",
+            "HW",
+            latencies.sha256.as_millis()
+        );
+        let _ = writeln!(
+            out,
+            "{:<34}{:>8}{:>9} ms",
+            "Keccak256 - Hash function",
+            "SW",
+            latencies.keccak256.as_millis()
+        );
+        let total = latencies.ecdsa_sign + latencies.sha256 + latencies.keccak256;
+        let _ = writeln!(out, "{:<34}{:>8}{:>9} ms", "Total time", "", total.as_millis());
+        let _ = writeln!(out, "(Paper: 350 ms, 1 ms, 5 ms, total 356 ms)");
+        out
+    }
+
+    /// Figure 5: the sender's current-draw timeline.
+    pub fn fig5_text(&self) -> String {
+        let timeline = self.driver.sender_timeline();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 5 — sender current draw over the off-chain round ({} timeline entries)",
+            timeline.len()
+        );
+        let _ = writeln!(out, "{:>12}{:>12}{:>10}  state", "t start (s)", "dur (ms)", "mA");
+        for entry in timeline {
+            let _ = writeln!(
+                out,
+                "{:>12.3}{:>12.1}{:>10.1}  {}",
+                entry.start.as_secs_f64(),
+                entry.duration.as_secs_f64() * 1000.0,
+                entry.current_ma(),
+                entry.state.label()
+            );
+        }
+        out
+    }
+
+    /// The headline summary: deployment and payment latencies compared with
+    /// the paper's numbers.
+    pub fn summary_text(&self, corpus: &CorpusExperiment) -> String {
+        let deploy_time = summarize(&corpus.times_ms);
+        let latencies: Vec<f64> = self
+            .rounds
+            .iter()
+            .map(|r| r.end_to_end_latency.as_secs_f64() * 1000.0)
+            .collect();
+        let active: Vec<f64> = self
+            .rounds
+            .iter()
+            .map(|r| r.sender_active_time.as_secs_f64() * 1000.0)
+            .collect();
+        let latency = summarize(&latencies);
+        let active = summarize(&active);
+        let mut out = String::new();
+        let _ = writeln!(out, "Headline results vs paper");
+        let _ = writeln!(
+            out,
+            "  deployability:           {:.1}%            (paper 93%)",
+            corpus.deployability() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  mean deployment time:    {:>7.0} ms        (paper 215 ms)",
+            deploy_time.mean
+        );
+        let _ = writeln!(
+            out,
+            "  channel creation:        {:>7.0} ms        (paper ~200 ms)",
+            self.channel_create_time.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "  payment, sender-active:  {:>7.0} ms        (paper reports 584 ms end-to-end)",
+            active.mean
+        );
+        let _ = writeln!(
+            out,
+            "  payment, end-to-end:     {:>7.0} ms        (includes waiting for the peer's crypto)",
+            latency.mean
+        );
+        let report = self.driver.sender_energy();
+        let _ = writeln!(
+            out,
+            "  energy per payment:      {:>7.1} mJ        (paper 29.6 mJ per round)",
+            report.total_energy_mj() / self.rounds.len().max(1) as f64
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_papers_structure() {
+        let text = table1_text();
+        assert!(text.contains("IoT opcodes"));
+        assert!(text.contains("Blockchain opcodes"));
+        // TinyEVM column shows zero blockchain opcodes and one IoT opcode.
+        let tiny = tinyevm_census();
+        assert_eq!(tiny.blockchain, 0);
+        assert_eq!(tiny.iot, 1);
+    }
+
+    #[test]
+    fn table3_reports_the_footprint() {
+        let text = table3_text(2_035);
+        assert!(text.contains("Contiki-NG OS"));
+        assert!(text.contains("TinyEVM"));
+        assert!(text.contains("25715") || text.contains("25,715") || text.contains("25715"));
+    }
+
+    #[test]
+    fn small_corpus_experiment_has_consistent_columns() {
+        let experiment = corpus_experiment(120, 8 * 1024);
+        assert_eq!(experiment.total, 120);
+        assert_eq!(experiment.deployed, experiment.sizes.len());
+        assert_eq!(experiment.deployed, experiment.times_ms.len());
+        assert_eq!(experiment.deployed + experiment.failed_sizes.len(), 120);
+        assert!(experiment.deployability() > 0.8);
+        // All renderers produce non-empty text.
+        assert!(!experiment.table2_text().is_empty());
+        assert!(!experiment.fig3a_text().is_empty());
+        assert!(!experiment.fig3b_text().is_empty());
+        assert!(!experiment.fig3c_text().is_empty());
+        assert!(!experiment.fig4_text().is_empty());
+    }
+
+    #[test]
+    fn offchain_experiment_produces_all_renditions() {
+        let experiment = offchain_experiment(1);
+        assert_eq!(experiment.rounds.len(), 1);
+        assert!(experiment.table4_text().contains("Cryptographic Engine"));
+        assert!(experiment.table5_text().contains("ECDSA"));
+        assert!(experiment.fig5_text().contains("TX"));
+        let corpus = corpus_experiment(40, 8 * 1024);
+        let summary = experiment.summary_text(&corpus);
+        assert!(summary.contains("deployability"));
+        assert!(summary.contains("payment"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness reproducing every table and figure of the TinyEVM
+//! paper's evaluation (Section VI).
+//!
+//! Each `experiments::*` function runs one experiment end to end on the
+//! simulated substrates and returns both the raw numbers and a formatted
+//! text rendition that mirrors the paper's presentation. The
+//! `experiments` binary (`cargo run -p tinyevm-bench --release --bin
+//! experiments`) runs them all and writes the results under
+//! `target/experiments/`; the Criterion benches in `benches/` measure the
+//! real host-side cost of the underlying operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    corpus_experiment, offchain_experiment, table1_text, table3_text, CorpusExperiment,
+    OffChainExperiment,
+};

@@ -1,0 +1,369 @@
+//! The Merkle-Sum-Tree over committed channel states.
+//!
+//! The paper (Section IV-E) follows Plasma in keeping a Merkle-Sum-Tree on
+//! the on-chain contract: each leaf carries the hash of a committed state
+//! and the amount it pays out, inner nodes carry the hash of their children
+//! *and the sum of their amounts*. The root's sum therefore equals the total
+//! claimed from the channel set, which makes overspending auditable with a
+//! single comparison against the locked deposit, while the hashes provide
+//! ordinary inclusion proofs.
+
+use tinyevm_crypto::keccak256_h256;
+use tinyevm_types::{H256, U256, Wei};
+
+/// One leaf: a committed state hash and the amount it claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumLeaf {
+    /// Hash of the committed channel state.
+    pub hash: H256,
+    /// Amount the state pays out to the receiver.
+    pub sum: Wei,
+}
+
+impl SumLeaf {
+    /// Creates a leaf.
+    pub fn new(hash: H256, sum: Wei) -> Self {
+        SumLeaf { hash, sum }
+    }
+}
+
+/// One step of an inclusion proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Sibling node hash.
+    pub hash: H256,
+    /// Sibling node sum.
+    pub sum: Wei,
+    /// True when the sibling is on the right of the path node.
+    pub sibling_is_right: bool,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// The proven leaf.
+    pub leaf: SumLeaf,
+    /// Path from the leaf to the root.
+    pub steps: Vec<ProofStep>,
+}
+
+/// A Merkle tree whose inner nodes carry both a hash and the sum of the
+/// amounts beneath them.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_chain::{MerkleSumTree, SumLeaf};
+/// use tinyevm_types::{H256, Wei};
+///
+/// let mut tree = MerkleSumTree::new();
+/// tree.push(SumLeaf::new(H256::from_low_u64(1), Wei::from(10u64)));
+/// tree.push(SumLeaf::new(H256::from_low_u64(2), Wei::from(32u64)));
+/// assert_eq!(tree.total(), Wei::from(42u64));
+/// let proof = tree.prove(1).unwrap();
+/// assert!(MerkleSumTree::verify(&tree.root(), &proof));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MerkleSumTree {
+    leaves: Vec<SumLeaf>,
+}
+
+/// A node value: hash plus sum. The root value is what the on-chain
+/// contract stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumNode {
+    /// Combined hash.
+    pub hash: H256,
+    /// Combined sum.
+    pub sum: Wei,
+}
+
+impl MerkleSumTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tree from existing leaves.
+    pub fn from_leaves(leaves: Vec<SumLeaf>) -> Self {
+        MerkleSumTree { leaves }
+    }
+
+    /// Appends a leaf, returning its index.
+    pub fn push(&mut self, leaf: SumLeaf) -> usize {
+        self.leaves.push(leaf);
+        self.leaves.len() - 1
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The leaves, in insertion order.
+    pub fn leaves(&self) -> &[SumLeaf] {
+        &self.leaves
+    }
+
+    /// Total of all leaf sums (the overspend audit value).
+    pub fn total(&self) -> Wei {
+        self.leaves
+            .iter()
+            .fold(Wei::ZERO, |acc, leaf| acc.saturating_add(leaf.sum))
+    }
+
+    /// The root node (hash of the empty tree is all zeros).
+    pub fn root(&self) -> SumNode {
+        if self.leaves.is_empty() {
+            return SumNode {
+                hash: H256::ZERO,
+                sum: Wei::ZERO,
+            };
+        }
+        let mut level: Vec<SumNode> = self
+            .leaves
+            .iter()
+            .map(|leaf| SumNode {
+                hash: leaf.hash,
+                sum: leaf.sum,
+            })
+            .collect();
+        while level.len() > 1 {
+            level = Self::next_level(&level);
+        }
+        level[0]
+    }
+
+    fn next_level(level: &[SumNode]) -> Vec<SumNode> {
+        level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    Self::combine(&pair[0], &pair[1])
+                } else {
+                    // Odd node is promoted unchanged.
+                    pair[0]
+                }
+            })
+            .collect()
+    }
+
+    /// Combines two nodes into their parent.
+    pub fn combine(left: &SumNode, right: &SumNode) -> SumNode {
+        let mut data = Vec::with_capacity(32 * 4);
+        data.extend_from_slice(left.hash.as_bytes());
+        data.extend_from_slice(&left.sum.amount().to_be_bytes());
+        data.extend_from_slice(right.hash.as_bytes());
+        data.extend_from_slice(&right.sum.amount().to_be_bytes());
+        SumNode {
+            hash: keccak256_h256(&data),
+            sum: left.sum.saturating_add(right.sum),
+        }
+    }
+
+    /// Builds an inclusion proof for the leaf at `index`.
+    ///
+    /// Returns `None` when the index is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaves.len() {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut level: Vec<SumNode> = self
+            .leaves
+            .iter()
+            .map(|leaf| SumNode {
+                hash: leaf.hash,
+                sum: leaf.sum,
+            })
+            .collect();
+        let mut position = index;
+        while level.len() > 1 {
+            let sibling_index = if position % 2 == 0 {
+                position + 1
+            } else {
+                position - 1
+            };
+            if sibling_index < level.len() {
+                steps.push(ProofStep {
+                    hash: level[sibling_index].hash,
+                    sum: level[sibling_index].sum,
+                    sibling_is_right: sibling_index > position,
+                });
+            }
+            level = Self::next_level(&level);
+            position /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            leaf: self.leaves[index],
+            steps,
+        })
+    }
+
+    /// Verifies an inclusion proof against a root.
+    pub fn verify(root: &SumNode, proof: &MerkleProof) -> bool {
+        let mut node = SumNode {
+            hash: proof.leaf.hash,
+            sum: proof.leaf.sum,
+        };
+        for step in &proof.steps {
+            let sibling = SumNode {
+                hash: step.hash,
+                sum: step.sum,
+            };
+            node = if step.sibling_is_right {
+                Self::combine(&node, &sibling)
+            } else {
+                Self::combine(&sibling, &node)
+            };
+        }
+        node == *root
+    }
+
+    /// Convenience: true when the total claimed by the tree exceeds the
+    /// locked deposit — the fraud condition the sum exists to detect.
+    pub fn exceeds_deposit(&self, deposit: Wei) -> bool {
+        self.total().amount() > deposit.amount()
+    }
+}
+
+/// Hashes arbitrary bytes into a leaf hash (keccak-256).
+pub fn leaf_hash(data: &[u8]) -> H256 {
+    keccak256_h256(data)
+}
+
+/// Helper to build a leaf from a payout amount expressed as a `U256`.
+pub fn leaf_from_amount(data: &[u8], amount: U256) -> SumLeaf {
+    SumLeaf::new(leaf_hash(data), Wei::new(amount))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(id: u64, amount: u64) -> SumLeaf {
+        SumLeaf::new(H256::from_low_u64(id), Wei::from(amount))
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let tree = MerkleSumTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.root().hash, H256::ZERO);
+        assert_eq!(tree.root().sum, Wei::ZERO);
+        assert_eq!(tree.total(), Wei::ZERO);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf() {
+        let mut tree = MerkleSumTree::new();
+        tree.push(leaf(1, 100));
+        let root = tree.root();
+        assert_eq!(root.hash, H256::from_low_u64(1));
+        assert_eq!(root.sum, Wei::from(100u64));
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.steps.is_empty());
+        assert!(MerkleSumTree::verify(&root, &proof));
+    }
+
+    #[test]
+    fn sums_accumulate_to_the_root() {
+        let mut tree = MerkleSumTree::new();
+        for i in 0..7u64 {
+            tree.push(leaf(i, 10 * (i + 1)));
+        }
+        // 10+20+...+70 = 280
+        assert_eq!(tree.total(), Wei::from(280u64));
+        assert_eq!(tree.root().sum, Wei::from(280u64));
+        assert_eq!(tree.len(), 7);
+        assert!(!tree.exceeds_deposit(Wei::from(280u64)));
+        assert!(tree.exceeds_deposit(Wei::from(279u64)));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_odd_sizes() {
+        for size in 1..=9usize {
+            let leaves: Vec<SumLeaf> = (0..size as u64).map(|i| leaf(i + 1, i + 5)).collect();
+            let tree = MerkleSumTree::from_leaves(leaves);
+            let root = tree.root();
+            for index in 0..size {
+                let proof = tree.prove(index).unwrap();
+                assert!(
+                    MerkleSumTree::verify(&root, &proof),
+                    "size {size}, index {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_proofs_fail() {
+        let tree = MerkleSumTree::from_leaves((0..8u64).map(|i| leaf(i, 10)).collect());
+        let root = tree.root();
+        let mut proof = tree.prove(3).unwrap();
+        proof.leaf.sum = Wei::from(11u64);
+        assert!(!MerkleSumTree::verify(&root, &proof));
+
+        let mut proof = tree.prove(3).unwrap();
+        proof.leaf.hash = H256::from_low_u64(999);
+        assert!(!MerkleSumTree::verify(&root, &proof));
+
+        let mut proof = tree.prove(3).unwrap();
+        if let Some(step) = proof.steps.first_mut() {
+            step.sum = Wei::from(1_000_000u64);
+        }
+        assert!(!MerkleSumTree::verify(&root, &proof));
+    }
+
+    #[test]
+    fn proof_against_wrong_root_fails() {
+        let tree_a = MerkleSumTree::from_leaves((0..4u64).map(|i| leaf(i, 10)).collect());
+        let tree_b = MerkleSumTree::from_leaves((0..4u64).map(|i| leaf(i + 100, 10)).collect());
+        let proof = tree_a.prove(2).unwrap();
+        assert!(!MerkleSumTree::verify(&tree_b.root(), &proof));
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let base = MerkleSumTree::from_leaves((0..5u64).map(|i| leaf(i, 10)).collect());
+        let mut changed_hash = base.clone();
+        changed_hash.leaves[2].hash = H256::from_low_u64(77);
+        let mut changed_sum = base.clone();
+        changed_sum.leaves[2].sum = Wei::from(11u64);
+        assert_ne!(base.root(), changed_hash.root());
+        assert_ne!(base.root(), changed_sum.root());
+        assert_ne!(changed_hash.root(), changed_sum.root());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = SumNode {
+            hash: H256::from_low_u64(1),
+            sum: Wei::from(1u64),
+        };
+        let b = SumNode {
+            hash: H256::from_low_u64(2),
+            sum: Wei::from(2u64),
+        };
+        assert_ne!(MerkleSumTree::combine(&a, &b).hash, MerkleSumTree::combine(&b, &a).hash);
+        assert_eq!(MerkleSumTree::combine(&a, &b).sum, Wei::from(3u64));
+    }
+
+    #[test]
+    fn leaf_helpers() {
+        let l = leaf_from_amount(b"state", U256::from(9u64));
+        assert_eq!(l.hash, leaf_hash(b"state"));
+        assert_eq!(l.sum, Wei::from(9u64));
+        assert_ne!(leaf_hash(b"a"), leaf_hash(b"b"));
+    }
+}

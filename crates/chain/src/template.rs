@@ -1,0 +1,600 @@
+//! The on-chain template contract (paper Listing 1, Section IV-C/E).
+//!
+//! The template is the bridge between the main chain and the off-chain
+//! payment channels:
+//!
+//! 1. the service provider publishes it and the client locks a deposit;
+//! 2. every off-chain channel created from it consumes one tick of the
+//!    template's logical clock;
+//! 3. at any time a party can **commit** a dual-signed final state; the
+//!    contract keeps the Merkle-Sum-Tree over accepted states and only ever
+//!    moves forward in sequence-number order;
+//! 4. a party can start the **exit**, which opens the challenge period; the
+//!    counter-party can still commit a higher-sequence state during that
+//!    window (that is the fraud proof);
+//! 5. after the challenge period the contract **finalizes**: the receiver
+//!    is paid the committed totals, the sender gets the rest of the deposit
+//!    back — unless fraud was detected, in which case the cheated party
+//!    claims the insurance.
+
+use std::collections::BTreeMap;
+
+use tinyevm_types::{Address, Wei};
+
+use crate::merkle::{MerkleSumTree, SumLeaf, SumNode};
+use crate::state::{CommitEnvelope, StateError};
+
+/// Static parameters of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateConfig {
+    /// The paying party (vehicle owner).
+    pub sender: Address,
+    /// The receiving party (parking service).
+    pub receiver: Address,
+    /// Deposit locked by the sender, the ceiling on everything the channels
+    /// created from this template can pay out.
+    pub deposit: Wei,
+    /// Length of the challenge period, in blocks.
+    pub challenge_period_blocks: u64,
+}
+
+/// Lifecycle phase of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplatePhase {
+    /// Channels may be opened and states committed.
+    Active,
+    /// Exit has been requested; commits are still accepted as challenges
+    /// until the period ends.
+    Exiting {
+        /// Block at which the challenge period ends.
+        challenge_deadline: u64,
+    },
+    /// Finalized; funds have been distributed.
+    Closed,
+}
+
+/// Per-channel record kept by the template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRecord {
+    /// Channel identifier (logical-clock value at creation).
+    pub channel_id: u64,
+    /// Highest committed sequence number.
+    pub sequence: u64,
+    /// Total owed to the receiver according to that state.
+    pub total_to_receiver: Wei,
+}
+
+/// Errors returned by template operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Operation not valid in the current phase.
+    WrongPhase {
+        /// The phase the template is in.
+        phase: TemplatePhase,
+    },
+    /// A committed state failed validation.
+    State(StateError),
+    /// The challenge period has not elapsed yet.
+    ChallengePeriodActive {
+        /// Current block.
+        now: u64,
+        /// Deadline block.
+        deadline: u64,
+    },
+    /// Only a participant of the template may call this.
+    NotAParticipant(Address),
+}
+
+impl core::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TemplateError::WrongPhase { phase } => write!(f, "invalid in phase {phase:?}"),
+            TemplateError::State(error) => write!(f, "invalid state: {error}"),
+            TemplateError::ChallengePeriodActive { now, deadline } => {
+                write!(f, "challenge period active until block {deadline} (now {now})")
+            }
+            TemplateError::NotAParticipant(address) => {
+                write!(f, "{address} is not a participant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl From<StateError> for TemplateError {
+    fn from(error: StateError) -> Self {
+        TemplateError::State(error)
+    }
+}
+
+/// Result of finalizing a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Settlement {
+    /// Amount paid to the receiver.
+    pub to_receiver: Wei,
+    /// Amount refunded to the sender.
+    pub to_sender: Wei,
+    /// True when fraud was detected and the insurance went to the honest
+    /// party.
+    pub fraud_detected: bool,
+}
+
+/// The on-chain factory / bridge contract.
+#[derive(Debug, Clone)]
+pub struct TemplateContract {
+    config: TemplateConfig,
+    phase: TemplatePhase,
+    logical_clock: u64,
+    channels: BTreeMap<u64, ChannelRecord>,
+    tree: MerkleSumTree,
+    fraud_detected: bool,
+}
+
+impl TemplateContract {
+    /// Publishes a template with the locked deposit.
+    pub fn new(config: TemplateConfig) -> Self {
+        TemplateContract {
+            config,
+            phase: TemplatePhase::Active,
+            logical_clock: 0,
+            channels: BTreeMap::new(),
+            tree: MerkleSumTree::new(),
+            fraud_detected: false,
+        }
+    }
+
+    /// The template configuration.
+    pub fn config(&self) -> &TemplateConfig {
+        &self.config
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> TemplatePhase {
+        self.phase
+    }
+
+    /// Current logical-clock value (number of channels created).
+    pub fn logical_clock(&self) -> u64 {
+        self.logical_clock
+    }
+
+    /// Committed channel records.
+    pub fn channels(&self) -> impl Iterator<Item = &ChannelRecord> {
+        self.channels.values()
+    }
+
+    /// The Merkle-Sum-Tree root over committed states.
+    pub fn side_chain_root(&self) -> SumNode {
+        self.tree.root()
+    }
+
+    /// True when a fraud (overspend or stale-state replay) has been caught.
+    pub fn fraud_detected(&self) -> bool {
+        self.fraud_detected
+    }
+
+    /// Total committed to the receiver across all channels.
+    pub fn total_committed(&self) -> Wei {
+        self.channels
+            .values()
+            .fold(Wei::ZERO, |acc, c| acc.saturating_add(c.total_to_receiver))
+    }
+
+    /// Registers the creation of a new off-chain payment channel, ticking
+    /// the logical clock (paper Listing 1, `CreatePaymentChannel`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::WrongPhase`] unless the template is active,
+    /// and [`TemplateError::NotAParticipant`] when the caller is neither
+    /// party.
+    pub fn create_payment_channel(&mut self, caller: Address) -> Result<u64, TemplateError> {
+        if self.phase != TemplatePhase::Active {
+            return Err(TemplateError::WrongPhase { phase: self.phase });
+        }
+        self.require_participant(caller)?;
+        self.logical_clock += 1;
+        Ok(self.logical_clock)
+    }
+
+    /// Commits a dual-signed channel state (paper Section IV-E, "On-Chain
+    /// Commit"). Accepts only states that advance the channel's sequence
+    /// number; an attempted overspend marks fraud in the receiver's favour
+    /// and an attempted stale replay is simply rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TemplateError`] when the commit is not acceptable.
+    pub fn commit(
+        &mut self,
+        caller: Address,
+        envelope: &CommitEnvelope,
+        current_block: u64,
+    ) -> Result<(), TemplateError> {
+        match self.phase {
+            TemplatePhase::Active => {}
+            TemplatePhase::Exiting { challenge_deadline } => {
+                // During the challenge period, commits are the dispute
+                // mechanism; after it they are rejected.
+                if current_block > challenge_deadline {
+                    return Err(TemplateError::WrongPhase { phase: self.phase });
+                }
+            }
+            TemplatePhase::Closed => {
+                return Err(TemplateError::WrongPhase { phase: self.phase });
+            }
+        }
+        self.require_participant(caller)?;
+        envelope.verify_parties(&self.config.sender, &self.config.receiver)?;
+
+        let state = &envelope.state;
+        let current_sequence = self
+            .channels
+            .get(&state.channel_id)
+            .map(|c| c.sequence)
+            .unwrap_or(0);
+        if state.sequence <= current_sequence {
+            return Err(TemplateError::State(StateError::StaleSequence {
+                current: current_sequence,
+                submitted: state.sequence,
+            }));
+        }
+
+        // Overspend audit: the sum over all channels, with this channel's
+        // amount replaced by the new claim, must not exceed the deposit.
+        let others: Wei = self
+            .channels
+            .values()
+            .filter(|c| c.channel_id != state.channel_id)
+            .fold(Wei::ZERO, |acc, c| acc.saturating_add(c.total_to_receiver));
+        let claimed = others.saturating_add(state.total_to_receiver);
+        if claimed.amount() > self.config.deposit.amount() {
+            // The sum condition catches the overspend; the honest receiver
+            // gets to claim the insurance at settlement.
+            self.fraud_detected = true;
+            return Err(TemplateError::State(StateError::Overspend {
+                claimed,
+                deposit: self.config.deposit,
+            }));
+        }
+
+        self.channels.insert(
+            state.channel_id,
+            ChannelRecord {
+                channel_id: state.channel_id,
+                sequence: state.sequence,
+                total_to_receiver: state.total_to_receiver,
+            },
+        );
+        self.rebuild_tree();
+        Ok(())
+    }
+
+    /// Starts the exit: no new channels, and the challenge period begins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::WrongPhase`] if the template is not active
+    /// and [`TemplateError::NotAParticipant`] for outsiders.
+    pub fn start_exit(&mut self, caller: Address, current_block: u64) -> Result<u64, TemplateError> {
+        if self.phase != TemplatePhase::Active {
+            return Err(TemplateError::WrongPhase { phase: self.phase });
+        }
+        self.require_participant(caller)?;
+        let deadline = current_block + self.config.challenge_period_blocks;
+        self.phase = TemplatePhase::Exiting {
+            challenge_deadline: deadline,
+        };
+        Ok(deadline)
+    }
+
+    /// Finalizes after the challenge period, distributing funds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::ChallengePeriodActive`] before the deadline
+    /// and [`TemplateError::WrongPhase`] unless an exit is in progress.
+    pub fn finalize(&mut self, current_block: u64) -> Result<Settlement, TemplateError> {
+        let TemplatePhase::Exiting { challenge_deadline } = self.phase else {
+            return Err(TemplateError::WrongPhase { phase: self.phase });
+        };
+        if current_block <= challenge_deadline {
+            return Err(TemplateError::ChallengePeriodActive {
+                now: current_block,
+                deadline: challenge_deadline,
+            });
+        }
+        let committed = self.total_committed();
+        let settlement = if self.fraud_detected {
+            // The sender tried to overspend: the honest receiver claims the
+            // whole insurance deposit.
+            Settlement {
+                to_receiver: self.config.deposit,
+                to_sender: Wei::ZERO,
+                fraud_detected: true,
+            }
+        } else {
+            Settlement {
+                to_receiver: committed,
+                to_sender: self.config.deposit.saturating_sub(committed),
+                fraud_detected: false,
+            }
+        };
+        self.phase = TemplatePhase::Closed;
+        Ok(settlement)
+    }
+
+    fn require_participant(&self, caller: Address) -> Result<(), TemplateError> {
+        if caller != self.config.sender && caller != self.config.receiver {
+            return Err(TemplateError::NotAParticipant(caller));
+        }
+        Ok(())
+    }
+
+    fn rebuild_tree(&mut self) {
+        let leaves: Vec<SumLeaf> = self
+            .channels
+            .values()
+            .map(|record| {
+                // The leaf binds the channel record; the full state hash is
+                // what the envelope signatures covered.
+                let mut data = Vec::with_capacity(24);
+                data.extend_from_slice(&record.channel_id.to_be_bytes());
+                data.extend_from_slice(&record.sequence.to_be_bytes());
+                SumLeaf::new(
+                    tinyevm_crypto::keccak256_h256(&data),
+                    record.total_to_receiver,
+                )
+            })
+            .collect();
+        self.tree = MerkleSumTree::from_leaves(leaves);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ChannelState;
+    use tinyevm_crypto::secp256k1::PrivateKey;
+    use tinyevm_types::H256;
+
+    struct Parties {
+        sender: PrivateKey,
+        receiver: PrivateKey,
+    }
+
+    impl Parties {
+        fn new() -> Self {
+            Parties {
+                sender: PrivateKey::from_seed(b"vehicle"),
+                receiver: PrivateKey::from_seed(b"parking lot"),
+            }
+        }
+
+        fn config(&self, deposit: u64) -> TemplateConfig {
+            TemplateConfig {
+                sender: self.sender.eth_address(),
+                receiver: self.receiver.eth_address(),
+                deposit: Wei::from(deposit),
+                challenge_period_blocks: 10,
+            }
+        }
+
+        fn envelope(&self, channel_id: u64, sequence: u64, amount: u64) -> CommitEnvelope {
+            let state = ChannelState {
+                template: Address::from_low_u64(0xAA),
+                channel_id,
+                sequence,
+                total_to_receiver: Wei::from(amount),
+                sensor_data_hash: H256::from_low_u64(1),
+            };
+            let digest = state.digest();
+            CommitEnvelope {
+                state,
+                sender_signature: self.sender.sign_prehashed(&digest),
+                receiver_signature: self.receiver.sign_prehashed(&digest),
+            }
+        }
+    }
+
+    #[test]
+    fn logical_clock_ticks_per_channel() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        assert_eq!(template.logical_clock(), 0);
+        assert_eq!(
+            template.create_payment_channel(parties.sender.eth_address()),
+            Ok(1)
+        );
+        assert_eq!(
+            template.create_payment_channel(parties.receiver.eth_address()),
+            Ok(2)
+        );
+        assert_eq!(template.logical_clock(), 2);
+        assert!(matches!(
+            template.create_payment_channel(Address::from_low_u64(9)),
+            Err(TemplateError::NotAParticipant(_))
+        ));
+    }
+
+    #[test]
+    fn commit_accepts_increasing_sequences_only() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        let caller = parties.receiver.eth_address();
+        template
+            .commit(caller, &parties.envelope(1, 3, 300), 1)
+            .unwrap();
+        assert_eq!(template.total_committed(), Wei::from(300u64));
+        // Replaying an older state is rejected: that is the paper's
+        // detection property.
+        let error = template
+            .commit(caller, &parties.envelope(1, 2, 100), 2)
+            .unwrap_err();
+        assert!(matches!(
+            error,
+            TemplateError::State(StateError::StaleSequence { current: 3, submitted: 2 })
+        ));
+        // A newer state supersedes.
+        template
+            .commit(caller, &parties.envelope(1, 5, 450), 3)
+            .unwrap();
+        assert_eq!(template.total_committed(), Wei::from(450u64));
+        assert_eq!(template.channels().count(), 1);
+        assert_eq!(template.side_chain_root().sum, Wei::from(450u64));
+    }
+
+    #[test]
+    fn commit_rejects_bad_signatures() {
+        let parties = Parties::new();
+        let outsider = PrivateKey::from_seed(b"mallory");
+        let mut template = TemplateContract::new(parties.config(1000));
+        let state = ChannelState {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sequence: 1,
+            total_to_receiver: Wei::from(10u64),
+            sensor_data_hash: H256::ZERO,
+        };
+        let digest = state.digest();
+        let forged = CommitEnvelope {
+            state,
+            sender_signature: outsider.sign_prehashed(&digest),
+            receiver_signature: parties.receiver.sign_prehashed(&digest),
+        };
+        let error = template
+            .commit(parties.receiver.eth_address(), &forged, 1)
+            .unwrap_err();
+        assert!(matches!(
+            error,
+            TemplateError::State(StateError::BadSenderSignature)
+        ));
+    }
+
+    #[test]
+    fn overspend_is_detected_across_channels() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        let caller = parties.receiver.eth_address();
+        template
+            .commit(caller, &parties.envelope(1, 1, 700), 1)
+            .unwrap();
+        // Second channel pushing the total over the 1000 deposit.
+        let error = template
+            .commit(caller, &parties.envelope(2, 1, 400), 2)
+            .unwrap_err();
+        assert!(matches!(
+            error,
+            TemplateError::State(StateError::Overspend { .. })
+        ));
+        assert!(template.fraud_detected());
+    }
+
+    #[test]
+    fn multiple_channels_accumulate_in_the_tree() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        let caller = parties.sender.eth_address();
+        template.commit(caller, &parties.envelope(1, 1, 100), 1).unwrap();
+        template.commit(caller, &parties.envelope(2, 1, 200), 2).unwrap();
+        template.commit(caller, &parties.envelope(3, 1, 300), 3).unwrap();
+        assert_eq!(template.total_committed(), Wei::from(600u64));
+        assert_eq!(template.side_chain_root().sum, Wei::from(600u64));
+        assert_eq!(template.channels().count(), 3);
+    }
+
+    #[test]
+    fn exit_challenge_and_finalize_flow() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        let receiver = parties.receiver.eth_address();
+        let sender = parties.sender.eth_address();
+
+        // The sender commits an old, low state and starts the exit.
+        template.commit(sender, &parties.envelope(1, 1, 100), 5).unwrap();
+        let deadline = template.start_exit(sender, 10).unwrap();
+        assert_eq!(deadline, 20);
+        assert!(matches!(template.phase(), TemplatePhase::Exiting { .. }));
+
+        // No new channels during exit.
+        assert!(matches!(
+            template.create_payment_channel(sender),
+            Err(TemplateError::WrongPhase { .. })
+        ));
+
+        // The receiver challenges with the newer state inside the window.
+        template
+            .commit(receiver, &parties.envelope(1, 4, 400), 15)
+            .unwrap();
+
+        // Finalize before the deadline fails.
+        assert!(matches!(
+            template.finalize(18),
+            Err(TemplateError::ChallengePeriodActive { .. })
+        ));
+
+        // After the deadline the receiver gets the challenged amount.
+        let settlement = template.finalize(21).unwrap();
+        assert_eq!(settlement.to_receiver, Wei::from(400u64));
+        assert_eq!(settlement.to_sender, Wei::from(600u64));
+        assert!(!settlement.fraud_detected);
+        assert_eq!(template.phase(), TemplatePhase::Closed);
+
+        // Everything is rejected afterwards.
+        assert!(matches!(
+            template.commit(receiver, &parties.envelope(1, 9, 500), 30),
+            Err(TemplateError::WrongPhase { .. })
+        ));
+        assert!(matches!(
+            template.finalize(40),
+            Err(TemplateError::WrongPhase { .. })
+        ));
+    }
+
+    #[test]
+    fn late_challenge_is_rejected() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(1000));
+        let sender = parties.sender.eth_address();
+        let receiver = parties.receiver.eth_address();
+        template.commit(sender, &parties.envelope(1, 1, 100), 5).unwrap();
+        template.start_exit(sender, 10).unwrap();
+        // Block 25 is past the deadline (20): the challenge no longer counts.
+        let error = template
+            .commit(receiver, &parties.envelope(1, 4, 400), 25)
+            .unwrap_err();
+        assert!(matches!(error, TemplateError::WrongPhase { .. }));
+    }
+
+    #[test]
+    fn fraud_settlement_awards_insurance_to_receiver() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(500));
+        let receiver = parties.receiver.eth_address();
+        template.commit(receiver, &parties.envelope(1, 1, 300), 1).unwrap();
+        // Overspend attempt marks fraud.
+        let _ = template.commit(receiver, &parties.envelope(2, 1, 900), 2);
+        assert!(template.fraud_detected());
+        template.start_exit(receiver, 5).unwrap();
+        let settlement = template.finalize(16).unwrap();
+        assert!(settlement.fraud_detected);
+        assert_eq!(settlement.to_receiver, Wei::from(500u64));
+        assert_eq!(settlement.to_sender, Wei::ZERO);
+    }
+
+    #[test]
+    fn exit_requires_participant_and_active_phase() {
+        let parties = Parties::new();
+        let mut template = TemplateContract::new(parties.config(100));
+        assert!(matches!(
+            template.start_exit(Address::from_low_u64(77), 1),
+            Err(TemplateError::NotAParticipant(_))
+        ));
+        template.start_exit(parties.sender.eth_address(), 1).unwrap();
+        assert!(matches!(
+            template.start_exit(parties.sender.eth_address(), 2),
+            Err(TemplateError::WrongPhase { .. })
+        ));
+    }
+}

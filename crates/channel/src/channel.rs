@@ -1,0 +1,485 @@
+//! The per-node payment-channel state machine.
+
+use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_types::{Address, H256, Wei};
+
+use tinyevm_chain::{ChannelState, CommitEnvelope};
+
+use crate::payment::{PaymentError, SignedPayment};
+
+/// Which side of the channel this node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelRole {
+    /// The paying party (the vehicle).
+    Sender,
+    /// The receiving party (the parking sensor).
+    Receiver,
+}
+
+/// Channel lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelStatus {
+    /// Payments may be exchanged.
+    Open,
+    /// A final state has been produced; no more payments.
+    Closed,
+}
+
+/// Static parameters agreed when the channel is created from the template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// On-chain template address.
+    pub template: Address,
+    /// Channel identifier (template logical-clock tick).
+    pub channel_id: u64,
+    /// The paying party's address.
+    pub sender: Address,
+    /// The receiving party's address.
+    pub receiver: Address,
+    /// Maximum cumulative amount the channel may pay (bounded by the
+    /// template deposit).
+    pub deposit_cap: Wei,
+}
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A payment failed validation.
+    Payment(PaymentError),
+    /// The channel is not open.
+    NotOpen,
+    /// Only the given role may perform this operation.
+    WrongRole(ChannelRole),
+}
+
+impl core::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelError::Payment(error) => write!(f, "invalid payment: {error}"),
+            ChannelError::NotOpen => write!(f, "channel is not open"),
+            ChannelError::WrongRole(role) => write!(f, "operation requires the {role:?} role"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl From<PaymentError> for ChannelError {
+    fn from(error: PaymentError) -> Self {
+        ChannelError::Payment(error)
+    }
+}
+
+/// One endpoint's view of an off-chain payment channel.
+///
+/// Both parties run the same state machine; the [`ChannelRole`] decides who
+/// may create payments and who accepts them. All validation — logical-clock
+/// monotonicity, non-shrinking cumulative amounts, the deposit cap and the
+/// payer's signature — happens here, which is exactly the validation the
+/// paper's security analysis relies on for fraud detection.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_channel::{ChannelConfig, ChannelRole, PaymentChannel};
+/// use tinyevm_crypto::secp256k1::PrivateKey;
+/// use tinyevm_types::{Address, H256, Wei};
+///
+/// let car = PrivateKey::from_seed(b"car");
+/// let lot = PrivateKey::from_seed(b"lot");
+/// let config = ChannelConfig {
+///     template: Address::from_low_u64(1),
+///     channel_id: 1,
+///     sender: car.eth_address(),
+///     receiver: lot.eth_address(),
+///     deposit_cap: Wei::from(1_000u64),
+/// };
+/// let mut sender_side = PaymentChannel::new(config.clone(), ChannelRole::Sender);
+/// let mut receiver_side = PaymentChannel::new(config, ChannelRole::Receiver);
+///
+/// let payment = sender_side
+///     .create_payment(&car, Wei::from(100u64), H256::ZERO)
+///     .unwrap();
+/// receiver_side.accept_payment(&payment).unwrap();
+/// assert_eq!(receiver_side.cumulative(), Wei::from(100u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaymentChannel {
+    config: ChannelConfig,
+    role: ChannelRole,
+    status: ChannelStatus,
+    sequence: u64,
+    cumulative: Wei,
+    last_sensor_hash: H256,
+    payments_seen: u64,
+}
+
+impl PaymentChannel {
+    /// Opens a channel endpoint.
+    pub fn new(config: ChannelConfig, role: ChannelRole) -> Self {
+        PaymentChannel {
+            config,
+            role,
+            status: ChannelStatus::Open,
+            sequence: 0,
+            cumulative: Wei::ZERO,
+            last_sensor_hash: H256::ZERO,
+            payments_seen: 0,
+        }
+    }
+
+    /// The channel parameters.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// This endpoint's role.
+    pub fn role(&self) -> ChannelRole {
+        self.role
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> ChannelStatus {
+        self.status
+    }
+
+    /// Highest sequence number seen or produced.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Cumulative amount owed to the receiver.
+    pub fn cumulative(&self) -> Wei {
+        self.cumulative
+    }
+
+    /// Number of payments created or accepted.
+    pub fn payments_seen(&self) -> u64 {
+        self.payments_seen
+    }
+
+    /// Remaining headroom under the deposit cap.
+    pub fn remaining(&self) -> Wei {
+        self.config.deposit_cap.saturating_sub(self.cumulative)
+    }
+
+    /// Creates the next payment, increasing the cumulative amount by
+    /// `increment` (sender side only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::WrongRole`] on the receiver side,
+    /// [`ChannelError::NotOpen`] after closing, and
+    /// [`ChannelError::Payment`] when the increment would exceed the
+    /// deposit cap.
+    pub fn create_payment(
+        &mut self,
+        payer_key: &PrivateKey,
+        increment: Wei,
+        sensor_data_hash: H256,
+    ) -> Result<SignedPayment, ChannelError> {
+        if self.role != ChannelRole::Sender {
+            return Err(ChannelError::WrongRole(ChannelRole::Sender));
+        }
+        if self.status != ChannelStatus::Open {
+            return Err(ChannelError::NotOpen);
+        }
+        let new_cumulative = self.cumulative.saturating_add(increment);
+        if new_cumulative.amount() > self.config.deposit_cap.amount() {
+            return Err(ChannelError::Payment(PaymentError::ExceedsDeposit {
+                offered: new_cumulative,
+                cap: self.config.deposit_cap,
+            }));
+        }
+        let sequence = self.sequence + 1;
+        let payment = SignedPayment::create(
+            payer_key,
+            self.config.template,
+            self.config.channel_id,
+            sequence,
+            new_cumulative,
+            sensor_data_hash,
+        );
+        self.sequence = sequence;
+        self.cumulative = new_cumulative;
+        self.last_sensor_hash = sensor_data_hash;
+        self.payments_seen += 1;
+        Ok(payment)
+    }
+
+    /// Validates and applies a payment received from the peer (receiver
+    /// side only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Payment`] describing which check failed.
+    pub fn accept_payment(&mut self, payment: &SignedPayment) -> Result<(), ChannelError> {
+        if self.role != ChannelRole::Receiver {
+            return Err(ChannelError::WrongRole(ChannelRole::Receiver));
+        }
+        if self.status != ChannelStatus::Open {
+            return Err(ChannelError::NotOpen);
+        }
+        if payment.template != self.config.template || payment.channel_id != self.config.channel_id
+        {
+            return Err(ChannelError::Payment(PaymentError::WrongChannel));
+        }
+        payment.verify_payer(&self.config.sender)?;
+        if payment.sequence <= self.sequence {
+            return Err(ChannelError::Payment(PaymentError::StaleSequence {
+                current: self.sequence,
+                offered: payment.sequence,
+            }));
+        }
+        if payment.cumulative < self.cumulative {
+            return Err(ChannelError::Payment(PaymentError::ShrinkingAmount {
+                current: self.cumulative,
+                offered: payment.cumulative,
+            }));
+        }
+        if payment.cumulative.amount() > self.config.deposit_cap.amount() {
+            return Err(ChannelError::Payment(PaymentError::ExceedsDeposit {
+                offered: payment.cumulative,
+                cap: self.config.deposit_cap,
+            }));
+        }
+        self.sequence = payment.sequence;
+        self.cumulative = payment.cumulative;
+        self.last_sensor_hash = payment.sensor_data_hash;
+        self.payments_seen += 1;
+        Ok(())
+    }
+
+    /// Closes the channel and produces the final state both parties will
+    /// sign for the on-chain commit.
+    pub fn close(&mut self) -> ChannelState {
+        self.status = ChannelStatus::Closed;
+        ChannelState {
+            template: self.config.template,
+            channel_id: self.config.channel_id,
+            sequence: self.sequence + 1,
+            total_to_receiver: self.cumulative,
+            sensor_data_hash: self.last_sensor_hash,
+        }
+    }
+
+    /// Signs a final state with this endpoint's key; combining both
+    /// parties' signatures yields the [`CommitEnvelope`] that goes on-chain.
+    pub fn sign_state(key: &PrivateKey, state: &ChannelState) -> tinyevm_crypto::secp256k1::Signature {
+        key.sign_prehashed(&state.digest())
+    }
+
+    /// Assembles the dual-signed commit envelope.
+    pub fn envelope(
+        state: ChannelState,
+        sender_signature: tinyevm_crypto::secp256k1::Signature,
+        receiver_signature: tinyevm_crypto::secp256k1::Signature,
+    ) -> CommitEnvelope {
+        CommitEnvelope {
+            state,
+            sender_signature,
+            receiver_signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        car: PrivateKey,
+        lot: PrivateKey,
+        sender: PaymentChannel,
+        receiver: PaymentChannel,
+    }
+
+    fn pair(cap: u64) -> Pair {
+        let car = PrivateKey::from_seed(b"car");
+        let lot = PrivateKey::from_seed(b"lot");
+        let config = ChannelConfig {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sender: car.eth_address(),
+            receiver: lot.eth_address(),
+            deposit_cap: Wei::from(cap),
+        };
+        Pair {
+            sender: PaymentChannel::new(config.clone(), ChannelRole::Sender),
+            receiver: PaymentChannel::new(config, ChannelRole::Receiver),
+            car,
+            lot,
+        }
+    }
+
+    #[test]
+    fn payments_flow_sender_to_receiver() {
+        let mut p = pair(1000);
+        for round in 1..=5u64 {
+            let payment = p
+                .sender
+                .create_payment(&p.car, Wei::from(100u64), H256::from_low_u64(round))
+                .unwrap();
+            assert_eq!(payment.sequence, round);
+            assert_eq!(payment.cumulative, Wei::from(100 * round));
+            p.receiver.accept_payment(&payment).unwrap();
+        }
+        assert_eq!(p.receiver.cumulative(), Wei::from(500u64));
+        assert_eq!(p.receiver.sequence(), 5);
+        assert_eq!(p.receiver.payments_seen(), 5);
+        assert_eq!(p.sender.remaining(), Wei::from(500u64));
+    }
+
+    #[test]
+    fn roles_are_enforced() {
+        let mut p = pair(1000);
+        assert!(matches!(
+            p.receiver.create_payment(&p.lot, Wei::from(1u64), H256::ZERO),
+            Err(ChannelError::WrongRole(ChannelRole::Sender))
+        ));
+        let payment = p
+            .sender
+            .create_payment(&p.car, Wei::from(1u64), H256::ZERO)
+            .unwrap();
+        assert!(matches!(
+            p.sender.accept_payment(&payment),
+            Err(ChannelError::WrongRole(ChannelRole::Receiver))
+        ));
+    }
+
+    #[test]
+    fn deposit_cap_is_enforced_on_both_sides() {
+        let mut p = pair(250);
+        p.sender
+            .create_payment(&p.car, Wei::from(200u64), H256::ZERO)
+            .unwrap();
+        // Sender-side check.
+        assert!(matches!(
+            p.sender.create_payment(&p.car, Wei::from(100u64), H256::ZERO),
+            Err(ChannelError::Payment(PaymentError::ExceedsDeposit { .. }))
+        ));
+        // Receiver-side check against a hand-crafted over-cap payment.
+        let over = SignedPayment::create(
+            &p.car,
+            Address::from_low_u64(0xAA),
+            1,
+            9,
+            Wei::from(400u64),
+            H256::ZERO,
+        );
+        assert!(matches!(
+            p.receiver.accept_payment(&over),
+            Err(ChannelError::Payment(PaymentError::ExceedsDeposit { .. }))
+        ));
+    }
+
+    #[test]
+    fn stale_and_shrinking_payments_are_rejected() {
+        let mut p = pair(1000);
+        let first = p
+            .sender
+            .create_payment(&p.car, Wei::from(100u64), H256::ZERO)
+            .unwrap();
+        let second = p
+            .sender
+            .create_payment(&p.car, Wei::from(100u64), H256::ZERO)
+            .unwrap();
+        p.receiver.accept_payment(&second).unwrap();
+        // Replay of the earlier payment is stale (lower sequence).
+        assert!(matches!(
+            p.receiver.accept_payment(&first),
+            Err(ChannelError::Payment(PaymentError::StaleSequence { .. }))
+        ));
+        // A forged payment with a higher sequence but lower amount shrinks.
+        let shrinking = SignedPayment::create(
+            &p.car,
+            Address::from_low_u64(0xAA),
+            1,
+            10,
+            Wei::from(50u64),
+            H256::ZERO,
+        );
+        assert!(matches!(
+            p.receiver.accept_payment(&shrinking),
+            Err(ChannelError::Payment(PaymentError::ShrinkingAmount { .. }))
+        ));
+    }
+
+    #[test]
+    fn payments_from_the_wrong_key_or_channel_are_rejected() {
+        let mut p = pair(1000);
+        let mallory = PrivateKey::from_seed(b"mallory");
+        let forged = SignedPayment::create(
+            &mallory,
+            Address::from_low_u64(0xAA),
+            1,
+            1,
+            Wei::from(10u64),
+            H256::ZERO,
+        );
+        assert!(matches!(
+            p.receiver.accept_payment(&forged),
+            Err(ChannelError::Payment(PaymentError::BadSignature))
+        ));
+        let wrong_channel = SignedPayment::create(
+            &p.car,
+            Address::from_low_u64(0xAA),
+            2,
+            1,
+            Wei::from(10u64),
+            H256::ZERO,
+        );
+        assert!(matches!(
+            p.receiver.accept_payment(&wrong_channel),
+            Err(ChannelError::Payment(PaymentError::WrongChannel))
+        ));
+    }
+
+    #[test]
+    fn closing_produces_a_committable_envelope() {
+        let mut p = pair(1000);
+        let payment = p
+            .sender
+            .create_payment(&p.car, Wei::from(300u64), H256::from_low_u64(7))
+            .unwrap();
+        p.receiver.accept_payment(&payment).unwrap();
+
+        let state = p.receiver.close();
+        assert_eq!(state.total_to_receiver, Wei::from(300u64));
+        assert_eq!(state.sequence, 2); // close advances the clock once more
+        assert_eq!(p.receiver.status(), ChannelStatus::Closed);
+
+        let envelope = PaymentChannel::envelope(
+            state.clone(),
+            PaymentChannel::sign_state(&p.car, &state),
+            PaymentChannel::sign_state(&p.lot, &state),
+        );
+        assert!(envelope
+            .verify_parties(&p.car.eth_address(), &p.lot.eth_address())
+            .is_ok());
+
+        // No further payments after closing.
+        assert!(matches!(
+            p.receiver.accept_payment(&payment),
+            Err(ChannelError::NotOpen)
+        ));
+        let mut sender = p.sender;
+        sender.close();
+        assert!(matches!(
+            sender.create_payment(&p.car, Wei::from(1u64), H256::ZERO),
+            Err(ChannelError::NotOpen)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let errors = vec![
+            ChannelError::Payment(PaymentError::BadSignature),
+            ChannelError::NotOpen,
+            ChannelError::WrongRole(ChannelRole::Sender),
+        ];
+        for error in errors {
+            assert!(!format!("{error}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Off-chain payment channels for low-power IoT devices — the TinyEVM
+//! protocol layer.
+//!
+//! This crate implements the three-phase flow of the paper's Figure 2 on top
+//! of the other substrates:
+//!
+//! 1. **On-chain smart contract** — a [`TemplateContract`]
+//!    (`tinyevm-chain`) is published with the sender's deposit.
+//! 2. **Off-chain smart contract** — the two devices generate a payment
+//!    channel locally from the template ([`contracts`] holds the actual EVM
+//!    bytecode, including the IoT-opcode sensor read in the constructor),
+//!    then exchange [`SignedPayment`]s ordered by a logical clock, each one
+//!    a stand-alone artifact that could claim money on-chain. Every state
+//!    transition is appended to the node's hash-linked [`SideChainLog`].
+//! 3. **On-chain commit** — either party closes the channel, both sign the
+//!    final [`ChannelState`](tinyevm_chain::ChannelState), and the commit /
+//!    challenge / exit machinery of the chain settles it.
+//!
+//! [`ProtocolDriver`] wires two simulated devices, a radio link and the
+//! chain together and runs the whole flow, producing the timing and energy
+//! measurements behind the paper's Table IV and Figure 5 and the headline
+//! "584 ms per off-chain payment".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod contracts;
+pub mod payment;
+pub mod protocol;
+pub mod sidechain;
+
+pub use channel::{ChannelConfig, ChannelError, ChannelRole, ChannelStatus, PaymentChannel};
+pub use payment::{PaymentError, SignedPayment};
+pub use protocol::{OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport};
+pub use sidechain::{SideChainEntry, SideChainLog};
+
+pub use tinyevm_chain::TemplateContract;

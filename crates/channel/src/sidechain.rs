@@ -1,0 +1,287 @@
+//! The node-local side-chain log.
+//!
+//! Every execution of the off-chain payment channel "extends the local
+//! (side-chain) log of the node, which links each state with the previous"
+//! (paper Section IV-D). The log is anchored at the root published in the
+//! on-chain template, so a verifier can replay it and confirm that no
+//! transaction was omitted and that the order of logical-clock values is
+//! consistent. During a dispute, this log is the evidence a node submits.
+
+use tinyevm_crypto::keccak256_h256;
+use tinyevm_types::{H256, Wei};
+
+/// One entry of the log: a committed off-chain state linked to its
+/// predecessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideChainEntry {
+    /// Position in the log (0-based).
+    pub index: u64,
+    /// Channel the state belongs to.
+    pub channel_id: u64,
+    /// Sequence number of the state.
+    pub sequence: u64,
+    /// Cumulative amount owed to the receiver at this state.
+    pub cumulative: Wei,
+    /// Digest of the state (payment digest or closing-state digest).
+    pub state_digest: H256,
+    /// Hash of the previous entry (anchor for the first entry).
+    pub previous_hash: H256,
+    /// This entry's hash.
+    pub entry_hash: H256,
+}
+
+impl SideChainEntry {
+    fn compute_hash(
+        index: u64,
+        channel_id: u64,
+        sequence: u64,
+        cumulative: &Wei,
+        state_digest: &H256,
+        previous_hash: &H256,
+    ) -> H256 {
+        let mut data = Vec::with_capacity(8 * 3 + 32 * 3);
+        data.extend_from_slice(&index.to_be_bytes());
+        data.extend_from_slice(&channel_id.to_be_bytes());
+        data.extend_from_slice(&sequence.to_be_bytes());
+        data.extend_from_slice(&cumulative.amount().to_be_bytes());
+        data.extend_from_slice(state_digest.as_bytes());
+        data.extend_from_slice(previous_hash.as_bytes());
+        keccak256_h256(&data)
+    }
+}
+
+/// A hash-linked, append-only log of off-chain state transitions.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_channel::SideChainLog;
+/// use tinyevm_types::{H256, Wei};
+///
+/// let mut log = SideChainLog::new(H256::from_low_u64(0xabc));
+/// log.append(1, 1, Wei::from(100u64), H256::from_low_u64(1));
+/// log.append(1, 2, Wei::from(200u64), H256::from_low_u64(2));
+/// assert!(log.verify());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideChainLog {
+    anchor: H256,
+    entries: Vec<SideChainEntry>,
+}
+
+impl SideChainLog {
+    /// Creates an empty log anchored at the on-chain root `anchor`.
+    pub fn new(anchor: H256) -> Self {
+        SideChainLog {
+            anchor,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The anchor this log hangs off.
+    pub fn anchor(&self) -> H256 {
+        self.anchor
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, oldest first.
+    pub fn entries(&self) -> &[SideChainEntry] {
+        &self.entries
+    }
+
+    /// Hash of the latest entry (or the anchor when empty) — the value a
+    /// node would publish when reporting its local log.
+    pub fn head(&self) -> H256 {
+        self.entries
+            .last()
+            .map(|e| e.entry_hash)
+            .unwrap_or(self.anchor)
+    }
+
+    /// Appends a state transition and returns the new entry.
+    pub fn append(
+        &mut self,
+        channel_id: u64,
+        sequence: u64,
+        cumulative: Wei,
+        state_digest: H256,
+    ) -> &SideChainEntry {
+        let index = self.entries.len() as u64;
+        let previous_hash = self.head();
+        let entry_hash = SideChainEntry::compute_hash(
+            index,
+            channel_id,
+            sequence,
+            &cumulative,
+            &state_digest,
+            &previous_hash,
+        );
+        self.entries.push(SideChainEntry {
+            index,
+            channel_id,
+            sequence,
+            cumulative,
+            state_digest,
+            previous_hash,
+            entry_hash,
+        });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// Verifies the whole chain: hashes link correctly and per-channel
+    /// sequence numbers are strictly increasing (no omitted or reordered
+    /// transitions).
+    pub fn verify(&self) -> bool {
+        let mut previous = self.anchor;
+        let mut last_sequence_per_channel = std::collections::BTreeMap::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.index != i as u64 || entry.previous_hash != previous {
+                return false;
+            }
+            let recomputed = SideChainEntry::compute_hash(
+                entry.index,
+                entry.channel_id,
+                entry.sequence,
+                &entry.cumulative,
+                &entry.state_digest,
+                &entry.previous_hash,
+            );
+            if recomputed != entry.entry_hash {
+                return false;
+            }
+            let last = last_sequence_per_channel
+                .entry(entry.channel_id)
+                .or_insert(0u64);
+            if entry.sequence <= *last {
+                return false;
+            }
+            *last = entry.sequence;
+            previous = entry.entry_hash;
+        }
+        true
+    }
+
+    /// Highest sequence recorded for a channel.
+    pub fn latest_sequence(&self, channel_id: u64) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.channel_id == channel_id)
+            .map(|e| e.sequence)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latest cumulative amount recorded for a channel.
+    pub fn latest_cumulative(&self, channel_id: u64) -> Wei {
+        self.entries
+            .iter()
+            .filter(|e| e.channel_id == channel_id)
+            .max_by_key(|e| e.sequence)
+            .map(|e| e.cumulative)
+            .unwrap_or(Wei::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(entries: usize) -> SideChainLog {
+        let mut log = SideChainLog::new(H256::from_low_u64(anchor_placeholder()));
+        for i in 1..=entries as u64 {
+            log.append(1, i, Wei::from(i * 10), H256::from_low_u64(i));
+        }
+        log
+    }
+
+    const fn anchor_placeholder() -> u64 {
+        0xabcd
+    }
+
+    #[test]
+    fn empty_log_head_is_the_anchor() {
+        let log = SideChainLog::new(H256::from_low_u64(7));
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.head(), H256::from_low_u64(7));
+        assert_eq!(log.anchor(), H256::from_low_u64(7));
+        assert!(log.verify());
+        assert_eq!(log.latest_sequence(1), 0);
+        assert_eq!(log.latest_cumulative(1), Wei::ZERO);
+    }
+
+    #[test]
+    fn entries_link_hashes() {
+        let log = log_with(5);
+        assert_eq!(log.len(), 5);
+        assert!(log.verify());
+        let entries = log.entries();
+        for pair in entries.windows(2) {
+            assert_eq!(pair[1].previous_hash, pair[0].entry_hash);
+        }
+        assert_eq!(log.head(), entries[4].entry_hash);
+        assert_eq!(log.latest_sequence(1), 5);
+        assert_eq!(log.latest_cumulative(1), Wei::from(50u64));
+    }
+
+    #[test]
+    fn tampering_with_any_field_breaks_verification() {
+        let base = log_with(4);
+        assert!(base.verify());
+
+        let mut tampered = base.clone();
+        tampered.entries[2].cumulative = Wei::from(9_999u64);
+        assert!(!tampered.verify());
+
+        let mut tampered = base.clone();
+        tampered.entries[1].sequence = 99;
+        assert!(!tampered.verify());
+
+        let mut tampered = base.clone();
+        tampered.entries[0].previous_hash = H256::from_low_u64(0xbad);
+        assert!(!tampered.verify());
+
+        let mut reordered = base.clone();
+        reordered.entries.swap(1, 2);
+        assert!(!reordered.verify());
+
+        let mut truncated_middle = base.clone();
+        truncated_middle.entries.remove(1);
+        assert!(!truncated_middle.verify());
+    }
+
+    #[test]
+    fn sequence_must_increase_per_channel() {
+        let mut log = SideChainLog::new(H256::ZERO);
+        log.append(1, 1, Wei::from(10u64), H256::from_low_u64(1));
+        log.append(2, 1, Wei::from(5u64), H256::from_low_u64(2)); // other channel, fine
+        log.append(1, 2, Wei::from(20u64), H256::from_low_u64(3));
+        assert!(log.verify());
+        // Force a replayed sequence into the structure.
+        let digest = H256::from_low_u64(4);
+        log.append(1, 2, Wei::from(30u64), digest);
+        assert!(!log.verify());
+    }
+
+    #[test]
+    fn per_channel_queries() {
+        let mut log = SideChainLog::new(H256::ZERO);
+        log.append(1, 1, Wei::from(10u64), H256::from_low_u64(1));
+        log.append(2, 1, Wei::from(99u64), H256::from_low_u64(2));
+        log.append(1, 3, Wei::from(40u64), H256::from_low_u64(3));
+        assert_eq!(log.latest_sequence(1), 3);
+        assert_eq!(log.latest_cumulative(1), Wei::from(40u64));
+        assert_eq!(log.latest_sequence(2), 1);
+        assert_eq!(log.latest_cumulative(2), Wei::from(99u64));
+        assert_eq!(log.latest_sequence(3), 0);
+    }
+}

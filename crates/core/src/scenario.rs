@@ -1,0 +1,154 @@
+//! The smart-parking scenario from the paper's introduction, packaged as a
+//! single reusable workload.
+//!
+//! A vehicle approaches a parking spot; the two devices agree on a price
+//! (informed by their sensors), open an off-chain payment channel from the
+//! on-chain template, exchange one signed micro-payment per parking
+//! interval, and finally close the channel so the parking operator can
+//! claim the total on-chain. [`ParkingScenario`] drives that sequence and
+//! collects the measurements the examples and benchmarks report.
+
+use std::time::Duration;
+
+use tinyevm_channel::{ProtocolDriver, ProtocolError, RoundReport};
+use tinyevm_device::{EnergyReport, PowerState, TimelineEntry};
+use tinyevm_types::Wei;
+
+/// Configuration of one parking session.
+#[derive(Debug, Clone)]
+pub struct ParkingScenario {
+    /// Deposit the vehicle locks in the on-chain template.
+    pub deposit: Wei,
+    /// Price of one parking interval.
+    pub price_per_interval: Wei,
+    /// Number of paid intervals (hours, in the paper's narrative).
+    pub intervals: usize,
+}
+
+impl Default for ParkingScenario {
+    fn default() -> Self {
+        ParkingScenario {
+            deposit: Wei::from_eth_milli(100),
+            price_per_interval: Wei::from_eth_milli(5),
+            intervals: 4,
+        }
+    }
+}
+
+/// Everything a parking session produced.
+#[derive(Debug, Clone)]
+pub struct ParkingSummary {
+    /// Per-payment measurements.
+    pub rounds: Vec<RoundReport>,
+    /// Total paid to the parking operator.
+    pub total_paid: Wei,
+    /// Deposit refunded to the vehicle.
+    pub refunded: Wei,
+    /// Number of on-chain transactions the session needed.
+    pub on_chain_transactions: usize,
+    /// The vehicle's energy report over the whole session.
+    pub vehicle_energy: EnergyReport,
+    /// The vehicle's power-state timeline over the whole session.
+    pub vehicle_timeline: Vec<TimelineEntry>,
+}
+
+impl ParkingSummary {
+    /// Mean end-to-end payment latency.
+    pub fn mean_payment_latency(&self) -> Duration {
+        if self.rounds.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.rounds.iter().map(|r| r.end_to_end_latency).sum();
+        total / self.rounds.len() as u32
+    }
+
+    /// Energy per payment in millijoules (total vehicle energy divided by
+    /// the number of payments).
+    pub fn energy_per_payment_mj(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.vehicle_energy.total_energy_mj() / self.rounds.len() as f64
+    }
+
+    /// Fraction of the vehicle's energy spent in the cryptographic engine —
+    /// the paper's headline observation that crypto dominates (about 65%).
+    pub fn crypto_energy_share(&self) -> f64 {
+        self.vehicle_energy.share_of(PowerState::CryptoEngine)
+    }
+}
+
+impl ParkingScenario {
+    /// Runs the full scenario and returns its measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any protocol error (insufficient deposit, link failure,
+    /// signature mismatch).
+    pub fn run(&self) -> Result<ParkingSummary, ProtocolError> {
+        let mut driver = ProtocolDriver::smart_parking(self.deposit);
+        driver.publish_template()?;
+        driver.open_channel()?;
+        let mut rounds = Vec::with_capacity(self.intervals);
+        for _ in 0..self.intervals {
+            rounds.push(driver.pay(self.price_per_interval)?);
+        }
+        let vehicle_energy = driver.sender_energy();
+        let vehicle_timeline = driver.sender_timeline().to_vec();
+        let settlement = driver.close_and_settle()?;
+        Ok(ParkingSummary {
+            rounds,
+            total_paid: settlement.settlement.to_receiver,
+            refunded: settlement.settlement.to_sender,
+            on_chain_transactions: settlement.on_chain_transactions,
+            vehicle_energy,
+            vehicle_timeline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_settles_correctly() {
+        let scenario = ParkingScenario::default();
+        let summary = scenario.run().unwrap();
+        assert_eq!(summary.rounds.len(), 4);
+        assert_eq!(summary.total_paid, Wei::from_eth_milli(20));
+        assert_eq!(summary.refunded, Wei::from_eth_milli(80));
+        // Off-chain scaling: many payments, a handful of on-chain txs.
+        assert!(summary.on_chain_transactions <= 6);
+        // Payment latency is sub-two-seconds and crypto-dominated.
+        assert!(summary.mean_payment_latency() > Duration::from_millis(300));
+        assert!(summary.mean_payment_latency() < Duration::from_secs(2));
+        assert!(summary.crypto_energy_share() > 0.3);
+        assert!(summary.energy_per_payment_mj() > 1.0);
+        assert!(!summary.vehicle_timeline.is_empty());
+    }
+
+    #[test]
+    fn zero_interval_scenario_is_degenerate_but_consistent() {
+        let scenario = ParkingScenario {
+            intervals: 0,
+            ..ParkingScenario::default()
+        };
+        let summary = scenario.run().unwrap();
+        assert!(summary.rounds.is_empty());
+        assert_eq!(summary.total_paid, Wei::ZERO);
+        assert_eq!(summary.refunded, Wei::from_eth_milli(100));
+        assert_eq!(summary.mean_payment_latency(), Duration::ZERO);
+        assert_eq!(summary.energy_per_payment_mj(), 0.0);
+    }
+
+    #[test]
+    fn overspending_scenario_fails_cleanly() {
+        let scenario = ParkingScenario {
+            deposit: Wei::from(10u64),
+            price_per_interval: Wei::from(8u64),
+            intervals: 3,
+        };
+        assert!(scenario.run().is_err());
+    }
+}

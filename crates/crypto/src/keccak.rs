@@ -1,0 +1,253 @@
+//! Keccak-256 — the hash function of the Ethereum Virtual Machine.
+//!
+//! The paper notes that the CC2538's hardware engine does not support
+//! Keccak, so TinyEVM ships a software implementation (about 5 ms per hash on
+//! the 32 MHz MCU, Table V). This is the equivalent software implementation
+//! for the simulator: the original Keccak-f\[1600\] permutation with rate
+//! 1088 and the pre-NIST `0x01` domain padding that Ethereum uses.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Sponge rate in bytes for the 256-bit variant.
+const RATE: usize = 136;
+
+const ROUND_CONSTANTS: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+const ROTATION: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Incremental Keccak-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_crypto::Keccak256;
+///
+/// let mut hasher = Keccak256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), tinyevm_crypto::keccak256(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; RATE],
+    buffer_len: usize,
+}
+
+impl Keccak256 {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0u64; 5]; 5],
+            buffer: [0u8; RATE],
+            buffer_len: 0,
+        }
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (RATE - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == RATE {
+                let block = self.buffer;
+                self.absorb_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        // Pad: Keccak (pre-NIST) domain byte 0x01, final bit 0x80.
+        let mut block = [0u8; RATE];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        block[self.buffer_len] = 0x01;
+        block[RATE - 1] |= 0x80;
+        self.absorb_block(&block);
+
+        let mut digest = [0u8; DIGEST_LEN];
+        'outer: for y in 0..5 {
+            for x in 0..5 {
+                let index = (y * 5 + x) * 8;
+                if index >= DIGEST_LEN {
+                    break 'outer;
+                }
+                digest[index..index + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+            }
+        }
+        digest
+    }
+
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
+        for i in 0..RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&block[i * 8..(i + 1) * 8]);
+            let x = i % 5;
+            let y = i / 5;
+            self.state[x][y] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+    }
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot Keccak-256 of `data`.
+///
+/// # Example
+///
+/// ```
+/// let empty = tinyevm_crypto::keccak256(b"");
+/// assert_eq!(empty[0], 0xc5);
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut hasher = Keccak256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// The Keccak-f\[1600\] permutation, 24 rounds.
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for &rc in ROUND_CONSTANTS.iter() {
+        // Theta
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] ^= d[x];
+            }
+        }
+
+        // Rho and Pi
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTATION[x][y]);
+            }
+        }
+
+        // Chi
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+
+        // Iota
+        state[0][0] ^= rc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyevm_types::hex;
+
+    fn hex_digest(data: &[u8]) -> String {
+        hex::encode(&keccak256(data))
+    }
+
+    #[test]
+    fn empty_input_matches_known_vector() {
+        assert_eq!(
+            hex_digest(b""),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_matches_known_vector() {
+        assert_eq!(
+            hex_digest(b"abc"),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn ethereum_function_selector_vector() {
+        // keccak256("transfer(address,uint256)") starts with a9059cbb —
+        // the best-known ERC-20 selector, a handy external vector.
+        let digest = hex_digest(b"transfer(address,uint256)");
+        assert!(digest.starts_with("a9059cbb"));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let one_shot = keccak256(&data);
+        for chunk_size in [1usize, 7, 64, 135, 136, 137, 500] {
+            let mut hasher = Keccak256::new();
+            for chunk in data.chunks(chunk_size) {
+                hasher.update(chunk);
+            }
+            assert_eq!(hasher.finalize(), one_shot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Inputs around the 136-byte rate exercise the padding paths.
+        for len in [135usize, 136, 137, 271, 272, 273] {
+            let data = vec![0x5au8; len];
+            let d1 = keccak256(&data);
+            let d2 = keccak256(&data);
+            assert_eq!(d1, d2);
+            assert_ne!(d1, keccak256(&vec![0x5au8; len + 1]));
+        }
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(keccak256(b"a"), keccak256(b"b"));
+        assert_ne!(keccak256(b""), keccak256(b"\x00"));
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(Keccak256::default().finalize(), keccak256(b""));
+    }
+}

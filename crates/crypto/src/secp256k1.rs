@@ -1,0 +1,1027 @@
+//! secp256k1 elliptic-curve arithmetic and ECDSA.
+//!
+//! Signed off-chain payments are the trust anchor of the TinyEVM protocol:
+//! each payment is a stand-alone artifact that can later claim money from
+//! the main chain, so it must carry an Ethereum-compatible ECDSA signature.
+//! The CC2538 produces these with its hardware crypto engine (≈350 ms per
+//! signature, Table V); this module is the functional equivalent in portable
+//! Rust: prime-field arithmetic, Jacobian point arithmetic, deterministic
+//! (RFC-6979-style) signing, verification, and public-key recovery.
+//!
+//! The implementation favours clarity over constant-time guarantees — it is
+//! a simulator substrate, not a hardened wallet library — but it is a full,
+//! correct implementation of the curve, not a mock.
+
+use crate::{hmac_sha256, keccak256, sha256};
+use tinyevm_types::{Address, H256, U256, U512};
+
+/// The field prime `p = 2^256 - 2^32 - 977`.
+pub const FIELD_PRIME: U256 = U256::from_limbs([
+    0xFFFF_FFFE_FFFF_FC2F,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+]);
+
+/// The group order `n`.
+pub const CURVE_ORDER: U256 = U256::from_limbs([
+    0xBFD2_5E8C_D036_4141,
+    0xBAAE_DCE6_AF48_A03B,
+    0xFFFF_FFFF_FFFF_FFFE,
+    0xFFFF_FFFF_FFFF_FFFF,
+]);
+
+/// `2^32 + 977`, the small constant used for fast reduction modulo `p`.
+const REDUCTION_CONSTANT: u64 = 0x1_0000_03D1;
+
+/// x-coordinate of the generator point G.
+const GENERATOR_X: U256 = U256::from_limbs([
+    0x59F2_815B_16F8_1798,
+    0x029B_FCDB_2DCE_28D9,
+    0x55A0_6295_CE87_0B07,
+    0x79BE_667E_F9DC_BBAC,
+]);
+
+/// y-coordinate of the generator point G.
+const GENERATOR_Y: U256 = U256::from_limbs([
+    0x9C47_D08F_FB10_D4B8,
+    0xFD17_B448_A685_5419,
+    0x5DA4_FBFC_0E11_08A8,
+    0x483A_DA77_26A3_C465,
+]);
+
+/// Errors returned by signing, verification and recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A private key scalar was zero or not less than the curve order.
+    InvalidPrivateKey,
+    /// A public key was not a valid point on the curve.
+    InvalidPublicKey,
+    /// A signature component was out of range or recovery failed.
+    InvalidSignature,
+    /// The recovery id was not 0 or 1.
+    InvalidRecoveryId(u8),
+}
+
+impl core::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CryptoError::InvalidPrivateKey => write!(f, "invalid private key scalar"),
+            CryptoError::InvalidPublicKey => write!(f, "point is not on the secp256k1 curve"),
+            CryptoError::InvalidSignature => write!(f, "signature components out of range"),
+            CryptoError::InvalidRecoveryId(v) => write!(f, "invalid recovery id {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+// ---------------------------------------------------------------------------
+// Field arithmetic modulo p
+// ---------------------------------------------------------------------------
+
+/// An element of the secp256k1 base field GF(p).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldElement(U256);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement(U256::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement(U256::ONE);
+
+    /// Reduces an arbitrary 256-bit value into the field.
+    pub fn new(value: U256) -> Self {
+        if value >= FIELD_PRIME {
+            FieldElement(value.wrapping_sub(FIELD_PRIME))
+        } else {
+            FieldElement(value)
+        }
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` if the canonical representative is odd.
+    pub fn is_odd(&self) -> bool {
+        self.0.bit(0)
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: FieldElement) -> FieldElement {
+        let (sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry || sum >= FIELD_PRIME {
+            FieldElement(sum.wrapping_sub(FIELD_PRIME))
+        } else {
+            FieldElement(sum)
+        }
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: FieldElement) -> FieldElement {
+        if self.0 >= rhs.0 {
+            FieldElement(self.0.wrapping_sub(rhs.0))
+        } else {
+            FieldElement(self.0.wrapping_add(FIELD_PRIME).wrapping_sub(rhs.0))
+        }
+    }
+
+    /// Field negation.
+    pub fn negate(self) -> FieldElement {
+        if self.is_zero() {
+            self
+        } else {
+            FieldElement(FIELD_PRIME.wrapping_sub(self.0))
+        }
+    }
+
+    /// Field multiplication using the fast reduction
+    /// `2^256 ≡ 2^32 + 977 (mod p)`.
+    pub fn mul(self, rhs: FieldElement) -> FieldElement {
+        let product = self.0.full_mul(rhs.0);
+        FieldElement(reduce_wide(product))
+    }
+
+    /// Field squaring.
+    pub fn square(self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on zero, which has no inverse; callers guard against
+    /// it (point arithmetic never inverts zero denominators).
+    pub fn invert(self) -> FieldElement {
+        assert!(!self.is_zero(), "attempted to invert zero field element");
+        self.pow(FIELD_PRIME.wrapping_sub(U256::from(2u64)))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, exponent: U256) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        let mut base = self;
+        let bits = exponent.bits();
+        for i in 0..bits {
+            if exponent.bit(i as usize) {
+                result = result.mul(base);
+            }
+            base = base.square();
+        }
+        result
+    }
+
+    /// Square root for `p ≡ 3 (mod 4)`: `a^((p+1)/4)`.
+    ///
+    /// Returns `None` if the element is not a quadratic residue.
+    pub fn sqrt(self) -> Option<FieldElement> {
+        // (p + 1) / 4
+        let exp = FIELD_PRIME.wrapping_add(U256::ONE).shr(2);
+        let candidate = self.pow(exp);
+        if candidate.square() == self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Reduces a 512-bit product modulo the field prime.
+fn reduce_wide(product: U512) -> U256 {
+    let (lo, hi) = product.split();
+    let c = U256::from(REDUCTION_CONSTANT);
+
+    // x ≡ lo + hi * C (mod p)
+    let t = hi.full_mul(c);
+    let (t_lo, t_hi) = t.split();
+    let (sum1, carry1) = lo.overflowing_add(t_lo);
+    // Anything that overflowed 2^256 folds back in as another multiple of C.
+    let fold = t_hi.wrapping_add(U256::from(carry1 as u64));
+    let fold_c = fold.wrapping_mul(c); // fold < 2^35, so this cannot wrap.
+    let (sum2, carry2) = sum1.overflowing_add(fold_c);
+    let mut result = sum2;
+    if carry2 {
+        // One more fold of 2^256 ≡ C.
+        result = result.wrapping_add(c);
+    }
+    while result >= FIELD_PRIME {
+        result = result.wrapping_sub(FIELD_PRIME);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic modulo n
+// ---------------------------------------------------------------------------
+
+/// A scalar modulo the curve order `n` (private keys, nonces, signature
+/// components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// The one scalar.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// Reduces an arbitrary 256-bit value modulo `n`.
+    pub fn new(value: U256) -> Self {
+        Scalar(value.rem(CURVE_ORDER))
+    }
+
+    /// Builds a scalar from 32 big-endian bytes, reducing modulo `n`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        Scalar::new(U256::from_be_bytes(*bytes))
+    }
+
+    /// The canonical representative in `[0, n)`.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Scalar addition modulo `n`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(self.0.add_mod(rhs.0, CURVE_ORDER))
+    }
+
+    /// Scalar multiplication modulo `n`.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(self.0.mul_mod(rhs.0, CURVE_ORDER))
+    }
+
+    /// Scalar negation modulo `n`.
+    pub fn negate(self) -> Scalar {
+        if self.is_zero() {
+            self
+        } else {
+            Scalar(CURVE_ORDER.wrapping_sub(self.0))
+        }
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on zero.
+    pub fn invert(self) -> Scalar {
+        assert!(!self.is_zero(), "attempted to invert zero scalar");
+        Scalar(self.0.pow_mod(CURVE_ORDER.wrapping_sub(U256::from(2u64)), CURVE_ORDER))
+    }
+
+    /// Returns `true` when the scalar is greater than `n / 2` — used for the
+    /// Ethereum low-s signature normalization.
+    pub fn is_high(&self) -> bool {
+        self.0 > CURVE_ORDER.shr(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Curve points
+// ---------------------------------------------------------------------------
+
+/// A point on the secp256k1 curve in affine coordinates, or the point at
+/// infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// x-coordinate; meaningless when `infinity` is true.
+    pub x: FieldElement,
+    /// y-coordinate; meaningless when `infinity` is true.
+    pub y: FieldElement,
+    /// Marker for the group identity.
+    pub infinity: bool,
+}
+
+impl Point {
+    /// The group identity (point at infinity).
+    pub const INFINITY: Point = Point {
+        x: FieldElement::ZERO,
+        y: FieldElement::ZERO,
+        infinity: true,
+    };
+
+    /// The standard generator point G.
+    pub fn generator() -> Point {
+        Point {
+            x: FieldElement(GENERATOR_X),
+            y: FieldElement(GENERATOR_Y),
+            infinity: false,
+        }
+    }
+
+    /// Builds an affine point, checking the curve equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] if `(x, y)` does not satisfy
+    /// `y² = x³ + 7`.
+    pub fn from_affine(x: U256, y: U256) -> Result<Point, CryptoError> {
+        let point = Point {
+            x: FieldElement::new(x),
+            y: FieldElement::new(y),
+            infinity: false,
+        };
+        if point.is_on_curve() {
+            Ok(point)
+        } else {
+            Err(CryptoError::InvalidPublicKey)
+        }
+    }
+
+    /// Reconstructs a point from an x-coordinate and the parity of y
+    /// (`odd = true` means the odd root); used by public-key recovery.
+    pub fn from_x(x: U256, odd: bool) -> Result<Point, CryptoError> {
+        let x = FieldElement::new(x);
+        // y² = x³ + 7
+        let rhs = x.square().mul(x).add(FieldElement::new(U256::from(7u64)));
+        let mut y = rhs.sqrt().ok_or(CryptoError::InvalidSignature)?;
+        if y.is_odd() != odd {
+            y = y.negate();
+        }
+        Ok(Point {
+            x,
+            y,
+            infinity: false,
+        })
+    }
+
+    /// Checks the curve equation `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let lhs = self.y.square();
+        let rhs = self
+            .x
+            .square()
+            .mul(self.x)
+            .add(FieldElement::new(U256::from(7u64)));
+        lhs == rhs
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        if self.infinity || self.y.is_zero() {
+            return Point::INFINITY;
+        }
+        // lambda = 3x² / 2y
+        let three = FieldElement::new(U256::from(3u64));
+        let two = FieldElement::new(U256::from(2u64));
+        let numerator = three.mul(self.x.square());
+        let denominator = two.mul(self.y).invert();
+        let lambda = numerator.mul(denominator);
+        let x3 = lambda.square().sub(self.x).sub(self.x);
+        let y3 = lambda.mul(self.x.sub(x3)).sub(self.y);
+        Point {
+            x: x3,
+            y: y3,
+            infinity: false,
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.infinity {
+            return *other;
+        }
+        if other.infinity {
+            return *self;
+        }
+        if self.x == other.x {
+            if self.y == other.y {
+                return self.double();
+            }
+            return Point::INFINITY;
+        }
+        let lambda = other.y.sub(self.y).mul(other.x.sub(self.x).invert());
+        let x3 = lambda.square().sub(self.x).sub(other.x);
+        let y3 = lambda.mul(self.x.sub(x3)).sub(self.y);
+        Point {
+            x: x3,
+            y: y3,
+            infinity: false,
+        }
+    }
+
+    /// Point negation (mirror over the x-axis).
+    pub fn negate(&self) -> Point {
+        if self.infinity {
+            return *self;
+        }
+        Point {
+            x: self.x,
+            y: self.y.negate(),
+            infinity: false,
+        }
+    }
+
+    /// Scalar multiplication by double-and-add.
+    pub fn scalar_mul(&self, scalar: Scalar) -> Point {
+        let k = scalar.to_u256();
+        if k.is_zero() || self.infinity {
+            return Point::INFINITY;
+        }
+        let mut result = Point::INFINITY;
+        let mut addend = *self;
+        let bits = k.bits();
+        for i in 0..bits {
+            if k.bit(i as usize) {
+                result = result.add(&addend);
+            }
+            addend = addend.double();
+        }
+        result
+    }
+
+    /// Uncompressed SEC1 encoding without the `0x04` prefix (64 bytes:
+    /// x ‖ y), the form Ethereum hashes to derive addresses.
+    pub fn to_uncompressed(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.x.to_u256().to_be_bytes());
+        out[32..].copy_from_slice(&self.y.to_u256().to_be_bytes());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys and signatures
+// ---------------------------------------------------------------------------
+
+/// A secp256k1 private key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey(Scalar);
+
+impl PrivateKey {
+    /// Builds a private key from a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPrivateKey`] for the zero scalar.
+    pub fn from_scalar(scalar: Scalar) -> Result<Self, CryptoError> {
+        if scalar.is_zero() {
+            return Err(CryptoError::InvalidPrivateKey);
+        }
+        Ok(PrivateKey(scalar))
+    }
+
+    /// Builds a private key from 32 big-endian bytes (reduced modulo `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPrivateKey`] if the reduced scalar is
+    /// zero.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, CryptoError> {
+        Self::from_scalar(Scalar::from_bytes(bytes))
+    }
+
+    /// Derives a private key deterministically from an arbitrary seed by
+    /// hashing it with SHA-256 — handy for tests, examples and simulations
+    /// where reproducible identities matter.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut digest = sha256(seed);
+        loop {
+            let scalar = Scalar::from_bytes(&digest);
+            if !scalar.is_zero() {
+                return PrivateKey(scalar);
+            }
+            digest = sha256(&digest);
+        }
+    }
+
+    /// Generates a random private key from the provided entropy source.
+    pub fn random<R: rand::RngCore>(rng: &mut R) -> Self {
+        loop {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            if let Ok(key) = Self::from_bytes(&bytes) {
+                return key;
+            }
+        }
+    }
+
+    /// The 32-byte big-endian scalar.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_u256().to_be_bytes()
+    }
+
+    /// The corresponding public key `d·G`.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(Point::generator().scalar_mul(self.0))
+    }
+
+    /// Signs a 32-byte message digest, producing a recoverable signature.
+    ///
+    /// The nonce is derived deterministically from the key and digest with
+    /// HMAC-SHA-256 (RFC-6979 style), so no RNG is needed at signing time —
+    /// exactly the property a constrained IoT device wants.
+    pub fn sign_prehashed(&self, digest: &[u8; 32]) -> Signature {
+        let z = Scalar::from_bytes(digest);
+        let mut counter: u32 = 0;
+        loop {
+            let k = derive_nonce(&self.to_bytes(), digest, counter);
+            counter += 1;
+            if k.is_zero() {
+                continue;
+            }
+            let r_point = Point::generator().scalar_mul(k);
+            if r_point.infinity {
+                continue;
+            }
+            let r = Scalar::new(r_point.x.to_u256());
+            if r.is_zero() {
+                continue;
+            }
+            // s = k^-1 (z + r d) mod n
+            let s = k.invert().mul(z.add(r.mul(self.0)));
+            if s.is_zero() {
+                continue;
+            }
+            let mut recovery_id = u8::from(r_point.y.is_odd());
+            let mut s_final = s;
+            if s.is_high() {
+                // Ethereum requires the low-s form; flipping s mirrors R over
+                // the x-axis, so the recovery id flips too.
+                s_final = s.negate();
+                recovery_id ^= 1;
+            }
+            return Signature {
+                r: r.to_u256(),
+                s: s_final.to_u256(),
+                recovery_id,
+            };
+        }
+    }
+
+    /// Signs an arbitrary message by Keccak-256 hashing it first (the
+    /// Ethereum convention).
+    pub fn sign_message(&self, message: &[u8]) -> Signature {
+        self.sign_prehashed(&keccak256(message))
+    }
+
+    /// The Ethereum-style address of this key's public key.
+    pub fn eth_address(&self) -> Address {
+        self.public_key().eth_address()
+    }
+}
+
+impl core::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the scalar itself.
+        write!(f, "PrivateKey(address={})", self.eth_address())
+    }
+}
+
+fn derive_nonce(key: &[u8; 32], digest: &[u8; 32], counter: u32) -> Scalar {
+    let mut message = Vec::with_capacity(68);
+    message.extend_from_slice(digest);
+    message.extend_from_slice(&counter.to_be_bytes());
+    Scalar::from_bytes(&hmac_sha256(key, &message))
+}
+
+/// A secp256k1 public key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(Point);
+
+impl PublicKey {
+    /// Wraps a curve point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] for the point at infinity or
+    /// a point off the curve.
+    pub fn from_point(point: Point) -> Result<Self, CryptoError> {
+        if point.infinity || !point.is_on_curve() {
+            return Err(CryptoError::InvalidPublicKey);
+        }
+        Ok(PublicKey(point))
+    }
+
+    /// The underlying curve point.
+    pub fn point(&self) -> &Point {
+        &self.0
+    }
+
+    /// Uncompressed 64-byte encoding (x ‖ y).
+    pub fn to_uncompressed(&self) -> [u8; 64] {
+        self.0.to_uncompressed()
+    }
+
+    /// The Ethereum address: low 20 bytes of `keccak256(x ‖ y)`.
+    pub fn eth_address(&self) -> Address {
+        let digest = keccak256(&self.to_uncompressed());
+        Address::from_hash(&H256::from_bytes(digest))
+    }
+
+    /// Verifies a signature over a 32-byte digest.
+    pub fn verify_prehashed(&self, digest: &[u8; 32], signature: &Signature) -> bool {
+        let Some((r, s)) = signature.scalars() else {
+            return false;
+        };
+        let z = Scalar::from_bytes(digest);
+        let s_inv = s.invert();
+        let u1 = z.mul(s_inv);
+        let u2 = r.mul(s_inv);
+        let point = Point::generator()
+            .scalar_mul(u1)
+            .add(&self.0.scalar_mul(u2));
+        if point.infinity {
+            return false;
+        }
+        Scalar::new(point.x.to_u256()) == r
+    }
+
+    /// Verifies a signature over an arbitrary message (Keccak-256 hashed).
+    pub fn verify_message(&self, message: &[u8], signature: &Signature) -> bool {
+        self.verify_prehashed(&keccak256(message), signature)
+    }
+}
+
+/// A recoverable ECDSA signature `(r, s, recovery_id)`.
+///
+/// The 65-byte serialized form is `r ‖ s ‖ v`, the layout carried inside
+/// TinyEVM's signed off-chain payments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The x-coordinate of the nonce point, modulo `n`.
+    pub r: U256,
+    /// The (low-s normalized) signature scalar.
+    pub s: U256,
+    /// Parity of the nonce point's y-coordinate (0 or 1).
+    pub recovery_id: u8,
+}
+
+impl Signature {
+    /// Serializes to 65 bytes (`r ‖ s ‖ v`).
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..64].copy_from_slice(&self.s.to_be_bytes());
+        out[64] = self.recovery_id;
+        out
+    }
+
+    /// Parses the 65-byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidRecoveryId`] if the last byte is not 0
+    /// or 1, and [`CryptoError::InvalidSignature`] if `r` or `s` is zero or
+    /// not below the curve order.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Result<Self, CryptoError> {
+        let recovery_id = bytes[64];
+        if recovery_id > 1 {
+            return Err(CryptoError::InvalidRecoveryId(recovery_id));
+        }
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&bytes[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&bytes[32..64]);
+        let signature = Signature {
+            r: U256::from_be_bytes(r_bytes),
+            s: U256::from_be_bytes(s_bytes),
+            recovery_id,
+        };
+        if signature.scalars().is_none() {
+            return Err(CryptoError::InvalidSignature);
+        }
+        Ok(signature)
+    }
+
+    /// Returns `(r, s)` as scalars if both are in the valid range.
+    fn scalars(&self) -> Option<(Scalar, Scalar)> {
+        if self.r.is_zero() || self.s.is_zero() || self.r >= CURVE_ORDER || self.s >= CURVE_ORDER {
+            return None;
+        }
+        Some((Scalar(self.r), Scalar(self.s)))
+    }
+
+    /// Recovers the public key that produced this signature over `digest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidSignature`] when the signature is out of
+    /// range or the recovered point is not valid.
+    pub fn recover(&self, digest: &[u8; 32]) -> Result<PublicKey, CryptoError> {
+        let (r, s) = self.scalars().ok_or(CryptoError::InvalidSignature)?;
+        let r_point = Point::from_x(self.r, self.recovery_id == 1)?;
+        let r_inv = r.invert();
+        let z = Scalar::from_bytes(digest);
+        // Q = r^-1 (s·R - z·G)
+        let s_r = r_point.scalar_mul(s);
+        let z_g = Point::generator().scalar_mul(z);
+        let q = s_r.add(&z_g.negate()).scalar_mul(r_inv);
+        PublicKey::from_point(q)
+    }
+
+    /// Recovers the signer's Ethereum address directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Signature::recover`].
+    pub fn recover_address(&self, digest: &[u8; 32]) -> Result<Address, CryptoError> {
+        Ok(self.recover(digest)?.eth_address())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_prime_and_order_have_expected_hex() {
+        assert_eq!(
+            FIELD_PRIME.to_hex(),
+            "0xfffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+        );
+        assert_eq!(
+            CURVE_ORDER.to_hex(),
+            "0xfffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+        );
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(Point::generator().is_on_curve());
+        assert!(Point::INFINITY.is_on_curve());
+    }
+
+    #[test]
+    fn field_add_sub_round_trip() {
+        let a = FieldElement::new(U256::from(123456u64));
+        let b = FieldElement::new(FIELD_PRIME.wrapping_sub(U256::from(17u64)));
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(a), FieldElement::ZERO);
+        assert_eq!(a.add(a.negate()), FieldElement::ZERO);
+        assert_eq!(FieldElement::ZERO.negate(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn field_mul_matches_generic_mulmod() {
+        let a = FieldElement::new(U256::MAX.wrapping_sub(U256::from(123u64)));
+        let b = FieldElement::new(U256::MAX.shr(1));
+        let expected = a.to_u256().mul_mod(b.to_u256(), FIELD_PRIME);
+        assert_eq!(a.mul(b).to_u256(), expected);
+    }
+
+    #[test]
+    fn field_inverse() {
+        let a = FieldElement::new(U256::from(0xdead_beefu64));
+        assert_eq!(a.mul(a.invert()), FieldElement::ONE);
+        let b = FieldElement::new(FIELD_PRIME.wrapping_sub(U256::ONE));
+        assert_eq!(b.mul(b.invert()), FieldElement::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn field_inverse_of_zero_panics() {
+        let _ = FieldElement::ZERO.invert();
+    }
+
+    #[test]
+    fn field_sqrt_of_square_round_trips() {
+        let a = FieldElement::new(U256::from(987654321u64));
+        let square = a.square();
+        let root = square.sqrt().unwrap();
+        assert!(root == a || root == a.negate());
+        // A known non-residue: 5 is a residue or not — instead check that
+        // sqrt of (square + known offset producing non-residue) can fail by
+        // testing sqrt(x) for x = generator_x^2 * non_square.
+        // Simpler: y² = x³ + 7 fails for roughly half of x values; find one.
+        let mut x = FieldElement::new(U256::from(2u64));
+        let mut found_invalid = false;
+        for _ in 0..20 {
+            let rhs = x.square().mul(x).add(FieldElement::new(U256::from(7u64)));
+            if rhs.sqrt().is_none() {
+                found_invalid = true;
+                break;
+            }
+            x = x.add(FieldElement::ONE);
+        }
+        assert!(found_invalid, "expected to find a non-residue quickly");
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let a = Scalar::new(CURVE_ORDER.wrapping_sub(U256::ONE));
+        let b = Scalar::new(U256::from(5u64));
+        assert_eq!(a.add(b), Scalar::new(U256::from(4u64)));
+        assert_eq!(a.add(a.negate()), Scalar::ZERO);
+        assert_eq!(b.mul(b.invert()), Scalar::ONE);
+        assert!(Scalar::new(CURVE_ORDER).is_zero());
+    }
+
+    #[test]
+    fn point_double_and_add_consistency() {
+        let g = Point::generator();
+        let two_g = g.double();
+        assert!(two_g.is_on_curve());
+        assert_eq!(g.add(&g), two_g);
+        let three_g = two_g.add(&g);
+        assert!(three_g.is_on_curve());
+        assert_eq!(g.scalar_mul(Scalar::new(U256::from(3u64))), three_g);
+    }
+
+    #[test]
+    fn two_g_matches_known_coordinates() {
+        // 2·G, a standard published value for secp256k1.
+        let two_g = Point::generator().double();
+        assert_eq!(
+            two_g.x.to_u256().to_hex(),
+            "0xc6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+    }
+
+    #[test]
+    fn scalar_mul_by_order_is_infinity() {
+        let g = Point::generator();
+        // n·G = O, so (n-1)·G + G = O as well.
+        let n_minus_1 = Scalar::new(CURVE_ORDER.wrapping_sub(U256::ONE));
+        let almost = g.scalar_mul(n_minus_1);
+        assert!(almost.is_on_curve());
+        assert_eq!(almost.add(&g), Point::INFINITY);
+        assert_eq!(almost, g.negate());
+    }
+
+    #[test]
+    fn addition_with_infinity_and_inverse() {
+        let g = Point::generator();
+        assert_eq!(g.add(&Point::INFINITY), g);
+        assert_eq!(Point::INFINITY.add(&g), g);
+        assert_eq!(g.add(&g.negate()), Point::INFINITY);
+        assert_eq!(Point::INFINITY.double(), Point::INFINITY);
+        assert_eq!(Point::INFINITY.scalar_mul(Scalar::new(U256::from(5u64))), Point::INFINITY);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_addition() {
+        let g = Point::generator();
+        let a = Scalar::new(U256::from(123_456_789u64));
+        let b = Scalar::new(U256::from(987_654_321u64));
+        let lhs = g.scalar_mul(a.add(b));
+        let rhs = g.scalar_mul(a).add(&g.scalar_mul(b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn from_affine_validates() {
+        let g = Point::generator();
+        assert!(Point::from_affine(g.x.to_u256(), g.y.to_u256()).is_ok());
+        assert_eq!(
+            Point::from_affine(g.x.to_u256(), g.y.to_u256().wrapping_add(U256::ONE)),
+            Err(CryptoError::InvalidPublicKey)
+        );
+    }
+
+    #[test]
+    fn from_x_recovers_both_parities() {
+        let g = Point::generator();
+        let even = Point::from_x(g.x.to_u256(), false).unwrap();
+        let odd = Point::from_x(g.x.to_u256(), true).unwrap();
+        assert_ne!(even, odd);
+        assert_eq!(even.add(&odd), Point::INFINITY);
+        assert!(even == g || odd == g);
+    }
+
+    #[test]
+    fn private_key_construction_rules() {
+        assert!(PrivateKey::from_scalar(Scalar::ZERO).is_err());
+        assert!(PrivateKey::from_bytes(&[0u8; 32]).is_err());
+        assert!(PrivateKey::from_bytes(&[1u8; 32]).is_ok());
+        let a = PrivateKey::from_seed(b"node A");
+        let b = PrivateKey::from_seed(b"node B");
+        assert_ne!(a.eth_address(), b.eth_address());
+        // Deterministic.
+        assert_eq!(a.to_bytes(), PrivateKey::from_seed(b"node A").to_bytes());
+    }
+
+    #[test]
+    fn random_keys_are_distinct() {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 7);
+        let a = PrivateKey::random(&mut rng);
+        let b = PrivateKey::random(&mut rng);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = PrivateKey::from_seed(b"parking sensor");
+        let digest = keccak256(b"payment 1: 5 milliwei");
+        let signature = key.sign_prehashed(&digest);
+        assert!(key.public_key().verify_prehashed(&digest, &signature));
+        // Tampered digest fails.
+        let other = keccak256(b"payment 1: 500 milliwei");
+        assert!(!key.public_key().verify_prehashed(&other, &signature));
+        // Other key fails.
+        let other_key = PrivateKey::from_seed(b"vehicle");
+        assert!(!other_key.public_key().verify_prehashed(&digest, &signature));
+    }
+
+    #[test]
+    fn signing_is_deterministic_and_low_s() {
+        let key = PrivateKey::from_seed(b"determinism");
+        let digest = keccak256(b"same message");
+        let sig1 = key.sign_prehashed(&digest);
+        let sig2 = key.sign_prehashed(&digest);
+        assert_eq!(sig1, sig2);
+        assert!(sig1.s <= CURVE_ORDER.shr(1));
+    }
+
+    #[test]
+    fn recover_returns_signer() {
+        let key = PrivateKey::from_seed(b"recoverable");
+        let digest = keccak256(b"channel close, seq 17");
+        let signature = key.sign_prehashed(&digest);
+        let recovered = signature.recover(&digest).unwrap();
+        assert_eq!(recovered, key.public_key());
+        assert_eq!(
+            signature.recover_address(&digest).unwrap(),
+            key.eth_address()
+        );
+        // Recovery against a different digest yields a different key (or an
+        // error), never the signer.
+        let other = keccak256(b"different digest");
+        match signature.recover(&other) {
+            Ok(pk) => assert_ne!(pk, key.public_key()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn sign_message_hashes_with_keccak() {
+        let key = PrivateKey::from_seed(b"hash convention");
+        let message = b"off-chain payment";
+        let signature = key.sign_message(message);
+        assert!(key.public_key().verify_message(message, &signature));
+        assert!(key
+            .public_key()
+            .verify_prehashed(&keccak256(message), &signature));
+    }
+
+    #[test]
+    fn signature_byte_round_trip() {
+        let key = PrivateKey::from_seed(b"serialization");
+        let digest = keccak256(b"bytes");
+        let signature = key.sign_prehashed(&digest);
+        let bytes = signature.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes).unwrap(), signature);
+
+        let mut bad_v = bytes;
+        bad_v[64] = 9;
+        assert_eq!(
+            Signature::from_bytes(&bad_v),
+            Err(CryptoError::InvalidRecoveryId(9))
+        );
+        let zero = [0u8; 65];
+        assert_eq!(
+            Signature::from_bytes(&zero),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn eth_address_is_stable_for_known_key() {
+        // Private key 1 has a well-known Ethereum address.
+        let mut one = [0u8; 32];
+        one[31] = 1;
+        let key = PrivateKey::from_bytes(&one).unwrap();
+        assert_eq!(
+            key.eth_address().to_hex(),
+            "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+        );
+    }
+
+    #[test]
+    fn tampered_signature_fails_verification() {
+        let key = PrivateKey::from_seed(b"tamper");
+        let digest = keccak256(b"original");
+        let signature = key.sign_prehashed(&digest);
+        let tampered = Signature {
+            r: signature.r,
+            s: signature.s.wrapping_add(U256::ONE),
+            recovery_id: signature.recovery_id,
+        };
+        assert!(!key.public_key().verify_prehashed(&digest, &tampered));
+    }
+
+    #[test]
+    fn debug_output_does_not_leak_private_scalar() {
+        let key = PrivateKey::from_seed(b"secret");
+        let debug = format!("{key:?}");
+        let scalar_hex = tinyevm_types::hex::encode(&key.to_bytes());
+        assert!(!debug.contains(&scalar_hex));
+        assert!(debug.contains("address"));
+    }
+}

@@ -1,0 +1,579 @@
+//! The composed IoT device: MCU, crypto engine, radio accounting, sensors
+//! and the TinyEVM virtual machine, sharing one energy meter and one
+//! simulated clock.
+
+use std::time::Duration;
+
+use tinyevm_crypto::secp256k1::{PrivateKey, PublicKey, Signature};
+use tinyevm_evm::{
+    deploy::{deploy_with, DeployError, DeployResult},
+    CallContext, ContractStore, Evm, EvmConfig, ExecError, ExecResult, Host, SideChainStorage,
+};
+use tinyevm_types::{Address, U256};
+
+use crate::crypto_engine::CryptoEngine;
+use crate::energy::{EnergyMeter, EnergyReport, PowerState, TimelineEntry};
+use crate::footprint::Footprint;
+use crate::mcu::Mcu;
+use crate::sensors::DeviceSensors;
+
+/// Which way a radio transfer went, from this device's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioDirection {
+    /// This device transmitted.
+    Transmit,
+    /// This device received.
+    Receive,
+}
+
+/// A log entry describing one activity the device performed, with its
+/// simulated start time and duration — the narrative behind the Figure 5
+/// timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceActivity {
+    /// Human-readable description ("deploy contract", "sign payment", ...).
+    pub label: String,
+    /// Start offset on the device clock.
+    pub start: Duration,
+    /// How long it took.
+    pub duration: Duration,
+}
+
+/// Static configuration of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Friendly name used in logs and reports.
+    pub name: String,
+    /// MCU timing model.
+    pub mcu: Mcu,
+    /// Crypto engine latency model.
+    pub crypto: CryptoEngine,
+    /// Virtual machine resource profile.
+    pub evm: EvmConfig,
+    /// Radio payload data rate in bits per second (802.15.4: 250 kbit/s).
+    pub radio_bitrate: u64,
+    /// Fixed per-frame radio overhead (preamble, TSCH slot alignment).
+    pub radio_frame_overhead: Duration,
+}
+
+impl DeviceConfig {
+    /// The OpenMote-B / CC2538 profile used throughout the paper.
+    pub fn openmote_b(name: &str) -> Self {
+        DeviceConfig {
+            name: name.to_string(),
+            mcu: Mcu::cc2538(),
+            crypto: CryptoEngine::cc2538(),
+            evm: EvmConfig::cc2538(),
+            radio_bitrate: 250_000,
+            radio_frame_overhead: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A simulated low-power IoT node.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_device::Device;
+/// use tinyevm_evm::asm;
+///
+/// let mut device = Device::openmote_b("parking-sensor");
+/// let runtime = asm::assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+/// let init = asm::wrap_as_init_code(&runtime);
+/// let (result, time) = device.deploy_contract(&init, &[]).unwrap();
+/// assert_eq!(result.runtime_code, runtime);
+/// assert!(time.as_millis() >= 5);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    key: PrivateKey,
+    sensors: DeviceSensors,
+    meter: EnergyMeter,
+    world: ContractStore,
+    activities: Vec<DeviceActivity>,
+}
+
+impl Device {
+    /// Creates an OpenMote-B class device with a key derived from its name
+    /// and the smart-parking sensor set.
+    pub fn openmote_b(name: &str) -> Self {
+        Self::new(
+            DeviceConfig::openmote_b(name),
+            PrivateKey::from_seed(name.as_bytes()),
+            DeviceSensors::smart_parking_lot(),
+        )
+    }
+
+    /// Creates a device from explicit parts.
+    pub fn new(config: DeviceConfig, key: PrivateKey, sensors: DeviceSensors) -> Self {
+        let world = ContractStore::new(config.evm.clone());
+        Device {
+            config,
+            key,
+            sensors,
+            meter: EnergyMeter::cc2538(),
+            world,
+            activities: Vec::new(),
+        }
+    }
+
+    /// The device's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The device's signing key.
+    pub fn private_key(&self) -> &PrivateKey {
+        &self.key
+    }
+
+    /// The device's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.key.public_key()
+    }
+
+    /// The device's Ethereum-style address (its payment identity).
+    pub fn address(&self) -> Address {
+        self.key.eth_address()
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The device's local contract world (its side-chain registry).
+    pub fn world_mut(&mut self) -> &mut ContractStore {
+        &mut self.world
+    }
+
+    /// Immutable view of the local contract world.
+    pub fn world(&self) -> &ContractStore {
+        &self.world
+    }
+
+    /// The sensor registry.
+    pub fn sensors_mut(&mut self) -> &mut DeviceSensors {
+        &mut self.sensors
+    }
+
+    /// The device's simulated clock.
+    pub fn now(&self) -> Duration {
+        self.meter.now()
+    }
+
+    /// Activities performed so far.
+    pub fn activities(&self) -> &[DeviceActivity] {
+        &self.activities
+    }
+
+    /// The raw power-state timeline (Figure 5 data).
+    pub fn timeline(&self) -> &[TimelineEntry] {
+        self.meter.timeline()
+    }
+
+    /// The Energest-style energy report (Table IV data).
+    pub fn energy_report(&self) -> EnergyReport {
+        self.meter.report()
+    }
+
+    /// The static memory footprint with a template of `template_bytes`
+    /// deployed (Table III data).
+    pub fn footprint(&self, template_bytes: usize) -> Footprint {
+        Footprint::tinyevm_on_cc2538(template_bytes)
+    }
+
+    /// Resets the energy meter, clock and activity log (the world and
+    /// sensors keep their state).
+    pub fn reset_measurements(&mut self) {
+        self.meter.reset();
+        self.activities.clear();
+    }
+
+    fn log_activity(&mut self, label: &str, start: Duration) {
+        let duration = self.meter.now().saturating_sub(start);
+        self.activities.push(DeviceActivity {
+            label: label.to_string(),
+            start,
+            duration,
+        });
+    }
+
+    // --- contract execution -------------------------------------------------
+
+    /// Deploys a contract on this device: runs the constructor, charges CPU
+    /// time and returns both the deployment result and the modelled
+    /// deployment time (the Figure 4 quantity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`DeployError`] when the contract cannot be
+    /// deployed within the device's resource profile.
+    pub fn deploy_contract(
+        &mut self,
+        init_code: &[u8],
+        constructor_args: &[u8],
+    ) -> Result<(DeployResult, Duration), DeployError> {
+        let start = self.meter.now();
+        let config = self.config.evm.clone();
+        let result = deploy_with(
+            &config,
+            init_code,
+            constructor_args,
+            &mut self.world,
+            &mut self.sensors,
+        )?;
+        let mut time = self.config.mcu.deployment_time(&result.metrics);
+        // Software Keccak invoked from inside the constructor is charged at
+        // the Table V latency rather than the generic opcode cycle cost.
+        time += self.config.crypto.latencies().keccak256 * result.metrics.keccak_invocations as u32;
+        self.meter.record(PowerState::CpuActive, time);
+        self.log_activity("deploy contract", start);
+        Ok((result, time))
+    }
+
+    /// Executes standalone bytecode on this device (fresh storage), charging
+    /// CPU time; returns the execution result and modelled time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the execution traps.
+    pub fn execute_code(
+        &mut self,
+        code: &[u8],
+        call_data: &[u8],
+    ) -> Result<(ExecResult, Duration), ExecError> {
+        let start = self.meter.now();
+        let mut evm = Evm::new(self.config.evm.clone());
+        let mut storage = SideChainStorage::new(self.config.evm.max_storage_bytes);
+        let context = CallContext {
+            address: Address::from_low_u64(0xC0DE),
+            caller: self.address(),
+            origin: self.address(),
+            call_value: U256::ZERO,
+            call_data: call_data.to_vec(),
+        };
+        let depth = self.config.evm.max_call_depth;
+        let result = evm.execute_in_frame(
+            code,
+            context,
+            &mut storage,
+            &mut self.world,
+            &mut self.sensors,
+            false,
+            depth,
+        )?;
+        let time = self.charge_execution(&result.metrics);
+        self.log_activity("execute bytecode", start);
+        Ok((result, time))
+    }
+
+    /// Deploys a contract *into the device's local contract world* (its
+    /// side-chain registry): the constructor runs with the world as host and
+    /// the device's sensors as IoT environment, so both the runtime code and
+    /// the storage the constructor wrote persist at the returned address.
+    ///
+    /// This is the operation the off-chain protocol uses when the two nodes
+    /// "execute the bytecode of the template to generate an off-chain
+    /// payment channel" (paper Section IV-D). Returns the new contract's
+    /// address and the modelled deployment time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeployError`] when the constructor fails or the runtime
+    /// code exceeds the device's code limit.
+    pub fn create_local_contract(
+        &mut self,
+        init_code: &[u8],
+    ) -> Result<(Address, Duration), DeployError> {
+        let start = self.meter.now();
+        if init_code.len() > self.config.evm.max_init_code_size {
+            return Err(DeployError::InitCodeTooLarge {
+                size: init_code.len(),
+                limit: self.config.evm.max_init_code_size,
+            });
+        }
+        let creator = self.address();
+        let depth = self.config.evm.max_call_depth;
+        let outcome =
+            self.world
+                .create(creator, U256::ZERO, init_code, depth, &mut self.sensors);
+        let address = match outcome.created.filter(|_| outcome.success) {
+            Some(address) => address,
+            None => return Err(DeployError::NoRuntimeCode),
+        };
+        let mut time = self.config.mcu.deployment_time(&outcome.metrics);
+        time += self.config.crypto.latencies().keccak256 * outcome.metrics.keccak_invocations as u32;
+        self.meter.record(PowerState::CpuActive, time);
+        self.log_activity("create local contract", start);
+        Ok((address, time))
+    }
+
+    /// Calls a contract previously installed in the device's local world.
+    ///
+    /// Returns the call output, a success flag and the modelled time.
+    pub fn call_local_contract(
+        &mut self,
+        target: Address,
+        value: U256,
+        input: &[u8],
+    ) -> (Vec<u8>, bool, Duration) {
+        let start = self.meter.now();
+        let caller = self.address();
+        let outcome = self
+            .world
+            .execute_contract(caller, target, value, input, &mut self.sensors);
+        let time = self.charge_execution(&outcome.metrics);
+        self.log_activity("call local contract", start);
+        (outcome.output, outcome.success, time)
+    }
+
+    fn charge_execution(&mut self, metrics: &tinyevm_evm::ExecMetrics) -> Duration {
+        let mut time = self.config.mcu.execution_time(metrics);
+        time += self.config.crypto.latencies().keccak256 * metrics.keccak_invocations as u32;
+        self.meter.record(PowerState::CpuActive, time);
+        time
+    }
+
+    // --- cryptography -------------------------------------------------------
+
+    /// Hashes a payload with Keccak-256 (software) and signs it with the
+    /// crypto engine. Returns the signature and the modelled time
+    /// (Table V: about 355 ms).
+    pub fn sign_payload(&mut self, payload: &[u8]) -> (Signature, Duration) {
+        let start = self.meter.now();
+        let digest = self.config.crypto.keccak256(&mut self.meter, payload);
+        let signature = self.config.crypto.sign(&mut self.meter, &self.key, &digest);
+        let elapsed = self.meter.now() - start;
+        self.log_activity("sign payload", start);
+        (signature, elapsed)
+    }
+
+    /// Verifies a signature over a payload, charging crypto-engine time;
+    /// returns the signer address when valid.
+    pub fn verify_payload(&mut self, payload: &[u8], signature: &Signature) -> Option<Address> {
+        let start = self.meter.now();
+        let digest = self.config.crypto.keccak256(&mut self.meter, payload);
+        let recovered = self
+            .config
+            .crypto
+            .recover_address(&mut self.meter, &digest, signature);
+        self.log_activity("verify payload", start);
+        recovered
+    }
+
+    // --- radio ---------------------------------------------------------------
+
+    /// Time on air for a payload of `bytes` at the configured bit rate,
+    /// including the fixed per-frame overhead.
+    pub fn airtime(&self, bytes: usize) -> Duration {
+        let bits = bytes as u64 * 8;
+        let on_air = Duration::from_secs_f64(bits as f64 / self.config.radio_bitrate as f64);
+        on_air + self.config.radio_frame_overhead
+    }
+
+    /// Accounts for a radio transfer of `bytes` in the given direction and
+    /// returns the modelled time. The actual byte movement is done by
+    /// `tinyevm-net`; this only charges time and energy.
+    pub fn account_radio(&mut self, direction: RadioDirection, bytes: usize) -> Duration {
+        let start = self.meter.now();
+        let time = self.airtime(bytes);
+        let state = match direction {
+            RadioDirection::Transmit => PowerState::Tx,
+            RadioDirection::Receive => PowerState::Rx,
+        };
+        self.meter.record(state, time);
+        let label = match direction {
+            RadioDirection::Transmit => "radio transmit",
+            RadioDirection::Receive => "radio receive",
+        };
+        self.log_activity(label, start);
+        time
+    }
+
+    /// Puts the device into LPM2 for `duration` (idle between protocol
+    /// steps).
+    pub fn sleep(&mut self, duration: Duration) {
+        let start = self.meter.now();
+        self.meter.record(PowerState::Lpm2, duration);
+        self.log_activity("sleep (LPM2)", start);
+    }
+
+    /// Reads a sensor directly (host code path, not through the EVM),
+    /// charging a token amount of CPU time.
+    pub fn read_sensor(&mut self, id: u64, parameter: u64) -> Option<U256> {
+        let start = self.meter.now();
+        let reading = self.sensors.read_direct(id, parameter)?;
+        self.meter
+            .record(PowerState::CpuActive, Duration::from_micros(500));
+        self.log_activity("read sensor", start);
+        Some(reading.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::peripheral_id;
+    use tinyevm_evm::asm;
+
+    #[test]
+    fn identity_is_deterministic_per_name() {
+        let a1 = Device::openmote_b("sensor-A");
+        let a2 = Device::openmote_b("sensor-A");
+        let b = Device::openmote_b("sensor-B");
+        assert_eq!(a1.address(), a2.address());
+        assert_ne!(a1.address(), b.address());
+        assert_eq!(a1.name(), "sensor-A");
+    }
+
+    #[test]
+    fn deployment_charges_cpu_time() {
+        let mut device = Device::openmote_b("deployer");
+        let runtime =
+            asm::assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = asm::wrap_as_init_code(&runtime);
+        let (result, time) = device.deploy_contract(&init, &[]).unwrap();
+        assert_eq!(result.runtime_code, runtime);
+        assert!(time >= Duration::from_millis(5));
+        assert!(time < Duration::from_secs(1));
+        assert_eq!(device.energy_report().time_of(PowerState::CpuActive), time);
+        assert_eq!(device.activities().len(), 1);
+        assert_eq!(device.activities()[0].label, "deploy contract");
+    }
+
+    #[test]
+    fn oversized_deployment_fails_like_the_paper_says() {
+        let mut device = Device::openmote_b("small");
+        let huge = vec![0u8; 30_000];
+        assert!(matches!(
+            device.deploy_contract(&huge, &[]),
+            Err(DeployError::InitCodeTooLarge { .. })
+        ));
+        // A runtime bigger than 8 KB is rejected even though the init code
+        // could be staged: copying it through the 8 KB RAM already traps,
+        // which is exactly the resource-limit failure class the paper
+        // attributes the undeployable 7% to.
+        let big_runtime = asm::wrap_as_init_code(&vec![0u8; 9_000]);
+        let error = device.deploy_contract(&big_runtime, &[]).unwrap_err();
+        assert!(error.is_resource_limit(), "unexpected error: {error:?}");
+    }
+
+    #[test]
+    fn signing_takes_about_355_ms() {
+        let mut device = Device::openmote_b("signer");
+        let (signature, time) = device.sign_payload(b"off-chain payment #1");
+        assert_eq!(time, Duration::from_millis(355));
+        // Signature is genuine.
+        assert!(device
+            .public_key()
+            .verify_prehashed(&tinyevm_crypto::keccak256(b"off-chain payment #1"), &signature));
+        let report = device.energy_report();
+        assert_eq!(
+            report.time_of(PowerState::CryptoEngine),
+            Duration::from_millis(350)
+        );
+        assert_eq!(report.time_of(PowerState::CpuActive), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn verify_payload_recovers_the_peer() {
+        let mut sender = Device::openmote_b("car");
+        let mut receiver = Device::openmote_b("parking");
+        let payload = b"5 milli-eth for one hour";
+        let (signature, _) = sender.sign_payload(payload);
+        assert_eq!(receiver.verify_payload(payload, &signature), Some(sender.address()));
+        assert_ne!(
+            receiver.verify_payload(b"tampered payload", &signature),
+            Some(sender.address())
+        );
+    }
+
+    #[test]
+    fn radio_accounting_matches_bitrate() {
+        let mut device = Device::openmote_b("radio");
+        // 125 bytes at 250 kbit/s = 4 ms on air + 2 ms overhead.
+        let time = device.account_radio(RadioDirection::Transmit, 125);
+        assert_eq!(time, Duration::from_millis(6));
+        let time = device.account_radio(RadioDirection::Receive, 125);
+        assert_eq!(time, Duration::from_millis(6));
+        let report = device.energy_report();
+        assert_eq!(report.time_of(PowerState::Tx), Duration::from_millis(6));
+        assert_eq!(report.time_of(PowerState::Rx), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn sleep_accumulates_lpm2_time() {
+        let mut device = Device::openmote_b("sleepy");
+        device.sleep(Duration::from_millis(982));
+        assert_eq!(
+            device.energy_report().time_of(PowerState::Lpm2),
+            Duration::from_millis(982)
+        );
+        assert_eq!(device.now(), Duration::from_millis(982));
+    }
+
+    #[test]
+    fn sensor_reads_work_outside_the_evm() {
+        let mut device = Device::openmote_b("sensing");
+        let value = device.read_sensor(peripheral_id::TEMPERATURE, 0);
+        assert_eq!(value, Some(U256::from(2150u64)));
+        assert_eq!(device.read_sensor(99, 0), None);
+    }
+
+    #[test]
+    fn executing_sensor_contract_through_the_evm() {
+        let mut device = Device::openmote_b("contract-sensing");
+        // Read temperature (sensor 0) via the IoT opcode and return it.
+        let code = asm::assemble(
+            "PUSH1 0x00 PUSH1 0x00 IOT PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        )
+        .unwrap();
+        let (result, _) = device.execute_code(&code, &[]).unwrap();
+        assert_eq!(
+            U256::from_be_slice(&result.output).unwrap(),
+            U256::from(2150u64)
+        );
+        assert_eq!(result.metrics.iot_invocations, 1);
+    }
+
+    #[test]
+    fn local_contract_calls_route_through_the_world() {
+        let mut device = Device::openmote_b("world");
+        let runtime =
+            asm::assemble("PUSH1 0x07 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let target = Address::from_low_u64(0xAA);
+        device.world_mut().install_code(target, runtime);
+        let (output, success, _) = device.call_local_contract(target, U256::ZERO, &[]);
+        assert!(success);
+        assert_eq!(U256::from_be_slice(&output).unwrap(), U256::from(7u64));
+    }
+
+    #[test]
+    fn reset_measurements_clears_meter_but_keeps_world() {
+        let mut device = Device::openmote_b("reset");
+        let target = Address::from_low_u64(0xAA);
+        device.world_mut().install_code(target, vec![0x00]);
+        device.sleep(Duration::from_millis(10));
+        device.reset_measurements();
+        assert_eq!(device.now(), Duration::ZERO);
+        assert!(device.activities().is_empty());
+        assert!(!device.world().code_of(&target).is_empty());
+    }
+
+    #[test]
+    fn footprint_accessor_matches_table_three() {
+        let device = Device::openmote_b("footprint");
+        let footprint = device.footprint(2_035);
+        assert_eq!(footprint.ram_used(), 25_715);
+    }
+
+    #[test]
+    fn airtime_scales_with_payload() {
+        let device = Device::openmote_b("airtime");
+        assert!(device.airtime(1000) > device.airtime(100));
+        assert_eq!(device.airtime(0), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! The microcontroller timing model.
+
+use std::time::Duration;
+
+use tinyevm_evm::ExecMetrics;
+
+/// A simple cycle-accurate-enough model of the application MCU.
+///
+/// The paper's CC2538 runs its Cortex-M3 at 32 MHz, and the key cost
+/// observation is that every 256-bit EVM opcode expands to "hundreds of MCU
+/// cycles" of emulation. The interpreter already counts those cycles per
+/// opcode ([`ExecMetrics::mcu_cycles`]); this type converts them into wall
+/// time on the device.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_device::Mcu;
+/// use std::time::Duration;
+///
+/// let mcu = Mcu::cc2538();
+/// assert_eq!(mcu.cycles_to_duration(32_000), Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mcu {
+    clock_hz: u64,
+    /// Fixed per-deployment overhead in cycles: arena setup, bytecode
+    /// staging, constructor calling convention. Derived from the paper's
+    /// observation that even trivial contracts take a few milliseconds.
+    deployment_overhead_cycles: u64,
+}
+
+impl Mcu {
+    /// The CC2538 profile: 32 MHz system clock.
+    pub fn cc2538() -> Self {
+        Mcu {
+            clock_hz: 32_000_000,
+            deployment_overhead_cycles: 160_000, // 5 ms at 32 MHz
+        }
+    }
+
+    /// A custom clock frequency (used by the frequency-scaling ablation).
+    pub fn with_clock(clock_hz: u64) -> Self {
+        Mcu {
+            clock_hz,
+            deployment_overhead_cycles: 160_000,
+        }
+    }
+
+    /// The modelled clock frequency in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Converts a cycle count into elapsed time at the MCU clock.
+    pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
+        let nanos = (cycles as u128 * 1_000_000_000u128) / self.clock_hz as u128;
+        Duration::from_nanos(nanos as u64)
+    }
+
+    /// Execution time of a measured frame (pure interpretation, no radio or
+    /// crypto engine).
+    pub fn execution_time(&self, metrics: &ExecMetrics) -> Duration {
+        self.cycles_to_duration(metrics.mcu_cycles)
+    }
+
+    /// Deployment time of a measured constructor run: the fixed staging
+    /// overhead plus the interpretation of the init code. This is the
+    /// quantity plotted against bytecode size in the paper's Figure 4.
+    pub fn deployment_time(&self, metrics: &ExecMetrics) -> Duration {
+        self.cycles_to_duration(self.deployment_overhead_cycles + metrics.mcu_cycles)
+    }
+}
+
+impl Default for Mcu {
+    fn default() -> Self {
+        Mcu::cc2538()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyevm_evm::Opcode;
+
+    #[test]
+    fn cc2538_runs_at_32_mhz() {
+        assert_eq!(Mcu::cc2538().clock_hz(), 32_000_000);
+        assert_eq!(Mcu::default(), Mcu::cc2538());
+    }
+
+    #[test]
+    fn cycle_conversion_is_linear() {
+        let mcu = Mcu::cc2538();
+        assert_eq!(mcu.cycles_to_duration(0), Duration::ZERO);
+        assert_eq!(mcu.cycles_to_duration(32_000_000), Duration::from_secs(1));
+        assert_eq!(
+            mcu.cycles_to_duration(16_000_000),
+            Duration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn slower_clock_takes_longer() {
+        let fast = Mcu::cc2538();
+        let slow = Mcu::with_clock(16_000_000);
+        assert_eq!(
+            slow.cycles_to_duration(1_000_000),
+            fast.cycles_to_duration(2_000_000)
+        );
+    }
+
+    #[test]
+    fn execution_time_follows_metrics() {
+        let mcu = Mcu::cc2538();
+        let mut metrics = ExecMetrics::new();
+        assert_eq!(mcu.execution_time(&metrics), Duration::ZERO);
+        for _ in 0..1000 {
+            metrics.record(Opcode::Mul);
+        }
+        let time = mcu.execution_time(&metrics);
+        assert!(time > Duration::ZERO);
+        // 1000 MULs at 420 cycles = 420k cycles ≈ 13.1 ms.
+        assert!(time > Duration::from_millis(10) && time < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn deployment_time_includes_fixed_overhead() {
+        let mcu = Mcu::cc2538();
+        let metrics = ExecMetrics::new();
+        let time = mcu.deployment_time(&metrics);
+        assert_eq!(time, Duration::from_millis(5));
+        let mut busy = ExecMetrics::new();
+        for _ in 0..10_000 {
+            busy.record(Opcode::Exp);
+        }
+        assert!(mcu.deployment_time(&busy) > time);
+    }
+}

@@ -1,0 +1,363 @@
+//! A small EVM assembler and disassembler.
+//!
+//! The paper's authors write their template and payment-channel contracts in
+//! Solidity with inline assembly (Listings 1 and 2). This workspace has no
+//! Solidity compiler, so the hand-written contracts, the synthetic corpus
+//! and most tests are produced with this assembler instead: a flat list of
+//! mnemonics with hex immediates, plus labels for jump targets.
+//!
+//! Syntax:
+//!
+//! * mnemonics are case-insensitive: `PUSH1 0x2a`, `add`, `SSTORE`;
+//! * `PUSHn` takes a hex immediate (`0x…`) of at most `n` bytes;
+//! * `@label:` defines a label at the current byte offset, and
+//!   `PUSHLABEL @label` pushes its offset as a 2-byte immediate;
+//! * `;` starts a comment that runs to the end of the line.
+//!
+//! # Example
+//!
+//! ```
+//! use tinyevm_evm::asm::{assemble, disassemble};
+//!
+//! let code = assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP").unwrap();
+//! assert_eq!(code, vec![0x60, 0x01, 0x60, 0x02, 0x01, 0x00]);
+//! let listing = disassemble(&code);
+//! assert!(listing.contains("ADD"));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::opcode::Opcode;
+use tinyevm_types::hex;
+
+/// Errors produced by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A token was not a known mnemonic.
+    UnknownMnemonic(String),
+    /// A `PUSHn` was not followed by an immediate.
+    MissingImmediate(String),
+    /// An immediate could not be parsed as hex.
+    BadImmediate(String),
+    /// An immediate was wider than the `PUSHn` allows.
+    ImmediateTooWide {
+        /// The push mnemonic.
+        mnemonic: String,
+        /// Bytes the immediate decodes to.
+        got: usize,
+        /// Maximum bytes allowed.
+        max: usize,
+    },
+    /// `PUSHLABEL` referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic(token) => write!(f, "unknown mnemonic {token:?}"),
+            AsmError::MissingImmediate(mnemonic) => {
+                write!(f, "{mnemonic} requires an immediate operand")
+            }
+            AsmError::BadImmediate(token) => write!(f, "cannot parse immediate {token:?}"),
+            AsmError::ImmediateTooWide { mnemonic, got, max } => {
+                write!(f, "{mnemonic} immediate is {got} bytes, maximum {max}")
+            }
+            AsmError::UndefinedLabel(label) => write!(f, "undefined label {label:?}"),
+            AsmError::DuplicateLabel(label) => write!(f, "label {label:?} defined twice"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles a mnemonic listing into bytecode.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for unknown mnemonics, malformed immediates or
+/// label problems.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    let tokens = tokenize(source);
+    // Pass 1: compute label offsets.
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut offset = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let token = &tokens[i];
+        if let Some(label) = token.strip_prefix('@') {
+            if let Some(name) = label.strip_suffix(':') {
+                if labels.insert(name.to_string(), offset).is_some() {
+                    return Err(AsmError::DuplicateLabel(name.to_string()));
+                }
+                i += 1;
+                continue;
+            }
+        }
+        if token.eq_ignore_ascii_case("PUSHLABEL") {
+            offset += 3; // encoded as PUSH2 <hi> <lo>
+            i += 2;
+            continue;
+        }
+        let opcode = Opcode::from_mnemonic(token)
+            .ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
+        offset += 1 + opcode.push_bytes();
+        if opcode.push_bytes() > 0 {
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Pass 2: emit bytes.
+    let mut out = Vec::with_capacity(offset);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let token = &tokens[i];
+        if token.starts_with('@') && token.ends_with(':') {
+            i += 1;
+            continue;
+        }
+        if token.eq_ignore_ascii_case("PUSHLABEL") {
+            let label_token = tokens
+                .get(i + 1)
+                .ok_or_else(|| AsmError::MissingImmediate(token.clone()))?;
+            let name = label_token.strip_prefix('@').unwrap_or(label_token);
+            let target = *labels
+                .get(name)
+                .ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))?;
+            out.push(Opcode::Push2.to_byte());
+            out.push((target >> 8) as u8);
+            out.push(target as u8);
+            i += 2;
+            continue;
+        }
+        let opcode = Opcode::from_mnemonic(token)
+            .ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
+        out.push(opcode.to_byte());
+        let width = opcode.push_bytes();
+        if width > 0 {
+            let immediate_token = tokens
+                .get(i + 1)
+                .ok_or_else(|| AsmError::MissingImmediate(token.clone()))?;
+            let immediate = parse_immediate(immediate_token)?;
+            if immediate.len() > width {
+                return Err(AsmError::ImmediateTooWide {
+                    mnemonic: token.clone(),
+                    got: immediate.len(),
+                    max: width,
+                });
+            }
+            // Left-pad to the push width.
+            out.extend(std::iter::repeat(0u8).take(width - immediate.len()));
+            out.extend_from_slice(&immediate);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn tokenize(source: &str) -> Vec<String> {
+    source
+        .lines()
+        .map(|line| line.split(';').next().unwrap_or(""))
+        .flat_map(|line| line.split_whitespace())
+        .map(|token| token.to_string())
+        .collect()
+}
+
+fn parse_immediate(token: &str) -> Result<Vec<u8>, AsmError> {
+    let cleaned = token.strip_prefix("0x").unwrap_or(token);
+    if cleaned.is_empty() {
+        return Err(AsmError::BadImmediate(token.to_string()));
+    }
+    let padded = if cleaned.len() % 2 == 1 {
+        format!("0{cleaned}")
+    } else {
+        cleaned.to_string()
+    };
+    hex::decode(&padded).map_err(|_| AsmError::BadImmediate(token.to_string()))
+}
+
+/// Disassembles bytecode into one instruction per line
+/// (`offset: MNEMONIC [immediate]`).
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let byte = code[pc];
+        match Opcode::from_byte(byte) {
+            Some(opcode) => {
+                let width = opcode.push_bytes();
+                if width > 0 {
+                    let end = (pc + 1 + width).min(code.len());
+                    let immediate = hex::encode(&code[pc + 1..end]);
+                    out.push_str(&format!("{pc:04x}: {} 0x{immediate}\n", opcode.info().name));
+                    pc = pc + 1 + width;
+                } else {
+                    out.push_str(&format!("{pc:04x}: {}\n", opcode.info().name));
+                    pc += 1;
+                }
+            }
+            None => {
+                out.push_str(&format!("{pc:04x}: DATA 0x{byte:02x}\n"));
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Builds standard init code that deploys `runtime` verbatim: the
+/// constructor copies the runtime code to memory and returns it. This is the
+/// same layout `solc` emits, so deployment metrics computed over it match
+/// what the device would see for a compiled contract.
+pub fn wrap_as_init_code(runtime: &[u8]) -> Vec<u8> {
+    // PUSH2 <len> DUP1 PUSH2 <offset> PUSH1 0 CODECOPY PUSH1 0 RETURN <runtime>
+    let mut prologue = vec![
+        Opcode::Push2.to_byte(),
+        0,
+        0, // runtime length placeholder
+        Opcode::Dup1.to_byte(),
+        Opcode::Push2.to_byte(),
+        0,
+        0, // offset placeholder
+        Opcode::Push1.to_byte(),
+        0x00,
+        Opcode::CodeCopy.to_byte(),
+        Opcode::Push1.to_byte(),
+        0x00,
+        Opcode::Return.to_byte(),
+    ];
+    let offset = prologue.len();
+    let len = runtime.len();
+    prologue[1] = (len >> 8) as u8;
+    prologue[2] = len as u8;
+    prologue[5] = (offset >> 8) as u8;
+    prologue[6] = offset as u8;
+    prologue.extend_from_slice(runtime);
+    prologue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvmConfig;
+    use crate::interpreter::{Evm, ExecOutcome};
+
+    #[test]
+    fn assemble_simple_sequence() {
+        let code = assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP").unwrap();
+        assert_eq!(code, vec![0x60, 0x01, 0x60, 0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn assemble_is_case_insensitive_and_ignores_comments() {
+        let code = assemble("push1 0x2a ; the answer\nsstore").unwrap();
+        assert_eq!(code[0], 0x60);
+        assert_eq!(code[2], 0x55);
+    }
+
+    #[test]
+    fn assemble_pads_short_immediates() {
+        let code = assemble("PUSH4 0x01").unwrap();
+        assert_eq!(code, vec![0x63, 0x00, 0x00, 0x00, 0x01]);
+        let code = assemble("PUSH2 0x1").unwrap();
+        assert_eq!(code, vec![0x61, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn assemble_rejects_wide_immediates_and_bad_tokens() {
+        assert!(matches!(
+            assemble("PUSH1 0x0102"),
+            Err(AsmError::ImmediateTooWide { .. })
+        ));
+        assert_eq!(
+            assemble("FROB"),
+            Err(AsmError::UnknownMnemonic("FROB".to_string()))
+        );
+        assert!(matches!(
+            assemble("PUSH1 zz"),
+            Err(AsmError::BadImmediate(_))
+        ));
+        assert!(matches!(
+            assemble("PUSH1"),
+            Err(AsmError::MissingImmediate(_))
+        ));
+    }
+
+    #[test]
+    fn labels_resolve_to_offsets() {
+        let source = "
+            PUSHLABEL @end JUMP
+            PUSH1 0xff PUSH1 0xff
+            @end: JUMPDEST STOP
+        ";
+        let code = assemble(source).unwrap();
+        // PUSH2(3) JUMP(1) PUSH1 PUSH1 (4) -> label at 8.
+        assert_eq!(code[0], 0x61);
+        assert_eq!(code[2], 8);
+        assert_eq!(code[8], 0x5b);
+        // And it actually runs: the junk pushes are skipped.
+        let result = Evm::new(EvmConfig::cc2538()).execute(&code, &[]).unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Stop);
+        assert_eq!(result.metrics.instructions, 4);
+    }
+
+    #[test]
+    fn duplicate_and_undefined_labels_error() {
+        assert_eq!(
+            assemble("@a: JUMPDEST @a: JUMPDEST"),
+            Err(AsmError::DuplicateLabel("a".to_string()))
+        );
+        assert_eq!(
+            assemble("PUSHLABEL @missing"),
+            Err(AsmError::UndefinedLabel("missing".to_string()))
+        );
+    }
+
+    #[test]
+    fn disassemble_round_trips_mnemonics() {
+        let code = assemble("PUSH1 0x2a PUSH2 0xbeef ADD SSTORE STOP").unwrap();
+        let listing = disassemble(&code);
+        assert!(listing.contains("PUSH1 0x2a"));
+        assert!(listing.contains("PUSH2 0xbeef"));
+        assert!(listing.contains("ADD"));
+        assert!(listing.contains("SSTORE"));
+        assert!(listing.contains("STOP"));
+    }
+
+    #[test]
+    fn disassemble_marks_undefined_bytes() {
+        let listing = disassemble(&[0x01, 0x0d, 0x00]);
+        assert!(listing.contains("DATA 0x0d"));
+    }
+
+    #[test]
+    fn disassemble_handles_truncated_push() {
+        // PUSH32 with only 2 immediate bytes present.
+        let listing = disassemble(&[0x7f, 0xaa, 0xbb]);
+        assert!(listing.contains("PUSH32 0xaabb"));
+    }
+
+    #[test]
+    fn wrap_as_init_code_deploys_runtime_exactly() {
+        let runtime = assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = wrap_as_init_code(&runtime);
+        let result = Evm::new(EvmConfig::cc2538()).execute(&init, &[]).unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Return);
+        assert_eq!(result.output, runtime);
+    }
+
+    #[test]
+    fn wrap_as_init_code_of_empty_runtime() {
+        let init = wrap_as_init_code(&[]);
+        let result = Evm::new(EvmConfig::cc2538()).execute(&init, &[]).unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Return);
+        assert!(result.output.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Execution errors and trap reasons.
+
+use crate::opcode::Opcode;
+
+/// The reason an execution halted abnormally.
+///
+/// A *trap* is the EVM's equivalent of a hardware fault: the machine stops,
+/// the enclosing frame fails, and — on the IoT device — the off-chain state
+/// transition is simply not applied. The paper's deployability experiment
+/// (Figure 3a) counts a contract as "failed" when its constructor traps with
+/// a resource-limit violation such as [`TrapReason::CodeSizeExceeded`] or
+/// [`TrapReason::MemoryLimitExceeded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapReason {
+    /// The stack grew beyond the configured limit.
+    StackOverflow {
+        /// Configured maximum number of stack elements.
+        limit: usize,
+    },
+    /// An opcode needed more stack elements than were present.
+    StackUnderflow {
+        /// The opcode that required the elements.
+        opcode: Opcode,
+        /// Elements it needed.
+        needed: usize,
+        /// Elements available.
+        available: usize,
+    },
+    /// Touched memory beyond the configured RAM budget.
+    MemoryLimitExceeded {
+        /// Offset + length that was requested, in bytes.
+        requested: usize,
+        /// Configured limit in bytes.
+        limit: usize,
+    },
+    /// The off-chain storage budget was exhausted.
+    StorageLimitExceeded {
+        /// Configured limit in bytes.
+        limit: usize,
+    },
+    /// Jumped to a destination that is not a `JUMPDEST`.
+    InvalidJump {
+        /// The requested destination program counter.
+        destination: usize,
+    },
+    /// Executed an undefined byte.
+    UndefinedInstruction {
+        /// The raw byte value.
+        byte: u8,
+    },
+    /// Executed an opcode that TinyEVM removes in off-chain mode (the
+    /// blockchain-information group and the gas introspection group).
+    UnsupportedOpcode {
+        /// The offending opcode.
+        opcode: Opcode,
+    },
+    /// The `INVALID` (0xFE) opcode was executed.
+    InvalidOpcode,
+    /// Gas ran out (only possible in metered mode).
+    OutOfGas {
+        /// Gas limit of the frame.
+        limit: u64,
+    },
+    /// A `RETURN` from init code produced runtime code above the limit.
+    CodeSizeExceeded {
+        /// Size of the produced code.
+        size: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// Call / create nesting exceeded the configured depth.
+    CallDepthExceeded {
+        /// Configured maximum depth.
+        limit: usize,
+    },
+    /// The IoT environment rejected a sensor or actuator request.
+    IotUnavailable {
+        /// The sensor / actuator id that was requested.
+        id: u64,
+    },
+    /// An `SSTORE` or state-changing call was attempted inside a static call.
+    StaticModeViolation,
+    /// The execution exceeded the configured instruction budget (a watchdog
+    /// against non-terminating off-chain programs, which have no gas to stop
+    /// them).
+    InstructionLimitExceeded {
+        /// Configured maximum number of executed instructions.
+        limit: u64,
+    },
+}
+
+impl core::fmt::Display for TrapReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrapReason::StackOverflow { limit } => write!(f, "stack overflow (limit {limit})"),
+            TrapReason::StackUnderflow {
+                opcode,
+                needed,
+                available,
+            } => write!(
+                f,
+                "stack underflow: {opcode:?} needs {needed} items, {available} available"
+            ),
+            TrapReason::MemoryLimitExceeded { requested, limit } => {
+                write!(f, "memory access at {requested} exceeds limit {limit}")
+            }
+            TrapReason::StorageLimitExceeded { limit } => {
+                write!(f, "off-chain storage limit of {limit} bytes exceeded")
+            }
+            TrapReason::InvalidJump { destination } => {
+                write!(f, "jump to invalid destination {destination}")
+            }
+            TrapReason::UndefinedInstruction { byte } => {
+                write!(f, "undefined instruction byte 0x{byte:02x}")
+            }
+            TrapReason::UnsupportedOpcode { opcode } => {
+                write!(f, "opcode {opcode:?} is not supported off-chain")
+            }
+            TrapReason::InvalidOpcode => write!(f, "INVALID opcode executed"),
+            TrapReason::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
+            TrapReason::CodeSizeExceeded { size, limit } => {
+                write!(f, "runtime code of {size} bytes exceeds limit {limit}")
+            }
+            TrapReason::CallDepthExceeded { limit } => {
+                write!(f, "call depth limit {limit} exceeded")
+            }
+            TrapReason::IotUnavailable { id } => {
+                write!(f, "IoT sensor/actuator {id} unavailable")
+            }
+            TrapReason::StaticModeViolation => {
+                write!(f, "state modification inside a static call")
+            }
+            TrapReason::InstructionLimitExceeded { limit } => {
+                write!(f, "instruction budget of {limit} exhausted")
+            }
+        }
+    }
+}
+
+/// Top-level execution error: the frame trapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Why the machine stopped.
+    pub reason: TrapReason,
+    /// Program counter at the fault.
+    pub pc: usize,
+    /// Number of instructions retired before the fault.
+    pub instructions_executed: u64,
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "execution trapped at pc {}: {} (after {} instructions)",
+            self.pc, self.reason, self.instructions_executed
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let reasons = vec![
+            TrapReason::StackOverflow { limit: 96 },
+            TrapReason::StackUnderflow {
+                opcode: Opcode::Add,
+                needed: 2,
+                available: 1,
+            },
+            TrapReason::MemoryLimitExceeded {
+                requested: 9000,
+                limit: 8192,
+            },
+            TrapReason::StorageLimitExceeded { limit: 1024 },
+            TrapReason::InvalidJump { destination: 77 },
+            TrapReason::UndefinedInstruction { byte: 0x0e },
+            TrapReason::UnsupportedOpcode {
+                opcode: Opcode::Timestamp,
+            },
+            TrapReason::InvalidOpcode,
+            TrapReason::OutOfGas { limit: 30_000 },
+            TrapReason::CodeSizeExceeded {
+                size: 9001,
+                limit: 8192,
+            },
+            TrapReason::CallDepthExceeded { limit: 8 },
+            TrapReason::IotUnavailable { id: 3 },
+            TrapReason::StaticModeViolation,
+            TrapReason::InstructionLimitExceeded { limit: 1_000_000 },
+        ];
+        for reason in reasons {
+            let message = format!("{reason}");
+            assert!(!message.is_empty());
+            let error = ExecError {
+                reason: reason.clone(),
+                pc: 12,
+                instructions_executed: 34,
+            };
+            let rendered = format!("{error}");
+            assert!(rendered.contains("pc 12"));
+            assert!(rendered.contains("34 instructions"));
+        }
+    }
+}

@@ -1,0 +1,1076 @@
+//! The TinyEVM bytecode interpreter.
+
+use tinyevm_types::{Address, I256, U256};
+
+use crate::config::{EvmConfig, GasMode};
+use crate::error::{ExecError, TrapReason};
+use crate::host::{CallKind, CallRequest, Host, LogEntry, NullHost};
+use crate::iot::{IotEnvironment, IotRequest, NullIotEnvironment};
+use crate::memory::Memory;
+use crate::metrics::ExecMetrics;
+use crate::opcode::Opcode;
+use crate::stack::Stack;
+use crate::storage::{SideChainStorage, StorageBackend};
+
+/// Identity and inputs of one execution frame.
+#[derive(Debug, Clone)]
+pub struct CallContext {
+    /// The executing contract's own address (`ADDRESS`).
+    pub address: Address,
+    /// The immediate caller (`CALLER`).
+    pub caller: Address,
+    /// The transaction originator (`ORIGIN`).
+    pub origin: Address,
+    /// Value transferred with the call (`CALLVALUE`).
+    pub call_value: U256,
+    /// Call data bytes.
+    pub call_data: Vec<u8>,
+}
+
+impl Default for CallContext {
+    fn default() -> Self {
+        CallContext {
+            address: Address::ZERO,
+            caller: Address::ZERO,
+            origin: Address::ZERO,
+            call_value: U256::ZERO,
+            call_data: Vec::new(),
+        }
+    }
+}
+
+/// How a frame finished (traps are reported as [`ExecError`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// `STOP` or running off the end of the code.
+    Stop,
+    /// `RETURN` with output data.
+    Return,
+    /// `REVERT` with revert data; state changes must be discarded.
+    Revert,
+    /// `SELFDESTRUCT`.
+    SelfDestruct,
+}
+
+/// The result of a completed (non-trapping) frame.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// How the frame finished.
+    pub outcome: ExecOutcome,
+    /// Return or revert data.
+    pub output: Vec<u8>,
+    /// Metrics collected over the frame and its sub-frames.
+    pub metrics: ExecMetrics,
+}
+
+impl ExecResult {
+    /// True unless the frame reverted.
+    pub fn is_success(&self) -> bool {
+        self.outcome != ExecOutcome::Revert
+    }
+}
+
+/// The TinyEVM virtual machine.
+///
+/// An [`Evm`] value is little more than a configuration; each call to an
+/// `execute*` method runs one frame with fresh stack and memory, which is
+/// exactly how the MCU implementation works (a static arena reused per
+/// execution).
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_evm::{asm, Evm, EvmConfig};
+///
+/// let code = asm::assemble("PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+/// let mut evm = Evm::new(EvmConfig::cc2538());
+/// let result = evm.execute(&code, &[]).unwrap();
+/// assert_eq!(result.output[31], 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evm {
+    config: EvmConfig,
+}
+
+impl Evm {
+    /// Creates a machine with the given resource profile.
+    pub fn new(config: EvmConfig) -> Self {
+        Evm { config }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &EvmConfig {
+        &self.config
+    }
+
+    /// Executes `code` standalone: default context, fresh side-chain
+    /// storage, no host accounts, no IoT peripherals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the execution traps.
+    pub fn execute(&mut self, code: &[u8], call_data: &[u8]) -> Result<ExecResult, ExecError> {
+        let mut storage = SideChainStorage::new(self.config.max_storage_bytes);
+        let mut host = NullHost::new();
+        let mut iot = NullIotEnvironment;
+        let context = CallContext {
+            call_data: call_data.to_vec(),
+            ..CallContext::default()
+        };
+        let depth = self.config.max_call_depth;
+        self.execute_in_frame(code, context, &mut storage, &mut host, &mut iot, false, depth)
+    }
+
+    /// Executes `code` standalone but with an IoT environment, so contracts
+    /// using the `0x0C` opcode can reach sensors and actuators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the execution traps.
+    pub fn execute_with_iot(
+        &mut self,
+        code: &[u8],
+        call_data: &[u8],
+        iot: &mut dyn IotEnvironment,
+    ) -> Result<ExecResult, ExecError> {
+        let mut storage = SideChainStorage::new(self.config.max_storage_bytes);
+        let mut host = NullHost::new();
+        let context = CallContext {
+            call_data: call_data.to_vec(),
+            ..CallContext::default()
+        };
+        let depth = self.config.max_call_depth;
+        self.execute_in_frame(code, context, &mut storage, &mut host, iot, false, depth)
+    }
+
+    /// Executes one frame with explicit storage, host and IoT environment.
+    ///
+    /// This is the entry point the payment-channel runtime and the chain
+    /// simulator use; `execute` and `execute_with_iot` are conveniences over
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the execution traps (resource exhaustion,
+    /// invalid jump, unsupported opcode, and so on).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_in_frame(
+        &mut self,
+        code: &[u8],
+        context: CallContext,
+        storage: &mut dyn StorageBackend,
+        host: &mut dyn Host,
+        iot: &mut dyn IotEnvironment,
+        static_mode: bool,
+        depth_remaining: usize,
+    ) -> Result<ExecResult, ExecError> {
+        Frame {
+            config: &self.config,
+            code,
+            context,
+            storage,
+            host,
+            iot,
+            static_mode,
+            depth_remaining,
+            stack: Stack::new(self.config.max_stack_depth),
+            memory: Memory::new(self.config.max_memory_bytes),
+            metrics: ExecMetrics::new(),
+            return_data: Vec::new(),
+            gas_remaining: match self.config.gas_mode {
+                GasMode::Metered { limit } => limit,
+                GasMode::Unmetered => u64::MAX,
+            },
+            pc: 0,
+        }
+        .run()
+    }
+}
+
+/// One in-flight execution frame.
+struct Frame<'a> {
+    config: &'a EvmConfig,
+    code: &'a [u8],
+    context: CallContext,
+    storage: &'a mut dyn StorageBackend,
+    host: &'a mut dyn Host,
+    iot: &'a mut dyn IotEnvironment,
+    static_mode: bool,
+    depth_remaining: usize,
+    stack: Stack,
+    memory: Memory,
+    metrics: ExecMetrics,
+    return_data: Vec<u8>,
+    gas_remaining: u64,
+    pc: usize,
+}
+
+enum Step {
+    Continue,
+    Finish(ExecOutcome, Vec<u8>),
+}
+
+impl<'a> Frame<'a> {
+    fn run(mut self) -> Result<ExecResult, ExecError> {
+        let jumpdests = analyze_jumpdests(self.code);
+        loop {
+            if self.pc >= self.code.len() {
+                return Ok(self.finish(ExecOutcome::Stop, Vec::new()));
+            }
+            let byte = self.code[self.pc];
+            let opcode = match Opcode::from_byte(byte) {
+                Some(op) => op,
+                None => return Err(self.trap(TrapReason::UndefinedInstruction { byte })),
+            };
+            self.metrics.record(opcode);
+            if self.metrics.instructions > self.config.instruction_limit {
+                return Err(self.trap(TrapReason::InstructionLimitExceeded {
+                    limit: self.config.instruction_limit,
+                }));
+            }
+            if let GasMode::Metered { limit } = self.config.gas_mode {
+                let cost = opcode.info().gas;
+                if cost > self.gas_remaining {
+                    return Err(self.trap(TrapReason::OutOfGas { limit }));
+                }
+                self.gas_remaining -= cost;
+                self.metrics.gas_used += cost;
+            }
+            if self.config.off_chain && opcode.removed_off_chain() {
+                return Err(self.trap(TrapReason::UnsupportedOpcode { opcode }));
+            }
+            self.stack
+                .require(opcode, opcode.info().inputs)
+                .map_err(|reason| self.trap(reason))?;
+
+            match self.step(opcode, &jumpdests) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Finish(outcome, output)) => return Ok(self.finish(outcome, output)),
+                Err(reason) => return Err(self.trap(reason)),
+            }
+        }
+    }
+
+    fn finish(mut self, outcome: ExecOutcome, output: Vec<u8>) -> ExecResult {
+        self.metrics.max_stack_pointer = self.stack.max_pointer();
+        self.metrics.memory_high_water = self
+            .metrics
+            .memory_high_water
+            .max(self.memory.high_water_mark());
+        self.metrics.storage_bytes = self.storage.resident_bytes();
+        ExecResult {
+            outcome,
+            output,
+            metrics: self.metrics,
+        }
+    }
+
+    fn trap(&mut self, reason: TrapReason) -> ExecError {
+        self.metrics.max_stack_pointer = self.stack.max_pointer();
+        self.metrics.memory_high_water = self
+            .metrics
+            .memory_high_water
+            .max(self.memory.high_water_mark());
+        ExecError {
+            reason,
+            pc: self.pc,
+            instructions_executed: self.metrics.instructions,
+        }
+    }
+
+    fn step(&mut self, opcode: Opcode, jumpdests: &[bool]) -> Result<Step, TrapReason> {
+        use Opcode::*;
+        let mut next_pc = self.pc + 1;
+        match opcode {
+            Stop => return Ok(Step::Finish(ExecOutcome::Stop, Vec::new())),
+
+            // --- arithmetic ------------------------------------------------
+            Add => self.binary_op(|a, b| a.wrapping_add(b))?,
+            Mul => self.binary_op(|a, b| a.wrapping_mul(b))?,
+            Sub => self.binary_op(|a, b| a.wrapping_sub(b))?,
+            Div => self.binary_op(|a, b| a.div(b))?,
+            SDiv => self.binary_op(|a, b| I256::from(a).sdiv(I256::from(b)).into_raw())?,
+            Mod => self.binary_op(|a, b| a.rem(b))?,
+            SMod => self.binary_op(|a, b| I256::from(a).smod(I256::from(b)).into_raw())?,
+            AddMod => self.ternary_op(|a, b, m| a.add_mod(b, m))?,
+            MulMod => self.ternary_op(|a, b, m| a.mul_mod(b, m))?,
+            Exp => self.binary_op(|a, b| a.wrapping_pow(b))?,
+            SignExtend => self.binary_op(|index, value| value.sign_extend(index))?,
+
+            // --- comparison / bitwise -------------------------------------
+            Lt => self.binary_op(|a, b| bool_word(a < b))?,
+            Gt => self.binary_op(|a, b| bool_word(a > b))?,
+            Slt => self.binary_op(|a, b| bool_word(I256::from(a).slt(I256::from(b))))?,
+            Sgt => self.binary_op(|a, b| bool_word(I256::from(a).sgt(I256::from(b))))?,
+            Eq => self.binary_op(|a, b| bool_word(a == b))?,
+            IsZero => self.unary_op(|a| bool_word(a.is_zero()))?,
+            And => self.binary_op(|a, b| a & b)?,
+            Or => self.binary_op(|a, b| a | b)?,
+            Xor => self.binary_op(|a, b| a ^ b)?,
+            Not => self.unary_op(|a| !a)?,
+            Byte => self.binary_op(|index, value| {
+                U256::from(value.byte_be(index.to_usize().unwrap_or(usize::MAX).min(32)) as u64)
+            })?,
+            Shl => self.binary_op(|shift, value| value.shl(shift_amount(shift)))?,
+            Shr => self.binary_op(|shift, value| value.shr(shift_amount(shift)))?,
+            Sar => self.binary_op(|shift, value| value.sar(shift_amount(shift)))?,
+
+            // --- hashing ---------------------------------------------------
+            Sha3 => {
+                let offset = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let data = self.memory.load_slice(offset, len)?;
+                self.metrics.keccak_invocations += 1;
+                self.metrics.keccak_bytes += len as u64;
+                let digest = tinyevm_crypto::keccak256(&data);
+                self.stack.push(U256::from_be_bytes(digest))?;
+            }
+
+            // --- IoT opcode ------------------------------------------------
+            Iot => {
+                let selector = self.stack.pop()?;
+                let parameter = self.stack.pop()?;
+                let request = IotRequest::decode(selector, parameter);
+                self.metrics.iot_invocations += 1;
+                match self.iot.handle(request) {
+                    Some(value) => self.stack.push(value)?,
+                    None => {
+                        return Err(TrapReason::IotUnavailable {
+                            id: request.peripheral_id(),
+                        })
+                    }
+                }
+            }
+
+            // --- environment ----------------------------------------------
+            Address => self.stack.push(self.context.address.to_u256())?,
+            Balance => {
+                let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
+                let balance = self.host.balance(&address);
+                self.stack.push(balance)?;
+            }
+            Origin => self.stack.push(self.context.origin.to_u256())?,
+            Caller => self.stack.push(self.context.caller.to_u256())?,
+            CallValue => self.stack.push(self.context.call_value)?,
+            CallDataLoad => {
+                let offset = self.pop_usize()?;
+                let mut word = [0u8; 32];
+                for (i, byte) in word.iter_mut().enumerate() {
+                    *byte = self
+                        .context
+                        .call_data
+                        .get(offset.saturating_add(i))
+                        .copied()
+                        .unwrap_or(0);
+                }
+                self.stack.push(U256::from_be_bytes(word))?;
+            }
+            CallDataSize => self.stack.push(U256::from(self.context.call_data.len()))?,
+            CallDataCopy => {
+                let dest = self.pop_usize()?;
+                let src = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let data = self.context.call_data.clone();
+                self.memory.copy_padded(dest, &data, src, len)?;
+            }
+            CodeSize => self.stack.push(U256::from(self.code.len()))?,
+            CodeCopy => {
+                let dest = self.pop_usize()?;
+                let src = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let code = self.code.to_vec();
+                self.memory.copy_padded(dest, &code, src, len)?;
+            }
+            GasPrice => self.stack.push(U256::ZERO)?,
+            ExtCodeSize => {
+                let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
+                self.stack.push(U256::from(self.host.code(&address).len()))?;
+            }
+            ExtCodeCopy => {
+                let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
+                let dest = self.pop_usize()?;
+                let src = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let code = self.host.code(&address);
+                self.memory.copy_padded(dest, &code, src, len)?;
+            }
+            ReturnDataSize => self.stack.push(U256::from(self.return_data.len()))?,
+            ReturnDataCopy => {
+                let dest = self.pop_usize()?;
+                let src = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let data = self.return_data.clone();
+                self.memory.copy_padded(dest, &data, src, len)?;
+            }
+            ExtCodeHash => {
+                let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
+                let code = self.host.code(&address);
+                if code.is_empty() {
+                    self.stack.push(U256::ZERO)?;
+                } else {
+                    self.stack
+                        .push(U256::from_be_bytes(tinyevm_crypto::keccak256(&code)))?;
+                }
+            }
+
+            // --- blockchain information (on-chain mode only) ----------------
+            BlockHash => {
+                self.stack.pop()?;
+                self.stack.push(U256::ZERO)?;
+            }
+            Coinbase | Timestamp | Number | Difficulty | GasLimit => {
+                self.stack.push(U256::ZERO)?;
+            }
+
+            // --- stack / memory / storage -----------------------------------
+            Pop => {
+                self.stack.pop()?;
+            }
+            MLoad => {
+                let offset = self.pop_usize()?;
+                let value = self.memory.load_word(offset)?;
+                self.stack.push(value)?;
+            }
+            MStore => {
+                let offset = self.pop_usize()?;
+                let value = self.stack.pop()?;
+                self.memory.store_word(offset, value)?;
+            }
+            MStore8 => {
+                let offset = self.pop_usize()?;
+                let value = self.stack.pop()?;
+                self.memory.store_byte(offset, value.byte_le(0))?;
+            }
+            SLoad => {
+                let key = self.stack.pop()?;
+                self.stack.push(self.storage.load(key))?;
+            }
+            SStore => {
+                if self.static_mode {
+                    return Err(TrapReason::StaticModeViolation);
+                }
+                let key = self.stack.pop()?;
+                let value = self.stack.pop()?;
+                self.storage.store(key, value)?;
+            }
+            Jump => {
+                let destination = self.pop_usize()?;
+                self.validate_jump(destination, jumpdests)?;
+                next_pc = destination;
+            }
+            JumpI => {
+                let destination = self.pop_usize()?;
+                let condition = self.stack.pop()?;
+                if !condition.is_zero() {
+                    self.validate_jump(destination, jumpdests)?;
+                    next_pc = destination;
+                }
+            }
+            Pc => self.stack.push(U256::from(self.pc))?,
+            MSize => self.stack.push(U256::from(self.memory.size()))?,
+            Gas => self.stack.push(U256::from(self.gas_remaining))?,
+            JumpDest => {}
+
+            // --- pushes, dups, swaps ----------------------------------------
+            Push1 | Push2 | Push3 | Push4 | Push5 | Push6 | Push7 | Push8 | Push9 | Push10
+            | Push11 | Push12 | Push13 | Push14 | Push15 | Push16 | Push17 | Push18 | Push19
+            | Push20 | Push21 | Push22 | Push23 | Push24 | Push25 | Push26 | Push27 | Push28
+            | Push29 | Push30 | Push31 | Push32 => {
+                let count = opcode.push_bytes();
+                let start = self.pc + 1;
+                let mut word = [0u8; 32];
+                for i in 0..count {
+                    word[32 - count + i] = self.code.get(start + i).copied().unwrap_or(0);
+                }
+                self.stack.push(U256::from_be_bytes(word))?;
+                next_pc = start + count;
+            }
+            Dup1 | Dup2 | Dup3 | Dup4 | Dup5 | Dup6 | Dup7 | Dup8 | Dup9 | Dup10 | Dup11
+            | Dup12 | Dup13 | Dup14 | Dup15 | Dup16 => {
+                self.stack.dup(opcode, opcode.dup_depth())?;
+            }
+            Swap1 | Swap2 | Swap3 | Swap4 | Swap5 | Swap6 | Swap7 | Swap8 | Swap9 | Swap10
+            | Swap11 | Swap12 | Swap13 | Swap14 | Swap15 | Swap16 => {
+                self.stack.swap(opcode, opcode.swap_depth())?;
+            }
+
+            // --- logging -----------------------------------------------------
+            Log0 | Log1 | Log2 | Log3 | Log4 => {
+                if self.static_mode {
+                    return Err(TrapReason::StaticModeViolation);
+                }
+                let offset = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let mut topics = Vec::with_capacity(opcode.log_topics());
+                for _ in 0..opcode.log_topics() {
+                    topics.push(self.stack.pop()?);
+                }
+                let data = self.memory.load_slice(offset, len)?;
+                self.host.emit_log(LogEntry {
+                    address: self.context.address,
+                    topics,
+                    data,
+                });
+            }
+
+            // --- calls and creation ------------------------------------------
+            Create => {
+                if self.static_mode {
+                    return Err(TrapReason::StaticModeViolation);
+                }
+                let value = self.stack.pop()?;
+                let offset = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                if self.depth_remaining == 0 {
+                    return Err(TrapReason::CallDepthExceeded {
+                        limit: self.config.max_call_depth,
+                    });
+                }
+                let init_code = self.memory.load_slice(offset, len)?;
+                let outcome = self.host.create(
+                    self.context.address,
+                    value,
+                    &init_code,
+                    self.depth_remaining,
+                    self.iot,
+                );
+                self.metrics.absorb(&outcome.metrics);
+                self.return_data = if outcome.success { Vec::new() } else { outcome.output };
+                match outcome.created {
+                    Some(address) if outcome.success => self.stack.push(address.to_u256())?,
+                    _ => self.stack.push(U256::ZERO)?,
+                }
+            }
+            Call | CallCode | DelegateCall | StaticCall => {
+                let step = self.do_call(opcode)?;
+                if let Step::Finish(..) = step {
+                    return Ok(step);
+                }
+            }
+            Return => {
+                let offset = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let output = self.memory.load_slice(offset, len)?;
+                return Ok(Step::Finish(ExecOutcome::Return, output));
+            }
+            Revert => {
+                let offset = self.pop_usize()?;
+                let len = self.pop_usize()?;
+                let output = self.memory.load_slice(offset, len)?;
+                return Ok(Step::Finish(ExecOutcome::Revert, output));
+            }
+            Invalid => return Err(TrapReason::InvalidOpcode),
+            SelfDestruct => {
+                if self.static_mode {
+                    return Err(TrapReason::StaticModeViolation);
+                }
+                let beneficiary = tinyevm_types::Address::from_u256(self.stack.pop()?);
+                self.host.selfdestruct(self.context.address, beneficiary);
+                return Ok(Step::Finish(ExecOutcome::SelfDestruct, Vec::new()));
+            }
+        }
+        self.pc = next_pc;
+        Ok(Step::Continue)
+    }
+
+    fn do_call(&mut self, opcode: Opcode) -> Result<Step, TrapReason> {
+        // gas operand is ignored in unmetered mode but still popped.
+        let _gas = self.stack.pop()?;
+        let target = tinyevm_types::Address::from_u256(self.stack.pop()?);
+        let value = if matches!(opcode, Opcode::Call | Opcode::CallCode) {
+            self.stack.pop()?
+        } else {
+            U256::ZERO
+        };
+        let in_offset = self.pop_usize()?;
+        let in_len = self.pop_usize()?;
+        let out_offset = self.pop_usize()?;
+        let out_len = self.pop_usize()?;
+
+        if self.static_mode && !value.is_zero() {
+            return Err(TrapReason::StaticModeViolation);
+        }
+        if self.depth_remaining == 0 {
+            return Err(TrapReason::CallDepthExceeded {
+                limit: self.config.max_call_depth,
+            });
+        }
+
+        let input = self.memory.load_slice(in_offset, in_len)?;
+        let kind = match opcode {
+            Opcode::DelegateCall | Opcode::CallCode => CallKind::Delegate,
+            Opcode::StaticCall => CallKind::Static,
+            _ => CallKind::Call,
+        };
+        let context_address = match kind {
+            CallKind::Delegate => self.context.address,
+            _ => target,
+        };
+        let request = CallRequest {
+            kind,
+            caller: self.context.address,
+            target,
+            context_address,
+            value,
+            input,
+            depth_remaining: self.depth_remaining,
+        };
+        let outcome = self.host.call(request, self.iot);
+        self.metrics.absorb(&outcome.metrics);
+        self.return_data = outcome.output.clone();
+        let copy_len = out_len.min(outcome.output.len());
+        self.memory
+            .copy_padded(out_offset, &outcome.output, 0, copy_len)?;
+        self.stack.push(bool_word(outcome.success))?;
+        Ok(Step::Continue)
+    }
+
+    fn validate_jump(&self, destination: usize, jumpdests: &[bool]) -> Result<(), TrapReason> {
+        if destination >= jumpdests.len() || !jumpdests[destination] {
+            return Err(TrapReason::InvalidJump { destination });
+        }
+        Ok(())
+    }
+
+    fn unary_op<F: FnOnce(U256) -> U256>(&mut self, f: F) -> Result<(), TrapReason> {
+        let a = self.stack.pop()?;
+        self.stack.push(f(a))
+    }
+
+    fn binary_op<F: FnOnce(U256, U256) -> U256>(&mut self, f: F) -> Result<(), TrapReason> {
+        let a = self.stack.pop()?;
+        let b = self.stack.pop()?;
+        self.stack.push(f(a, b))
+    }
+
+    fn ternary_op<F: FnOnce(U256, U256, U256) -> U256>(&mut self, f: F) -> Result<(), TrapReason> {
+        let a = self.stack.pop()?;
+        let b = self.stack.pop()?;
+        let c = self.stack.pop()?;
+        self.stack.push(f(a, b, c))
+    }
+
+    fn pop_usize(&mut self) -> Result<usize, TrapReason> {
+        let value = self.stack.pop()?;
+        value.to_usize().ok_or(TrapReason::MemoryLimitExceeded {
+            requested: usize::MAX,
+            limit: self.config.max_memory_bytes,
+        })
+    }
+}
+
+/// Marks every byte position that is a valid `JUMPDEST` (i.e. the byte is
+/// `0x5B` and it is not immediate data of a preceding `PUSH`).
+pub fn analyze_jumpdests(code: &[u8]) -> Vec<bool> {
+    let mut valid = vec![false; code.len()];
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let byte = code[pc];
+        if byte == Opcode::JumpDest.to_byte() {
+            valid[pc] = true;
+        }
+        if (0x60..=0x7f).contains(&byte) {
+            pc += (byte - 0x5f) as usize;
+        }
+        pc += 1;
+    }
+    valid
+}
+
+fn bool_word(value: bool) -> U256 {
+    if value {
+        U256::ONE
+    } else {
+        U256::ZERO
+    }
+}
+
+fn shift_amount(shift: U256) -> u32 {
+    shift.to_usize().map(|s| s.min(256) as u32).unwrap_or(256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::iot::ScriptedSensors;
+
+    fn run(source: &str) -> ExecResult {
+        let code = assemble(source).expect("assembly failed");
+        Evm::new(EvmConfig::cc2538())
+            .execute(&code, &[])
+            .expect("execution failed")
+    }
+
+    fn run_expect_trap(source: &str) -> TrapReason {
+        let code = assemble(source).expect("assembly failed");
+        Evm::new(EvmConfig::cc2538())
+            .execute(&code, &[])
+            .expect_err("expected a trap")
+            .reason
+    }
+
+    fn returned_word(result: &ExecResult) -> U256 {
+        U256::from_be_slice(&result.output).unwrap()
+    }
+
+    #[test]
+    fn empty_code_stops_cleanly() {
+        let mut evm = Evm::new(EvmConfig::cc2538());
+        let result = evm.execute(&[], &[]).unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Stop);
+        assert!(result.output.is_empty());
+        assert_eq!(result.metrics.instructions, 0);
+    }
+
+    #[test]
+    fn arithmetic_add_and_return() {
+        let result = run("PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(result.outcome, ExecOutcome::Return);
+        assert_eq!(returned_word(&result), U256::from(12u64));
+    }
+
+    #[test]
+    fn arithmetic_division_by_zero_yields_zero() {
+        let result = run("PUSH1 0x00 PUSH1 0x07 DIV PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_division() {
+        // -10 / 3 = -3 (SDIV truncates toward zero)
+        let result = run(
+            "PUSH1 0x03 PUSH1 0x0a PUSH1 0x00 SUB SDIV PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        );
+        // Result should be -3 mod 2^256
+        assert_eq!(returned_word(&result), U256::from(3u64).wrapping_neg());
+    }
+
+    #[test]
+    fn comparisons_and_bitwise() {
+        let result = run("PUSH1 0x02 PUSH1 0x01 LT PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ONE); // 1 < 2
+        let result = run("PUSH1 0x0f PUSH1 0xf0 OR PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(0xffu64));
+        let result = run("PUSH1 0x01 ISZERO PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn exp_and_mulmod() {
+        let result = run("PUSH1 0x0a PUSH1 0x02 EXP PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(1024u64));
+        let result =
+            run("PUSH1 0x05 PUSH1 0x09 PUSH1 0x07 MULMOD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(3u64)); // 7*9 mod 5
+    }
+
+    #[test]
+    fn byte_and_shifts() {
+        let result = run("PUSH1 0xff PUSH1 0x1f BYTE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(0xffu64)); // byte 31 of 0xff
+        let result = run("PUSH1 0x01 PUSH1 0x04 SHL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(16u64));
+        let result = run("PUSH1 0x10 PUSH1 0x04 SHR PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ONE);
+    }
+
+    #[test]
+    fn sha3_hashes_memory() {
+        // keccak256 of 32 zero bytes.
+        let result = run("PUSH1 0x20 PUSH1 0x00 SHA3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let expected = tinyevm_crypto::keccak256(&[0u8; 32]);
+        assert_eq!(result.output, expected.to_vec());
+        assert_eq!(result.metrics.keccak_invocations, 1);
+        assert_eq!(result.metrics.keccak_bytes, 32);
+    }
+
+    #[test]
+    fn memory_and_msize() {
+        let result = run("PUSH1 0x2a PUSH1 0x40 MSTORE MSIZE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        // Storing at 0x40 expands memory to 0x60 = 96 bytes.
+        assert_eq!(returned_word(&result), U256::from(96u64));
+    }
+
+    #[test]
+    fn mstore8_writes_single_byte() {
+        let result = run("PUSH1 0xab PUSH1 0x00 MSTORE8 PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(result.output[0], 0xab);
+        assert!(result.output[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let result = run(
+            "PUSH1 0x2a PUSH1 0x07 SSTORE PUSH1 0x07 SLOAD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        );
+        assert_eq!(returned_word(&result), U256::from(0x2au64));
+        assert!(result.metrics.storage_bytes > 0);
+    }
+
+    #[test]
+    fn jumps_and_conditional_jumps() {
+        // Jump over an INVALID opcode.
+        let result = run("PUSH1 0x04 JUMP INVALID JUMPDEST PUSH1 0x07 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(7u64));
+        // JUMPI not taken falls through to INVALID → trap.
+        let reason = run_expect_trap("PUSH1 0x00 PUSH1 0x06 JUMPI INVALID JUMPDEST STOP");
+        assert_eq!(reason, TrapReason::InvalidOpcode);
+    }
+
+    #[test]
+    fn invalid_jump_target_traps() {
+        let reason = run_expect_trap("PUSH1 0x03 JUMP STOP");
+        assert_eq!(reason, TrapReason::InvalidJump { destination: 3 });
+        // Jumping into push data is invalid even if the byte there is 0x5b.
+        let reason = run_expect_trap("PUSH1 0x02 JUMP PUSH1 0x5b STOP");
+        assert!(matches!(reason, TrapReason::InvalidJump { .. }));
+    }
+
+    #[test]
+    fn calldata_opcodes() {
+        let code = assemble("PUSH1 0x00 CALLDATALOAD PUSH1 0x00 MSTORE CALLDATASIZE PUSH1 0x20 MSTORE PUSH1 0x40 PUSH1 0x00 RETURN").unwrap();
+        let mut calldata = vec![0u8; 32];
+        calldata[31] = 99;
+        calldata.push(0xaa); // 33 bytes total
+        let result = Evm::new(EvmConfig::cc2538())
+            .execute(&code, &calldata)
+            .unwrap();
+        assert_eq!(
+            U256::from_be_slice(&result.output[..32]).unwrap(),
+            U256::from(99u64)
+        );
+        assert_eq!(
+            U256::from_be_slice(&result.output[32..]).unwrap(),
+            U256::from(33u64)
+        );
+    }
+
+    #[test]
+    fn codesize_and_codecopy() {
+        let result = run("CODESIZE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(9u64));
+    }
+
+    #[test]
+    fn environment_opcodes_default_context() {
+        let result = run("CALLER ADDRESS ORIGIN CALLVALUE ADD ADD ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn dup_and_swap_families() {
+        let result = run("PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 DUP3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ONE);
+        let result = run("PUSH1 0x01 PUSH1 0x02 SWAP1 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ONE);
+    }
+
+    #[test]
+    fn push32_and_pc() {
+        let result = run("PUSH32 0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(result.output[0], 0x01);
+        assert_eq!(result.output[31], 0x20);
+        let result = run("PC PC ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::from(1u64)); // 0 + 1
+    }
+
+    #[test]
+    fn revert_returns_data_and_flags_failure() {
+        let result = run("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 REVERT");
+        assert_eq!(result.outcome, ExecOutcome::Revert);
+        assert!(!result.is_success());
+        assert_eq!(returned_word(&result), U256::from(0x2au64));
+    }
+
+    #[test]
+    fn stack_underflow_and_overflow_trap() {
+        let reason = run_expect_trap("ADD");
+        assert!(matches!(reason, TrapReason::StackUnderflow { .. }));
+
+        // Push more than the 96-element CC2538 stack allows.
+        let mut source = String::new();
+        for _ in 0..100 {
+            source.push_str("PUSH1 0x01 ");
+        }
+        let reason = run_expect_trap(&source);
+        assert_eq!(reason, TrapReason::StackOverflow { limit: 96 });
+    }
+
+    #[test]
+    fn memory_budget_trap() {
+        // Store beyond the 8 KB budget.
+        let reason = run_expect_trap("PUSH1 0x01 PUSH2 0x2100 MSTORE");
+        assert!(matches!(reason, TrapReason::MemoryLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn undefined_instruction_traps() {
+        let mut evm = Evm::new(EvmConfig::cc2538());
+        let error = evm.execute(&[0x0d], &[]).unwrap_err();
+        assert_eq!(
+            error.reason,
+            TrapReason::UndefinedInstruction { byte: 0x0d }
+        );
+    }
+
+    #[test]
+    fn blockchain_opcodes_trap_off_chain_but_not_on_chain() {
+        let reason = run_expect_trap("TIMESTAMP");
+        assert_eq!(
+            reason,
+            TrapReason::UnsupportedOpcode {
+                opcode: Opcode::Timestamp
+            }
+        );
+        let reason = run_expect_trap("GAS");
+        assert_eq!(
+            reason,
+            TrapReason::UnsupportedOpcode {
+                opcode: Opcode::Gas
+            }
+        );
+
+        // The unconstrained (full-node) profile answers them instead.
+        let code = assemble("TIMESTAMP NUMBER ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let result = Evm::new(EvmConfig::unconstrained())
+            .execute(&code, &[])
+            .unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Return);
+    }
+
+    #[test]
+    fn iot_opcode_reads_scripted_sensor() {
+        // Selector 0 (read sensor 0), parameter 0.
+        let code = assemble("PUSH1 0x00 PUSH1 0x00 IOT PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let mut sensors = ScriptedSensors::new().with_reading(0, U256::from(215u64));
+        let result = Evm::new(EvmConfig::cc2538())
+            .execute_with_iot(&code, &[], &mut sensors)
+            .unwrap();
+        assert_eq!(U256::from_be_slice(&result.output).unwrap(), U256::from(215u64));
+        assert_eq!(result.metrics.iot_invocations, 1);
+    }
+
+    #[test]
+    fn iot_opcode_traps_without_peripherals() {
+        let reason = run_expect_trap("PUSH1 0x00 PUSH1 0x00 IOT");
+        assert_eq!(reason, TrapReason::IotUnavailable { id: 0 });
+    }
+
+    #[test]
+    fn instruction_limit_guards_infinite_loops() {
+        let mut config = EvmConfig::cc2538();
+        config.instruction_limit = 1_000;
+        let code = assemble("JUMPDEST PUSH1 0x00 JUMP").unwrap();
+        let error = Evm::new(config).execute(&code, &[]).unwrap_err();
+        assert_eq!(
+            error.reason,
+            TrapReason::InstructionLimitExceeded { limit: 1_000 }
+        );
+    }
+
+    #[test]
+    fn metered_mode_runs_out_of_gas() {
+        let config = EvmConfig::unconstrained().with_gas_mode(GasMode::Metered { limit: 10 });
+        let code = assemble("PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x03 ADD PUSH1 0x04 ADD STOP").unwrap();
+        let error = Evm::new(config).execute(&code, &[]).unwrap_err();
+        assert_eq!(error.reason, TrapReason::OutOfGas { limit: 10 });
+    }
+
+    #[test]
+    fn metrics_track_stack_and_memory_high_water() {
+        let result = run("PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 POP POP POP PUSH1 0x2a PUSH1 0x60 MSTORE STOP");
+        assert_eq!(result.metrics.max_stack_pointer, 3);
+        assert_eq!(result.metrics.memory_high_water, 0x60 + 32);
+        assert!(result.metrics.instructions >= 10);
+        assert!(result.metrics.mcu_cycles > 0);
+        assert_eq!(result.metrics.count(Opcode::MStore), 1);
+    }
+
+    #[test]
+    fn logs_reach_the_host() {
+        let code = assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0xbb PUSH1 0x20 PUSH1 0x00 LOG1 STOP").unwrap();
+        let mut evm = Evm::new(EvmConfig::cc2538());
+        let mut storage = SideChainStorage::new(1024);
+        let mut host = NullHost::new();
+        let mut iot = NullIotEnvironment;
+        let result = evm
+            .execute_in_frame(
+                &code,
+                CallContext::default(),
+                &mut storage,
+                &mut host,
+                &mut iot,
+                false,
+                4,
+            )
+            .unwrap();
+        assert_eq!(result.outcome, ExecOutcome::Stop);
+        assert_eq!(host.logs().len(), 1);
+        assert_eq!(host.logs()[0].topics, vec![U256::from(0xbbu64)]);
+        assert_eq!(host.logs()[0].data.len(), 32);
+    }
+
+    #[test]
+    fn static_mode_rejects_state_changes() {
+        let code = assemble("PUSH1 0x01 PUSH1 0x00 SSTORE STOP").unwrap();
+        let mut evm = Evm::new(EvmConfig::cc2538());
+        let mut storage = SideChainStorage::new(1024);
+        let mut host = NullHost::new();
+        let mut iot = NullIotEnvironment;
+        let error = evm
+            .execute_in_frame(
+                &code,
+                CallContext::default(),
+                &mut storage,
+                &mut host,
+                &mut iot,
+                true,
+                4,
+            )
+            .unwrap_err();
+        assert_eq!(error.reason, TrapReason::StaticModeViolation);
+    }
+
+    #[test]
+    fn jumpdest_analysis_skips_push_data() {
+        let code = assemble("PUSH2 0x5b5b JUMPDEST STOP").unwrap();
+        let dests = analyze_jumpdests(&code);
+        assert!(!dests[1]);
+        assert!(!dests[2]);
+        assert!(dests[3]);
+    }
+
+    #[test]
+    fn balance_of_unknown_account_is_zero() {
+        let result = run("PUSH1 0x42 BALANCE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn extcode_opcodes_with_null_host() {
+        let result = run("PUSH1 0x42 EXTCODESIZE PUSH1 0x42 EXTCODEHASH ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn returndata_is_empty_without_calls() {
+        let result = run("RETURNDATASIZE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn call_to_null_host_pushes_failure() {
+        let result = run(
+            "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x42 PUSH1 0x00 CALL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        );
+        assert_eq!(returned_word(&result), U256::ZERO);
+    }
+
+    #[test]
+    fn signextend_opcode() {
+        let result =
+            run("PUSH1 0xff PUSH1 0x00 SIGNEXTEND PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        assert_eq!(returned_word(&result), U256::MAX);
+    }
+}

@@ -1,0 +1,237 @@
+//! The IoT opcode's host interface.
+//!
+//! TinyEVM's key language extension is the `0x0C` opcode: a smart contract
+//! can ask the device it runs on to read a sensor or drive an actuator,
+//! removing the need for an external oracle. The interpreter forwards those
+//! requests to an [`IotEnvironment`] supplied by the host — on a real
+//! OpenMote that would be the Contiki-NG driver layer; in this workspace it
+//! is the sensor registry of `tinyevm-device`.
+//!
+//! The opcode pops two words, `(selector, parameter)`, and pushes one result
+//! word. The selector's low byte distinguishes a read (`0x00`) from an
+//! actuation (`0x01`); the remaining bytes identify the peripheral.
+
+use tinyevm_types::U256;
+
+/// A decoded IoT opcode request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IotRequest {
+    /// Read sensor `id`, with a device-specific `parameter` (for example a
+    /// channel or oversampling setting).
+    ReadSensor {
+        /// Peripheral identifier.
+        id: u64,
+        /// Device-specific parameter.
+        parameter: u64,
+    },
+    /// Drive actuator `id` with `value`.
+    Actuate {
+        /// Peripheral identifier.
+        id: u64,
+        /// Value to apply.
+        value: u64,
+    },
+}
+
+impl IotRequest {
+    /// Decodes the two stack operands of the IoT opcode.
+    ///
+    /// `selector` layout (low 16 bytes used): byte 0 is the operation
+    /// (0 = read, anything else = actuate), bytes 1..=8 are the peripheral
+    /// id.
+    pub fn decode(selector: U256, parameter: U256) -> IotRequest {
+        let op = selector.byte_le(0);
+        let mut id_bytes = [0u8; 8];
+        for (i, b) in id_bytes.iter_mut().enumerate() {
+            *b = selector.byte_le(1 + i);
+        }
+        let id = u64::from_le_bytes(id_bytes);
+        let parameter_low = parameter.low_u64();
+        if op == 0 {
+            IotRequest::ReadSensor {
+                id,
+                parameter: parameter_low,
+            }
+        } else {
+            IotRequest::Actuate {
+                id,
+                value: parameter_low,
+            }
+        }
+    }
+
+    /// Encodes this request back into the `(selector, parameter)` operand
+    /// pair — the inverse of [`IotRequest::decode`], used by the assembler
+    /// helpers and tests.
+    pub fn encode(&self) -> (U256, U256) {
+        match *self {
+            IotRequest::ReadSensor { id, parameter } => {
+                (Self::selector_word(0, id), U256::from(parameter))
+            }
+            IotRequest::Actuate { id, value } => (Self::selector_word(1, id), U256::from(value)),
+        }
+    }
+
+    fn selector_word(op: u8, id: u64) -> U256 {
+        let mut bytes = [0u8; 32];
+        bytes[31] = op;
+        let id_bytes = id.to_le_bytes();
+        for i in 0..8 {
+            bytes[30 - i] = id_bytes[i];
+        }
+        U256::from_be_bytes(bytes)
+    }
+
+    /// The peripheral id addressed by this request.
+    pub fn peripheral_id(&self) -> u64 {
+        match *self {
+            IotRequest::ReadSensor { id, .. } | IotRequest::Actuate { id, .. } => id,
+        }
+    }
+}
+
+/// Host-side provider of sensors and actuators.
+pub trait IotEnvironment {
+    /// Handles an IoT opcode request, returning the word to push (a sensor
+    /// reading, or an acknowledgement for an actuation), or `None` when the
+    /// peripheral does not exist — which traps the contract.
+    fn handle(&mut self, request: IotRequest) -> Option<U256>;
+}
+
+/// An environment with no peripherals: every IoT opcode traps. This is what
+/// the corpus-deployment experiments use, since off-the-shelf Ethereum
+/// contracts never contain the opcode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullIotEnvironment;
+
+impl IotEnvironment for NullIotEnvironment {
+    fn handle(&mut self, _request: IotRequest) -> Option<U256> {
+        None
+    }
+}
+
+/// A scripted environment for tests and examples: fixed readings per sensor
+/// id and a log of actuations.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedSensors {
+    readings: std::collections::BTreeMap<u64, U256>,
+    actuations: Vec<(u64, u64)>,
+}
+
+impl ScriptedSensors {
+    /// Creates an environment with no sensors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value returned for sensor `id`.
+    pub fn with_reading(mut self, id: u64, value: U256) -> Self {
+        self.readings.insert(id, value);
+        self
+    }
+
+    /// Actuations performed so far, in order, as `(id, value)` pairs.
+    pub fn actuations(&self) -> &[(u64, u64)] {
+        &self.actuations
+    }
+}
+
+impl IotEnvironment for ScriptedSensors {
+    fn handle(&mut self, request: IotRequest) -> Option<U256> {
+        match request {
+            IotRequest::ReadSensor { id, .. } => self.readings.get(&id).copied(),
+            IotRequest::Actuate { id, value } => {
+                if self.readings.contains_key(&id) {
+                    self.actuations.push((id, value));
+                    Some(U256::ONE)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_read_request() {
+        let (selector, parameter) = IotRequest::ReadSensor {
+            id: 0x1234,
+            parameter: 7,
+        }
+        .encode();
+        let decoded = IotRequest::decode(selector, parameter);
+        assert_eq!(
+            decoded,
+            IotRequest::ReadSensor {
+                id: 0x1234,
+                parameter: 7
+            }
+        );
+        assert_eq!(decoded.peripheral_id(), 0x1234);
+    }
+
+    #[test]
+    fn decode_actuate_request() {
+        let (selector, parameter) = IotRequest::Actuate { id: 9, value: 55 }.encode();
+        let decoded = IotRequest::decode(selector, parameter);
+        assert_eq!(decoded, IotRequest::Actuate { id: 9, value: 55 });
+    }
+
+    #[test]
+    fn zero_selector_is_a_read_of_sensor_zero() {
+        let decoded = IotRequest::decode(U256::ZERO, U256::ZERO);
+        assert_eq!(
+            decoded,
+            IotRequest::ReadSensor {
+                id: 0,
+                parameter: 0
+            }
+        );
+    }
+
+    #[test]
+    fn null_environment_rejects_everything() {
+        let mut env = NullIotEnvironment;
+        assert_eq!(
+            env.handle(IotRequest::ReadSensor {
+                id: 0,
+                parameter: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn scripted_sensors_return_configured_readings() {
+        let mut env = ScriptedSensors::new().with_reading(1, U256::from(215u64));
+        assert_eq!(
+            env.handle(IotRequest::ReadSensor {
+                id: 1,
+                parameter: 0
+            }),
+            Some(U256::from(215u64))
+        );
+        assert_eq!(
+            env.handle(IotRequest::ReadSensor {
+                id: 2,
+                parameter: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn scripted_sensors_log_actuations() {
+        let mut env = ScriptedSensors::new().with_reading(3, U256::ZERO);
+        assert_eq!(
+            env.handle(IotRequest::Actuate { id: 3, value: 90 }),
+            Some(U256::ONE)
+        );
+        assert_eq!(env.handle(IotRequest::Actuate { id: 4, value: 1 }), None);
+        assert_eq!(env.actuations(), &[(3, 90)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The 256-bit operand stack.
+
+use crate::error::TrapReason;
+use crate::opcode::Opcode;
+use tinyevm_types::U256;
+
+/// The EVM operand stack, bounded by the device profile and instrumented
+/// with the maximum-stack-pointer statistic that the paper's Figure 3c
+/// reports.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_evm::Stack;
+/// use tinyevm_types::U256;
+///
+/// let mut stack = Stack::new(96);
+/// stack.push(U256::from(1u64)).unwrap();
+/// stack.push(U256::from(2u64)).unwrap();
+/// assert_eq!(stack.pop().unwrap(), U256::from(2u64));
+/// assert_eq!(stack.max_pointer(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stack {
+    items: Vec<U256>,
+    limit: usize,
+    max_pointer: usize,
+}
+
+impl Stack {
+    /// Creates an empty stack with the given element limit.
+    pub fn new(limit: usize) -> Self {
+        Stack {
+            items: Vec::with_capacity(limit.min(64)),
+            limit,
+            max_pointer: 0,
+        }
+    }
+
+    /// Current number of elements (the stack pointer).
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Highest stack pointer observed since creation (Figure 3c metric).
+    pub fn max_pointer(&self) -> usize {
+        self.max_pointer
+    }
+
+    /// Configured element limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Returns `true` when no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes a word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapReason::StackOverflow`] when the limit is reached.
+    pub fn push(&mut self, value: U256) -> Result<(), TrapReason> {
+        if self.items.len() >= self.limit {
+            return Err(TrapReason::StackOverflow { limit: self.limit });
+        }
+        self.items.push(value);
+        self.max_pointer = self.max_pointer.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pops a word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapReason::StackUnderflow`] on an empty stack; the
+    /// reported opcode is `POP` because the interpreter checks arity before
+    /// dispatch and only direct misuse reaches this path.
+    pub fn pop(&mut self) -> Result<U256, TrapReason> {
+        self.items.pop().ok_or(TrapReason::StackUnderflow {
+            opcode: Opcode::Pop,
+            needed: 1,
+            available: 0,
+        })
+    }
+
+    /// Checks that `needed` elements are available for `opcode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapReason::StackUnderflow`] naming the opcode.
+    pub fn require(&self, opcode: Opcode, needed: usize) -> Result<(), TrapReason> {
+        if self.items.len() < needed {
+            return Err(TrapReason::StackUnderflow {
+                opcode,
+                needed,
+                available: self.items.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the element `depth_from_top` positions below the top (0 = top)
+    /// without removing it.
+    pub fn peek(&self, depth_from_top: usize) -> Option<U256> {
+        let len = self.items.len();
+        if depth_from_top < len {
+            Some(self.items[len - 1 - depth_from_top])
+        } else {
+            None
+        }
+    }
+
+    /// Duplicates the element at 1-based `depth` onto the top (`DUPn`).
+    ///
+    /// # Errors
+    ///
+    /// Returns stack underflow / overflow traps as appropriate.
+    pub fn dup(&mut self, opcode: Opcode, depth: usize) -> Result<(), TrapReason> {
+        self.require(opcode, depth)?;
+        let value = self.items[self.items.len() - depth];
+        self.push(value)
+    }
+
+    /// Swaps the top with the element at 1-based `depth` below it (`SWAPn`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapReason::StackUnderflow`] if fewer than `depth + 1`
+    /// elements are present.
+    pub fn swap(&mut self, opcode: Opcode, depth: usize) -> Result<(), TrapReason> {
+        self.require(opcode, depth + 1)?;
+        let top = self.items.len() - 1;
+        self.items.swap(top, top - depth);
+        Ok(())
+    }
+
+    /// A read-only view of the elements, bottom first (used by tests and the
+    /// disassembling tracer).
+    pub fn as_slice(&self) -> &[U256] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut stack = Stack::new(16);
+        assert!(stack.is_empty());
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        assert_eq!(stack.depth(), 2);
+        assert_eq!(stack.pop().unwrap(), word(2));
+        assert_eq!(stack.pop().unwrap(), word(1));
+        assert!(stack.pop().is_err());
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut stack = Stack::new(3);
+        for i in 0..3 {
+            stack.push(word(i)).unwrap();
+        }
+        assert_eq!(
+            stack.push(word(9)),
+            Err(TrapReason::StackOverflow { limit: 3 })
+        );
+    }
+
+    #[test]
+    fn max_pointer_tracks_high_water_mark() {
+        let mut stack = Stack::new(16);
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        stack.push(word(3)).unwrap();
+        stack.pop().unwrap();
+        stack.pop().unwrap();
+        stack.push(word(4)).unwrap();
+        assert_eq!(stack.depth(), 2);
+        assert_eq!(stack.max_pointer(), 3);
+    }
+
+    #[test]
+    fn require_names_the_opcode() {
+        let stack = Stack::new(16);
+        let err = stack.require(Opcode::Add, 2).unwrap_err();
+        assert_eq!(
+            err,
+            TrapReason::StackUnderflow {
+                opcode: Opcode::Add,
+                needed: 2,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn peek_views_without_popping() {
+        let mut stack = Stack::new(16);
+        stack.push(word(10)).unwrap();
+        stack.push(word(20)).unwrap();
+        assert_eq!(stack.peek(0), Some(word(20)));
+        assert_eq!(stack.peek(1), Some(word(10)));
+        assert_eq!(stack.peek(2), None);
+        assert_eq!(stack.depth(), 2);
+    }
+
+    #[test]
+    fn dup_copies_deep_element() {
+        let mut stack = Stack::new(16);
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        stack.push(word(3)).unwrap();
+        stack.dup(Opcode::Dup3, 3).unwrap();
+        assert_eq!(stack.peek(0), Some(word(1)));
+        assert_eq!(stack.depth(), 4);
+        assert!(stack.dup(Opcode::Dup16, 16).is_err());
+    }
+
+    #[test]
+    fn swap_exchanges_with_depth() {
+        let mut stack = Stack::new(16);
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        stack.push(word(3)).unwrap();
+        stack.swap(Opcode::Swap2, 2).unwrap();
+        assert_eq!(stack.peek(0), Some(word(1)));
+        assert_eq!(stack.peek(2), Some(word(3)));
+        assert!(stack.swap(Opcode::Swap16, 16).is_err());
+    }
+
+    #[test]
+    fn dup_respects_limit() {
+        let mut stack = Stack::new(2);
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        assert_eq!(
+            stack.dup(Opcode::Dup1, 1),
+            Err(TrapReason::StackOverflow { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn as_slice_is_bottom_first() {
+        let mut stack = Stack::new(4);
+        stack.push(word(1)).unwrap();
+        stack.push(word(2)).unwrap();
+        assert_eq!(stack.as_slice(), &[word(1), word(2)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Contract storage: the full 256-bit map used on-chain and TinyEVM's
+//! compact 8-bit-keyed side-chain store used off-chain.
+//!
+//! The paper's Table I lists "storage space: 256-bit (EVM) vs 8-bit
+//! (TinyEVM)". The observation behind it: the off-chain payment-channel
+//! contract only needs a handful of storage slots (balances, the sequence
+//! number, the latest sensor reading), so addressing them with a single
+//! byte and capping the store at 1 KB keeps the whole thing in a corner of
+//! the device's RAM while remaining a strict functional subset of `SSTORE`
+//! / `SLOAD`.
+
+use std::collections::BTreeMap;
+
+use crate::error::TrapReason;
+use tinyevm_types::U256;
+
+/// Storage abstraction used by the interpreter for `SLOAD` / `SSTORE`.
+pub trait StorageBackend {
+    /// Reads the word at `key` (zero when absent).
+    fn load(&self, key: U256) -> U256;
+    /// Writes `value` at `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a trap when the backend's capacity is exhausted.
+    fn store(&mut self, key: U256, value: U256) -> Result<(), TrapReason>;
+    /// Number of occupied slots.
+    fn slot_count(&self) -> usize;
+    /// Approximate resident size in bytes (keys + values), the quantity
+    /// charged against the device budget.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// Full-width storage: 256-bit keys, unbounded (used for the on-chain
+/// template contract executed by the chain simulator).
+#[derive(Debug, Clone, Default)]
+pub struct WordStorage {
+    slots: BTreeMap<U256, U256>,
+}
+
+impl WordStorage {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates over occupied slots in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&U256, &U256)> {
+        self.slots.iter()
+    }
+}
+
+impl StorageBackend for WordStorage {
+    fn load(&self, key: U256) -> U256 {
+        self.slots.get(&key).copied().unwrap_or(U256::ZERO)
+    }
+
+    fn store(&mut self, key: U256, value: U256) -> Result<(), TrapReason> {
+        if value.is_zero() {
+            self.slots.remove(&key);
+        } else {
+            self.slots.insert(key, value);
+        }
+        Ok(())
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slots.len() * 64
+    }
+}
+
+/// TinyEVM's off-chain side-chain storage: keys are truncated to 8 bits and
+/// the resident size is capped (1 KB in the CC2538 profile).
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_evm::{SideChainStorage, storage::StorageBackend};
+/// use tinyevm_types::U256;
+///
+/// let mut storage = SideChainStorage::new(1024);
+/// storage.store(U256::from(0x0cu64), U256::from(21u64)).unwrap();
+/// // Keys collide modulo 256: 0x10c maps onto the same byte key.
+/// assert_eq!(storage.load(U256::from(0x10cu64)), U256::from(21u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SideChainStorage {
+    slots: BTreeMap<u8, U256>,
+    byte_limit: usize,
+}
+
+impl SideChainStorage {
+    /// Creates an empty store with the given byte budget.
+    pub fn new(byte_limit: usize) -> Self {
+        SideChainStorage {
+            slots: BTreeMap::new(),
+            byte_limit,
+        }
+    }
+
+    /// The byte budget.
+    pub fn limit(&self) -> usize {
+        self.byte_limit
+    }
+
+    /// Truncates a 256-bit key to the 8-bit key space.
+    pub fn truncate_key(key: U256) -> u8 {
+        key.byte_le(0)
+    }
+
+    /// Iterates over occupied slots in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u8, &U256)> {
+        self.slots.iter()
+    }
+
+    /// Reads a slot directly by its byte key.
+    pub fn get(&self, key: u8) -> U256 {
+        self.slots.get(&key).copied().unwrap_or(U256::ZERO)
+    }
+}
+
+impl StorageBackend for SideChainStorage {
+    fn load(&self, key: U256) -> U256 {
+        self.get(Self::truncate_key(key))
+    }
+
+    fn store(&mut self, key: U256, value: U256) -> Result<(), TrapReason> {
+        let short_key = Self::truncate_key(key);
+        if value.is_zero() {
+            self.slots.remove(&short_key);
+            return Ok(());
+        }
+        let is_new = !self.slots.contains_key(&short_key);
+        // Each occupied slot costs 1 key byte + 32 value bytes.
+        if is_new && (self.slots.len() + 1) * 33 > self.byte_limit {
+            return Err(TrapReason::StorageLimitExceeded {
+                limit: self.byte_limit,
+            });
+        }
+        self.slots.insert(short_key, value);
+        Ok(())
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slots.len() * 33
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_storage_round_trip() {
+        let mut storage = WordStorage::new();
+        let key = U256::from(42u64);
+        assert_eq!(storage.load(key), U256::ZERO);
+        storage.store(key, U256::from(7u64)).unwrap();
+        assert_eq!(storage.load(key), U256::from(7u64));
+        assert_eq!(storage.slot_count(), 1);
+        assert_eq!(storage.resident_bytes(), 64);
+    }
+
+    #[test]
+    fn word_storage_removes_zeroed_slots() {
+        let mut storage = WordStorage::new();
+        storage.store(U256::ONE, U256::from(5u64)).unwrap();
+        storage.store(U256::ONE, U256::ZERO).unwrap();
+        assert_eq!(storage.slot_count(), 0);
+        assert_eq!(storage.load(U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn word_storage_distinguishes_wide_keys() {
+        let mut storage = WordStorage::new();
+        let key_a = U256::from(0x01u64);
+        let key_b = U256::from(0x101u64);
+        storage.store(key_a, U256::from(1u64)).unwrap();
+        storage.store(key_b, U256::from(2u64)).unwrap();
+        assert_eq!(storage.load(key_a), U256::from(1u64));
+        assert_eq!(storage.load(key_b), U256::from(2u64));
+    }
+
+    #[test]
+    fn side_chain_storage_truncates_keys() {
+        let mut storage = SideChainStorage::new(1024);
+        let key_a = U256::from(0x01u64);
+        let key_b = U256::from(0x101u64); // same low byte
+        storage.store(key_a, U256::from(1u64)).unwrap();
+        storage.store(key_b, U256::from(2u64)).unwrap();
+        // The second write lands in the same 8-bit slot.
+        assert_eq!(storage.load(key_a), U256::from(2u64));
+        assert_eq!(storage.slot_count(), 1);
+    }
+
+    #[test]
+    fn side_chain_storage_enforces_budget() {
+        // 1 KB / 33 bytes per slot = 31 slots.
+        let mut storage = SideChainStorage::new(1024);
+        for i in 0..31u64 {
+            storage.store(U256::from(i), U256::from(i + 1)).unwrap();
+        }
+        let err = storage
+            .store(U256::from(200u64), U256::from(1u64))
+            .unwrap_err();
+        assert_eq!(err, TrapReason::StorageLimitExceeded { limit: 1024 });
+        // Overwriting an existing slot is still allowed.
+        storage.store(U256::from(5u64), U256::from(99u64)).unwrap();
+        assert_eq!(storage.load(U256::from(5u64)), U256::from(99u64));
+        // Deleting frees room for a new slot.
+        storage.store(U256::from(5u64), U256::ZERO).unwrap();
+        storage.store(U256::from(200u64), U256::from(1u64)).unwrap();
+    }
+
+    #[test]
+    fn side_chain_storage_resident_bytes() {
+        let mut storage = SideChainStorage::new(1024);
+        assert_eq!(storage.resident_bytes(), 0);
+        storage.store(U256::from(1u64), U256::from(1u64)).unwrap();
+        storage.store(U256::from(2u64), U256::from(2u64)).unwrap();
+        assert_eq!(storage.resident_bytes(), 66);
+        assert_eq!(storage.limit(), 1024);
+    }
+
+    #[test]
+    fn zero_writes_never_fail_even_when_full() {
+        let mut storage = SideChainStorage::new(33);
+        storage.store(U256::from(1u64), U256::from(1u64)).unwrap();
+        // Budget is now full; zeroing any key still succeeds.
+        storage.store(U256::from(7u64), U256::ZERO).unwrap();
+        assert_eq!(storage.slot_count(), 1);
+    }
+}

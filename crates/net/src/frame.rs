@@ -1,0 +1,293 @@
+//! 802.15.4-style framing and fragmentation.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum physical-layer frame size for IEEE 802.15.4.
+pub const MAX_FRAME_SIZE: usize = 127;
+
+/// Bytes of header carried in every frame: source/destination short
+/// addresses, a message id, the fragment index and the fragment count.
+pub const FRAME_HEADER_SIZE: usize = 11;
+
+/// Maximum payload bytes per frame after the header.
+pub const MAX_FRAME_PAYLOAD: usize = MAX_FRAME_SIZE - FRAME_HEADER_SIZE;
+
+/// Errors produced by fragmentation / reassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A frame's payload exceeded the 802.15.4 MTU.
+    PayloadTooLarge {
+        /// Offending payload size.
+        size: usize,
+    },
+    /// Reassembly was given no frames.
+    Empty,
+    /// Frames from different messages were mixed.
+    MixedMessages,
+    /// A fragment index was missing or duplicated.
+    MissingFragment {
+        /// The expected fragment index.
+        index: u16,
+    },
+    /// The declared fragment count disagrees with the frames supplied.
+    CountMismatch {
+        /// Count declared in the frames.
+        declared: u16,
+        /// Number of frames supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::PayloadTooLarge { size } => {
+                write!(f, "payload of {size} bytes exceeds the frame MTU")
+            }
+            FrameError::Empty => write!(f, "no frames to reassemble"),
+            FrameError::MixedMessages => write!(f, "frames belong to different messages"),
+            FrameError::MissingFragment { index } => write!(f, "fragment {index} is missing"),
+            FrameError::CountMismatch { declared, got } => {
+                write!(f, "expected {declared} fragments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One link-layer frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Sender's short address.
+    pub source: u16,
+    /// Receiver's short address.
+    pub destination: u16,
+    /// Message identifier shared by all fragments of one message.
+    pub message_id: u32,
+    /// Fragment index within the message (0-based).
+    pub fragment_index: u16,
+    /// Total number of fragments in the message.
+    pub fragment_count: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Total on-air size of this frame in bytes (header + payload).
+    pub fn wire_size(&self) -> usize {
+        FRAME_HEADER_SIZE + self.payload.len()
+    }
+
+    /// Validates the frame against the MTU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLarge`] when the payload exceeds
+    /// [`MAX_FRAME_PAYLOAD`].
+    pub fn validate(&self) -> Result<(), FrameError> {
+        if self.payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::PayloadTooLarge {
+                size: self.payload.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Splits a message into MTU-sized frames.
+///
+/// A zero-length message still produces one (empty) frame so that the
+/// receiver observes the message at all.
+pub fn fragment(source: u16, destination: u16, message_id: u32, message: &[u8]) -> Vec<Frame> {
+    let chunks: Vec<&[u8]> = if message.is_empty() {
+        vec![&[]]
+    } else {
+        message.chunks(MAX_FRAME_PAYLOAD).collect()
+    };
+    let count = chunks.len() as u16;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(index, chunk)| Frame {
+            source,
+            destination,
+            message_id,
+            fragment_index: index as u16,
+            fragment_count: count,
+            payload: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Reassembles a message from its frames (any order).
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] when frames are missing, duplicated, mixed
+/// between messages, or inconsistent about the fragment count.
+pub fn reassemble(frames: &[Frame]) -> Result<Vec<u8>, FrameError> {
+    let Some(first) = frames.first() else {
+        return Err(FrameError::Empty);
+    };
+    let declared = first.fragment_count;
+    if frames
+        .iter()
+        .any(|f| f.message_id != first.message_id || f.fragment_count != declared)
+    {
+        return Err(FrameError::MixedMessages);
+    }
+    if frames.len() != declared as usize {
+        return Err(FrameError::CountMismatch {
+            declared,
+            got: frames.len(),
+        });
+    }
+    let mut ordered: Vec<Option<&Frame>> = vec![None; declared as usize];
+    for frame in frames {
+        let slot = ordered
+            .get_mut(frame.fragment_index as usize)
+            .ok_or(FrameError::MissingFragment {
+                index: frame.fragment_index,
+            })?;
+        if slot.is_some() {
+            return Err(FrameError::MissingFragment {
+                index: frame.fragment_index,
+            });
+        }
+        *slot = Some(frame);
+    }
+    let mut message = Vec::new();
+    for (index, slot) in ordered.iter().enumerate() {
+        let frame = slot.ok_or(FrameError::MissingFragment {
+            index: index as u16,
+        })?;
+        message.extend_from_slice(&frame.payload);
+    }
+    Ok(message)
+}
+
+/// Total bytes that go on the air for a message of `len` bytes (headers
+/// included), without building the frames.
+pub fn wire_bytes_for_message(len: usize) -> usize {
+    let fragments = if len == 0 {
+        1
+    } else {
+        len.div_ceil(MAX_FRAME_PAYLOAD)
+    };
+    len + fragments * FRAME_HEADER_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MAX_FRAME_PAYLOAD + FRAME_HEADER_SIZE, MAX_FRAME_SIZE);
+        assert_eq!(MAX_FRAME_SIZE, 127);
+    }
+
+    #[test]
+    fn small_message_is_one_frame() {
+        let frames = fragment(1, 2, 7, b"hello");
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].fragment_count, 1);
+        assert_eq!(frames[0].payload, b"hello");
+        assert_eq!(frames[0].wire_size(), 5 + FRAME_HEADER_SIZE);
+        assert!(frames[0].validate().is_ok());
+        assert_eq!(reassemble(&frames).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_message_still_produces_a_frame() {
+        let frames = fragment(1, 2, 7, b"");
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].payload.is_empty());
+        assert_eq!(reassemble(&frames).unwrap(), Vec::<u8>::new());
+        assert_eq!(wire_bytes_for_message(0), FRAME_HEADER_SIZE);
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let message: Vec<u8> = (0..1000u16).map(|i| i as u8).collect();
+        let frames = fragment(3, 4, 42, &message);
+        assert_eq!(frames.len(), message.len().div_ceil(MAX_FRAME_PAYLOAD));
+        assert!(frames.iter().all(|f| f.validate().is_ok()));
+        assert!(frames.iter().all(|f| f.fragment_count as usize == frames.len()));
+        assert_eq!(reassemble(&frames).unwrap(), message);
+        // Wire byte helper agrees with the actual frames.
+        let actual: usize = frames.iter().map(|f| f.wire_size()).sum();
+        assert_eq!(wire_bytes_for_message(message.len()), actual);
+    }
+
+    #[test]
+    fn reassembly_is_order_independent() {
+        let message = vec![9u8; 300];
+        let mut frames = fragment(1, 2, 1, &message);
+        frames.reverse();
+        assert_eq!(reassemble(&frames).unwrap(), message);
+    }
+
+    #[test]
+    fn reassembly_detects_missing_and_duplicate_fragments() {
+        let message = vec![1u8; 400];
+        let frames = fragment(1, 2, 1, &message);
+        assert!(frames.len() >= 3);
+
+        let missing: Vec<Frame> = frames[1..].to_vec();
+        assert!(matches!(
+            reassemble(&missing),
+            Err(FrameError::CountMismatch { .. })
+        ));
+
+        let mut duplicated = frames.clone();
+        duplicated[1] = duplicated[0].clone();
+        assert!(matches!(
+            reassemble(&duplicated),
+            Err(FrameError::MissingFragment { .. })
+        ));
+    }
+
+    #[test]
+    fn reassembly_rejects_mixed_messages_and_empty_input() {
+        let a = fragment(1, 2, 1, b"aaaa");
+        let b = fragment(1, 2, 2, b"bbbb");
+        let mixed = vec![a[0].clone(), b[0].clone()];
+        assert!(matches!(reassemble(&mixed), Err(FrameError::MixedMessages)));
+        assert_eq!(reassemble(&[]), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn oversized_frame_fails_validation() {
+        let frame = Frame {
+            source: 1,
+            destination: 2,
+            message_id: 0,
+            fragment_index: 0,
+            fragment_count: 1,
+            payload: vec![0u8; MAX_FRAME_PAYLOAD + 1],
+        };
+        assert!(matches!(
+            frame.validate(),
+            Err(FrameError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let errors = vec![
+            FrameError::PayloadTooLarge { size: 200 },
+            FrameError::Empty,
+            FrameError::MixedMessages,
+            FrameError::MissingFragment { index: 3 },
+            FrameError::CountMismatch {
+                declared: 4,
+                got: 2,
+            },
+        ];
+        for error in errors {
+            assert!(!format!("{error}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! A frame-level simulator of the low-power wireless link between two
+//! TinyEVM nodes.
+//!
+//! The paper's prototype exchanges sensor data, channel-open messages and
+//! signed payments over TSCH (IEEE 802.15.4) using Contiki-NG's stack, and
+//! notes that the design is agnostic to the specific short-range technology
+//! (BLE would work too). This crate models what the evaluation actually
+//! measures about that link:
+//!
+//! * 802.15.4-style **framing**: a 127-byte MTU with a protocol header, so
+//!   larger payloads (a 65-byte signature plus channel metadata, or an 8 KB
+//!   contract) are fragmented into several frames ([`fragment`] /
+//!   [`reassemble`]).
+//! * **Air time**: payload bits over a configurable bit rate plus a fixed
+//!   per-frame overhead (slot alignment, preamble), which the device model
+//!   turns into TX / RX energy (Table IV).
+//! * **Loss and retransmission**: an optional independent-loss model with
+//!   per-frame retries, used by the robustness experiments.
+//!
+//! The crate deliberately moves *bytes*, not protocol objects — message
+//! semantics live in `tinyevm-channel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod link;
+
+pub use frame::{fragment, reassemble, Frame, FrameError, MAX_FRAME_PAYLOAD};
+pub use link::{Link, LinkConfig, LinkError, LinkProfile, TransferReport};

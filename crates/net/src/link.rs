@@ -1,0 +1,352 @@
+//! The point-to-point link model.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{fragment, reassemble, wire_bytes_for_message, Frame, FrameError};
+
+/// Built-in link profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkProfile {
+    /// IEEE 802.15.4 / TSCH as used by the paper's prototype: 250 kbit/s,
+    /// 2 ms per-frame overhead (slot alignment).
+    Tsch,
+    /// Bluetooth Low Energy 1M PHY: 1 Mbit/s, shorter per-frame overhead.
+    Ble,
+}
+
+/// Configuration of a [`Link`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Payload bit rate in bits per second.
+    pub bitrate: u64,
+    /// Fixed per-frame overhead (synchronisation, inter-frame spacing).
+    pub frame_overhead: Duration,
+    /// Independent per-frame loss probability in `[0, 1)`.
+    pub loss_rate: f64,
+    /// How many times a lost frame is retransmitted before the transfer is
+    /// declared failed.
+    pub max_retries: u32,
+    /// Seed for the loss process, so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// A lossless link with the given profile.
+    pub fn lossless(profile: LinkProfile) -> Self {
+        match profile {
+            LinkProfile::Tsch => LinkConfig {
+                bitrate: 250_000,
+                frame_overhead: Duration::from_millis(2),
+                loss_rate: 0.0,
+                max_retries: 3,
+                seed: 1,
+            },
+            LinkProfile::Ble => LinkConfig {
+                bitrate: 1_000_000,
+                frame_overhead: Duration::from_micros(500),
+                loss_rate: 0.0,
+                max_retries: 3,
+                seed: 1,
+            },
+        }
+    }
+
+    /// Returns a copy with the given loss rate.
+    pub fn with_loss(mut self, loss_rate: f64, seed: u64) -> Self {
+        self.loss_rate = loss_rate;
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::lossless(LinkProfile::Tsch)
+    }
+}
+
+/// Errors a transfer can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A frame exceeded its retry budget.
+    FrameLost {
+        /// Index of the fragment that could not be delivered.
+        fragment_index: u16,
+        /// Retries that were attempted.
+        retries: u32,
+    },
+    /// Reassembly on the receiving side failed.
+    Reassembly(FrameError),
+}
+
+impl core::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkError::FrameLost {
+                fragment_index,
+                retries,
+            } => write!(
+                f,
+                "fragment {fragment_index} lost after {retries} retransmissions"
+            ),
+            LinkError::Reassembly(error) => write!(f, "reassembly failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Statistics of one message transfer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Application payload bytes carried.
+    pub payload_bytes: usize,
+    /// Total bytes that went on the air, headers and retransmissions
+    /// included.
+    pub wire_bytes: usize,
+    /// Number of frames the message was split into.
+    pub frames: usize,
+    /// Number of retransmitted frames.
+    pub retransmissions: u32,
+    /// Time the sender's radio was transmitting.
+    pub tx_time: Duration,
+    /// Time the receiver's radio was receiving.
+    pub rx_time: Duration,
+}
+
+impl TransferReport {
+    /// End-to-end latency of the transfer (the slower of the two sides plus
+    /// nothing else — propagation delay is negligible at these ranges).
+    pub fn latency(&self) -> Duration {
+        self.tx_time.max(self.rx_time)
+    }
+}
+
+/// A point-to-point link between two nodes.
+///
+/// The link moves bytes and reports timing; charging the TX/RX energy to
+/// each endpoint's meter is the caller's job (see
+/// `tinyevm_device::Device::account_radio`).
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_net::{Link, LinkConfig, LinkProfile};
+///
+/// let mut link = Link::new(LinkConfig::lossless(LinkProfile::Tsch));
+/// let (delivered, report) = link.transfer(b"signed payment").unwrap();
+/// assert_eq!(delivered, b"signed payment");
+/// assert_eq!(report.frames, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: StdRng,
+    next_message_id: u32,
+    total_wire_bytes: u64,
+    total_messages: u64,
+}
+
+impl Link {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Link {
+            config,
+            rng,
+            next_message_id: 0,
+            total_wire_bytes: 0,
+            total_messages: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Total bytes this link has put on the air.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_wire_bytes
+    }
+
+    /// Total messages transferred.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Time on air for `bytes` at the configured bit rate plus the per-frame
+    /// overhead.
+    pub fn airtime(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.config.bitrate as f64)
+            + self.config.frame_overhead
+    }
+
+    /// Transfers a message, returning the delivered bytes and the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::FrameLost`] when a fragment exceeds its retry
+    /// budget under the configured loss rate.
+    pub fn transfer(&mut self, message: &[u8]) -> Result<(Vec<u8>, TransferReport), LinkError> {
+        let message_id = self.next_message_id;
+        self.next_message_id += 1;
+        let frames = fragment(0x0001, 0x0002, message_id, message);
+
+        let mut delivered: Vec<Frame> = Vec::with_capacity(frames.len());
+        let mut retransmissions = 0u32;
+        let mut tx_time = Duration::ZERO;
+        let mut rx_time = Duration::ZERO;
+        let mut wire_bytes = 0usize;
+
+        for frame in &frames {
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                let on_air = self.airtime(frame.wire_size());
+                tx_time += on_air;
+                wire_bytes += frame.wire_size();
+                let lost = self.config.loss_rate > 0.0
+                    && self.rng.gen_bool(self.config.loss_rate.clamp(0.0, 0.999));
+                if !lost {
+                    rx_time += on_air;
+                    delivered.push(frame.clone());
+                    break;
+                }
+                if attempts > self.config.max_retries {
+                    return Err(LinkError::FrameLost {
+                        fragment_index: frame.fragment_index,
+                        retries: self.config.max_retries,
+                    });
+                }
+                retransmissions += 1;
+            }
+        }
+
+        let payload = reassemble(&delivered).map_err(LinkError::Reassembly)?;
+        self.total_wire_bytes += wire_bytes as u64;
+        self.total_messages += 1;
+        Ok((
+            payload,
+            TransferReport {
+                payload_bytes: message.len(),
+                wire_bytes,
+                frames: frames.len(),
+                retransmissions,
+                tx_time,
+                rx_time,
+            },
+        ))
+    }
+
+    /// Wire bytes a message of `len` bytes would need with no losses —
+    /// useful for sizing experiments without running the loss process.
+    pub fn nominal_wire_bytes(len: usize) -> usize {
+        wire_bytes_for_message(len)
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::new(LinkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_transfer_round_trips_payload() {
+        let mut link = Link::new(LinkConfig::lossless(LinkProfile::Tsch));
+        let message = vec![7u8; 500];
+        let (delivered, report) = link.transfer(&message).unwrap();
+        assert_eq!(delivered, message);
+        assert_eq!(report.payload_bytes, 500);
+        assert_eq!(report.retransmissions, 0);
+        assert_eq!(report.frames, 5);
+        assert_eq!(report.wire_bytes, Link::nominal_wire_bytes(500));
+        assert_eq!(report.tx_time, report.rx_time);
+        assert!(report.latency() > Duration::ZERO);
+        assert_eq!(link.total_messages(), 1);
+        assert_eq!(link.total_wire_bytes(), report.wire_bytes as u64);
+    }
+
+    #[test]
+    fn airtime_matches_bitrate_and_overhead() {
+        let link = Link::new(LinkConfig::lossless(LinkProfile::Tsch));
+        // 125 bytes = 1000 bits at 250 kbit/s = 4 ms, plus 2 ms overhead.
+        assert_eq!(link.airtime(125), Duration::from_millis(6));
+        let ble = Link::new(LinkConfig::lossless(LinkProfile::Ble));
+        assert!(ble.airtime(125) < link.airtime(125));
+    }
+
+    #[test]
+    fn ble_profile_is_faster_end_to_end() {
+        let mut tsch = Link::new(LinkConfig::lossless(LinkProfile::Tsch));
+        let mut ble = Link::new(LinkConfig::lossless(LinkProfile::Ble));
+        let message = vec![1u8; 1000];
+        let (_, tsch_report) = tsch.transfer(&message).unwrap();
+        let (_, ble_report) = ble.transfer(&message).unwrap();
+        assert!(ble_report.tx_time < tsch_report.tx_time);
+    }
+
+    #[test]
+    fn lossy_link_retransmits_but_delivers() {
+        let config = LinkConfig::lossless(LinkProfile::Tsch).with_loss(0.3, 7);
+        let mut link = Link::new(config);
+        let message = vec![3u8; 2000];
+        let (delivered, report) = link.transfer(&message).unwrap();
+        assert_eq!(delivered, message);
+        assert!(report.retransmissions > 0);
+        assert!(report.wire_bytes > Link::nominal_wire_bytes(2000));
+        assert!(report.tx_time > report.rx_time);
+    }
+
+    #[test]
+    fn hopeless_link_reports_frame_loss() {
+        let config = LinkConfig {
+            bitrate: 250_000,
+            frame_overhead: Duration::from_millis(2),
+            loss_rate: 0.999,
+            max_retries: 2,
+            seed: 99,
+        };
+        let mut link = Link::new(config);
+        let error = link.transfer(b"anything").unwrap_err();
+        assert!(matches!(error, LinkError::FrameLost { retries: 2, .. }));
+        assert!(!format!("{error}").is_empty());
+    }
+
+    #[test]
+    fn loss_process_is_reproducible_per_seed() {
+        let config = LinkConfig::lossless(LinkProfile::Tsch).with_loss(0.2, 1234);
+        let mut a = Link::new(config.clone());
+        let mut b = Link::new(config);
+        let message = vec![5u8; 3000];
+        let (_, report_a) = a.transfer(&message).unwrap();
+        let (_, report_b) = b.transfer(&message).unwrap();
+        assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn empty_message_is_still_a_transfer() {
+        let mut link = Link::default();
+        let (delivered, report) = link.transfer(b"").unwrap();
+        assert!(delivered.is_empty());
+        assert_eq!(report.frames, 1);
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn message_ids_increment() {
+        let mut link = Link::default();
+        link.transfer(b"a").unwrap();
+        link.transfer(b"b").unwrap();
+        assert_eq!(link.total_messages(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Zero-dependency hexadecimal encoding and decoding.
+//!
+//! The TinyEVM toolchain moves bytecode, hashes and signatures around as hex
+//! strings (the same convention as the Ethereum JSON-RPC interface). These
+//! helpers are deliberately tiny so that every crate in the workspace can use
+//! them without pulling in an external dependency.
+
+use crate::ParseError;
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as a lowercase hex string without a prefix.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tinyevm_types::hex::encode(&[0xde, 0xad]), "dead");
+/// assert_eq!(tinyevm_types::hex::encode(&[]), "");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Encodes bytes as a lowercase hex string with a `0x` prefix.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tinyevm_types::hex::encode_prefixed(&[0x01]), "0x01");
+/// ```
+pub fn encode_prefixed(bytes: &[u8]) -> String {
+    format!("0x{}", encode(bytes))
+}
+
+/// Decodes a hex string (with or without a `0x` prefix) into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseError::OddLength`] when the digit count is odd and
+/// [`ParseError::InvalidHexDigit`] when a non-hex character is found.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tinyevm_types::hex::decode("0xdead")?, vec![0xde, 0xad]);
+/// assert_eq!(tinyevm_types::hex::decode("beef")?, vec![0xbe, 0xef]);
+/// # Ok::<(), tinyevm_types::ParseError>(())
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, ParseError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return Err(ParseError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_value(pair[0] as char)?;
+        let lo = hex_value(pair[1] as char)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_value(c: char) -> Result<u8, ParseError> {
+    c.to_digit(16)
+        .map(|d| d as u8)
+        .ok_or(ParseError::InvalidHexDigit(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_values() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00]), "00");
+        assert_eq!(encode(&[0xff, 0x01, 0xab]), "ff01ab");
+        assert_eq!(encode_prefixed(&[0xff]), "0xff");
+        assert_eq!(encode_prefixed(&[]), "0x");
+    }
+
+    #[test]
+    fn decode_known_values() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("0x").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("ff01ab").unwrap(), vec![0xff, 0x01, 0xab]);
+        assert_eq!(decode("0xFF01AB").unwrap(), vec![0xff, 0x01, 0xab]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(ParseError::OddLength));
+        assert_eq!(decode("zz"), Err(ParseError::InvalidHexDigit('z')));
+        assert_eq!(decode("0xg0"), Err(ParseError::InvalidHexDigit('g')));
+    }
+
+    #[test]
+    fn round_trip_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+        assert_eq!(decode(&encode_prefixed(&bytes)).unwrap(), bytes);
+    }
+}

@@ -1,0 +1,238 @@
+//! Signed views of [`U256`] for the EVM's signed opcodes.
+//!
+//! The EVM has no separate signed type: `SDIV`, `SMOD`, `SLT` and `SGT`
+//! reinterpret the 256-bit word as a two's-complement integer. [`I256`] is a
+//! thin wrapper that implements exactly those semantics (including the EVM's
+//! special cases: division by zero yields zero and `MIN / -1` wraps back to
+//! `MIN`).
+
+use crate::U256;
+
+/// Sign of an [`I256`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The value is greater than zero.
+    Positive,
+    /// The value is exactly zero.
+    Zero,
+    /// The value is less than zero.
+    Negative,
+}
+
+/// A two's-complement signed view over a 256-bit word.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_types::{I256, U256};
+///
+/// let minus_ten = I256::from_neg(U256::from(10u64));
+/// let three = I256::from(U256::from(3u64));
+/// // EVM SDIV truncates toward zero: -10 / 3 == -3.
+/// assert_eq!(minus_ten.sdiv(three), I256::from_neg(U256::from(3u64)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct I256(pub U256);
+
+impl I256 {
+    /// The most negative value, `-2^255`.
+    pub const MIN: I256 = I256(U256::SIGN_BIT);
+    /// Zero.
+    pub const ZERO: I256 = I256(U256::ZERO);
+
+    /// Wraps a raw word without changing its bits.
+    #[inline]
+    pub const fn from_raw(value: U256) -> Self {
+        I256(value)
+    }
+
+    /// Builds the negative value `-magnitude` (two's complement).
+    pub fn from_neg(magnitude: U256) -> Self {
+        I256(magnitude.wrapping_neg())
+    }
+
+    /// Returns the underlying word unchanged.
+    #[inline]
+    pub const fn into_raw(self) -> U256 {
+        self.0
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        if self.0.is_zero() {
+            Sign::Zero
+        } else if self.0.is_negative() {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// Absolute value as an unsigned word (`|MIN|` wraps to `2^255`).
+    pub fn unsigned_abs(&self) -> U256 {
+        if self.0.is_negative() {
+            self.0.wrapping_neg()
+        } else {
+            self.0
+        }
+    }
+
+    /// Signed division with EVM `SDIV` semantics: truncation toward zero,
+    /// `x / 0 == 0`, and `MIN / -1 == MIN`.
+    pub fn sdiv(self, rhs: I256) -> I256 {
+        if rhs.0.is_zero() {
+            return I256::ZERO;
+        }
+        if self == I256::MIN && rhs.0 == U256::MAX {
+            return I256::MIN;
+        }
+        let quotient = self.unsigned_abs().div(rhs.unsigned_abs());
+        if self.0.is_negative() != rhs.0.is_negative() {
+            I256(quotient.wrapping_neg())
+        } else {
+            I256(quotient)
+        }
+    }
+
+    /// Signed remainder with EVM `SMOD` semantics: the result takes the sign
+    /// of the dividend and `x % 0 == 0`.
+    pub fn smod(self, rhs: I256) -> I256 {
+        if rhs.0.is_zero() {
+            return I256::ZERO;
+        }
+        let remainder = self.unsigned_abs().rem(rhs.unsigned_abs());
+        if self.0.is_negative() {
+            I256(remainder.wrapping_neg())
+        } else {
+            I256(remainder)
+        }
+    }
+
+    /// Signed less-than (EVM `SLT`).
+    pub fn slt(self, rhs: I256) -> bool {
+        match (self.0.is_negative(), rhs.0.is_negative()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self.0 < rhs.0,
+        }
+    }
+
+    /// Signed greater-than (EVM `SGT`).
+    pub fn sgt(self, rhs: I256) -> bool {
+        rhs.slt(self)
+    }
+}
+
+impl From<U256> for I256 {
+    fn from(value: U256) -> Self {
+        I256(value)
+    }
+}
+
+impl From<i64> for I256 {
+    fn from(value: i64) -> Self {
+        if value < 0 {
+            I256::from_neg(U256::from(value.unsigned_abs()))
+        } else {
+            I256(U256::from(value as u64))
+        }
+    }
+}
+
+impl core::fmt::Debug for I256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.sign() {
+            Sign::Negative => write!(f, "I256(-{})", self.unsigned_abs()),
+            _ => write!(f, "I256({})", self.0),
+        }
+    }
+}
+
+impl core::fmt::Display for I256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.sign() {
+            Sign::Negative => write!(f, "-{}", self.unsigned_abs()),
+            _ => write!(f, "{}", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(v: u64) -> I256 {
+        I256::from(U256::from(v))
+    }
+
+    fn neg(v: u64) -> I256 {
+        I256::from_neg(U256::from(v))
+    }
+
+    #[test]
+    fn sign_classification() {
+        assert_eq!(pos(5).sign(), Sign::Positive);
+        assert_eq!(neg(5).sign(), Sign::Negative);
+        assert_eq!(I256::ZERO.sign(), Sign::Zero);
+        assert_eq!(I256::MIN.sign(), Sign::Negative);
+    }
+
+    #[test]
+    fn from_i64() {
+        assert_eq!(I256::from(-1i64).into_raw(), U256::MAX);
+        assert_eq!(I256::from(5i64), pos(5));
+        assert_eq!(I256::from(-5i64), neg(5));
+        assert_eq!(I256::from(i64::MIN).unsigned_abs(), U256::from(1u64 << 63));
+    }
+
+    #[test]
+    fn unsigned_abs_of_min_wraps() {
+        assert_eq!(I256::MIN.unsigned_abs(), U256::SIGN_BIT);
+        assert_eq!(neg(7).unsigned_abs(), U256::from(7u64));
+        assert_eq!(pos(7).unsigned_abs(), U256::from(7u64));
+    }
+
+    #[test]
+    fn sdiv_truncates_toward_zero() {
+        assert_eq!(pos(10).sdiv(pos(3)), pos(3));
+        assert_eq!(neg(10).sdiv(pos(3)), neg(3));
+        assert_eq!(pos(10).sdiv(neg(3)), neg(3));
+        assert_eq!(neg(10).sdiv(neg(3)), pos(3));
+    }
+
+    #[test]
+    fn sdiv_special_cases() {
+        assert_eq!(pos(10).sdiv(I256::ZERO), I256::ZERO);
+        assert_eq!(I256::MIN.sdiv(I256::from(-1i64)), I256::MIN);
+        assert_eq!(I256::ZERO.sdiv(pos(3)), I256::ZERO);
+    }
+
+    #[test]
+    fn smod_takes_sign_of_dividend() {
+        assert_eq!(pos(10).smod(pos(3)), pos(1));
+        assert_eq!(neg(10).smod(pos(3)), neg(1));
+        assert_eq!(pos(10).smod(neg(3)), pos(1));
+        assert_eq!(neg(10).smod(neg(3)), neg(1));
+        assert_eq!(pos(10).smod(I256::ZERO), I256::ZERO);
+    }
+
+    #[test]
+    fn slt_and_sgt() {
+        assert!(neg(1).slt(pos(1)));
+        assert!(!pos(1).slt(neg(1)));
+        assert!(pos(1).sgt(neg(1)));
+        assert!(neg(2).slt(neg(1)));
+        assert!(!neg(1).slt(neg(2)));
+        assert!(pos(1).slt(pos(2)));
+        assert!(!pos(1).slt(pos(1)));
+        assert!(I256::MIN.slt(I256::from(-1i64)));
+    }
+
+    #[test]
+    fn display_shows_sign() {
+        assert_eq!(format!("{}", neg(42)), "-42");
+        assert_eq!(format!("{}", pos(42)), "42");
+        assert_eq!(format!("{}", I256::ZERO), "0");
+        assert!(format!("{:?}", neg(42)).contains("-42"));
+    }
+}

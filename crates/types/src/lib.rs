@@ -1,0 +1,91 @@
+//! Primitive types shared by every TinyEVM crate.
+//!
+//! The Ethereum Virtual Machine is a 256-bit word machine, and the TinyEVM
+//! paper keeps that word size on a 32-bit microcontroller by emulating wide
+//! arithmetic in software. This crate is the Rust equivalent of that
+//! emulation layer:
+//!
+//! * [`U256`] — a 256-bit unsigned integer built from four 64-bit limbs with
+//!   the exact wrapping semantics the EVM requires (including the signed
+//!   views used by `SDIV`, `SMOD`, `SLT`, `SAR`, `SIGNEXTEND`).
+//! * [`H256`] — a 32-byte hash value.
+//! * [`Address`] — a 20-byte account / contract address.
+//! * [`Wei`] — a balance newtype.
+//! * [`hex`] — zero-dependency hex encode / decode helpers.
+//! * [`rlp`] — the small subset of RLP encoding needed to hash commits and
+//!   signed payments deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use tinyevm_types::{U256, Address};
+//!
+//! let a = U256::from(7u64);
+//! let b = U256::from(5u64);
+//! assert_eq!(a * b, U256::from(35u64));
+//!
+//! let addr = Address::from_low_u64(0xbeef);
+//! assert_eq!(addr.to_hex(), "0x000000000000000000000000000000000000beef");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod hash;
+pub mod hex;
+pub mod i256;
+pub mod rlp;
+pub mod u256;
+pub mod u512;
+pub mod wei;
+
+pub use address::Address;
+pub use hash::H256;
+pub use i256::{Sign, I256};
+pub use u256::U256;
+pub use u512::U512;
+pub use wei::Wei;
+
+/// Errors produced when parsing primitive types from text or bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input contained a character that is not a hexadecimal digit.
+    InvalidHexDigit(char),
+    /// The input had an odd number of hex digits where bytes were expected.
+    OddLength,
+    /// The input was longer than the target type allows.
+    TooLong {
+        /// Maximum number of bytes the target type can hold.
+        max: usize,
+        /// Number of bytes the input would decode to.
+        got: usize,
+    },
+    /// The input was shorter than the target type requires.
+    WrongLength {
+        /// Exact number of bytes the target type requires.
+        expected: usize,
+        /// Number of bytes the input decoded to.
+        got: usize,
+    },
+    /// The input was empty.
+    Empty,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::InvalidHexDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            ParseError::OddLength => write!(f, "odd number of hex digits"),
+            ParseError::TooLong { max, got } => {
+                write!(f, "input too long: {got} bytes exceeds maximum of {max}")
+            }
+            ParseError::WrongLength { expected, got } => {
+                write!(f, "wrong length: expected {expected} bytes, got {got}")
+            }
+            ParseError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

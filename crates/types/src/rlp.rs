@@ -1,0 +1,403 @@
+//! Recursive Length Prefix (RLP) encoding.
+//!
+//! Ethereum hashes structured data — transactions, commits, signed payment
+//! payloads — by first serializing it with RLP and then applying Keccak-256.
+//! TinyEVM's signed off-chain payments and on-chain commits follow the same
+//! convention so that a payment produced on the IoT device is a stand-alone
+//! artifact any Ethereum-style verifier can check.
+//!
+//! Only the subset needed by this workspace is implemented: byte strings,
+//! unsigned integers (minimal big-endian), and lists, plus a decoder used by
+//! tests and by the chain's commit verification.
+
+use crate::{Address, ParseError, H256, U256};
+
+/// Incremental RLP encoder.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_types::rlp::RlpStream;
+/// use tinyevm_types::U256;
+///
+/// let mut s = RlpStream::new_list(2);
+/// s.append_u256(&U256::from(1024u64));
+/// s.append_bytes(b"dog");
+/// let encoded = s.finish();
+/// assert_eq!(encoded[0], 0xc0 + 7); // list of 7 payload bytes
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlpStream {
+    buf: Vec<u8>,
+    expected_items: Option<usize>,
+    appended: usize,
+}
+
+impl RlpStream {
+    /// Starts a stream encoding a single (non-list) item sequence.
+    pub fn new() -> Self {
+        RlpStream {
+            buf: Vec::new(),
+            expected_items: None,
+            appended: 0,
+        }
+    }
+
+    /// Starts a stream that will encode a list of exactly `len` items.
+    pub fn new_list(len: usize) -> Self {
+        RlpStream {
+            buf: Vec::new(),
+            expected_items: Some(len),
+            appended: 0,
+        }
+    }
+
+    /// Appends a raw byte-string item.
+    pub fn append_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        encode_bytes(bytes, &mut self.buf);
+        self.appended += 1;
+        self
+    }
+
+    /// Appends an unsigned integer as its minimal big-endian byte string.
+    pub fn append_u64(&mut self, value: u64) -> &mut Self {
+        self.append_u256(&U256::from(value))
+    }
+
+    /// Appends a 256-bit unsigned integer as its minimal big-endian bytes.
+    pub fn append_u256(&mut self, value: &U256) -> &mut Self {
+        let bytes = value.to_be_bytes_trimmed();
+        self.append_bytes(&bytes)
+    }
+
+    /// Appends a 32-byte hash.
+    pub fn append_h256(&mut self, value: &H256) -> &mut Self {
+        self.append_bytes(value.as_bytes())
+    }
+
+    /// Appends a 20-byte address.
+    pub fn append_address(&mut self, value: &Address) -> &mut Self {
+        self.append_bytes(value.as_bytes())
+    }
+
+    /// Appends an already-encoded RLP item verbatim (for nested lists).
+    pub fn append_raw(&mut self, rlp: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(rlp);
+        self.appended += 1;
+        self
+    }
+
+    /// Finalizes the stream and returns the encoded bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was created with [`RlpStream::new_list`] and the
+    /// number of appended items differs from the declared length — that is a
+    /// programming error in the caller, not a data error.
+    pub fn finish(self) -> Vec<u8> {
+        match self.expected_items {
+            None => self.buf,
+            Some(expected) => {
+                assert_eq!(
+                    expected, self.appended,
+                    "RLP list declared {expected} items but {} were appended",
+                    self.appended
+                );
+                let mut out = Vec::with_capacity(self.buf.len() + 9);
+                encode_length(self.buf.len(), 0xc0, &mut out);
+                out.extend_from_slice(&self.buf);
+                out
+            }
+        }
+    }
+}
+
+impl Default for RlpStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Encodes a single byte string as a stand-alone RLP item.
+pub fn encode_bytes_standalone(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + 9);
+    encode_bytes(bytes, &mut out);
+    out
+}
+
+/// Encodes a list of byte strings as a stand-alone RLP list.
+pub fn encode_list_of_bytes(items: &[&[u8]]) -> Vec<u8> {
+    let mut stream = RlpStream::new_list(items.len());
+    for item in items {
+        stream.append_bytes(item);
+    }
+    stream.finish()
+}
+
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    if bytes.len() == 1 && bytes[0] < 0x80 {
+        out.push(bytes[0]);
+    } else {
+        encode_length(bytes.len(), 0x80, out);
+        out.extend_from_slice(bytes);
+    }
+}
+
+fn encode_length(len: usize, offset: u8, out: &mut Vec<u8>) {
+    if len < 56 {
+        out.push(offset + len as u8);
+    } else {
+        let len_bytes = (len as u64).to_be_bytes();
+        let first = len_bytes.iter().position(|&b| b != 0).unwrap_or(7);
+        let significant = &len_bytes[first..];
+        out.push(offset + 55 + significant.len() as u8);
+        out.extend_from_slice(significant);
+    }
+}
+
+/// A decoded RLP item: either a byte string or a list of items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// A list of nested items.
+    List(Vec<Item>),
+}
+
+impl Item {
+    /// Borrows the byte string, or `None` for a list.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Item::Bytes(b) => Some(b),
+            Item::List(_) => None,
+        }
+    }
+
+    /// Borrows the list elements, or `None` for a byte string.
+    pub fn as_list(&self) -> Option<&[Item]> {
+        match self {
+            Item::List(items) => Some(items),
+            Item::Bytes(_) => None,
+        }
+    }
+
+    /// Interprets a byte string as a big-endian unsigned integer.
+    pub fn as_u256(&self) -> Option<U256> {
+        self.as_bytes().and_then(|b| U256::from_be_slice(b).ok())
+    }
+}
+
+/// Decodes a single top-level RLP item.
+///
+/// # Errors
+///
+/// Returns [`ParseError::WrongLength`] when the input is truncated, has
+/// trailing bytes, or declares lengths that do not match the data.
+pub fn decode(data: &[u8]) -> Result<Item, ParseError> {
+    let (item, consumed) = decode_item(data)?;
+    if consumed != data.len() {
+        return Err(ParseError::WrongLength {
+            expected: consumed,
+            got: data.len(),
+        });
+    }
+    Ok(item)
+}
+
+fn decode_item(data: &[u8]) -> Result<(Item, usize), ParseError> {
+    let Some(&prefix) = data.first() else {
+        return Err(ParseError::Empty);
+    };
+    match prefix {
+        0x00..=0x7f => Ok((Item::Bytes(vec![prefix]), 1)),
+        0x80..=0xb7 => {
+            let len = (prefix - 0x80) as usize;
+            expect_len(data, 1 + len)?;
+            Ok((Item::Bytes(data[1..1 + len].to_vec()), 1 + len))
+        }
+        0xb8..=0xbf => {
+            let len_of_len = (prefix - 0xb7) as usize;
+            expect_len(data, 1 + len_of_len)?;
+            let len = decode_big_endian_len(&data[1..1 + len_of_len])?;
+            expect_len(data, 1 + len_of_len + len)?;
+            Ok((
+                Item::Bytes(data[1 + len_of_len..1 + len_of_len + len].to_vec()),
+                1 + len_of_len + len,
+            ))
+        }
+        0xc0..=0xf7 => {
+            let len = (prefix - 0xc0) as usize;
+            expect_len(data, 1 + len)?;
+            let items = decode_list_payload(&data[1..1 + len])?;
+            Ok((Item::List(items), 1 + len))
+        }
+        0xf8..=0xff => {
+            let len_of_len = (prefix - 0xf7) as usize;
+            expect_len(data, 1 + len_of_len)?;
+            let len = decode_big_endian_len(&data[1..1 + len_of_len])?;
+            expect_len(data, 1 + len_of_len + len)?;
+            let items = decode_list_payload(&data[1 + len_of_len..1 + len_of_len + len])?;
+            Ok((Item::List(items), 1 + len_of_len + len))
+        }
+    }
+}
+
+fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, ParseError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, consumed) = decode_item(payload)?;
+        items.push(item);
+        payload = &payload[consumed..];
+    }
+    Ok(items)
+}
+
+fn decode_big_endian_len(bytes: &[u8]) -> Result<usize, ParseError> {
+    if bytes.is_empty() || bytes.len() > 8 {
+        return Err(ParseError::WrongLength {
+            expected: 8,
+            got: bytes.len(),
+        });
+    }
+    let mut len = 0usize;
+    for &b in bytes {
+        len = (len << 8) | b as usize;
+    }
+    Ok(len)
+}
+
+fn expect_len(data: &[u8], len: usize) -> Result<(), ParseError> {
+    if data.len() < len {
+        Err(ParseError::WrongLength {
+            expected: len,
+            got: data.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_single_bytes_below_0x80_are_themselves() {
+        assert_eq!(encode_bytes_standalone(&[0x00]), vec![0x00]);
+        assert_eq!(encode_bytes_standalone(&[0x7f]), vec![0x7f]);
+        assert_eq!(encode_bytes_standalone(&[0x80]), vec![0x81, 0x80]);
+    }
+
+    #[test]
+    fn encode_short_string() {
+        // Canonical test vector: "dog" -> [0x83, 'd', 'o', 'g']
+        assert_eq!(encode_bytes_standalone(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(encode_bytes_standalone(b""), vec![0x80]);
+    }
+
+    #[test]
+    fn encode_long_string_uses_length_of_length() {
+        let long = vec![b'a'; 56];
+        let encoded = encode_bytes_standalone(&long);
+        assert_eq!(encoded[0], 0xb8);
+        assert_eq!(encoded[1], 56);
+        assert_eq!(encoded.len(), 58);
+    }
+
+    #[test]
+    fn encode_list_of_two_strings() {
+        // Canonical test vector: ["cat", "dog"]
+        let encoded = encode_list_of_bytes(&[b"cat", b"dog"]);
+        assert_eq!(
+            encoded,
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+    }
+
+    #[test]
+    fn encode_empty_list() {
+        let encoded = RlpStream::new_list(0).finish();
+        assert_eq!(encoded, vec![0xc0]);
+    }
+
+    #[test]
+    fn encode_integers_are_minimal() {
+        let mut s = RlpStream::new_list(3);
+        s.append_u64(0);
+        s.append_u64(15);
+        s.append_u64(1024);
+        let encoded = s.finish();
+        // 0 encodes as empty string 0x80, 15 as itself, 1024 as 0x82 0x04 0x00.
+        assert_eq!(encoded, vec![0xc5, 0x80, 0x0f, 0x82, 0x04, 0x00]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared 2 items")]
+    fn list_length_mismatch_panics() {
+        let mut s = RlpStream::new_list(2);
+        s.append_u64(1);
+        let _ = s.finish();
+    }
+
+    #[test]
+    fn decode_round_trip_simple() {
+        let mut s = RlpStream::new_list(3);
+        s.append_bytes(b"cat");
+        s.append_u256(&U256::from(99u64));
+        s.append_address(&Address::from_low_u64(7));
+        let encoded = s.finish();
+        let decoded = decode(&encoded).unwrap();
+        let items = decoded.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_bytes().unwrap(), b"cat");
+        assert_eq!(items[1].as_u256().unwrap(), U256::from(99u64));
+        assert_eq!(items[2].as_bytes().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn decode_long_payloads() {
+        let long = vec![0xabu8; 300];
+        let encoded = encode_bytes_standalone(&long);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(decoded.as_bytes().unwrap(), long.as_slice());
+
+        let mut s = RlpStream::new_list(5);
+        for _ in 0..5 {
+            s.append_bytes(&long);
+        }
+        let nested = s.finish();
+        let decoded = decode(&nested).unwrap();
+        assert_eq!(decoded.as_list().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn decode_nested_lists() {
+        let inner = encode_list_of_bytes(&[b"a", b"b"]);
+        let mut outer = RlpStream::new_list(2);
+        outer.append_raw(&inner);
+        outer.append_bytes(b"c");
+        let encoded = outer.finish();
+        let decoded = decode(&encoded).unwrap();
+        let items = decoded.as_list().unwrap();
+        assert_eq!(items[0].as_list().unwrap().len(), 2);
+        assert_eq!(items[1].as_bytes().unwrap(), b"c");
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0x83, b'd', b'o']).is_err());
+        assert!(decode(&[0x00, 0x01]).is_err()); // trailing byte
+        assert!(decode(&[0xb8]).is_err()); // missing length byte
+    }
+
+    #[test]
+    fn item_accessors() {
+        let bytes_item = Item::Bytes(vec![1, 2]);
+        let list_item = Item::List(vec![bytes_item.clone()]);
+        assert!(bytes_item.as_list().is_none());
+        assert!(list_item.as_bytes().is_none());
+        assert!(list_item.as_u256().is_none());
+        assert_eq!(bytes_item.as_u256().unwrap(), U256::from(0x0102u64));
+    }
+}

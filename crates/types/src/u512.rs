@@ -1,0 +1,251 @@
+//! A minimal 512-bit unsigned integer.
+//!
+//! [`U512`] exists to hold the full product of two [`U256`] values so that
+//! the EVM's `MULMOD` / `ADDMOD` opcodes and the secp256k1 scalar arithmetic
+//! can be computed without losing the high half. Only the operations those
+//! callers need are provided.
+
+use crate::U256;
+
+/// A 512-bit unsigned integer stored as eight little-endian 64-bit limbs.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_types::{U256, U512};
+///
+/// let product = U256::MAX.full_mul(U256::MAX);
+/// assert_eq!(product.rem_u256(U256::MAX), U256::ZERO);
+/// let (lo, hi) = product.split();
+/// assert_eq!(lo, U256::ONE);
+/// assert_eq!(hi, U256::MAX - U256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512([u64; 8]);
+
+impl U512 {
+    /// The value `0`.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Creates a value from raw little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; 8]) -> Self {
+        U512(limbs)
+    }
+
+    /// Returns the raw little-endian limbs.
+    #[inline]
+    pub const fn limbs(&self) -> [u64; 8] {
+        self.0
+    }
+
+    /// Widens a [`U256`] into the low half of a [`U512`].
+    pub fn from_u256(v: U256) -> Self {
+        let l = v.limbs();
+        U512([l[0], l[1], l[2], l[3], 0, 0, 0, 0])
+    }
+
+    /// Splits into `(low, high)` 256-bit halves.
+    pub fn split(&self) -> (U256, U256) {
+        (
+            U256::from_limbs([self.0[0], self.0[1], self.0[2], self.0[3]]),
+            U256::from_limbs([self.0[4], self.0[5], self.0[6], self.0[7]]),
+        )
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&l| l == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns the value of bit `index`; bits at 512 or above are zero.
+    pub fn bit(&self, index: usize) -> bool {
+        if index >= 512 {
+            return false;
+        }
+        self.0[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Wrapping addition modulo 2^512.
+    pub fn wrapping_add(self, rhs: U512) -> U512 {
+        let mut out = [0u64; 8];
+        let mut carry = false;
+        for i in 0..8 {
+            let (sum, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (sum, c2) = sum.overflowing_add(carry as u64);
+            out[i] = sum;
+            carry = c1 || c2;
+        }
+        U512(out)
+    }
+
+    /// Wrapping subtraction modulo 2^512.
+    pub fn wrapping_sub(self, rhs: U512) -> U512 {
+        let mut out = [0u64; 8];
+        let mut borrow = false;
+        for i in 0..8 {
+            let (diff, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (diff, b2) = diff.overflowing_sub(borrow as u64);
+            out[i] = diff;
+            borrow = b1 || b2;
+        }
+        U512(out)
+    }
+
+    /// Logical left shift by one bit.
+    fn shl1(self) -> U512 {
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            out[i] = (self.0[i] << 1) | carry;
+            carry = self.0[i] >> 63;
+        }
+        U512(out)
+    }
+
+    /// Remainder of division by a 256-bit modulus.
+    ///
+    /// Uses restoring binary division; the quotient is discarded. Returns
+    /// zero when `modulus` is zero, mirroring the EVM convention.
+    pub fn rem_u256(&self, modulus: U256) -> U256 {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let m = U512::from_u256(modulus);
+        let total_bits = self.bits();
+        if total_bits == 0 {
+            return U256::ZERO;
+        }
+        let mut rem = U512::ZERO;
+        for i in (0..total_bits as usize).rev() {
+            rem = rem.shl1();
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            if rem >= m {
+                rem = rem.wrapping_sub(m);
+            }
+        }
+        rem.split().0
+    }
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        for i in (0..8).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                core::cmp::Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl core::fmt::Debug for U512 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (lo, hi) = self.split();
+        write!(f, "U512(hi={}, lo={})", hi.to_hex(), lo.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u256_round_trip() {
+        let v = U256::from(0xdead_beefu64);
+        let wide = U512::from_u256(v);
+        let (lo, hi) = wide.split();
+        assert_eq!(lo, v);
+        assert!(hi.is_zero());
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(U512::ZERO.is_zero());
+        assert_eq!(U512::ZERO.bits(), 0);
+        assert!(!U512::from_u256(U256::ONE).is_zero());
+    }
+
+    #[test]
+    fn add_carries_into_high_half() {
+        let max_lo = U512::from_u256(U256::MAX);
+        let one = U512::from_u256(U256::ONE);
+        let sum = max_lo.wrapping_add(one);
+        let (lo, hi) = sum.split();
+        assert!(lo.is_zero());
+        assert_eq!(hi, U256::ONE);
+    }
+
+    #[test]
+    fn sub_borrows_from_high_half() {
+        let high_one = U512::from_limbs([0, 0, 0, 0, 1, 0, 0, 0]);
+        let one = U512::from_u256(U256::ONE);
+        let diff = high_one.wrapping_sub(one);
+        let (lo, hi) = diff.split();
+        assert_eq!(lo, U256::MAX);
+        assert!(hi.is_zero());
+    }
+
+    #[test]
+    fn bits_counts_high_limbs() {
+        let v = U512::from_limbs([0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(v.bits(), 7 * 64 + 1);
+        assert!(v.bit(448));
+        assert!(!v.bit(447));
+        assert!(!v.bit(600));
+    }
+
+    #[test]
+    fn rem_of_small_values() {
+        let v = U512::from_u256(U256::from(100u64));
+        assert_eq!(v.rem_u256(U256::from(7u64)), U256::from(2u64));
+        assert_eq!(v.rem_u256(U256::ZERO), U256::ZERO);
+        assert_eq!(v.rem_u256(U256::from(100u64)), U256::ZERO);
+    }
+
+    #[test]
+    fn rem_of_full_product_matches_mulmod_identity() {
+        // (a * b) mod m == ((a mod m) * (b mod m)) mod m for small a, b.
+        let a = U256::from(0xffff_ffff_ffff_fff1u64);
+        let b = U256::from(0xffff_ffff_ffff_ff17u64);
+        let m = U256::from(1_000_003u64);
+        let full = a.full_mul(b);
+        let expected = (a.rem(m).low_u128() * b.rem(m).low_u128()) % m.low_u128();
+        assert_eq!(full.rem_u256(m), U256::from(expected));
+    }
+
+    #[test]
+    fn ordering_compares_high_limbs_first() {
+        let small = U512::from_u256(U256::MAX);
+        let big = U512::from_limbs([0, 0, 0, 0, 1, 0, 0, 0]);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_format_mentions_both_halves() {
+        let v = U512::from_limbs([5, 0, 0, 0, 9, 0, 0, 0]);
+        let s = format!("{v:?}");
+        assert!(s.contains("0x9"));
+        assert!(s.contains("0x5"));
+    }
+}

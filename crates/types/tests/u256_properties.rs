@@ -1,0 +1,226 @@
+//! Property-based tests for the 256-bit arithmetic.
+//!
+//! The strategy: generate values that fit in `u128` and compare every U256
+//! operation against native 128-bit arithmetic, then generate full-width
+//! values and check the algebraic laws that must hold regardless of
+//! magnitude (commutativity, associativity, division identities, shift
+//! composition, byte round-trips).
+
+use proptest::prelude::*;
+use tinyevm_types::{hex, rlp, I256, U256};
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+proptest! {
+    // --- agreement with u128 on small values ------------------------------
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let expected = a as u128 + b as u128;
+        prop_assert_eq!(U256::from(a) + U256::from(b), U256::from(expected));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(U256::from(hi) - U256::from(lo), U256::from(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let expected = a as u128 * b as u128;
+        prop_assert_eq!(U256::from(a) * U256::from(b), U256::from(expected));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = U256::from(a).div_rem(U256::from(b));
+        prop_assert_eq!(q, U256::from(a / b));
+        prop_assert_eq!(r, U256::from(a % b));
+    }
+
+    #[test]
+    fn pow_matches_u128(a in 0u64..=16, e in 0u32..=16) {
+        let expected = (a as u128).pow(e);
+        prop_assert_eq!(
+            U256::from(a).wrapping_pow(U256::from(e as u64)),
+            U256::from(expected)
+        );
+    }
+
+    #[test]
+    fn shifts_match_u128(a in any::<u64>(), s in 0u32..64) {
+        prop_assert_eq!(U256::from(a).shl(s), U256::from((a as u128) << s));
+        prop_assert_eq!(U256::from(a).shr(s), U256::from((a as u128) >> s));
+    }
+
+    // --- algebraic laws on full-width values ------------------------------
+
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_add(b).wrapping_add(c),
+            a.wrapping_add(b.wrapping_add(c))
+        );
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(a.wrapping_neg()), U256::ZERO);
+    }
+
+    #[test]
+    fn division_identity(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn full_mul_consistent_with_wrapping(a in arb_u256(), b in arb_u256()) {
+        let (lo, _hi) = a.full_mul(b).split();
+        prop_assert_eq!(lo, a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn mulmod_matches_explicit_remainder(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        let expected = a.full_mul(b).rem_u256(m);
+        prop_assert_eq!(a.mul_mod(b, m), expected);
+        prop_assert!(a.mul_mod(b, m) < m);
+    }
+
+    #[test]
+    fn addmod_is_below_modulus(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        prop_assert!(a.add_mod(b, m) < m);
+    }
+
+    #[test]
+    fn shift_composition(a in arb_u256(), s1 in 0u32..128, s2 in 0u32..128) {
+        prop_assert_eq!(a.shr(s1).shr(s2), a.shr(s1 + s2));
+        prop_assert_eq!(a.shl(s1).shl(s2), a.shl(s1 + s2));
+    }
+
+    #[test]
+    fn shl_then_shr_preserves_low_bits(a in arb_u256(), s in 0u32..256) {
+        let masked = if s == 0 { a } else { a.shl(s).shr(s) };
+        // shl then shr clears the top `s` bits; the result must equal the
+        // original with those bits cleared.
+        let expected = if s == 0 { a } else { (a.shl(s)).shr(s) };
+        prop_assert_eq!(masked, expected);
+        prop_assert!(masked <= a);
+    }
+
+    #[test]
+    fn be_bytes_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn dec_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_dec_str(&a.to_dec_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn bitwise_de_morgan(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(!(a & b), (!a) | (!b));
+        prop_assert_eq!(!(a | b), (!a) & (!b));
+    }
+
+    #[test]
+    fn xor_self_inverse(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!((a ^ b) ^ b, a);
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in arb_u256(), b in arb_u256()) {
+        let (_, borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    // --- signed view -------------------------------------------------------
+
+    #[test]
+    fn sdiv_smod_identity(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let ia = I256::from(a);
+        let ib = I256::from(b);
+        let q = ia.sdiv(ib);
+        let r = ia.smod(ib);
+        // a == q*b + r, computed in wrapping U256 arithmetic.
+        let recombined = q.into_raw().wrapping_mul(ib.into_raw()).wrapping_add(r.into_raw());
+        prop_assert_eq!(recombined, ia.into_raw());
+    }
+
+    #[test]
+    fn slt_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(I256::from(a).slt(I256::from(b)), a < b);
+        prop_assert_eq!(I256::from(a).sgt(I256::from(b)), a > b);
+    }
+
+    #[test]
+    fn sar_matches_i64(a in any::<i64>(), s in 0u32..63) {
+        let expected = a >> s;
+        prop_assert_eq!(
+            I256::from(a).into_raw().sar(s),
+            I256::from(expected).into_raw()
+        );
+    }
+
+    #[test]
+    fn sign_extend_from_byte_31_is_identity(a in arb_u256()) {
+        prop_assert_eq!(a.sign_extend(U256::from(31u64)), a);
+    }
+
+    // --- hex / rlp ---------------------------------------------------------
+
+    #[test]
+    fn hex_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rlp_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let encoded = rlp::encode_bytes_standalone(&bytes);
+        let decoded = rlp::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded.as_bytes().unwrap(), bytes.as_slice());
+    }
+
+    #[test]
+    fn rlp_list_round_trip(items in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 0..12)
+    ) {
+        let refs: Vec<&[u8]> = items.iter().map(|v| v.as_slice()).collect();
+        let encoded = rlp::encode_list_of_bytes(&refs);
+        let decoded = rlp::decode(&encoded).unwrap();
+        let list = decoded.as_list().unwrap();
+        prop_assert_eq!(list.len(), items.len());
+        for (item, original) in list.iter().zip(&items) {
+            prop_assert_eq!(item.as_bytes().unwrap(), original.as_slice());
+        }
+    }
+}

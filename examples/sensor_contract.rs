@@ -1,0 +1,67 @@
+//! A smart contract that reads sensors and drives an actuator through
+//! TinyEVM's IoT opcode (`0x0C`) — the paper's key EVM extension.
+//!
+//! The contract computes a parking price from the temperature and occupancy
+//! sensors and, if the spot is free, raises the barrier actuator.
+//!
+//! Run with: `cargo run --example sensor_contract`
+
+use tinyevm::device::sensors::peripheral_id;
+use tinyevm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Price = 100 + temperature/100 if the spot is free, otherwise 0.
+    // Sensor ids are encoded into the IoT opcode selector (id << 8); an
+    // odd low byte means "actuate".
+    let source = format!(
+        "
+        ; read occupancy sensor (id {occ})
+        PUSH1 0x00 PUSH8 0x{occ:016x} PUSH1 0x08 SHL IOT
+        ; if occupied -> return 0
+        PUSHLABEL @occupied JUMPI
+
+        ; read temperature sensor (id {temp})
+        PUSH1 0x00 PUSH8 0x{temp:016x} PUSH1 0x08 SHL IOT
+        PUSH1 0x64 SWAP1 DIV        ; temperature / 100
+        PUSH1 0x64 ADD              ; + 100
+        ; raise the barrier: actuate id {barrier} with value 1
+        PUSH1 0x01
+        PUSH8 0x{barrier:016x} PUSH1 0x08 SHL PUSH1 0x01 OR
+        IOT POP
+        ; return the price
+        PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+
+        @occupied: JUMPDEST
+        PUSH1 0x00 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+        ",
+        occ = peripheral_id::OCCUPANCY,
+        temp = peripheral_id::TEMPERATURE,
+        barrier = peripheral_id::BARRIER,
+    );
+    let code = asm::assemble(&source)?;
+    println!("Pricing contract: {} bytes of TinyEVM bytecode", code.len());
+    println!("{}", asm::disassemble(&code));
+
+    let mut device = Device::openmote_b("parking-spot-17");
+    let (result, time) = device.execute_code(&code, &[])?;
+    let price = U256::from_be_slice(&result.output)?;
+    println!("First execution (spot free):     price = {price}, computed in {time:?}");
+    println!(
+        "  IoT opcode invocations: {}, instructions: {}",
+        result.metrics.iot_invocations, result.metrics.instructions
+    );
+
+    // The occupancy sensor in the smart-parking preset reports "occupied"
+    // from the second reading on.
+    let (result, _) = device.execute_code(&code, &[])?;
+    let price = U256::from_be_slice(&result.output)?;
+    println!("Second execution (spot occupied): price = {price}");
+
+    let report = device.energy_report();
+    println!(
+        "\nDevice spent {:.2} mJ total; sensors were read {} times",
+        report.total_energy_mj(),
+        result.metrics.iot_invocations
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The paper's motivating scenario end to end: a smart car parks, pays per
+//! hour over an off-chain payment channel, and the parking operator settles
+//! on-chain when the car leaves.
+//!
+//! Prints a Table-IV-style energy breakdown and a Figure-5-style current
+//! timeline for the vehicle.
+//!
+//! Run with: `cargo run --example smart_parking`
+
+use tinyevm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = ParkingScenario {
+        deposit: Wei::from_eth_milli(100),
+        price_per_interval: Wei::from_eth_milli(5),
+        intervals: 4,
+    };
+    println!(
+        "Parking session: {} intervals at {} each, deposit {}\n",
+        scenario.intervals, scenario.price_per_interval, scenario.deposit
+    );
+
+    let summary = scenario.run()?;
+
+    println!("== Payments ==");
+    for round in &summary.rounds {
+        println!(
+            "  #{:<2} cumulative {:<26} latency {:>8.1?} (sender active {:>7.1?}, sign {:>7.1?}, register {:>6.1?}) {:>4} bytes on air",
+            round.sequence,
+            round.cumulative.to_string(),
+            round.end_to_end_latency,
+            round.sender_active_time,
+            round.sender_sign_time,
+            round.sender_register_time,
+            round.bytes_exchanged,
+        );
+    }
+    println!(
+        "\nMean payment latency: {:?} (paper reports 584 ms on average)",
+        summary.mean_payment_latency()
+    );
+
+    println!("\n== Settlement ==");
+    println!("  paid to parking operator: {}", summary.total_paid);
+    println!("  refunded to the vehicle:  {}", summary.refunded);
+    println!(
+        "  on-chain transactions for the whole session: {}",
+        summary.on_chain_transactions
+    );
+
+    println!("\n== Vehicle energy (Table IV analogue) ==");
+    let energy = &summary.vehicle_energy;
+    for state in &energy.states {
+        println!(
+            "  {:<22} {:>8.1?} at {:>5.1} mA -> {:>6.2} mJ",
+            state.state.label(),
+            state.time,
+            state.current_ma,
+            state.energy_mj
+        );
+    }
+    println!(
+        "  total: {:.1} mJ over {:?}; crypto engine share {:.0}%",
+        energy.total_energy_mj(),
+        energy.total_time(),
+        summary.crypto_energy_share() * 100.0
+    );
+    println!(
+        "  battery estimate: {} payments per 10 kJ AA pair",
+        energy.payments_per_battery(10_000.0) * summary.rounds.len() as u64
+    );
+
+    println!("\n== Vehicle current timeline (Figure 5 analogue, first 20 entries) ==");
+    for entry in summary.vehicle_timeline.iter().take(20) {
+        println!(
+            "  t = {:>9.3?}  {:>6.1} mA for {:>9.3?}  ({})",
+            entry.start,
+            entry.current_ma(),
+            entry.duration,
+            entry.state.label()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Integration test of the corpus → EVM → device pipeline: a scaled-down
+//! version of the paper's macro-benchmark, checking that the *shape* of the
+//! results matches Table II and Figures 3–4 without hard-coding any outcome.
+
+use tinyevm::corpus::{quick_corpus, summarize};
+use tinyevm::device::Mcu;
+use tinyevm::evm::{deploy, EvmConfig};
+
+/// Enough contracts for stable statistics, small enough for a test.
+const SAMPLE: usize = 500;
+
+struct CorpusRun {
+    sizes: Vec<f64>,
+    stack_pointers: Vec<f64>,
+    memory_usage: Vec<f64>,
+    times_ms: Vec<f64>,
+    resource_failures: usize,
+    other_failures: usize,
+    total: usize,
+}
+
+fn run_corpus(count: usize, code_limit: usize) -> CorpusRun {
+    let corpus = quick_corpus(count);
+    let config = EvmConfig::cc2538()
+        .with_code_limit(code_limit)
+        .with_memory_limit(code_limit.max(8 * 1024));
+    let mcu = Mcu::cc2538();
+    let mut run = CorpusRun {
+        sizes: Vec::new(),
+        stack_pointers: Vec::new(),
+        memory_usage: Vec::new(),
+        times_ms: Vec::new(),
+        resource_failures: 0,
+        other_failures: 0,
+        total: corpus.len(),
+    };
+    for contract in &corpus {
+        match deploy(&config, &contract.init_code) {
+            Ok(result) => {
+                run.sizes.push(contract.size() as f64);
+                run.stack_pointers.push(result.metrics.max_stack_pointer as f64);
+                run.memory_usage.push(result.deployed_memory_bytes as f64);
+                run.times_ms
+                    .push(mcu.deployment_time(&result.metrics).as_secs_f64() * 1000.0);
+                // Figure 3b invariant: deployment never needs more memory
+                // than the contract that was shipped.
+                assert!(result.deployed_memory_bytes <= contract.size());
+            }
+            Err(error) => {
+                if error.is_resource_limit() {
+                    run.resource_failures += 1;
+                } else {
+                    run.other_failures += 1;
+                }
+            }
+        }
+    }
+    run
+}
+
+#[test]
+fn deployability_and_statistics_match_the_papers_shape() {
+    let run = run_corpus(SAMPLE, 8 * 1024);
+
+    // All failures are resource-limit failures, as the paper reports.
+    assert_eq!(run.other_failures, 0, "constructors must not be buggy");
+    let deployability = (run.total - run.resource_failures) as f64 / run.total as f64;
+    assert!(
+        (0.85..=0.99).contains(&deployability),
+        "deployability {deployability} outside the paper's regime (93%)"
+    );
+
+    // Table II shape checks (loose bounds around the paper's values).
+    let size = summarize(&run.sizes);
+    assert!(size.mean > 2_000.0 && size.mean < 6_000.0, "size mean {}", size.mean);
+    assert!(size.min >= 28.0);
+    assert!(size.max <= 25_600.0);
+
+    let sp = summarize(&run.stack_pointers);
+    assert!(sp.mean >= 4.0 && sp.mean <= 16.0, "stack pointer mean {}", sp.mean);
+    assert!(sp.max <= 45.0, "stack pointer max {}", sp.max);
+
+    let time = summarize(&run.times_ms);
+    assert!(
+        time.mean > 80.0 && time.mean < 450.0,
+        "deployment time mean {} ms (paper: 215 ms)",
+        time.mean
+    );
+    assert!(time.max > time.mean * 4.0, "a long tail of outliers exists");
+    assert!(time.max < 15_000.0, "outliers stay below ~10 s as in Figure 4");
+
+    let memory = summarize(&run.memory_usage);
+    assert!(memory.max <= 8_192.0 + 1_024.0, "deployed memory respects the device");
+}
+
+#[test]
+fn deployment_time_does_not_correlate_with_size() {
+    // Figure 4's observation: constructor work, not bytecode size, drives
+    // deployment time. Check the correlation coefficient is small.
+    let run = run_corpus(400, 8 * 1024);
+    let n = run.sizes.len() as f64;
+    let mean_x = run.sizes.iter().sum::<f64>() / n;
+    let mean_y = run.times_ms.iter().sum::<f64>() / n;
+    let mut covariance = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in run.sizes.iter().zip(&run.times_ms) {
+        covariance += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    let correlation = covariance / (var_x.sqrt() * var_y.sqrt());
+    assert!(
+        correlation.abs() < 0.35,
+        "deployment time should not correlate strongly with size, r = {correlation}"
+    );
+}
+
+#[test]
+fn a_larger_deployment_limit_admits_more_contracts() {
+    // The ablation behind the paper's "8 KB is a favourable allocation"
+    // argument: a 4 KB limit rejects many more contracts, a 16 KB limit
+    // only slightly fewer than 8 KB.
+    let at_4k = run_corpus(300, 4 * 1024);
+    let at_8k = run_corpus(300, 8 * 1024);
+    let at_16k = run_corpus(300, 16 * 1024);
+    let rate = |run: &CorpusRun| (run.total - run.resource_failures) as f64 / run.total as f64;
+    assert!(rate(&at_4k) < rate(&at_8k));
+    assert!(rate(&at_8k) <= rate(&at_16k));
+    // Diminishing returns: the 8->16 KB jump buys less than the 4->8 KB one.
+    assert!(rate(&at_16k) - rate(&at_8k) < rate(&at_8k) - rate(&at_4k));
+}

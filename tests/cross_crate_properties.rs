@@ -1,0 +1,97 @@
+//! Property-based integration tests spanning several crates: arbitrary
+//! payment schedules always settle to exactly the amount paid, arbitrary
+//! contract corpora obey the deployment invariants, and the EVM storage the
+//! channel contract keeps always agrees with the protocol-level state.
+
+use proptest::prelude::*;
+use tinyevm::channel::ProtocolDriver;
+use tinyevm::corpus::CorpusConfig;
+use tinyevm::evm::{deploy, EvmConfig};
+use tinyevm::prelude::*;
+
+proptest! {
+    // Heavier-than-usual cases: keep the count small so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_payment_schedule_settles_to_its_sum(
+        amounts in proptest::collection::vec(1u64..500, 1..5)
+    ) {
+        let deposit: u64 = 10_000;
+        let mut driver = ProtocolDriver::smart_parking(Wei::from(deposit));
+        driver.publish_template().unwrap();
+        driver.open_channel().unwrap();
+        let mut expected_total = 0u64;
+        for amount in &amounts {
+            let report = driver.pay(Wei::from(*amount)).unwrap();
+            expected_total += amount;
+            prop_assert_eq!(report.cumulative, Wei::from(expected_total));
+        }
+        let settlement = driver.close_and_settle().unwrap();
+        prop_assert_eq!(settlement.settlement.to_receiver, Wei::from(expected_total));
+        prop_assert_eq!(
+            settlement.settlement.to_sender,
+            Wei::from(deposit - expected_total)
+        );
+        prop_assert!(driver.sender().side_chain().verify());
+        prop_assert!(driver.receiver().side_chain().verify());
+    }
+
+    #[test]
+    fn corpus_deployments_respect_device_invariants(seed in 0u64..1_000) {
+        let corpus = CorpusConfig {
+            count: 20,
+            seed,
+            ..CorpusConfig::paper_scale()
+        }
+        .generate();
+        let config = EvmConfig::cc2538();
+        for contract in &corpus {
+            match deploy(&config, &contract.init_code) {
+                Ok(result) => {
+                    // Invariants behind Figures 3b / 3c and Table II.
+                    prop_assert!(result.deployed_memory_bytes <= contract.size());
+                    prop_assert!(result.runtime_code.len() <= config.max_code_size);
+                    prop_assert!(result.metrics.max_stack_pointer <= config.max_stack_depth);
+                    prop_assert!(result.metrics.memory_high_water <= config.max_memory_bytes);
+                }
+                Err(error) => prop_assert!(error.is_resource_limit()),
+            }
+        }
+    }
+}
+
+#[test]
+fn channel_contract_storage_tracks_protocol_state() {
+    // After a few payments, the sequence number stored by the EVM contract
+    // on each device equals the protocol-level channel sequence.
+    use tinyevm::channel::contracts::{read_calldata, FN_READ_SEQUENCE};
+
+    let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(50));
+    driver.publish_template().unwrap();
+    driver.open_channel().unwrap();
+    for _ in 0..3 {
+        driver.pay(Wei::from_eth_milli(1)).unwrap();
+    }
+    let protocol_sequence = driver.sender().channel().unwrap().sequence();
+    assert_eq!(protocol_sequence, 3);
+
+    let contract = driver.sender().channel_contract().unwrap();
+    let world = driver.sender().device().world();
+    let code = world.code_of(&contract);
+    assert!(!code.is_empty());
+    // Read the stored sequence through the contract's own query function.
+    let mut world = world.clone();
+    let outcome = world.execute_contract(
+        driver.sender().address(),
+        contract,
+        U256::ZERO,
+        &read_calldata(FN_READ_SEQUENCE),
+        &mut tinyevm::evm::NullIotEnvironment,
+    );
+    assert!(outcome.success);
+    assert_eq!(
+        U256::from_be_slice(&outcome.output).unwrap(),
+        U256::from(protocol_sequence)
+    );
+}
