@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tinyevm_chain::{MerkleSumTree, SumLeaf};
-use tinyevm_types::{H256, Wei};
+use tinyevm_types::{Wei, H256};
 
 fn tree_with(leaves: usize) -> MerkleSumTree {
     MerkleSumTree::from_leaves(
@@ -28,7 +28,9 @@ fn bench_merkle(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("verify", size),
             &(root, proof),
-            |bencher, (root, proof)| bencher.iter(|| MerkleSumTree::verify(black_box(root), black_box(proof))),
+            |bencher, (root, proof)| {
+                bencher.iter(|| MerkleSumTree::verify(black_box(root), black_box(proof)))
+            },
         );
     }
     group.finish();

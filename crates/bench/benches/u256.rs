@@ -10,8 +10,9 @@ fn bench_u256(c: &mut Criterion) {
         .unwrap();
     let b = U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
         .unwrap();
-    let modulus = U256::from_hex("0xfffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
-        .unwrap();
+    let modulus =
+        U256::from_hex("0xfffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
 
     let mut group = c.benchmark_group("u256");
     group.bench_function("add", |bencher| {

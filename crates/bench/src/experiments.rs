@@ -3,11 +3,11 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use tinyevm_channel::ProtocolDriver;
 use tinyevm_corpus::{histogram, summarize, CorpusConfig, DistributionSummary};
 use tinyevm_device::{Footprint, Mcu, PowerState};
 use tinyevm_evm::opcode::{evm_census, tinyevm_census};
 use tinyevm_evm::{deploy, EvmConfig};
-use tinyevm_channel::ProtocolDriver;
 use tinyevm_types::Wei;
 
 /// Results of the corpus macro-benchmark (Table II, Figures 3 and 4).
@@ -95,7 +95,11 @@ impl CorpusExperiment {
             self.total
         );
         for (edge, count) in histogram(&all_sizes, 20) {
-            let marker = if edge <= self.code_limit as f64 { ' ' } else { '*' };
+            let marker = if edge <= self.code_limit as f64 {
+                ' '
+            } else {
+                '*'
+            };
             let bar = "#".repeat((count as f64 / self.total as f64 * 200.0).round() as usize);
             let _ = writeln!(out, "  ≤{edge:>8.0} B{marker} {count:>5} {bar}");
         }
@@ -136,7 +140,8 @@ impl CorpusExperiment {
         let mut out = String::new();
         let _ = writeln!(out, "Figure 3c — maximum stack pointer distribution");
         for (edge, count) in histogram(&self.stack_pointers, 14) {
-            let bar = "#".repeat((count as f64 / self.deployed.max(1) as f64 * 120.0).round() as usize);
+            let bar =
+                "#".repeat((count as f64 / self.deployed.max(1) as f64 * 120.0).round() as usize);
             let _ = writeln!(out, "  ≤{edge:>5.1} {count:>5} {bar}");
         }
         let _ = writeln!(
@@ -246,16 +251,68 @@ pub fn table1_text() -> String {
     let tiny = tinyevm_census();
     let mut out = String::new();
     let _ = writeln!(out, "Table I — EVM vs TinyEVM specification");
-    let _ = writeln!(out, "{:<28}{:>12}{:>12}{:>14}{:>12}", "Component", "EVM", "TinyEVM", "paper EVM", "paper Tiny");
+    let _ = writeln!(
+        out,
+        "{:<28}{:>12}{:>12}{:>14}{:>12}",
+        "Component", "EVM", "TinyEVM", "paper EVM", "paper Tiny"
+    );
     let rows = [
-        ("Stack memory", "256-bit".to_string(), "256-bit".to_string(), "256-bit", "256-bit"),
-        ("Random access memory", "8-bit".to_string(), "8-bit".to_string(), "8-bit", "8-bit"),
-        ("Storage space", "256-bit".to_string(), "8-bit".to_string(), "256-bit", "8-bit"),
-        ("Operation opcodes", evm.operation.to_string(), tiny.operation.to_string(), "27", "27"),
-        ("Smart contract opcodes", evm.smart_contract.to_string(), tiny.smart_contract.to_string(), "25", "21"),
-        ("Memory opcodes", evm.memory.to_string(), tiny.memory.to_string(), "13", "13"),
-        ("Blockchain opcodes", evm.blockchain.to_string(), tiny.blockchain.to_string(), "6", "-"),
-        ("IoT opcodes", evm.iot.to_string(), tiny.iot.to_string(), "-", "1"),
+        (
+            "Stack memory",
+            "256-bit".to_string(),
+            "256-bit".to_string(),
+            "256-bit",
+            "256-bit",
+        ),
+        (
+            "Random access memory",
+            "8-bit".to_string(),
+            "8-bit".to_string(),
+            "8-bit",
+            "8-bit",
+        ),
+        (
+            "Storage space",
+            "256-bit".to_string(),
+            "8-bit".to_string(),
+            "256-bit",
+            "8-bit",
+        ),
+        (
+            "Operation opcodes",
+            evm.operation.to_string(),
+            tiny.operation.to_string(),
+            "27",
+            "27",
+        ),
+        (
+            "Smart contract opcodes",
+            evm.smart_contract.to_string(),
+            tiny.smart_contract.to_string(),
+            "25",
+            "21",
+        ),
+        (
+            "Memory opcodes",
+            evm.memory.to_string(),
+            tiny.memory.to_string(),
+            "13",
+            "13",
+        ),
+        (
+            "Blockchain opcodes",
+            evm.blockchain.to_string(),
+            tiny.blockchain.to_string(),
+            "6",
+            "-",
+        ),
+        (
+            "IoT opcodes",
+            evm.iot.to_string(),
+            tiny.iot.to_string(),
+            "-",
+            "1",
+        ),
     ];
     for (name, evm_value, tiny_value, paper_evm, paper_tiny) in rows {
         let _ = writeln!(
@@ -335,7 +392,11 @@ pub fn offchain_experiment(payments: usize) -> OffChainExperiment {
     let open = driver.open_channel().expect("channel opens");
     let mut rounds = Vec::with_capacity(payments);
     for _ in 0..payments {
-        rounds.push(driver.pay(Wei::from_eth_milli(5)).expect("payment succeeds"));
+        rounds.push(
+            driver
+                .pay(Wei::from_eth_milli(5))
+                .expect("payment succeeds"),
+        );
     }
     OffChainExperiment {
         driver,
@@ -421,7 +482,13 @@ impl OffChainExperiment {
             latencies.keccak256.as_millis()
         );
         let total = latencies.ecdsa_sign + latencies.sha256 + latencies.keccak256;
-        let _ = writeln!(out, "{:<34}{:>8}{:>9} ms", "Total time", "", total.as_millis());
+        let _ = writeln!(
+            out,
+            "{:<34}{:>8}{:>9} ms",
+            "Total time",
+            "",
+            total.as_millis()
+        );
         let _ = writeln!(out, "(Paper: 350 ms, 1 ms, 5 ms, total 356 ms)");
         out
     }
@@ -435,7 +502,11 @@ impl OffChainExperiment {
             "Figure 5 — sender current draw over the off-chain round ({} timeline entries)",
             timeline.len()
         );
-        let _ = writeln!(out, "{:>12}{:>12}{:>10}  state", "t start (s)", "dur (ms)", "mA");
+        let _ = writeln!(
+            out,
+            "{:>12}{:>12}{:>10}  state",
+            "t start (s)", "dur (ms)", "mA"
+        );
         for entry in timeline {
             let _ = writeln!(
                 out,

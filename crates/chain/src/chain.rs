@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use tinyevm_crypto::keccak256_h256;
 use tinyevm_evm::{ContractStore, EvmConfig, Host, NullIotEnvironment};
-use tinyevm_types::{Address, H256, Wei};
+use tinyevm_types::{Address, Wei, H256};
 
 use crate::state::CommitEnvelope;
 use crate::template::{Settlement, TemplateConfig, TemplateContract, TemplateError};
@@ -269,8 +269,12 @@ impl Blockchain {
         data.extend_from_slice(&self.next_template_nonce.to_be_bytes());
         let address = Address::from_hash(&keccak256_h256(&data));
         let sender = config.sender;
-        self.templates.insert(address, TemplateContract::new(config));
-        self.record(sender, TransactionKind::PublishTemplate { template: address });
+        self.templates
+            .insert(address, TemplateContract::new(config));
+        self.record(
+            sender,
+            TransactionKind::PublishTemplate { template: address },
+        );
         Ok(address)
     }
 
@@ -399,7 +403,10 @@ impl Blockchain {
             .created
             .filter(|_| outcome.success)
             .ok_or(ChainError::EvmDeploymentFailed)?;
-        self.record(creator, TransactionKind::DeployEvmContract { contract: address });
+        self.record(
+            creator,
+            TransactionKind::DeployEvmContract { contract: address },
+        );
         Ok(address)
     }
 
@@ -489,14 +496,22 @@ mod tests {
     fn transfers_move_value_and_seal_blocks() {
         let (mut chain, sender, receiver) = setup();
         let block = chain
-            .transfer(sender.eth_address(), receiver.eth_address(), Wei::from(500u64))
+            .transfer(
+                sender.eth_address(),
+                receiver.eth_address(),
+                Wei::from(500u64),
+            )
             .unwrap();
         assert_eq!(block, 1);
         assert_eq!(chain.balance(&sender.eth_address()), Wei::from(9_500u64));
         assert_eq!(chain.balance(&receiver.eth_address()), Wei::from(1_500u64));
         assert_eq!(chain.transactions().len(), 1);
         assert!(matches!(
-            chain.transfer(sender.eth_address(), receiver.eth_address(), Wei::from(1_000_000u64)),
+            chain.transfer(
+                sender.eth_address(),
+                receiver.eth_address(),
+                Wei::from(1_000_000u64)
+            ),
             Err(ChainError::InsufficientBalance { .. })
         ));
     }
@@ -555,7 +570,9 @@ mod tests {
         chain.start_exit(receiver.eth_address(), template).unwrap();
         assert!(matches!(
             chain.finalize_template(receiver.eth_address(), template),
-            Err(ChainError::Template(TemplateError::ChallengePeriodActive { .. }))
+            Err(ChainError::Template(
+                TemplateError::ChallengePeriodActive { .. }
+            ))
         ));
         chain.advance_blocks(6);
         let settlement = chain
@@ -565,8 +582,14 @@ mod tests {
         assert_eq!(settlement.to_sender, Wei::from(1_250u64));
 
         // Balances after settlement: sender got the unspent deposit back.
-        assert_eq!(chain.balance(&sender.eth_address()), Wei::from(8_000 + 1_250u64));
-        assert_eq!(chain.balance(&receiver.eth_address()), Wei::from(1_000 + 750u64));
+        assert_eq!(
+            chain.balance(&sender.eth_address()),
+            Wei::from(8_000 + 1_250u64)
+        );
+        assert_eq!(
+            chain.balance(&receiver.eth_address()),
+            Wei::from(1_000 + 750u64)
+        );
         // Transactions were recorded for every step.
         assert!(chain.transactions().len() >= 4);
     }

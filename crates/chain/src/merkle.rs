@@ -9,7 +9,7 @@
 //! ordinary inclusion proofs.
 
 use tinyevm_crypto::keccak256_h256;
-use tinyevm_types::{H256, U256, Wei};
+use tinyevm_types::{Wei, H256, U256};
 
 /// One leaf: a committed state hash and the amount it claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,7 +355,10 @@ mod tests {
             hash: H256::from_low_u64(2),
             sum: Wei::from(2u64),
         };
-        assert_ne!(MerkleSumTree::combine(&a, &b).hash, MerkleSumTree::combine(&b, &a).hash);
+        assert_ne!(
+            MerkleSumTree::combine(&a, &b).hash,
+            MerkleSumTree::combine(&b, &a).hash
+        );
         assert_eq!(MerkleSumTree::combine(&a, &b).sum, Wei::from(3u64));
     }
 

@@ -9,7 +9,7 @@
 
 use tinyevm_crypto::keccak256;
 use tinyevm_crypto::secp256k1::Signature;
-use tinyevm_types::{rlp::RlpStream, Address, H256, Wei};
+use tinyevm_types::{rlp::RlpStream, Address, Wei, H256};
 
 /// Errors raised when validating a committed state.
 #[derive(Debug, Clone, PartialEq, Eq)]

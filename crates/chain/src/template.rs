@@ -91,7 +91,10 @@ impl core::fmt::Display for TemplateError {
             TemplateError::WrongPhase { phase } => write!(f, "invalid in phase {phase:?}"),
             TemplateError::State(error) => write!(f, "invalid state: {error}"),
             TemplateError::ChallengePeriodActive { now, deadline } => {
-                write!(f, "challenge period active until block {deadline} (now {now})")
+                write!(
+                    f,
+                    "challenge period active until block {deadline} (now {now})"
+                )
             }
             TemplateError::NotAParticipant(address) => {
                 write!(f, "{address} is not a participant")
@@ -277,7 +280,11 @@ impl TemplateContract {
     ///
     /// Returns [`TemplateError::WrongPhase`] if the template is not active
     /// and [`TemplateError::NotAParticipant`] for outsiders.
-    pub fn start_exit(&mut self, caller: Address, current_block: u64) -> Result<u64, TemplateError> {
+    pub fn start_exit(
+        &mut self,
+        caller: Address,
+        current_block: u64,
+    ) -> Result<u64, TemplateError> {
         if self.phase != TemplatePhase::Active {
             return Err(TemplateError::WrongPhase { phase: self.phase });
         }
@@ -434,7 +441,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             error,
-            TemplateError::State(StateError::StaleSequence { current: 3, submitted: 2 })
+            TemplateError::State(StateError::StaleSequence {
+                current: 3,
+                submitted: 2
+            })
         ));
         // A newer state supersedes.
         template
@@ -496,9 +506,15 @@ mod tests {
         let parties = Parties::new();
         let mut template = TemplateContract::new(parties.config(1000));
         let caller = parties.sender.eth_address();
-        template.commit(caller, &parties.envelope(1, 1, 100), 1).unwrap();
-        template.commit(caller, &parties.envelope(2, 1, 200), 2).unwrap();
-        template.commit(caller, &parties.envelope(3, 1, 300), 3).unwrap();
+        template
+            .commit(caller, &parties.envelope(1, 1, 100), 1)
+            .unwrap();
+        template
+            .commit(caller, &parties.envelope(2, 1, 200), 2)
+            .unwrap();
+        template
+            .commit(caller, &parties.envelope(3, 1, 300), 3)
+            .unwrap();
         assert_eq!(template.total_committed(), Wei::from(600u64));
         assert_eq!(template.side_chain_root().sum, Wei::from(600u64));
         assert_eq!(template.channels().count(), 3);
@@ -512,7 +528,9 @@ mod tests {
         let sender = parties.sender.eth_address();
 
         // The sender commits an old, low state and starts the exit.
-        template.commit(sender, &parties.envelope(1, 1, 100), 5).unwrap();
+        template
+            .commit(sender, &parties.envelope(1, 1, 100), 5)
+            .unwrap();
         let deadline = template.start_exit(sender, 10).unwrap();
         assert_eq!(deadline, 20);
         assert!(matches!(template.phase(), TemplatePhase::Exiting { .. }));
@@ -558,7 +576,9 @@ mod tests {
         let mut template = TemplateContract::new(parties.config(1000));
         let sender = parties.sender.eth_address();
         let receiver = parties.receiver.eth_address();
-        template.commit(sender, &parties.envelope(1, 1, 100), 5).unwrap();
+        template
+            .commit(sender, &parties.envelope(1, 1, 100), 5)
+            .unwrap();
         template.start_exit(sender, 10).unwrap();
         // Block 25 is past the deadline (20): the challenge no longer counts.
         let error = template
@@ -572,7 +592,9 @@ mod tests {
         let parties = Parties::new();
         let mut template = TemplateContract::new(parties.config(500));
         let receiver = parties.receiver.eth_address();
-        template.commit(receiver, &parties.envelope(1, 1, 300), 1).unwrap();
+        template
+            .commit(receiver, &parties.envelope(1, 1, 300), 1)
+            .unwrap();
         // Overspend attempt marks fraud.
         let _ = template.commit(receiver, &parties.envelope(2, 1, 900), 2);
         assert!(template.fraud_detected());
@@ -591,7 +613,9 @@ mod tests {
             template.start_exit(Address::from_low_u64(77), 1),
             Err(TemplateError::NotAParticipant(_))
         ));
-        template.start_exit(parties.sender.eth_address(), 1).unwrap();
+        template
+            .start_exit(parties.sender.eth_address(), 1)
+            .unwrap();
         assert!(matches!(
             template.start_exit(parties.sender.eth_address(), 2),
             Err(TemplateError::WrongPhase { .. })

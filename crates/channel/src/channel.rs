@@ -1,7 +1,7 @@
 //! The per-node payment-channel state machine.
 
 use tinyevm_crypto::secp256k1::PrivateKey;
-use tinyevm_types::{Address, H256, Wei};
+use tinyevm_types::{Address, Wei, H256};
 
 use tinyevm_chain::{ChannelState, CommitEnvelope};
 
@@ -265,7 +265,10 @@ impl PaymentChannel {
 
     /// Signs a final state with this endpoint's key; combining both
     /// parties' signatures yields the [`CommitEnvelope`] that goes on-chain.
-    pub fn sign_state(key: &PrivateKey, state: &ChannelState) -> tinyevm_crypto::secp256k1::Signature {
+    pub fn sign_state(
+        key: &PrivateKey,
+        state: &ChannelState,
+    ) -> tinyevm_crypto::secp256k1::Signature {
         key.sign_prehashed(&state.digest())
     }
 
@@ -334,7 +337,8 @@ mod tests {
     fn roles_are_enforced() {
         let mut p = pair(1000);
         assert!(matches!(
-            p.receiver.create_payment(&p.lot, Wei::from(1u64), H256::ZERO),
+            p.receiver
+                .create_payment(&p.lot, Wei::from(1u64), H256::ZERO),
             Err(ChannelError::WrongRole(ChannelRole::Sender))
         ));
         let payment = p
@@ -355,7 +359,8 @@ mod tests {
             .unwrap();
         // Sender-side check.
         assert!(matches!(
-            p.sender.create_payment(&p.car, Wei::from(100u64), H256::ZERO),
+            p.sender
+                .create_payment(&p.car, Wei::from(100u64), H256::ZERO),
             Err(ChannelError::Payment(PaymentError::ExceedsDeposit { .. }))
         ));
         // Receiver-side check against a hand-crafted over-cap payment.

@@ -305,7 +305,10 @@ mod tests {
             record_payment_calldata(1, U256::from(100u64)),
         );
         assert_eq!(result.outcome, ExecOutcome::Return);
-        assert_eq!(U256::from_be_slice(&result.output).unwrap(), U256::from(100u64));
+        assert_eq!(
+            U256::from_be_slice(&result.output).unwrap(),
+            U256::from(100u64)
+        );
 
         // Higher sequence supersedes.
         let result = run(
@@ -335,7 +338,10 @@ mod tests {
             &mut iot,
             read_calldata(FN_READ_SEQUENCE),
         );
-        assert_eq!(U256::from_be_slice(&result.output).unwrap(), U256::from(2u64));
+        assert_eq!(
+            U256::from_be_slice(&result.output).unwrap(),
+            U256::from(2u64)
+        );
     }
 
     #[test]
@@ -364,7 +370,8 @@ mod tests {
 
         let caller = Address::from_low_u64(0xCA);
         let mut iot = sensors();
-        let outcome = world.execute_contract(caller, template_address, U256::ZERO, &[0x01], &mut iot);
+        let outcome =
+            world.execute_contract(caller, template_address, U256::ZERO, &[0x01], &mut iot);
         assert!(outcome.success, "factory call failed: {outcome:?}");
         let child_address = Address::from_u256(U256::from_be_slice(&outcome.output).unwrap());
         assert_ne!(child_address, Address::ZERO);

@@ -11,7 +11,7 @@
 
 use tinyevm_crypto::keccak256;
 use tinyevm_crypto::secp256k1::{PrivateKey, Signature};
-use tinyevm_types::{rlp::RlpStream, Address, H256, Wei};
+use tinyevm_types::{rlp::RlpStream, Address, Wei, H256};
 
 /// Errors returned when validating a payment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +54,10 @@ impl core::fmt::Display for PaymentError {
                 write!(f, "cumulative amount {offered} is below {current}")
             }
             PaymentError::ExceedsDeposit { offered, cap } => {
-                write!(f, "cumulative amount {offered} exceeds the deposit cap {cap}")
+                write!(
+                    f,
+                    "cumulative amount {offered} exceeds the deposit cap {cap}"
+                )
             }
             PaymentError::WrongChannel => write!(f, "payment addresses a different channel"),
         }
@@ -90,7 +93,8 @@ impl SignedPayment {
         cumulative: Wei,
         sensor_data_hash: H256,
     ) -> Self {
-        let digest = Self::payload_digest(template, channel_id, sequence, cumulative, sensor_data_hash);
+        let digest =
+            Self::payload_digest(template, channel_id, sequence, cumulative, sensor_data_hash);
         SignedPayment {
             template,
             channel_id,

@@ -26,7 +26,7 @@ use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, EnergyReport, RadioDirection, TimelineEntry};
 use tinyevm_net::{Link, LinkConfig};
-use tinyevm_types::{Address, H256, Wei, U256};
+use tinyevm_types::{Address, Wei, H256, U256};
 
 use crate::channel::{ChannelConfig, ChannelRole, PaymentChannel};
 use crate::contracts;
@@ -462,10 +462,7 @@ impl ProtocolDriver {
         //    acknowledgement travels back to the sender. While the receiver
         //    works, the sender idles in LPM2 — that wait is part of the
         //    payment's end-to-end latency (and of the Figure 5 timeline).
-        let (ack_signature, _) = self
-            .receiver
-            .device
-            .sign_payload(&payment.encode_payload());
+        let (ack_signature, _) = self.receiver.device.sign_payload(&payment.encode_payload());
         let receiver_busy = self
             .receiver
             .device
@@ -632,9 +629,9 @@ impl ProtocolDriver {
             .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
         let calldata =
             contracts::record_payment_calldata(payment.sequence, payment.cumulative.amount());
-        let (_, success, time) =
-            node.device
-                .call_local_contract(contract, U256::ZERO, &calldata);
+        let (_, success, time) = node
+            .device
+            .call_local_contract(contract, U256::ZERO, &calldata);
         if !success {
             return Err(ProtocolError::Device(
                 "payment-channel contract rejected the payment".to_string(),
@@ -689,10 +686,7 @@ mod tests {
         let template = d.publish_template().unwrap();
         assert!(d.chain().template(&template).is_some());
         let after = d.chain().balance(&d.sender().address());
-        assert_eq!(
-            before.checked_sub(after).unwrap(),
-            Wei::from(1_000_000u64)
-        );
+        assert_eq!(before.checked_sub(after).unwrap(), Wei::from(1_000_000u64));
     }
 
     #[test]
@@ -748,10 +742,7 @@ mod tests {
         let report = d.sender_energy();
         // The crypto engine is the dominant consumer (paper: ~65%).
         let crypto_share = report.share_of(PowerState::CryptoEngine);
-        assert!(
-            crypto_share > 0.4,
-            "crypto share too small: {crypto_share}"
-        );
+        assert!(crypto_share > 0.4, "crypto share too small: {crypto_share}");
         // Radio and CPU are minor contributors.
         assert!(report.share_of(PowerState::Tx) < 0.2);
         assert!(report.share_of(PowerState::Rx) < 0.2);

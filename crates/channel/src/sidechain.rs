@@ -8,7 +8,7 @@
 //! consistent. During a dispute, this log is the evidence a node submits.
 
 use tinyevm_crypto::keccak256_h256;
-use tinyevm_types::{H256, Wei};
+use tinyevm_types::{Wei, H256};
 
 /// One entry of the log: a committed off-chain state linked to its
 /// predecessor.

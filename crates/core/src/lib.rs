@@ -84,7 +84,10 @@ mod tests {
         let signature = key.sign_prehashed(&digest);
         assert!(key.public_key().verify_prehashed(&digest, &signature));
 
-        let code = asm::assemble("PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let code = asm::assemble(
+            "PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        )
+        .unwrap();
         let result = Evm::new(EvmConfig::cc2538()).execute(&code, &[]).unwrap();
         assert_eq!(result.output[31], 3);
 

@@ -70,7 +70,11 @@ pub fn histogram(samples: &[f64], bins: usize) -> Vec<(f64, usize)> {
     }
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
     let mut counts = vec![0usize; bins];
     for &sample in samples {
         let mut index = ((sample - min) / width) as usize;

@@ -279,7 +279,10 @@ impl Scalar {
     /// Panics when called on zero.
     pub fn invert(self) -> Scalar {
         assert!(!self.is_zero(), "attempted to invert zero scalar");
-        Scalar(self.0.pow_mod(CURVE_ORDER.wrapping_sub(U256::from(2u64)), CURVE_ORDER))
+        Scalar(
+            self.0
+                .pow_mod(CURVE_ORDER.wrapping_sub(U256::from(2u64)), CURVE_ORDER),
+        )
     }
 
     /// Returns `true` when the scalar is greater than `n / 2` — used for the
@@ -862,7 +865,10 @@ mod tests {
         assert_eq!(Point::INFINITY.add(&g), g);
         assert_eq!(g.add(&g.negate()), Point::INFINITY);
         assert_eq!(Point::INFINITY.double(), Point::INFINITY);
-        assert_eq!(Point::INFINITY.scalar_mul(Scalar::new(U256::from(5u64))), Point::INFINITY);
+        assert_eq!(
+            Point::INFINITY.scalar_mul(Scalar::new(U256::from(5u64))),
+            Point::INFINITY
+        );
     }
 
     #[test]
@@ -953,9 +959,8 @@ mod tests {
         // Recovery against a different digest yields a different key (or an
         // error), never the signer.
         let other = keccak256(b"different digest");
-        match signature.recover(&other) {
-            Ok(pk) => assert_ne!(pk, key.public_key()),
-            Err(_) => {}
+        if let Ok(pk) = signature.recover(&other) {
+            assert_ne!(pk, key.public_key());
         }
     }
 

@@ -297,15 +297,16 @@ impl Device {
         }
         let creator = self.address();
         let depth = self.config.evm.max_call_depth;
-        let outcome =
-            self.world
-                .create(creator, U256::ZERO, init_code, depth, &mut self.sensors);
+        let outcome = self
+            .world
+            .create(creator, U256::ZERO, init_code, depth, &mut self.sensors);
         let address = match outcome.created.filter(|_| outcome.success) {
             Some(address) => address,
             None => return Err(DeployError::NoRuntimeCode),
         };
         let mut time = self.config.mcu.deployment_time(&outcome.metrics);
-        time += self.config.crypto.latencies().keccak256 * outcome.metrics.keccak_invocations as u32;
+        time +=
+            self.config.crypto.latencies().keccak256 * outcome.metrics.keccak_invocations as u32;
         self.meter.record(PowerState::CpuActive, time);
         self.log_activity("create local contract", start);
         Ok((address, time))
@@ -467,15 +468,19 @@ mod tests {
         let (signature, time) = device.sign_payload(b"off-chain payment #1");
         assert_eq!(time, Duration::from_millis(355));
         // Signature is genuine.
-        assert!(device
-            .public_key()
-            .verify_prehashed(&tinyevm_crypto::keccak256(b"off-chain payment #1"), &signature));
+        assert!(device.public_key().verify_prehashed(
+            &tinyevm_crypto::keccak256(b"off-chain payment #1"),
+            &signature
+        ));
         let report = device.energy_report();
         assert_eq!(
             report.time_of(PowerState::CryptoEngine),
             Duration::from_millis(350)
         );
-        assert_eq!(report.time_of(PowerState::CpuActive), Duration::from_millis(5));
+        assert_eq!(
+            report.time_of(PowerState::CpuActive),
+            Duration::from_millis(5)
+        );
     }
 
     #[test]
@@ -484,7 +489,10 @@ mod tests {
         let mut receiver = Device::openmote_b("parking");
         let payload = b"5 milli-eth for one hour";
         let (signature, _) = sender.sign_payload(payload);
-        assert_eq!(receiver.verify_payload(payload, &signature), Some(sender.address()));
+        assert_eq!(
+            receiver.verify_payload(payload, &signature),
+            Some(sender.address())
+        );
         assert_ne!(
             receiver.verify_payload(b"tampered payload", &signature),
             Some(sender.address())

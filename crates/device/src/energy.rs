@@ -379,7 +379,10 @@ mod tests {
         let report = meter.report();
         // ~10 kJ from a pair of AA cells -> roughly 333k payments.
         let payments = report.payments_per_battery(10_000.0);
-        assert!(payments > 250_000 && payments < 450_000, "payments = {payments}");
+        assert!(
+            payments > 250_000 && payments < 450_000,
+            "payments = {payments}"
+        );
         // One payment every 10 minutes -> more than six years with the
         // paper's methodology (idle consumption excluded).
         let lifetime = report.battery_lifetime(10_000.0, Duration::from_secs(600));

@@ -149,9 +149,7 @@ mod tests {
         assert!((percentages[2] - 6.2).abs() < 1.5);
         // ROM usage is dominated by the OS and stays around 10%.
         assert!(footprint.rom_percent(&footprint.components[0]) < 10.0);
-        assert!(
-            (footprint.rom_used() as f64 / footprint.rom_total as f64) * 100.0 < 12.0
-        );
+        assert!((footprint.rom_used() as f64 / footprint.rom_total as f64) * 100.0 < 12.0);
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl SequenceSensor {
     ///
     /// Panics if `values` is empty — a sensor must always produce a reading.
     pub fn new(values: Vec<U256>) -> Self {
-        assert!(!values.is_empty(), "a SequenceSensor needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "a SequenceSensor needs at least one value"
+        );
         SequenceSensor { values, index: 0 }
     }
 }
@@ -308,7 +311,9 @@ mod tests {
     fn actuating_a_pure_sensor_fails() {
         let mut sensors = DeviceSensors::new();
         sensors.register(7, Box::new(ConstantSensor::new(U256::ONE)));
-        assert!(sensors.handle(IotRequest::Actuate { id: 7, value: 1 }).is_none());
+        assert!(sensors
+            .handle(IotRequest::Actuate { id: 7, value: 1 })
+            .is_none());
         assert_eq!(sensors.actuations(), 0);
     }
 

@@ -101,8 +101,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             i += 2;
             continue;
         }
-        let opcode = Opcode::from_mnemonic(token)
-            .ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
+        let opcode =
+            Opcode::from_mnemonic(token).ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
         offset += 1 + opcode.push_bytes();
         if opcode.push_bytes() > 0 {
             i += 2;
@@ -134,8 +134,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             i += 2;
             continue;
         }
-        let opcode = Opcode::from_mnemonic(token)
-            .ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
+        let opcode =
+            Opcode::from_mnemonic(token).ok_or_else(|| AsmError::UnknownMnemonic(token.clone()))?;
         out.push(opcode.to_byte());
         let width = opcode.push_bytes();
         if width > 0 {
@@ -346,7 +346,8 @@ mod tests {
 
     #[test]
     fn wrap_as_init_code_deploys_runtime_exactly() {
-        let runtime = assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let runtime =
+            assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
         let init = wrap_as_init_code(&runtime);
         let result = Evm::new(EvmConfig::cc2538()).execute(&init, &[]).unwrap();
         assert_eq!(result.outcome, ExecOutcome::Return);

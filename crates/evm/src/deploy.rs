@@ -56,7 +56,10 @@ impl core::fmt::Display for DeployError {
             DeployError::ConstructorReverted { .. } => write!(f, "constructor reverted"),
             DeployError::NoRuntimeCode => write!(f, "constructor produced no runtime code"),
             DeployError::RuntimeCodeTooLarge { size, limit } => {
-                write!(f, "runtime code of {size} bytes exceeds device limit {limit}")
+                write!(
+                    f,
+                    "runtime code of {size} bytes exceeds device limit {limit}"
+                )
             }
         }
     }
@@ -221,7 +224,8 @@ mod tests {
 
     #[test]
     fn deploys_a_simple_contract() {
-        let runtime = assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let runtime =
+            assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
         let init = wrap_as_init_code(&runtime);
         let result = deploy(&config(), &init).unwrap();
         assert_eq!(result.runtime_code, runtime);
@@ -260,7 +264,8 @@ mod tests {
     fn init_code_above_8kb_can_still_deploy_a_small_runtime() {
         // Figure 3b: shipped bytecode above 8 KB deploys as long as the
         // final deployment stays under the limit.
-        let runtime = assemble("PUSH1 0x01 PUSH1 0x00 MSTORE8 PUSH1 0x01 PUSH1 0x00 RETURN").unwrap();
+        let runtime =
+            assemble("PUSH1 0x01 PUSH1 0x00 MSTORE8 PUSH1 0x01 PUSH1 0x00 RETURN").unwrap();
         let mut init = wrap_as_init_code(&runtime);
         // Pad the init code with unreachable bytes beyond 8 KB.
         init.extend(std::iter::repeat(0xfe).take(10_000));
@@ -301,7 +306,10 @@ mod tests {
         let error = deploy(&config(), &init).unwrap_err();
         assert_eq!(error, DeployError::NoRuntimeCode);
         let init = assemble("PUSH1 0x00 PUSH1 0x00 RETURN").unwrap();
-        assert_eq!(deploy(&config(), &init).unwrap_err(), DeployError::NoRuntimeCode);
+        assert_eq!(
+            deploy(&config(), &init).unwrap_err(),
+            DeployError::NoRuntimeCode
+        );
     }
 
     #[test]
@@ -351,14 +359,8 @@ mod tests {
         )
         .unwrap();
         let mut sensors = ScriptedSensors::new().with_reading(0, U256::from(23u64));
-        let result = deploy_with(
-            &config(),
-            &init,
-            &[],
-            &mut NullHost::new(),
-            &mut sensors,
-        )
-        .unwrap();
+        let result =
+            deploy_with(&config(), &init, &[], &mut NullHost::new(), &mut sensors).unwrap();
         assert_eq!(result.metrics.iot_invocations, 1);
         // Without the sensor the same deployment traps.
         let error = deploy(&config(), &init).unwrap_err();
@@ -368,16 +370,10 @@ mod tests {
     #[test]
     fn display_messages() {
         let errors: Vec<DeployError> = vec![
-            DeployError::InitCodeTooLarge {
-                size: 1,
-                limit: 2,
-            },
+            DeployError::InitCodeTooLarge { size: 1, limit: 2 },
             DeployError::ConstructorReverted { output: vec![] },
             DeployError::NoRuntimeCode,
-            DeployError::RuntimeCodeTooLarge {
-                size: 3,
-                limit: 2,
-            },
+            DeployError::RuntimeCodeTooLarge { size: 3, limit: 2 },
         ];
         for error in errors {
             assert!(!format!("{error}").is_empty());

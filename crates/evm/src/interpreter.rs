@@ -118,7 +118,15 @@ impl Evm {
             ..CallContext::default()
         };
         let depth = self.config.max_call_depth;
-        self.execute_in_frame(code, context, &mut storage, &mut host, &mut iot, false, depth)
+        self.execute_in_frame(
+            code,
+            context,
+            &mut storage,
+            &mut host,
+            &mut iot,
+            false,
+            depth,
+        )
     }
 
     /// Executes `code` standalone but with an IoT environment, so contracts
@@ -384,7 +392,8 @@ impl<'a> Frame<'a> {
             GasPrice => self.stack.push(U256::ZERO)?,
             ExtCodeSize => {
                 let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
-                self.stack.push(U256::from(self.host.code(&address).len()))?;
+                self.stack
+                    .push(U256::from(self.host.code(&address).len()))?;
             }
             ExtCodeCopy => {
                 let address = tinyevm_types::Address::from_u256(self.stack.pop()?);
@@ -535,7 +544,11 @@ impl<'a> Frame<'a> {
                     self.iot,
                 );
                 self.metrics.absorb(&outcome.metrics);
-                self.return_data = if outcome.success { Vec::new() } else { outcome.output };
+                self.return_data = if outcome.success {
+                    Vec::new()
+                } else {
+                    outcome.output
+                };
                 match outcome.created {
                     Some(address) if outcome.success => self.stack.push(address.to_u256())?,
                     _ => self.stack.push(U256::ZERO)?,
@@ -725,14 +738,16 @@ mod tests {
 
     #[test]
     fn arithmetic_add_and_return() {
-        let result = run("PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(result.outcome, ExecOutcome::Return);
         assert_eq!(returned_word(&result), U256::from(12u64));
     }
 
     #[test]
     fn arithmetic_division_by_zero_yields_zero() {
-        let result = run("PUSH1 0x00 PUSH1 0x07 DIV PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x00 PUSH1 0x07 DIV PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::ZERO);
     }
 
@@ -758,7 +773,8 @@ mod tests {
 
     #[test]
     fn exp_and_mulmod() {
-        let result = run("PUSH1 0x0a PUSH1 0x02 EXP PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x0a PUSH1 0x02 EXP PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::from(1024u64));
         let result =
             run("PUSH1 0x05 PUSH1 0x09 PUSH1 0x07 MULMOD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
@@ -767,18 +783,22 @@ mod tests {
 
     #[test]
     fn byte_and_shifts() {
-        let result = run("PUSH1 0xff PUSH1 0x1f BYTE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0xff PUSH1 0x1f BYTE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::from(0xffu64)); // byte 31 of 0xff
-        let result = run("PUSH1 0x01 PUSH1 0x04 SHL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x01 PUSH1 0x04 SHL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::from(16u64));
-        let result = run("PUSH1 0x10 PUSH1 0x04 SHR PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x10 PUSH1 0x04 SHR PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::ONE);
     }
 
     #[test]
     fn sha3_hashes_memory() {
         // keccak256 of 32 zero bytes.
-        let result = run("PUSH1 0x20 PUSH1 0x00 SHA3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x20 PUSH1 0x00 SHA3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         let expected = tinyevm_crypto::keccak256(&[0u8; 32]);
         assert_eq!(result.output, expected.to_vec());
         assert_eq!(result.metrics.keccak_invocations, 1);
@@ -787,7 +807,9 @@ mod tests {
 
     #[test]
     fn memory_and_msize() {
-        let result = run("PUSH1 0x2a PUSH1 0x40 MSTORE MSIZE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result = run(
+            "PUSH1 0x2a PUSH1 0x40 MSTORE MSIZE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        );
         // Storing at 0x40 expands memory to 0x60 = 96 bytes.
         assert_eq!(returned_word(&result), U256::from(96u64));
     }
@@ -860,9 +882,12 @@ mod tests {
 
     #[test]
     fn dup_and_swap_families() {
-        let result = run("PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 DUP3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result = run(
+            "PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 DUP3 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+        );
         assert_eq!(returned_word(&result), U256::ONE);
-        let result = run("PUSH1 0x01 PUSH1 0x02 SWAP1 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+        let result =
+            run("PUSH1 0x01 PUSH1 0x02 SWAP1 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
         assert_eq!(returned_word(&result), U256::ONE);
     }
 
@@ -932,7 +957,8 @@ mod tests {
         );
 
         // The unconstrained (full-node) profile answers them instead.
-        let code = assemble("TIMESTAMP NUMBER ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let code = assemble("TIMESTAMP NUMBER ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN")
+            .unwrap();
         let result = Evm::new(EvmConfig::unconstrained())
             .execute(&code, &[])
             .unwrap();
@@ -942,12 +968,17 @@ mod tests {
     #[test]
     fn iot_opcode_reads_scripted_sensor() {
         // Selector 0 (read sensor 0), parameter 0.
-        let code = assemble("PUSH1 0x00 PUSH1 0x00 IOT PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let code =
+            assemble("PUSH1 0x00 PUSH1 0x00 IOT PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN")
+                .unwrap();
         let mut sensors = ScriptedSensors::new().with_reading(0, U256::from(215u64));
         let result = Evm::new(EvmConfig::cc2538())
             .execute_with_iot(&code, &[], &mut sensors)
             .unwrap();
-        assert_eq!(U256::from_be_slice(&result.output).unwrap(), U256::from(215u64));
+        assert_eq!(
+            U256::from_be_slice(&result.output).unwrap(),
+            U256::from(215u64)
+        );
         assert_eq!(result.metrics.iot_invocations, 1);
     }
 
@@ -972,14 +1003,16 @@ mod tests {
     #[test]
     fn metered_mode_runs_out_of_gas() {
         let config = EvmConfig::unconstrained().with_gas_mode(GasMode::Metered { limit: 10 });
-        let code = assemble("PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x03 ADD PUSH1 0x04 ADD STOP").unwrap();
+        let code =
+            assemble("PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x03 ADD PUSH1 0x04 ADD STOP").unwrap();
         let error = Evm::new(config).execute(&code, &[]).unwrap_err();
         assert_eq!(error.reason, TrapReason::OutOfGas { limit: 10 });
     }
 
     #[test]
     fn metrics_track_stack_and_memory_high_water() {
-        let result = run("PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 POP POP POP PUSH1 0x2a PUSH1 0x60 MSTORE STOP");
+        let result =
+            run("PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 POP POP POP PUSH1 0x2a PUSH1 0x60 MSTORE STOP");
         assert_eq!(result.metrics.max_stack_pointer, 3);
         assert_eq!(result.metrics.memory_high_water, 0x60 + 32);
         assert!(result.metrics.instructions >= 10);
@@ -989,7 +1022,9 @@ mod tests {
 
     #[test]
     fn logs_reach_the_host() {
-        let code = assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0xbb PUSH1 0x20 PUSH1 0x00 LOG1 STOP").unwrap();
+        let code =
+            assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0xbb PUSH1 0x20 PUSH1 0x00 LOG1 STOP")
+                .unwrap();
         let mut evm = Evm::new(EvmConfig::cc2538());
         let mut storage = SideChainStorage::new(1024);
         let mut host = NullHost::new();

@@ -370,7 +370,8 @@ fn census<F: Fn(&Opcode) -> bool>(include: F) -> CategoryCensus {
         }
         // Collapse the wide families to one representative.
         let byte = op.to_byte();
-        let is_family_follower = matches!(byte, 0x61..=0x7f | 0x81..=0x8f | 0x91..=0x9f | 0xa1..=0xa4);
+        let is_family_follower =
+            matches!(byte, 0x61..=0x7f | 0x81..=0x8f | 0x91..=0x9f | 0xa1..=0xa4);
         if is_family_follower {
             continue;
         }

@@ -145,11 +145,12 @@ pub fn reassemble(frames: &[Frame]) -> Result<Vec<u8>, FrameError> {
     }
     let mut ordered: Vec<Option<&Frame>> = vec![None; declared as usize];
     for frame in frames {
-        let slot = ordered
-            .get_mut(frame.fragment_index as usize)
-            .ok_or(FrameError::MissingFragment {
-                index: frame.fragment_index,
-            })?;
+        let slot =
+            ordered
+                .get_mut(frame.fragment_index as usize)
+                .ok_or(FrameError::MissingFragment {
+                    index: frame.fragment_index,
+                })?;
         if slot.is_some() {
             return Err(FrameError::MissingFragment {
                 index: frame.fragment_index,
@@ -214,7 +215,9 @@ mod tests {
         let frames = fragment(3, 4, 42, &message);
         assert_eq!(frames.len(), message.len().div_ceil(MAX_FRAME_PAYLOAD));
         assert!(frames.iter().all(|f| f.validate().is_ok()));
-        assert!(frames.iter().all(|f| f.fragment_count as usize == frames.len()));
+        assert!(frames
+            .iter()
+            .all(|f| f.fragment_count as usize == frames.len()));
         assert_eq!(reassemble(&frames).unwrap(), message);
         // Wire byte helper agrees with the actual frames.
         let actual: usize = frames.iter().map(|f| f.wire_size()).sum();

@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn encode_short_string() {
         // Canonical test vector: "dog" -> [0x83, 'd', 'o', 'g']
-        assert_eq!(encode_bytes_standalone(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(
+            encode_bytes_standalone(b"dog"),
+            vec![0x83, b'd', b'o', b'g']
+        );
         assert_eq!(encode_bytes_standalone(b""), vec![0x80]);
     }
 

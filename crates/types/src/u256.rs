@@ -364,9 +364,7 @@ impl U256 {
         for i in 0..LIMBS {
             let mut carry = 0u128;
             for j in 0..LIMBS {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -852,11 +850,7 @@ impl core::fmt::LowerHex for U256 {
 impl core::fmt::UpperHex for U256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = self.to_hex();
-        write!(
-            f,
-            "{}",
-            s.strip_prefix("0x").unwrap_or(&s).to_uppercase()
-        )
+        write!(f, "{}", s.strip_prefix("0x").unwrap_or(&s).to_uppercase())
     }
 }
 
@@ -950,7 +944,7 @@ mod tests {
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1, still fits.
         let a = U256::from_u128(u128::MAX);
         let sq = a * a;
-        assert_eq!(sq.bit(0), true);
+        assert!(sq.bit(0));
         assert_eq!(sq.bits(), 256);
     }
 
@@ -1012,7 +1006,7 @@ mod tests {
         assert_eq!(U256::MAX.add_mod(U256::MAX, m), {
             // (2^256-1)*2 mod 100
             let v = U256::MAX.rem(m).low_u64();
-            u(((v as u128) * 2 % 100) as u128)
+            u((v as u128) * 2 % 100)
         });
         assert_eq!(u(7).add_mod(u(9), u(5)), u(1));
         assert_eq!(u(7).add_mod(u(9), U256::ZERO), U256::ZERO);
@@ -1101,8 +1095,9 @@ mod tests {
 
     #[test]
     fn byte_indexing() {
-        let v = U256::from_hex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
-            .unwrap();
+        let v =
+            U256::from_hex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+                .unwrap();
         assert_eq!(v.byte_be(0), 0x01);
         assert_eq!(v.byte_be(31), 0x20);
         assert_eq!(v.byte_le(0), 0x20);
@@ -1183,7 +1178,8 @@ mod tests {
         assert!(U256::from_dec_str("").is_err());
         assert!(U256::from_dec_str("12a").is_err());
         // 2^256 overflows.
-        let too_big = "115792089237316195423570985008687907853269984665640564039457584007913129639936";
+        let too_big =
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936";
         assert!(U256::from_dec_str(too_big).is_err());
         // 2^256 - 1 is fine.
         let max = "115792089237316195423570985008687907853269984665640564039457584007913129639935";
@@ -1194,7 +1190,9 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(u(1) < u(2));
-        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(
+            U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0])
+        );
         assert_eq!(u(5).cmp(&u(5)), core::cmp::Ordering::Equal);
         assert!(U256::MAX > U256::SIGN_BIT);
     }

@@ -123,7 +123,9 @@ mod tests {
         );
         assert_eq!(
             Wei::from_eth_milli(1500),
-            Wei::from_eth(1).checked_add(Wei::from_eth_milli(500)).unwrap()
+            Wei::from_eth(1)
+                .checked_add(Wei::from_eth_milli(500))
+                .unwrap()
         );
     }
 

@@ -13,7 +13,9 @@ fn main() {
         .nth(1)
         .and_then(|arg| arg.parse().ok())
         .unwrap_or(400);
-    println!("Generating {count} synthetic contracts and deploying them on the CC2538 profile...\n");
+    println!(
+        "Generating {count} synthetic contracts and deploying them on the CC2538 profile...\n"
+    );
 
     let corpus = quick_corpus(count);
     let config = EvmConfig::cc2538();
@@ -48,7 +50,10 @@ fn main() {
     let sp = summarize(&stack_pointers);
     let memory = summarize(&memory_usage);
     let time = summarize(&deploy_times_ms);
-    println!("\n{:<22}{:>10}{:>10}{:>10}{:>10}", "metric", "max", "min", "mean", "std");
+    println!(
+        "\n{:<22}{:>10}{:>10}{:>10}{:>10}",
+        "metric", "max", "min", "mean", "std"
+    );
     println!(
         "{:<22}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
         "contract size (B)", size.max, size.min, size.mean, size.std_dev
@@ -65,5 +70,7 @@ fn main() {
         "{:<22}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
         "deployment time (ms)", time.max, time.min, time.mean, time.std_dev
     );
-    println!("\n(Paper, Table II: size mean 4,023 B; stack pointer mean 8, max 41; time mean 215 ms.)");
+    println!(
+        "\n(Paper, Table II: size mean 4,023 B; stack pointer mean 8, max 41; time mean 215 ms.)"
+    );
 }

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A replay of the stale state is rejected — detection via sequence numbers.
     let replay = chain.commit_channel_state(car.eth_address(), template, &stale);
-    println!("Replaying the stale state is rejected: {}", replay.unwrap_err());
+    println!(
+        "Replaying the stale state is rejected: {}",
+        replay.unwrap_err()
+    );
 
     // After the challenge period the chain settles on the newest state.
     chain.advance_blocks(11);

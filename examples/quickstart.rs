@@ -11,9 +11,8 @@ use tinyevm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. The customized EVM ------------------------------------------------
-    let code = asm::assemble(
-        "PUSH1 0x15 PUSH1 0x02 MUL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
-    )?;
+    let code =
+        asm::assemble("PUSH1 0x15 PUSH1 0x02 MUL PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN")?;
     let mut evm = Evm::new(EvmConfig::cc2538());
     let result = evm.execute(&code, &[])?;
     println!("[evm] 21 * 2 = {}", U256::from_be_slice(&result.output)?);
@@ -47,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let signer = verifier.verify_payload(b"5 milli-eth for one hour of parking", &signature);
     println!(
         "[crypto] verified — payment signed by {}",
-        signer.map(|a| a.to_hex()).unwrap_or_else(|| "nobody".into())
+        signer
+            .map(|a| a.to_hex())
+            .unwrap_or_else(|| "nobody".into())
     );
     assert_eq!(signer, Some(device.address()));
 

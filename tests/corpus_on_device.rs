@@ -38,7 +38,8 @@ fn run_corpus(count: usize, code_limit: usize) -> CorpusRun {
         match deploy(&config, &contract.init_code) {
             Ok(result) => {
                 run.sizes.push(contract.size() as f64);
-                run.stack_pointers.push(result.metrics.max_stack_pointer as f64);
+                run.stack_pointers
+                    .push(result.metrics.max_stack_pointer as f64);
                 run.memory_usage.push(result.deployed_memory_bytes as f64);
                 run.times_ms
                     .push(mcu.deployment_time(&result.metrics).as_secs_f64() * 1000.0);
@@ -72,12 +73,20 @@ fn deployability_and_statistics_match_the_papers_shape() {
 
     // Table II shape checks (loose bounds around the paper's values).
     let size = summarize(&run.sizes);
-    assert!(size.mean > 2_000.0 && size.mean < 6_000.0, "size mean {}", size.mean);
+    assert!(
+        size.mean > 2_000.0 && size.mean < 6_000.0,
+        "size mean {}",
+        size.mean
+    );
     assert!(size.min >= 28.0);
     assert!(size.max <= 25_600.0);
 
     let sp = summarize(&run.stack_pointers);
-    assert!(sp.mean >= 4.0 && sp.mean <= 16.0, "stack pointer mean {}", sp.mean);
+    assert!(
+        sp.mean >= 4.0 && sp.mean <= 16.0,
+        "stack pointer mean {}",
+        sp.mean
+    );
     assert!(sp.max <= 45.0, "stack pointer max {}", sp.max);
 
     let time = summarize(&run.times_ms);
@@ -87,10 +96,16 @@ fn deployability_and_statistics_match_the_papers_shape() {
         time.mean
     );
     assert!(time.max > time.mean * 4.0, "a long tail of outliers exists");
-    assert!(time.max < 15_000.0, "outliers stay below ~10 s as in Figure 4");
+    assert!(
+        time.max < 15_000.0,
+        "outliers stay below ~10 s as in Figure 4"
+    );
 
     let memory = summarize(&run.memory_usage);
-    assert!(memory.max <= 8_192.0 + 1_024.0, "deployed memory respects the device");
+    assert!(
+        memory.max <= 8_192.0 + 1_024.0,
+        "deployed memory respects the device"
+    );
 }
 
 #[test]

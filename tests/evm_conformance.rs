@@ -32,7 +32,10 @@ fn arithmetic_opcodes_match_the_yellow_paper() {
         ("PUSH1 0x03 PUSH1 0x04 ADD".into(), U256::from(7u64)),
         (format!("PUSH1 0x01 {max} ADD"), U256::ZERO), // wraps
         ("PUSH1 0x03 PUSH1 0x0a SUB".into(), U256::from(7u64)),
-        ("PUSH1 0x0a PUSH1 0x03 SUB".into(), U256::from(7u64).wrapping_neg()),
+        (
+            "PUSH1 0x0a PUSH1 0x03 SUB".into(),
+            U256::from(7u64).wrapping_neg(),
+        ),
         ("PUSH1 0x06 PUSH1 0x07 MUL".into(), U256::from(42u64)),
         ("PUSH1 0x03 PUSH1 0x0a DIV".into(), U256::from(3u64)),
         ("PUSH1 0x00 PUSH1 0x0a DIV".into(), U256::ZERO), // div by zero
@@ -48,13 +51,22 @@ fn arithmetic_opcodes_match_the_yellow_paper() {
             "PUSH1 0x03 PUSH1 0x0a PUSH1 0x00 SUB SMOD".into(),
             U256::from(1u64).wrapping_neg(),
         ),
-        ("PUSH1 0x08 PUSH1 0x09 PUSH1 0x0a ADDMOD".into(), U256::from(3u64)),
-        ("PUSH1 0x08 PUSH1 0x09 PUSH1 0x0a MULMOD".into(), U256::from(2u64)),
+        (
+            "PUSH1 0x08 PUSH1 0x09 PUSH1 0x0a ADDMOD".into(),
+            U256::from(3u64),
+        ),
+        (
+            "PUSH1 0x08 PUSH1 0x09 PUSH1 0x0a MULMOD".into(),
+            U256::from(2u64),
+        ),
         ("PUSH1 0x0a PUSH1 0x02 EXP".into(), U256::from(1024u64)),
         ("PUSH1 0x00 PUSH1 0x00 EXP".into(), U256::ONE), // 0^0 = 1
         // SIGNEXTEND of 0xff from byte 0 is -1.
         ("PUSH1 0xff PUSH1 0x00 SIGNEXTEND".into(), U256::MAX),
-        ("PUSH1 0x7f PUSH1 0x00 SIGNEXTEND".into(), U256::from(0x7fu64)),
+        (
+            "PUSH1 0x7f PUSH1 0x00 SIGNEXTEND".into(),
+            U256::from(0x7fu64),
+        ),
     ];
     for (program, expected) in cases {
         assert_eq!(eval(&program), expected, "program: {program}");
@@ -117,7 +129,10 @@ fn memory_opcodes_and_msize() {
         U256::from(0xabu64)
     );
     // MSIZE is word-aligned: touching byte 33 grows memory to 64 bytes.
-    assert_eq!(eval("PUSH1 0x01 PUSH1 0x21 MSTORE8 MSIZE"), U256::from(64u64));
+    assert_eq!(
+        eval("PUSH1 0x01 PUSH1 0x21 MSTORE8 MSIZE"),
+        U256::from(64u64)
+    );
 }
 
 #[test]
@@ -139,7 +154,10 @@ fn control_flow_and_environment() {
     );
     // CALLER / ADDRESS / CALLVALUE are zero in the default standalone
     // context, and CALLDATASIZE is zero without call data.
-    assert_eq!(eval("CALLER ADDRESS ADD CALLVALUE ADD CALLDATASIZE ADD"), U256::ZERO);
+    assert_eq!(
+        eval("CALLER ADDRESS ADD CALLVALUE ADD CALLDATASIZE ADD"),
+        U256::ZERO
+    );
     // PC pushes the offset of the PC instruction itself.
     assert_eq!(eval("PC PC ADD"), U256::ONE);
 }
@@ -161,16 +179,22 @@ fn dup_swap_and_pop_families() {
 fn tinyevm_specific_behaviour_differs_from_mainnet() {
     // Blockchain-information opcodes trap off-chain...
     let code = asm::assemble("NUMBER").unwrap();
-    let error = Evm::new(EvmConfig::cc2538()).execute(&code, &[]).unwrap_err();
+    let error = Evm::new(EvmConfig::cc2538())
+        .execute(&code, &[])
+        .unwrap_err();
     assert!(format!("{error}").contains("not supported off-chain"));
     // ...but the same bytecode runs in the full-node profile.
-    let result = Evm::new(EvmConfig::unconstrained()).execute(&code, &[]).unwrap();
+    let result = Evm::new(EvmConfig::unconstrained())
+        .execute(&code, &[])
+        .unwrap();
     assert_eq!(result.outcome, ExecOutcome::Stop);
 
     // The IoT opcode is TinyEVM-only: mainnet treats 0x0C as undefined, so a
     // contract using it would be rejected there while running here.
     let iot_code = asm::assemble("PUSH1 0x00 PUSH1 0x00 IOT STOP").unwrap();
-    let error = Evm::new(EvmConfig::cc2538()).execute(&iot_code, &[]).unwrap_err();
+    let error = Evm::new(EvmConfig::cc2538())
+        .execute(&iot_code, &[])
+        .unwrap_err();
     assert!(format!("{error}").contains("unavailable")); // defined, but no sensor registered
 }
 

@@ -4,8 +4,7 @@
 //! time-limited challenge window.
 
 use tinyevm::chain::{
-    Blockchain, ChannelState, CommitEnvelope, MerkleSumTree, SumLeaf, TemplateConfig,
-    TemplateError,
+    Blockchain, ChannelState, CommitEnvelope, MerkleSumTree, SumLeaf, TemplateConfig, TemplateError,
 };
 use tinyevm::channel::{ChannelConfig, ChannelRole, PaymentChannel, SignedPayment};
 use tinyevm::prelude::*;
@@ -235,7 +234,12 @@ fn side_chain_logs_expose_omitted_transactions() {
     entries.remove(2);
     pruned = SideChainLog::new(H256::from_low_u64(0xA0C));
     for entry in &entries {
-        pruned.append(entry.channel_id, entry.sequence, entry.cumulative, entry.state_digest);
+        pruned.append(
+            entry.channel_id,
+            entry.sequence,
+            entry.cumulative,
+            entry.state_digest,
+        );
     }
     // The rebuilt log is internally consistent but no longer matches the
     // original head — the omission is visible to anyone holding the head.

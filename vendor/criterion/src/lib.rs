@@ -1,0 +1,238 @@
+//! A vendored, dependency-free re-implementation of the subset of
+//! `criterion` that this workspace's benches use.
+//!
+//! It keeps the call-site API — `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `black_box` — but replaces criterion's statistics engine with a simple
+//! calibrated wall-clock loop: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the median ns/iteration is printed. Good
+//! enough to compare orders of magnitude; not a statistics suite.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How much setup output to pre-build per batch in
+/// [`Bencher::iter_batched`]. The vendored harness treats all variants the
+/// same (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendition.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"name/parameter"`.
+    pub fn new<N: Into<String>, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |bencher: &mut Bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group. (Statistics are printed as benchmarks run.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut per_iter: Vec<f64> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("  {}/{id}: no measurements", self.name);
+            return;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+        let median = per_iter[per_iter.len() / 2];
+        let low = per_iter[0];
+        let high = per_iter[per_iter.len() - 1];
+        println!(
+            "  {}/{id}: median {} [{} .. {}] over {} samples",
+            self.name,
+            format_ns(median),
+            format_ns(low),
+            format_ns(high),
+            per_iter.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that takes ≳200 µs to measure,
+        // so cheap routines are not swamped by timer resolution.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_micros(200) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_positive_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("self_test");
+        group.sample_size(3);
+        group.bench_function("noop_add", |bencher| {
+            bencher.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |bencher, n| {
+            bencher.iter(|| (0..*n).sum::<u64>())
+        });
+        group.bench_function("batched", |bencher| {
+            bencher.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixed-size array strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy yielding `[S::Value; 4]`; see [`uniform4`].
+#[derive(Debug, Clone)]
+pub struct Uniform4<S>(S);
+
+/// Generates arrays of four independent draws from `strategy`.
+pub fn uniform4<S: Strategy>(strategy: S) -> Uniform4<S> {
+    Uniform4(strategy)
+}
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        [
+            self.0.generate(rng),
+            self.0.generate(rng),
+            self.0.generate(rng),
+            self.0.generate(rng),
+        ]
+    }
+}

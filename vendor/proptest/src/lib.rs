@@ -1,0 +1,412 @@
+//! A vendored, dependency-free re-implementation of the subset of
+//! `proptest` that this workspace's property tests use.
+//!
+//! Supported surface: the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//! `name in strategy` bindings; `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`; `any::<T>()`; integer range
+//! strategies (`a..b`, `a..=b`, `a..`); `Strategy::prop_map`;
+//! `proptest::array::uniform4`; and `proptest::collection::vec`.
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case
+//! reports the assertion message and the deterministic case number. Each
+//! test function derives its RNG seed from its own name, so failures
+//! reproduce exactly from run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+pub mod array;
+pub mod collection;
+
+/// Runtime configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail<M: fmt::Display>(msg: M) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Builds a rejection.
+    pub fn reject<M: fmt::Display>(msg: M) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies. A thin wrapper so strategy implementations
+/// do not depend on the concrete generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a deterministic RNG for the named test.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// Returns 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+
+    /// Returns 128 uniform bits.
+    pub fn next_u128(&mut self) -> u128 {
+        self.0.gen::<u128>()
+    }
+
+    /// Samples uniformly from `[0, bound)`.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below: empty bound");
+        self.0.gen_range(0..bound)
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing any value of `T`; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces uniformly distributed values over all of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u128() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u128).wrapping_sub(self.start as u128)
+                    & (u128::MAX >> (128 - <$ty>::BITS.min(128)));
+                let drawn = rng.below(span);
+                (self.start as u128).wrapping_add(drawn) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let drawn = if span == 0 { rng.next_u128() } else { rng.below(span) };
+                (start as u128).wrapping_add(drawn) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let start = self.start;
+                let span = (<$ty>::MAX as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let drawn = if span == 0 { rng.next_u128() } else { rng.below(span) };
+                (start as u128).wrapping_add(drawn) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+pub mod prelude {
+    //! One-stop import for property tests.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property-test functions: `fn name(binding in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                // Rejected cases (prop_assume!) are regenerated rather than
+                // consumed, so every property really runs `cases` passing
+                // inputs; a pathological rejection rate aborts like the real
+                // proptest's global-reject limit does.
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(10).max(1);
+                while __passed < __config.cases {
+                    assert!(
+                        __attempts < __max_attempts,
+                        "proptest property {}: too many prop_assume! rejections \
+                         ({} of {} required cases passed after {} attempts)",
+                        stringify!($name),
+                        __passed,
+                        __config.cases,
+                        __attempts
+                    );
+                    __attempts += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {
+                            __passed += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest property {} failed at case {}/{}: {}",
+                                stringify!($name),
+                                __passed + 1,
+                                __config.cases,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Like `assert!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 10u32..20, b in 0u64..=5, c in 1u128..) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn map_applies_function(v in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 200);
+        }
+
+        #[test]
+        fn collections_respect_size(bytes in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(bytes.len() < 16);
+        }
+
+        #[test]
+        fn arrays_have_fixed_arity(limbs in crate::array::uniform4(any::<u64>())) {
+            prop_assert_eq!(limbs.len(), 4);
+        }
+
+        #[test]
+        fn assume_skips_cases(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

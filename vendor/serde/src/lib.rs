@@ -1,0 +1,572 @@
+//! A vendored, dependency-free re-implementation of the subset of `serde`
+//! that this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde` cannot be fetched. This crate keeps the same surface syntax —
+//! `Serialize` / `Deserialize` traits, `Serializer` / `Deserializer`
+//! generics, `serde::de::Error::custom`, and `#[derive(Serialize,
+//! Deserialize)]` with `#[serde(with = "module")]` field attributes — but
+//! funnels everything through a self-describing [`Value`] tree instead of
+//! serde's visitor machinery. Formats implement a single method
+//! (`serialize_value` / `deserialize_value`); [`to_value`] / [`from_value`]
+//! give lossless in-memory round-trips, which is all the workspace needs.
+//!
+//! If the real serde ever becomes available, delete `vendor/serde*` and
+//! point `[workspace.dependencies]` back at crates.io — call sites compile
+//! unchanged against either implementation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model everything serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer, widened to 128 bits.
+    UInt(u128),
+    /// Any signed integer, widened to 128 bits.
+    Int(i128),
+    /// Any float, widened to `f64`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (slices, vectors, arrays, tuples, tuple variants).
+    Seq(Vec<Value>),
+    /// A field-name → value map (structs, struct variants).
+    Map(Vec<(String, Value)>),
+    /// An enum variant: tag plus payload.
+    Variant(String, Box<Value>),
+}
+
+pub mod ser {
+    //! Serialization half of the API.
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the API.
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can write itself into a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization format. Implementors only need [`Serializer::serialize_value`].
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The format's error type.
+    type Error: ser::Error;
+
+    /// Consumes one complete [`Value`] tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::UInt(v as u128))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(v as i128))
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+
+    /// Serializes the unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Unit)
+    }
+}
+
+/// A deserialization format. Implementors only need
+/// [`Deserializer::deserialize_value`].
+pub trait Deserializer<'de>: Sized {
+    /// The format's error type.
+    type Error: de::Error;
+
+    /// Produces one complete [`Value`] tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can read itself out of a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance of `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserialize`] bound free of the input lifetime (the [`Value`] model
+/// always produces owned data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod value {
+    //! The in-memory [`Value`](crate::Value) format: serializer,
+    //! deserializer and helpers used by the derive macros.
+    use super::{de, ser, Deserializer, Serializer, Value};
+    use std::fmt;
+
+    /// Error type of the in-memory format.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    /// Serializer that yields the [`Value`] tree itself.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Error;
+
+        fn serialize_value(self, value: Value) -> Result<Value, Error> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer that reads back a [`Value`] tree.
+    #[derive(Debug, Clone)]
+    pub struct ValueDeserializer(Value);
+
+    impl ValueDeserializer {
+        /// Wraps a value for deserialization.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer(value)
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = Error;
+
+        fn deserialize_value(self) -> Result<Value, Error> {
+            Ok(self.0)
+        }
+    }
+
+    /// Removes a named field from a struct map, for derived `Deserialize`.
+    pub fn take_field(map: &mut Vec<(String, Value)>, name: &str) -> Result<Value, Error> {
+        match map.iter().position(|(key, _)| key == name) {
+            Some(index) => Ok(map.remove(index).1),
+            None => Err(Error(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+/// Serializes any value into the in-memory [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, value::Error> {
+    value.serialize(value::ValueSerializer)
+}
+
+/// Reconstructs a value from an in-memory [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, value::Error> {
+    T::deserialize(value::ValueDeserializer::new(value))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(*self as u128))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::UInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| de::Error::custom("unsigned integer out of range")),
+                    Value::Int(v) => <$ty>::try_from(v)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Int(*self as i128))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Int(v) => <$ty>::try_from(v)
+                        .map_err(|_| de::Error::custom("signed integer out of range")),
+                    Value::UInt(v) => i128::try_from(v)
+                        .ok()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| de::Error::custom("integer out of range")),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::F64(*self as f64))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::F64(v) => Ok(v as $ty),
+                    Value::UInt(v) => Ok(v as $ty),
+                    Value::Int(v) => Ok(v as $ty),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected float, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Unit => Ok(()),
+            other => Err(de::Error::custom(format_args!(
+                "expected unit, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(v) if v.chars().count() == 1 => Ok(v.chars().next().unwrap()),
+            other => Err(de::Error::custom(format_args!(
+                "expected single-char string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn serialize_iter<'a, T, S, I>(iter: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = &'a T>,
+{
+    let mut out = Vec::new();
+    for item in iter {
+        out.push(to_value(item).map_err(ser::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Seq(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), serializer)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), serializer)
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let found = items.len();
+        items.try_into().map_err(|_| {
+            de::Error::custom(format_args!(
+                "expected array of {N} elements, found {found}"
+            ))
+        })
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => serializer.serialize_value(Value::Variant(
+                "Some".to_owned(),
+                Box::new(to_value(inner).map_err(ser::Error::custom)?),
+            )),
+            None => {
+                serializer.serialize_value(Value::Variant("None".to_owned(), Box::new(Value::Unit)))
+            }
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Variant(tag, payload) => match tag.as_str() {
+                "Some" => from_value(*payload).map(Some).map_err(de::Error::custom),
+                "None" => Ok(None),
+                other => Err(de::Error::custom(format_args!(
+                    "expected Some/None, found variant {other}"
+                ))),
+            },
+            Value::Unit => Ok(None),
+            other => from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx).map_err(ser::Error::custom)?),+];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Seq(items) => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(
+                                iter.next().ok_or_else(|| {
+                                    de::Error::custom("tuple too short")
+                                })?,
+                            )
+                            .map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format_args!(
+                        "expected tuple sequence, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, Z: 3)
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs() as u128)),
+            ("nanos".to_owned(), Value::UInt(self.subsec_nanos() as u128)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Map(mut map) => {
+                let secs: u64 =
+                    from_value(value::take_field(&mut map, "secs").map_err(de::Error::custom)?)
+                        .map_err(de::Error::custom)?;
+                let nanos: u32 =
+                    from_value(value::take_field(&mut map, "nanos").map_err(de::Error::custom)?)
+                        .map_err(de::Error::custom)?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(de::Error::custom(format_args!(
+                "expected duration map, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let v = to_value(&42u64).unwrap();
+        assert_eq!(from_value::<u64>(v).unwrap(), 42);
+        let v = to_value(&-7i32).unwrap();
+        assert_eq!(from_value::<i32>(v).unwrap(), -7);
+        let v = to_value(&3.5f64).unwrap();
+        assert_eq!(from_value::<f64>(v).unwrap(), 3.5);
+        let v = to_value("hello").unwrap();
+        assert_eq!(from_value::<String>(v).unwrap(), "hello");
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let original = vec![1u8, 2, 3];
+        let v = to_value(&original).unwrap();
+        assert_eq!(from_value::<Vec<u8>>(v).unwrap(), original);
+
+        let arr = [1.0f64, 2.0, 3.0, 4.0];
+        let v = to_value(&arr).unwrap();
+        assert_eq!(from_value::<[f64; 4]>(v).unwrap(), arr);
+
+        let pair = (9usize, "x".to_owned());
+        let v = to_value(&pair).unwrap();
+        assert_eq!(from_value::<(usize, String)>(v).unwrap(), pair);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = std::time::Duration::new(5, 123_456_789);
+        let v = to_value(&d).unwrap();
+        assert_eq!(from_value::<std::time::Duration>(v).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let mut map = vec![("a".to_owned(), Value::UInt(1))];
+        assert!(value::take_field(&mut map, "b").is_err());
+        assert!(value::take_field(&mut map, "a").is_ok());
+        assert!(map.is_empty());
+    }
+}

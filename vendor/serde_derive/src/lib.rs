@@ -1,0 +1,585 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` crate.
+//!
+//! The build environment has no access to crates.io, so `syn` / `quote` are
+//! unavailable; instead this crate walks the raw `proc_macro::TokenStream`
+//! directly. It supports the shapes this workspace actually derives on:
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, tuple or struct-like — plus the
+//! `#[serde(with = "module")]` field attribute. Generics are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error fallback must parse"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos)?;
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => {
+            return Err(format!(
+                "serde_derive: expected struct or enum, found `{other}`"
+            ))
+        }
+    };
+
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+
+    let shape = if is_enum {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace)?;
+        Shape::Enum(parse_variants(body)?)
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => {
+                return Err(format!(
+                    "serde_derive: unexpected token after struct name: {other:?}"
+                ))
+            }
+        }
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Skips leading outer attributes and a `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                match tokens.get(*pos) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+                    other => return Err(format!("serde_derive: malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!(
+            "serde_derive: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delimiter: Delimiter,
+) -> Result<TokenStream, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delimiter => {
+            *pos += 1;
+            Ok(g.stream())
+        }
+        other => Err(format!(
+            "serde_derive: expected {delimiter:?} group, found {other:?}"
+        )),
+    }
+}
+
+/// Parses `field: Type, ...` named-field bodies, honouring
+/// `#[serde(with = "module")]` and skipping doc comments.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+
+    while pos < tokens.len() {
+        let mut with = None;
+        // Attributes (doc comments arrive as `#[doc = "..."]`).
+        while let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() != '#' {
+                break;
+            }
+            pos += 1;
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if let Some(path) = parse_serde_with(g.stream()) {
+                        with = Some(path);
+                    }
+                    pos += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "serde_derive: malformed field attribute: {other:?}"
+                    ))
+                }
+            }
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(i)) = tokens.get(pos) {
+            if i.to_string() == "pub" {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, with });
+        // `skip_type` stops on (and consumes) the separating comma.
+    }
+
+    Ok(fields)
+}
+
+/// Extracts the path from a `serde(with = "module")` attribute body, if this
+/// bracket group is one.
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Skips a type (or any expression) up to and including the next top-level
+/// comma, tracking `<`/`>` nesting so generic argument commas don't end the
+/// field early.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts comma-separated non-empty segments (tuple struct/variant arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_type(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+
+    while pos < tokens.len() {
+        // Attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() != '#' {
+                break;
+            }
+            pos += 1;
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => pos += 1,
+                other => {
+                    return Err(format!(
+                        "serde_derive: malformed variant attribute: {other:?}"
+                    ))
+                }
+            }
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_segments(g.stream());
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional explicit discriminant: `= expr`.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                pos += 1;
+                skip_type(&tokens, &mut pos);
+                variants.push(Variant { name, kind });
+                continue;
+            }
+        }
+        // Trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// `self.field` (or a plain binding) serialized to a `::serde::Value` expr.
+fn field_to_value(expr: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "{path}::serialize(&{expr}, ::serde::value::ValueSerializer).map_err({SER_ERR})?"
+        ),
+        None => format!("::serde::to_value(&{expr}).map_err({SER_ERR})?"),
+    }
+}
+
+/// A `::serde::Value` expression deserialized into a field value.
+fn value_to_field(expr: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::value::ValueDeserializer::new({expr}))\
+             .map_err({DE_ERR})?"
+        ),
+        None => format!("::serde::from_value({expr}).map_err({DE_ERR})?"),
+    }
+}
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        let access = format!("{access_prefix}{}", field.name);
+        code.push_str(&format!(
+            "__fields.push((::std::string::String::from({:?}), {}));\n",
+            field.name,
+            field_to_value(&access, &field.with)
+        ));
+    }
+    code.push_str("::serde::Value::Map(__fields)\n");
+    format!("{{ {code} }}")
+}
+
+fn map_to_named_fields(fields: &[Field], constructor: &str) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        let take = format!(
+            "::serde::value::take_field(&mut __map, {:?}).map_err({DE_ERR})?",
+            field.name
+        );
+        inits.push_str(&format!(
+            "{name}: {value},\n",
+            name = field.name,
+            value = value_to_field(&take, &field.with)
+        ));
+    }
+    format!("{constructor} {{ {inits} }}")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => "serializer.serialize_value(::serde::Value::Unit)".to_string(),
+        Shape::NamedStruct(fields) => format!(
+            "serializer.serialize_value({})",
+            named_fields_to_map(fields, "self.")
+        ),
+        Shape::TupleStruct(arity) => {
+            let mut items = String::new();
+            for index in 0..*arity {
+                items.push_str(&field_to_value(&format!("self.{index}"), &None));
+                items.push(',');
+            }
+            format!("serializer.serialize_value(::serde::Value::Seq(::std::vec![{items}]))")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_value(::serde::Value::Variant(\
+                         ::std::string::String::from({vname:?}), \
+                         ::std::boxed::Box::new(::serde::Value::Unit))),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for binding in &bindings {
+                            items.push_str(&field_to_value(binding, &None));
+                            items.push(',');
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pats}) => serializer.serialize_value(\
+                             ::serde::Value::Variant(::std::string::String::from({vname:?}), \
+                             ::std::boxed::Box::new(::serde::Value::Seq(::std::vec![{items}])))),\n",
+                            pats = bindings.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pats} }} => serializer.serialize_value(\
+                             ::serde::Value::Variant(::std::string::String::from({vname:?}), \
+                             ::std::boxed::Box::new({map}))),\n",
+                            pats = pats.join(", "),
+                            map = named_fields_to_map(fields, "")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => format!(
+            "match deserializer.deserialize_value()? {{\n\
+                 ::serde::Value::Unit => ::std::result::Result::Ok({name}),\n\
+                 _ => ::std::result::Result::Err({DE_ERR}(\"expected unit\")),\n\
+             }}"
+        ),
+        Shape::NamedStruct(fields) => format!(
+            "let mut __map = match deserializer.deserialize_value()? {{\n\
+                 ::serde::Value::Map(__m) => __m,\n\
+                 __other => return ::std::result::Result::Err({DE_ERR}(\
+                     ::std::format!(\"expected map for struct {name}, found {{:?}}\", __other))),\n\
+             }};\n\
+             ::std::result::Result::Ok({ctor})",
+            ctor = map_to_named_fields(fields, name)
+        ),
+        Shape::TupleStruct(arity) => {
+            let mut items = String::new();
+            for _ in 0..*arity {
+                let next =
+                    format!("__seq.next().ok_or_else(|| {DE_ERR}(\"tuple struct too short\"))?");
+                items.push_str(&value_to_field(&next, &None));
+                items.push(',');
+            }
+            format!(
+                "let __items = match deserializer.deserialize_value()? {{\n\
+                     ::serde::Value::Seq(__s) => __s,\n\
+                     __other => return ::std::result::Result::Err({DE_ERR}(\
+                         ::std::format!(\"expected seq for {name}, found {{:?}}\", __other))),\n\
+                 }};\n\
+                 let mut __seq = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut items = String::new();
+                        for _ in 0..*arity {
+                            let next = format!(
+                                "__seq.next().ok_or_else(|| {DE_ERR}(\"variant payload too short\"))?"
+                            );
+                            items.push_str(&value_to_field(&next, &None));
+                            items.push(',');
+                        }
+                        arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __items = match *__payload {{\n\
+                                     ::serde::Value::Seq(__s) => __s,\n\
+                                     __other => return ::std::result::Result::Err({DE_ERR}(\
+                                         ::std::format!(\"expected seq payload, found {{:?}}\", __other))),\n\
+                                 }};\n\
+                                 let mut __seq = __items.into_iter();\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                             let mut __map = match *__payload {{\n\
+                                 ::serde::Value::Map(__m) => __m,\n\
+                                 __other => return ::std::result::Result::Err({DE_ERR}(\
+                                     ::std::format!(\"expected map payload, found {{:?}}\", __other))),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({ctor})\n\
+                         }}\n",
+                        ctor = map_to_named_fields(fields, &format!("{name}::{vname}"))
+                    )),
+                }
+            }
+            format!(
+                "let (__tag, __payload) = match deserializer.deserialize_value()? {{\n\
+                     ::serde::Value::Variant(__t, __p) => (__t, __p),\n\
+                     __other => return ::std::result::Result::Err({DE_ERR}(\
+                         ::std::format!(\"expected variant for enum {name}, found {{:?}}\", __other))),\n\
+                 }};\n\
+                 match __tag.as_str() {{\n\
+                     {arms}\n\
+                     __other => ::std::result::Result::Err({DE_ERR}(\
+                         ::std::format!(\"unknown variant {{}} of enum {name}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
