@@ -1,0 +1,60 @@
+//! The wire-format codec: envelope encode/decode, frame transport and
+//! snapshot capture/restore — the host-side cost of everything
+//! `tinyevm-wire` adds to the protocol path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_channel::ProtocolDriver;
+use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_types::{Address, Wei, H256};
+use tinyevm_wire::{transport, Message, SignedPayment};
+
+fn payment_message() -> Message {
+    let key = PrivateKey::from_seed(b"bench payer");
+    Message::Payment(SignedPayment::create(
+        &key,
+        Address::from_low_u64(0xAA),
+        1,
+        7,
+        Wei::from(50_000u64),
+        H256::from_low_u64(0xfeed),
+    ))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+
+    let message = payment_message();
+    let wire = message.to_wire();
+    group.bench_function("encode_payment_envelope", |bencher| {
+        bencher.iter(|| black_box(message.to_wire()))
+    });
+    group.bench_function("decode_payment_envelope", |bencher| {
+        bencher.iter(|| black_box(Message::from_wire(&wire).unwrap()))
+    });
+
+    group.bench_function("fragment_and_reassemble_payment", |bencher| {
+        bencher.iter(|| {
+            let frames = transport::to_frames(&message, 1, 2, 7);
+            black_box(transport::from_frames(&frames).unwrap())
+        })
+    });
+
+    let mut driver = ProtocolDriver::smart_parking(Wei::from_eth_milli(100));
+    driver.run_session(3, Wei::from_eth_milli(5)).unwrap();
+    group.bench_function("capture_chain_snapshot", |bencher| {
+        bencher.iter(|| black_box(driver.chain_snapshot()))
+    });
+    let snapshot = driver.chain_snapshot();
+    group.bench_function("restore_chain_snapshot", |bencher| {
+        bencher.iter(|| black_box(snapshot.restore().unwrap()))
+    });
+    let encoded_snapshot = Message::ChainSnapshot(snapshot).to_wire();
+    group.bench_function("decode_chain_snapshot", |bencher| {
+        bencher.iter(|| black_box(Message::from_wire(&encoded_snapshot).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -81,6 +81,7 @@ fn main() {
     emit("table4.txt", &offchain.table4_text());
     emit("table5.txt", &offchain.table5_text());
     emit("fig5.txt", &offchain.fig5_text());
+    emit("wire.txt", &offchain.wire_text());
 
     emit("summary.txt", &offchain.summary_text(&corpus));
     eprintln!("wrote results to {}", output_dir.display());

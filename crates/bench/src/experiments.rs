@@ -493,6 +493,96 @@ impl OffChainExperiment {
         out
     }
 
+    /// The wire-format column: encoded size, fragment count, on-air bytes
+    /// and TSCH air time of every protocol message of the measured session.
+    pub fn wire_text(&self) -> String {
+        use tinyevm_net::{fragment, Link};
+        use tinyevm_types::{H256, U256};
+        use tinyevm_wire::{ChannelOpen, Message, PaymentAck, SensorReading, SignedPayment};
+
+        let sender = self.driver.sender();
+        let receiver = self.driver.receiver();
+        let key = *sender.device().private_key();
+        let config = sender
+            .channel()
+            .map(|channel| channel.config().clone())
+            .expect("session opened a channel");
+        let payment = SignedPayment::create(
+            &key,
+            config.template,
+            config.channel_id,
+            self.rounds.last().map(|r| r.sequence).unwrap_or(1),
+            self.rounds
+                .last()
+                .map(|r| r.cumulative)
+                .unwrap_or(Wei::from(1u64)),
+            H256::from_low_u64(0xfeed),
+        );
+        let ack = Message::PaymentAck(PaymentAck {
+            channel_id: config.channel_id,
+            sequence: payment.sequence,
+            signature: key.sign_prehashed(&payment.digest()),
+        });
+        let messages: Vec<Message> = vec![
+            Message::SensorReading(SensorReading {
+                peripheral: 2,
+                value: U256::from(2150u64),
+            }),
+            Message::ChannelOpen(ChannelOpen {
+                template: config.template,
+                channel_id: config.channel_id,
+                sender: sender.address(),
+                receiver: receiver.address(),
+                deposit_cap: config.deposit_cap,
+            }),
+            Message::Payment(payment),
+            ack,
+            Message::ChainSnapshot(tinyevm_wire::ChainSnapshot::capture(self.driver.chain())),
+        ];
+        let link_config = self.driver.link().config();
+        // A pristine copy of the session's link so the air-time column
+        // comes from the same model Link::transfer charges, not a
+        // re-derived formula.
+        let link = Link::new(link_config.clone());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Wire format — encoded protocol messages over 802.15.4 ({} kbit/s, {} µs/frame overhead)",
+            link_config.bitrate / 1000,
+            link_config.frame_overhead.as_micros()
+        );
+        let _ = writeln!(
+            out,
+            "{:<20}{:>12}{:>9}{:>12}{:>14}",
+            "Message", "Encoded (B)", "Frames", "On-air (B)", "Air time (ms)"
+        );
+        for message in &messages {
+            let wire = message.to_wire();
+            let frames = fragment(0x0001, 0x0002, 0, &wire);
+            let on_air: usize = frames.iter().map(|frame| frame.wire_size()).sum();
+            let air: Duration = frames
+                .iter()
+                .map(|frame| link.airtime(frame.wire_size()))
+                .sum();
+            let _ = writeln!(
+                out,
+                "{:<20}{:>12}{:>9}{:>12}{:>14.1}",
+                message.label(),
+                wire.len(),
+                frames.len(),
+                on_air,
+                air.as_secs_f64() * 1000.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "session totals: {} messages, {} wire bytes over the air",
+            self.driver.link().total_messages(),
+            self.driver.link().total_wire_bytes()
+        );
+        out
+    }
+
     /// Figure 5: the sender's current-draw timeline.
     pub fn fig5_text(&self) -> String {
         let timeline = self.driver.sender_timeline();
@@ -619,6 +709,10 @@ mod tests {
         assert!(experiment.table4_text().contains("Cryptographic Engine"));
         assert!(experiment.table5_text().contains("ECDSA"));
         assert!(experiment.fig5_text().contains("TX"));
+        let wire = experiment.wire_text();
+        assert!(wire.contains("payment"));
+        assert!(wire.contains("chain-snapshot"));
+        assert!(wire.contains("session totals"));
         let corpus = corpus_experiment(40, 8 * 1024);
         let summary = experiment.summary_text(&corpus);
         assert!(summary.contains("deployability"));

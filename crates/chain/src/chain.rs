@@ -163,9 +163,40 @@ impl Blockchain {
         }
     }
 
+    /// Reconstructs a chain from persisted parts (the `tinyevm-wire`
+    /// snapshot layer): account balances, the per-block transaction counts
+    /// (block hashes chain deterministically from the fixed genesis, so the
+    /// counts alone reproduce every hash), the template-address nonce and
+    /// the template contracts themselves.
+    ///
+    /// The transaction *log* is a convenience record for reports, not
+    /// consensus state, and is not part of a snapshot; a restored chain
+    /// starts with an empty log. The same goes for the on-chain EVM world
+    /// used by the deployment ablation.
+    pub fn restore_from_parts(
+        balances: Vec<(Address, Wei)>,
+        block_transaction_counts: &[u32],
+        next_template_nonce: u64,
+        templates: Vec<(Address, TemplateContract)>,
+    ) -> Self {
+        let mut chain = Blockchain::new();
+        for count in block_transaction_counts {
+            chain.seal_block(*count as usize);
+        }
+        chain.balances = balances.into_iter().collect();
+        chain.templates = templates.into_iter().collect();
+        chain.next_template_nonce = next_template_nonce;
+        chain
+    }
+
     /// Current block height.
     pub fn height(&self) -> u64 {
         self.blocks.last().map(|b| b.number).unwrap_or(0)
+    }
+
+    /// Hash of the latest sealed block.
+    pub fn head_hash(&self) -> H256 {
+        self.blocks.last().map(|b| b.hash).unwrap_or(H256::ZERO)
     }
 
     /// All sealed blocks.
@@ -189,9 +220,69 @@ impl Blockchain {
         self.balances.insert(account, balance);
     }
 
+    /// All accounts with a balance, in address order.
+    pub fn balances(&self) -> impl Iterator<Item = (&Address, &Wei)> {
+        self.balances.iter()
+    }
+
     /// A registered template contract.
     pub fn template(&self, address: &Address) -> Option<&TemplateContract> {
         self.templates.get(address)
+    }
+
+    /// All registered templates, in address order.
+    pub fn templates(&self) -> impl Iterator<Item = (&Address, &TemplateContract)> {
+        self.templates.iter()
+    }
+
+    /// The nonce used to derive the next template address.
+    pub fn next_template_nonce(&self) -> u64 {
+        self.next_template_nonce
+    }
+
+    /// A digest over the chain's consensus state: head block hash, height,
+    /// template nonce, every account balance and every template's full
+    /// state (config, phase, logical clock, channel records, fraud flag and
+    /// Merkle-Sum-Tree root). Two chains with equal roots settle every
+    /// channel identically — this is what snapshot restore is checked
+    /// against.
+    pub fn state_root(&self) -> H256 {
+        let mut data = Vec::with_capacity(128);
+        data.extend_from_slice(self.head_hash().as_bytes());
+        data.extend_from_slice(&self.height().to_be_bytes());
+        data.extend_from_slice(&self.next_template_nonce.to_be_bytes());
+        for (account, balance) in &self.balances {
+            data.extend_from_slice(account.as_bytes());
+            data.extend_from_slice(&balance.amount().to_be_bytes());
+        }
+        for (address, template) in &self.templates {
+            data.extend_from_slice(address.as_bytes());
+            let config = template.config();
+            data.extend_from_slice(config.sender.as_bytes());
+            data.extend_from_slice(config.receiver.as_bytes());
+            data.extend_from_slice(&config.deposit.amount().to_be_bytes());
+            data.extend_from_slice(&config.challenge_period_blocks.to_be_bytes());
+            let (phase_tag, deadline) = match template.phase() {
+                crate::template::TemplatePhase::Active => (0u8, 0u64),
+                crate::template::TemplatePhase::Exiting { challenge_deadline } => {
+                    (1, challenge_deadline)
+                }
+                crate::template::TemplatePhase::Closed => (2, 0),
+            };
+            data.push(phase_tag);
+            data.extend_from_slice(&deadline.to_be_bytes());
+            data.extend_from_slice(&template.logical_clock().to_be_bytes());
+            data.push(template.fraud_detected() as u8);
+            for record in template.channels() {
+                data.extend_from_slice(&record.channel_id.to_be_bytes());
+                data.extend_from_slice(&record.sequence.to_be_bytes());
+                data.extend_from_slice(&record.total_to_receiver.amount().to_be_bytes());
+            }
+            let root = template.side_chain_root();
+            data.extend_from_slice(root.hash.as_bytes());
+            data.extend_from_slice(&root.sum.amount().to_be_bytes());
+        }
+        keccak256_h256(&data)
     }
 
     /// Advances the chain by `blocks` empty blocks — used to let challenge

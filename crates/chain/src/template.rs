@@ -147,6 +147,29 @@ impl TemplateContract {
         }
     }
 
+    /// Reconstructs a template from persisted parts (the `tinyevm-wire`
+    /// snapshot layer). The Merkle-Sum-Tree is deterministically rebuilt
+    /// from the channel records, so a restored template reports the same
+    /// [`TemplateContract::side_chain_root`] as the original.
+    pub fn restore_from_parts(
+        config: TemplateConfig,
+        phase: TemplatePhase,
+        logical_clock: u64,
+        channels: Vec<ChannelRecord>,
+        fraud_detected: bool,
+    ) -> Self {
+        let mut template = TemplateContract {
+            config,
+            phase,
+            logical_clock,
+            channels: channels.into_iter().map(|c| (c.channel_id, c)).collect(),
+            tree: MerkleSumTree::new(),
+            fraud_detected,
+        };
+        template.rebuild_tree();
+        template
+    }
+
     /// The template configuration.
     pub fn config(&self) -> &TemplateConfig {
         &self.config

@@ -1,11 +1,13 @@
 //! The per-node payment-channel state machine.
 
-use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_crypto::secp256k1::{PrivateKey, Signature};
 use tinyevm_types::{Address, Wei, H256};
 
 use tinyevm_chain::{ChannelState, CommitEnvelope};
+use tinyevm_wire::{ChannelSnapshot, EndpointRole, WireError};
 
 use crate::payment::{PaymentError, SignedPayment};
+use crate::sidechain::SideChainLog;
 
 /// Which side of the channel this node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +158,75 @@ impl PaymentChannel {
     /// Number of payments created or accepted.
     pub fn payments_seen(&self) -> u64 {
         self.payments_seen
+    }
+
+    /// Sensor-data hash of the latest payment (zero before the first).
+    pub fn last_sensor_hash(&self) -> H256 {
+        self.last_sensor_hash
+    }
+
+    /// Captures this endpoint plus its side-chain log and the peer
+    /// acknowledgement signatures it has collected as a wire-format
+    /// [`ChannelSnapshot`] — what a device writes to flash before a power
+    /// cycle.
+    pub fn snapshot(&self, log: &SideChainLog, peer_acks: &[Signature]) -> ChannelSnapshot {
+        ChannelSnapshot {
+            template: self.config.template,
+            channel_id: self.config.channel_id,
+            sender: self.config.sender,
+            receiver: self.config.receiver,
+            deposit_cap: self.config.deposit_cap,
+            role: match self.role {
+                ChannelRole::Sender => EndpointRole::Sender,
+                ChannelRole::Receiver => EndpointRole::Receiver,
+            },
+            open: self.status == ChannelStatus::Open,
+            sequence: self.sequence,
+            cumulative: self.cumulative,
+            last_sensor_hash: self.last_sensor_hash,
+            payments_seen: self.payments_seen,
+            anchor: log.anchor(),
+            log: log.export_entries(),
+            peer_acks: peer_acks.to_vec(),
+        }
+    }
+
+    /// Rebuilds an endpoint, its side-chain log and the collected peer
+    /// acknowledgements from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Value`] when the snapshot's side-chain log does
+    /// not verify — a tampered or corrupted snapshot must not resurrect a
+    /// channel.
+    pub fn restore(
+        snapshot: &ChannelSnapshot,
+    ) -> Result<(Self, SideChainLog, Vec<Signature>), WireError> {
+        let log = SideChainLog::from_parts(snapshot.anchor, &snapshot.log)
+            .ok_or(WireError::Value("side-chain log does not verify"))?;
+        let channel = PaymentChannel {
+            config: ChannelConfig {
+                template: snapshot.template,
+                channel_id: snapshot.channel_id,
+                sender: snapshot.sender,
+                receiver: snapshot.receiver,
+                deposit_cap: snapshot.deposit_cap,
+            },
+            role: match snapshot.role {
+                EndpointRole::Sender => ChannelRole::Sender,
+                EndpointRole::Receiver => ChannelRole::Receiver,
+            },
+            status: if snapshot.open {
+                ChannelStatus::Open
+            } else {
+                ChannelStatus::Closed
+            },
+            sequence: snapshot.sequence,
+            cumulative: snapshot.cumulative,
+            last_sensor_hash: snapshot.last_sensor_hash,
+            payments_seen: snapshot.payments_seen,
+        };
+        Ok((channel, log, snapshot.peer_acks.clone()))
     }
 
     /// Remaining headroom under the deposit cap.

@@ -19,7 +19,12 @@
 //! [`ProtocolDriver`] wires two simulated devices, a radio link and the
 //! chain together and runs the whole flow, producing the timing and energy
 //! measurements behind the paper's Table IV and Figure 5 and the headline
-//! "584 ms per off-chain payment".
+//! "584 ms per off-chain payment". Every protocol step travels as a
+//! `tinyevm_wire::Message`: encoded on the sending device, fragmented into
+//! 802.15.4 frames by `tinyevm-net`, reassembled and decoded on the far
+//! side — and sessions can be persisted to disk and resumed after a power
+//! cycle ([`ProtocolDriver::save_session`] /
+//! [`ProtocolDriver::restore_session`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,9 +17,19 @@
 //!    sign the final state, it is committed on-chain, the challenge period
 //!    elapses and the deposit is distributed (phase 3).
 //!
+//! Every protocol step is carried by the `tinyevm-wire` format: the sending
+//! device encodes a [`Message`] envelope, the link fragments it into
+//! 127-byte 802.15.4 frames, and the receiving device reassembles and
+//! *decodes* the bytes — the peer only ever acts on what actually crossed
+//! the (possibly lossy) radio. The reported air time and energy therefore
+//! derive from real encoded sizes. [`ProtocolDriver::save_session`] /
+//! [`ProtocolDriver::restore_session`] persist the chain and both channel
+//! endpoints to disk so a device can power-cycle mid-session and resume.
+//!
 //! All timing and energy falls out of the device model; nothing in this
 //! module hard-codes the paper's numbers.
 
+use std::path::Path;
 use std::time::Duration;
 
 use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
@@ -27,6 +37,10 @@ use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, EnergyReport, RadioDirection, TimelineEntry};
 use tinyevm_net::{Link, LinkConfig};
 use tinyevm_types::{Address, Wei, H256, U256};
+use tinyevm_wire::{
+    persist, ChainSnapshot, ChannelOpen, ChannelSnapshot, EndpointRole, Message, PaymentAck,
+    SensorReading, WireError,
+};
 
 use crate::channel::{ChannelConfig, ChannelRole, PaymentChannel};
 use crate::contracts;
@@ -48,6 +62,15 @@ pub enum ProtocolError {
     OutOfOrder(&'static str),
     /// A signature check failed.
     BadSignature,
+    /// A wire message failed to encode or decode.
+    Wire(WireError),
+    /// The peer sent a structurally valid message of the wrong kind.
+    UnexpectedMessage {
+        /// What the protocol step expected.
+        expected: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -59,6 +82,10 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::Channel(error) => write!(f, "channel error: {error}"),
             ProtocolError::OutOfOrder(step) => write!(f, "protocol step out of order: {step}"),
             ProtocolError::BadSignature => write!(f, "signature verification failed"),
+            ProtocolError::Wire(error) => write!(f, "wire format error: {error}"),
+            ProtocolError::UnexpectedMessage { expected, got } => {
+                write!(f, "expected a {expected} message, got {got}")
+            }
         }
     }
 }
@@ -80,6 +107,12 @@ impl From<tinyevm_net::LinkError> for ProtocolError {
 impl From<crate::channel::ChannelError> for ProtocolError {
     fn from(error: crate::channel::ChannelError) -> Self {
         ProtocolError::Channel(error)
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(error: WireError) -> Self {
+        ProtocolError::Wire(error)
     }
 }
 
@@ -146,6 +179,39 @@ impl OffChainNode {
     /// Acknowledgement signatures received from the peer.
     pub fn peer_signatures(&self) -> &[Signature] {
         &self.peer_signatures
+    }
+
+    /// Captures this node's channel endpoint, side-chain log and collected
+    /// peer acknowledgements as a wire-format snapshot, or `None` before a
+    /// channel is open.
+    pub fn snapshot(&self) -> Option<ChannelSnapshot> {
+        self.channel
+            .as_ref()
+            .map(|channel| channel.snapshot(&self.log, &self.peer_signatures))
+    }
+
+    /// Restores the channel endpoint, side-chain log and peer
+    /// acknowledgements from a snapshot (the node's role must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Wire`] for a snapshot whose log does not
+    /// verify and [`ProtocolError::OutOfOrder`] for a role mismatch.
+    pub fn restore(&mut self, snapshot: &ChannelSnapshot) -> Result<(), ProtocolError> {
+        let expected = match self.role {
+            ChannelRole::Sender => EndpointRole::Sender,
+            ChannelRole::Receiver => EndpointRole::Receiver,
+        };
+        if snapshot.role != expected {
+            return Err(ProtocolError::OutOfOrder(
+                "snapshot belongs to the other endpoint",
+            ));
+        }
+        let (channel, log, peer_acks) = PaymentChannel::restore(snapshot)?;
+        self.channel = Some(channel);
+        self.log = log;
+        self.peer_signatures = peer_acks;
+        Ok(())
     }
 }
 
@@ -235,10 +301,18 @@ impl ProtocolDriver {
     /// "parking-sensor" receiver, a lossless TSCH link and the given
     /// deposit.
     pub fn smart_parking(deposit: Wei) -> Self {
+        Self::smart_parking_with_link(LinkConfig::default(), deposit)
+    }
+
+    /// The smart-parking setup over an explicit link configuration (e.g. a
+    /// lossy one). The device identities are the same as
+    /// [`ProtocolDriver::smart_parking`], so sessions persisted under one
+    /// link profile restore under another.
+    pub fn smart_parking_with_link(link_config: LinkConfig, deposit: Wei) -> Self {
         Self::new(
             OffChainNode::new("smart-car", ChannelRole::Sender),
             OffChainNode::new("parking-sensor", ChannelRole::Receiver),
-            LinkConfig::default(),
+            link_config,
             deposit,
         )
     }
@@ -283,6 +357,12 @@ impl ProtocolDriver {
     /// The template address once published.
     pub fn template(&self) -> Option<Address> {
         self.template
+    }
+
+    /// The radio link between the two devices (message and wire-byte
+    /// statistics).
+    pub fn link(&self) -> &Link {
+        &self.link
     }
 
     /// Adjusts the idle gap inserted between protocol steps.
@@ -338,21 +418,31 @@ impl ProtocolDriver {
             .create_payment_channel(self.sender.address(), template)?;
         self.channel_id = Some(channel_id);
 
-        // Sensor-data exchange (paper: "the nodes exchange their data").
-        let sender_reading = self
-            .sender
-            .device
-            .read_sensor(tinyevm_device::sensors::peripheral_id::TEMPERATURE, 0)
-            .unwrap_or(U256::ZERO);
-        let receiver_reading = self
-            .receiver
-            .device
-            .read_sensor(tinyevm_device::sensors::peripheral_id::OCCUPANCY, 0)
-            .unwrap_or(U256::ZERO);
+        // Sensor-data exchange (paper: "the nodes exchange their data"),
+        // each reading carried as an encoded wire message.
         let mut bytes_exchanged = 0usize;
-        bytes_exchanged += self.exchange(true, &sender_reading.to_be_bytes())?;
-        bytes_exchanged += self.exchange(false, &receiver_reading.to_be_bytes())?;
+        let (_, sensor_bytes) = self.exchange_sensor_readings()?;
+        bytes_exchanged += sensor_bytes;
         self.pause();
+
+        // The sender proposes the channel parameters; the receiver
+        // instantiates its endpoint from the *decoded* proposal, so a
+        // mis-encoded handshake cannot silently open mismatched channels.
+        let proposal = Message::ChannelOpen(ChannelOpen {
+            template,
+            channel_id,
+            sender: self.sender.address(),
+            receiver: self.receiver.address(),
+            deposit_cap: self.deposit,
+        });
+        let (delivered, open_bytes, _) = self.exchange_message(true, &proposal)?;
+        bytes_exchanged += open_bytes;
+        let Message::ChannelOpen(accepted) = delivered else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "channel-open",
+                got: "other",
+            });
+        };
 
         // Each side executes the payment-channel constructor locally, in its
         // own contract world — the constructor's IoT sensor read and storage
@@ -374,7 +464,9 @@ impl ProtocolDriver {
         self.sender.channel_contract = Some(sender_contract);
         self.receiver.channel_contract = Some(receiver_contract);
 
-        // Both endpoints open their channel state machines.
+        // Both endpoints open their channel state machines — the sender
+        // from its local parameters, the receiver from the decoded wire
+        // proposal.
         let config = ChannelConfig {
             template,
             channel_id,
@@ -382,8 +474,15 @@ impl ProtocolDriver {
             receiver: self.receiver.address(),
             deposit_cap: self.deposit,
         };
-        self.sender.channel = Some(PaymentChannel::new(config.clone(), ChannelRole::Sender));
-        self.receiver.channel = Some(PaymentChannel::new(config, ChannelRole::Receiver));
+        let receiver_config = ChannelConfig {
+            template: accepted.template,
+            channel_id: accepted.channel_id,
+            sender: accepted.sender,
+            receiver: accepted.receiver,
+            deposit_cap: accepted.deposit_cap,
+        };
+        self.sender.channel = Some(PaymentChannel::new(config, ChannelRole::Sender));
+        self.receiver.channel = Some(PaymentChannel::new(receiver_config, ChannelRole::Receiver));
 
         // Anchor both side-chain logs at the on-chain template root.
         let anchor = self
@@ -414,7 +513,7 @@ impl ProtocolDriver {
     /// the underlying channel / link / signature error.
     pub fn pay(&mut self, amount: Wei) -> Result<RoundReport, ProtocolError> {
         let started_at = self.sender.device.now();
-        let sensor_hash = self.exchange_sensor_data()?;
+        let (sensor_hash, _) = self.exchange_sensor_readings()?;
 
         // 1. The sender builds and signs the payment. The channel state
         //    machine signs with the node key; the device model charges the
@@ -433,9 +532,18 @@ impl ProtocolDriver {
             (payment, sign_time)
         };
 
-        // 2. The signed payment crosses the radio link.
-        let wire = payment.to_wire();
-        let payment_bytes = self.exchange(true, &wire)?;
+        // 2. The signed payment crosses the radio link as an encoded wire
+        //    message; everything the receiver does below acts on the
+        //    *decoded* artifact, not the in-process object.
+        let payment_message = Message::Payment(payment.clone());
+        let (delivered, payment_bytes, payment_wire_len) =
+            self.exchange_message(true, &payment_message)?;
+        let Message::Payment(received) = delivered else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "payment",
+                got: "other",
+            });
+        };
 
         // 3. The receiver verifies the signature and registers the payment
         //    on its side-chain (its own device time, not the sender's).
@@ -443,7 +551,7 @@ impl ProtocolDriver {
         let payer = self
             .receiver
             .device
-            .verify_payload(&payment.encode_payload(), &payment.signature)
+            .verify_payload(&received.encode_payload(), &received.signature)
             .ok_or(ProtocolError::BadSignature)?;
         if payer != self.sender.address() {
             return Err(ProtocolError::BadSignature);
@@ -454,23 +562,55 @@ impl ProtocolDriver {
                 .channel
                 .as_mut()
                 .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
-            channel.accept_payment(&payment)?;
+            channel.accept_payment(&received)?;
         }
-        Self::register_on_side_chain(&mut self.receiver, &payment)?;
+        Self::register_on_side_chain(&mut self.receiver, &received)?;
 
         // 4. The receiver acknowledges by signing the same payload; the
-        //    acknowledgement travels back to the sender. While the receiver
-        //    works, the sender idles in LPM2 — that wait is part of the
-        //    payment's end-to-end latency (and of the Figure 5 timeline).
-        let (ack_signature, _) = self.receiver.device.sign_payload(&payment.encode_payload());
+        //    acknowledgement travels back as a wire message. While the
+        //    receiver works, the sender idles in LPM2 — that wait is part
+        //    of the payment's end-to-end latency (and of the Figure 5
+        //    timeline).
+        let (ack_signature, _) = self
+            .receiver
+            .device
+            .sign_payload(&received.encode_payload());
         let receiver_busy = self
             .receiver
             .device
             .now()
             .saturating_sub(receiver_busy_from);
         self.sender.device.sleep(receiver_busy);
-        let ack_bytes = self.exchange(false, &ack_signature.to_bytes())?;
-        self.sender.peer_signatures.push(ack_signature);
+        let ack_message = Message::PaymentAck(PaymentAck {
+            channel_id: received.channel_id,
+            sequence: received.sequence,
+            signature: ack_signature,
+        });
+        let (delivered_ack, ack_bytes, ack_wire_len) =
+            self.exchange_message(false, &ack_message)?;
+        let Message::PaymentAck(ack) = delivered_ack else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "payment-ack",
+                got: "other",
+            });
+        };
+        if ack.sequence != payment.sequence || ack.channel_id != payment.channel_id {
+            return Err(ProtocolError::OutOfOrder(
+                "acknowledgement for a different payment",
+            ));
+        }
+        // The decoded acknowledgement must recover to the receiver — run
+        // through the sender's device so the recovery is charged to its
+        // crypto engine like every other signature check.
+        let ack_signer = self
+            .sender
+            .device
+            .verify_payload(&payment.encode_payload(), &ack.signature)
+            .ok_or(ProtocolError::BadSignature)?;
+        if ack_signer != self.receiver.address() {
+            return Err(ProtocolError::BadSignature);
+        }
+        self.sender.peer_signatures.push(ack.signature);
 
         // 5. The sender registers the payment on its own side-chain copy.
         let sender_register_time = Self::register_on_side_chain(&mut self.sender, &payment)?;
@@ -480,8 +620,8 @@ impl ProtocolDriver {
 
         let sender_active_time = sender_sign_time
             + sender_register_time
-            + self.sender.device.airtime(wire.len())
-            + self.sender.device.airtime(65);
+            + self.sender.device.airtime(payment_wire_len)
+            + self.sender.device.airtime(ack_wire_len);
 
         Ok(RoundReport {
             sequence: payment.sequence,
@@ -557,10 +697,17 @@ impl ProtocolDriver {
         let (receiver_signature, _) = self.receiver.device.sign_payload(&encoded);
         let envelope = PaymentChannel::envelope(state, sender_signature, receiver_signature);
 
-        // The final state travels to the receiver's gateway and on-chain.
-        self.exchange(true, &envelope.state.encode())?;
+        // The dual-signed final state travels to the receiver's gateway as
+        // a wire message; what goes on-chain is the *decoded* envelope.
+        let (delivered, _, _) = self.exchange_message(true, &Message::ChannelClose(envelope))?;
+        let Message::ChannelClose(committed) = delivered else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "channel-close",
+                got: "other",
+            });
+        };
         self.chain
-            .commit_channel_state(self.receiver.address(), template, &envelope)?;
+            .commit_channel_state(self.receiver.address(), template, &committed)?;
         self.chain.start_exit(self.receiver.address(), template)?;
         self.chain.advance_blocks(11);
         let settlement = self
@@ -576,11 +723,155 @@ impl ProtocolDriver {
         })
     }
 
+    // --- persistence --------------------------------------------------------
+
+    /// Snapshot of the simulated main chain's consensus state.
+    pub fn chain_snapshot(&self) -> ChainSnapshot {
+        ChainSnapshot::capture(&self.chain)
+    }
+
+    /// Writes the whole session — chain snapshot plus both channel
+    /// endpoints — to a wire-format persistence file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] before the channel is open and
+    /// [`ProtocolError::Wire`] on filesystem failure.
+    pub fn save_session(&self, path: &Path) -> Result<(), ProtocolError> {
+        let sender = self
+            .sender
+            .snapshot()
+            .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
+        let receiver = self
+            .receiver
+            .snapshot()
+            .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
+        persist::write_messages(
+            path,
+            &[
+                Message::ChainSnapshot(self.chain_snapshot()),
+                Message::ChannelSnapshot(sender),
+                Message::ChannelSnapshot(receiver),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Resumes a session from a persistence file written by
+    /// [`ProtocolDriver::save_session`]: restores the chain (verified
+    /// hash-equal against the snapshot's state root), both channel
+    /// endpoints and their side-chain logs, and re-instantiates the local
+    /// channel contracts on devices that lost them in the power cycle.
+    ///
+    /// The whole file is validated before any driver state changes: it
+    /// must contain the chain snapshot *and* both endpoint snapshots, the
+    /// endpoints must agree on the channel parameters, and the template
+    /// they name must exist on the restored chain. A file truncated
+    /// mid-write (power loss during the save) or spliced from two
+    /// different sessions is rejected as a whole, never half-applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Wire`] for unreadable, foreign, tampered,
+    /// incomplete or inconsistent files, and a device error when a channel
+    /// contract cannot be re-created.
+    pub fn restore_session(&mut self, path: &Path) -> Result<(), ProtocolError> {
+        // Stage everything first; self is only touched once the file as a
+        // whole has been validated.
+        let mut chain = None;
+        let mut sender_snapshot = None;
+        let mut receiver_snapshot = None;
+        for message in persist::read_messages(path)? {
+            match message {
+                Message::ChainSnapshot(snapshot) => {
+                    chain = Some(snapshot.restore()?);
+                }
+                Message::ChannelSnapshot(snapshot) => match snapshot.role {
+                    EndpointRole::Sender => sender_snapshot = Some(snapshot),
+                    EndpointRole::Receiver => receiver_snapshot = Some(snapshot),
+                },
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        expected: "snapshot",
+                        got: other.label(),
+                    })
+                }
+            }
+        }
+        let (Some(chain), Some(sender_snapshot), Some(receiver_snapshot)) =
+            (chain, sender_snapshot, receiver_snapshot)
+        else {
+            return Err(ProtocolError::Wire(WireError::Truncated));
+        };
+        // The two endpoints must describe the same channel, anchored at a
+        // template the restored chain actually knows — a file spliced from
+        // two different sessions fails here.
+        if sender_snapshot.template != receiver_snapshot.template
+            || sender_snapshot.channel_id != receiver_snapshot.channel_id
+            || sender_snapshot.sender != receiver_snapshot.sender
+            || sender_snapshot.receiver != receiver_snapshot.receiver
+            || sender_snapshot.deposit_cap != receiver_snapshot.deposit_cap
+        {
+            return Err(ProtocolError::Wire(WireError::Value(
+                "endpoint snapshots describe different channels",
+            )));
+        }
+        if chain.template(&sender_snapshot.template).is_none() {
+            return Err(ProtocolError::Wire(WireError::Value(
+                "snapshot template is not on the restored chain",
+            )));
+        }
+        // The session must belong to *these* devices — restoring someone
+        // else's snapshot would leave channels whose configured parties
+        // can never produce valid signatures.
+        if sender_snapshot.sender != self.sender.address()
+            || sender_snapshot.receiver != self.receiver.address()
+        {
+            return Err(ProtocolError::Wire(WireError::Value(
+                "snapshot belongs to different device identities",
+            )));
+        }
+        // Decode both endpoints (side-chain logs re-verified) before any
+        // commit.
+        let sender_parts = PaymentChannel::restore(&sender_snapshot)?;
+        let receiver_parts = PaymentChannel::restore(&receiver_snapshot)?;
+
+        // Commit.
+        let channel_changed = self.channel_id != Some(sender_snapshot.channel_id);
+        self.chain = chain;
+        self.template = Some(sender_snapshot.template);
+        self.channel_id = Some(sender_snapshot.channel_id);
+        for (node, (channel, log, peer_acks)) in [
+            (&mut self.sender, sender_parts),
+            (&mut self.receiver, receiver_parts),
+        ] {
+            node.channel = Some(channel);
+            node.log = log;
+            node.peer_signatures = peer_acks;
+            if node.channel_contract.is_none() || channel_changed {
+                // The device's contract world was lost with the power
+                // cycle; re-instantiate the off-chain contract from the
+                // template.
+                let init = contracts::payment_channel_init_code(
+                    tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                    sender_snapshot.channel_id,
+                );
+                let (contract, _) = node
+                    .device
+                    .create_local_contract(&init)
+                    .map_err(|e| ProtocolError::Device(e.to_string()))?;
+                node.channel_contract = Some(contract);
+            }
+        }
+        Ok(())
+    }
+
     // --- internals ----------------------------------------------------------
 
-    /// Reads both sensors and exchanges the readings; returns the hash that
-    /// binds them into the next payment.
-    fn exchange_sensor_data(&mut self) -> Result<H256, ProtocolError> {
+    /// Reads both sensors and exchanges the readings as wire messages;
+    /// returns the hash binding what actually crossed the radio (the price
+    /// justification of the next payment) and the wire bytes moved.
+    fn exchange_sensor_readings(&mut self) -> Result<(H256, usize), ProtocolError> {
         let sender_reading = self
             .sender
             .device
@@ -591,30 +882,67 @@ impl ProtocolDriver {
             .device
             .read_sensor(tinyevm_device::sensors::peripheral_id::OCCUPANCY, 0)
             .unwrap_or(U256::ZERO);
-        self.exchange(true, &sender_reading.to_be_bytes())?;
-        self.exchange(false, &receiver_reading.to_be_bytes())?;
+        let (delivered_sender, sender_bytes, _) = self.exchange_message(
+            true,
+            &Message::SensorReading(SensorReading {
+                peripheral: tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                value: sender_reading,
+            }),
+        )?;
+        let (delivered_receiver, receiver_bytes, _) = self.exchange_message(
+            false,
+            &Message::SensorReading(SensorReading {
+                peripheral: tinyevm_device::sensors::peripheral_id::OCCUPANCY,
+                value: receiver_reading,
+            }),
+        )?;
+        let (Message::SensorReading(sender_seen), Message::SensorReading(receiver_seen)) =
+            (delivered_sender, delivered_receiver)
+        else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "sensor-reading",
+                got: "other",
+            });
+        };
         let mut data = Vec::with_capacity(64);
-        data.extend_from_slice(&sender_reading.to_be_bytes());
-        data.extend_from_slice(&receiver_reading.to_be_bytes());
-        Ok(tinyevm_crypto::keccak256_h256(&data))
+        data.extend_from_slice(&sender_seen.value.to_be_bytes());
+        data.extend_from_slice(&receiver_seen.value.to_be_bytes());
+        Ok((
+            tinyevm_crypto::keccak256_h256(&data),
+            sender_bytes + receiver_bytes,
+        ))
     }
 
-    /// Moves a message across the link, charging TX on one device and RX on
-    /// the other. `from_sender` selects the direction. Returns wire bytes.
-    fn exchange(&mut self, from_sender: bool, message: &[u8]) -> Result<usize, ProtocolError> {
-        let (_, report) = self.link.transfer(message)?;
+    /// Moves one encoded message across the link: the transmitting device
+    /// pays the encode CPU time and TX energy, the receiving device pays RX
+    /// energy and the decode CPU time, and the function returns the
+    /// *decoded* message — the only thing the far side may act on — plus
+    /// the wire bytes (headers and retransmissions included) and the
+    /// envelope's encoded length (so callers don't re-encode just to size
+    /// it).
+    fn exchange_message(
+        &mut self,
+        from_sender: bool,
+        message: &Message,
+    ) -> Result<(Message, usize, usize), ProtocolError> {
+        let wire = message.to_wire();
+        let encoded_len = wire.len();
+        let (delivered, report) = self.link.transfer(&wire)?;
         let (tx_node, rx_node) = if from_sender {
             (&mut self.sender, &mut self.receiver)
         } else {
             (&mut self.receiver, &mut self.sender)
         };
+        tx_node.device.account_codec(encoded_len);
         tx_node
             .device
             .account_radio(RadioDirection::Transmit, report.wire_bytes);
         rx_node
             .device
             .account_radio(RadioDirection::Receive, report.wire_bytes);
-        Ok(report.wire_bytes)
+        rx_node.device.account_codec(delivered.len());
+        let decoded = Message::from_wire(&delivered)?;
+        Ok((decoded, report.wire_bytes, encoded_len))
     }
 
     /// Executes the payment-channel contract on a node's device to register
@@ -789,5 +1117,125 @@ mod tests {
         d.pay(Wei::from(800u64)).unwrap();
         let error = d.pay(Wei::from(800u64)).unwrap_err();
         assert!(matches!(error, ProtocolError::Channel(_)));
+    }
+
+    #[test]
+    fn every_protocol_step_is_a_wire_message() {
+        let mut d = driver();
+        d.run_session(2, Wei::from(1_000u64)).unwrap();
+        d.close_and_settle().unwrap();
+        // Messages on the link: 2 sensor readings + 1 channel-open at
+        // opening, then (2 readings + payment + ack) per payment, then the
+        // channel-close. All of them real encoded transfers.
+        assert_eq!(d.link().total_messages(), 3 + 2 * 4 + 1);
+        assert!(d.link().total_wire_bytes() > 0);
+    }
+
+    #[test]
+    fn session_survives_a_lossy_link() {
+        let config = LinkConfig::default().with_loss(0.2, 42);
+        let mut d = ProtocolDriver::smart_parking_with_link(config, Wei::from(1_000_000u64));
+        let reports = d.run_session(3, Wei::from(10_000u64)).unwrap();
+        assert_eq!(reports.len(), 3);
+        let settlement = d.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(30_000u64));
+        assert!(!settlement.settlement.fraud_detected);
+    }
+
+    #[test]
+    fn session_resumes_from_a_snapshot_file_after_power_cycle() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-session-{}.snap", std::process::id()));
+
+        // First life: open a channel, make two payments, persist.
+        let mut d = driver();
+        d.run_session(2, Wei::from(5_000u64)).unwrap();
+        let chain_root_before = d.chain().state_root();
+        d.save_session(&path).unwrap();
+
+        // Power cycle: a brand-new driver (same device identities), resumed
+        // from disk.
+        let mut resumed = driver();
+        resumed.restore_session(&path).unwrap();
+        assert_eq!(
+            resumed.chain().state_root(),
+            chain_root_before,
+            "restored chain is hash-identical"
+        );
+        assert_eq!(
+            resumed.sender().snapshot().unwrap(),
+            d.sender().snapshot().unwrap(),
+            "restored sender endpoint is identical"
+        );
+        assert!(resumed.receiver().side_chain().verify());
+
+        // The session continues where it left off...
+        let report = resumed.pay(Wei::from(5_000u64)).unwrap();
+        assert_eq!(report.sequence, 3);
+        assert_eq!(report.cumulative, Wei::from(15_000u64));
+        // ...and settles for all three payments.
+        let settlement = resumed.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(15_000u64));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn incomplete_session_file_is_rejected_whole() {
+        // A save interrupted by the power loss itself: only the chain
+        // snapshot made it to disk. Restore must refuse rather than leave
+        // the driver half-initialized.
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-partial-{}.snap", std::process::id()));
+        let mut d = driver();
+        d.run_session(1, Wei::from(1_000u64)).unwrap();
+        tinyevm_wire::persist::write_messages(&path, &[Message::ChainSnapshot(d.chain_snapshot())])
+            .unwrap();
+        let mut resumed = driver();
+        assert!(matches!(
+            resumed.restore_session(&path),
+            Err(ProtocolError::Wire(tinyevm_wire::WireError::Truncated))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_device_snapshot_is_rejected() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-foreign-{}.snap", std::process::id()));
+        let mut d = driver();
+        d.run_session(1, Wei::from(1_000u64)).unwrap();
+        d.save_session(&path).unwrap();
+        // A driver with different device identities must refuse the file
+        // outright instead of restoring channels it can never sign for.
+        let mut other = ProtocolDriver::new(
+            OffChainNode::new("other-car", ChannelRole::Sender),
+            OffChainNode::new("other-sensor", ChannelRole::Receiver),
+            LinkConfig::default(),
+            Wei::from(1_000_000u64),
+        );
+        assert!(matches!(
+            other.restore_session(&path),
+            Err(ProtocolError::Wire(tinyevm_wire::WireError::Value(_)))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tampered_session_file_is_rejected() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-tampered-{}.snap", std::process::id()));
+        let mut d = driver();
+        d.run_session(1, Wei::from(1_000u64)).unwrap();
+        d.save_session(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut resumed = driver();
+        assert!(matches!(
+            resumed.restore_session(&path),
+            Err(ProtocolError::Wire(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

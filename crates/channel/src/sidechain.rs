@@ -9,6 +9,7 @@
 
 use tinyevm_crypto::keccak256_h256;
 use tinyevm_types::{Wei, H256};
+use tinyevm_wire::SideChainEntryRecord;
 
 /// One entry of the log: a committed off-chain state linked to its
 /// predecessor.
@@ -81,6 +82,45 @@ impl SideChainLog {
     /// The anchor this log hangs off.
     pub fn anchor(&self) -> H256 {
         self.anchor
+    }
+
+    /// Exports the entries as wire-format records (for a
+    /// `tinyevm_wire::ChannelSnapshot`).
+    pub fn export_entries(&self) -> Vec<SideChainEntryRecord> {
+        self.entries
+            .iter()
+            .map(|entry| SideChainEntryRecord {
+                index: entry.index,
+                channel_id: entry.channel_id,
+                sequence: entry.sequence,
+                cumulative: entry.cumulative,
+                state_digest: entry.state_digest,
+                previous_hash: entry.previous_hash,
+                entry_hash: entry.entry_hash,
+            })
+            .collect()
+    }
+
+    /// Rebuilds a log from persisted records, returning `None` unless the
+    /// restored chain verifies end to end (hash links, recomputed entry
+    /// hashes, strictly increasing per-channel sequences).
+    pub fn from_parts(anchor: H256, records: &[SideChainEntryRecord]) -> Option<Self> {
+        let log = SideChainLog {
+            anchor,
+            entries: records
+                .iter()
+                .map(|record| SideChainEntry {
+                    index: record.index,
+                    channel_id: record.channel_id,
+                    sequence: record.sequence,
+                    cumulative: record.cumulative,
+                    state_digest: record.state_digest,
+                    previous_hash: record.previous_hash,
+                    entry_hash: record.entry_hash,
+                })
+                .collect(),
+        };
+        log.verify().then_some(log)
     }
 
     /// Number of entries.

@@ -20,6 +20,7 @@
 //! | [`device`] | `tinyevm-device` | CC2538-class device model: timing, energy, sensors |
 //! | [`net`] | `tinyevm-net` | 802.15.4 / BLE link simulator |
 //! | [`chain`] | `tinyevm-chain` | template contract, commits, challenge periods |
+//! | [`wire`] | `tinyevm-wire` | canonical RLP wire format, snapshots, persistence |
 //! | [`channel`] | `tinyevm-channel` | signed payments, side-chain logs, the protocol driver |
 //! | [`corpus`] | `tinyevm-corpus` | the synthetic 7,000-contract corpus |
 //!
@@ -51,6 +52,7 @@ pub use tinyevm_device as device;
 pub use tinyevm_evm as evm;
 pub use tinyevm_net as net;
 pub use tinyevm_types as types;
+pub use tinyevm_wire as wire;
 
 pub mod scenario;
 
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use tinyevm_evm::{asm, deploy, Evm, EvmConfig, Opcode};
     pub use tinyevm_net::{Link, LinkConfig, LinkProfile};
     pub use tinyevm_types::{Address, Wei, H256, U256};
+    pub use tinyevm_wire::{ChainSnapshot, ChannelSnapshot, Message, WireError};
 
     pub use crate::scenario::{ParkingScenario, ParkingSummary};
 }

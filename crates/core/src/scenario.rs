@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use tinyevm_channel::{ProtocolDriver, ProtocolError, RoundReport};
 use tinyevm_device::{EnergyReport, PowerState, TimelineEntry};
+use tinyevm_net::LinkConfig;
 use tinyevm_types::Wei;
 
 /// Configuration of one parking session.
@@ -23,6 +24,9 @@ pub struct ParkingScenario {
     pub price_per_interval: Wei,
     /// Number of paid intervals (hours, in the paper's narrative).
     pub intervals: usize,
+    /// The radio link between the two devices — make it lossy with
+    /// [`LinkConfig::with_loss`] to exercise the retransmission machinery.
+    pub link: LinkConfig,
 }
 
 impl Default for ParkingScenario {
@@ -31,6 +35,7 @@ impl Default for ParkingScenario {
             deposit: Wei::from_eth_milli(100),
             price_per_interval: Wei::from_eth_milli(5),
             intervals: 4,
+            link: LinkConfig::default(),
         }
     }
 }
@@ -86,7 +91,7 @@ impl ParkingScenario {
     /// Propagates any protocol error (insufficient deposit, link failure,
     /// signature mismatch).
     pub fn run(&self) -> Result<ParkingSummary, ProtocolError> {
-        let mut driver = ProtocolDriver::smart_parking(self.deposit);
+        let mut driver = ProtocolDriver::smart_parking_with_link(self.link.clone(), self.deposit);
         driver.publish_template()?;
         driver.open_channel()?;
         let mut rounds = Vec::with_capacity(self.intervals);
@@ -148,7 +153,31 @@ mod tests {
             deposit: Wei::from(10u64),
             price_per_interval: Wei::from(8u64),
             intervals: 3,
+            ..ParkingScenario::default()
         };
         assert!(scenario.run().is_err());
+    }
+
+    #[test]
+    fn lossy_link_scenario_still_settles() {
+        let scenario = ParkingScenario {
+            intervals: 2,
+            link: LinkConfig::default().with_loss(0.25, 7),
+            ..ParkingScenario::default()
+        };
+        let summary = scenario.run().unwrap();
+        assert_eq!(summary.rounds.len(), 2);
+        assert_eq!(summary.total_paid, Wei::from_eth_milli(10));
+        // Retransmissions push more bytes over the air than the lossless
+        // baseline needs.
+        let lossless = ParkingScenario {
+            intervals: 2,
+            ..ParkingScenario::default()
+        }
+        .run()
+        .unwrap();
+        let lossy_bytes: usize = summary.rounds.iter().map(|r| r.bytes_exchanged).sum();
+        let lossless_bytes: usize = lossless.rounds.iter().map(|r| r.bytes_exchanged).sum();
+        assert!(lossy_bytes > lossless_bytes);
     }
 }

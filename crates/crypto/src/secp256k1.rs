@@ -61,6 +61,13 @@ pub enum CryptoError {
     InvalidSignature,
     /// The recovery id was not 0 or 1.
     InvalidRecoveryId(u8),
+    /// A serialized signature had the wrong length.
+    InvalidLength {
+        /// Bytes the encoding requires.
+        expected: usize,
+        /// Bytes that were supplied.
+        got: usize,
+    },
 }
 
 impl core::fmt::Display for CryptoError {
@@ -70,6 +77,9 @@ impl core::fmt::Display for CryptoError {
             CryptoError::InvalidPublicKey => write!(f, "point is not on the secp256k1 curve"),
             CryptoError::InvalidSignature => write!(f, "signature components out of range"),
             CryptoError::InvalidRecoveryId(v) => write!(f, "invalid recovery id {v}"),
+            CryptoError::InvalidLength { expected, got } => {
+                write!(f, "signature must be {expected} bytes, got {got}")
+            }
         }
     }
 }
@@ -701,6 +711,21 @@ impl Signature {
             return Err(CryptoError::InvalidSignature);
         }
         Ok(signature)
+    }
+
+    /// Parses the 65-byte form from an arbitrary slice, checking the length
+    /// first — the entry point wire decoders use on untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] when the slice is not exactly
+    /// 65 bytes, then everything [`Signature::from_bytes`] rejects.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let exact: &[u8; 65] = bytes.try_into().map_err(|_| CryptoError::InvalidLength {
+            expected: 65,
+            got: bytes.len(),
+        })?;
+        Self::from_bytes(exact)
     }
 
     /// Returns `(r, s)` as scalars if both are in the valid range.

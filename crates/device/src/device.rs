@@ -394,6 +394,18 @@ impl Device {
         time
     }
 
+    /// Charges CPU time for encoding or decoding `bytes` of wire-format
+    /// data (RLP serialization is byte-sequential work on the Cortex-M3;
+    /// the model uses 2 µs per byte, ~500 KB/s, far below the crypto and
+    /// radio costs but no longer free). Returns the modelled time.
+    pub fn account_codec(&mut self, bytes: usize) -> Duration {
+        let start = self.meter.now();
+        let time = Duration::from_micros(2).saturating_mul(bytes as u32);
+        self.meter.record(PowerState::CpuActive, time);
+        self.log_activity("wire codec", start);
+        time
+    }
+
     /// Puts the device into LPM2 for `duration` (idle between protocol
     /// steps).
     pub fn sleep(&mut self, duration: Duration) {

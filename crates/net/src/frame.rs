@@ -5,9 +5,14 @@ use serde::{Deserialize, Serialize};
 /// Maximum physical-layer frame size for IEEE 802.15.4.
 pub const MAX_FRAME_SIZE: usize = 127;
 
-/// Bytes of header carried in every frame: source/destination short
-/// addresses, a message id, the fragment index and the fragment count.
+/// Bytes of header carried in every frame — the concrete layout of
+/// [`Frame::to_bytes`]: a flags/version byte, source/destination short
+/// addresses (2 bytes each), the 4-byte message id, the fragment index and
+/// the fragment count (1 byte each).
 pub const FRAME_HEADER_SIZE: usize = 11;
+
+/// Value of the flags/version byte every well-formed frame starts with.
+pub const FRAME_FLAGS_V1: u8 = 0x01;
 
 /// Maximum payload bytes per frame after the header.
 pub const MAX_FRAME_PAYLOAD: usize = MAX_FRAME_SIZE - FRAME_HEADER_SIZE;
@@ -36,6 +41,16 @@ pub enum FrameError {
         /// Number of frames supplied.
         got: usize,
     },
+    /// A fragment index or count does not fit the one-byte header field —
+    /// the message is too large for this link layer (≥ 256 fragments).
+    HeaderOverflow {
+        /// The offending fragment index.
+        index: u16,
+        /// The offending fragment count.
+        count: u16,
+    },
+    /// Frame bytes did not parse: too short, or an unknown flags byte.
+    BadHeader,
 }
 
 impl core::fmt::Display for FrameError {
@@ -50,6 +65,13 @@ impl core::fmt::Display for FrameError {
             FrameError::CountMismatch { declared, got } => {
                 write!(f, "expected {declared} fragments, got {got}")
             }
+            FrameError::HeaderOverflow { index, count } => {
+                write!(
+                    f,
+                    "fragment {index}/{count} does not fit the one-byte header field"
+                )
+            }
+            FrameError::BadHeader => write!(f, "frame header did not parse"),
         }
     }
 }
@@ -92,6 +114,57 @@ impl Frame {
             });
         }
         Ok(())
+    }
+
+    /// Serializes the frame to the bytes that actually go on the air:
+    /// the [`FRAME_HEADER_SIZE`]-byte header followed by the payload. The
+    /// result is always [`Frame::wire_size`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLarge`] past the MTU and
+    /// [`FrameError::HeaderOverflow`] when the fragment index or count
+    /// does not fit the one-byte header field.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, FrameError> {
+        self.validate()?;
+        if self.fragment_index > u16::from(u8::MAX) || self.fragment_count > u16::from(u8::MAX) {
+            return Err(FrameError::HeaderOverflow {
+                index: self.fragment_index,
+                count: self.fragment_count,
+            });
+        }
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_SIZE + self.payload.len());
+        bytes.push(FRAME_FLAGS_V1);
+        bytes.extend_from_slice(&self.source.to_be_bytes());
+        bytes.extend_from_slice(&self.destination.to_be_bytes());
+        bytes.extend_from_slice(&self.message_id.to_be_bytes());
+        bytes.push(self.fragment_index as u8);
+        bytes.push(self.fragment_count as u8);
+        bytes.extend_from_slice(&self.payload);
+        Ok(bytes)
+    }
+
+    /// Parses a frame from its on-air byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BadHeader`] when the buffer is shorter than
+    /// the header or carries unknown flags, and
+    /// [`FrameError::PayloadTooLarge`] past the MTU.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < FRAME_HEADER_SIZE || bytes[0] != FRAME_FLAGS_V1 {
+            return Err(FrameError::BadHeader);
+        }
+        let frame = Frame {
+            source: u16::from_be_bytes([bytes[1], bytes[2]]),
+            destination: u16::from_be_bytes([bytes[3], bytes[4]]),
+            message_id: u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]),
+            fragment_index: u16::from(bytes[9]),
+            fragment_count: u16::from(bytes[10]),
+            payload: bytes[FRAME_HEADER_SIZE..].to_vec(),
+        };
+        frame.validate()?;
+        Ok(frame)
     }
 }
 
@@ -278,6 +351,37 @@ mod tests {
     }
 
     #[test]
+    fn byte_form_round_trips() {
+        let message: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
+        for frame in fragment(0xBEEF, 0x0042, 0xDEAD_BEEF, &message) {
+            let bytes = frame.to_bytes().unwrap();
+            assert_eq!(bytes.len(), frame.wire_size());
+            assert_eq!(bytes[0], FRAME_FLAGS_V1);
+            assert_eq!(Frame::from_bytes(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn byte_form_rejects_overflow_and_bad_headers() {
+        let mut frame = fragment(1, 2, 7, b"x").remove(0);
+        frame.fragment_index = 300;
+        assert!(matches!(
+            frame.to_bytes(),
+            Err(FrameError::HeaderOverflow { index: 300, .. })
+        ));
+
+        assert_eq!(Frame::from_bytes(&[0u8; 5]), Err(FrameError::BadHeader));
+        let mut wrong_flags = fragment(1, 2, 7, b"x").remove(0).to_bytes().unwrap();
+        wrong_flags[0] = 0x7f;
+        assert_eq!(Frame::from_bytes(&wrong_flags), Err(FrameError::BadHeader));
+        let oversized = [&[FRAME_FLAGS_V1; 1][..], &[0u8; 200][..]].concat();
+        assert!(matches!(
+            Frame::from_bytes(&oversized),
+            Err(FrameError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
     fn error_display() {
         let errors = vec![
             FrameError::PayloadTooLarge { size: 200 },
@@ -288,6 +392,11 @@ mod tests {
                 declared: 4,
                 got: 2,
             },
+            FrameError::HeaderOverflow {
+                index: 256,
+                count: 300,
+            },
+            FrameError::BadHeader,
         ];
         for error in errors {
             assert!(!format!("{error}").is_empty());

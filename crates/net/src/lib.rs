@@ -26,5 +26,7 @@
 pub mod frame;
 pub mod link;
 
-pub use frame::{fragment, reassemble, Frame, FrameError, MAX_FRAME_PAYLOAD};
+pub use frame::{
+    fragment, reassemble, Frame, FrameError, FRAME_HEADER_SIZE, MAX_FRAME_PAYLOAD, MAX_FRAME_SIZE,
+};
 pub use link::{Link, LinkConfig, LinkError, LinkProfile, TransferReport};

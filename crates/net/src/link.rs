@@ -81,6 +81,8 @@ pub enum LinkError {
     },
     /// Reassembly on the receiving side failed.
     Reassembly(FrameError),
+    /// A frame could not be serialized to (or parsed from) its byte form.
+    Frame(FrameError),
 }
 
 impl core::fmt::Display for LinkError {
@@ -94,6 +96,7 @@ impl core::fmt::Display for LinkError {
                 "fragment {fragment_index} lost after {retries} retransmissions"
             ),
             LinkError::Reassembly(error) => write!(f, "reassembly failed: {error}"),
+            LinkError::Frame(error) => write!(f, "frame serialization failed: {error}"),
         }
     }
 }
@@ -204,17 +207,22 @@ impl Link {
         let mut wire_bytes = 0usize;
 
         for frame in &frames {
+            // What actually crosses the air is the frame's byte form; the
+            // receiving side parses it back. This keeps every reported
+            // wire byte literal, not an estimate.
+            let encoded = frame.to_bytes().map_err(LinkError::Frame)?;
+            debug_assert_eq!(encoded.len(), frame.wire_size());
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
-                let on_air = self.airtime(frame.wire_size());
+                let on_air = self.airtime(encoded.len());
                 tx_time += on_air;
-                wire_bytes += frame.wire_size();
+                wire_bytes += encoded.len();
                 let lost = self.config.loss_rate > 0.0
                     && self.rng.gen_bool(self.config.loss_rate.clamp(0.0, 0.999));
                 if !lost {
                     rx_time += on_air;
-                    delivered.push(frame.clone());
+                    delivered.push(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?);
                     break;
                 }
                 if attempts > self.config.max_retries {

@@ -70,6 +70,12 @@ pub enum ParseError {
     },
     /// The input was empty.
     Empty,
+    /// The input decoded, but is not the canonical (shortest) encoding of
+    /// its value — rejected so that every value has exactly one wire form.
+    NonCanonical {
+        /// What canonicality rule the input violated.
+        reason: &'static str,
+    },
 }
 
 impl core::fmt::Display for ParseError {
@@ -84,6 +90,9 @@ impl core::fmt::Display for ParseError {
                 write!(f, "wrong length: expected {expected} bytes, got {got}")
             }
             ParseError::Empty => write!(f, "empty input"),
+            ParseError::NonCanonical { reason } => {
+                write!(f, "non-canonical encoding: {reason}")
+            }
         }
     }
 }

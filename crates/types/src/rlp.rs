@@ -185,14 +185,77 @@ impl Item {
     pub fn as_u256(&self) -> Option<U256> {
         self.as_bytes().and_then(|b| U256::from_be_slice(b).ok())
     }
+
+    /// Interprets a byte string as a canonically encoded unsigned integer:
+    /// minimal big-endian, so leading zero bytes are rejected (`0` is the
+    /// empty string).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::NonCanonical`] on a leading zero,
+    /// [`ParseError::TooLong`] past 32 bytes, and [`ParseError::WrongLength`]
+    /// when the item is a list.
+    pub fn as_u256_canonical(&self) -> Result<U256, ParseError> {
+        let bytes = self.as_bytes().ok_or(ParseError::WrongLength {
+            expected: 0,
+            got: 0,
+        })?;
+        if bytes.first() == Some(&0) {
+            return Err(ParseError::NonCanonical {
+                reason: "integer has leading zero bytes",
+            });
+        }
+        U256::from_be_slice(bytes)
+    }
+
+    /// Interprets a byte string as a canonically encoded `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Item::as_u256_canonical`], plus [`ParseError::TooLong`] when the
+    /// value needs more than 8 bytes.
+    pub fn as_u64_canonical(&self) -> Result<u64, ParseError> {
+        let bytes = self.as_bytes().ok_or(ParseError::WrongLength {
+            expected: 0,
+            got: 0,
+        })?;
+        if bytes.first() == Some(&0) {
+            return Err(ParseError::NonCanonical {
+                reason: "integer has leading zero bytes",
+            });
+        }
+        if bytes.len() > 8 {
+            return Err(ParseError::TooLong {
+                max: 8,
+                got: bytes.len(),
+            });
+        }
+        let mut value = 0u64;
+        for &b in bytes {
+            value = (value << 8) | u64::from(b);
+        }
+        Ok(value)
+    }
 }
 
-/// Decodes a single top-level RLP item.
+/// Decodes a single top-level RLP item, accepting only canonical encodings.
+///
+/// Beyond structural validity, the decoder enforces the canonical-form rules
+/// a safe wire format needs — every byte string has exactly one encoding:
+///
+/// * a single byte below `0x80` must be encoded as itself, never as a
+///   one-byte string (`0x81 0x05` is rejected);
+/// * the long forms (`0xb8..=0xbf`, `0xf8..=0xff`) are only valid for
+///   payloads of 56 bytes or more, and their length bytes must not have
+///   leading zeros;
+/// * declared lengths are checked with overflow-safe arithmetic, so a
+///   nested item cannot wrap the length computation past `usize`.
 ///
 /// # Errors
 ///
 /// Returns [`ParseError::WrongLength`] when the input is truncated, has
-/// trailing bytes, or declares lengths that do not match the data.
+/// trailing bytes, or declares lengths that do not match the data, and
+/// [`ParseError::NonCanonical`] when the encoding is valid-but-redundant.
 pub fn decode(data: &[u8]) -> Result<Item, ParseError> {
     let (item, consumed) = decode_item(data)?;
     if consumed != data.len() {
@@ -213,17 +276,25 @@ fn decode_item(data: &[u8]) -> Result<(Item, usize), ParseError> {
         0x80..=0xb7 => {
             let len = (prefix - 0x80) as usize;
             expect_len(data, 1 + len)?;
+            if len == 1 && data[1] < 0x80 {
+                return Err(ParseError::NonCanonical {
+                    reason: "single byte below 0x80 must be encoded as itself",
+                });
+            }
             Ok((Item::Bytes(data[1..1 + len].to_vec()), 1 + len))
         }
         0xb8..=0xbf => {
             let len_of_len = (prefix - 0xb7) as usize;
             expect_len(data, 1 + len_of_len)?;
             let len = decode_big_endian_len(&data[1..1 + len_of_len])?;
-            expect_len(data, 1 + len_of_len + len)?;
-            Ok((
-                Item::Bytes(data[1 + len_of_len..1 + len_of_len + len].to_vec()),
-                1 + len_of_len + len,
-            ))
+            if len < 56 {
+                return Err(ParseError::NonCanonical {
+                    reason: "long-form string length below 56",
+                });
+            }
+            let total = checked_item_len(1 + len_of_len, len)?;
+            expect_len(data, total)?;
+            Ok((Item::Bytes(data[1 + len_of_len..total].to_vec()), total))
         }
         0xc0..=0xf7 => {
             let len = (prefix - 0xc0) as usize;
@@ -235,11 +306,25 @@ fn decode_item(data: &[u8]) -> Result<(Item, usize), ParseError> {
             let len_of_len = (prefix - 0xf7) as usize;
             expect_len(data, 1 + len_of_len)?;
             let len = decode_big_endian_len(&data[1..1 + len_of_len])?;
-            expect_len(data, 1 + len_of_len + len)?;
-            let items = decode_list_payload(&data[1 + len_of_len..1 + len_of_len + len])?;
-            Ok((Item::List(items), 1 + len_of_len + len))
+            if len < 56 {
+                return Err(ParseError::NonCanonical {
+                    reason: "long-form list length below 56",
+                });
+            }
+            let total = checked_item_len(1 + len_of_len, len)?;
+            expect_len(data, total)?;
+            let items = decode_list_payload(&data[1 + len_of_len..total])?;
+            Ok((Item::List(items), total))
         }
     }
+}
+
+/// `header + payload` with overflow detection, so a hostile length cannot
+/// wrap past `usize` and alias a shorter buffer.
+fn checked_item_len(header: usize, payload: usize) -> Result<usize, ParseError> {
+    header.checked_add(payload).ok_or(ParseError::NonCanonical {
+        reason: "declared length overflows usize",
+    })
 }
 
 fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, ParseError> {
@@ -257,6 +342,16 @@ fn decode_big_endian_len(bytes: &[u8]) -> Result<usize, ParseError> {
         return Err(ParseError::WrongLength {
             expected: 8,
             got: bytes.len(),
+        });
+    }
+    if bytes[0] == 0 {
+        return Err(ParseError::NonCanonical {
+            reason: "length bytes have a leading zero",
+        });
+    }
+    if bytes.len() > core::mem::size_of::<usize>() {
+        return Err(ParseError::NonCanonical {
+            reason: "declared length overflows usize",
         });
     }
     let mut len = 0usize;
@@ -392,6 +487,77 @@ mod tests {
         assert!(decode(&[0x83, b'd', b'o']).is_err());
         assert!(decode(&[0x00, 0x01]).is_err()); // trailing byte
         assert!(decode(&[0xb8]).is_err()); // missing length byte
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_single_byte() {
+        // 0x05 long-form encoded: structurally fine, canonically illegal.
+        assert_eq!(
+            decode(&[0x81, 0x05]),
+            Err(ParseError::NonCanonical {
+                reason: "single byte below 0x80 must be encoded as itself",
+            })
+        );
+        // 0x80 and above genuinely need the long form.
+        assert_eq!(decode(&[0x81, 0x80]).unwrap(), Item::Bytes(vec![0x80]));
+    }
+
+    #[test]
+    fn decode_rejects_redundant_long_forms() {
+        // A 3-byte string declared with a length-of-length prefix.
+        assert!(matches!(
+            decode(&[0xb8, 0x03, b'd', b'o', b'g']),
+            Err(ParseError::NonCanonical { .. })
+        ));
+        // Same for a short list wrapped in the long-list form.
+        assert!(matches!(
+            decode(&[0xf8, 0x02, 0x61, 0x62]),
+            Err(ParseError::NonCanonical { .. })
+        ));
+        // Leading zero in the length bytes.
+        let mut padded = vec![0xb9, 0x00, 0x38];
+        padded.extend_from_slice(&[b'a'; 56]);
+        assert!(matches!(
+            decode(&padded),
+            Err(ParseError::NonCanonical { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_length_overflow() {
+        // Declared payload length of u64::MAX: the header+payload sum would
+        // wrap usize; must error, not panic or alias.
+        let hostile = [0xbf, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
+        assert!(decode(&hostile).is_err());
+        let hostile_list = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
+        assert!(decode(&hostile_list).is_err());
+    }
+
+    #[test]
+    fn canonical_integer_accessors() {
+        let ok = Item::Bytes(vec![0x04, 0x00]);
+        assert_eq!(ok.as_u64_canonical().unwrap(), 1024);
+        assert_eq!(ok.as_u256_canonical().unwrap(), U256::from(1024u64));
+
+        let zero = Item::Bytes(Vec::new());
+        assert_eq!(zero.as_u64_canonical().unwrap(), 0);
+
+        let padded = Item::Bytes(vec![0x00, 0x04]);
+        assert!(matches!(
+            padded.as_u64_canonical(),
+            Err(ParseError::NonCanonical { .. })
+        ));
+        assert!(matches!(
+            padded.as_u256_canonical(),
+            Err(ParseError::NonCanonical { .. })
+        ));
+
+        let wide = Item::Bytes(vec![0x01; 9]);
+        assert!(matches!(
+            wide.as_u64_canonical(),
+            Err(ParseError::TooLong { .. })
+        ));
+        assert!(Item::List(Vec::new()).as_u64_canonical().is_err());
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! The [`Encodable`] / [`Decodable`] trait pair and decoding helpers.
+//!
+//! Every protocol object serializes to a *canonical* RLP item: integers are
+//! minimal big-endian byte strings, fixed-width values (addresses, hashes,
+//! signatures) are fixed-length byte strings, and structs are positional
+//! lists. Decoding goes through [`tinyevm_types::rlp::decode`], which
+//! rejects every non-canonical encoding, so `encode(decode(bytes)) ==
+//! bytes` holds for all accepted inputs — a prerequisite for signing and
+//! hashing wire bytes directly.
+
+use tinyevm_crypto::secp256k1::{CryptoError, Signature};
+use tinyevm_net::FrameError;
+use tinyevm_types::rlp::{self, Item, RlpStream};
+use tinyevm_types::{Address, ParseError, Wei, H256, U256};
+
+/// Errors produced while decoding wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The RLP layer rejected the bytes (truncated, trailing, or
+    /// non-canonical).
+    Rlp(ParseError),
+    /// An item had the wrong shape (list where bytes were expected, or vice
+    /// versa).
+    Type {
+        /// What the decoder expected at this position.
+        expected: &'static str,
+    },
+    /// A list had the wrong number of fields.
+    Arity {
+        /// Fields the type requires.
+        expected: usize,
+        /// Fields the list carried.
+        got: usize,
+    },
+    /// A fixed-width field had the wrong byte length.
+    Length {
+        /// Required byte length.
+        expected: usize,
+        /// Supplied byte length.
+        got: usize,
+    },
+    /// The envelope declared a wire version this implementation does not
+    /// speak.
+    UnsupportedVersion(u64),
+    /// The envelope carried an unknown message tag.
+    UnknownTag(u64),
+    /// An embedded signature failed structural validation.
+    Signature(CryptoError),
+    /// A field decoded but carried a semantically invalid value.
+    Value(&'static str),
+    /// A persistence file did not start with the snapshot magic.
+    BadMagic,
+    /// A persistence record or file was shorter than its declared length.
+    Truncated,
+    /// Frame-level reassembly failed in the transport helpers.
+    Frame(FrameError),
+    /// Reading or writing a persistence file failed.
+    Io(String),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Rlp(error) => write!(f, "rlp: {error}"),
+            WireError::Type { expected } => write!(f, "wrong item type, expected {expected}"),
+            WireError::Arity { expected, got } => {
+                write!(f, "wrong field count: expected {expected}, got {got}")
+            }
+            WireError::Length { expected, got } => {
+                write!(
+                    f,
+                    "wrong field length: expected {expected} bytes, got {got}"
+                )
+            }
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Signature(error) => write!(f, "bad signature encoding: {error}"),
+            WireError::Value(what) => write!(f, "invalid value: {what}"),
+            WireError::BadMagic => write!(f, "not a tinyevm-wire file (bad magic)"),
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::Frame(error) => write!(f, "frame transport: {error}"),
+            WireError::Io(message) => write!(f, "io: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ParseError> for WireError {
+    fn from(error: ParseError) -> Self {
+        WireError::Rlp(error)
+    }
+}
+
+impl From<CryptoError> for WireError {
+    fn from(error: CryptoError) -> Self {
+        WireError::Signature(error)
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(error: FrameError) -> Self {
+        WireError::Frame(error)
+    }
+}
+
+/// Serialization to a complete, canonical RLP item.
+pub trait Encodable {
+    /// Encodes `self` as one RLP item (byte string or list).
+    fn encode(&self) -> Vec<u8>;
+}
+
+/// Deserialization from a decoded RLP item.
+pub trait Decodable: Sized {
+    /// Builds `Self` from a decoded RLP item.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first field that did not
+    /// match the type's schema.
+    fn decode_item(item: &Item) -> Result<Self, WireError>;
+
+    /// Decodes `Self` from raw bytes (canonical RLP).
+    ///
+    /// # Errors
+    ///
+    /// As [`Decodable::decode_item`], plus the RLP layer's rejections.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        Self::decode_item(&rlp::decode(bytes)?)
+    }
+}
+
+/// Borrows a list of exactly `arity` items.
+///
+/// # Errors
+///
+/// Returns [`WireError::Type`] for a byte string and [`WireError::Arity`]
+/// for a list of the wrong length.
+pub fn expect_list(item: &Item, arity: usize) -> Result<&[Item], WireError> {
+    let items = item.as_list().ok_or(WireError::Type { expected: "list" })?;
+    if items.len() != arity {
+        return Err(WireError::Arity {
+            expected: arity,
+            got: items.len(),
+        });
+    }
+    Ok(items)
+}
+
+/// Borrows a byte-string item.
+///
+/// # Errors
+///
+/// Returns [`WireError::Type`] for a list.
+pub fn expect_bytes(item: &Item) -> Result<&[u8], WireError> {
+    item.as_bytes().ok_or(WireError::Type { expected: "bytes" })
+}
+
+/// Decodes a canonical unsigned 64-bit integer field.
+///
+/// # Errors
+///
+/// Rejects lists (as [`WireError::Type`], so the diagnostic names the
+/// mismatch), leading zeros and values wider than 8 bytes.
+pub fn field_u64(item: &Item) -> Result<u64, WireError> {
+    expect_bytes(item)?;
+    Ok(item.as_u64_canonical()?)
+}
+
+/// Decodes a canonical 256-bit unsigned integer field.
+///
+/// # Errors
+///
+/// Rejects lists (as [`WireError::Type`]), leading zeros and values wider
+/// than 32 bytes.
+pub fn field_u256(item: &Item) -> Result<U256, WireError> {
+    expect_bytes(item)?;
+    Ok(item.as_u256_canonical()?)
+}
+
+/// Decodes a [`Wei`] amount field.
+///
+/// # Errors
+///
+/// As [`field_u256`].
+pub fn field_wei(item: &Item) -> Result<Wei, WireError> {
+    Ok(Wei::from(field_u256(item)?))
+}
+
+/// Decodes a 20-byte address field.
+///
+/// # Errors
+///
+/// Returns [`WireError::Length`] unless the field is exactly 20 bytes.
+pub fn field_address(item: &Item) -> Result<Address, WireError> {
+    let bytes = expect_bytes(item)?;
+    Address::from_slice(bytes).map_err(|_| WireError::Length {
+        expected: 20,
+        got: bytes.len(),
+    })
+}
+
+/// Decodes a 32-byte hash field.
+///
+/// # Errors
+///
+/// Returns [`WireError::Length`] unless the field is exactly 32 bytes.
+pub fn field_h256(item: &Item) -> Result<H256, WireError> {
+    let bytes = expect_bytes(item)?;
+    H256::from_slice(bytes).map_err(|_| WireError::Length {
+        expected: 32,
+        got: bytes.len(),
+    })
+}
+
+/// Decodes a 65-byte recoverable signature field.
+///
+/// # Errors
+///
+/// Returns [`WireError::Signature`] when the length or components are
+/// invalid.
+pub fn field_signature(item: &Item) -> Result<Signature, WireError> {
+    Ok(Signature::from_slice(expect_bytes(item)?)?)
+}
+
+/// Decodes a boolean encoded as the integers 0 / 1.
+///
+/// # Errors
+///
+/// Returns [`WireError::Value`] for any other integer.
+pub fn field_bool(item: &Item) -> Result<bool, WireError> {
+    match field_u64(item)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Value("boolean must be 0 or 1")),
+    }
+}
+
+/// Appends a boolean as the canonical integer 0 / 1.
+pub fn append_bool(stream: &mut RlpStream, value: bool) {
+    stream.append_u64(u64::from(value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_helpers_accept_canonical_and_reject_junk() {
+        let ok = Item::Bytes(vec![0x12, 0x34]);
+        assert_eq!(field_u64(&ok).unwrap(), 0x1234);
+        assert_eq!(field_u256(&ok).unwrap(), U256::from(0x1234u64));
+        assert_eq!(field_wei(&ok).unwrap(), Wei::from(0x1234u64));
+
+        let padded = Item::Bytes(vec![0x00, 0x34]);
+        assert!(field_u64(&padded).is_err());
+
+        let list = Item::List(vec![]);
+        assert!(field_u64(&list).is_err());
+        assert!(field_address(&list).is_err());
+        assert!(expect_bytes(&list).is_err());
+        assert!(matches!(
+            expect_list(&ok, 1),
+            Err(WireError::Type { expected: "list" })
+        ));
+        assert!(matches!(
+            expect_list(&Item::List(vec![ok.clone()]), 2),
+            Err(WireError::Arity {
+                expected: 2,
+                got: 1
+            })
+        ));
+
+        let short_address = Item::Bytes(vec![1, 2, 3]);
+        assert!(matches!(
+            field_address(&short_address),
+            Err(WireError::Length {
+                expected: 20,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            field_h256(&short_address),
+            Err(WireError::Length {
+                expected: 32,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            field_signature(&short_address),
+            Err(WireError::Signature(_))
+        ));
+    }
+
+    #[test]
+    fn booleans_are_zero_or_one() {
+        assert!(!field_bool(&Item::Bytes(vec![])).unwrap());
+        assert!(field_bool(&Item::Bytes(vec![1])).unwrap());
+        assert!(field_bool(&Item::Bytes(vec![2])).is_err());
+
+        let mut stream = RlpStream::new_list(2);
+        append_bool(&mut stream, false);
+        append_bool(&mut stream, true);
+        assert_eq!(stream.finish(), vec![0xc2, 0x80, 0x01]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let errors: Vec<WireError> = vec![
+            WireError::Rlp(ParseError::Empty),
+            WireError::Type { expected: "list" },
+            WireError::Arity {
+                expected: 5,
+                got: 3,
+            },
+            WireError::Length {
+                expected: 20,
+                got: 3,
+            },
+            WireError::UnsupportedVersion(9),
+            WireError::UnknownTag(42),
+            WireError::Signature(CryptoError::InvalidSignature),
+            WireError::Value("nope"),
+            WireError::BadMagic,
+            WireError::Truncated,
+            WireError::Io("disk on fire".to_string()),
+        ];
+        for error in errors {
+            assert!(!format!("{error}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The canonical wire format for TinyEVM protocol objects.
+//!
+//! The paper's central claim is that a signed off-chain payment produced on
+//! an IoT device is a *stand-alone artifact*: it crosses an 802.15.4 radio,
+//! survives a power cycle on disk, and verifies on any Ethereum-style node.
+//! This crate is that artifact layer. Every protocol object — channel-open,
+//! signed payment, acknowledgement, commit, sensor reading, chain and
+//! channel snapshots — implements one [`Encodable`] / [`Decodable`] pair
+//! over canonical RLP, and everything that moves or persists goes through
+//! the same [`Message`] envelope.
+//!
+//! ## Encoding spec
+//!
+//! | layer | format |
+//! |---|---|
+//! | item | canonical RLP: minimal integers, fixed-width byte strings, positional lists |
+//! | envelope | `[version, tag, payload]` — see [`Message`] for the tag table |
+//! | radio | envelope fragmented into 127-byte 802.15.4 frames ([`transport`]) |
+//! | disk | `TEVMWIR\x01` magic + 4-byte BE length-prefixed envelopes ([`persist`]) |
+//!
+//! Canonicality is enforced on *decode* (the hardened
+//! [`tinyevm_types::rlp::decode`] rejects redundant encodings), which gives
+//! the round-trip law the test suites pin:
+//!
+//! `encode → fragment → reassemble → decode == identity`, and
+//! `decode(bytes)` succeeds ⟹ `encode(decode(bytes)) == bytes`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tinyevm_wire::{Message, SensorReading, transport};
+//! use tinyevm_types::U256;
+//!
+//! let message = Message::SensorReading(SensorReading {
+//!     peripheral: 2,
+//!     value: U256::from(2150u64),
+//! });
+//! // Over the radio: encode, fragment, reassemble, decode.
+//! let frames = transport::to_frames(&message, 0x0001, 0x0002, 1);
+//! let delivered = transport::from_frames(&frames).unwrap();
+//! assert_eq!(delivered, message);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod message;
+pub mod payment;
+pub mod persist;
+pub mod snapshot;
+pub mod transport;
+
+pub use codec::{Decodable, Encodable, WireError};
+pub use message::{ChannelOpen, Message, PaymentAck, SensorReading, WIRE_VERSION};
+pub use payment::{PaymentError, SignedPayment};
+pub use snapshot::{ChainSnapshot, ChannelSnapshot, EndpointRole, SideChainEntryRecord};

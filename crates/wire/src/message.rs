@@ -1,0 +1,400 @@
+//! The protocol message envelope.
+//!
+//! Every byte string that crosses the radio (or lands on disk) is a
+//! [`Message`]: a canonical RLP list `[version, tag, payload]` where
+//! `version` is [`WIRE_VERSION`], `tag` identifies the variant and
+//! `payload` is the variant's own RLP item. The envelope is what makes a
+//! TinyEVM artifact *stand-alone*: a receiver that knows nothing about the
+//! session can classify and decode it, and a future implementation can
+//! bump the version without breaking old verifiers.
+//!
+//! ## Encoding spec
+//!
+//! | tag | variant | payload |
+//! |-----|---------|---------|
+//! | 1 | [`ChannelOpen`] | `[template, channel_id, sender, receiver, deposit_cap]` |
+//! | 2 | [`SensorReading`] | `[peripheral, value]` |
+//! | 3 | [`SignedPayment`] | `[template, channel_id, sequence, cumulative, sensor_hash, signature]` |
+//! | 4 | [`PaymentAck`] | `[channel_id, sequence, signature]` |
+//! | 5 | `ChannelClose` | `[[template, channel_id, sequence, total, sensor_hash], sender_sig, receiver_sig]` |
+//! | 6 | `ChannelSnapshot` | see [`crate::snapshot::ChannelSnapshot`] |
+//! | 7 | `ChainSnapshot` | see [`crate::snapshot::ChainSnapshot`] |
+
+use tinyevm_chain::{ChannelState, CommitEnvelope};
+use tinyevm_types::rlp::{self, Item, RlpStream};
+use tinyevm_types::{Address, Wei, U256};
+
+use crate::codec::{
+    expect_list, field_address, field_h256, field_signature, field_u256, field_u64, field_wei,
+    Decodable, Encodable, WireError,
+};
+use crate::payment::SignedPayment;
+use crate::snapshot::{ChainSnapshot, ChannelSnapshot};
+
+/// The wire format version this implementation speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Phase-2 channel-open handshake: the sender proposes the channel
+/// parameters both endpoints will instantiate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelOpen {
+    /// On-chain template address.
+    pub template: Address,
+    /// Channel id issued by the template's logical clock.
+    pub channel_id: u64,
+    /// The paying party.
+    pub sender: Address,
+    /// The receiving party.
+    pub receiver: Address,
+    /// Deposit cap bounding the channel's cumulative payments.
+    pub deposit_cap: Wei,
+}
+
+impl Encodable for ChannelOpen {
+    fn encode(&self) -> Vec<u8> {
+        let mut stream = RlpStream::new_list(5);
+        stream.append_address(&self.template);
+        stream.append_u64(self.channel_id);
+        stream.append_address(&self.sender);
+        stream.append_address(&self.receiver);
+        stream.append_u256(&self.deposit_cap.amount());
+        stream.finish()
+    }
+}
+
+impl Decodable for ChannelOpen {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 5)?;
+        Ok(ChannelOpen {
+            template: field_address(&fields[0])?,
+            channel_id: field_u64(&fields[1])?,
+            sender: field_address(&fields[2])?,
+            receiver: field_address(&fields[3])?,
+            deposit_cap: field_wei(&fields[4])?,
+        })
+    }
+}
+
+/// A sensor reading exchanged while negotiating a price.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorReading {
+    /// Peripheral identifier (see `tinyevm_device::sensors`).
+    pub peripheral: u64,
+    /// The raw 256-bit reading, as the IoT opcode returns it.
+    pub value: U256,
+}
+
+impl Encodable for SensorReading {
+    fn encode(&self) -> Vec<u8> {
+        let mut stream = RlpStream::new_list(2);
+        stream.append_u64(self.peripheral);
+        stream.append_u256(&self.value);
+        stream.finish()
+    }
+}
+
+impl Decodable for SensorReading {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 2)?;
+        Ok(SensorReading {
+            peripheral: field_u64(&fields[0])?,
+            value: field_u256(&fields[1])?,
+        })
+    }
+}
+
+/// The receiver's acknowledgement of a payment: it signs the same payload
+/// digest the payer signed, proving it accepted that exact state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentAck {
+    /// Channel the acknowledged payment belongs to.
+    pub channel_id: u64,
+    /// Sequence number being acknowledged.
+    pub sequence: u64,
+    /// The receiver's signature over the payment's payload digest.
+    pub signature: tinyevm_crypto::secp256k1::Signature,
+}
+
+impl Encodable for PaymentAck {
+    fn encode(&self) -> Vec<u8> {
+        let mut stream = RlpStream::new_list(3);
+        stream.append_u64(self.channel_id);
+        stream.append_u64(self.sequence);
+        stream.append_bytes(&self.signature.to_bytes());
+        stream.finish()
+    }
+}
+
+impl Decodable for PaymentAck {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 3)?;
+        Ok(PaymentAck {
+            channel_id: field_u64(&fields[0])?,
+            sequence: field_u64(&fields[1])?,
+            signature: field_signature(&fields[2])?,
+        })
+    }
+}
+
+impl Encodable for ChannelState {
+    /// Delegates to [`ChannelState::encode`] so the wire item is exactly
+    /// the byte string both parties signed.
+    fn encode(&self) -> Vec<u8> {
+        ChannelState::encode(self)
+    }
+}
+
+impl Decodable for ChannelState {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 5)?;
+        Ok(ChannelState {
+            template: field_address(&fields[0])?,
+            channel_id: field_u64(&fields[1])?,
+            sequence: field_u64(&fields[2])?,
+            total_to_receiver: field_wei(&fields[3])?,
+            sensor_data_hash: field_h256(&fields[4])?,
+        })
+    }
+}
+
+impl Encodable for CommitEnvelope {
+    fn encode(&self) -> Vec<u8> {
+        let mut stream = RlpStream::new_list(3);
+        stream.append_raw(&Encodable::encode(&self.state));
+        stream.append_bytes(&self.sender_signature.to_bytes());
+        stream.append_bytes(&self.receiver_signature.to_bytes());
+        stream.finish()
+    }
+}
+
+impl Decodable for CommitEnvelope {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 3)?;
+        Ok(CommitEnvelope {
+            state: ChannelState::decode_item(&fields[0])?,
+            sender_signature: field_signature(&fields[1])?,
+            receiver_signature: field_signature(&fields[2])?,
+        })
+    }
+}
+
+/// Every protocol object that crosses the radio or lands on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Phase-2 handshake proposing the channel parameters.
+    ChannelOpen(ChannelOpen),
+    /// A sensor reading feeding the price negotiation.
+    SensorReading(SensorReading),
+    /// One signed off-chain payment.
+    Payment(SignedPayment),
+    /// The receiver's signed acknowledgement of a payment.
+    PaymentAck(PaymentAck),
+    /// The dual-signed final state submitted on-chain (phase 3).
+    ChannelClose(CommitEnvelope),
+    /// A persisted channel endpoint.
+    ChannelSnapshot(ChannelSnapshot),
+    /// A persisted chain.
+    ChainSnapshot(ChainSnapshot),
+}
+
+impl Message {
+    /// The envelope tag of this variant.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::ChannelOpen(_) => 1,
+            Message::SensorReading(_) => 2,
+            Message::Payment(_) => 3,
+            Message::PaymentAck(_) => 4,
+            Message::ChannelClose(_) => 5,
+            Message::ChannelSnapshot(_) => 6,
+            Message::ChainSnapshot(_) => 7,
+        }
+    }
+
+    /// A short human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::ChannelOpen(_) => "channel-open",
+            Message::SensorReading(_) => "sensor-reading",
+            Message::Payment(_) => "payment",
+            Message::PaymentAck(_) => "payment-ack",
+            Message::ChannelClose(_) => "channel-close",
+            Message::ChannelSnapshot(_) => "channel-snapshot",
+            Message::ChainSnapshot(_) => "chain-snapshot",
+        }
+    }
+
+    /// Serializes the full envelope: `[version, tag, payload]`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let payload = match self {
+            Message::ChannelOpen(inner) => inner.encode(),
+            Message::SensorReading(inner) => inner.encode(),
+            Message::Payment(inner) => inner.encode(),
+            Message::PaymentAck(inner) => inner.encode(),
+            Message::ChannelClose(inner) => inner.encode(),
+            Message::ChannelSnapshot(inner) => inner.encode(),
+            Message::ChainSnapshot(inner) => inner.encode(),
+        };
+        let mut stream = RlpStream::new_list(3);
+        stream.append_u64(u64::from(WIRE_VERSION));
+        stream.append_u64(u64::from(self.tag()));
+        stream.append_raw(&payload);
+        stream.finish()
+    }
+
+    /// Parses an envelope from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnsupportedVersion`] / [`WireError::UnknownTag`]
+    /// for foreign envelopes, and the payload's schema errors otherwise.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let item = rlp::decode(bytes)?;
+        let fields = expect_list(&item, 3)?;
+        let version = field_u64(&fields[0])?;
+        if version != u64::from(WIRE_VERSION) {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let tag = field_u64(&fields[1])?;
+        let payload = &fields[2];
+        match tag {
+            1 => Ok(Message::ChannelOpen(ChannelOpen::decode_item(payload)?)),
+            2 => Ok(Message::SensorReading(SensorReading::decode_item(payload)?)),
+            3 => Ok(Message::Payment(SignedPayment::decode_item(payload)?)),
+            4 => Ok(Message::PaymentAck(PaymentAck::decode_item(payload)?)),
+            5 => Ok(Message::ChannelClose(CommitEnvelope::decode_item(payload)?)),
+            6 => Ok(Message::ChannelSnapshot(ChannelSnapshot::decode_item(
+                payload,
+            )?)),
+            7 => Ok(Message::ChainSnapshot(ChainSnapshot::decode_item(payload)?)),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    /// Size of the serialized envelope in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyevm_crypto::secp256k1::PrivateKey;
+    use tinyevm_types::H256;
+
+    fn key() -> PrivateKey {
+        PrivateKey::from_seed(b"envelope tests")
+    }
+
+    fn sample_open() -> Message {
+        Message::ChannelOpen(ChannelOpen {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sender: Address::from_low_u64(0x51),
+            receiver: Address::from_low_u64(0x52),
+            deposit_cap: Wei::from(1_000_000u64),
+        })
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let payment = SignedPayment::create(
+            &key(),
+            Address::from_low_u64(0xAA),
+            1,
+            2,
+            Wei::from(500u64),
+            H256::from_low_u64(0xfeed),
+        );
+        let state = ChannelState {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sequence: 3,
+            total_to_receiver: Wei::from(500u64),
+            sensor_data_hash: H256::from_low_u64(0xfeed),
+        };
+        let digest = state.digest();
+        let messages = vec![
+            sample_open(),
+            Message::SensorReading(SensorReading {
+                peripheral: 2,
+                value: U256::from(2150u64),
+            }),
+            Message::Payment(payment.clone()),
+            Message::PaymentAck(PaymentAck {
+                channel_id: 1,
+                sequence: 2,
+                signature: key().sign_prehashed(&payment.digest()),
+            }),
+            Message::ChannelClose(CommitEnvelope {
+                state,
+                sender_signature: key().sign_prehashed(&digest),
+                receiver_signature: key().sign_prehashed(&digest),
+            }),
+        ];
+        for message in messages {
+            let wire = message.to_wire();
+            assert_eq!(wire.len(), message.wire_size());
+            let decoded = Message::from_wire(&wire).unwrap();
+            assert_eq!(decoded, message);
+            // Canonical: the round trip reproduces the exact bytes.
+            assert_eq!(decoded.to_wire(), wire);
+            assert!(!message.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_foreign_versions_and_tags() {
+        let Message::ChannelOpen(open) = sample_open() else {
+            unreachable!()
+        };
+        let mut wrong_version = RlpStream::new_list(3);
+        wrong_version.append_u64(99);
+        wrong_version.append_u64(1);
+        wrong_version.append_raw(&open.encode());
+        assert_eq!(
+            Message::from_wire(&wrong_version.finish()),
+            Err(WireError::UnsupportedVersion(99))
+        );
+
+        let mut unknown_tag = RlpStream::new_list(3);
+        unknown_tag.append_u64(u64::from(WIRE_VERSION));
+        unknown_tag.append_u64(42);
+        unknown_tag.append_raw(&RlpStream::new_list(0).finish());
+        assert_eq!(
+            Message::from_wire(&unknown_tag.finish()),
+            Err(WireError::UnknownTag(42))
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_non_canonical_bytes() {
+        let wire = sample_open().to_wire();
+        // Re-encode the envelope's version byte long-form (0x81 0x01): same
+        // structure, non-canonical encoding — the decoder must refuse.
+        assert_eq!(wire[0], 0xf8, "envelope uses the long list form");
+        let mut mangled = vec![0xf8, wire[1] + 1, 0x81];
+        mangled.extend_from_slice(&wire[2..]);
+        assert!(Message::from_wire(&mangled).is_err());
+        // Truncation and trailing garbage.
+        assert!(Message::from_wire(&wire[..wire.len() - 1]).is_err());
+        let mut trailing = wire.clone();
+        trailing.push(0x00);
+        assert!(Message::from_wire(&trailing).is_err());
+    }
+
+    #[test]
+    fn channel_state_wire_item_is_the_signed_encoding() {
+        let state = ChannelState {
+            template: Address::from_low_u64(7),
+            channel_id: 2,
+            sequence: 9,
+            total_to_receiver: Wei::from(123u64),
+            sensor_data_hash: H256::from_low_u64(5),
+        };
+        assert_eq!(Encodable::encode(&state), ChannelState::encode(&state));
+        let decoded = <ChannelState as Decodable>::decode(&ChannelState::encode(&state)).unwrap();
+        assert_eq!(decoded, state);
+    }
+}

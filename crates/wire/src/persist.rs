@@ -1,0 +1,190 @@
+//! Disk persistence: length-prefixed message records.
+//!
+//! A persistence file is the 8-byte magic [`SNAPSHOT_MAGIC`] followed by
+//! zero or more records, each a 4-byte big-endian length prefix and one
+//! [`Message`] envelope. The length prefix makes the file a valid *stream*
+//! format too: records can be appended (`append_message`) without
+//! rewriting, and a reader can skip records it does not care about without
+//! decoding them. A device that power-cycles mid-session writes its channel
+//! snapshot as one record and its gateway's chain snapshot as another, and
+//! restores both on boot.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::codec::WireError;
+use crate::message::Message;
+
+/// File magic: `TEVMWIR` plus a format-version byte.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TEVMWIR\x01";
+
+/// Maximum size of a single record (16 MiB) — a sanity bound so a corrupt
+/// length prefix cannot drive a huge allocation.
+pub const MAX_RECORD_SIZE: usize = 16 * 1024 * 1024;
+
+/// Serializes one message as a length-prefixed record.
+pub fn to_record(message: &Message) -> Vec<u8> {
+    let wire = message.to_wire();
+    let mut record = Vec::with_capacity(4 + wire.len());
+    record.extend_from_slice(&(wire.len() as u32).to_be_bytes());
+    record.extend_from_slice(&wire);
+    record
+}
+
+/// Splits a buffer of concatenated records back into messages.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] when a length prefix overruns the
+/// buffer and the decoder's errors for each record's payload.
+pub fn from_records(mut buffer: &[u8]) -> Result<Vec<Message>, WireError> {
+    let mut messages = Vec::new();
+    while !buffer.is_empty() {
+        if buffer.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let declared = u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]) as usize;
+        if declared > MAX_RECORD_SIZE || buffer.len() < 4 + declared {
+            return Err(WireError::Truncated);
+        }
+        messages.push(Message::from_wire(&buffer[4..4 + declared])?);
+        buffer = &buffer[4 + declared..];
+    }
+    Ok(messages)
+}
+
+/// Writes messages to a fresh persistence file (magic + records).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on filesystem failure.
+pub fn write_messages(path: &Path, messages: &[Message]) -> Result<(), WireError> {
+    let mut buffer = Vec::with_capacity(64);
+    buffer.extend_from_slice(&SNAPSHOT_MAGIC);
+    for message in messages {
+        buffer.extend_from_slice(&to_record(message));
+    }
+    fs::write(path, buffer).map_err(|error| WireError::Io(error.to_string()))
+}
+
+/// Appends one record to an existing persistence file (creating it, magic
+/// included, when absent).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on filesystem failure.
+pub fn append_message(path: &Path, message: &Message) -> Result<(), WireError> {
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|error| WireError::Io(error.to_string()))?;
+    // Write the magic whenever the file is empty — judged from the opened
+    // handle, not a racy pre-open existence check, so a crash that left a
+    // zero-length file behind heals on the next append.
+    let is_empty = file
+        .metadata()
+        .map_err(|error| WireError::Io(error.to_string()))?
+        .len()
+        == 0;
+    if is_empty {
+        file.write_all(&SNAPSHOT_MAGIC)
+            .map_err(|error| WireError::Io(error.to_string()))?;
+    }
+    file.write_all(&to_record(message))
+        .map_err(|error| WireError::Io(error.to_string()))
+}
+
+/// Reads every message from a persistence file.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadMagic`] for a foreign file, [`WireError::Io`]
+/// on filesystem failure, and the record / decode errors otherwise.
+pub fn read_messages(path: &Path) -> Result<Vec<Message>, WireError> {
+    let bytes = fs::read(path).map_err(|error| WireError::Io(error.to_string()))?;
+    if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    from_records(&bytes[SNAPSHOT_MAGIC.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SensorReading;
+    use tinyevm_types::U256;
+
+    fn reading(value: u64) -> Message {
+        Message::SensorReading(SensorReading {
+            peripheral: 2,
+            value: U256::from(value),
+        })
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-wire-{name}-{}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn records_round_trip_in_memory() {
+        let messages = vec![reading(1), reading(2150), reading(u64::MAX)];
+        let mut buffer = Vec::new();
+        for message in &messages {
+            buffer.extend_from_slice(&to_record(message));
+        }
+        assert_eq!(from_records(&buffer).unwrap(), messages);
+        assert_eq!(from_records(&[]).unwrap(), Vec::<Message>::new());
+    }
+
+    #[test]
+    fn truncated_records_are_rejected() {
+        let record = to_record(&reading(7));
+        assert_eq!(from_records(&record[..3]), Err(WireError::Truncated));
+        assert_eq!(
+            from_records(&record[..record.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        // A hostile length prefix larger than the sanity bound.
+        let hostile = [0xff, 0xff, 0xff, 0xff, 0x00];
+        assert_eq!(from_records(&hostile), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn file_round_trip_with_magic_and_append() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        write_messages(&path, &[reading(1), reading(2)]).unwrap();
+        append_message(&path, &reading(3)).unwrap();
+        let read = read_messages(&path).unwrap();
+        assert_eq!(read, vec![reading(1), reading(2), reading(3)]);
+        std::fs::remove_file(&path).unwrap();
+
+        // Appending to a missing file creates it with the magic.
+        append_message(&path, &reading(9)).unwrap();
+        assert_eq!(read_messages(&path).unwrap(), vec![reading(9)]);
+        std::fs::remove_file(&path).unwrap();
+
+        // A zero-length leftover (crash before the magic was written)
+        // heals on the next append instead of corrupting the file.
+        std::fs::write(&path, b"").unwrap();
+        append_message(&path, &reading(11)).unwrap();
+        assert_eq!(read_messages(&path).unwrap(), vec![reading(11)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"not a tinyevm file").unwrap();
+        assert_eq!(read_messages(&path), Err(WireError::BadMagic));
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            read_messages(&temp_path("missing")),
+            Err(WireError::Io(_))
+        ));
+    }
+}

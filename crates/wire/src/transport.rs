@@ -1,0 +1,96 @@
+//! Carrying messages over 802.15.4 frames.
+//!
+//! These helpers pair the envelope codec with `tinyevm-net`'s
+//! fragmentation: [`to_frames`] encodes a [`Message`] and splits it into
+//! MTU-sized [`Frame`]s, [`from_frames`] reassembles and decodes on the far
+//! side. `encode → fragment → reassemble → decode` is the identity — the
+//! property the wire-format test suite pins for every message variant.
+
+use tinyevm_net::{fragment, reassemble, Frame};
+
+use crate::codec::WireError;
+use crate::message::Message;
+
+/// Encodes a message and fragments it into link-layer frames.
+pub fn to_frames(message: &Message, source: u16, destination: u16, message_id: u32) -> Vec<Frame> {
+    fragment(source, destination, message_id, &message.to_wire())
+}
+
+/// Reassembles frames (any order) and decodes the carried message.
+///
+/// # Errors
+///
+/// Returns [`WireError::Frame`] when fragments are missing, duplicated or
+/// mixed, and the envelope's decode errors otherwise.
+pub fn from_frames(frames: &[Frame]) -> Result<Message, WireError> {
+    let bytes = reassemble(frames)?;
+    Message::from_wire(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SensorReading;
+    use crate::snapshot::{ChannelSnapshot, EndpointRole};
+    use tinyevm_types::{Address, Wei, H256, U256};
+
+    #[test]
+    fn small_message_fits_one_frame() {
+        let message = Message::SensorReading(SensorReading {
+            peripheral: 2,
+            value: U256::from(2150u64),
+        });
+        let frames = to_frames(&message, 1, 2, 7);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(from_frames(&frames).unwrap(), message);
+    }
+
+    #[test]
+    fn large_message_fragments_and_survives_reordering() {
+        // A channel snapshot with a long side-chain log spans many frames.
+        let log = (0..40)
+            .map(|i| crate::snapshot::SideChainEntryRecord {
+                index: i,
+                channel_id: 1,
+                sequence: i + 1,
+                cumulative: Wei::from((i + 1) * 100),
+                state_digest: H256::from_low_u64(i),
+                previous_hash: H256::from_low_u64(i.wrapping_sub(1)),
+                entry_hash: H256::from_low_u64(i + 1000),
+            })
+            .collect();
+        let message = Message::ChannelSnapshot(ChannelSnapshot {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sender: Address::from_low_u64(0x51),
+            receiver: Address::from_low_u64(0x52),
+            deposit_cap: Wei::from(1_000_000u64),
+            role: EndpointRole::Sender,
+            open: true,
+            sequence: 40,
+            cumulative: Wei::from(4_000u64),
+            last_sensor_hash: H256::from_low_u64(0xfeed),
+            payments_seen: 40,
+            anchor: H256::ZERO,
+            log,
+            peer_acks: Vec::new(),
+        });
+        let mut frames = to_frames(&message, 1, 2, 9);
+        assert!(frames.len() > 10, "snapshot spans many frames");
+        frames.reverse();
+        assert_eq!(from_frames(&frames).unwrap(), message);
+    }
+
+    #[test]
+    fn missing_fragment_is_a_frame_error() {
+        let message = Message::SensorReading(SensorReading {
+            peripheral: 1,
+            value: U256::from(1u64),
+        });
+        let frames = to_frames(&message, 1, 2, 1);
+        assert!(matches!(
+            from_frames(&frames[..0]),
+            Err(WireError::Frame(_))
+        ));
+    }
+}

@@ -14,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         deposit: Wei::from_eth_milli(100),
         price_per_interval: Wei::from_eth_milli(5),
         intervals: 4,
+        ..ParkingScenario::default()
     };
     println!(
         "Parking session: {} intervals at {} each, deposit {}\n",

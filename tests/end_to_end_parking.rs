@@ -119,6 +119,7 @@ fn parking_scenario_helper_matches_manual_driving() {
         deposit: Wei::from_eth_milli(40),
         price_per_interval: Wei::from_eth_milli(10),
         intervals: 3,
+        ..ParkingScenario::default()
     }
     .run()
     .unwrap();

@@ -11,7 +11,10 @@ pub fn uniform4<S: Strategy>(strategy: S) -> Uniform4<S> {
     Uniform4(strategy)
 }
 
-impl<S: Strategy> Strategy for Uniform4<S> {
+impl<S: Strategy> Strategy for Uniform4<S>
+where
+    S::Value: Clone,
+{
     type Value = [S::Value; 4];
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -21,5 +24,17 @@ impl<S: Strategy> Strategy for Uniform4<S> {
             self.0.generate(rng),
             self.0.generate(rng),
         ]
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for index in 0..4 {
+            if let Some(candidate) = self.0.shrink(&value[index]).into_iter().next() {
+                let mut next = value.clone();
+                next[index] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -60,12 +60,41 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         let span = (self.size.max - self.size.min) as u128 + 1;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Structural shrinks first: bisect the length toward the minimum,
+        // then drop one element.
+        if len > self.size.min {
+            let half = (len / 2).max(self.size.min);
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 > half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        // Element-wise shrinks: simplify one element at a time (bounded so
+        // huge vectors do not explode the candidate set).
+        for index in 0..len.min(16) {
+            if let Some(candidate) = self.element.shrink(&value[index]).into_iter().next() {
+                let mut next = value.clone();
+                next[index] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }

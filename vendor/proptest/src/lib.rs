@@ -8,10 +8,13 @@
 //! strategies (`a..b`, `a..=b`, `a..`); `Strategy::prop_map`;
 //! `proptest::array::uniform4`; and `proptest::collection::vec`.
 //!
-//! Unlike the real proptest there is **no shrinking**: a failing case
-//! reports the assertion message and the deterministic case number. Each
-//! test function derives its RNG seed from its own name, so failures
-//! reproduce exactly from run to run.
+//! Failing cases are **shrunk by bisection** before being reported: each
+//! argument is repeatedly offered simpler candidates (the range start, the
+//! midpoint between start and the failing value, one step down; shorter
+//! vectors; element-wise shrinks) and the smallest combination that still
+//! fails is printed as the minimal counterexample. Each test function
+//! derives its RNG seed from its own name, so failures reproduce exactly
+//! from run to run.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +115,14 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes simpler candidates for a failing `value`, "simplest" first.
+    /// The default is no shrinking; range and collection strategies bisect
+    /// toward their lower bound.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -151,6 +162,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 /// A strategy that always yields the same value.
@@ -169,6 +184,13 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Draws one uniform value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes simpler candidates for a failing value ("simplest" first);
+    /// empty by default.
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -176,6 +198,23 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $ty {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u128() as $ty
+            }
+
+            fn shrink(value: &Self) -> Vec<Self> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $ty];
+                let half = v / 2; // moves toward zero for signed values too
+                if half != 0 {
+                    out.push(half);
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                if step != 0 && step != half {
+                    out.push(step);
+                }
+                out
             }
         }
     )*};
@@ -187,6 +226,33 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Bisection candidates between a range start and a failing value: the
+/// start itself, the midpoint, and one step down — enough to binary-search
+/// any interval to its minimal failing point across repeated rounds.
+fn bisect_toward(start: u128, offset: u128) -> Vec<u128> {
+    if offset == 0 {
+        return Vec::new();
+    }
+    let mut offsets = vec![0u128];
+    let half = offset / 2;
+    if half != 0 {
+        offsets.push(half);
+    }
+    let step = offset - 1;
+    if step != 0 && step != half {
+        offsets.push(step);
+    }
+    offsets.into_iter().map(|o| start.wrapping_add(o)).collect()
 }
 
 macro_rules! impl_range_strategies {
@@ -201,6 +267,15 @@ macro_rules! impl_range_strategies {
                 let drawn = rng.below(span);
                 (self.start as u128).wrapping_add(drawn) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mask = u128::MAX >> (128 - <$ty>::BITS.min(128));
+                let offset = (*value as u128).wrapping_sub(self.start as u128) & mask;
+                bisect_toward(self.start as u128, offset)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
         }
 
         impl Strategy for std::ops::RangeInclusive<$ty> {
@@ -213,6 +288,15 @@ macro_rules! impl_range_strategies {
                 let drawn = if span == 0 { rng.next_u128() } else { rng.below(span) };
                 (start as u128).wrapping_add(drawn) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mask = u128::MAX >> (128 - <$ty>::BITS.min(128));
+                let offset = (*value as u128).wrapping_sub(*self.start() as u128) & mask;
+                bisect_toward(*self.start() as u128, offset)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
         }
 
         impl Strategy for std::ops::RangeFrom<$ty> {
@@ -224,17 +308,76 @@ macro_rules! impl_range_strategies {
                 let drawn = if span == 0 { rng.next_u128() } else { rng.below(span) };
                 (start as u128).wrapping_add(drawn) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mask = u128::MAX >> (128 - <$ty>::BITS.min(128));
+                let offset = (*value as u128).wrapping_sub(self.start as u128) & mask;
+                bisect_toward(self.start as u128, offset)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
 
+/// A bundle of strategies driving one `proptest!` property: joint
+/// generation of the argument tuple, and shrinking that simplifies one
+/// component at a time. Implemented for strategy tuples up to arity 8.
+pub trait TupleStrategy {
+    /// The tuple of generated argument values.
+    type Values: Clone + fmt::Debug;
+
+    /// Draws one value per component strategy.
+    fn generate_tuple(&self, rng: &mut TestRng) -> Self::Values;
+
+    /// Proposes candidate tuples, each with exactly one component shrunk.
+    fn shrink_tuple(&self, values: &Self::Values) -> Vec<Self::Values>;
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> TupleStrategy for ($($name,)+)
+        where
+            $($name::Value: Clone + fmt::Debug),+
+        {
+            type Values = ($($name::Value,)+);
+
+            fn generate_tuple(&self, rng: &mut TestRng) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink_tuple(&self, values: &Self::Values) -> Vec<Self::Values> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&values.$idx) {
+                        let mut next = values.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 => 0);
+impl_tuple_strategy!(S0 => 0, S1 => 1);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
+
 pub mod prelude {
     //! One-stop import for property tests.
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestRng,
+        ProptestConfig, Strategy, TestCaseError, TestRng, TupleStrategy,
     };
 }
 
@@ -259,6 +402,7 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
                 let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let __strategies = ($(($strategy),)+);
                 // Rejected cases (prop_assume!) are regenerated rather than
                 // consumed, so every property really runs `cases` passing
                 // inputs; a pathological rejection rate aborts like the real
@@ -277,21 +421,58 @@ macro_rules! __proptest_impl {
                         __attempts
                     );
                     __attempts += 1;
-                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
-                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
+                    let __values = $crate::TupleStrategy::generate_tuple(&__strategies, &mut __rng);
+                    let __outcome = {
+                        let ($($arg,)+) = __values.clone();
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
                     match __outcome {
                         ::std::result::Result::Ok(()) => {
                             __passed += 1;
                         }
                         ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            // Bisection shrinking: keep adopting the first
+                            // candidate that still fails until no candidate
+                            // does (or the step budget runs out).
+                            let mut __current = __values;
+                            let mut __message = __msg;
+                            let mut __steps: u32 = 0;
+                            'shrinking: while __steps < 1_000 {
+                                let __candidates =
+                                    $crate::TupleStrategy::shrink_tuple(&__strategies, &__current);
+                                for __candidate in __candidates {
+                                    let __result = {
+                                        let ($($arg,)+) = __candidate.clone();
+                                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                                            $body
+                                            ::std::result::Result::Ok(())
+                                        })()
+                                    };
+                                    if let ::std::result::Result::Err(
+                                        $crate::TestCaseError::Fail(__m),
+                                    ) = __result
+                                    {
+                                        __current = __candidate;
+                                        __message = __m;
+                                        __steps += 1;
+                                        continue 'shrinking;
+                                    }
+                                }
+                                break;
+                            }
                             panic!(
-                                "proptest property {} failed at case {}/{}: {}",
+                                "proptest property {} failed at case {}/{}: {}\n\
+                                 minimal counterexample (after {} shrink steps): {:?}",
                                 stringify!($name),
                                 __passed + 1,
                                 __config.cases,
-                                __msg
+                                __message,
+                                __steps,
+                                __current
                             );
                         }
                     }
@@ -408,5 +589,72 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal counterexample")]
+    fn failures_report_a_minimal_counterexample() {
+        proptest! {
+            fn fails_above_threshold(v in 0u32..100_000) {
+                prop_assert!(v < 17, "v was {}", v);
+            }
+        }
+        fails_above_threshold();
+    }
+
+    #[test]
+    fn shrinking_bisects_to_the_boundary() {
+        // Drive the shrink loop directly: the minimal failing value of
+        // "fails when v >= 17" must be exactly 17.
+        let strategies = (0u32..100_000,);
+        let fails = |v: u32| v >= 17;
+        let mut current = (99_731u32,);
+        assert!(fails(current.0));
+        loop {
+            let mut improved = false;
+            for candidate in strategies.shrink_tuple(&current) {
+                if fails(candidate.0) {
+                    current = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        assert_eq!(current.0, 17);
+    }
+
+    #[test]
+    fn vector_shrinks_reduce_length_and_elements() {
+        let strategy = crate::collection::vec(0u8..=255, 0..64);
+        let value = vec![9u8; 40];
+        let candidates = Strategy::shrink(&strategy, &value);
+        assert!(candidates.iter().any(|c| c.len() == 20));
+        assert!(candidates.iter().any(|c| c.len() == 39));
+        assert!(candidates.iter().any(|c| c.len() == 40 && c.contains(&0)));
+        // Fully shrunk input yields no candidates.
+        assert!(Strategy::shrink(&strategy, &Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn integer_shrinks_move_toward_the_range_start() {
+        let strategy = 10u32..1_000;
+        assert!(Strategy::shrink(&strategy, &10).is_empty());
+        let candidates = Strategy::shrink(&strategy, &500);
+        assert!(candidates.contains(&10)); // the start
+        assert!(candidates.contains(&255)); // the midpoint
+        assert!(candidates.contains(&499)); // one step down
+                                            // Signed ranges bisect toward their (negative) start.
+        let signed = -100i32..100;
+        let candidates = Strategy::shrink(&signed, &50);
+        assert!(candidates.contains(&-100));
+        assert!(candidates.contains(&-25));
+        // Arbitrary integers shrink toward zero from either side.
+        assert!(i32::shrink(&-40).contains(&0));
+        assert!(i32::shrink(&-40).contains(&-20));
+        assert!(u64::shrink(&0).is_empty());
+        assert_eq!(bool::shrink(&true), vec![false]);
     }
 }
