@@ -2,8 +2,10 @@
 //! cost on the CC2538; these benches measure the real Rust implementations).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_bench::perf::sample_batch;
+use tinyevm_crypto::secp256k1::{point, PrivateKey, Scalar};
 use tinyevm_crypto::{keccak256, sha256};
+use tinyevm_types::U256;
 
 fn bench_crypto(c: &mut Criterion) {
     let short = vec![0xabu8; 64];
@@ -12,6 +14,9 @@ fn bench_crypto(c: &mut Criterion) {
     let digest = keccak256(b"benchmark payment payload");
     let signature = key.sign_prehashed(&digest);
     let public_key = key.public_key();
+    let pub_point = *public_key.point();
+    let scalar = Scalar::new(U256::from_be_bytes(keccak256(b"bench scalar")));
+    let batch = sample_batch(16);
 
     let mut group = c.benchmark_group("crypto");
     group.sample_size(30);
@@ -30,10 +35,33 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("ecdsa_verify", |bencher| {
         bencher.iter(|| public_key.verify_prehashed(black_box(&digest), black_box(&signature)))
     });
+    group.bench_function("ecdsa_verify_batch16", |bencher| {
+        // One multi-scalar pass over 16 signatures; divide by 16 for the
+        // amortized per-signature cost.
+        bencher.iter(|| {
+            assert!(tinyevm_crypto::secp256k1::verify_batch(black_box(&batch)));
+        })
+    });
     group.bench_function("ecdsa_recover", |bencher| {
         bencher.iter(|| signature.recover(black_box(&digest)).unwrap())
     });
+    group.bench_function("scalar_mul_wnaf", |bencher| {
+        bencher.iter(|| pub_point.scalar_mul(black_box(scalar)))
+    });
+    group.bench_function("generator_mul_comb", |bencher| {
+        // With the affine normalization, as signing pays it.
+        bencher.iter(|| point::generator_mul(black_box(scalar)).to_affine())
+    });
     group.finish();
+
+    // The retained affine double-and-add reference, so a single bench run
+    // shows the fast-path speedup directly.
+    let mut reference = c.benchmark_group("crypto_reference");
+    reference.sample_size(10);
+    reference.bench_function("scalar_mul_affine_reference", |bencher| {
+        bencher.iter(|| pub_point.scalar_mul_reference(black_box(scalar)))
+    });
+    reference.finish();
 }
 
 criterion_group!(benches, bench_crypto);

@@ -6,20 +6,33 @@
 //! cargo run -p tinyevm-bench --release --bin experiments            # everything, 7,000 contracts
 //! cargo run -p tinyevm-bench --release --bin experiments -- --quick # 700 contracts, faster
 //! cargo run -p tinyevm-bench --release --bin experiments -- --count 2000
+//! cargo run -p tinyevm-bench --release --bin experiments -- --jobs 4
 //! ```
 //!
-//! Results are printed to stdout and written to `target/experiments/`.
+//! Corpus deployment shards across `--jobs` worker threads (default: the
+//! machine's available parallelism); `--jobs 1` reproduces the original
+//! single-threaded output byte-for-byte, and every jobs value produces the
+//! same statistics. Results are printed to stdout and written to
+//! `target/experiments/`, including a machine-readable perf record
+//! (`bench.json`) that mirrors the committed `BENCH_crypto.json` snapshot.
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
-use tinyevm_bench::{corpus_experiment, offchain_experiment, table1_text, table3_text};
+use tinyevm_bench::{
+    corpus_experiment_sharded, offchain_experiment, sample_crypto_perf, table1_text, table3_text,
+    PerfRecord,
+};
 use tinyevm_channel::contracts;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut count = 7_000usize;
     let mut payments = 3usize;
+    let mut jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut index = 0;
     while index < args.len() {
         match args[index].as_str() {
@@ -38,8 +51,16 @@ fn main() {
                     .and_then(|value| value.parse().ok())
                     .unwrap_or(payments);
             }
+            "--jobs" => {
+                index += 1;
+                jobs = args
+                    .get(index)
+                    .and_then(|value| value.parse().ok())
+                    .filter(|&parsed| parsed >= 1)
+                    .unwrap_or(jobs);
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--count N] [--payments N]");
+                println!("usage: experiments [--quick] [--count N] [--payments N] [--jobs N]");
                 return;
             }
             other => eprintln!("ignoring unknown argument {other:?}"),
@@ -67,8 +88,14 @@ fn main() {
     emit("table3.txt", &table3_text(template_bytes));
 
     // The corpus macro-benchmark: Table II, Figures 3a-3c and 4.
-    eprintln!("running the corpus macro-benchmark ({count} contracts)...");
-    let corpus = corpus_experiment(count, 8 * 1024);
+    if jobs > 1 {
+        eprintln!("running the corpus macro-benchmark ({count} contracts, {jobs} workers)...");
+    } else {
+        eprintln!("running the corpus macro-benchmark ({count} contracts)...");
+    }
+    let corpus_start = Instant::now();
+    let corpus = corpus_experiment_sharded(count, 8 * 1024, jobs);
+    let corpus_wall_clock = corpus_start.elapsed();
     emit("table2.txt", &corpus.table2_text());
     emit("fig3a.txt", &corpus.fig3a_text());
     emit("fig3b.txt", &corpus.fig3b_text());
@@ -84,5 +111,25 @@ fn main() {
     emit("wire.txt", &offchain.wire_text());
 
     emit("summary.txt", &offchain.summary_text(&corpus));
+
+    // The machine-readable perf trajectory (bench.json): host-side crypto
+    // micro-benchmarks plus the macro wall-clocks of this very run.
+    eprintln!("sampling crypto micro-benchmarks for bench.json...");
+    let mean_payment_ms = offchain
+        .rounds
+        .iter()
+        .map(|round| round.end_to_end_latency.as_secs_f64() * 1000.0)
+        .sum::<f64>()
+        / offchain.rounds.len().max(1) as f64;
+    let record = PerfRecord {
+        contracts: corpus.total,
+        deployed: corpus.deployed,
+        jobs,
+        corpus_wall_clock_ms: corpus_wall_clock.as_secs_f64() * 1000.0,
+        payments: offchain.rounds.len(),
+        payment_end_to_end_ms: mean_payment_ms,
+        crypto: sample_crypto_perf(),
+    };
+    fs::write(output_dir.join("bench.json"), record.to_json()).expect("write bench.json");
     eprintln!("wrote results to {}", output_dir.display());
 }

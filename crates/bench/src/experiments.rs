@@ -200,17 +200,67 @@ fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// Runs the corpus macro-benchmark with `count` synthetic contracts and the
-/// given runtime-code limit.
+/// given runtime-code limit, single-threaded.
 pub fn corpus_experiment(count: usize, code_limit: usize) -> CorpusExperiment {
+    corpus_experiment_sharded(count, code_limit, 1)
+}
+
+/// Runs the corpus macro-benchmark sharded across `jobs` worker threads.
+///
+/// Contract deployment is embarrassingly parallel: the corpus is split into
+/// `jobs` contiguous shards, each deployed on its own scoped thread against
+/// a shared immutable `EvmConfig`, and the per-shard statistics are merged
+/// back **in shard order**. Because the corpus itself is generated up front
+/// from a fixed seed and the merge preserves contract order, the result is
+/// bit-identical for every `jobs` value — `jobs = 1` (which skips thread
+/// spawning entirely) reproduces the original single-threaded run
+/// byte-for-byte.
+pub fn corpus_experiment_sharded(count: usize, code_limit: usize, jobs: usize) -> CorpusExperiment {
     let corpus = CorpusConfig {
         count,
         ..CorpusConfig::paper_scale()
     }
     .generate();
     let config = EvmConfig::cc2538().with_code_limit(code_limit);
-    let mcu = Mcu::cc2538();
-    let mut experiment = CorpusExperiment {
-        total: corpus.len(),
+    let jobs = jobs.clamp(1, corpus.len().max(1));
+    let mut experiment = empty_experiment(corpus.len(), code_limit);
+    if jobs == 1 {
+        deploy_shard(&config, &corpus, &mut experiment);
+        return experiment;
+    }
+    let shard_len = corpus.len().div_ceil(jobs);
+    let shards: Vec<CorpusExperiment> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .chunks(shard_len)
+            .map(|shard| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut partial = empty_experiment(shard.len(), config.max_code_size);
+                    deploy_shard(config, shard, &mut partial);
+                    partial
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("corpus shard worker panicked"))
+            .collect()
+    });
+    for shard in shards {
+        experiment.deployed += shard.deployed;
+        experiment.sizes.extend(shard.sizes);
+        experiment.failed_sizes.extend(shard.failed_sizes);
+        experiment.stack_pointers.extend(shard.stack_pointers);
+        experiment.stack_bytes.extend(shard.stack_bytes);
+        experiment.memory_usage.extend(shard.memory_usage);
+        experiment.times_ms.extend(shard.times_ms);
+    }
+    experiment
+}
+
+fn empty_experiment(total: usize, code_limit: usize) -> CorpusExperiment {
+    CorpusExperiment {
+        total,
         deployed: 0,
         sizes: Vec::new(),
         failed_sizes: Vec::new(),
@@ -219,9 +269,19 @@ pub fn corpus_experiment(count: usize, code_limit: usize) -> CorpusExperiment {
         memory_usage: Vec::new(),
         times_ms: Vec::new(),
         code_limit,
-    };
-    for contract in &corpus {
-        match deploy(&config, &contract.init_code) {
+    }
+}
+
+/// Deploys one contiguous shard of the corpus, appending to `experiment`'s
+/// columns in corpus order.
+fn deploy_shard(
+    config: &EvmConfig,
+    contracts: &[tinyevm_corpus::SyntheticContract],
+    experiment: &mut CorpusExperiment,
+) {
+    let mcu = Mcu::cc2538();
+    for contract in contracts {
+        match deploy(config, &contract.init_code) {
             Ok(result) => {
                 experiment.deployed += 1;
                 experiment.sizes.push(contract.size() as f64);
@@ -241,7 +301,6 @@ pub fn corpus_experiment(count: usize, code_limit: usize) -> CorpusExperiment {
             Err(_) => experiment.failed_sizes.push(contract.size() as f64),
         }
     }
-    experiment
 }
 
 /// Table I: the opcode-category comparison between the original EVM and
@@ -700,6 +759,31 @@ mod tests {
         assert!(!experiment.fig3b_text().is_empty());
         assert!(!experiment.fig3c_text().is_empty());
         assert!(!experiment.fig4_text().is_empty());
+    }
+
+    #[test]
+    fn sharded_corpus_experiment_is_bit_identical_to_sequential() {
+        let sequential = corpus_experiment(120, 8 * 1024);
+        for jobs in [2, 3, 8] {
+            let sharded = corpus_experiment_sharded(120, 8 * 1024, jobs);
+            assert_eq!(sharded.total, sequential.total, "jobs {jobs}");
+            assert_eq!(sharded.deployed, sequential.deployed, "jobs {jobs}");
+            assert_eq!(sharded.sizes, sequential.sizes, "jobs {jobs}");
+            assert_eq!(sharded.failed_sizes, sequential.failed_sizes, "jobs {jobs}");
+            assert_eq!(
+                sharded.stack_pointers, sequential.stack_pointers,
+                "jobs {jobs}"
+            );
+            assert_eq!(sharded.stack_bytes, sequential.stack_bytes, "jobs {jobs}");
+            assert_eq!(sharded.memory_usage, sequential.memory_usage, "jobs {jobs}");
+            assert_eq!(sharded.times_ms, sequential.times_ms, "jobs {jobs}");
+            // Same rendered tables, therefore same bytes on disk.
+            assert_eq!(sharded.table2_text(), sequential.table2_text());
+            assert_eq!(sharded.fig3a_text(), sequential.fig3a_text());
+        }
+        // More workers than contracts degrades gracefully.
+        let oversharded = corpus_experiment_sharded(5, 8 * 1024, 64);
+        assert_eq!(oversharded.total, 5);
     }
 
     #[test]

@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{
-    corpus_experiment, offchain_experiment, table1_text, table3_text, CorpusExperiment,
-    OffChainExperiment,
+    corpus_experiment, corpus_experiment_sharded, offchain_experiment, table1_text, table3_text,
+    CorpusExperiment, OffChainExperiment,
 };
+pub use perf::{sample_crypto_perf, CryptoPerf, PerfRecord};

@@ -1,0 +1,233 @@
+//! Machine-readable perf trajectory.
+//!
+//! The experiments harness samples the hot cryptographic operations and the
+//! corpus-deployment wall-clock, then serializes them as a small JSON
+//! document (`target/experiments/bench.json`). A snapshot of a full run is
+//! committed at the repository root as `BENCH_crypto.json`, so each PR can
+//! diff its perf against the previous one the way polkadot-sdk's committed
+//! regression-bench `data.js` files do. No external JSON crate is needed —
+//! the document is flat enough to format by hand.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tinyevm_crypto::secp256k1::{point, verify_batch, BatchItem, PrivateKey, Scalar};
+use tinyevm_crypto::{keccak256, sha256};
+use tinyevm_types::U256;
+
+/// Median nanoseconds per operation for the cryptographic hot paths.
+#[derive(Debug, Clone)]
+pub struct CryptoPerf {
+    /// One ECDSA signature (fixed-base table multiply + scalar inverse).
+    pub ecdsa_sign_ns: f64,
+    /// One ECDSA verification (single Shamir/Straus pass).
+    pub ecdsa_verify_ns: f64,
+    /// One public-key recovery.
+    pub ecdsa_recover_ns: f64,
+    /// One variable-base scalar multiplication (wNAF, Jacobian).
+    pub scalar_mul_ns: f64,
+    /// One fixed-base scalar multiplication through the comb table.
+    pub generator_mul_ns: f64,
+    /// Per-signature cost inside a 16-signature batch verification.
+    pub batch_verify_per_sig_ns: f64,
+    /// One Keccak-256 of a 64-byte input, for scale.
+    pub keccak256_64b_ns: f64,
+}
+
+/// Builds the deterministic `count`-signature batch both the criterion
+/// bench and [`sample_crypto_perf`] measure, so the two numbers always
+/// describe the same workload.
+pub fn sample_batch(count: u32) -> Vec<BatchItem> {
+    (0..count)
+        .map(|index| {
+            let key = PrivateKey::from_seed(&index.to_be_bytes());
+            let digest = sha256(&index.to_le_bytes());
+            BatchItem {
+                digest,
+                signature: key.sign_prehashed(&digest),
+                public_key: key.public_key(),
+            }
+        })
+        .collect()
+}
+
+/// Times `routine` over `iterations` calls, repeated across a few samples,
+/// and returns the median nanoseconds per call.
+fn median_ns<F: FnMut()>(iterations: u32, mut routine: F) -> f64 {
+    const SAMPLES: usize = 5;
+    let mut samples = [0.0f64; SAMPLES];
+    for sample in &mut samples {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            routine();
+        }
+        *sample = start.elapsed().as_nanos() as f64 / f64::from(iterations);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[SAMPLES / 2]
+}
+
+/// Samples every tracked cryptographic operation. Takes well under a second
+/// on the fast paths.
+pub fn sample_crypto_perf() -> CryptoPerf {
+    let key = PrivateKey::from_seed(b"bench key");
+    let digest = keccak256(b"benchmark payment payload");
+    let signature = key.sign_prehashed(&digest);
+    let public_key = key.public_key();
+    let pub_point = *public_key.point();
+    let scalar = Scalar::new(U256::from_be_bytes(keccak256(b"bench scalar")));
+    let short = [0xabu8; 64];
+
+    let batch = sample_batch(16);
+
+    CryptoPerf {
+        ecdsa_sign_ns: median_ns(20, || {
+            std::hint::black_box(key.sign_prehashed(&digest));
+        }),
+        ecdsa_verify_ns: median_ns(20, || {
+            std::hint::black_box(public_key.verify_prehashed(&digest, &signature));
+        }),
+        ecdsa_recover_ns: median_ns(20, || {
+            std::hint::black_box(signature.recover(&digest).expect("valid signature"));
+        }),
+        scalar_mul_ns: median_ns(20, || {
+            std::hint::black_box(pub_point.scalar_mul(scalar));
+        }),
+        generator_mul_ns: median_ns(20, || {
+            // Include the affine normalization so the number is what
+            // signing actually pays (and comparable to scalar_mul_ns).
+            std::hint::black_box(point::generator_mul(scalar).to_affine());
+        }),
+        batch_verify_per_sig_ns: median_ns(4, || {
+            std::hint::black_box(verify_batch(&batch));
+        }) / batch.len() as f64,
+        keccak256_64b_ns: median_ns(2000, || {
+            std::hint::black_box(keccak256(&short));
+        }),
+    }
+}
+
+/// The full perf record the harness writes to `bench.json`.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Corpus contracts attempted.
+    pub contracts: usize,
+    /// Contracts that deployed successfully.
+    pub deployed: usize,
+    /// Worker threads used for the corpus shards.
+    pub jobs: usize,
+    /// Corpus deployment wall-clock in milliseconds.
+    pub corpus_wall_clock_ms: f64,
+    /// Off-chain payment rounds measured.
+    pub payments: usize,
+    /// Mean modelled end-to-end payment latency in milliseconds.
+    pub payment_end_to_end_ms: f64,
+    /// The crypto micro-benchmarks.
+    pub crypto: CryptoPerf,
+}
+
+impl PerfRecord {
+    /// Serializes the record as pretty-printed JSON with a stable key
+    /// order, so snapshots diff cleanly between PRs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"crypto_ns\": {{");
+        let c = &self.crypto;
+        let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
+        let _ = writeln!(out, "    \"ecdsa_verify\": {:.1},", c.ecdsa_verify_ns);
+        let _ = writeln!(out, "    \"ecdsa_recover\": {:.1},", c.ecdsa_recover_ns);
+        let _ = writeln!(out, "    \"scalar_mul\": {:.1},", c.scalar_mul_ns);
+        let _ = writeln!(out, "    \"generator_mul\": {:.1},", c.generator_mul_ns);
+        let _ = writeln!(
+            out,
+            "    \"batch_verify_per_sig_16\": {:.1},",
+            c.batch_verify_per_sig_ns
+        );
+        let _ = writeln!(out, "    \"keccak256_64B\": {:.1}", c.keccak256_64b_ns);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"corpus\": {{");
+        let _ = writeln!(out, "    \"contracts\": {},", self.contracts);
+        let _ = writeln!(out, "    \"deployed\": {},", self.deployed);
+        let _ = writeln!(out, "    \"jobs\": {},", self.jobs);
+        let _ = writeln!(
+            out,
+            "    \"wall_clock_ms\": {:.1}",
+            self.corpus_wall_clock_ms
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"offchain\": {{");
+        let _ = writeln!(out, "    \"payments\": {},", self.payments);
+        let _ = writeln!(
+            out,
+            "    \"payment_end_to_end_ms\": {:.1}",
+            self.payment_end_to_end_ms
+        );
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crypto_perf_samples_are_positive_and_ordered() {
+        let perf = sample_crypto_perf();
+        assert!(perf.ecdsa_sign_ns > 0.0);
+        assert!(perf.ecdsa_verify_ns > 0.0);
+        assert!(perf.ecdsa_recover_ns > 0.0);
+        assert!(perf.scalar_mul_ns > 0.0);
+        assert!(perf.generator_mul_ns > 0.0);
+        assert!(perf.batch_verify_per_sig_ns > 0.0);
+        // The fixed-base comb path must beat the variable-base path.
+        assert!(perf.generator_mul_ns < perf.scalar_mul_ns);
+    }
+
+    #[test]
+    fn perf_record_serializes_every_key() {
+        let record = PerfRecord {
+            contracts: 700,
+            deployed: 650,
+            jobs: 2,
+            corpus_wall_clock_ms: 1234.5,
+            payments: 3,
+            payment_end_to_end_ms: 583.8,
+            crypto: CryptoPerf {
+                ecdsa_sign_ns: 1.0,
+                ecdsa_verify_ns: 2.0,
+                ecdsa_recover_ns: 3.0,
+                scalar_mul_ns: 4.0,
+                generator_mul_ns: 5.0,
+                batch_verify_per_sig_ns: 6.0,
+                keccak256_64b_ns: 7.0,
+            },
+        };
+        let json = record.to_json();
+        for key in [
+            "\"schema\"",
+            "\"crypto_ns\"",
+            "\"ecdsa_sign\"",
+            "\"ecdsa_verify\"",
+            "\"ecdsa_recover\"",
+            "\"scalar_mul\"",
+            "\"generator_mul\"",
+            "\"batch_verify_per_sig_16\"",
+            "\"keccak256_64B\"",
+            "\"corpus\"",
+            "\"contracts\"",
+            "\"deployed\"",
+            "\"jobs\"",
+            "\"wall_clock_ms\"",
+            "\"offchain\"",
+            "\"payments\"",
+            "\"payment_end_to_end_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

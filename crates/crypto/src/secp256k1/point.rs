@@ -1,0 +1,640 @@
+//! Curve points: the affine reference implementation and the fast Jacobian
+//! projective paths.
+//!
+//! The affine [`Point`] formulas (one field inversion per add/double) are
+//! retained verbatim from the original implementation as the
+//! obviously-correct reference — [`Point::scalar_mul_reference`] is the old
+//! double-and-add — and the property tests cross-check everything below
+//! against them. Production traffic goes through [`JacobianPoint`]:
+//!
+//! * add/double are inversion-free (a = 0 short-Weierstrass formulas from
+//!   the EFD: `dbl-2009-l`, `add-2007-bl`, `madd-2007-bl`);
+//! * variable-base scalar multiplication uses width-5 wNAF over a table of
+//!   odd multiples normalized to affine with one shared inversion
+//!   (Montgomery's trick), so every table hit is a cheap mixed addition;
+//! * the generator has a precomputed 64-window × 4-bit comb table (built
+//!   once behind a [`OnceLock`]), making fixed-base multiplication 64 mixed
+//!   additions with **zero** doublings;
+//! * [`multi_scalar_mul`] interleaves wNAF tracks for
+//!   `k_G·G + Σ k_i·P_i` in a single doubling pass (Shamir/Straus), which
+//!   is what ECDSA verification, recovery and batch verification ride on.
+
+use std::sync::OnceLock;
+
+use super::field::FieldElement;
+use super::scalar::Scalar;
+use super::CryptoError;
+use tinyevm_types::U256;
+
+/// x-coordinate of the generator point G.
+const GENERATOR_X: U256 = U256::from_limbs([
+    0x59F2_815B_16F8_1798,
+    0x029B_FCDB_2DCE_28D9,
+    0x55A0_6295_CE87_0B07,
+    0x79BE_667E_F9DC_BBAC,
+]);
+
+/// y-coordinate of the generator point G.
+const GENERATOR_Y: U256 = U256::from_limbs([
+    0x9C47_D08F_FB10_D4B8,
+    0xFD17_B448_A685_5419,
+    0x5DA4_FBFC_0E11_08A8,
+    0x483A_DA77_26A3_C465,
+]);
+
+/// wNAF window width for variable-base and multi-scalar multiplication:
+/// digits are odd in `[-15, 15]`, tables hold the 8 odd multiples.
+const WNAF_WIDTH: u32 = 5;
+
+/// Entries per wNAF table: the odd multiples `1P, 3P, …, 15P`.
+const WNAF_TABLE: usize = 1 << (WNAF_WIDTH - 2);
+
+/// Windows in the fixed-base comb table (4 bits each covers 256 bits).
+const COMB_WINDOWS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Affine points (the reference implementation)
+// ---------------------------------------------------------------------------
+
+/// A point on the secp256k1 curve in affine coordinates, or the point at
+/// infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// x-coordinate; meaningless when `infinity` is true.
+    pub x: FieldElement,
+    /// y-coordinate; meaningless when `infinity` is true.
+    pub y: FieldElement,
+    /// Marker for the group identity.
+    pub infinity: bool,
+}
+
+impl Point {
+    /// The group identity (point at infinity).
+    pub const INFINITY: Point = Point {
+        x: FieldElement::ZERO,
+        y: FieldElement::ZERO,
+        infinity: true,
+    };
+
+    /// The standard generator point G.
+    pub fn generator() -> Point {
+        Point {
+            x: FieldElement(GENERATOR_X),
+            y: FieldElement(GENERATOR_Y),
+            infinity: false,
+        }
+    }
+
+    /// Builds an affine point, checking the curve equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] if `(x, y)` does not satisfy
+    /// `y² = x³ + 7`.
+    pub fn from_affine(x: U256, y: U256) -> Result<Point, CryptoError> {
+        let point = Point {
+            x: FieldElement::new(x),
+            y: FieldElement::new(y),
+            infinity: false,
+        };
+        if point.is_on_curve() {
+            Ok(point)
+        } else {
+            Err(CryptoError::InvalidPublicKey)
+        }
+    }
+
+    /// Reconstructs a point from an x-coordinate and the parity of y
+    /// (`odd = true` means the odd root); used by public-key recovery.
+    pub fn from_x(x: U256, odd: bool) -> Result<Point, CryptoError> {
+        let x = FieldElement::new(x);
+        // y² = x³ + 7
+        let rhs = x.square().mul(x).add(FieldElement::new(U256::from(7u64)));
+        let mut y = rhs.sqrt().ok_or(CryptoError::InvalidSignature)?;
+        if y.is_odd() != odd {
+            y = y.negate();
+        }
+        Ok(Point {
+            x,
+            y,
+            infinity: false,
+        })
+    }
+
+    /// Checks the curve equation `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let lhs = self.y.square();
+        let rhs = self
+            .x
+            .square()
+            .mul(self.x)
+            .add(FieldElement::new(U256::from(7u64)));
+        lhs == rhs
+    }
+
+    /// Point doubling (affine reference: one field inversion).
+    pub fn double(&self) -> Point {
+        if self.infinity || self.y.is_zero() {
+            return Point::INFINITY;
+        }
+        // lambda = 3x² / 2y
+        let three = FieldElement::new(U256::from(3u64));
+        let two = FieldElement::new(U256::from(2u64));
+        let numerator = three.mul(self.x.square());
+        let denominator = two.mul(self.y).invert();
+        let lambda = numerator.mul(denominator);
+        let x3 = lambda.square().sub(self.x).sub(self.x);
+        let y3 = lambda.mul(self.x.sub(x3)).sub(self.y);
+        Point {
+            x: x3,
+            y: y3,
+            infinity: false,
+        }
+    }
+
+    /// Point addition (affine reference: one field inversion).
+    pub fn add(&self, other: &Point) -> Point {
+        if self.infinity {
+            return *other;
+        }
+        if other.infinity {
+            return *self;
+        }
+        if self.x == other.x {
+            if self.y == other.y {
+                return self.double();
+            }
+            return Point::INFINITY;
+        }
+        let lambda = other.y.sub(self.y).mul(other.x.sub(self.x).invert());
+        let x3 = lambda.square().sub(self.x).sub(other.x);
+        let y3 = lambda.mul(self.x.sub(x3)).sub(self.y);
+        Point {
+            x: x3,
+            y: y3,
+            infinity: false,
+        }
+    }
+
+    /// Point negation (mirror over the x-axis).
+    pub fn negate(&self) -> Point {
+        if self.infinity {
+            return *self;
+        }
+        Point {
+            x: self.x,
+            y: self.y.negate(),
+            infinity: false,
+        }
+    }
+
+    /// Scalar multiplication — the fast path: width-5 wNAF over Jacobian
+    /// coordinates with a batch-normalized odd-multiples table, one affine
+    /// normalization at the end.
+    pub fn scalar_mul(&self, scalar: Scalar) -> Point {
+        if scalar.to_u256().is_zero() || self.infinity {
+            return Point::INFINITY;
+        }
+        let table = WnafTable::new(self);
+        let digits = wnaf(scalar);
+        let mut acc = JacobianPoint::INFINITY;
+        for index in (0..digits.len()).rev() {
+            acc = acc.double();
+            acc = table.select_into(acc, digits[index]);
+        }
+        acc.to_affine()
+    }
+
+    /// Scalar multiplication by affine double-and-add — the original
+    /// implementation, kept as the reference the property tests (and the
+    /// before/after benches) compare the fast paths against. One field
+    /// inversion per point operation; do not use on hot paths.
+    pub fn scalar_mul_reference(&self, scalar: Scalar) -> Point {
+        let k = scalar.to_u256();
+        if k.is_zero() || self.infinity {
+            return Point::INFINITY;
+        }
+        let mut result = Point::INFINITY;
+        let mut addend = *self;
+        let bits = k.bits();
+        for i in 0..bits {
+            if k.bit(i as usize) {
+                result = result.add(&addend);
+            }
+            addend = addend.double();
+        }
+        result
+    }
+
+    /// Uncompressed SEC1 encoding without the `0x04` prefix (64 bytes:
+    /// x ‖ y), the form Ethereum hashes to derive addresses.
+    pub fn to_uncompressed(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.x.to_u256().to_be_bytes());
+        out[32..].copy_from_slice(&self.y.to_u256().to_be_bytes());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jacobian projective points
+// ---------------------------------------------------------------------------
+
+/// A point in Jacobian projective coordinates: `(X, Y, Z)` represents the
+/// affine point `(X/Z², Y/Z³)`; `Z = 0` is the point at infinity.
+///
+/// Additions and doublings are inversion-free; [`Self::to_affine`] pays the
+/// single inversion at the end of a computation.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobianPoint {
+    /// Projective X; the affine x is `X/Z²`.
+    pub(crate) x: FieldElement,
+    /// Projective Y; the affine y is `Y/Z³`.
+    pub(crate) y: FieldElement,
+    /// The projective denominator; zero encodes the point at infinity.
+    pub(crate) z: FieldElement,
+}
+
+impl JacobianPoint {
+    /// The group identity (Z = 0).
+    pub const INFINITY: JacobianPoint = JacobianPoint {
+        x: FieldElement::ONE,
+        y: FieldElement::ONE,
+        z: FieldElement::ZERO,
+    };
+
+    /// Lifts an affine point (Z = 1).
+    pub fn from_affine(point: &Point) -> JacobianPoint {
+        if point.infinity {
+            return JacobianPoint::INFINITY;
+        }
+        JacobianPoint {
+            x: point.x,
+            y: point.y,
+            z: FieldElement::ONE,
+        }
+    }
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Normalizes back to affine coordinates — the one place an inversion
+    /// is paid.
+    pub fn to_affine(&self) -> Point {
+        if self.is_infinity() {
+            return Point::INFINITY;
+        }
+        let z_inv = self.z.invert();
+        let z_inv2 = z_inv.square();
+        Point {
+            x: self.x.mul(z_inv2),
+            y: self.y.mul(z_inv2).mul(z_inv),
+            infinity: false,
+        }
+    }
+
+    /// Point negation.
+    pub fn negate(&self) -> JacobianPoint {
+        JacobianPoint {
+            x: self.x,
+            y: self.y.negate(),
+            z: self.z,
+        }
+    }
+
+    /// Checks the projective curve equation `Y² = X³ + 7·Z⁶` — no
+    /// normalization (and hence no inversion) required.
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_infinity() {
+            return true;
+        }
+        let z2 = self.z.square();
+        let z6 = z2.square().mul(z2);
+        let lhs = self.y.square();
+        let rhs = self
+            .x
+            .square()
+            .mul(self.x)
+            .add(FieldElement::new(U256::from(7u64)).mul(z6));
+        lhs == rhs
+    }
+
+    /// Inversion-free doubling (`dbl-2009-l`, a = 0).
+    pub fn double(&self) -> JacobianPoint {
+        if self.is_infinity() || self.y.is_zero() {
+            return JacobianPoint::INFINITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2·((X + B)² − A − C)
+        let d = self.x.add(b).square().sub(a).sub(c).double();
+        let e = a.double().add(a); // 3·A
+        let f = e.square();
+        let x3 = f.sub(d.double());
+        let y3 = e.mul(d.sub(x3)).sub(c.double().double().double()); // 8·C
+        let z3 = self.y.mul(self.z).double();
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Inversion-free full Jacobian addition (`add-2007-bl`).
+    pub fn add(&self, other: &JacobianPoint) -> JacobianPoint {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(z2z2);
+        let u2 = other.x.mul(z1z1);
+        let s1 = self.y.mul(other.z).mul(z2z2);
+        let s2 = other.y.mul(self.z).mul(z1z1);
+        let h = u2.sub(u1);
+        let r = s2.sub(s1).double();
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return JacobianPoint::INFINITY;
+        }
+        let i = h.double().square();
+        let j = h.mul(i);
+        let v = u1.mul(i);
+        let x3 = r.square().sub(j).sub(v.double());
+        let y3 = r.mul(v.sub(x3)).sub(s1.mul(j).double());
+        let z3 = self.z.add(other.z).square().sub(z1z1).sub(z2z2).mul(h);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine operand, `Z2 = 1` (`madd-2007-bl`) —
+    /// three field multiplications cheaper than the full addition, which is
+    /// why every precomputed table is normalized to affine.
+    pub fn add_affine(&self, other: &Point) -> JacobianPoint {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_infinity() {
+            return JacobianPoint::from_affine(other);
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x.mul(z1z1);
+        let s2 = other.y.mul(self.z).mul(z1z1);
+        let h = u2.sub(self.x);
+        let r = s2.sub(self.y).double();
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return JacobianPoint::INFINITY;
+        }
+        let hh = h.square();
+        let i = hh.double().double(); // 4·HH
+        let j = h.mul(i);
+        let v = self.x.mul(i);
+        let x3 = r.square().sub(j).sub(v.double());
+        let y3 = r.mul(v.sub(x3)).sub(self.y.mul(j).double());
+        let z3 = self.z.add(h).square().sub(z1z1).sub(hh);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+}
+
+impl PartialEq for JacobianPoint {
+    /// Projective equality: compares the underlying affine points by
+    /// cross-multiplying denominators (no inversion).
+    fn eq(&self, other: &JacobianPoint) -> bool {
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        if self.x.mul(z2z2) != other.x.mul(z1z1) {
+            return false;
+        }
+        self.y.mul(other.z).mul(z2z2) == other.y.mul(self.z).mul(z1z1)
+    }
+}
+
+impl Eq for JacobianPoint {}
+
+// ---------------------------------------------------------------------------
+// wNAF and precomputed tables
+// ---------------------------------------------------------------------------
+
+/// Width-5 non-adjacent form: little-endian digits, each zero or odd in
+/// `[-15, 15]`, at most one non-zero digit in any 5-bit window. Cuts the
+/// expected additions per 256-bit scalar from ~128 (double-and-add) to ~43.
+fn wnaf(scalar: Scalar) -> Vec<i8> {
+    let mut k = scalar.to_u256();
+    let radix = 1u64 << WNAF_WIDTH;
+    let half = 1u64 << (WNAF_WIDTH - 1);
+    let mut digits = Vec::with_capacity(257);
+    while !k.is_zero() {
+        if k.bit(0) {
+            let word = k.low_u64() & (radix - 1);
+            if word >= half {
+                // Negative digit; borrow from the bits above.
+                digits.push((word as i64 - radix as i64) as i8);
+                k = k.wrapping_add(U256::from(radix - word));
+            } else {
+                digits.push(word as i8);
+                k = k.wrapping_sub(U256::from(word));
+            }
+        } else {
+            digits.push(0);
+        }
+        k = k.shr(1);
+    }
+    digits
+}
+
+/// The odd multiples `1P, 3P, …, 15P` of a point, normalized to affine with
+/// a single shared inversion so the scan loop pays only mixed additions.
+struct WnafTable {
+    odd: [Point; WNAF_TABLE],
+}
+
+impl WnafTable {
+    /// Precomputes the table for a finite point.
+    fn new(point: &Point) -> WnafTable {
+        let base = JacobianPoint::from_affine(point);
+        let step = base.double();
+        let mut jacobians = [base; WNAF_TABLE];
+        for index in 1..WNAF_TABLE {
+            jacobians[index] = jacobians[index - 1].add(&step);
+        }
+        let normalized = batch_to_affine(&jacobians);
+        let mut odd = [Point::INFINITY; WNAF_TABLE];
+        odd.copy_from_slice(&normalized);
+        WnafTable { odd }
+    }
+
+    /// Adds `digit · P` to the accumulator (no-op for the zero digit).
+    fn select_into(&self, acc: JacobianPoint, digit: i8) -> JacobianPoint {
+        match digit.cmp(&0) {
+            core::cmp::Ordering::Greater => acc.add_affine(&self.odd[(digit as usize - 1) / 2]),
+            core::cmp::Ordering::Less => {
+                acc.add_affine(&self.odd[((-digit) as usize - 1) / 2].negate())
+            }
+            core::cmp::Ordering::Equal => acc,
+        }
+    }
+}
+
+/// Normalizes a slice of finite Jacobian points to affine with one shared
+/// field inversion (Montgomery's trick).
+fn batch_to_affine(points: &[JacobianPoint]) -> Vec<Point> {
+    let mut z_values: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
+    FieldElement::batch_invert(&mut z_values);
+    points
+        .iter()
+        .zip(&z_values)
+        .map(|(point, z_inv)| {
+            let z_inv2 = z_inv.square();
+            Point {
+                x: point.x.mul(z_inv2),
+                y: point.y.mul(z_inv2).mul(*z_inv),
+                infinity: false,
+            }
+        })
+        .collect()
+}
+
+/// The generator's precomputed tables, built once per process.
+struct GeneratorTables {
+    /// Comb table: `comb[w][j-1] = j · 16^w · G` for `j` in `1..=15`, all
+    /// affine. Fixed-base multiplication is then one mixed addition per
+    /// non-zero 4-bit window of the scalar — no doublings at all.
+    comb: Vec<[Point; 15]>,
+    /// The odd multiples of G for wNAF tracks in multi-scalar products.
+    odd: [Point; WNAF_TABLE],
+}
+
+static GENERATOR_TABLES: OnceLock<GeneratorTables> = OnceLock::new();
+
+fn generator_tables() -> &'static GeneratorTables {
+    GENERATOR_TABLES.get_or_init(|| {
+        let g = Point::generator();
+        // Build the whole comb in Jacobian form first, then normalize all
+        // 960 entries with a single inversion.
+        let mut rows_jacobian: Vec<[JacobianPoint; 15]> = Vec::with_capacity(COMB_WINDOWS);
+        let mut base = JacobianPoint::from_affine(&g);
+        for _window in 0..COMB_WINDOWS {
+            let mut row = [base; 15];
+            for j in 1..15 {
+                row[j] = row[j - 1].add(&base);
+            }
+            rows_jacobian.push(row);
+            // Next window's base: 16 × the current one.
+            base = base.double().double().double().double();
+        }
+        let flat: Vec<JacobianPoint> = rows_jacobian.iter().flatten().copied().collect();
+        let affine = batch_to_affine(&flat);
+        let comb: Vec<[Point; 15]> = affine
+            .chunks_exact(15)
+            .map(|chunk| {
+                let mut row = [Point::INFINITY; 15];
+                row.copy_from_slice(chunk);
+                row
+            })
+            .collect();
+        let odd = WnafTable::new(&g).odd;
+        GeneratorTables { comb, odd }
+    })
+}
+
+/// Fixed-base scalar multiplication `k·G` via the comb table: one mixed
+/// addition per non-zero 4-bit window, zero doublings.
+pub fn generator_mul(scalar: Scalar) -> JacobianPoint {
+    if scalar.is_zero() {
+        return JacobianPoint::INFINITY;
+    }
+    let tables = generator_tables();
+    let limbs = scalar.to_u256().limbs();
+    let mut acc = JacobianPoint::INFINITY;
+    for window in 0..COMB_WINDOWS {
+        let nibble = (limbs[window / 16] >> (4 * (window % 16))) & 0xF;
+        if nibble != 0 {
+            acc = acc.add_affine(&tables.comb[window][nibble as usize - 1]);
+        }
+    }
+    acc
+}
+
+/// Straus/Shamir multi-scalar multiplication:
+/// `gen_scalar·G + Σ scalarᵢ·pointᵢ` in a single interleaved-wNAF pass —
+/// one shared doubling track, one table hit per non-zero digit. ECDSA
+/// verification calls this with one pair, recovery with one pair, batch
+/// verification with `2k` pairs.
+pub fn multi_scalar_mul(gen_scalar: Scalar, pairs: &[(Scalar, Point)]) -> JacobianPoint {
+    let gen_digits = if gen_scalar.is_zero() {
+        Vec::new()
+    } else {
+        wnaf(gen_scalar)
+    };
+    let mut tracks: Vec<(Vec<i8>, WnafTable)> = Vec::with_capacity(pairs.len());
+    for (scalar, point) in pairs {
+        if scalar.is_zero() || point.infinity {
+            continue;
+        }
+        tracks.push((wnaf(*scalar), WnafTable::new(point)));
+    }
+    let length = tracks
+        .iter()
+        .map(|(digits, _)| digits.len())
+        .chain(std::iter::once(gen_digits.len()))
+        .max()
+        .unwrap_or(0);
+    let gen_odd = if gen_digits.is_empty() {
+        None
+    } else {
+        Some(&generator_tables().odd)
+    };
+    let mut acc = JacobianPoint::INFINITY;
+    for index in (0..length).rev() {
+        acc = acc.double();
+        if let (Some(odd), Some(&digit)) = (gen_odd, gen_digits.get(index)) {
+            acc = select_from(odd, acc, digit);
+        }
+        for (digits, table) in &tracks {
+            if let Some(&digit) = digits.get(index) {
+                acc = table.select_into(acc, digit);
+            }
+        }
+    }
+    acc
+}
+
+/// Adds `digit · P` from a raw odd-multiples table (the generator's).
+fn select_from(odd: &[Point; WNAF_TABLE], acc: JacobianPoint, digit: i8) -> JacobianPoint {
+    match digit.cmp(&0) {
+        core::cmp::Ordering::Greater => acc.add_affine(&odd[(digit as usize - 1) / 2]),
+        core::cmp::Ordering::Less => acc.add_affine(&odd[((-digit) as usize - 1) / 2].negate()),
+        core::cmp::Ordering::Equal => acc,
+    }
+}
+
+/// `u1·G + u2·Q` — the shape of the ECDSA verification equation.
+pub fn double_scalar_mul_generator(u1: Scalar, u2: Scalar, q: &Point) -> JacobianPoint {
+    multi_scalar_mul(u1, &[(u2, *q)])
+}

@@ -1,0 +1,173 @@
+//! Arithmetic modulo the secp256k1 group order `n` (private keys, nonces,
+//! signature components).
+//!
+//! The order satisfies `2^256 = n + C` with `C = 2^256 − n ≈ 2^129`, so a
+//! 512-bit product reduces by repeatedly folding the high half back in as
+//! `hi·C` — no long division. Inversion uses a fixed-exponent chain for
+//! `n − 2`: an addition-chain block for its leading run of 127 one-bits,
+//! then plain square-and-multiply over the remaining 129 (compile-time
+//! constant) bits.
+
+use super::CURVE_ORDER;
+use tinyevm_types::{U256, U512};
+
+/// `C = 2^256 − n`, the fold constant for reduction modulo the order.
+const ORDER_COMPLEMENT: U256 = U256::from_limbs([
+    0x402D_A173_2FC9_BEBF,
+    0x4551_2319_50B7_5FC4,
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_0000,
+]);
+
+/// The low 129 bits of `n − 2` (everything below the leading run of 127
+/// one-bits); bit 128 is zero.
+const ORDER_MINUS_2_TAIL: U256 = U256::from_limbs([
+    0xBFD2_5E8C_D036_413F,
+    0xBAAE_DCE6_AF48_A03B,
+    0x0000_0000_0000_0000,
+    0x0000_0000_0000_0000,
+]);
+
+/// Number of bits in [`ORDER_MINUS_2_TAIL`] (including the zero bit 128).
+const ORDER_TAIL_BITS: usize = 129;
+
+/// A scalar modulo the curve order `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(pub(crate) U256);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// The one scalar.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// Reduces an arbitrary 256-bit value modulo `n`.
+    ///
+    /// Any `U256` is below `2n` (because `n > 2^255`), so a single
+    /// conditional subtraction fully reduces.
+    pub fn new(value: U256) -> Self {
+        if value >= CURVE_ORDER {
+            Scalar(value.wrapping_sub(CURVE_ORDER))
+        } else {
+            Scalar(value)
+        }
+    }
+
+    /// Builds a scalar from 32 big-endian bytes, reducing modulo `n`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        Scalar::new(U256::from_be_bytes(*bytes))
+    }
+
+    /// The canonical representative in `[0, n)`.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Scalar addition modulo `n`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let (sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry {
+            // The true sum is 2^256 + sum ≡ sum + C, and since the operands
+            // are below n, sum < 2^256 − 2C, so sum + C < n: fully reduced.
+            Scalar(sum.wrapping_add(ORDER_COMPLEMENT))
+        } else {
+            Scalar::new(sum)
+        }
+    }
+
+    /// Scalar multiplication modulo `n`, via wide multiply + fold reduction.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(reduce_wide_order(self.0.full_mul(rhs.0)))
+    }
+
+    /// Scalar squaring.
+    pub fn square(self) -> Scalar {
+        self.mul(self)
+    }
+
+    /// Scalar negation modulo `n`.
+    pub fn negate(self) -> Scalar {
+        if self.is_zero() {
+            self
+        } else {
+            Scalar(CURVE_ORDER.wrapping_sub(self.0))
+        }
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(n-2)`).
+    ///
+    /// `n − 2` is a run of 127 one-bits followed by the fixed 129-bit tail
+    /// [`ORDER_MINUS_2_TAIL`]; the run is built with a
+    /// `1→2→3→6→12→24→48→96→120→126→127` addition chain and the tail is
+    /// consumed by square-and-multiply over the compile-time constant — no
+    /// bit-scan of a runtime exponent, and every multiply uses the fast
+    /// fold reduction rather than 512÷256 division.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on zero.
+    pub fn invert(self) -> Scalar {
+        assert!(!self.is_zero(), "attempted to invert zero scalar");
+        // u_k = self^(2^k - 1).
+        let u1 = self;
+        let u2 = u1.sqn(1).mul(u1);
+        let u3 = u2.sqn(1).mul(u1);
+        let u6 = u3.sqn(3).mul(u3);
+        let u12 = u6.sqn(6).mul(u6);
+        let u24 = u12.sqn(12).mul(u12);
+        let u48 = u24.sqn(24).mul(u24);
+        let u96 = u48.sqn(48).mul(u48);
+        let u120 = u96.sqn(24).mul(u24);
+        let u126 = u120.sqn(6).mul(u6);
+        let u127 = u126.sqn(1).mul(u1);
+        // Shift the 127-one block above the tail, multiplying the tail's set
+        // bits in as they stream past.
+        let mut result = u127;
+        for i in (0..ORDER_TAIL_BITS).rev() {
+            result = result.square();
+            if ORDER_MINUS_2_TAIL.bit(i) {
+                result = result.mul(u1);
+            }
+        }
+        result
+    }
+
+    /// `n` successive squarings: `self^(2^n)`.
+    fn sqn(self, n: u32) -> Scalar {
+        let mut result = self;
+        for _ in 0..n {
+            result = result.square();
+        }
+        result
+    }
+
+    /// Returns `true` when the scalar is greater than `n / 2` — used for the
+    /// Ethereum low-s signature normalization.
+    pub fn is_high(&self) -> bool {
+        self.0 > CURVE_ORDER.shr(1)
+    }
+}
+
+/// Reduces a 512-bit value modulo the curve order by folding the high half:
+/// `hi·2^256 + lo ≡ hi·C + lo (mod n)`. Each fold shrinks the high half
+/// from ≤256 bits to ≤130, then to ≤3, then to zero, so the loop runs at
+/// most three times.
+fn reduce_wide_order(value: U512) -> U256 {
+    let (mut lo, mut hi) = value.split();
+    while !hi.is_zero() {
+        let folded = hi.full_mul(ORDER_COMPLEMENT);
+        let (fold_lo, fold_hi) = folded.split();
+        let (sum, carry) = lo.overflowing_add(fold_lo);
+        lo = sum;
+        hi = fold_hi.wrapping_add(U256::from(carry as u64));
+    }
+    while lo >= CURVE_ORDER {
+        lo = lo.wrapping_sub(CURVE_ORDER);
+    }
+    lo
+}

@@ -11,7 +11,24 @@
 
 pub use std::hint::black_box;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// When set (by `criterion_main!` seeing `--test` on the command line, the
+/// flag real criterion's harness accepts), each benchmark body runs exactly
+/// once with no warm-up or calibration — a smoke test that the benchmark
+/// code itself works, suitable for CI.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables smoke-test mode (see [`TEST_MODE`]); called by `criterion_main!`.
+#[doc(hidden)]
+pub fn enable_test_mode() {
+    TEST_MODE.store(true, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// How much setup output to pre-build per batch in
 /// [`Bencher::iter_batched`]. The vendored harness treats all variants the
@@ -154,6 +171,14 @@ pub struct Bencher {
 impl Bencher {
     /// Measures `routine`, called repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            // Smoke mode: prove the routine runs, record one throwaway
+            // sample, skip calibration entirely.
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
         // Calibrate: find an iteration count that takes ≳200 µs to measure,
         // so cheap routines are not swamped by timer resolution.
         let mut iters: u64 = 1;
@@ -184,7 +209,8 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        for _ in 0..self.sample_size {
+        let samples = if test_mode() { 1 } else { self.sample_size };
+        for _ in 0..samples {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
@@ -206,10 +232,16 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+///
+/// Recognizes the `--test` flag (as real criterion does): each benchmark
+/// then runs its body once as a smoke test instead of being measured.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if std::env::args().any(|arg| arg == "--test") {
+                $crate::enable_test_mode();
+            }
             $($group();)+
         }
     };
