@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tinyevm_channel::ProtocolDriver;
 use tinyevm_crypto::secp256k1::PrivateKey;
+use tinyevm_net::NodeAddr;
 use tinyevm_types::{Address, Wei, H256};
 use tinyevm_wire::{transport, Message, SignedPayment};
 
@@ -34,7 +35,8 @@ fn bench_wire(c: &mut Criterion) {
 
     group.bench_function("fragment_and_reassemble_payment", |bencher| {
         bencher.iter(|| {
-            let frames = transport::to_frames(&message, 1, 2, 7);
+            let frames =
+                transport::to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 7).unwrap();
             black_box(transport::from_frames(&frames).unwrap())
         })
     });

@@ -21,8 +21,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tinyevm_bench::{
-    corpus_experiment_sharded, offchain_experiment, sample_crypto_perf, table1_text, table3_text,
-    PerfRecord,
+    corpus_experiment_sharded, multinode_sweep, multinode_text, offchain_experiment,
+    sample_crypto_perf, table1_text, table3_text, MultiNodeLane, PerfRecord,
 };
 use tinyevm_channel::contracts;
 
@@ -30,6 +30,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut count = 7_000usize;
     let mut payments = 3usize;
+    let mut rounds = 3usize;
     let mut jobs = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -51,6 +52,13 @@ fn main() {
                     .and_then(|value| value.parse().ok())
                     .unwrap_or(payments);
             }
+            "--rounds" => {
+                index += 1;
+                rounds = args
+                    .get(index)
+                    .and_then(|value| value.parse().ok())
+                    .unwrap_or(rounds);
+            }
             "--jobs" => {
                 index += 1;
                 jobs = args
@@ -60,7 +68,9 @@ fn main() {
                     .unwrap_or(jobs);
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--count N] [--payments N] [--jobs N]");
+                println!(
+                    "usage: experiments [--quick] [--count N] [--payments N] [--rounds N] [--jobs N]"
+                );
                 return;
             }
             other => eprintln!("ignoring unknown argument {other:?}"),
@@ -110,6 +120,16 @@ fn main() {
     emit("fig5.txt", &offchain.fig5_text());
     emit("wire.txt", &offchain.wire_text());
 
+    // The multi-node gateway sweep: several senders, one gateway, one
+    // chain. Sweep points are independent seeded scenarios, sharded across
+    // the worker threads like the corpus.
+    let fleet_sizes = [2usize, 4, 8];
+    eprintln!(
+        "running the multi-node gateway sweep ({fleet_sizes:?} sensors × {rounds} rounds, {jobs} workers)..."
+    );
+    let multinode = multinode_sweep(&fleet_sizes, rounds, jobs);
+    emit("multinode.txt", &multinode_text(&multinode));
+
     emit("summary.txt", &offchain.summary_text(&corpus));
 
     // The machine-readable perf trajectory (bench.json): host-side crypto
@@ -128,6 +148,10 @@ fn main() {
         corpus_wall_clock_ms: corpus_wall_clock.as_secs_f64() * 1000.0,
         payments: offchain.rounds.len(),
         payment_end_to_end_ms: mean_payment_ms,
+        multinode: multinode
+            .iter()
+            .map(MultiNodeLane::from_experiment)
+            .collect(),
         crypto: sample_crypto_perf(),
     };
     fs::write(output_dir.join("bench.json"), record.to_json()).expect("write bench.json");

@@ -3,11 +3,12 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use tinyevm_channel::ProtocolDriver;
+use tinyevm_channel::{GatewayDriver, GatewaySettlementReport, ProtocolDriver, SensorSummary};
 use tinyevm_corpus::{histogram, summarize, CorpusConfig, DistributionSummary};
 use tinyevm_device::{Footprint, Mcu, PowerState};
 use tinyevm_evm::opcode::{evm_census, tinyevm_census};
 use tinyevm_evm::{deploy, EvmConfig};
+use tinyevm_net::LinkConfig;
 use tinyevm_types::Wei;
 
 /// Results of the corpus macro-benchmark (Table II, Figures 3 and 4).
@@ -617,7 +618,8 @@ impl OffChainExperiment {
         );
         for message in &messages {
             let wire = message.to_wire();
-            let frames = fragment(0x0001, 0x0002, 0, &wire);
+            let frames = fragment(link.local(), link.peer(), 0, &wire)
+                .expect("protocol messages fit the link layer");
             let on_air: usize = frames.iter().map(|frame| frame.wire_size()).sum();
             let air: Duration = frames
                 .iter()
@@ -722,6 +724,166 @@ impl OffChainExperiment {
     }
 }
 
+/// Results of one multi-node gateway scenario: N sensors paying one
+/// gateway over a shared medium, settled on one chain.
+#[derive(Debug, Clone)]
+pub struct MultiNodeExperiment {
+    /// Sensors in the fleet.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Amount of each payment.
+    pub amount: Wei,
+    /// Per-sensor summary rows, in address order.
+    pub summaries: Vec<SensorSummary>,
+    /// The on-chain settlement of all channels.
+    pub settlement: GatewaySettlementReport,
+    /// Total bytes the medium carried (must equal the per-sensor sum).
+    pub medium_wire_bytes: u64,
+    /// Total time the medium was busy.
+    pub medium_airtime: Duration,
+}
+
+/// Runs one multi-node gateway scenario: `sensors` devices each make
+/// `rounds` payments of a fixed amount to one gateway, then every channel
+/// settles on the gateway's chain. Fully deterministic: device keys derive
+/// from names, loss processes from per-sensor seeds, so the same
+/// parameters always produce byte-identical statistics.
+pub fn multinode_experiment(sensors: usize, rounds: usize) -> MultiNodeExperiment {
+    let amount = Wei::from(2_500u64);
+    let mut driver = GatewayDriver::new(sensors, LinkConfig::default(), Wei::from(1_000_000u64));
+    driver.open_all().expect("channels open");
+    driver.run(rounds, amount).expect("payments succeed");
+    let summaries = driver.sensor_summaries();
+    let medium_wire_bytes = driver.medium().total_wire_bytes();
+    let medium_airtime = driver.medium().total_airtime();
+    let settlement = driver.settle_all().expect("all channels settle");
+    MultiNodeExperiment {
+        sensors,
+        rounds,
+        amount,
+        summaries,
+        settlement,
+        medium_wire_bytes,
+        medium_airtime,
+    }
+}
+
+/// Runs the multi-node sweep (one scenario per entry of `sensor_counts`)
+/// sharded across `jobs` worker threads. Each sweep point is an
+/// independent, fully seeded scenario, and results are collected **in
+/// sweep order**, so every `jobs` value produces identical statistics —
+/// `jobs = 1` runs them sequentially on the calling thread.
+pub fn multinode_sweep(
+    sensor_counts: &[usize],
+    rounds: usize,
+    jobs: usize,
+) -> Vec<MultiNodeExperiment> {
+    let jobs = jobs.clamp(1, sensor_counts.len().max(1));
+    if jobs == 1 {
+        return sensor_counts
+            .iter()
+            .map(|&sensors| multinode_experiment(sensors, rounds))
+            .collect();
+    }
+    let shard_len = sensor_counts.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sensor_counts
+            .chunks(shard_len)
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .map(|&sensors| multinode_experiment(sensors, rounds))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("multinode shard worker panicked"))
+            .collect()
+    })
+}
+
+impl MultiNodeExperiment {
+    /// Renders the per-sensor table plus the aggregate / settlement lines.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Multi-node gateway — {} sensors × {} rounds of {} wei over one shared medium",
+            self.sensors,
+            self.rounds,
+            self.amount.amount()
+        );
+        let _ = writeln!(
+            out,
+            "{:<8}{:>10}{:>12}{:>14}{:>13}{:>10}{:>10}{:>14}{:>8}",
+            "sensor",
+            "payments",
+            "paid (wei)",
+            "latency (ms)",
+            "energy (mJ)",
+            "up (B)",
+            "down (B)",
+            "airtime (ms)",
+            "rexmit"
+        );
+        for summary in &self.summaries {
+            let _ = writeln!(
+                out,
+                "{:<8}{:>10}{:>12}{:>14.1}{:>13.1}{:>10}{:>10}{:>14.1}{:>8}",
+                summary.addr.to_string(),
+                summary.payments,
+                summary.paid.amount().to_string(),
+                summary.mean_latency.as_secs_f64() * 1000.0,
+                summary.energy_mj,
+                summary.wire.uplink_wire_bytes,
+                summary.wire.downlink_wire_bytes,
+                summary.wire.airtime.as_secs_f64() * 1000.0,
+                summary.wire.retransmissions
+            );
+        }
+        let per_sensor_sum: u64 = self.summaries.iter().map(|s| s.wire.wire_bytes()).sum();
+        let _ = writeln!(
+            out,
+            "aggregate: {} payments, {} wire bytes on the medium (per-sensor sum {}), busy {:.1} ms",
+            self.summaries.iter().map(|s| s.payments).sum::<u64>(),
+            self.medium_wire_bytes,
+            per_sensor_sum,
+            self.medium_airtime.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "settlement: {} channels on one chain, {} wei to the gateway, {} on-chain transactions, fraud: {}",
+            self.settlement.settlements.len(),
+            self.settlement.total_to_gateway.amount(),
+            self.settlement.on_chain_transactions,
+            self.settlement
+                .settlements
+                .iter()
+                .filter(|(_, s)| s.fraud_detected)
+                .count()
+        );
+        out
+    }
+}
+
+/// Renders the whole multi-node sweep as one report.
+pub fn multinode_text(sweep: &[MultiNodeExperiment]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Multi-node scenario family — several senders sharing one gateway (paper's deployment shape)"
+    );
+    for experiment in sweep {
+        let _ = writeln!(out);
+        out.push_str(&experiment.text());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,6 +946,50 @@ mod tests {
         // More workers than contracts degrades gracefully.
         let oversharded = corpus_experiment_sharded(5, 8 * 1024, 64);
         assert_eq!(oversharded.total, 5);
+    }
+
+    #[test]
+    fn multinode_experiment_settles_and_accounts_consistently() {
+        let experiment = multinode_experiment(4, 2);
+        assert_eq!(experiment.summaries.len(), 4);
+        assert_eq!(
+            experiment.settlement.total_to_gateway,
+            Wei::from(4 * 2 * 2_500u64)
+        );
+        // Per-sensor wire accounting sums to the medium total.
+        let per_sensor: u64 = experiment
+            .summaries
+            .iter()
+            .map(|s| s.wire.wire_bytes())
+            .sum();
+        assert_eq!(per_sensor, experiment.medium_wire_bytes);
+        let text = experiment.text();
+        assert!(text.contains("0x0004"), "per-sensor rows are rendered");
+        assert!(text.contains("settlement: 4 channels"));
+    }
+
+    #[test]
+    fn multinode_sweep_is_statistics_identical_for_every_jobs_value() {
+        let counts = [2usize, 3, 4];
+        let sequential = multinode_sweep(&counts, 2, 1);
+        for jobs in [2, 3, 8] {
+            let sharded = multinode_sweep(&counts, 2, jobs);
+            assert_eq!(sharded.len(), sequential.len(), "jobs {jobs}");
+            for (a, b) in sharded.iter().zip(&sequential) {
+                assert_eq!(a.summaries, b.summaries, "jobs {jobs}");
+                assert_eq!(a.medium_wire_bytes, b.medium_wire_bytes, "jobs {jobs}");
+                assert_eq!(a.medium_airtime, b.medium_airtime, "jobs {jobs}");
+                assert_eq!(
+                    a.settlement.total_to_gateway, b.settlement.total_to_gateway,
+                    "jobs {jobs}"
+                );
+                assert_eq!(a.text(), b.text(), "same rendered table for jobs {jobs}");
+            }
+        }
+        assert_eq!(
+            multinode_text(&sequential),
+            multinode_text(&multinode_sweep(&counts, 2, 2))
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub mod experiments;
 pub mod perf;
 
 pub use experiments::{
-    corpus_experiment, corpus_experiment_sharded, offchain_experiment, table1_text, table3_text,
-    CorpusExperiment, OffChainExperiment,
+    corpus_experiment, corpus_experiment_sharded, multinode_experiment, multinode_sweep,
+    multinode_text, offchain_experiment, table1_text, table3_text, CorpusExperiment,
+    MultiNodeExperiment, OffChainExperiment,
 };
-pub use perf::{sample_crypto_perf, CryptoPerf, PerfRecord};
+pub use perf::{sample_crypto_perf, CryptoPerf, MultiNodeLane, PerfRecord};

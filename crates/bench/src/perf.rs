@@ -107,6 +107,48 @@ pub fn sample_crypto_perf() -> CryptoPerf {
     }
 }
 
+/// One multi-node gateway lane of the perf record: the modelled cost of a
+/// whole fleet session at one sweep point.
+#[derive(Debug, Clone)]
+pub struct MultiNodeLane {
+    /// Sensors in the fleet.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Mean end-to-end payment latency across all sensors (ms).
+    pub mean_latency_ms: f64,
+    /// Total bytes the shared medium carried.
+    pub wire_bytes: u64,
+    /// Total time the medium was busy (ms).
+    pub airtime_ms: f64,
+    /// Aggregate energy the sensor fleet consumed (mJ).
+    pub fleet_energy_mj: f64,
+}
+
+impl MultiNodeLane {
+    /// Builds a lane from a finished multi-node experiment.
+    pub fn from_experiment(experiment: &crate::experiments::MultiNodeExperiment) -> Self {
+        let latencies_ms: Vec<f64> = experiment
+            .summaries
+            .iter()
+            .map(|s| s.mean_latency.as_secs_f64() * 1000.0)
+            .collect();
+        let mean_latency_ms = if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+        };
+        MultiNodeLane {
+            sensors: experiment.sensors,
+            rounds: experiment.rounds,
+            mean_latency_ms,
+            wire_bytes: experiment.medium_wire_bytes,
+            airtime_ms: experiment.medium_airtime.as_secs_f64() * 1000.0,
+            fleet_energy_mj: experiment.summaries.iter().map(|s| s.energy_mj).sum(),
+        }
+    }
+}
+
 /// The full perf record the harness writes to `bench.json`.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -122,6 +164,8 @@ pub struct PerfRecord {
     pub payments: usize,
     /// Mean modelled end-to-end payment latency in milliseconds.
     pub payment_end_to_end_ms: f64,
+    /// The multi-node gateway sweep, one lane per fleet size.
+    pub multinode: Vec<MultiNodeLane>,
     /// The crypto micro-benchmarks.
     pub crypto: CryptoPerf,
 }
@@ -132,7 +176,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"schema\": 2,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -164,7 +208,26 @@ impl PerfRecord {
             "    \"payment_end_to_end_ms\": {:.1}",
             self.payment_end_to_end_ms
         );
-        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"multinode\": [");
+        for (index, lane) in self.multinode.iter().enumerate() {
+            let comma = if index + 1 < self.multinode.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"sensors\": {}, \"rounds\": {}, \"mean_latency_ms\": {:.1}, \"wire_bytes\": {}, \"airtime_ms\": {:.1}, \"fleet_energy_mj\": {:.1}}}{comma}",
+                lane.sensors,
+                lane.rounds,
+                lane.mean_latency_ms,
+                lane.wire_bytes,
+                lane.airtime_ms,
+                lane.fleet_energy_mj
+            );
+        }
+        let _ = writeln!(out, "  ]");
         let _ = writeln!(out, "}}");
         out
     }
@@ -196,6 +259,24 @@ mod tests {
             corpus_wall_clock_ms: 1234.5,
             payments: 3,
             payment_end_to_end_ms: 583.8,
+            multinode: vec![
+                MultiNodeLane {
+                    sensors: 4,
+                    rounds: 3,
+                    mean_latency_ms: 583.8,
+                    wire_bytes: 12_345,
+                    airtime_ms: 456.7,
+                    fleet_energy_mj: 321.0,
+                },
+                MultiNodeLane {
+                    sensors: 8,
+                    rounds: 3,
+                    mean_latency_ms: 584.1,
+                    wire_bytes: 24_690,
+                    airtime_ms: 913.4,
+                    fleet_energy_mj: 642.0,
+                },
+            ],
             crypto: CryptoPerf {
                 ecdsa_sign_ns: 1.0,
                 ecdsa_verify_ns: 2.0,
@@ -225,9 +306,15 @@ mod tests {
             "\"offchain\"",
             "\"payments\"",
             "\"payment_end_to_end_ms\"",
+            "\"multinode\"",
+            "\"sensors\"",
+            "\"wire_bytes\"",
+            "\"airtime_ms\"",
+            "\"fleet_energy_mj\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"sensors\"").count(), 2, "both lanes emitted");
     }
 }

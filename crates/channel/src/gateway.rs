@@ -1,0 +1,1106 @@
+//! The multi-node gateway scenario: N sensor devices, one gateway.
+//!
+//! The paper's deployment is not one car and one parking sensor but a
+//! *fleet* of low-power devices each paying a single gateway over its own
+//! off-chain channel. [`GatewayDriver`] builds that topology end to end:
+//!
+//! * N [`SensorNode`]s, each an OpenMote-B class device with its own key,
+//!   link-layer [`NodeAddr`] and payment channel;
+//! * one [`Gateway`] device that terminates every channel — it keeps a
+//!   per-sensor channel state machine, side-chain log and locally deployed
+//!   channel contract;
+//! * a [`SharedMedium`] carrying all traffic, with every wire byte and
+//!   microsecond of airtime attributed to the sensor that caused it;
+//! * one [`Blockchain`] that hosts all N templates and settles all N
+//!   channels at the end of the session.
+//!
+//! Every protocol step crosses the medium as an encoded
+//! [`tinyevm_wire::Message`] and the far side acts only on the decoded
+//! artifact, exactly like the two-party [`crate::ProtocolDriver`]. The
+//! whole multi-session state — chain plus 2 × N channel endpoints — can be
+//! persisted as one wire-format file and restored after a power cycle.
+//!
+//! Everything is seeded (device keys from names, per-sensor loss processes
+//! from the medium seed and the sensor address), so a scenario run is
+//! deterministic: the same configuration produces byte-identical
+//! statistics every time.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Duration;
+
+use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
+use tinyevm_crypto::secp256k1::Signature;
+use tinyevm_device::{Device, RadioDirection};
+use tinyevm_net::{EndpointStats, LinkConfig, NodeAddr, SharedMedium, TransferReport};
+use tinyevm_types::{Address, Wei, H256, U256};
+use tinyevm_wire::{
+    persist, ChainSnapshot, ChannelOpen, ChannelSnapshot, EndpointRole, Message, PaymentAck,
+    SensorReading, WireError,
+};
+
+use crate::channel::{ChannelConfig, ChannelRole, PaymentChannel};
+use crate::contracts;
+use crate::protocol::ProtocolError;
+use crate::sidechain::SideChainLog;
+
+/// Default link-layer address of the gateway.
+pub const GATEWAY_ADDR: NodeAddr = NodeAddr::new(0xFE);
+
+/// One paying sensor device of the fleet.
+#[derive(Debug)]
+pub struct SensorNode {
+    device: Device,
+    addr: NodeAddr,
+    template: Option<Address>,
+    channel: Option<PaymentChannel>,
+    contract: Option<Address>,
+    log: SideChainLog,
+    ack_signatures: Vec<Signature>,
+    latencies: Vec<Duration>,
+}
+
+impl SensorNode {
+    fn new(index: usize) -> Self {
+        SensorNode {
+            device: Device::openmote_b(&format!("sensor-{:02}", index + 1)),
+            addr: NodeAddr::new(index as u16 + 1),
+            template: None,
+            channel: None,
+            contract: None,
+            log: SideChainLog::new(H256::ZERO),
+            ack_signatures: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The sensor's link-layer address.
+    pub fn node_addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The sensor's payment identity.
+    pub fn address(&self) -> Address {
+        self.device.address()
+    }
+
+    /// The sensor's channel endpoint, once opened.
+    pub fn channel(&self) -> Option<&PaymentChannel> {
+        self.channel.as_ref()
+    }
+
+    /// The sensor's side-chain log.
+    pub fn side_chain(&self) -> &SideChainLog {
+        &self.log
+    }
+
+    /// Gateway acknowledgement signatures this sensor has collected.
+    pub fn ack_signatures(&self) -> &[Signature] {
+        &self.ack_signatures
+    }
+
+    /// End-to-end latencies of this sensor's payments, in order.
+    pub fn latencies(&self) -> &[Duration] {
+        &self.latencies
+    }
+}
+
+/// The gateway's bookkeeping for one sensor's channel.
+#[derive(Debug)]
+struct GatewayChannel {
+    template: Address,
+    channel: PaymentChannel,
+    contract: Address,
+    log: SideChainLog,
+}
+
+/// The single receiver terminating all N channels.
+#[derive(Debug)]
+pub struct Gateway {
+    device: Device,
+    addr: NodeAddr,
+    channels: BTreeMap<NodeAddr, GatewayChannel>,
+}
+
+impl Gateway {
+    fn new(addr: NodeAddr) -> Self {
+        Gateway {
+            device: Device::openmote_b("gateway"),
+            addr,
+            channels: BTreeMap::new(),
+        }
+    }
+
+    /// The gateway device (one radio, one crypto engine, N contracts).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The gateway's link-layer address.
+    pub fn node_addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The gateway's payment identity.
+    pub fn address(&self) -> Address {
+        self.device.address()
+    }
+
+    /// The gateway's channel endpoint for one sensor.
+    pub fn channel_for(&self, sensor: NodeAddr) -> Option<&PaymentChannel> {
+        self.channels.get(&sensor).map(|entry| &entry.channel)
+    }
+
+    /// The gateway's side-chain log for one sensor's channel.
+    pub fn side_chain_for(&self, sensor: NodeAddr) -> Option<&SideChainLog> {
+        self.channels.get(&sensor).map(|entry| &entry.log)
+    }
+
+    /// The on-chain template backing one sensor's channel.
+    pub fn template_for(&self, sensor: NodeAddr) -> Option<Address> {
+        self.channels.get(&sensor).map(|entry| entry.template)
+    }
+}
+
+/// Measurements of one multi-node payment round.
+#[derive(Debug, Clone)]
+pub struct GatewayRoundReport {
+    /// The paying sensor.
+    pub sensor: NodeAddr,
+    /// Sequence number on that sensor's channel.
+    pub sequence: u64,
+    /// Cumulative amount that sensor now owes the gateway.
+    pub cumulative: Wei,
+    /// Wall-clock time from initiating the payment on the sensor until the
+    /// gateway's acknowledgement arrived back.
+    pub end_to_end_latency: Duration,
+    /// Radio bytes exchanged for this payment (both directions).
+    pub bytes_exchanged: usize,
+}
+
+/// Per-sensor summary of a finished (or running) session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorSummary {
+    /// The sensor's link-layer address.
+    pub addr: NodeAddr,
+    /// The sensor's payment identity.
+    pub account: Address,
+    /// Payments the sensor made.
+    pub payments: u64,
+    /// Cumulative amount paid to the gateway.
+    pub paid: Wei,
+    /// Mean end-to-end payment latency.
+    pub mean_latency: Duration,
+    /// Energy the sensor's hardware consumed so far (mJ).
+    pub energy_mj: f64,
+    /// Wire-level accounting attributed to this sensor on the medium.
+    pub wire: EndpointStats,
+}
+
+/// Result of settling every channel on the gateway's chain.
+#[derive(Debug, Clone)]
+pub struct GatewaySettlementReport {
+    /// Per-sensor settlements, in sensor-address order.
+    pub settlements: Vec<(NodeAddr, Settlement)>,
+    /// Sum paid to the gateway across all channels.
+    pub total_to_gateway: Wei,
+    /// The gateway's final on-chain balance.
+    pub gateway_balance: Wei,
+    /// On-chain transactions the whole multi-channel session needed.
+    pub on_chain_transactions: usize,
+}
+
+/// The multi-node driver: N sensors, one gateway, one chain, one medium.
+///
+/// # Example
+///
+/// ```
+/// use tinyevm_channel::gateway::GatewayDriver;
+/// use tinyevm_net::LinkConfig;
+/// use tinyevm_types::Wei;
+///
+/// let mut driver = GatewayDriver::new(4, LinkConfig::default(), Wei::from(1_000_000u64));
+/// driver.open_all().unwrap();
+/// driver.run(2, Wei::from(1_000u64)).unwrap();
+/// let report = driver.settle_all().unwrap();
+/// assert_eq!(report.settlements.len(), 4);
+/// assert_eq!(report.total_to_gateway, Wei::from(8_000u64));
+/// ```
+#[derive(Debug)]
+pub struct GatewayDriver {
+    chain: Blockchain,
+    gateway: Gateway,
+    sensors: Vec<SensorNode>,
+    medium: SharedMedium,
+    deposit: Wei,
+    idle_gap: Duration,
+    rounds: Vec<GatewayRoundReport>,
+}
+
+impl GatewayDriver {
+    /// Builds a fleet of `sensor_count` sensors around one gateway, all
+    /// funded on a fresh chain. Sensor addresses are 1..=N; the gateway
+    /// sits at [`GATEWAY_ADDR`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sensor_count` is 0, collides with [`GATEWAY_ADDR`], or
+    /// the link configuration is invalid.
+    pub fn new(sensor_count: usize, link: LinkConfig, deposit: Wei) -> Self {
+        assert!(sensor_count >= 1, "a gateway needs at least one sensor");
+        assert!(
+            sensor_count < usize::from(GATEWAY_ADDR.value()),
+            "sensor addresses would collide with the gateway's"
+        );
+        let gateway = Gateway::new(GATEWAY_ADDR);
+        let mut medium = SharedMedium::new(gateway.addr, link);
+        let mut chain = Blockchain::new();
+        let sensors: Vec<SensorNode> = (0..sensor_count)
+            .map(|index| {
+                let sensor = SensorNode::new(index);
+                medium
+                    .attach(sensor.addr)
+                    .expect("sensor addresses are unique");
+                // Genesis allocation: each sensor locks its own deposit.
+                chain.fund(sensor.address(), deposit.saturating_add(Wei::from_eth(1)));
+                sensor
+            })
+            .collect();
+        GatewayDriver {
+            chain,
+            gateway,
+            sensors,
+            medium,
+            deposit,
+            idle_gap: Duration::from_millis(120),
+            rounds: Vec::new(),
+        }
+    }
+
+    /// The chain settling all channels.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The gateway.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// The sensor fleet, in address order.
+    pub fn sensors(&self) -> &[SensorNode] {
+        &self.sensors
+    }
+
+    /// The shared medium (per-sensor wire accounting).
+    pub fn medium(&self) -> &SharedMedium {
+        &self.medium
+    }
+
+    /// Reports of every payment made so far, in execution order.
+    pub fn rounds(&self) -> &[GatewayRoundReport] {
+        &self.rounds
+    }
+
+    /// Adjusts the idle gap inserted between protocol steps.
+    pub fn set_idle_gap(&mut self, gap: Duration) {
+        self.idle_gap = gap;
+    }
+
+    /// Opens every sensor's channel: publishes its template (locking the
+    /// sensor's deposit), registers the payment channel on-chain, runs the
+    /// channel-open handshake over the medium and instantiates the channel
+    /// contract on both the sensor and the gateway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] when called twice, or the
+    /// underlying chain / device / medium error.
+    pub fn open_all(&mut self) -> Result<(), ProtocolError> {
+        if self.sensors.iter().any(|sensor| sensor.channel.is_some()) {
+            return Err(ProtocolError::OutOfOrder("channels are already open"));
+        }
+        let gateway_account = self.gateway.address();
+        for index in 0..self.sensors.len() {
+            let (sensor_account, sensor_addr) = {
+                let sensor = &self.sensors[index];
+                (sensor.address(), sensor.addr)
+            };
+            let template = self.chain.publish_template(TemplateConfig {
+                sender: sensor_account,
+                receiver: gateway_account,
+                deposit: self.deposit,
+                challenge_period_blocks: 10,
+            })?;
+            let channel_id = self
+                .chain
+                .create_payment_channel(sensor_account, template)?;
+
+            // The sensor proposes its channel parameters over the medium;
+            // the gateway instantiates its endpoint from the *decoded*
+            // proposal.
+            let proposal = Message::ChannelOpen(ChannelOpen {
+                template,
+                channel_id,
+                sender: sensor_account,
+                receiver: gateway_account,
+                deposit_cap: self.deposit,
+            });
+            let (delivered, _) = self.uplink(index, &proposal)?;
+            let Message::ChannelOpen(accepted) = delivered else {
+                return Err(ProtocolError::UnexpectedMessage {
+                    expected: "channel-open",
+                    got: "other",
+                });
+            };
+
+            // Both parties execute the channel constructor locally.
+            let init = contracts::payment_channel_init_code(
+                tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                channel_id,
+            );
+            let anchor = self
+                .chain
+                .template(&template)
+                .map(|t| t.side_chain_root().hash)
+                .unwrap_or(H256::ZERO);
+            let sensor = &mut self.sensors[index];
+            let (sensor_contract, _) = sensor
+                .device
+                .create_local_contract(&init)
+                .map_err(|e| ProtocolError::Device(e.to_string()))?;
+            sensor.template = Some(template);
+            sensor.contract = Some(sensor_contract);
+            sensor.channel = Some(PaymentChannel::new(
+                ChannelConfig {
+                    template,
+                    channel_id,
+                    sender: sensor_account,
+                    receiver: gateway_account,
+                    deposit_cap: self.deposit,
+                },
+                ChannelRole::Sender,
+            ));
+            sensor.log = SideChainLog::new(anchor);
+
+            let (gateway_contract, _) = self
+                .gateway
+                .device
+                .create_local_contract(&init)
+                .map_err(|e| ProtocolError::Device(e.to_string()))?;
+            self.gateway.channels.insert(
+                sensor_addr,
+                GatewayChannel {
+                    template: accepted.template,
+                    channel: PaymentChannel::new(
+                        ChannelConfig {
+                            template: accepted.template,
+                            channel_id: accepted.channel_id,
+                            sender: accepted.sender,
+                            receiver: accepted.receiver,
+                            deposit_cap: accepted.deposit_cap,
+                        },
+                        ChannelRole::Receiver,
+                    ),
+                    contract: gateway_contract,
+                    log: SideChainLog::new(anchor),
+                },
+            );
+        }
+        self.pause_all();
+        Ok(())
+    }
+
+    /// One off-chain payment from sensor `index` to the gateway: sensor
+    /// reading uplink, signed payment uplink, verification and side-chain
+    /// registration on the gateway, acknowledgement downlink, registration
+    /// on the sensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] before [`GatewayDriver::open_all`]
+    /// or for an out-of-range index, and the underlying channel / medium /
+    /// signature error otherwise.
+    pub fn pay(&mut self, index: usize, amount: Wei) -> Result<GatewayRoundReport, ProtocolError> {
+        if index >= self.sensors.len() {
+            return Err(ProtocolError::OutOfOrder("no such sensor"));
+        }
+        let sensor_addr = self.sensors[index].addr;
+        let started_at = self.sensors[index].device.now();
+
+        // 1. The sensor reads its peripheral and sends the reading up; the
+        //    payment is bound to the hash of what actually crossed the air.
+        let reading = self.sensors[index]
+            .device
+            .read_sensor(tinyevm_device::sensors::peripheral_id::TEMPERATURE, 0)
+            .unwrap_or(U256::ZERO);
+        let (delivered, reading_bytes) = self.uplink(
+            index,
+            &Message::SensorReading(SensorReading {
+                peripheral: tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                value: reading,
+            }),
+        )?;
+        let Message::SensorReading(seen) = delivered else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "sensor-reading",
+                got: "other",
+            });
+        };
+        let sensor_hash = tinyevm_crypto::keccak256_h256(&seen.value.to_be_bytes());
+
+        // 2. The sensor builds and signs the payment (crypto-engine time
+        //    charged by the device model).
+        let payment = {
+            let sensor = &mut self.sensors[index];
+            let key = *sensor.device.private_key();
+            let channel = sensor
+                .channel
+                .as_mut()
+                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+            let payment = channel.create_payment(&key, amount, sensor_hash)?;
+            let (device_signature, _) = sensor.device.sign_payload(&payment.encode_payload());
+            debug_assert_eq!(device_signature, payment.signature);
+            payment
+        };
+
+        // 3. The signed payment crosses the medium; the gateway acts only
+        //    on the decoded artifact.
+        let (delivered, payment_bytes) = self.uplink(index, &Message::Payment(payment.clone()))?;
+        let Message::Payment(received) = delivered else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "payment",
+                got: "other",
+            });
+        };
+
+        // 4. The gateway verifies, applies and registers the payment on
+        //    its per-sensor side-chain, then signs the acknowledgement.
+        let gateway_busy_from = self.gateway.device.now();
+        let payer = self
+            .gateway
+            .device
+            .verify_payload(&received.encode_payload(), &received.signature)
+            .ok_or(ProtocolError::BadSignature)?;
+        if payer != self.sensors[index].address() {
+            return Err(ProtocolError::BadSignature);
+        }
+        {
+            let entry = self
+                .gateway
+                .channels
+                .get_mut(&sensor_addr)
+                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+            entry.channel.accept_payment(&received)?;
+            let calldata =
+                contracts::record_payment_calldata(received.sequence, received.cumulative.amount());
+            let (_, success, _) =
+                self.gateway
+                    .device
+                    .call_local_contract(entry.contract, U256::ZERO, &calldata);
+            if !success {
+                return Err(ProtocolError::Device(
+                    "gateway channel contract rejected the payment".to_string(),
+                ));
+            }
+            entry.log.append(
+                received.channel_id,
+                received.sequence,
+                received.cumulative,
+                H256::from_bytes(received.digest()),
+            );
+        }
+        let (ack_signature, _) = self.gateway.device.sign_payload(&received.encode_payload());
+        let gateway_busy = self.gateway.device.now().saturating_sub(gateway_busy_from);
+        // The sensor idles in LPM2 while the gateway works; that wait is
+        // part of the payment's end-to-end latency.
+        self.sensors[index].device.sleep(gateway_busy);
+
+        // 5. The acknowledgement travels back down the medium.
+        let ack = Message::PaymentAck(PaymentAck {
+            channel_id: received.channel_id,
+            sequence: received.sequence,
+            signature: ack_signature,
+        });
+        let (delivered_ack, ack_bytes) = self.downlink(index, &ack)?;
+        let Message::PaymentAck(ack) = delivered_ack else {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: "payment-ack",
+                got: "other",
+            });
+        };
+        if ack.sequence != payment.sequence || ack.channel_id != payment.channel_id {
+            return Err(ProtocolError::OutOfOrder(
+                "acknowledgement for a different payment",
+            ));
+        }
+        let gateway_account = self.gateway.address();
+        {
+            let sensor = &mut self.sensors[index];
+            let signer = sensor
+                .device
+                .verify_payload(&payment.encode_payload(), &ack.signature)
+                .ok_or(ProtocolError::BadSignature)?;
+            if signer != gateway_account {
+                return Err(ProtocolError::BadSignature);
+            }
+            sensor.ack_signatures.push(ack.signature);
+
+            // 6. The sensor registers the payment on its own side-chain.
+            let contract = sensor
+                .contract
+                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+            let calldata =
+                contracts::record_payment_calldata(payment.sequence, payment.cumulative.amount());
+            let (_, success, _) =
+                sensor
+                    .device
+                    .call_local_contract(contract, U256::ZERO, &calldata);
+            if !success {
+                return Err(ProtocolError::Device(
+                    "sensor channel contract rejected the payment".to_string(),
+                ));
+            }
+            sensor.log.append(
+                payment.channel_id,
+                payment.sequence,
+                payment.cumulative,
+                H256::from_bytes(payment.digest()),
+            );
+        }
+
+        let end_to_end_latency = self.sensors[index].device.now().saturating_sub(started_at);
+        self.sensors[index].latencies.push(end_to_end_latency);
+        self.sensors[index].device.sleep(self.idle_gap);
+        let report = GatewayRoundReport {
+            sensor: sensor_addr,
+            sequence: payment.sequence,
+            cumulative: payment.cumulative,
+            end_to_end_latency,
+            bytes_exchanged: reading_bytes + payment_bytes + ack_bytes,
+        };
+        self.rounds.push(report.clone());
+        Ok(report)
+    }
+
+    /// Runs `rounds` full rounds: every sensor pays `amount` once per
+    /// round, in address order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of any payment.
+    pub fn run(&mut self, rounds: usize, amount: Wei) -> Result<(), ProtocolError> {
+        for _ in 0..rounds {
+            for index in 0..self.sensors.len() {
+                self.pay(index, amount)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes and settles every channel on the gateway's chain: each final
+    /// state is dual-signed, travels up the medium as a wire message, is
+    /// committed from its decoded form, and after one shared challenge
+    /// period every template is finalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] before channels are open, or
+    /// the chain's rejection.
+    pub fn settle_all(&mut self) -> Result<GatewaySettlementReport, ProtocolError> {
+        let gateway_account = self.gateway.address();
+        let mut templates = Vec::with_capacity(self.sensors.len());
+        for index in 0..self.sensors.len() {
+            let sensor_addr = self.sensors[index].addr;
+            let state = {
+                let entry = self
+                    .gateway
+                    .channels
+                    .get_mut(&sensor_addr)
+                    .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+                entry.channel.close()
+            };
+            if let Some(channel) = self.sensors[index].channel.as_mut() {
+                channel.close();
+            }
+            let encoded = state.encode();
+            let (sensor_signature, _) = self.sensors[index].device.sign_payload(&encoded);
+            let (gateway_signature, _) = self.gateway.device.sign_payload(&encoded);
+            let envelope = PaymentChannel::envelope(state, sensor_signature, gateway_signature);
+
+            // The dual-signed final state travels to the gateway as a wire
+            // message; what goes on-chain is the decoded envelope.
+            let (delivered, _) = self.uplink(index, &Message::ChannelClose(envelope))?;
+            let Message::ChannelClose(committed) = delivered else {
+                return Err(ProtocolError::UnexpectedMessage {
+                    expected: "channel-close",
+                    got: "other",
+                });
+            };
+            let template = committed.state.template;
+            self.chain
+                .commit_channel_state(gateway_account, template, &committed)?;
+            self.chain.start_exit(gateway_account, template)?;
+            templates.push((sensor_addr, template));
+        }
+
+        // One shared challenge period covers every exit (all templates use
+        // the same period), then each settles individually.
+        self.chain.advance_blocks(11);
+        let mut settlements = Vec::with_capacity(templates.len());
+        let mut total_to_gateway = Wei::ZERO;
+        for (sensor_addr, template) in templates {
+            let settlement = self.chain.finalize_template(gateway_account, template)?;
+            total_to_gateway = total_to_gateway.saturating_add(settlement.to_receiver);
+            settlements.push((sensor_addr, settlement));
+        }
+        Ok(GatewaySettlementReport {
+            settlements,
+            total_to_gateway,
+            gateway_balance: self.chain.balance(&gateway_account),
+            on_chain_transactions: self.chain.transactions().len(),
+        })
+    }
+
+    /// Per-sensor summary rows, in address order.
+    pub fn sensor_summaries(&self) -> Vec<SensorSummary> {
+        self.sensors
+            .iter()
+            .map(|sensor| {
+                let latencies = &sensor.latencies;
+                let mean_latency = if latencies.is_empty() {
+                    Duration::ZERO
+                } else {
+                    latencies.iter().sum::<Duration>() / latencies.len() as u32
+                };
+                SensorSummary {
+                    addr: sensor.addr,
+                    account: sensor.address(),
+                    payments: sensor
+                        .channel
+                        .as_ref()
+                        .map(|c| c.payments_seen())
+                        .unwrap_or(0),
+                    paid: sensor
+                        .channel
+                        .as_ref()
+                        .map(|c| c.cumulative())
+                        .unwrap_or(Wei::ZERO),
+                    mean_latency,
+                    energy_mj: sensor.device.energy_report().total_energy_mj(),
+                    wire: self.medium.stats(sensor.addr).cloned().unwrap_or_default(),
+                }
+            })
+            .collect()
+    }
+
+    // --- persistence -----------------------------------------------------
+
+    /// Writes the whole multi-session state — the chain plus both
+    /// endpoints of every channel — to one wire-format persistence file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] before channels are open and
+    /// [`ProtocolError::Wire`] on filesystem failure.
+    pub fn save_session(&self, path: &Path) -> Result<(), ProtocolError> {
+        let mut messages = Vec::with_capacity(1 + 2 * self.sensors.len());
+        messages.push(Message::ChainSnapshot(ChainSnapshot::capture(&self.chain)));
+        for sensor in &self.sensors {
+            let channel = sensor
+                .channel
+                .as_ref()
+                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+            messages.push(Message::ChannelSnapshot(
+                channel.snapshot(&sensor.log, &sensor.ack_signatures),
+            ));
+            let entry = self
+                .gateway
+                .channels
+                .get(&sensor.addr)
+                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
+            messages.push(Message::ChannelSnapshot(
+                entry.channel.snapshot(&entry.log, &[]),
+            ));
+        }
+        persist::write_messages(path, &messages)?;
+        Ok(())
+    }
+
+    /// Restores a session saved by [`GatewayDriver::save_session`] into
+    /// this driver (which must have the same fleet size and device
+    /// identities). The file is validated as a whole before any state
+    /// changes: the chain snapshot must be present, every sensor must have
+    /// a sender and a receiver snapshot agreeing on the channel, and all
+    /// templates must exist on the restored chain. Measurement history
+    /// ([`GatewayDriver::rounds`], per-sensor latencies) is cleared — it
+    /// belongs to the process that was lost in the power cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Wire`] for unreadable, incomplete,
+    /// tampered or foreign files and a device error when a channel
+    /// contract cannot be re-created.
+    pub fn restore_session(&mut self, path: &Path) -> Result<(), ProtocolError> {
+        let mut chain = None;
+        let mut senders: BTreeMap<Address, ChannelSnapshot> = BTreeMap::new();
+        let mut receivers: BTreeMap<Address, ChannelSnapshot> = BTreeMap::new();
+        for message in persist::read_messages(path)? {
+            match message {
+                Message::ChainSnapshot(snapshot) => chain = Some(snapshot.restore()?),
+                Message::ChannelSnapshot(snapshot) => {
+                    let by_party = match snapshot.role {
+                        EndpointRole::Sender => &mut senders,
+                        EndpointRole::Receiver => &mut receivers,
+                    };
+                    by_party.insert(snapshot.sender, snapshot);
+                }
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        expected: "snapshot",
+                        got: other.label(),
+                    })
+                }
+            }
+        }
+        let Some(chain) = chain else {
+            return Err(ProtocolError::Wire(WireError::Truncated));
+        };
+        if senders.len() != self.sensors.len() || receivers.len() != self.sensors.len() {
+            return Err(ProtocolError::Wire(WireError::Truncated));
+        }
+        // Validate and decode everything before committing any state.
+        let gateway_account = self.gateway.address();
+        let mut staged = Vec::with_capacity(self.sensors.len());
+        for sensor in &self.sensors {
+            let account = sensor.address();
+            let (Some(sender_snapshot), Some(receiver_snapshot)) =
+                (senders.get(&account), receivers.get(&account))
+            else {
+                return Err(ProtocolError::Wire(WireError::Value(
+                    "snapshot is missing a fleet device's channel",
+                )));
+            };
+            if sender_snapshot.template != receiver_snapshot.template
+                || sender_snapshot.channel_id != receiver_snapshot.channel_id
+                || sender_snapshot.receiver != receiver_snapshot.receiver
+                || sender_snapshot.deposit_cap != receiver_snapshot.deposit_cap
+            {
+                return Err(ProtocolError::Wire(WireError::Value(
+                    "endpoint snapshots describe different channels",
+                )));
+            }
+            if sender_snapshot.receiver != gateway_account {
+                return Err(ProtocolError::Wire(WireError::Value(
+                    "snapshot belongs to a different gateway",
+                )));
+            }
+            if chain.template(&sender_snapshot.template).is_none() {
+                return Err(ProtocolError::Wire(WireError::Value(
+                    "snapshot template is not on the restored chain",
+                )));
+            }
+            let sensor_parts = PaymentChannel::restore(sender_snapshot)?;
+            let gateway_parts = PaymentChannel::restore(receiver_snapshot)?;
+            staged.push((
+                sender_snapshot.template,
+                sender_snapshot.channel_id,
+                sensor_parts,
+                gateway_parts,
+            ));
+        }
+
+        // Commit. Measurement history (round reports and per-sensor
+        // latencies) describes the life of *this* process, not the
+        // restored session — a power cycle loses it, so it is cleared
+        // rather than left to mix stale numbers with restored channels.
+        // Device meters and medium statistics likewise keep counting from
+        // boot (the contract re-creation below is part of that boot cost).
+        self.chain = chain;
+        self.gateway.channels.clear();
+        self.rounds.clear();
+        for (sensor, (template, channel_id, sensor_parts, gateway_parts)) in
+            self.sensors.iter_mut().zip(staged)
+        {
+            let init = contracts::payment_channel_init_code(
+                tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                channel_id,
+            );
+            sensor.latencies.clear();
+            let (sensor_channel, sensor_log, acks) = sensor_parts;
+            let (sensor_contract, _) = sensor
+                .device
+                .create_local_contract(&init)
+                .map_err(|e| ProtocolError::Device(e.to_string()))?;
+            sensor.template = Some(template);
+            sensor.channel = Some(sensor_channel);
+            sensor.log = sensor_log;
+            sensor.ack_signatures = acks;
+            sensor.contract = Some(sensor_contract);
+
+            let (gateway_channel, gateway_log, _) = gateway_parts;
+            let (gateway_contract, _) = self
+                .gateway
+                .device
+                .create_local_contract(&init)
+                .map_err(|e| ProtocolError::Device(e.to_string()))?;
+            self.gateway.channels.insert(
+                sensor.addr,
+                GatewayChannel {
+                    template,
+                    channel: gateway_channel,
+                    contract: gateway_contract,
+                    log: gateway_log,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // --- internals -------------------------------------------------------
+
+    /// Moves one encoded message from a sensor up to the gateway, charging
+    /// codec and radio costs to both devices, and returns the decoded
+    /// message plus the wire bytes moved.
+    fn uplink(
+        &mut self,
+        index: usize,
+        message: &Message,
+    ) -> Result<(Message, usize), ProtocolError> {
+        let wire = message.to_wire();
+        let sensor_addr = self.sensors[index].addr;
+        let (delivered, report) = self.medium.send_to_gateway(sensor_addr, &wire)?;
+        let sensor = &mut self.sensors[index];
+        sensor.device.account_codec(wire.len());
+        sensor
+            .device
+            .account_radio(RadioDirection::Transmit, report.wire_bytes);
+        Self::account_rx(&mut self.gateway.device, &report, delivered.len());
+        let decoded = Message::from_wire(&delivered)?;
+        Ok((decoded, report.wire_bytes))
+    }
+
+    /// Moves one encoded message from the gateway down to a sensor.
+    fn downlink(
+        &mut self,
+        index: usize,
+        message: &Message,
+    ) -> Result<(Message, usize), ProtocolError> {
+        let wire = message.to_wire();
+        let sensor_addr = self.sensors[index].addr;
+        let (delivered, report) = self.medium.send_to_endpoint(sensor_addr, &wire)?;
+        self.gateway.device.account_codec(wire.len());
+        self.gateway
+            .device
+            .account_radio(RadioDirection::Transmit, report.wire_bytes);
+        Self::account_rx(&mut self.sensors[index].device, &report, delivered.len());
+        let decoded = Message::from_wire(&delivered)?;
+        Ok((decoded, report.wire_bytes))
+    }
+
+    fn account_rx(device: &mut Device, report: &TransferReport, delivered_len: usize) {
+        device.account_radio(RadioDirection::Receive, report.wire_bytes);
+        device.account_codec(delivered_len);
+    }
+
+    /// Inserts the configured idle gap on every device (LPM2).
+    fn pause_all(&mut self) {
+        for sensor in &mut self.sensors {
+            sensor.device.sleep(self.idle_gap);
+        }
+        self.gateway.device.sleep(self.idle_gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver(sensors: usize) -> GatewayDriver {
+        GatewayDriver::new(sensors, LinkConfig::default(), Wei::from(1_000_000u64))
+    }
+
+    #[test]
+    fn fleet_has_distinct_identities_and_addresses() {
+        let d = driver(4);
+        let mut accounts: Vec<Address> = d.sensors().iter().map(|s| s.address()).collect();
+        accounts.push(d.gateway().address());
+        accounts.sort();
+        accounts.dedup();
+        assert_eq!(accounts.len(), 5, "all payment identities are distinct");
+        let addrs: Vec<NodeAddr> = d.sensors().iter().map(|s| s.node_addr()).collect();
+        assert_eq!(
+            addrs,
+            vec![
+                NodeAddr::new(1),
+                NodeAddr::new(2),
+                NodeAddr::new(3),
+                NodeAddr::new(4)
+            ]
+        );
+        assert_eq!(d.gateway().node_addr(), GATEWAY_ADDR);
+    }
+
+    #[test]
+    fn payments_must_wait_for_open_all() {
+        let mut d = driver(2);
+        assert!(matches!(
+            d.pay(0, Wei::from(1u64)),
+            Err(ProtocolError::OutOfOrder(_))
+        ));
+        d.open_all().unwrap();
+        assert!(matches!(d.open_all(), Err(ProtocolError::OutOfOrder(_))));
+        assert!(matches!(
+            d.pay(9, Wei::from(1u64)),
+            Err(ProtocolError::OutOfOrder(_))
+        ));
+    }
+
+    #[test]
+    fn four_sensors_pay_and_settle_on_one_chain() {
+        let mut d = driver(4);
+        d.open_all().unwrap();
+        d.run(3, Wei::from(2_500u64)).unwrap();
+        assert_eq!(d.rounds().len(), 12);
+
+        // Every sensor's channel and both side-chain logs advanced.
+        for sensor in d.sensors() {
+            assert_eq!(sensor.channel().unwrap().payments_seen(), 3);
+            assert_eq!(sensor.side_chain().len(), 3);
+            assert!(sensor.side_chain().verify());
+            assert_eq!(sensor.ack_signatures().len(), 3);
+            let gateway_log = d.gateway().side_chain_for(sensor.node_addr()).unwrap();
+            assert_eq!(gateway_log.len(), 3);
+            assert!(gateway_log.verify());
+        }
+
+        let report = d.settle_all().unwrap();
+        assert_eq!(report.settlements.len(), 4);
+        assert_eq!(report.total_to_gateway, Wei::from(4 * 3 * 2_500u64));
+        assert_eq!(report.gateway_balance, report.total_to_gateway);
+        for (_, settlement) in &report.settlements {
+            assert!(!settlement.fraud_detected);
+            assert_eq!(settlement.to_receiver, Wei::from(7_500u64));
+        }
+        // Each sensor got its unspent deposit back.
+        for sensor in d.sensors() {
+            assert!(d.chain().balance(&sensor.address()) >= Wei::from(992_500u64));
+        }
+    }
+
+    #[test]
+    fn per_sensor_statistics_are_reported_and_sum_to_the_medium() {
+        let mut d = driver(4);
+        d.open_all().unwrap();
+        d.run(2, Wei::from(1_000u64)).unwrap();
+        let summaries = d.sensor_summaries();
+        assert_eq!(summaries.len(), 4);
+        let mut wire_total = 0u64;
+        for summary in &summaries {
+            assert_eq!(summary.payments, 2);
+            assert_eq!(summary.paid, Wei::from(2_000u64));
+            assert!(summary.mean_latency > Duration::from_millis(300));
+            assert!(summary.energy_mj > 1.0);
+            assert!(summary.wire.uplink_wire_bytes > 0);
+            assert!(summary.wire.downlink_wire_bytes > 0);
+            wire_total += summary.wire.wire_bytes();
+        }
+        assert_eq!(wire_total, d.medium().total_wire_bytes());
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let run = || {
+            let mut d = driver(4);
+            d.open_all().unwrap();
+            d.run(2, Wei::from(1_000u64)).unwrap();
+            d.sensor_summaries()
+        };
+        assert_eq!(run(), run(), "same configuration, byte-identical stats");
+    }
+
+    #[test]
+    fn lossy_medium_still_settles_every_channel() {
+        let mut link = LinkConfig::default().with_loss(0.15, 7);
+        link.max_retries = 16;
+        let mut d = GatewayDriver::new(5, link, Wei::from(100_000u64));
+        d.open_all().unwrap();
+        d.run(2, Wei::from(700u64)).unwrap();
+        let report = d.settle_all().unwrap();
+        assert_eq!(report.total_to_gateway, Wei::from(5 * 2 * 700u64));
+        // Losses happened somewhere (retransmissions are per-sensor).
+        let retransmissions: u64 = d
+            .sensor_summaries()
+            .iter()
+            .map(|s| s.wire.retransmissions)
+            .sum();
+        assert!(retransmissions > 0);
+    }
+
+    #[test]
+    fn multi_session_state_survives_a_power_cycle() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-gateway-{}.snap", std::process::id()));
+        let mut d = driver(3);
+        d.open_all().unwrap();
+        d.run(2, Wei::from(500u64)).unwrap();
+        let chain_root = d.chain().state_root();
+        d.save_session(&path).unwrap();
+
+        let mut resumed = driver(3);
+        resumed.restore_session(&path).unwrap();
+        assert_eq!(resumed.chain().state_root(), chain_root);
+        for (restored, original) in resumed.sensors().iter().zip(d.sensors()) {
+            assert_eq!(
+                restored.channel().unwrap().cumulative(),
+                original.channel().unwrap().cumulative()
+            );
+            assert!(restored.side_chain().verify());
+        }
+        // Measurement history belongs to the lost process: the restored
+        // driver starts its round log and latencies empty even though the
+        // restored channels carry payments.
+        assert!(resumed.rounds().is_empty());
+        assert!(resumed.sensors().iter().all(|s| s.latencies().is_empty()));
+        // The fleet keeps paying and settles for everything.
+        resumed.pay(0, Wei::from(500u64)).unwrap();
+        let report = resumed.settle_all().unwrap();
+        assert_eq!(report.total_to_gateway, Wei::from(3 * 2 * 500 + 500u64));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_or_incomplete_session_files_are_rejected() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tinyevm-gateway-bad-{}.snap", std::process::id()));
+        let mut d = driver(2);
+        d.open_all().unwrap();
+        d.pay(0, Wei::from(100u64)).unwrap();
+        d.save_session(&path).unwrap();
+
+        // A fleet of a different size must refuse the file.
+        let mut wrong_size = driver(3);
+        assert!(matches!(
+            wrong_size.restore_session(&path),
+            Err(ProtocolError::Wire(_))
+        ));
+
+        // A chain-snapshot-only file is incomplete.
+        persist::write_messages(
+            &path,
+            &[Message::ChainSnapshot(ChainSnapshot::capture(d.chain()))],
+        )
+        .unwrap();
+        let mut resumed = driver(2);
+        assert!(matches!(
+            resumed.restore_session(&path),
+            Err(ProtocolError::Wire(WireError::Truncated))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -31,11 +31,15 @@
 
 pub mod channel;
 pub mod contracts;
+pub mod gateway;
 pub mod payment;
 pub mod protocol;
 pub mod sidechain;
 
 pub use channel::{ChannelConfig, ChannelError, ChannelRole, ChannelStatus, PaymentChannel};
+pub use gateway::{
+    Gateway, GatewayDriver, GatewayRoundReport, GatewaySettlementReport, SensorNode, SensorSummary,
+};
 pub use payment::{PaymentError, SignedPayment};
 pub use protocol::{OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport};
 pub use sidechain::{SideChainEntry, SideChainLog};

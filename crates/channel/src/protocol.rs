@@ -35,7 +35,7 @@ use std::time::Duration;
 use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, EnergyReport, RadioDirection, TimelineEntry};
-use tinyevm_net::{Link, LinkConfig};
+use tinyevm_net::{Link, LinkConfig, NodeAddr};
 use tinyevm_types::{Address, Wei, H256, U256};
 use tinyevm_wire::{
     persist, ChainSnapshot, ChannelOpen, ChannelSnapshot, EndpointRole, Message, PaymentAck,
@@ -56,6 +56,9 @@ pub enum ProtocolError {
     Device(String),
     /// The radio link failed to deliver a message.
     Link(tinyevm_net::LinkError),
+    /// The shared medium refused or failed an operation (multi-node
+    /// scenarios).
+    Medium(tinyevm_net::MediumError),
     /// A channel-level rule was violated.
     Channel(crate::channel::ChannelError),
     /// The protocol was driven out of order (e.g. paying before opening).
@@ -79,6 +82,7 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::Chain(error) => write!(f, "chain error: {error}"),
             ProtocolError::Device(message) => write!(f, "device error: {message}"),
             ProtocolError::Link(error) => write!(f, "link error: {error}"),
+            ProtocolError::Medium(error) => write!(f, "medium error: {error}"),
             ProtocolError::Channel(error) => write!(f, "channel error: {error}"),
             ProtocolError::OutOfOrder(step) => write!(f, "protocol step out of order: {step}"),
             ProtocolError::BadSignature => write!(f, "signature verification failed"),
@@ -104,6 +108,12 @@ impl From<tinyevm_net::LinkError> for ProtocolError {
     }
 }
 
+impl From<tinyevm_net::MediumError> for ProtocolError {
+    fn from(error: tinyevm_net::MediumError) -> Self {
+        ProtocolError::Medium(error)
+    }
+}
+
 impl From<crate::channel::ChannelError> for ProtocolError {
     fn from(error: crate::channel::ChannelError) -> Self {
         ProtocolError::Channel(error)
@@ -121,6 +131,7 @@ impl From<WireError> for ProtocolError {
 pub struct OffChainNode {
     device: Device,
     role: ChannelRole,
+    addr: NodeAddr,
     channel: Option<PaymentChannel>,
     channel_contract: Option<Address>,
     log: SideChainLog,
@@ -128,16 +139,33 @@ pub struct OffChainNode {
 }
 
 impl OffChainNode {
-    /// Creates a node with an OpenMote-B class device.
+    /// Creates a node with an OpenMote-B class device and a link-layer
+    /// address chosen by role (sender = 1, receiver = 2); multi-node
+    /// topologies pick explicit addresses via [`OffChainNode::with_addr`].
     pub fn new(name: &str, role: ChannelRole) -> Self {
+        let addr = match role {
+            ChannelRole::Sender => NodeAddr::new(1),
+            ChannelRole::Receiver => NodeAddr::new(2),
+        };
+        Self::with_addr(name, role, addr)
+    }
+
+    /// Creates a node with an explicit link-layer address.
+    pub fn with_addr(name: &str, role: ChannelRole, addr: NodeAddr) -> Self {
         OffChainNode {
             device: Device::openmote_b(name),
             role,
+            addr,
             channel: None,
             channel_contract: None,
             log: SideChainLog::new(H256::ZERO),
             peer_signatures: Vec::new(),
         }
+    }
+
+    /// This node's link-layer address (what goes in the frame headers).
+    pub fn node_addr(&self) -> NodeAddr {
+        self.addr
     }
 
     /// The underlying simulated device.
@@ -327,11 +355,12 @@ impl ProtocolDriver {
         let mut chain = Blockchain::new();
         // Genesis allocation: the sender needs funds to lock the deposit.
         chain.fund(sender.address(), deposit.saturating_add(Wei::from_eth(1)));
+        let link = Link::between(sender.node_addr(), receiver.node_addr(), link_config);
         ProtocolDriver {
             chain,
             sender,
             receiver,
-            link: Link::new(link_config),
+            link,
             deposit,
             template: None,
             channel_id: None,
@@ -927,7 +956,14 @@ impl ProtocolDriver {
     ) -> Result<(Message, usize, usize), ProtocolError> {
         let wire = message.to_wire();
         let encoded_len = wire.len();
-        let (delivered, report) = self.link.transfer(&wire)?;
+        // The frame headers carry the true direction: sender → receiver
+        // uses the link's local → peer addressing, acknowledgements and
+        // receiver-originated readings the reverse.
+        let (delivered, report) = if from_sender {
+            self.link.transfer(&wire)?
+        } else {
+            self.link.transfer_reverse(&wire)?
+        };
         let (tx_node, rx_node) = if from_sender {
             (&mut self.sender, &mut self.receiver)
         } else {

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::addr::NodeAddr;
+
 /// Maximum physical-layer frame size for IEEE 802.15.4.
 pub const MAX_FRAME_SIZE: usize = 127;
 
@@ -16,6 +18,16 @@ pub const FRAME_FLAGS_V1: u8 = 0x01;
 
 /// Maximum payload bytes per frame after the header.
 pub const MAX_FRAME_PAYLOAD: usize = MAX_FRAME_SIZE - FRAME_HEADER_SIZE;
+
+/// Maximum fragments one message may span: the fragment count travels in a
+/// one-byte header field, so 255 is the largest representable count.
+pub const MAX_FRAGMENTS: usize = u8::MAX as usize;
+
+/// Largest message this link layer can carry ([`MAX_FRAGMENTS`] full
+/// frames). Anything bigger is rejected up front by [`fragment`] with
+/// [`FrameError::MessageTooLarge`] instead of overflowing the header
+/// mid-transfer.
+pub const MAX_MESSAGE_SIZE: usize = MAX_FRAGMENTS * MAX_FRAME_PAYLOAD;
 
 /// Errors produced by fragmentation / reassembly.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +61,14 @@ pub enum FrameError {
         /// The offending fragment count.
         count: u16,
     },
+    /// The message exceeds [`MAX_MESSAGE_SIZE`] and can never be carried by
+    /// this link layer; rejected before any frame is built or transmitted.
+    MessageTooLarge {
+        /// The offending message size in bytes.
+        size: usize,
+        /// The largest message the link layer carries.
+        max: usize,
+    },
     /// Frame bytes did not parse: too short, or an unknown flags byte.
     BadHeader,
 }
@@ -71,6 +91,9 @@ impl core::fmt::Display for FrameError {
                     "fragment {index}/{count} does not fit the one-byte header field"
                 )
             }
+            FrameError::MessageTooLarge { size, max } => {
+                write!(f, "message of {size} bytes exceeds the {max}-byte limit")
+            }
             FrameError::BadHeader => write!(f, "frame header did not parse"),
         }
     }
@@ -81,10 +104,10 @@ impl std::error::Error for FrameError {}
 /// One link-layer frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Frame {
-    /// Sender's short address.
-    pub source: u16,
-    /// Receiver's short address.
-    pub destination: u16,
+    /// Sender's address.
+    pub source: NodeAddr,
+    /// Receiver's address.
+    pub destination: NodeAddr,
     /// Message identifier shared by all fragments of one message.
     pub message_id: u32,
     /// Fragment index within the message (0-based).
@@ -135,8 +158,8 @@ impl Frame {
         }
         let mut bytes = Vec::with_capacity(FRAME_HEADER_SIZE + self.payload.len());
         bytes.push(FRAME_FLAGS_V1);
-        bytes.extend_from_slice(&self.source.to_be_bytes());
-        bytes.extend_from_slice(&self.destination.to_be_bytes());
+        bytes.extend_from_slice(&self.source.value().to_be_bytes());
+        bytes.extend_from_slice(&self.destination.value().to_be_bytes());
         bytes.extend_from_slice(&self.message_id.to_be_bytes());
         bytes.push(self.fragment_index as u8);
         bytes.push(self.fragment_count as u8);
@@ -156,8 +179,8 @@ impl Frame {
             return Err(FrameError::BadHeader);
         }
         let frame = Frame {
-            source: u16::from_be_bytes([bytes[1], bytes[2]]),
-            destination: u16::from_be_bytes([bytes[3], bytes[4]]),
+            source: NodeAddr::new(u16::from_be_bytes([bytes[1], bytes[2]])),
+            destination: NodeAddr::new(u16::from_be_bytes([bytes[3], bytes[4]])),
             message_id: u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]),
             fragment_index: u16::from(bytes[9]),
             fragment_count: u16::from(bytes[10]),
@@ -172,14 +195,32 @@ impl Frame {
 ///
 /// A zero-length message still produces one (empty) frame so that the
 /// receiver observes the message at all.
-pub fn fragment(source: u16, destination: u16, message_id: u32, message: &[u8]) -> Vec<Frame> {
+///
+/// # Errors
+///
+/// Returns [`FrameError::MessageTooLarge`] for messages past
+/// [`MAX_MESSAGE_SIZE`] — the fragment count would not fit its one-byte
+/// header field, so the message is rejected whole before any frame is
+/// built.
+pub fn fragment(
+    source: NodeAddr,
+    destination: NodeAddr,
+    message_id: u32,
+    message: &[u8],
+) -> Result<Vec<Frame>, FrameError> {
+    if message.len() > MAX_MESSAGE_SIZE {
+        return Err(FrameError::MessageTooLarge {
+            size: message.len(),
+            max: MAX_MESSAGE_SIZE,
+        });
+    }
     let chunks: Vec<&[u8]> = if message.is_empty() {
         vec![&[]]
     } else {
         message.chunks(MAX_FRAME_PAYLOAD).collect()
     };
     let count = chunks.len() as u16;
-    chunks
+    Ok(chunks
         .into_iter()
         .enumerate()
         .map(|(index, chunk)| Frame {
@@ -190,7 +231,7 @@ pub fn fragment(source: u16, destination: u16, message_id: u32, message: &[u8]) 
             fragment_count: count,
             payload: chunk.to_vec(),
         })
-        .collect()
+        .collect())
 }
 
 /// Reassembles a message from its frames (any order).
@@ -256,15 +297,47 @@ pub fn wire_bytes_for_message(len: usize) -> usize {
 mod tests {
     use super::*;
 
+    /// Test shorthand: fragment between two short addresses, unwrapped.
+    fn frag(source: u16, destination: u16, message_id: u32, message: &[u8]) -> Vec<Frame> {
+        fragment(
+            NodeAddr::new(source),
+            NodeAddr::new(destination),
+            message_id,
+            message,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn constants_are_consistent() {
         assert_eq!(MAX_FRAME_PAYLOAD + FRAME_HEADER_SIZE, MAX_FRAME_SIZE);
         assert_eq!(MAX_FRAME_SIZE, 127);
+        assert_eq!(MAX_MESSAGE_SIZE, MAX_FRAGMENTS * MAX_FRAME_PAYLOAD);
+    }
+
+    #[test]
+    fn oversized_message_is_rejected_up_front() {
+        // The largest valid message fragments into exactly MAX_FRAGMENTS
+        // frames; one more byte is refused whole.
+        let largest = vec![1u8; MAX_MESSAGE_SIZE];
+        let frames = frag(1, 2, 7, &largest);
+        assert_eq!(frames.len(), MAX_FRAGMENTS);
+        assert!(frames.iter().all(|f| f.to_bytes().is_ok()));
+        assert_eq!(reassemble(&frames).unwrap(), largest);
+
+        let oversized = vec![1u8; MAX_MESSAGE_SIZE + 1];
+        assert_eq!(
+            fragment(NodeAddr::new(1), NodeAddr::new(2), 7, &oversized),
+            Err(FrameError::MessageTooLarge {
+                size: MAX_MESSAGE_SIZE + 1,
+                max: MAX_MESSAGE_SIZE,
+            })
+        );
     }
 
     #[test]
     fn small_message_is_one_frame() {
-        let frames = fragment(1, 2, 7, b"hello");
+        let frames = frag(1, 2, 7, b"hello");
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].fragment_count, 1);
         assert_eq!(frames[0].payload, b"hello");
@@ -275,7 +348,7 @@ mod tests {
 
     #[test]
     fn empty_message_still_produces_a_frame() {
-        let frames = fragment(1, 2, 7, b"");
+        let frames = frag(1, 2, 7, b"");
         assert_eq!(frames.len(), 1);
         assert!(frames[0].payload.is_empty());
         assert_eq!(reassemble(&frames).unwrap(), Vec::<u8>::new());
@@ -285,7 +358,7 @@ mod tests {
     #[test]
     fn large_message_fragments_and_reassembles() {
         let message: Vec<u8> = (0..1000u16).map(|i| i as u8).collect();
-        let frames = fragment(3, 4, 42, &message);
+        let frames = frag(3, 4, 42, &message);
         assert_eq!(frames.len(), message.len().div_ceil(MAX_FRAME_PAYLOAD));
         assert!(frames.iter().all(|f| f.validate().is_ok()));
         assert!(frames
@@ -300,7 +373,7 @@ mod tests {
     #[test]
     fn reassembly_is_order_independent() {
         let message = vec![9u8; 300];
-        let mut frames = fragment(1, 2, 1, &message);
+        let mut frames = frag(1, 2, 1, &message);
         frames.reverse();
         assert_eq!(reassemble(&frames).unwrap(), message);
     }
@@ -308,7 +381,7 @@ mod tests {
     #[test]
     fn reassembly_detects_missing_and_duplicate_fragments() {
         let message = vec![1u8; 400];
-        let frames = fragment(1, 2, 1, &message);
+        let frames = frag(1, 2, 1, &message);
         assert!(frames.len() >= 3);
 
         let missing: Vec<Frame> = frames[1..].to_vec();
@@ -327,8 +400,8 @@ mod tests {
 
     #[test]
     fn reassembly_rejects_mixed_messages_and_empty_input() {
-        let a = fragment(1, 2, 1, b"aaaa");
-        let b = fragment(1, 2, 2, b"bbbb");
+        let a = frag(1, 2, 1, b"aaaa");
+        let b = frag(1, 2, 2, b"bbbb");
         let mixed = vec![a[0].clone(), b[0].clone()];
         assert!(matches!(reassemble(&mixed), Err(FrameError::MixedMessages)));
         assert_eq!(reassemble(&[]), Err(FrameError::Empty));
@@ -337,8 +410,8 @@ mod tests {
     #[test]
     fn oversized_frame_fails_validation() {
         let frame = Frame {
-            source: 1,
-            destination: 2,
+            source: NodeAddr::new(1),
+            destination: NodeAddr::new(2),
             message_id: 0,
             fragment_index: 0,
             fragment_count: 1,
@@ -353,7 +426,7 @@ mod tests {
     #[test]
     fn byte_form_round_trips() {
         let message: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
-        for frame in fragment(0xBEEF, 0x0042, 0xDEAD_BEEF, &message) {
+        for frame in frag(0xBEEF, 0x0042, 0xDEAD_BEEF, &message) {
             let bytes = frame.to_bytes().unwrap();
             assert_eq!(bytes.len(), frame.wire_size());
             assert_eq!(bytes[0], FRAME_FLAGS_V1);
@@ -363,7 +436,7 @@ mod tests {
 
     #[test]
     fn byte_form_rejects_overflow_and_bad_headers() {
-        let mut frame = fragment(1, 2, 7, b"x").remove(0);
+        let mut frame = frag(1, 2, 7, b"x").remove(0);
         frame.fragment_index = 300;
         assert!(matches!(
             frame.to_bytes(),
@@ -371,7 +444,7 @@ mod tests {
         ));
 
         assert_eq!(Frame::from_bytes(&[0u8; 5]), Err(FrameError::BadHeader));
-        let mut wrong_flags = fragment(1, 2, 7, b"x").remove(0).to_bytes().unwrap();
+        let mut wrong_flags = frag(1, 2, 7, b"x").remove(0).to_bytes().unwrap();
         wrong_flags[0] = 0x7f;
         assert_eq!(Frame::from_bytes(&wrong_flags), Err(FrameError::BadHeader));
         let oversized = [&[FRAME_FLAGS_V1; 1][..], &[0u8; 200][..]].concat();
@@ -395,6 +468,10 @@ mod tests {
             FrameError::HeaderOverflow {
                 index: 256,
                 count: 300,
+            },
+            FrameError::MessageTooLarge {
+                size: MAX_MESSAGE_SIZE + 1,
+                max: MAX_MESSAGE_SIZE,
             },
             FrameError::BadHeader,
         ];

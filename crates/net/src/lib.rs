@@ -16,6 +16,11 @@
 //!   turns into TX / RX energy (Table IV).
 //! * **Loss and retransmission**: an optional independent-loss model with
 //!   per-frame retries, used by the robustness experiments.
+//! * **Addressing and a shared medium**: every frame names its
+//!   [`NodeAddr`] endpoints, and a [`SharedMedium`] lets N addressed
+//!   senders contend for one gateway with per-endpoint loss processes and
+//!   wire-byte / airtime accounting — the radio topology of the paper's
+//!   many-sensors-one-gateway deployment.
 //!
 //! The crate deliberately moves *bytes*, not protocol objects — message
 //! semantics live in `tinyevm-channel`.
@@ -23,10 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod addr;
 pub mod frame;
 pub mod link;
+pub mod medium;
 
+pub use addr::NodeAddr;
 pub use frame::{
-    fragment, reassemble, Frame, FrameError, FRAME_HEADER_SIZE, MAX_FRAME_PAYLOAD, MAX_FRAME_SIZE,
+    fragment, reassemble, Frame, FrameError, FRAME_HEADER_SIZE, MAX_FRAGMENTS, MAX_FRAME_PAYLOAD,
+    MAX_FRAME_SIZE, MAX_MESSAGE_SIZE,
 };
 pub use link::{Link, LinkConfig, LinkError, LinkProfile, TransferReport};
+pub use medium::{EndpointStats, MediumError, SharedMedium};

@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::addr::NodeAddr;
 use crate::frame::{fragment, reassemble, wire_bytes_for_message, Frame, FrameError};
 
 /// Built-in link profiles.
@@ -56,10 +57,37 @@ impl LinkConfig {
     }
 
     /// Returns a copy with the given loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss_rate` is NaN or outside `[0, 1)` — the same
+    /// validation [`Link::new`] applies, surfaced at the point the bad
+    /// value is introduced.
     pub fn with_loss(mut self, loss_rate: f64, seed: u64) -> Self {
         self.loss_rate = loss_rate;
         self.seed = seed;
+        if let Err(error) = self.validate() {
+            panic!("invalid link configuration: {error}");
+        }
         self
+    }
+
+    /// Checks the configuration for values the loss process cannot work
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::InvalidLossRate`] when `loss_rate` is NaN or
+    /// outside `[0, 1)` (a rate of exactly 1 would make every transfer
+    /// spin through its retries and fail; NaN would panic inside the
+    /// Bernoulli sampler mid-transfer).
+    pub fn validate(&self) -> Result<(), LinkError> {
+        if self.loss_rate.is_nan() || !(0.0..1.0).contains(&self.loss_rate) {
+            return Err(LinkError::InvalidLossRate {
+                loss_rate: self.loss_rate,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -70,7 +98,7 @@ impl Default for LinkConfig {
 }
 
 /// Errors a transfer can produce.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinkError {
     /// A frame exceeded its retry budget.
     FrameLost {
@@ -81,8 +109,14 @@ pub enum LinkError {
     },
     /// Reassembly on the receiving side failed.
     Reassembly(FrameError),
-    /// A frame could not be serialized to (or parsed from) its byte form.
+    /// A frame could not be serialized to (or parsed from) its byte form,
+    /// or the message was too large to fragment at all.
     Frame(FrameError),
+    /// The configured loss rate is NaN or outside `[0, 1)`.
+    InvalidLossRate {
+        /// The rejected value.
+        loss_rate: f64,
+    },
 }
 
 impl core::fmt::Display for LinkError {
@@ -97,6 +131,9 @@ impl core::fmt::Display for LinkError {
             ),
             LinkError::Reassembly(error) => write!(f, "reassembly failed: {error}"),
             LinkError::Frame(error) => write!(f, "frame serialization failed: {error}"),
+            LinkError::InvalidLossRate { loss_rate } => {
+                write!(f, "loss rate {loss_rate} is not in [0, 1)")
+            }
         }
     }
 }
@@ -129,24 +166,33 @@ impl TransferReport {
     }
 }
 
-/// A point-to-point link between two nodes.
+/// A point-to-point link between two addressed nodes.
 ///
 /// The link moves bytes and reports timing; charging the TX/RX energy to
 /// each endpoint's meter is the caller's job (see
-/// `tinyevm_device::Device::account_radio`).
+/// `tinyevm_device::Device::account_radio`). Every frame that crosses the
+/// link carries the endpoints' [`NodeAddr`]es in its header:
+/// [`Link::transfer`] moves local → peer, [`Link::transfer_reverse`] moves
+/// peer → local.
 ///
 /// # Example
 ///
 /// ```
-/// use tinyevm_net::{Link, LinkConfig, LinkProfile};
+/// use tinyevm_net::{Link, LinkConfig, LinkProfile, NodeAddr};
 ///
-/// let mut link = Link::new(LinkConfig::lossless(LinkProfile::Tsch));
+/// let mut link = Link::between(
+///     NodeAddr::new(0x51),
+///     NodeAddr::new(0x52),
+///     LinkConfig::lossless(LinkProfile::Tsch),
+/// );
 /// let (delivered, report) = link.transfer(b"signed payment").unwrap();
 /// assert_eq!(delivered, b"signed payment");
 /// assert_eq!(report.frames, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Link {
+    local: NodeAddr,
+    peer: NodeAddr,
     config: LinkConfig,
     rng: StdRng,
     next_message_id: u32,
@@ -155,21 +201,71 @@ pub struct Link {
 }
 
 impl Link {
-    /// Creates a link with the given configuration.
-    pub fn new(config: LinkConfig) -> Self {
+    /// Creates a link between two explicitly addressed endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration does not pass
+    /// [`LinkConfig::validate`]; use [`Link::try_between`] to handle the
+    /// error instead.
+    pub fn between(local: NodeAddr, peer: NodeAddr, config: LinkConfig) -> Self {
+        match Link::try_between(local, peer, config) {
+            Ok(link) => link,
+            Err(error) => panic!("invalid link configuration: {error}"),
+        }
+    }
+
+    /// Creates a link between two addressed endpoints, validating the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::InvalidLossRate`] when the loss rate is NaN or
+    /// outside `[0, 1)`.
+    pub fn try_between(
+        local: NodeAddr,
+        peer: NodeAddr,
+        config: LinkConfig,
+    ) -> Result<Self, LinkError> {
+        config.validate()?;
         let rng = StdRng::seed_from_u64(config.seed);
-        Link {
+        Ok(Link {
+            local,
+            peer,
             config,
             rng,
             next_message_id: 0,
             total_wire_bytes: 0,
             total_messages: 0,
-        }
+        })
+    }
+
+    /// Creates a link with the given configuration between a default pair
+    /// of addresses (local = 1, peer = 2) — a convenience for single-pair
+    /// setups; multi-node topologies should use [`Link::between`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration does not pass
+    /// [`LinkConfig::validate`].
+    pub fn new(config: LinkConfig) -> Self {
+        Link::between(NodeAddr::new(1), NodeAddr::new(2), config)
     }
 
     /// The link configuration.
     pub fn config(&self) -> &LinkConfig {
         &self.config
+    }
+
+    /// Address of the local endpoint (the one [`Link::transfer`] sends
+    /// from).
+    pub fn local(&self) -> NodeAddr {
+        self.local
+    }
+
+    /// Address of the peer endpoint.
+    pub fn peer(&self) -> NodeAddr {
+        self.peer
     }
 
     /// Total bytes this link has put on the air.
@@ -189,16 +285,44 @@ impl Link {
             + self.config.frame_overhead
     }
 
-    /// Transfers a message, returning the delivered bytes and the report.
+    /// Transfers a message from the local endpoint to the peer, returning
+    /// the delivered bytes and the report.
     ///
     /// # Errors
     ///
-    /// Returns [`LinkError::FrameLost`] when a fragment exceeds its retry
-    /// budget under the configured loss rate.
+    /// Returns [`LinkError::Frame`] (carrying
+    /// [`FrameError::MessageTooLarge`]) up front — before anything goes on
+    /// the air — for messages past [`crate::MAX_MESSAGE_SIZE`], and
+    /// [`LinkError::FrameLost`] when a fragment exceeds its retry budget
+    /// under the configured loss rate.
     pub fn transfer(&mut self, message: &[u8]) -> Result<(Vec<u8>, TransferReport), LinkError> {
+        self.transfer_between(self.local, self.peer, message)
+    }
+
+    /// Transfers a message in the reverse direction, from the peer back to
+    /// the local endpoint (e.g. an acknowledgement), with the frame headers
+    /// addressed accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Link::transfer`].
+    pub fn transfer_reverse(
+        &mut self,
+        message: &[u8],
+    ) -> Result<(Vec<u8>, TransferReport), LinkError> {
+        self.transfer_between(self.peer, self.local, message)
+    }
+
+    fn transfer_between(
+        &mut self,
+        source: NodeAddr,
+        destination: NodeAddr,
+        message: &[u8],
+    ) -> Result<(Vec<u8>, TransferReport), LinkError> {
         let message_id = self.next_message_id;
-        self.next_message_id += 1;
-        let frames = fragment(0x0001, 0x0002, message_id, message);
+        self.next_message_id = self.next_message_id.wrapping_add(1);
+        let frames =
+            fragment(source, destination, message_id, message).map_err(LinkError::Frame)?;
 
         let mut delivered: Vec<Frame> = Vec::with_capacity(frames.len());
         let mut retransmissions = 0u32;
@@ -218,8 +342,10 @@ impl Link {
                 let on_air = self.airtime(encoded.len());
                 tx_time += on_air;
                 wire_bytes += encoded.len();
-                let lost = self.config.loss_rate > 0.0
-                    && self.rng.gen_bool(self.config.loss_rate.clamp(0.0, 0.999));
+                // The loss rate is validated at construction (NaN and
+                // values outside [0, 1) never reach this sampler), so no
+                // per-call clamp is needed.
+                let lost = self.config.loss_rate > 0.0 && self.rng.gen_bool(self.config.loss_rate);
                 if !lost {
                     rx_time += on_air;
                     delivered.push(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?);
@@ -356,5 +482,90 @@ mod tests {
         link.transfer(b"a").unwrap();
         link.transfer(b"b").unwrap();
         assert_eq!(link.total_messages(), 2);
+    }
+
+    #[test]
+    fn message_id_counter_wraps_instead_of_panicking() {
+        // Regression: `next_message_id += 1` used to panic in debug builds
+        // once the counter reached u32::MAX.
+        let mut link = Link::new(LinkConfig::default());
+        link.next_message_id = u32::MAX;
+        link.transfer(b"last id before the wrap").unwrap();
+        assert_eq!(link.next_message_id, 0);
+        link.transfer(b"first id after the wrap").unwrap();
+        assert_eq!(link.total_messages(), 2);
+    }
+
+    #[test]
+    fn invalid_loss_rates_are_rejected_at_construction() {
+        for loss_rate in [f64::NAN, -0.1, 1.0, 1.5, f64::INFINITY] {
+            let config = LinkConfig {
+                loss_rate,
+                ..LinkConfig::default()
+            };
+            assert!(
+                matches!(
+                    Link::try_between(NodeAddr::new(1), NodeAddr::new(2), config),
+                    Err(LinkError::InvalidLossRate { .. })
+                ),
+                "loss rate {loss_rate} must be rejected"
+            );
+        }
+        // The boundary values of [0, 1) are accepted.
+        for loss_rate in [0.0, 0.999_999] {
+            let config = LinkConfig {
+                loss_rate,
+                ..LinkConfig::default()
+            };
+            assert!(Link::try_between(NodeAddr::new(1), NodeAddr::new(2), config).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid link configuration")]
+    fn with_loss_panics_on_nan() {
+        let _ = LinkConfig::default().with_loss(f64::NAN, 1);
+    }
+
+    #[test]
+    fn oversized_message_fails_up_front_not_mid_transfer() {
+        use crate::frame::MAX_MESSAGE_SIZE;
+        let mut link = Link::default();
+        // A ~29 KB chain snapshot used to die mid-transfer with
+        // HeaderOverflow from to_bytes; it is now refused before a single
+        // frame goes on the air.
+        let oversized = vec![0u8; MAX_MESSAGE_SIZE + 1];
+        let error = link.transfer(&oversized).unwrap_err();
+        assert!(matches!(
+            error,
+            LinkError::Frame(FrameError::MessageTooLarge { size, max })
+                if size == MAX_MESSAGE_SIZE + 1 && max == MAX_MESSAGE_SIZE
+        ));
+        assert_eq!(link.total_messages(), 0);
+        assert_eq!(link.total_wire_bytes(), 0);
+
+        // The largest admissible message still transfers.
+        let largest = vec![7u8; MAX_MESSAGE_SIZE];
+        let (delivered, report) = link.transfer(&largest).unwrap();
+        assert_eq!(delivered.len(), MAX_MESSAGE_SIZE);
+        assert_eq!(report.frames, crate::frame::MAX_FRAGMENTS);
+    }
+
+    #[test]
+    fn frames_carry_the_configured_addresses_in_both_directions() {
+        let sensor = NodeAddr::new(0x0A);
+        let gateway = NodeAddr::new(0xFE);
+        let mut link = Link::between(sensor, gateway, LinkConfig::default());
+        assert_eq!(link.local(), sensor);
+        assert_eq!(link.peer(), gateway);
+        link.transfer(b"uplink").unwrap();
+        link.transfer_reverse(b"downlink ack").unwrap();
+        // The byte-level forms crossing the air carry the real endpoints.
+        let uplink = fragment(sensor, gateway, 0, b"uplink").unwrap();
+        assert_eq!(uplink[0].source, sensor);
+        assert_eq!(uplink[0].destination, gateway);
+        let downlink = fragment(gateway, sensor, 1, b"downlink ack").unwrap();
+        assert_eq!(downlink[0].source, gateway);
+        assert_eq!(downlink[0].destination, sensor);
     }
 }

@@ -52,6 +52,15 @@ pub enum WireError {
     BadMagic,
     /// A persistence record or file was shorter than its declared length.
     Truncated,
+    /// A persistence record declared a length beyond the sanity bound —
+    /// distinct from [`WireError::Truncated`]: the record is hostile or
+    /// corrupt, not merely cut short.
+    RecordTooLarge {
+        /// The declared record length.
+        size: usize,
+        /// The maximum a record may declare.
+        max: usize,
+    },
     /// Frame-level reassembly failed in the transport helpers.
     Frame(FrameError),
     /// Reading or writing a persistence file failed.
@@ -78,6 +87,9 @@ impl core::fmt::Display for WireError {
             WireError::Value(what) => write!(f, "invalid value: {what}"),
             WireError::BadMagic => write!(f, "not a tinyevm-wire file (bad magic)"),
             WireError::Truncated => write!(f, "record truncated"),
+            WireError::RecordTooLarge { size, max } => {
+                write!(f, "record declares {size} bytes, over the {max}-byte bound")
+            }
             WireError::Frame(error) => write!(f, "frame transport: {error}"),
             WireError::Io(message) => write!(f, "io: {message}"),
         }

@@ -28,6 +28,7 @@
 //! ## Example
 //!
 //! ```
+//! use tinyevm_net::NodeAddr;
 //! use tinyevm_wire::{Message, SensorReading, transport};
 //! use tinyevm_types::U256;
 //!
@@ -35,8 +36,10 @@
 //!     peripheral: 2,
 //!     value: U256::from(2150u64),
 //! });
-//! // Over the radio: encode, fragment, reassemble, decode.
-//! let frames = transport::to_frames(&message, 0x0001, 0x0002, 1);
+//! // Over the radio: encode, fragment, reassemble, decode — addressed
+//! // from the sensor to its gateway.
+//! let (sensor, gateway) = (NodeAddr::new(0x51), NodeAddr::new(0xFE));
+//! let frames = transport::to_frames(&message, sensor, gateway, 1).unwrap();
 //! let delivered = transport::from_frames(&frames).unwrap();
 //! assert_eq!(delivered, message);
 //! ```

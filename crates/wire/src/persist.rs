@@ -37,7 +37,9 @@ pub fn to_record(message: &Message) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`WireError::Truncated`] when a length prefix overruns the
-/// buffer and the decoder's errors for each record's payload.
+/// buffer, [`WireError::RecordTooLarge`] when a prefix declares more than
+/// [`MAX_RECORD_SIZE`] bytes (a hostile or corrupt prefix, not a short
+/// file), and the decoder's errors for each record's payload.
 pub fn from_records(mut buffer: &[u8]) -> Result<Vec<Message>, WireError> {
     let mut messages = Vec::new();
     while !buffer.is_empty() {
@@ -45,7 +47,13 @@ pub fn from_records(mut buffer: &[u8]) -> Result<Vec<Message>, WireError> {
             return Err(WireError::Truncated);
         }
         let declared = u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]) as usize;
-        if declared > MAX_RECORD_SIZE || buffer.len() < 4 + declared {
+        if declared > MAX_RECORD_SIZE {
+            return Err(WireError::RecordTooLarge {
+                size: declared,
+                max: MAX_RECORD_SIZE,
+            });
+        }
+        if buffer.len() < 4 + declared {
             return Err(WireError::Truncated);
         }
         messages.push(Message::from_wire(&buffer[4..4 + declared])?);
@@ -148,9 +156,26 @@ mod tests {
             from_records(&record[..record.len() - 1]),
             Err(WireError::Truncated)
         );
-        // A hostile length prefix larger than the sanity bound.
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_distinguished_from_truncation() {
+        // A length prefix past the sanity bound is not a short file — it
+        // used to be misreported as Truncated.
         let hostile = [0xff, 0xff, 0xff, 0xff, 0x00];
-        assert_eq!(from_records(&hostile), Err(WireError::Truncated));
+        assert_eq!(
+            from_records(&hostile),
+            Err(WireError::RecordTooLarge {
+                size: 0xffff_ffff,
+                max: MAX_RECORD_SIZE,
+            })
+        );
+        // The largest admissible declaration with a missing body is still
+        // a truncation.
+        let mut cut_short = Vec::new();
+        cut_short.extend_from_slice(&(MAX_RECORD_SIZE as u32).to_be_bytes());
+        cut_short.push(0x00);
+        assert_eq!(from_records(&cut_short), Err(WireError::Truncated));
     }
 
     #[test]

@@ -6,14 +6,31 @@
 //! side. `encode → fragment → reassemble → decode` is the identity — the
 //! property the wire-format test suite pins for every message variant.
 
-use tinyevm_net::{fragment, reassemble, Frame};
+use tinyevm_net::{fragment, reassemble, Frame, NodeAddr};
 
 use crate::codec::WireError;
 use crate::message::Message;
 
-/// Encodes a message and fragments it into link-layer frames.
-pub fn to_frames(message: &Message, source: u16, destination: u16, message_id: u32) -> Vec<Frame> {
-    fragment(source, destination, message_id, &message.to_wire())
+/// Encodes a message and fragments it into link-layer frames addressed
+/// from `source` to `destination`.
+///
+/// # Errors
+///
+/// Returns [`WireError::Frame`] when the encoded message exceeds the link
+/// layer's [`tinyevm_net::MAX_MESSAGE_SIZE`] — rejected whole, before any
+/// frame exists.
+pub fn to_frames(
+    message: &Message,
+    source: NodeAddr,
+    destination: NodeAddr,
+    message_id: u32,
+) -> Result<Vec<Frame>, WireError> {
+    Ok(fragment(
+        source,
+        destination,
+        message_id,
+        &message.to_wire(),
+    )?)
 }
 
 /// Reassembles frames (any order) and decodes the carried message.
@@ -40,7 +57,7 @@ mod tests {
             peripheral: 2,
             value: U256::from(2150u64),
         });
-        let frames = to_frames(&message, 1, 2, 7);
+        let frames = to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 7).unwrap();
         assert_eq!(frames.len(), 1);
         assert_eq!(from_frames(&frames).unwrap(), message);
     }
@@ -75,7 +92,7 @@ mod tests {
             log,
             peer_acks: Vec::new(),
         });
-        let mut frames = to_frames(&message, 1, 2, 9);
+        let mut frames = to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 9).unwrap();
         assert!(frames.len() > 10, "snapshot spans many frames");
         frames.reverse();
         assert_eq!(from_frames(&frames).unwrap(), message);
@@ -87,7 +104,7 @@ mod tests {
             peripheral: 1,
             value: U256::from(1u64),
         });
-        let frames = to_frames(&message, 1, 2, 1);
+        let frames = to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 1).unwrap();
         assert!(matches!(
             from_frames(&frames[..0]),
             Err(WireError::Frame(_))

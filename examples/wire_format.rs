@@ -30,8 +30,10 @@ fn main() {
         message.label()
     );
 
-    // Fragment for the 127-byte MTU and carry it over a 10%-loss link.
-    let frames = transport::to_frames(&message, 0x0001, 0x0002, 1);
+    // Fragment for the 127-byte MTU and carry it over a 10%-loss link,
+    // addressed from the paying node to its peer.
+    let frames = transport::to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 1)
+        .expect("payment envelopes fit the link layer");
     println!("fragments: {} frame(s)", frames.len());
     let mut link = Link::new(LinkConfig::default().with_loss(0.10, 42));
     let (delivered, report) = link.transfer(&wire).expect("link delivers");

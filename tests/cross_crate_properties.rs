@@ -95,3 +95,79 @@ fn channel_contract_storage_tracks_protocol_state() {
         U256::from(protocol_sequence)
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn medium_accounting_sums_to_per_endpoint_totals(
+        sensors in 1u16..9,
+        loss_permille in 0u32..250,
+        seed in 0u64..1_000,
+        sizes in proptest::collection::vec(1usize..3_000, 1..8)
+    ) {
+        // Whatever the fleet shape, loss rate and traffic pattern, every
+        // wire byte, message and microsecond of airtime the medium reports
+        // is attributed to exactly one endpoint.
+        let config = LinkConfig {
+            loss_rate: f64::from(loss_permille) / 1000.0,
+            seed,
+            max_retries: 64,
+            ..LinkConfig::default()
+        };
+        let gateway = NodeAddr::new(0xFE);
+        let mut medium = SharedMedium::new(gateway, config);
+        let addrs: Vec<NodeAddr> = (1..=sensors).map(NodeAddr::new).collect();
+        for addr in &addrs {
+            medium.attach(*addr).unwrap();
+        }
+        for (turn, size) in sizes.iter().enumerate() {
+            let addr = addrs[turn % addrs.len()];
+            let payload = vec![turn as u8; *size];
+            medium.send_to_gateway(addr, &payload).unwrap();
+            if turn % 2 == 0 {
+                medium.send_to_endpoint(addr, b"ack").unwrap();
+            }
+        }
+        let mut wire = 0u64;
+        let mut messages = 0u64;
+        let mut airtime = std::time::Duration::ZERO;
+        for addr in &addrs {
+            let stats = medium.stats(*addr).unwrap();
+            wire += stats.wire_bytes();
+            messages += stats.messages();
+            airtime += stats.airtime;
+        }
+        prop_assert_eq!(wire, medium.total_wire_bytes());
+        prop_assert_eq!(messages, medium.total_messages());
+        prop_assert_eq!(airtime, medium.total_airtime());
+    }
+
+    #[test]
+    fn any_fleet_settles_to_exactly_what_each_sensor_paid(
+        sensors in 2usize..5,
+        rounds in 1usize..3
+    ) {
+        // The gateway chain settles every channel to precisely the
+        // cumulative amount that sensor paid — no cross-channel leakage.
+        let amount = 1_500u64;
+        let mut driver = GatewayDriver::new(
+            sensors,
+            LinkConfig::default(),
+            Wei::from(100_000u64),
+        );
+        driver.open_all().unwrap();
+        driver.run(rounds, Wei::from(amount)).unwrap();
+        let report = driver.settle_all().unwrap();
+        prop_assert_eq!(report.settlements.len(), sensors);
+        for (_, settlement) in &report.settlements {
+            prop_assert_eq!(settlement.to_receiver, Wei::from(amount * rounds as u64));
+            prop_assert!(!settlement.fraud_detected);
+        }
+        prop_assert_eq!(
+            report.total_to_gateway,
+            Wei::from(amount * (sensors * rounds) as u64)
+        );
+        prop_assert_eq!(report.gateway_balance, report.total_to_gateway);
+    }
+}

@@ -132,7 +132,7 @@ fn golden_vectors_decode_back() {
 
 /// `encode → fragment → reassemble → decode == id` for one message.
 fn assert_radio_roundtrip(message: &Message) {
-    let frames = transport::to_frames(message, 0x0001, 0x0002, 7);
+    let frames = transport::to_frames(message, NodeAddr::new(1), NodeAddr::new(2), 7).unwrap();
     let delivered = transport::from_frames(&frames).unwrap();
     assert_eq!(&delivered, message);
     assert_eq!(delivered.to_wire(), message.to_wire());
@@ -182,7 +182,9 @@ proptest! {
         );
         assert_radio_roundtrip(&Message::Payment(payment.clone()));
         // The artifact that crossed the radio still verifies.
-        let frames = transport::to_frames(&Message::Payment(payment), 1, 2, 3);
+        let frames =
+            transport::to_frames(&Message::Payment(payment), NodeAddr::new(1), NodeAddr::new(2), 3)
+                .unwrap();
         let Message::Payment(delivered) = transport::from_frames(&frames).unwrap() else {
             return Err(TestCaseError::fail("wrong variant after transport"));
         };
@@ -246,7 +248,7 @@ fn session_snapshots_roundtrip_as_messages() {
     // hash-identical chain on the far side.
     let snapshot = driver.chain_snapshot();
     let message = Message::ChainSnapshot(snapshot.clone());
-    let frames = transport::to_frames(&message, 1, 2, 99);
+    let frames = transport::to_frames(&message, NodeAddr::new(1), NodeAddr::new(2), 99).unwrap();
     assert!(frames.len() > 1, "chain snapshots span several frames");
     let Message::ChainSnapshot(delivered) = transport::from_frames(&frames).unwrap() else {
         panic!("wrong variant");
