@@ -45,6 +45,25 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("ecdsa_recover", |bencher| {
         bencher.iter(|| signature.recover(black_box(&digest)).unwrap())
     });
+    // The gateway settlement workload: 8 channels' closing-state
+    // signatures, checked the pre-redesign way (one at a time) and the
+    // endpoint way (one Straus pass) — the same items `finalize_closes`
+    // verifies.
+    let closes = tinyevm_bench::perf::sample_close_batch(8);
+    group.bench_function("gateway_settle_serial8", |bencher| {
+        bencher.iter(|| {
+            for item in black_box(&closes) {
+                assert!(item
+                    .public_key
+                    .verify_prehashed(&item.digest, &item.signature));
+            }
+        })
+    });
+    group.bench_function("gateway_settle_batch8", |bencher| {
+        bencher.iter(|| {
+            assert!(tinyevm_crypto::secp256k1::verify_batch(black_box(&closes)));
+        })
+    });
     group.bench_function("scalar_mul_wnaf", |bencher| {
         bencher.iter(|| pub_point.scalar_mul(black_box(scalar)))
     });

@@ -30,8 +30,39 @@ pub struct CryptoPerf {
     pub generator_mul_ns: f64,
     /// Per-signature cost inside a 16-signature batch verification.
     pub batch_verify_per_sig_ns: f64,
+    /// Gateway settlement, pre-redesign shape: verifying 8 channels'
+    /// closing-state signatures one recovery at a time (per signature).
+    pub settle_serial_per_sig_ns: f64,
+    /// Gateway settlement, endpoint shape: all 8 closing signatures in one
+    /// batched Straus pass (per signature).
+    pub settle_batch_per_sig_ns: f64,
     /// One Keccak-256 of a 64-byte input, for scale.
     pub keccak256_64b_ns: f64,
+}
+
+/// Builds the deterministic fleet-settlement workload the settle lanes
+/// measure: `count` channels' dual-signable closing states, each signed by
+/// its own sensor key — exactly what the gateway endpoint batch-verifies in
+/// `finalize_closes`.
+pub fn sample_close_batch(count: u32) -> Vec<BatchItem> {
+    (0..count)
+        .map(|index| {
+            let key = PrivateKey::from_seed(format!("settle sensor {index}").as_bytes());
+            let state = tinyevm_chain::ChannelState {
+                template: tinyevm_types::Address::from_low_u64(0xA000 + u64::from(index)),
+                channel_id: u64::from(index) + 1,
+                sequence: 4,
+                total_to_receiver: tinyevm_types::Wei::from(7_500u64),
+                sensor_data_hash: tinyevm_types::H256::from_low_u64(u64::from(index)),
+            };
+            let digest = state.digest();
+            BatchItem {
+                digest,
+                signature: key.sign_prehashed(&digest),
+                public_key: key.public_key(),
+            }
+        })
+        .collect()
 }
 
 /// Builds the deterministic `count`-signature batch both the criterion
@@ -79,6 +110,7 @@ pub fn sample_crypto_perf() -> CryptoPerf {
     let short = [0xabu8; 64];
 
     let batch = sample_batch(16);
+    let closes = sample_close_batch(8);
 
     CryptoPerf {
         ecdsa_sign_ns: median_ns(20, || {
@@ -101,6 +133,20 @@ pub fn sample_crypto_perf() -> CryptoPerf {
         batch_verify_per_sig_ns: median_ns(4, || {
             std::hint::black_box(verify_batch(&batch));
         }) / batch.len() as f64,
+        settle_serial_per_sig_ns: median_ns(4, || {
+            // The pre-redesign settlement path: one recovery-style check
+            // per channel.
+            for item in &closes {
+                std::hint::black_box(
+                    item.public_key
+                        .verify_prehashed(&item.digest, &item.signature),
+                );
+            }
+        }) / closes.len() as f64,
+        settle_batch_per_sig_ns: median_ns(4, || {
+            // The gateway endpoint's settlement path: one Straus pass.
+            std::hint::black_box(verify_batch(&closes));
+        }) / closes.len() as f64,
         keccak256_64b_ns: median_ns(2000, || {
             std::hint::black_box(keccak256(&short));
         }),
@@ -176,7 +222,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 2,");
+        let _ = writeln!(out, "  \"schema\": 3,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -188,6 +234,16 @@ impl PerfRecord {
             out,
             "    \"batch_verify_per_sig_16\": {:.1},",
             c.batch_verify_per_sig_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"settle_serial_per_sig_8\": {:.1},",
+            c.settle_serial_per_sig_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"settle_batch_per_sig_8\": {:.1},",
+            c.settle_batch_per_sig_ns
         );
         let _ = writeln!(out, "    \"keccak256_64B\": {:.1}", c.keccak256_64b_ns);
         let _ = writeln!(out, "  }},");
@@ -246,8 +302,13 @@ mod tests {
         assert!(perf.scalar_mul_ns > 0.0);
         assert!(perf.generator_mul_ns > 0.0);
         assert!(perf.batch_verify_per_sig_ns > 0.0);
+        assert!(perf.settle_serial_per_sig_ns > 0.0);
+        assert!(perf.settle_batch_per_sig_ns > 0.0);
         // The fixed-base comb path must beat the variable-base path.
         assert!(perf.generator_mul_ns < perf.scalar_mul_ns);
+        // One Straus pass over the fleet's closing signatures must beat
+        // checking them one at a time.
+        assert!(perf.settle_batch_per_sig_ns < perf.settle_serial_per_sig_ns);
     }
 
     #[test]
@@ -284,6 +345,8 @@ mod tests {
                 scalar_mul_ns: 4.0,
                 generator_mul_ns: 5.0,
                 batch_verify_per_sig_ns: 6.0,
+                settle_serial_per_sig_ns: 8.0,
+                settle_batch_per_sig_ns: 6.5,
                 keccak256_64b_ns: 7.0,
             },
         };
@@ -297,6 +360,8 @@ mod tests {
             "\"scalar_mul\"",
             "\"generator_mul\"",
             "\"batch_verify_per_sig_16\"",
+            "\"settle_serial_per_sig_8\"",
+            "\"settle_batch_per_sig_8\"",
             "\"keccak256_64B\"",
             "\"corpus\"",
             "\"contracts\"",

@@ -321,10 +321,10 @@ impl PaymentChannel {
         Ok(())
     }
 
-    /// Closes the channel and produces the final state both parties will
-    /// sign for the on-chain commit.
-    pub fn close(&mut self) -> ChannelState {
-        self.status = ChannelStatus::Closed;
+    /// The final state this endpoint would commit if the channel closed
+    /// now, without changing the channel (used to validate a peer's close
+    /// request before accepting it).
+    pub fn closing_state(&self) -> ChannelState {
         ChannelState {
             template: self.config.template,
             channel_id: self.config.channel_id,
@@ -332,6 +332,13 @@ impl PaymentChannel {
             total_to_receiver: self.cumulative,
             sensor_data_hash: self.last_sensor_hash,
         }
+    }
+
+    /// Closes the channel and produces the final state both parties will
+    /// sign for the on-chain commit.
+    pub fn close(&mut self) -> ChannelState {
+        self.status = ChannelStatus::Closed;
+        self.closing_state()
     }
 
     /// Signs a final state with this endpoint's key; combining both

@@ -1,0 +1,1358 @@
+//! Sans-IO channel endpoints: one protocol state machine per node.
+//!
+//! A [`ChannelEndpoint`] is everything one node of the paper's deployment
+//! knows: its own [`Device`] (keys, meter, sensors, local contract world),
+//! its payment-channel state machines, its side-chain logs, and an outbox
+//! of wire [`Message`]s it wants transmitted. It never touches a `Link`, a
+//! `SharedMedium`, or a `Blockchain` — the host drives it through a small
+//! poll-based surface:
+//!
+//! * **Local intents** — [`ChannelEndpoint::open`],
+//!   [`ChannelEndpoint::pay`], [`ChannelEndpoint::close`].
+//! * **Chain observations** — [`ChannelEndpoint::expect_channel`] tells a
+//!   receiving endpoint what its chain watcher saw registered on-chain;
+//!   proposals from the peer are validated against it.
+//! * **Peer input** — [`ChannelEndpoint::handle_message`] (a decoded
+//!   [`Message`]) or [`ChannelEndpoint::handle_wire`] (raw bytes, decode
+//!   charged to the device). Both return typed [`Effect`]s describing what
+//!   the host must act on; peer-controlled data is never trusted and never
+//!   panics the endpoint.
+//! * **Transmission** — [`ChannelEndpoint::poll_transmit`] pops the next
+//!   [`Envelope`]; the transport reports the actual radio cost back through
+//!   [`ChannelEndpoint::account_transmitted`] /
+//!   [`ChannelEndpoint::account_received`], and idle waits through
+//!   [`ChannelEndpoint::wait`].
+//!
+//! One endpoint can terminate many channels: the gateway of the multi-node
+//! scenario is a single receiver-role endpoint multiplexing N sensor peers
+//! keyed by [`NodeAddr`]. The sender-role endpoint is shared verbatim
+//! between the two-party `ProtocolDriver` and the fleet `GatewayDriver` —
+//! the duplicated sender logic the old monolithic drivers carried lives
+//! here once.
+//!
+//! Endpoints communicate *only* through `Message` values, so two of them
+//! can be driven with a plain in-memory queue and no radio at all:
+//!
+//! ```
+//! use tinyevm_channel::endpoint::{ChannelEndpoint, ChannelRegistration};
+//! use tinyevm_channel::NodeAddr;
+//! use tinyevm_types::{Wei, H256, Address};
+//!
+//! /// Moves queued messages between the two endpoints until both idle.
+//! fn pump(a: &mut ChannelEndpoint, b: &mut ChannelEndpoint) {
+//!     loop {
+//!         let (from, envelope) = if let Some(e) = a.poll_transmit() {
+//!             (a.addr(), e)
+//!         } else if let Some(e) = b.poll_transmit() {
+//!             (b.addr(), e)
+//!         } else {
+//!             break;
+//!         };
+//!         let target = if envelope.to == a.addr() { &mut *a } else { &mut *b };
+//!         target.handle_message(from, envelope.message).unwrap();
+//!     }
+//! }
+//!
+//! let (car, lot) = (NodeAddr::new(1), NodeAddr::new(2));
+//! let mut sender = ChannelEndpoint::two_party_sender("car", car);
+//! let mut receiver = ChannelEndpoint::two_party_receiver("lot", lot);
+//! let registration = ChannelRegistration {
+//!     template: Address::from_low_u64(0xAA),
+//!     channel_id: 1,
+//!     sender: sender.account(),
+//!     receiver: receiver.account(),
+//!     deposit_cap: Wei::from(1_000u64),
+//!     anchor: H256::ZERO,
+//! };
+//! receiver.expect_channel(car, registration.clone()).unwrap();
+//! sender.open(lot, registration).unwrap();
+//! pump(&mut sender, &mut receiver);
+//! sender.pay(lot, Wei::from(100u64)).unwrap();
+//! pump(&mut sender, &mut receiver);
+//! assert_eq!(receiver.channel(car).unwrap().cumulative(), Wei::from(100u64));
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use tinyevm_chain::{ChannelState, CommitEnvelope};
+use tinyevm_crypto::secp256k1::Signature;
+use tinyevm_device::{Device, RadioDirection};
+use tinyevm_net::NodeAddr;
+use tinyevm_types::{Address, Wei, H256, U256};
+use tinyevm_wire::{
+    ChannelOpen, ChannelSnapshot, CloseRequest, EndpointRole, Message, PaymentAck, SensorReading,
+    SignedPayment, WireError,
+};
+
+use crate::channel::{ChannelConfig, ChannelError, ChannelRole, PaymentChannel};
+use crate::contracts;
+use crate::sidechain::SideChainLog;
+
+/// Errors a [`ChannelEndpoint`] reports. Every rejection of peer input is
+/// one of these — endpoints never panic on wire data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EndpointError {
+    /// A channel rule was violated (stale sequence, deposit cap, role...).
+    Channel(ChannelError),
+    /// Peer bytes failed to decode.
+    Wire(WireError),
+    /// The device could not run the channel contract.
+    Device(String),
+    /// A message arrived from an address with no channel or expectation.
+    UnknownPeer(NodeAddr),
+    /// A locally driven step happened out of order.
+    OutOfOrder(&'static str),
+    /// A signature did not verify against the configured counterparty.
+    BadSignature,
+    /// A structurally valid message arrived in a state that cannot use it.
+    UnexpectedMessage {
+        /// What the current protocol state could have used.
+        expected: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
+    /// The peer's proposal contradicts what the chain registered.
+    ProposalMismatch(&'static str),
+}
+
+impl core::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EndpointError::Channel(error) => write!(f, "channel error: {error}"),
+            EndpointError::Wire(error) => write!(f, "wire format error: {error}"),
+            EndpointError::Device(message) => write!(f, "device error: {message}"),
+            EndpointError::UnknownPeer(addr) => write!(f, "no channel with peer {addr}"),
+            EndpointError::OutOfOrder(step) => write!(f, "endpoint step out of order: {step}"),
+            EndpointError::BadSignature => write!(f, "signature verification failed"),
+            EndpointError::UnexpectedMessage { expected, got } => {
+                write!(f, "expected a {expected} message, got {got}")
+            }
+            EndpointError::ProposalMismatch(what) => {
+                write!(f, "peer proposal contradicts the chain: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+impl From<ChannelError> for EndpointError {
+    fn from(error: ChannelError) -> Self {
+        EndpointError::Channel(error)
+    }
+}
+
+impl From<WireError> for EndpointError {
+    fn from(error: WireError) -> Self {
+        EndpointError::Wire(error)
+    }
+}
+
+/// What a node's chain watcher observed registered on-chain for a channel —
+/// the typed chain observation an endpoint consumes instead of reading a
+/// `Blockchain` itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRegistration {
+    /// On-chain template address.
+    pub template: Address,
+    /// Channel id issued by the template's logical clock.
+    pub channel_id: u64,
+    /// The paying party's account.
+    pub sender: Address,
+    /// The receiving party's account.
+    pub receiver: Address,
+    /// Deposit cap bounding the channel's cumulative payments.
+    pub deposit_cap: Wei,
+    /// The template's side-chain root, anchoring both parties' logs.
+    pub anchor: H256,
+}
+
+/// An outbound message and its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Link-layer address of the peer this message is for.
+    pub to: NodeAddr,
+    /// The message itself.
+    pub message: Message,
+}
+
+/// A completed payment round, as measured on the paying endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentReceipt {
+    /// Sequence number of the acknowledged payment.
+    pub sequence: u64,
+    /// Cumulative amount owed to the receiver afterwards.
+    pub cumulative: Wei,
+    /// Wall-clock from the pay intent until the acknowledgement was
+    /// verified and registered (device clock).
+    pub end_to_end_latency: Duration,
+    /// Time spent signing the payment.
+    pub sign_time: Duration,
+    /// Time spent registering the payment on the local side-chain.
+    pub register_time: Duration,
+    /// Time this endpoint's own hardware was active for the round (crypto +
+    /// contract + its share of the radio), excluding waits for the peer.
+    pub active_time: Duration,
+}
+
+/// Things the host must know about or act on, returned by every input.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Effect {
+    /// A channel with `peer` is open and ready for payments.
+    ChannelOpened {
+        /// The peer on the other end of the channel.
+        peer: NodeAddr,
+        /// The channel id.
+        channel_id: u64,
+        /// Time the local channel-contract constructor took.
+        create_time: Duration,
+    },
+    /// (Receiver) A payment was verified, applied and acknowledged.
+    PaymentAccepted {
+        /// The paying peer.
+        peer: NodeAddr,
+        /// Sequence number of the accepted payment.
+        sequence: u64,
+        /// Cumulative amount now owed by that peer.
+        cumulative: Wei,
+        /// Local processing time (verify + register + sign the ack) — the
+        /// interval the payer's radio had nothing to listen to.
+        processing: Duration,
+    },
+    /// (Sender) The acknowledgement arrived and verified; the round is
+    /// complete.
+    PaymentCompleted {
+        /// The receiving peer.
+        peer: NodeAddr,
+        /// The round's measurements.
+        receipt: PaymentReceipt,
+    },
+    /// (Receiver) A close request was validated against the local channel
+    /// view and staged for batch signature verification.
+    CloseStaged {
+        /// The closing peer.
+        peer: NodeAddr,
+        /// Close requests staged so far.
+        staged: usize,
+    },
+    /// (Receiver) A dual-signed final state is ready to go on-chain; the
+    /// host owns the chain interaction.
+    CommitReady {
+        /// The closing peer.
+        peer: NodeAddr,
+        /// The envelope to commit.
+        envelope: CommitEnvelope,
+    },
+}
+
+/// Protocol-profile knobs distinguishing the paper's two deployments. The
+/// two-party smart-parking session exchanges sensor readings in both
+/// directions and paces both devices between steps; the fleet scenario
+/// sends only the sensor's reading uplink and leaves pacing to the sensor.
+#[derive(Debug, Clone)]
+pub struct EndpointProfile {
+    /// Peripheral this node reads and transmits.
+    pub reading_peripheral: u64,
+    /// Sender: exchange readings during the open handshake.
+    pub handshake_readings: bool,
+    /// Sender: wait for the peer's reading and fold it into the payment's
+    /// sensor hash.
+    pub expect_peer_reading: bool,
+    /// Receiver: answer an incoming reading with a reading of its own.
+    pub reply_with_reading: bool,
+    /// Receiver: idle for the gap after acknowledging a payment.
+    pub pace_after_ack: bool,
+    /// Idle gap inserted between protocol steps (TSCH slot waiting /
+    /// application pacing), spent in LPM2.
+    pub idle_gap: Duration,
+}
+
+impl EndpointProfile {
+    /// The two-party smart-parking profile for the given role.
+    pub fn two_party(role: ChannelRole) -> Self {
+        EndpointProfile {
+            reading_peripheral: match role {
+                ChannelRole::Sender => tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                ChannelRole::Receiver => tinyevm_device::sensors::peripheral_id::OCCUPANCY,
+            },
+            handshake_readings: true,
+            expect_peer_reading: true,
+            reply_with_reading: true,
+            pace_after_ack: true,
+            idle_gap: Duration::from_millis(120),
+        }
+    }
+
+    /// The fleet (N sensors, one gateway) profile for the given role.
+    pub fn fleet(role: ChannelRole) -> Self {
+        EndpointProfile {
+            reading_peripheral: match role {
+                ChannelRole::Sender => tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+                ChannelRole::Receiver => tinyevm_device::sensors::peripheral_id::OCCUPANCY,
+            },
+            handshake_readings: false,
+            expect_peer_reading: false,
+            reply_with_reading: false,
+            pace_after_ack: false,
+            idle_gap: Duration::from_millis(120),
+        }
+    }
+}
+
+/// What kind of message the last [`ChannelEndpoint::poll_transmit`] handed
+/// to the transport — some completions trigger pacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutKind {
+    Reading,
+    OpenReply,
+    Proposal,
+    Payment,
+    Ack,
+    CloseRequest,
+}
+
+#[derive(Debug)]
+struct Outgoing {
+    to: NodeAddr,
+    message: Message,
+    kind: OutKind,
+}
+
+/// Sender-side position inside one channel's protocol round.
+#[derive(Debug)]
+enum Pending {
+    Idle,
+    /// Open handshake: own reading sent, peer's reading outstanding.
+    OpenAwaitingReading,
+    /// Payment round: peer's reading outstanding before signing.
+    AwaitingPeerReading {
+        amount: Wei,
+        own_value: U256,
+        started_at: Duration,
+    },
+    /// Payment signed and transmitted; acknowledgement outstanding.
+    AwaitingAck {
+        payment: SignedPayment,
+        payment_wire_len: usize,
+        sign_time: Duration,
+        started_at: Duration,
+    },
+}
+
+/// A close request validated against the local channel view, parked until
+/// the host asks for the batched signature check.
+#[derive(Debug)]
+struct StagedClose {
+    state: ChannelState,
+    public_key: tinyevm_crypto::secp256k1::PublicKey,
+    signature: Signature,
+}
+
+/// Everything this endpoint knows about one channel peer.
+#[derive(Debug)]
+struct PeerSession {
+    registration: ChannelRegistration,
+    channel: PaymentChannel,
+    contract: Option<Address>,
+    log: SideChainLog,
+    peer_acks: Vec<Signature>,
+    latencies: Vec<Duration>,
+    pending: Pending,
+    staged_close: Option<StagedClose>,
+}
+
+/// One node's half of the off-chain protocol — see the module docs.
+#[derive(Debug)]
+pub struct ChannelEndpoint {
+    device: Device,
+    addr: NodeAddr,
+    role: ChannelRole,
+    profile: EndpointProfile,
+    sessions: BTreeMap<NodeAddr, PeerSession>,
+    expected: BTreeMap<NodeAddr, ChannelRegistration>,
+    outbox: VecDeque<Outgoing>,
+    in_flight: Option<OutKind>,
+}
+
+impl ChannelEndpoint {
+    /// Builds an endpoint from explicit parts.
+    pub fn new(
+        device: Device,
+        addr: NodeAddr,
+        role: ChannelRole,
+        profile: EndpointProfile,
+    ) -> Self {
+        ChannelEndpoint {
+            device,
+            addr,
+            role,
+            profile,
+            sessions: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            outbox: VecDeque::new(),
+            in_flight: None,
+        }
+    }
+
+    /// An OpenMote-B class paying endpoint with the two-party profile.
+    pub fn two_party_sender(name: &str, addr: NodeAddr) -> Self {
+        Self::new(
+            Device::openmote_b(name),
+            addr,
+            ChannelRole::Sender,
+            EndpointProfile::two_party(ChannelRole::Sender),
+        )
+    }
+
+    /// An OpenMote-B class receiving endpoint with the two-party profile.
+    pub fn two_party_receiver(name: &str, addr: NodeAddr) -> Self {
+        Self::new(
+            Device::openmote_b(name),
+            addr,
+            ChannelRole::Receiver,
+            EndpointProfile::two_party(ChannelRole::Receiver),
+        )
+    }
+
+    /// An OpenMote-B class fleet sensor (sender role, fleet profile).
+    pub fn fleet_sensor(name: &str, addr: NodeAddr) -> Self {
+        Self::new(
+            Device::openmote_b(name),
+            addr,
+            ChannelRole::Sender,
+            EndpointProfile::fleet(ChannelRole::Sender),
+        )
+    }
+
+    /// An OpenMote-B class gateway (receiver role, fleet profile), ready to
+    /// multiplex any number of sensor peers.
+    pub fn gateway(name: &str, addr: NodeAddr) -> Self {
+        Self::new(
+            Device::openmote_b(name),
+            addr,
+            ChannelRole::Receiver,
+            EndpointProfile::fleet(ChannelRole::Receiver),
+        )
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// The node's simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the device (sensor registry, meter resets).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// This node's link-layer address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// This node's payment identity.
+    pub fn account(&self) -> Address {
+        self.device.address()
+    }
+
+    /// This endpoint's channel role.
+    pub fn role(&self) -> ChannelRole {
+        self.role
+    }
+
+    /// The protocol profile.
+    pub fn profile(&self) -> &EndpointProfile {
+        &self.profile
+    }
+
+    /// Adjusts the idle gap inserted between protocol steps.
+    pub fn set_idle_gap(&mut self, gap: Duration) {
+        self.profile.idle_gap = gap;
+    }
+
+    /// Peers this endpoint has a channel with, in address order.
+    pub fn peers(&self) -> impl Iterator<Item = NodeAddr> + '_ {
+        self.sessions.keys().copied()
+    }
+
+    /// The channel state machine for one peer.
+    pub fn channel(&self, peer: NodeAddr) -> Option<&PaymentChannel> {
+        self.sessions.get(&peer).map(|s| &s.channel)
+    }
+
+    /// The side-chain log for one peer's channel.
+    pub fn side_chain(&self, peer: NodeAddr) -> Option<&SideChainLog> {
+        self.sessions.get(&peer).map(|s| &s.log)
+    }
+
+    /// Address of the locally deployed channel contract for one peer.
+    pub fn contract(&self, peer: NodeAddr) -> Option<Address> {
+        self.sessions.get(&peer).and_then(|s| s.contract)
+    }
+
+    /// Acknowledgement signatures collected from one peer.
+    pub fn peer_acks(&self, peer: NodeAddr) -> Option<&[Signature]> {
+        self.sessions.get(&peer).map(|s| s.peer_acks.as_slice())
+    }
+
+    /// End-to-end latencies of completed payment rounds with one peer.
+    pub fn latencies(&self, peer: NodeAddr) -> Option<&[Duration]> {
+        self.sessions.get(&peer).map(|s| s.latencies.as_slice())
+    }
+
+    /// The chain registration backing one peer's channel.
+    pub fn registration(&self, peer: NodeAddr) -> Option<&ChannelRegistration> {
+        self.sessions.get(&peer).map(|s| &s.registration)
+    }
+
+    // --- chain observations ----------------------------------------------
+
+    /// (Receiver) Records that the chain registered a channel whose
+    /// counterparty will propose from `peer`; the proposal is validated
+    /// against this observation when it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] on a sender-role endpoint or
+    /// when a channel with `peer` already exists.
+    pub fn expect_channel(
+        &mut self,
+        peer: NodeAddr,
+        registration: ChannelRegistration,
+    ) -> Result<(), EndpointError> {
+        if self.role != ChannelRole::Receiver {
+            return Err(EndpointError::OutOfOrder(
+                "only a receiver expects proposals",
+            ));
+        }
+        if self.sessions.contains_key(&peer) {
+            return Err(EndpointError::OutOfOrder("channel is already open"));
+        }
+        self.expected.insert(peer, registration);
+        Ok(())
+    }
+
+    // --- local intents ---------------------------------------------------
+
+    /// (Sender) Opens the channel the chain registered: instantiates the
+    /// local state machine, runs the handshake-reading exchange when the
+    /// profile asks for one, and proposes the channel to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] on a receiver-role endpoint or
+    /// when a channel with `peer` already exists.
+    pub fn open(
+        &mut self,
+        peer: NodeAddr,
+        registration: ChannelRegistration,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Sender {
+            return Err(EndpointError::OutOfOrder("only a sender opens channels"));
+        }
+        if self.sessions.contains_key(&peer) {
+            return Err(EndpointError::OutOfOrder("channel is already open"));
+        }
+        let config = ChannelConfig {
+            template: registration.template,
+            channel_id: registration.channel_id,
+            sender: registration.sender,
+            receiver: registration.receiver,
+            deposit_cap: registration.deposit_cap,
+        };
+        let log = SideChainLog::new(registration.anchor);
+        self.sessions.insert(
+            peer,
+            PeerSession {
+                registration,
+                channel: PaymentChannel::new(config, ChannelRole::Sender),
+                contract: None,
+                log,
+                peer_acks: Vec::new(),
+                latencies: Vec::new(),
+                pending: Pending::Idle,
+                staged_close: None,
+            },
+        );
+        if self.profile.handshake_readings {
+            self.queue_own_reading(peer, OutKind::Reading);
+            self.session_mut(peer)?.pending = Pending::OpenAwaitingReading;
+            Ok(Vec::new())
+        } else {
+            self.finish_open(peer)
+        }
+    }
+
+    /// (Sender) Starts one payment round of `amount` towards `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] before the channel is open or
+    /// while another round is in flight, and channel errors for amounts the
+    /// deposit cap cannot cover (fleet profile, which signs immediately).
+    pub fn pay(&mut self, peer: NodeAddr, amount: Wei) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Sender {
+            return Err(EndpointError::OutOfOrder("only a sender creates payments"));
+        }
+        if !self.sessions.contains_key(&peer) {
+            return Err(EndpointError::OutOfOrder("open the channel first"));
+        }
+        if !matches!(self.session_mut(peer)?.pending, Pending::Idle) {
+            return Err(EndpointError::OutOfOrder(
+                "a protocol round is already in flight",
+            ));
+        }
+        let started_at = self.device.now();
+        let own_value = self.read_own_sensor();
+        self.queue_reading_value(peer, own_value, OutKind::Reading);
+        if self.profile.expect_peer_reading {
+            self.session_mut(peer)?.pending = Pending::AwaitingPeerReading {
+                amount,
+                own_value,
+                started_at,
+            };
+            Ok(Vec::new())
+        } else {
+            let sensor_hash = tinyevm_crypto::keccak256_h256(&own_value.to_be_bytes());
+            self.sign_and_queue_payment(peer, amount, sensor_hash, started_at)?;
+            Ok(Vec::new())
+        }
+    }
+
+    /// (Sender) Closes the channel with `peer`: produces the final state,
+    /// signs it, and queues the close request for the peer to counter-sign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] before the channel is open or
+    /// mid-round.
+    pub fn close(&mut self, peer: NodeAddr) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Sender {
+            return Err(EndpointError::OutOfOrder(
+                "the receiver counter-signs closes, it does not initiate them",
+            ));
+        }
+        if !self.sessions.contains_key(&peer) {
+            return Err(EndpointError::OutOfOrder("open the channel first"));
+        }
+        if !matches!(self.session_mut(peer)?.pending, Pending::Idle) {
+            return Err(EndpointError::OutOfOrder(
+                "a protocol round is still in flight",
+            ));
+        }
+        let state = self.session_mut(peer)?.channel.close();
+        let (signature, _) = self.device.sign_payload(&state.encode());
+        let public_key = self.device.public_key();
+        self.outbox.push_back(Outgoing {
+            to: peer,
+            message: Message::CloseRequest(CloseRequest {
+                state,
+                public_key,
+                signature,
+            }),
+            kind: OutKind::CloseRequest,
+        });
+        Ok(Vec::new())
+    }
+
+    /// (Receiver) Verifies every staged close request's signature in one
+    /// batched multi-scalar pass, closes each channel, and counter-signs
+    /// each state, yielding one [`Effect::CommitReady`] per channel in
+    /// peer-address order.
+    ///
+    /// Channels stay open until their close signature actually verifies
+    /// here — staging is a cheap structural check, not an acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] when nothing is staged and
+    /// [`EndpointError::BadSignature`] when any staged signature fails the
+    /// batch check. In the failure case the forged requests are discarded
+    /// (those senders must re-close) while every validly signed request
+    /// stays staged, so a retry settles the honest channels — one forged
+    /// signature cannot block the fleet.
+    pub fn finalize_closes(&mut self) -> Result<Vec<Effect>, EndpointError> {
+        let staged: Vec<(NodeAddr, StagedClose)> = self
+            .sessions
+            .iter_mut()
+            .filter_map(|(addr, session)| session.staged_close.take().map(|s| (*addr, s)))
+            .collect();
+        if staged.is_empty() {
+            return Err(EndpointError::OutOfOrder("no close requests are staged"));
+        }
+        let encodings: Vec<Vec<u8>> = staged.iter().map(|(_, s)| s.state.encode()).collect();
+        let items: Vec<(&[u8], Signature, tinyevm_crypto::secp256k1::PublicKey)> = staged
+            .iter()
+            .zip(&encodings)
+            .map(|((_, s), encoded)| (encoded.as_slice(), s.signature, s.public_key))
+            .collect();
+        if !self.device.verify_payload_batch(&items) {
+            // Fall back per signature (the batch only says *some* item is
+            // forged): keep the honest closes staged for a retry, drop the
+            // forged ones. The per-item check is diagnostic; the device
+            // already paid the per-signature verify time in the batch.
+            for ((peer, close), encoded) in staged.into_iter().zip(encodings) {
+                let digest = tinyevm_crypto::keccak256(&encoded);
+                if close.public_key.verify_prehashed(&digest, &close.signature) {
+                    if let Some(session) = self.sessions.get_mut(&peer) {
+                        session.staged_close = Some(close);
+                    }
+                }
+            }
+            return Err(EndpointError::BadSignature);
+        }
+        let mut effects = Vec::with_capacity(staged.len());
+        for ((peer, close), encoded) in staged.into_iter().zip(encodings) {
+            self.session_mut(peer)?.channel.close();
+            let (own_signature, _) = self.device.sign_payload(&encoded);
+            effects.push(Effect::CommitReady {
+                peer,
+                envelope: PaymentChannel::envelope(close.state, close.signature, own_signature),
+            });
+        }
+        Ok(effects)
+    }
+
+    // --- IO surface ------------------------------------------------------
+
+    /// Pops the next outbound envelope, charging the encode cost to the
+    /// device. The transport should report the transfer's radio cost back
+    /// through [`ChannelEndpoint::account_transmitted`].
+    pub fn poll_transmit(&mut self) -> Option<Envelope> {
+        let outgoing = self.outbox.pop_front()?;
+        self.device.account_codec(outgoing.message.wire_size());
+        self.in_flight = Some(outgoing.kind);
+        Some(Envelope {
+            to: outgoing.to,
+            message: outgoing.message,
+        })
+    }
+
+    /// Reports that the radio finished moving the last polled envelope
+    /// (`wire_bytes` on the air, headers and retransmissions included):
+    /// charges TX energy and applies any step pacing the profile calls for.
+    pub fn account_transmitted(&mut self, wire_bytes: usize) {
+        self.device
+            .account_radio(RadioDirection::Transmit, wire_bytes);
+        match self.in_flight.take() {
+            Some(OutKind::OpenReply) => self.device.sleep(self.profile.idle_gap),
+            Some(OutKind::Ack) if self.profile.pace_after_ack => {
+                self.device.sleep(self.profile.idle_gap);
+            }
+            _ => {}
+        }
+    }
+
+    /// Charges RX energy for an inbound transfer of `wire_bytes`.
+    pub fn account_received(&mut self, wire_bytes: usize) {
+        self.device
+            .account_radio(RadioDirection::Receive, wire_bytes);
+    }
+
+    /// Spends `duration` idling in LPM2 (waiting for the peer's crypto, a
+    /// TSCH slot, application pacing).
+    pub fn wait(&mut self, duration: Duration) {
+        self.device.sleep(duration);
+    }
+
+    /// Decodes raw peer bytes (decode CPU charged to the device) and
+    /// handles the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::Wire`] for undecodable bytes, then
+    /// everything [`ChannelEndpoint::handle_message`] reports.
+    pub fn handle_wire(
+        &mut self,
+        from: NodeAddr,
+        bytes: &[u8],
+    ) -> Result<Vec<Effect>, EndpointError> {
+        self.device.account_codec(bytes.len());
+        let message = Message::from_wire(bytes)?;
+        self.handle_message(from, message)
+    }
+
+    /// Feeds one decoded peer message into the state machine.
+    ///
+    /// Everything in `message` is treated as adversarial: signatures are
+    /// verified against the channel's configured counterparty, protocol
+    /// steps must arrive in order, and a rejected message leaves the
+    /// endpoint's committed state (channel, log, collected signatures)
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`EndpointError`] naming the first check that failed.
+    pub fn handle_message(
+        &mut self,
+        from: NodeAddr,
+        message: Message,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        // Only the ack handler needs the envelope's encoded size (for the
+        // sender's airtime split); don't re-encode every other message.
+        let wire_len = match &message {
+            Message::PaymentAck(_) => message.wire_size(),
+            _ => 0,
+        };
+        match message {
+            Message::SensorReading(reading) => self.on_reading(from, reading),
+            Message::ChannelOpen(proposal) => self.on_proposal(from, proposal),
+            Message::Payment(payment) => self.on_payment(from, payment),
+            Message::PaymentAck(ack) => self.on_ack(from, ack, wire_len),
+            Message::CloseRequest(request) => self.on_close_request(from, request),
+            other => Err(EndpointError::UnexpectedMessage {
+                expected: "protocol message",
+                got: other.label(),
+            }),
+        }
+    }
+
+    // --- message handlers ------------------------------------------------
+
+    fn on_reading(
+        &mut self,
+        from: NodeAddr,
+        reading: SensorReading,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        match self.role {
+            ChannelRole::Receiver => {
+                if !self.sessions.contains_key(&from) && !self.expected.contains_key(&from) {
+                    return Err(EndpointError::UnknownPeer(from));
+                }
+                if self.profile.reply_with_reading {
+                    let value = self.read_own_sensor();
+                    let kind = if self.sessions.contains_key(&from) {
+                        OutKind::Reading
+                    } else {
+                        // Still opening: the reply's completion paces the
+                        // handshake.
+                        OutKind::OpenReply
+                    };
+                    self.queue_reading_value(from, value, kind);
+                }
+                Ok(Vec::new())
+            }
+            ChannelRole::Sender => {
+                if !self.sessions.contains_key(&from) {
+                    return Err(EndpointError::UnknownPeer(from));
+                }
+                let pending =
+                    std::mem::replace(&mut self.session_mut(from)?.pending, Pending::Idle);
+                match pending {
+                    Pending::OpenAwaitingReading => {
+                        self.device.sleep(self.profile.idle_gap);
+                        self.finish_open(from)
+                    }
+                    Pending::AwaitingPeerReading {
+                        amount,
+                        own_value,
+                        started_at,
+                    } => {
+                        let mut data = Vec::with_capacity(64);
+                        data.extend_from_slice(&own_value.to_be_bytes());
+                        data.extend_from_slice(&reading.value.to_be_bytes());
+                        let sensor_hash = tinyevm_crypto::keccak256_h256(&data);
+                        self.sign_and_queue_payment(from, amount, sensor_hash, started_at)?;
+                        Ok(Vec::new())
+                    }
+                    other => {
+                        self.session_mut(from)?.pending = other;
+                        Err(EndpointError::UnexpectedMessage {
+                            expected: "payment-ack",
+                            got: "sensor-reading",
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_proposal(
+        &mut self,
+        from: NodeAddr,
+        proposal: ChannelOpen,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Receiver {
+            return Err(EndpointError::UnexpectedMessage {
+                expected: "payment-ack",
+                got: "channel-open",
+            });
+        }
+        if self.sessions.contains_key(&from) {
+            return Err(EndpointError::OutOfOrder("channel is already open"));
+        }
+        let Some(registration) = self.expected.get(&from) else {
+            return Err(EndpointError::UnknownPeer(from));
+        };
+        // The peer's proposal must agree with what the chain registered —
+        // an adversarial peer cannot talk this endpoint into a channel the
+        // chain never saw.
+        if proposal.template != registration.template {
+            return Err(EndpointError::ProposalMismatch("template address"));
+        }
+        if proposal.channel_id != registration.channel_id {
+            return Err(EndpointError::ProposalMismatch("channel id"));
+        }
+        if proposal.sender != registration.sender {
+            return Err(EndpointError::ProposalMismatch("sender account"));
+        }
+        if proposal.receiver != registration.receiver {
+            return Err(EndpointError::ProposalMismatch("receiver account"));
+        }
+        if proposal.deposit_cap != registration.deposit_cap {
+            return Err(EndpointError::ProposalMismatch("deposit cap"));
+        }
+        let registration = self.expected.remove(&from).expect("checked above");
+        let init = contracts::payment_channel_init_code(
+            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+            registration.channel_id,
+        );
+        let (contract, create_time) = self
+            .device
+            .create_local_contract(&init)
+            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        let config = ChannelConfig {
+            template: registration.template,
+            channel_id: registration.channel_id,
+            sender: registration.sender,
+            receiver: registration.receiver,
+            deposit_cap: registration.deposit_cap,
+        };
+        let channel_id = registration.channel_id;
+        let log = SideChainLog::new(registration.anchor);
+        self.sessions.insert(
+            from,
+            PeerSession {
+                registration,
+                channel: PaymentChannel::new(config, ChannelRole::Receiver),
+                contract: Some(contract),
+                log,
+                peer_acks: Vec::new(),
+                latencies: Vec::new(),
+                pending: Pending::Idle,
+                staged_close: None,
+            },
+        );
+        if self.profile.reply_with_reading {
+            self.device.sleep(self.profile.idle_gap);
+        }
+        Ok(vec![Effect::ChannelOpened {
+            peer: from,
+            channel_id,
+            create_time,
+        }])
+    }
+
+    fn on_payment(
+        &mut self,
+        from: NodeAddr,
+        payment: SignedPayment,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Receiver {
+            return Err(EndpointError::UnexpectedMessage {
+                expected: "payment-ack",
+                got: "payment",
+            });
+        }
+        if !self.sessions.contains_key(&from) {
+            return Err(EndpointError::UnknownPeer(from));
+        }
+        // A staged close pins the channel's final state; accepting further
+        // payments would silently devalue the close about to be committed.
+        if self.session_mut(from)?.staged_close.is_some() {
+            return Err(EndpointError::OutOfOrder("channel close already staged"));
+        }
+        let busy_from = self.device.now();
+        let expected_payer = self.session_mut(from)?.registration.sender;
+        let payer = self
+            .device
+            .verify_payload(&payment.encode_payload(), &payment.signature)
+            .ok_or(EndpointError::BadSignature)?;
+        if payer != expected_payer {
+            return Err(EndpointError::BadSignature);
+        }
+        self.session_mut(from)?.channel.accept_payment(&payment)?;
+        self.register_on_side_chain(from, &payment)?;
+        let (ack_signature, _) = self.device.sign_payload(&payment.encode_payload());
+        let processing = self.device.now().saturating_sub(busy_from);
+        self.outbox.push_back(Outgoing {
+            to: from,
+            message: Message::PaymentAck(PaymentAck {
+                channel_id: payment.channel_id,
+                sequence: payment.sequence,
+                signature: ack_signature,
+            }),
+            kind: OutKind::Ack,
+        });
+        Ok(vec![Effect::PaymentAccepted {
+            peer: from,
+            sequence: payment.sequence,
+            cumulative: payment.cumulative,
+            processing,
+        }])
+    }
+
+    fn on_ack(
+        &mut self,
+        from: NodeAddr,
+        ack: PaymentAck,
+        ack_wire_len: usize,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Sender {
+            return Err(EndpointError::UnexpectedMessage {
+                expected: "payment",
+                got: "payment-ack",
+            });
+        }
+        if !self.sessions.contains_key(&from) {
+            return Err(EndpointError::UnknownPeer(from));
+        }
+        // Validate against the pending round *without* consuming it: a
+        // rejected acknowledgement (forged, or for a different payment)
+        // must leave this endpoint waiting for the real one.
+        let (payload, expected_receiver) = {
+            let session = self.session_mut(from)?;
+            let Pending::AwaitingAck { payment, .. } = &session.pending else {
+                return Err(EndpointError::OutOfOrder(
+                    "no payment awaits acknowledgement",
+                ));
+            };
+            if ack.sequence != payment.sequence || ack.channel_id != payment.channel_id {
+                return Err(EndpointError::OutOfOrder(
+                    "acknowledgement for a different payment",
+                ));
+            }
+            (payment.encode_payload(), session.registration.receiver)
+        };
+        let signer = self
+            .device
+            .verify_payload(&payload, &ack.signature)
+            .ok_or(EndpointError::BadSignature)?;
+        if signer != expected_receiver {
+            return Err(EndpointError::BadSignature);
+        }
+        let Pending::AwaitingAck {
+            payment,
+            payment_wire_len,
+            sign_time,
+            started_at,
+        } = std::mem::replace(&mut self.session_mut(from)?.pending, Pending::Idle)
+        else {
+            unreachable!("pending state checked above");
+        };
+        self.session_mut(from)?.peer_acks.push(ack.signature);
+        let register_time = self.register_on_side_chain(from, &payment)?;
+        let end_to_end_latency = self.device.now().saturating_sub(started_at);
+        self.session_mut(from)?.latencies.push(end_to_end_latency);
+        self.device.sleep(self.profile.idle_gap);
+        let active_time = sign_time
+            + register_time
+            + self.device.airtime(payment_wire_len)
+            + self.device.airtime(ack_wire_len);
+        Ok(vec![Effect::PaymentCompleted {
+            peer: from,
+            receipt: PaymentReceipt {
+                sequence: payment.sequence,
+                cumulative: payment.cumulative,
+                end_to_end_latency,
+                sign_time,
+                register_time,
+                active_time,
+            },
+        }])
+    }
+
+    fn on_close_request(
+        &mut self,
+        from: NodeAddr,
+        request: CloseRequest,
+    ) -> Result<Vec<Effect>, EndpointError> {
+        if self.role != ChannelRole::Receiver {
+            return Err(EndpointError::UnexpectedMessage {
+                expected: "payment-ack",
+                got: "close-request",
+            });
+        }
+        if !self.sessions.contains_key(&from) {
+            return Err(EndpointError::UnknownPeer(from));
+        }
+        let expected_sender = self.session_mut(from)?.registration.sender;
+        // The carried public key must hash to the channel's configured
+        // sender before it may stand in for it in the batched check.
+        if request.public_key.eth_address() != expected_sender {
+            return Err(EndpointError::BadSignature);
+        }
+        // The proposed final state must equal this endpoint's own view of
+        // the channel — a peer cannot close for more than it paid. The
+        // check runs against a non-mutating preview: the channel only
+        // closes in `finalize_closes`, once the signature actually
+        // verifies, so a request that is later exposed as forged leaves no
+        // trace on the channel.
+        let session = self.session_mut(from)?;
+        if request.state != session.channel.closing_state() {
+            return Err(EndpointError::ProposalMismatch(
+                "closing state does not match the channel",
+            ));
+        }
+        session.staged_close = Some(StagedClose {
+            state: request.state,
+            public_key: request.public_key,
+            signature: request.signature,
+        });
+        let staged = self
+            .sessions
+            .values()
+            .filter(|s| s.staged_close.is_some())
+            .count();
+        Ok(vec![Effect::CloseStaged { peer: from, staged }])
+    }
+
+    // --- persistence -----------------------------------------------------
+
+    /// Captures one peer's channel, side-chain log and collected peer
+    /// acknowledgements as a wire-format snapshot.
+    pub fn snapshot(&self, peer: NodeAddr) -> Option<ChannelSnapshot> {
+        self.sessions
+            .get(&peer)
+            .map(|s| s.channel.snapshot(&s.log, &s.peer_acks))
+    }
+
+    /// Restores one peer's channel from a snapshot: the role must match
+    /// this endpoint and the snapshot's side-chain log must verify. The
+    /// local contract is kept only when the restored channel is the one it
+    /// was deployed for; otherwise it is cleared (re-create it with
+    /// [`ChannelEndpoint::ensure_contract`]). Round measurements
+    /// (latencies) belong to the lost process and are cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] for a role mismatch and
+    /// [`EndpointError::Wire`] for a snapshot that does not verify.
+    pub fn install_snapshot(
+        &mut self,
+        peer: NodeAddr,
+        snapshot: &ChannelSnapshot,
+    ) -> Result<(), EndpointError> {
+        let expected = match self.role {
+            ChannelRole::Sender => EndpointRole::Sender,
+            ChannelRole::Receiver => EndpointRole::Receiver,
+        };
+        if snapshot.role != expected {
+            return Err(EndpointError::OutOfOrder(
+                "snapshot belongs to the other endpoint",
+            ));
+        }
+        let (channel, log, peer_acks) = PaymentChannel::restore(snapshot)?;
+        let contract = self
+            .sessions
+            .get(&peer)
+            .filter(|s| s.channel.config().channel_id == snapshot.channel_id)
+            .and_then(|s| s.contract);
+        self.sessions.insert(
+            peer,
+            PeerSession {
+                registration: ChannelRegistration {
+                    template: snapshot.template,
+                    channel_id: snapshot.channel_id,
+                    sender: snapshot.sender,
+                    receiver: snapshot.receiver,
+                    deposit_cap: snapshot.deposit_cap,
+                    anchor: snapshot.anchor,
+                },
+                channel,
+                contract,
+                log,
+                peer_acks,
+                latencies: Vec::new(),
+                pending: Pending::Idle,
+                staged_close: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Forgets the channel with `peer` (a restore target that must rebuild
+    /// from scratch).
+    pub fn drop_session(&mut self, peer: NodeAddr) {
+        self.sessions.remove(&peer);
+        self.expected.remove(&peer);
+    }
+
+    /// Re-instantiates the local channel contract for `peer` if the device
+    /// lost it (e.g. in a power cycle), charging the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::OutOfOrder`] without a channel and a device
+    /// error when the constructor fails.
+    pub fn ensure_contract(&mut self, peer: NodeAddr) -> Result<(), EndpointError> {
+        let channel_id = match self.sessions.get(&peer) {
+            None => return Err(EndpointError::OutOfOrder("open the channel first")),
+            Some(session) if session.contract.is_some() => return Ok(()),
+            Some(session) => session.channel.config().channel_id,
+        };
+        let init = contracts::payment_channel_init_code(
+            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+            channel_id,
+        );
+        let (contract, _) = self
+            .device
+            .create_local_contract(&init)
+            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        self.session_mut(peer)?.contract = Some(contract);
+        Ok(())
+    }
+
+    /// Moves the channel keyed under `old` to `new` (a driver binding two
+    /// standalone nodes together re-keys any pre-existing session).
+    pub fn rekey_peer(&mut self, old: NodeAddr, new: NodeAddr) {
+        if old == new {
+            return;
+        }
+        if let Some(session) = self.sessions.remove(&old) {
+            self.sessions.insert(new, session);
+        }
+        if let Some(expected) = self.expected.remove(&old) {
+            self.expected.insert(new, expected);
+        }
+        for outgoing in &mut self.outbox {
+            if outgoing.to == old {
+                outgoing.to = new;
+            }
+        }
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn session_mut(&mut self, peer: NodeAddr) -> Result<&mut PeerSession, EndpointError> {
+        self.sessions
+            .get_mut(&peer)
+            .ok_or(EndpointError::UnknownPeer(peer))
+    }
+
+    /// Reads this node's configured peripheral (500 µs of CPU).
+    fn read_own_sensor(&mut self) -> U256 {
+        self.device
+            .read_sensor(self.profile.reading_peripheral, 0)
+            .unwrap_or(U256::ZERO)
+    }
+
+    fn queue_own_reading(&mut self, peer: NodeAddr, kind: OutKind) {
+        let value = self.read_own_sensor();
+        self.queue_reading_value(peer, value, kind);
+    }
+
+    fn queue_reading_value(&mut self, peer: NodeAddr, value: U256, kind: OutKind) {
+        self.outbox.push_back(Outgoing {
+            to: peer,
+            message: Message::SensorReading(SensorReading {
+                peripheral: self.profile.reading_peripheral,
+                value,
+            }),
+            kind,
+        });
+    }
+
+    /// Completes the sender side of the open handshake: deploy the local
+    /// channel contract and propose the channel to the peer.
+    fn finish_open(&mut self, peer: NodeAddr) -> Result<Vec<Effect>, EndpointError> {
+        let registration = self.session_mut(peer)?.registration.clone();
+        let init = contracts::payment_channel_init_code(
+            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+            registration.channel_id,
+        );
+        let (contract, create_time) = self
+            .device
+            .create_local_contract(&init)
+            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        self.session_mut(peer)?.contract = Some(contract);
+        self.outbox.push_back(Outgoing {
+            to: peer,
+            message: Message::ChannelOpen(ChannelOpen {
+                template: registration.template,
+                channel_id: registration.channel_id,
+                sender: registration.sender,
+                receiver: registration.receiver,
+                deposit_cap: registration.deposit_cap,
+            }),
+            kind: OutKind::Proposal,
+        });
+        if self.profile.handshake_readings {
+            self.device.sleep(self.profile.idle_gap);
+        }
+        Ok(vec![Effect::ChannelOpened {
+            peer,
+            channel_id: registration.channel_id,
+            create_time,
+        }])
+    }
+
+    /// Creates and signs the next payment and queues it for transmission.
+    fn sign_and_queue_payment(
+        &mut self,
+        peer: NodeAddr,
+        amount: Wei,
+        sensor_hash: H256,
+        started_at: Duration,
+    ) -> Result<(), EndpointError> {
+        let key = *self.device.private_key();
+        let payment = self
+            .session_mut(peer)?
+            .channel
+            .create_payment(&key, amount, sensor_hash)?;
+        // The channel signed with the node key; the device model charges
+        // the crypto-engine latency for the same digest.
+        let (device_signature, sign_time) = self.device.sign_payload(&payment.encode_payload());
+        debug_assert_eq!(device_signature, payment.signature);
+        let message = Message::Payment(payment.clone());
+        let payment_wire_len = message.wire_size();
+        self.session_mut(peer)?.pending = Pending::AwaitingAck {
+            payment,
+            payment_wire_len,
+            sign_time,
+            started_at,
+        };
+        self.outbox.push_back(Outgoing {
+            to: peer,
+            message,
+            kind: OutKind::Payment,
+        });
+        Ok(())
+    }
+
+    /// Executes the channel contract to register a payment on this node's
+    /// side-chain, then appends to the hash-linked log. Returns the VM
+    /// execution time.
+    fn register_on_side_chain(
+        &mut self,
+        peer: NodeAddr,
+        payment: &SignedPayment,
+    ) -> Result<Duration, EndpointError> {
+        let contract = self
+            .session_mut(peer)?
+            .contract
+            .ok_or(EndpointError::OutOfOrder("open the channel first"))?;
+        let calldata =
+            contracts::record_payment_calldata(payment.sequence, payment.cumulative.amount());
+        let (_, success, time) = self
+            .device
+            .call_local_contract(contract, U256::ZERO, &calldata);
+        if !success {
+            return Err(EndpointError::Device(
+                "payment-channel contract rejected the payment".to_string(),
+            ));
+        }
+        self.session_mut(peer)?.log.append(
+            payment.channel_id,
+            payment.sequence,
+            payment.cumulative,
+            H256::from_bytes(payment.digest()),
+        );
+        Ok(time)
+    }
+}

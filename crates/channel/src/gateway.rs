@@ -2,21 +2,27 @@
 //!
 //! The paper's deployment is not one car and one parking sensor but a
 //! *fleet* of low-power devices each paying a single gateway over its own
-//! off-chain channel. [`GatewayDriver`] builds that topology end to end:
+//! off-chain channel. [`GatewayDriver`] builds that topology as a thin pump
+//! over sans-IO endpoints (see [`crate::endpoint`]):
 //!
-//! * N [`SensorNode`]s, each an OpenMote-B class device with its own key,
-//!   link-layer [`NodeAddr`] and payment channel;
-//! * one [`Gateway`] device that terminates every channel — it keeps a
-//!   per-sensor channel state machine, side-chain log and locally deployed
-//!   channel contract;
+//! * N [`SensorNode`]s — each a sender-role [`ChannelEndpoint`] with its
+//!   own OpenMote-B device, key, link-layer [`NodeAddr`] and payment
+//!   channel;
+//! * one [`Gateway`] — a **single receiver-role endpoint multiplexing all N
+//!   sensor peers keyed by address**, with one device (one radio, one
+//!   crypto engine), a per-sensor channel state machine, side-chain log and
+//!   locally deployed channel contract;
 //! * a [`SharedMedium`] carrying all traffic, with every wire byte and
 //!   microsecond of airtime attributed to the sensor that caused it;
 //! * one [`Blockchain`] that hosts all N templates and settles all N
-//!   channels at the end of the session.
+//!   channels at the end of the session. At settlement the gateway
+//!   endpoint verifies **all N closing signatures in one batched
+//!   multi-scalar pass** (`tinyevm_crypto::secp256k1::verify_batch`).
 //!
 //! Every protocol step crosses the medium as an encoded
 //! [`tinyevm_wire::Message`] and the far side acts only on the decoded
-//! artifact, exactly like the two-party [`crate::ProtocolDriver`]. The
+//! artifact, exactly like the two-party [`crate::ProtocolDriver`] — both
+//! drivers share the same endpoint implementation and the same pump. The
 //! whole multi-session state — chain plus 2 × N channel endpoints — can be
 //! persisted as one wire-format file and restored after a power cycle.
 //!
@@ -31,139 +37,130 @@ use std::time::Duration;
 
 use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
-use tinyevm_device::{Device, RadioDirection};
-use tinyevm_net::{EndpointStats, LinkConfig, NodeAddr, SharedMedium, TransferReport};
-use tinyevm_types::{Address, Wei, H256, U256};
-use tinyevm_wire::{
-    persist, ChainSnapshot, ChannelOpen, ChannelSnapshot, EndpointRole, Message, PaymentAck,
-    SensorReading, WireError,
-};
+use tinyevm_device::Device;
+use tinyevm_net::{EndpointStats, LinkConfig, NodeAddr, SharedMedium};
+use tinyevm_types::{Address, Wei, H256};
+use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Message, WireError};
 
-use crate::channel::{ChannelConfig, ChannelRole, PaymentChannel};
-use crate::contracts;
-use crate::protocol::ProtocolError;
+use crate::channel::PaymentChannel;
+use crate::endpoint::{ChannelEndpoint, ChannelRegistration, Effect};
+use crate::protocol::{pump_pair, ProtocolError, PumpLog};
 use crate::sidechain::SideChainLog;
 
 /// Default link-layer address of the gateway.
 pub const GATEWAY_ADDR: NodeAddr = NodeAddr::new(0xFE);
 
-/// One paying sensor device of the fleet.
+/// One paying sensor device of the fleet: a sender-role sans-IO endpoint
+/// whose single peer is the gateway.
 #[derive(Debug)]
 pub struct SensorNode {
-    device: Device,
-    addr: NodeAddr,
-    template: Option<Address>,
-    channel: Option<PaymentChannel>,
-    contract: Option<Address>,
-    log: SideChainLog,
-    ack_signatures: Vec<Signature>,
-    latencies: Vec<Duration>,
+    endpoint: ChannelEndpoint,
+    fallback_log: SideChainLog,
 }
 
 impl SensorNode {
     fn new(index: usize) -> Self {
         SensorNode {
-            device: Device::openmote_b(&format!("sensor-{:02}", index + 1)),
-            addr: NodeAddr::new(index as u16 + 1),
-            template: None,
-            channel: None,
-            contract: None,
-            log: SideChainLog::new(H256::ZERO),
-            ack_signatures: Vec::new(),
-            latencies: Vec::new(),
+            endpoint: ChannelEndpoint::fleet_sensor(
+                &format!("sensor-{:02}", index + 1),
+                NodeAddr::new(index as u16 + 1),
+            ),
+            fallback_log: SideChainLog::new(H256::ZERO),
         }
+    }
+
+    /// The sensor's protocol state machine.
+    pub fn endpoint(&self) -> &ChannelEndpoint {
+        &self.endpoint
     }
 
     /// The underlying simulated device.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.endpoint.device()
     }
 
     /// The sensor's link-layer address.
     pub fn node_addr(&self) -> NodeAddr {
-        self.addr
+        self.endpoint.addr()
     }
 
     /// The sensor's payment identity.
     pub fn address(&self) -> Address {
-        self.device.address()
+        self.endpoint.account()
     }
 
-    /// The sensor's channel endpoint, once opened.
+    /// The sensor's channel state machine, once opened.
     pub fn channel(&self) -> Option<&PaymentChannel> {
-        self.channel.as_ref()
+        self.endpoint.channel(GATEWAY_ADDR)
     }
 
     /// The sensor's side-chain log.
     pub fn side_chain(&self) -> &SideChainLog {
-        &self.log
+        self.endpoint
+            .side_chain(GATEWAY_ADDR)
+            .unwrap_or(&self.fallback_log)
     }
 
     /// Gateway acknowledgement signatures this sensor has collected.
     pub fn ack_signatures(&self) -> &[Signature] {
-        &self.ack_signatures
+        self.endpoint.peer_acks(GATEWAY_ADDR).unwrap_or(&[])
     }
 
     /// End-to-end latencies of this sensor's payments, in order.
     pub fn latencies(&self) -> &[Duration] {
-        &self.latencies
+        self.endpoint.latencies(GATEWAY_ADDR).unwrap_or(&[])
     }
 }
 
-/// The gateway's bookkeeping for one sensor's channel.
-#[derive(Debug)]
-struct GatewayChannel {
-    template: Address,
-    channel: PaymentChannel,
-    contract: Address,
-    log: SideChainLog,
-}
-
-/// The single receiver terminating all N channels.
+/// The single receiver terminating all N channels: one receiver-role
+/// endpoint multiplexing every sensor peer.
 #[derive(Debug)]
 pub struct Gateway {
-    device: Device,
-    addr: NodeAddr,
-    channels: BTreeMap<NodeAddr, GatewayChannel>,
+    endpoint: ChannelEndpoint,
 }
 
 impl Gateway {
     fn new(addr: NodeAddr) -> Self {
         Gateway {
-            device: Device::openmote_b("gateway"),
-            addr,
-            channels: BTreeMap::new(),
+            endpoint: ChannelEndpoint::gateway("gateway", addr),
         }
+    }
+
+    /// The gateway's protocol state machine.
+    pub fn endpoint(&self) -> &ChannelEndpoint {
+        &self.endpoint
     }
 
     /// The gateway device (one radio, one crypto engine, N contracts).
     pub fn device(&self) -> &Device {
-        &self.device
+        self.endpoint.device()
     }
 
     /// The gateway's link-layer address.
     pub fn node_addr(&self) -> NodeAddr {
-        self.addr
+        self.endpoint.addr()
     }
 
     /// The gateway's payment identity.
     pub fn address(&self) -> Address {
-        self.device.address()
+        self.endpoint.account()
     }
 
-    /// The gateway's channel endpoint for one sensor.
+    /// The gateway's channel state machine for one sensor.
     pub fn channel_for(&self, sensor: NodeAddr) -> Option<&PaymentChannel> {
-        self.channels.get(&sensor).map(|entry| &entry.channel)
+        self.endpoint.channel(sensor)
     }
 
     /// The gateway's side-chain log for one sensor's channel.
     pub fn side_chain_for(&self, sensor: NodeAddr) -> Option<&SideChainLog> {
-        self.channels.get(&sensor).map(|entry| &entry.log)
+        self.endpoint.side_chain(sensor)
     }
 
     /// The on-chain template backing one sensor's channel.
     pub fn template_for(&self, sensor: NodeAddr) -> Option<Address> {
-        self.channels.get(&sensor).map(|entry| entry.template)
+        self.endpoint
+            .registration(sensor)
+            .map(|registration| registration.template)
     }
 }
 
@@ -258,13 +255,13 @@ impl GatewayDriver {
             "sensor addresses would collide with the gateway's"
         );
         let gateway = Gateway::new(GATEWAY_ADDR);
-        let mut medium = SharedMedium::new(gateway.addr, link);
+        let mut medium = SharedMedium::new(gateway.node_addr(), link);
         let mut chain = Blockchain::new();
         let sensors: Vec<SensorNode> = (0..sensor_count)
             .map(|index| {
                 let sensor = SensorNode::new(index);
                 medium
-                    .attach(sensor.addr)
+                    .attach(sensor.node_addr())
                     .expect("sensor addresses are unique");
                 // Genesis allocation: each sensor locks its own deposit.
                 chain.fund(sensor.address(), deposit.saturating_add(Wei::from_eth(1)));
@@ -310,26 +307,31 @@ impl GatewayDriver {
     /// Adjusts the idle gap inserted between protocol steps.
     pub fn set_idle_gap(&mut self, gap: Duration) {
         self.idle_gap = gap;
+        self.gateway.endpoint.set_idle_gap(gap);
+        for sensor in &mut self.sensors {
+            sensor.endpoint.set_idle_gap(gap);
+        }
     }
 
     /// Opens every sensor's channel: publishes its template (locking the
-    /// sensor's deposit), registers the payment channel on-chain, runs the
-    /// channel-open handshake over the medium and instantiates the channel
-    /// contract on both the sensor and the gateway.
+    /// sensor's deposit), registers the payment channel on-chain, feeds the
+    /// registration to both endpoints, and pumps the channel-open proposal
+    /// over the medium (each side instantiates its channel contract
+    /// locally).
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::OutOfOrder`] when called twice, or the
     /// underlying chain / device / medium error.
     pub fn open_all(&mut self) -> Result<(), ProtocolError> {
-        if self.sensors.iter().any(|sensor| sensor.channel.is_some()) {
+        if self.sensors.iter().any(|sensor| sensor.channel().is_some()) {
             return Err(ProtocolError::OutOfOrder("channels are already open"));
         }
         let gateway_account = self.gateway.address();
         for index in 0..self.sensors.len() {
             let (sensor_account, sensor_addr) = {
                 let sensor = &self.sensors[index];
-                (sensor.address(), sensor.addr)
+                (sensor.address(), sensor.node_addr())
             };
             let template = self.chain.publish_template(TemplateConfig {
                 sender: sensor_account,
@@ -340,77 +342,25 @@ impl GatewayDriver {
             let channel_id = self
                 .chain
                 .create_payment_channel(sensor_account, template)?;
-
-            // The sensor proposes its channel parameters over the medium;
-            // the gateway instantiates its endpoint from the *decoded*
-            // proposal.
-            let proposal = Message::ChannelOpen(ChannelOpen {
+            let registration = ChannelRegistration {
                 template,
                 channel_id,
                 sender: sensor_account,
                 receiver: gateway_account,
                 deposit_cap: self.deposit,
-            });
-            let (delivered, _) = self.uplink(index, &proposal)?;
-            let Message::ChannelOpen(accepted) = delivered else {
-                return Err(ProtocolError::UnexpectedMessage {
-                    expected: "channel-open",
-                    got: "other",
-                });
+                anchor: self
+                    .chain
+                    .template(&template)
+                    .map(|t| t.side_chain_root().hash)
+                    .unwrap_or(H256::ZERO),
             };
-
-            // Both parties execute the channel constructor locally.
-            let init = contracts::payment_channel_init_code(
-                tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-                channel_id,
-            );
-            let anchor = self
-                .chain
-                .template(&template)
-                .map(|t| t.side_chain_root().hash)
-                .unwrap_or(H256::ZERO);
-            let sensor = &mut self.sensors[index];
-            let (sensor_contract, _) = sensor
-                .device
-                .create_local_contract(&init)
-                .map_err(|e| ProtocolError::Device(e.to_string()))?;
-            sensor.template = Some(template);
-            sensor.contract = Some(sensor_contract);
-            sensor.channel = Some(PaymentChannel::new(
-                ChannelConfig {
-                    template,
-                    channel_id,
-                    sender: sensor_account,
-                    receiver: gateway_account,
-                    deposit_cap: self.deposit,
-                },
-                ChannelRole::Sender,
-            ));
-            sensor.log = SideChainLog::new(anchor);
-
-            let (gateway_contract, _) = self
-                .gateway
-                .device
-                .create_local_contract(&init)
-                .map_err(|e| ProtocolError::Device(e.to_string()))?;
-            self.gateway.channels.insert(
-                sensor_addr,
-                GatewayChannel {
-                    template: accepted.template,
-                    channel: PaymentChannel::new(
-                        ChannelConfig {
-                            template: accepted.template,
-                            channel_id: accepted.channel_id,
-                            sender: accepted.sender,
-                            receiver: accepted.receiver,
-                            deposit_cap: accepted.deposit_cap,
-                        },
-                        ChannelRole::Receiver,
-                    ),
-                    contract: gateway_contract,
-                    log: SideChainLog::new(anchor),
-                },
-            );
+            self.gateway
+                .endpoint
+                .expect_channel(sensor_addr, registration.clone())?;
+            self.sensors[index]
+                .endpoint
+                .open(GATEWAY_ADDR, registration)?;
+            self.pump(index)?;
         }
         self.pause_all();
         Ok(())
@@ -430,159 +380,23 @@ impl GatewayDriver {
         if index >= self.sensors.len() {
             return Err(ProtocolError::OutOfOrder("no such sensor"));
         }
-        let sensor_addr = self.sensors[index].addr;
-        let started_at = self.sensors[index].device.now();
-
-        // 1. The sensor reads its peripheral and sends the reading up; the
-        //    payment is bound to the hash of what actually crossed the air.
-        let reading = self.sensors[index]
-            .device
-            .read_sensor(tinyevm_device::sensors::peripheral_id::TEMPERATURE, 0)
-            .unwrap_or(U256::ZERO);
-        let (delivered, reading_bytes) = self.uplink(
-            index,
-            &Message::SensorReading(SensorReading {
-                peripheral: tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-                value: reading,
-            }),
-        )?;
-        let Message::SensorReading(seen) = delivered else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "sensor-reading",
-                got: "other",
-            });
-        };
-        let sensor_hash = tinyevm_crypto::keccak256_h256(&seen.value.to_be_bytes());
-
-        // 2. The sensor builds and signs the payment (crypto-engine time
-        //    charged by the device model).
-        let payment = {
-            let sensor = &mut self.sensors[index];
-            let key = *sensor.device.private_key();
-            let channel = sensor
-                .channel
-                .as_mut()
-                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-            let payment = channel.create_payment(&key, amount, sensor_hash)?;
-            let (device_signature, _) = sensor.device.sign_payload(&payment.encode_payload());
-            debug_assert_eq!(device_signature, payment.signature);
-            payment
-        };
-
-        // 3. The signed payment crosses the medium; the gateway acts only
-        //    on the decoded artifact.
-        let (delivered, payment_bytes) = self.uplink(index, &Message::Payment(payment.clone()))?;
-        let Message::Payment(received) = delivered else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "payment",
-                got: "other",
-            });
-        };
-
-        // 4. The gateway verifies, applies and registers the payment on
-        //    its per-sensor side-chain, then signs the acknowledgement.
-        let gateway_busy_from = self.gateway.device.now();
-        let payer = self
-            .gateway
-            .device
-            .verify_payload(&received.encode_payload(), &received.signature)
-            .ok_or(ProtocolError::BadSignature)?;
-        if payer != self.sensors[index].address() {
-            return Err(ProtocolError::BadSignature);
-        }
-        {
-            let entry = self
-                .gateway
-                .channels
-                .get_mut(&sensor_addr)
-                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-            entry.channel.accept_payment(&received)?;
-            let calldata =
-                contracts::record_payment_calldata(received.sequence, received.cumulative.amount());
-            let (_, success, _) =
-                self.gateway
-                    .device
-                    .call_local_contract(entry.contract, U256::ZERO, &calldata);
-            if !success {
-                return Err(ProtocolError::Device(
-                    "gateway channel contract rejected the payment".to_string(),
-                ));
-            }
-            entry.log.append(
-                received.channel_id,
-                received.sequence,
-                received.cumulative,
-                H256::from_bytes(received.digest()),
-            );
-        }
-        let (ack_signature, _) = self.gateway.device.sign_payload(&received.encode_payload());
-        let gateway_busy = self.gateway.device.now().saturating_sub(gateway_busy_from);
-        // The sensor idles in LPM2 while the gateway works; that wait is
-        // part of the payment's end-to-end latency.
-        self.sensors[index].device.sleep(gateway_busy);
-
-        // 5. The acknowledgement travels back down the medium.
-        let ack = Message::PaymentAck(PaymentAck {
-            channel_id: received.channel_id,
-            sequence: received.sequence,
-            signature: ack_signature,
-        });
-        let (delivered_ack, ack_bytes) = self.downlink(index, &ack)?;
-        let Message::PaymentAck(ack) = delivered_ack else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "payment-ack",
-                got: "other",
-            });
-        };
-        if ack.sequence != payment.sequence || ack.channel_id != payment.channel_id {
-            return Err(ProtocolError::OutOfOrder(
-                "acknowledgement for a different payment",
-            ));
-        }
-        let gateway_account = self.gateway.address();
-        {
-            let sensor = &mut self.sensors[index];
-            let signer = sensor
-                .device
-                .verify_payload(&payment.encode_payload(), &ack.signature)
-                .ok_or(ProtocolError::BadSignature)?;
-            if signer != gateway_account {
-                return Err(ProtocolError::BadSignature);
-            }
-            sensor.ack_signatures.push(ack.signature);
-
-            // 6. The sensor registers the payment on its own side-chain.
-            let contract = sensor
-                .contract
-                .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-            let calldata =
-                contracts::record_payment_calldata(payment.sequence, payment.cumulative.amount());
-            let (_, success, _) =
-                sensor
-                    .device
-                    .call_local_contract(contract, U256::ZERO, &calldata);
-            if !success {
-                return Err(ProtocolError::Device(
-                    "sensor channel contract rejected the payment".to_string(),
-                ));
-            }
-            sensor.log.append(
-                payment.channel_id,
-                payment.sequence,
-                payment.cumulative,
-                H256::from_bytes(payment.digest()),
-            );
-        }
-
-        let end_to_end_latency = self.sensors[index].device.now().saturating_sub(started_at);
-        self.sensors[index].latencies.push(end_to_end_latency);
-        self.sensors[index].device.sleep(self.idle_gap);
+        let sensor_addr = self.sensors[index].node_addr();
+        self.sensors[index].endpoint.pay(GATEWAY_ADDR, amount)?;
+        let log = self.pump(index)?;
+        let receipt = log
+            .effects
+            .iter()
+            .find_map(|(_, effect)| match effect {
+                Effect::PaymentCompleted { receipt, .. } => Some(receipt.clone()),
+                _ => None,
+            })
+            .ok_or(ProtocolError::OutOfOrder("payment round did not complete"))?;
         let report = GatewayRoundReport {
             sensor: sensor_addr,
-            sequence: payment.sequence,
-            cumulative: payment.cumulative,
-            end_to_end_latency,
-            bytes_exchanged: reading_bytes + payment_bytes + ack_bytes,
+            sequence: receipt.sequence,
+            cumulative: receipt.cumulative,
+            end_to_end_latency: receipt.end_to_end_latency,
+            bytes_exchanged: log.wire_bytes(),
         };
         self.rounds.push(report.clone());
         Ok(report)
@@ -603,10 +417,12 @@ impl GatewayDriver {
         Ok(())
     }
 
-    /// Closes and settles every channel on the gateway's chain: each final
-    /// state is dual-signed, travels up the medium as a wire message, is
-    /// committed from its decoded form, and after one shared challenge
-    /// period every template is finalized.
+    /// Closes and settles every channel on the gateway's chain: each
+    /// sensor's endpoint signs its final state and sends it up the medium;
+    /// the gateway endpoint validates each against its own channel view,
+    /// verifies **all N closing signatures in one batched multi-scalar
+    /// pass**, counter-signs, and the driver commits every envelope. After
+    /// one shared challenge period every template is finalized.
     ///
     /// # Errors
     ///
@@ -614,39 +430,23 @@ impl GatewayDriver {
     /// the chain's rejection.
     pub fn settle_all(&mut self) -> Result<GatewaySettlementReport, ProtocolError> {
         let gateway_account = self.gateway.address();
-        let mut templates = Vec::with_capacity(self.sensors.len());
         for index in 0..self.sensors.len() {
-            let sensor_addr = self.sensors[index].addr;
-            let state = {
-                let entry = self
-                    .gateway
-                    .channels
-                    .get_mut(&sensor_addr)
-                    .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-                entry.channel.close()
+            self.sensors[index].endpoint.close(GATEWAY_ADDR)?;
+            self.pump(index)?;
+        }
+        // One Straus pass over all N closing signatures, then one
+        // counter-signature per channel.
+        let commits = self.gateway.endpoint.finalize_closes()?;
+        let mut templates = Vec::with_capacity(self.sensors.len());
+        for effect in commits {
+            let Effect::CommitReady { peer, envelope } = effect else {
+                continue;
             };
-            if let Some(channel) = self.sensors[index].channel.as_mut() {
-                channel.close();
-            }
-            let encoded = state.encode();
-            let (sensor_signature, _) = self.sensors[index].device.sign_payload(&encoded);
-            let (gateway_signature, _) = self.gateway.device.sign_payload(&encoded);
-            let envelope = PaymentChannel::envelope(state, sensor_signature, gateway_signature);
-
-            // The dual-signed final state travels to the gateway as a wire
-            // message; what goes on-chain is the decoded envelope.
-            let (delivered, _) = self.uplink(index, &Message::ChannelClose(envelope))?;
-            let Message::ChannelClose(committed) = delivered else {
-                return Err(ProtocolError::UnexpectedMessage {
-                    expected: "channel-close",
-                    got: "other",
-                });
-            };
-            let template = committed.state.template;
+            let template = envelope.state.template;
             self.chain
-                .commit_channel_state(gateway_account, template, &committed)?;
+                .commit_channel_state(gateway_account, template, &envelope)?;
             self.chain.start_exit(gateway_account, template)?;
-            templates.push((sensor_addr, template));
+            templates.push((peer, template));
         }
 
         // One shared challenge period covers every exit (all templates use
@@ -672,28 +472,27 @@ impl GatewayDriver {
         self.sensors
             .iter()
             .map(|sensor| {
-                let latencies = &sensor.latencies;
+                let latencies = sensor.latencies();
                 let mean_latency = if latencies.is_empty() {
                     Duration::ZERO
                 } else {
                     latencies.iter().sum::<Duration>() / latencies.len() as u32
                 };
                 SensorSummary {
-                    addr: sensor.addr,
+                    addr: sensor.node_addr(),
                     account: sensor.address(),
-                    payments: sensor
-                        .channel
-                        .as_ref()
-                        .map(|c| c.payments_seen())
-                        .unwrap_or(0),
+                    payments: sensor.channel().map(|c| c.payments_seen()).unwrap_or(0),
                     paid: sensor
-                        .channel
-                        .as_ref()
+                        .channel()
                         .map(|c| c.cumulative())
                         .unwrap_or(Wei::ZERO),
                     mean_latency,
-                    energy_mj: sensor.device.energy_report().total_energy_mj(),
-                    wire: self.medium.stats(sensor.addr).cloned().unwrap_or_default(),
+                    energy_mj: sensor.device().energy_report().total_energy_mj(),
+                    wire: self
+                        .medium
+                        .stats(sensor.node_addr())
+                        .cloned()
+                        .unwrap_or_default(),
                 }
             })
             .collect()
@@ -712,21 +511,17 @@ impl GatewayDriver {
         let mut messages = Vec::with_capacity(1 + 2 * self.sensors.len());
         messages.push(Message::ChainSnapshot(ChainSnapshot::capture(&self.chain)));
         for sensor in &self.sensors {
-            let channel = sensor
-                .channel
-                .as_ref()
+            let sensor_snapshot = sensor
+                .endpoint
+                .snapshot(GATEWAY_ADDR)
                 .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-            messages.push(Message::ChannelSnapshot(
-                channel.snapshot(&sensor.log, &sensor.ack_signatures),
-            ));
-            let entry = self
+            messages.push(Message::ChannelSnapshot(sensor_snapshot));
+            let gateway_snapshot = self
                 .gateway
-                .channels
-                .get(&sensor.addr)
+                .endpoint
+                .snapshot(sensor.node_addr())
                 .ok_or(ProtocolError::OutOfOrder("open_all first"))?;
-            messages.push(Message::ChannelSnapshot(
-                entry.channel.snapshot(&entry.log, &[]),
-            ));
+            messages.push(Message::ChannelSnapshot(gateway_snapshot));
         }
         persist::write_messages(path, &messages)?;
         Ok(())
@@ -776,7 +571,6 @@ impl GatewayDriver {
         }
         // Validate and decode everything before committing any state.
         let gateway_account = self.gateway.address();
-        let mut staged = Vec::with_capacity(self.sensors.len());
         for sensor in &self.sensors {
             let account = sensor.address();
             let (Some(sender_snapshot), Some(receiver_snapshot)) =
@@ -805,14 +599,8 @@ impl GatewayDriver {
                     "snapshot template is not on the restored chain",
                 )));
             }
-            let sensor_parts = PaymentChannel::restore(sender_snapshot)?;
-            let gateway_parts = PaymentChannel::restore(receiver_snapshot)?;
-            staged.push((
-                sender_snapshot.template,
-                sender_snapshot.channel_id,
-                sensor_parts,
-                gateway_parts,
-            ));
+            PaymentChannel::restore(sender_snapshot)?;
+            PaymentChannel::restore(receiver_snapshot)?;
         }
 
         // Commit. Measurement history (round reports and per-sensor
@@ -820,100 +608,50 @@ impl GatewayDriver {
         // restored session — a power cycle loses it, so it is cleared
         // rather than left to mix stale numbers with restored channels.
         // Device meters and medium statistics likewise keep counting from
-        // boot (the contract re-creation below is part of that boot cost).
+        // boot; the contract re-creations below are part of that boot
+        // cost, exactly as on real flash-restored hardware.
         self.chain = chain;
-        self.gateway.channels.clear();
         self.rounds.clear();
-        for (sensor, (template, channel_id, sensor_parts, gateway_parts)) in
-            self.sensors.iter_mut().zip(staged)
-        {
-            let init = contracts::payment_channel_init_code(
-                tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-                channel_id,
-            );
-            sensor.latencies.clear();
-            let (sensor_channel, sensor_log, acks) = sensor_parts;
-            let (sensor_contract, _) = sensor
-                .device
-                .create_local_contract(&init)
-                .map_err(|e| ProtocolError::Device(e.to_string()))?;
-            sensor.template = Some(template);
-            sensor.channel = Some(sensor_channel);
-            sensor.log = sensor_log;
-            sensor.ack_signatures = acks;
-            sensor.contract = Some(sensor_contract);
-
-            let (gateway_channel, gateway_log, _) = gateway_parts;
-            let (gateway_contract, _) = self
-                .gateway
-                .device
-                .create_local_contract(&init)
-                .map_err(|e| ProtocolError::Device(e.to_string()))?;
-            self.gateway.channels.insert(
-                sensor.addr,
-                GatewayChannel {
-                    template,
-                    channel: gateway_channel,
-                    contract: gateway_contract,
-                    log: gateway_log,
-                },
-            );
+        let stale_peers: Vec<NodeAddr> = self.gateway.endpoint.peers().collect();
+        for peer in stale_peers {
+            self.gateway.endpoint.drop_session(peer);
+        }
+        for sensor in &mut self.sensors {
+            let account = sensor.address();
+            let sensor_addr = sensor.node_addr();
+            let sender_snapshot = &senders[&account];
+            let receiver_snapshot = &receivers[&account];
+            sensor.endpoint.drop_session(GATEWAY_ADDR);
+            sensor
+                .endpoint
+                .install_snapshot(GATEWAY_ADDR, sender_snapshot)?;
+            sensor.endpoint.ensure_contract(GATEWAY_ADDR)?;
+            self.gateway
+                .endpoint
+                .install_snapshot(sensor_addr, receiver_snapshot)?;
+            self.gateway.endpoint.ensure_contract(sensor_addr)?;
         }
         Ok(())
     }
 
     // --- internals -------------------------------------------------------
 
-    /// Moves one encoded message from a sensor up to the gateway, charging
-    /// codec and radio costs to both devices, and returns the decoded
-    /// message plus the wire bytes moved.
-    fn uplink(
-        &mut self,
-        index: usize,
-        message: &Message,
-    ) -> Result<(Message, usize), ProtocolError> {
-        let wire = message.to_wire();
-        let sensor_addr = self.sensors[index].addr;
-        let (delivered, report) = self.medium.send_to_gateway(sensor_addr, &wire)?;
-        let sensor = &mut self.sensors[index];
-        sensor.device.account_codec(wire.len());
-        sensor
-            .device
-            .account_radio(RadioDirection::Transmit, report.wire_bytes);
-        Self::account_rx(&mut self.gateway.device, &report, delivered.len());
-        let decoded = Message::from_wire(&delivered)?;
-        Ok((decoded, report.wire_bytes))
-    }
-
-    /// Moves one encoded message from the gateway down to a sensor.
-    fn downlink(
-        &mut self,
-        index: usize,
-        message: &Message,
-    ) -> Result<(Message, usize), ProtocolError> {
-        let wire = message.to_wire();
-        let sensor_addr = self.sensors[index].addr;
-        let (delivered, report) = self.medium.send_to_endpoint(sensor_addr, &wire)?;
-        self.gateway.device.account_codec(wire.len());
-        self.gateway
-            .device
-            .account_radio(RadioDirection::Transmit, report.wire_bytes);
-        Self::account_rx(&mut self.sensors[index].device, &report, delivered.len());
-        let decoded = Message::from_wire(&delivered)?;
-        Ok((decoded, report.wire_bytes))
-    }
-
-    fn account_rx(device: &mut Device, report: &TransferReport, delivered_len: usize) {
-        device.account_radio(RadioDirection::Receive, report.wire_bytes);
-        device.account_codec(delivered_len);
+    /// Drains the outboxes of sensor `index` and the gateway through the
+    /// shared medium.
+    fn pump(&mut self, index: usize) -> Result<PumpLog, ProtocolError> {
+        pump_pair(
+            &mut self.medium,
+            &mut self.sensors[index].endpoint,
+            &mut self.gateway.endpoint,
+        )
     }
 
     /// Inserts the configured idle gap on every device (LPM2).
     fn pause_all(&mut self) {
         for sensor in &mut self.sensors {
-            sensor.device.sleep(self.idle_gap);
+            sensor.endpoint.wait(self.idle_gap);
         }
-        self.gateway.device.sleep(self.idle_gap);
+        self.gateway.endpoint.wait(self.idle_gap);
     }
 }
 
@@ -1102,5 +840,24 @@ mod tests {
             Err(ProtocolError::Wire(WireError::Truncated))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn settlement_batch_verifies_every_close_signature_in_one_pass() {
+        // The gateway device's activity log shows exactly one batched
+        // verification covering all N channels, followed by N
+        // counter-signatures.
+        let mut d = driver(3);
+        d.open_all().unwrap();
+        d.run(1, Wei::from(400u64)).unwrap();
+        d.settle_all().unwrap();
+        let batch_verifies = d
+            .gateway()
+            .device()
+            .activities()
+            .iter()
+            .filter(|a| a.label == "batch verify payloads")
+            .count();
+        assert_eq!(batch_verifies, 1, "one Straus pass for the whole fleet");
     }
 }

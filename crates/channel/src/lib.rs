@@ -16,14 +16,21 @@
 //!    final [`ChannelState`](tinyevm_chain::ChannelState), and the commit /
 //!    challenge / exit machinery of the chain settles it.
 //!
-//! [`ProtocolDriver`] wires two simulated devices, a radio link and the
-//! chain together and runs the whole flow, producing the timing and energy
-//! measurements behind the paper's Table IV and Figure 5 and the headline
-//! "584 ms per off-chain payment". Every protocol step travels as a
-//! `tinyevm_wire::Message`: encoded on the sending device, fragmented into
-//! 802.15.4 frames by `tinyevm-net`, reassembled and decoded on the far
-//! side — and sessions can be persisted to disk and resumed after a power
-//! cycle ([`ProtocolDriver::save_session`] /
+//! The protocol itself lives in the sans-IO [`endpoint`] module: a
+//! [`ChannelEndpoint`] per node owns that node's keys, channel state
+//! machines, side-chain logs and device accounting, consumes decoded
+//! [`tinyevm_wire::Message`]s and local intents, and emits messages and
+//! typed effects — it never touches a link, a medium or a chain. Two
+//! endpoints can be driven with nothing but an in-memory message queue.
+//!
+//! [`ProtocolDriver`] (one sender, one receiver, one `tinyevm_net::Link`)
+//! and [`GatewayDriver`] (N sensors multiplexed by one gateway endpoint
+//! over a `tinyevm_net::SharedMedium`) are thin *pumps* around those
+//! endpoints: they own the chain and the transport, shuttle encoded
+//! messages, and collect the timing and energy measurements behind the
+//! paper's Table IV / Figure 5 and the headline "584 ms per off-chain
+//! payment". Sessions persist to disk and resume after a power cycle
+//! ([`ProtocolDriver::save_session`] /
 //! [`ProtocolDriver::restore_session`]).
 
 #![forbid(unsafe_code)]
@@ -31,17 +38,26 @@
 
 pub mod channel;
 pub mod contracts;
+pub mod endpoint;
 pub mod gateway;
 pub mod payment;
 pub mod protocol;
 pub mod sidechain;
 
 pub use channel::{ChannelConfig, ChannelError, ChannelRole, ChannelStatus, PaymentChannel};
+pub use endpoint::{
+    ChannelEndpoint, ChannelRegistration, Effect, EndpointError, EndpointProfile, Envelope,
+    PaymentReceipt,
+};
 pub use gateway::{
     Gateway, GatewayDriver, GatewayRoundReport, GatewaySettlementReport, SensorNode, SensorSummary,
 };
 pub use payment::{PaymentError, SignedPayment};
 pub use protocol::{OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport};
 pub use sidechain::{SideChainEntry, SideChainLog};
+
+/// Link-layer node address, re-exported so transport-free endpoint code
+/// needs no `tinyevm-net` import.
+pub use tinyevm_net::NodeAddr;
 
 pub use tinyevm_chain::TemplateContract;

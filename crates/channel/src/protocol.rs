@@ -1,30 +1,33 @@
 //! The end-to-end TinyEVM protocol between two devices and the chain.
 //!
-//! [`ProtocolDriver`] owns the three actors of the paper's Figure 2 — the
-//! paying device (the smart car), the receiving device (the parking sensor)
-//! and the main chain — plus the radio link between the devices, and runs
-//! the protocol:
+//! [`ProtocolDriver`] is a thin *pump* around two sans-IO
+//! [`ChannelEndpoint`]s (see [`crate::endpoint`]): the paying device (the
+//! smart car) and the receiving device (the parking sensor) each run their
+//! own protocol state machine, and the driver owns only what neither node
+//! may: the simulated main chain, the radio [`Link`], and the pacing of the
+//! scenario. Every protocol step is an encoded [`Message`] polled from one
+//! endpoint's outbox, moved through the (possibly lossy) link, and fed into
+//! the other endpoint — the driver never reaches into a peer's state, so
+//! the reported air time, energy and latency derive from real encoded
+//! bytes and each node's own device meter:
 //!
 //! 1. [`ProtocolDriver::publish_template`]: the template goes on-chain with
 //!    the sender's deposit (phase 1).
-//! 2. [`ProtocolDriver::open_channel`]: the devices exchange sensor data and
-//!    each executes the payment-channel constructor locally — including the
-//!    IoT-opcode sensor read — creating the off-chain channel (phase 2).
+//! 2. [`ProtocolDriver::open_channel`]: the chain registration is observed
+//!    by both endpoints, the devices exchange sensor readings and the
+//!    channel-open proposal over the link, and each executes the
+//!    payment-channel constructor locally (phase 2).
 //! 3. [`ProtocolDriver::pay`]: one off-chain payment — sign, transmit,
 //!    verify, register on the side-chain, acknowledge (the quantity behind
 //!    the paper's "584 ms per payment" and the Figure 5 / Table IV round).
-//! 4. [`ProtocolDriver::close_and_settle`]: the channel closes, both parties
-//!    sign the final state, it is committed on-chain, the challenge period
-//!    elapses and the deposit is distributed (phase 3).
+//! 4. [`ProtocolDriver::close_and_settle`]: the sender's endpoint produces
+//!    and signs the final state, the receiver's endpoint validates and
+//!    counter-signs it, and the chain runs the commit / challenge / exit
+//!    machinery (phase 3).
 //!
-//! Every protocol step is carried by the `tinyevm-wire` format: the sending
-//! device encodes a [`Message`] envelope, the link fragments it into
-//! 127-byte 802.15.4 frames, and the receiving device reassembles and
-//! *decodes* the bytes — the peer only ever acts on what actually crossed
-//! the (possibly lossy) radio. The reported air time and energy therefore
-//! derive from real encoded sizes. [`ProtocolDriver::save_session`] /
-//! [`ProtocolDriver::restore_session`] persist the chain and both channel
-//! endpoints to disk so a device can power-cycle mid-session and resume.
+//! [`ProtocolDriver::save_session`] / [`ProtocolDriver::restore_session`]
+//! persist the chain and both endpoints to disk so a device can
+//! power-cycle mid-session and resume.
 //!
 //! All timing and energy falls out of the device model; nothing in this
 //! module hard-codes the paper's numbers.
@@ -34,21 +37,18 @@ use std::time::Duration;
 
 use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
-use tinyevm_device::{Device, EnergyReport, RadioDirection, TimelineEntry};
-use tinyevm_net::{Link, LinkConfig, NodeAddr};
-use tinyevm_types::{Address, Wei, H256, U256};
-use tinyevm_wire::{
-    persist, ChainSnapshot, ChannelOpen, ChannelSnapshot, EndpointRole, Message, PaymentAck,
-    SensorReading, WireError,
-};
+use tinyevm_device::{Device, EnergyReport, TimelineEntry};
+use tinyevm_net::{Link, LinkConfig, MediumError, NodeAddr, Radio};
+use tinyevm_types::{Address, Wei, H256};
+use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Message, WireError};
 
-use crate::channel::{ChannelConfig, ChannelRole, PaymentChannel};
-use crate::contracts;
-use crate::payment::SignedPayment;
+use crate::channel::{ChannelRole, PaymentChannel};
+use crate::endpoint::{ChannelEndpoint, ChannelRegistration, Effect, EndpointError};
 use crate::sidechain::SideChainLog;
 
 /// Errors produced by the protocol driver.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ProtocolError {
     /// The chain rejected an operation.
     Chain(tinyevm_chain::ChainError),
@@ -74,6 +74,9 @@ pub enum ProtocolError {
         /// What actually arrived.
         got: &'static str,
     },
+    /// An endpoint rejected an input (unknown peer, proposal mismatch, or
+    /// a future endpoint rule).
+    Endpoint(EndpointError),
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -90,6 +93,7 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::UnexpectedMessage { expected, got } => {
                 write!(f, "expected a {expected} message, got {got}")
             }
+            ProtocolError::Endpoint(error) => write!(f, "endpoint error: {error}"),
         }
     }
 }
@@ -108,9 +112,13 @@ impl From<tinyevm_net::LinkError> for ProtocolError {
     }
 }
 
-impl From<tinyevm_net::MediumError> for ProtocolError {
-    fn from(error: tinyevm_net::MediumError) -> Self {
-        ProtocolError::Medium(error)
+impl From<MediumError> for ProtocolError {
+    fn from(error: MediumError) -> Self {
+        // Point-to-point failures keep their historical variant.
+        match error {
+            MediumError::Link(link) => ProtocolError::Link(link),
+            other => ProtocolError::Medium(other),
+        }
     }
 }
 
@@ -126,16 +134,122 @@ impl From<WireError> for ProtocolError {
     }
 }
 
-/// One protocol endpoint: a device plus its channel bookkeeping.
+impl From<EndpointError> for ProtocolError {
+    fn from(error: EndpointError) -> Self {
+        // Endpoint rejections that existed before the sans-IO redesign keep
+        // their historical driver-level variants; new ones surface as
+        // `Endpoint`.
+        match error {
+            EndpointError::Channel(inner) => ProtocolError::Channel(inner),
+            EndpointError::Wire(inner) => ProtocolError::Wire(inner),
+            EndpointError::Device(inner) => ProtocolError::Device(inner),
+            EndpointError::OutOfOrder(step) => ProtocolError::OutOfOrder(step),
+            EndpointError::BadSignature => ProtocolError::BadSignature,
+            EndpointError::UnexpectedMessage { expected, got } => {
+                ProtocolError::UnexpectedMessage { expected, got }
+            }
+            other => ProtocolError::Endpoint(other),
+        }
+    }
+}
+
+// --- the shared pump -----------------------------------------------------
+
+/// One radio transfer a pump performed.
+#[derive(Debug, Clone)]
+pub(crate) struct Transfer {
+    /// The message kind that moved ([`Message::label`]).
+    pub label: &'static str,
+    /// Bytes on the air, headers and retransmissions included.
+    pub wire_bytes: usize,
+}
+
+/// Everything a pump run produced: the endpoints' effects (tagged with the
+/// emitting endpoint's address) and the transfers that carried them.
+#[derive(Debug, Default)]
+pub(crate) struct PumpLog {
+    pub effects: Vec<(NodeAddr, Effect)>,
+    pub transfers: Vec<Transfer>,
+}
+
+impl PumpLog {
+    /// Total wire bytes moved.
+    pub fn wire_bytes(&self) -> usize {
+        self.transfers.iter().map(|t| t.wire_bytes).sum()
+    }
+
+    /// Wire bytes of transfers whose message label is in `labels`.
+    pub fn wire_bytes_of(&self, labels: &[&str]) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| labels.contains(&t.label))
+            .map(|t| t.wire_bytes)
+            .sum()
+    }
+}
+
+/// Shuttles messages between two endpoints over `radio` until both
+/// outboxes drain: poll `a`, then `b`, move the envelope, account both
+/// sides, feed the decoded bytes to the destination, and apply
+/// peer-processing waits to the transmitting side. This is the whole of
+/// the drivers' transport logic — the protocol itself lives in the
+/// endpoints.
+pub(crate) fn pump_pair<R: Radio>(
+    radio: &mut R,
+    a: &mut ChannelEndpoint,
+    b: &mut ChannelEndpoint,
+) -> Result<PumpLog, ProtocolError> {
+    let mut log = PumpLog::default();
+    loop {
+        let (from_a, envelope) = if let Some(envelope) = a.poll_transmit() {
+            (true, envelope)
+        } else if let Some(envelope) = b.poll_transmit() {
+            (false, envelope)
+        } else {
+            break;
+        };
+        let (tx, rx) = if from_a {
+            (&mut *a, &mut *b)
+        } else {
+            (&mut *b, &mut *a)
+        };
+        if envelope.to != rx.addr() {
+            return Err(ProtocolError::OutOfOrder(
+                "envelope addressed to a peer this pump does not serve",
+            ));
+        }
+        let wire = envelope.message.to_wire();
+        let (delivered, report) = radio.convey(tx.addr(), rx.addr(), &wire)?;
+        tx.account_transmitted(report.wire_bytes);
+        rx.account_received(report.wire_bytes);
+        let effects = rx.handle_wire(tx.addr(), &delivered)?;
+        log.transfers.push(Transfer {
+            label: envelope.message.label(),
+            wire_bytes: report.wire_bytes,
+        });
+        let rx_addr = rx.addr();
+        for effect in effects {
+            if let Effect::PaymentAccepted { processing, .. } = &effect {
+                // The payer idles in LPM2 while the peer verifies,
+                // registers and signs; that wait is part of the payment's
+                // end-to-end latency (and of the Figure 5 timeline).
+                tx.wait(*processing);
+            }
+            log.effects.push((rx_addr, effect));
+        }
+    }
+    Ok(log)
+}
+
+// --- nodes ---------------------------------------------------------------
+
+/// One protocol node: a sans-IO [`ChannelEndpoint`] plus the link-layer
+/// address of its counterparty.
 #[derive(Debug)]
 pub struct OffChainNode {
-    device: Device,
-    role: ChannelRole,
-    addr: NodeAddr,
-    channel: Option<PaymentChannel>,
-    channel_contract: Option<Address>,
-    log: SideChainLog,
-    peer_signatures: Vec<Signature>,
+    endpoint: ChannelEndpoint,
+    peer: NodeAddr,
+    fallback_log: SideChainLog,
 }
 
 impl OffChainNode {
@@ -152,70 +266,86 @@ impl OffChainNode {
 
     /// Creates a node with an explicit link-layer address.
     pub fn with_addr(name: &str, role: ChannelRole, addr: NodeAddr) -> Self {
+        let endpoint = match role {
+            ChannelRole::Sender => ChannelEndpoint::two_party_sender(name, addr),
+            ChannelRole::Receiver => ChannelEndpoint::two_party_receiver(name, addr),
+        };
+        // Until a driver binds two nodes, assume the conventional
+        // counterpart address.
+        let peer = match role {
+            ChannelRole::Sender => NodeAddr::new(2),
+            ChannelRole::Receiver => NodeAddr::new(1),
+        };
         OffChainNode {
-            device: Device::openmote_b(name),
-            role,
-            addr,
-            channel: None,
-            channel_contract: None,
-            log: SideChainLog::new(H256::ZERO),
-            peer_signatures: Vec::new(),
+            endpoint,
+            peer,
+            fallback_log: SideChainLog::new(H256::ZERO),
         }
+    }
+
+    /// The node's protocol state machine.
+    pub fn endpoint(&self) -> &ChannelEndpoint {
+        &self.endpoint
+    }
+
+    /// Mutable access to the protocol state machine.
+    pub fn endpoint_mut(&mut self) -> &mut ChannelEndpoint {
+        &mut self.endpoint
     }
 
     /// This node's link-layer address (what goes in the frame headers).
     pub fn node_addr(&self) -> NodeAddr {
-        self.addr
+        self.endpoint.addr()
     }
 
     /// The underlying simulated device.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.endpoint.device()
     }
 
     /// Mutable access to the device (used by examples to inspect or extend
     /// the sensor registry).
     pub fn device_mut(&mut self) -> &mut Device {
-        &mut self.device
+        self.endpoint.device_mut()
     }
 
     /// This node's payment identity.
     pub fn address(&self) -> Address {
-        self.device.address()
+        self.endpoint.account()
     }
 
     /// This node's role.
     pub fn role(&self) -> ChannelRole {
-        self.role
+        self.endpoint.role()
     }
 
-    /// The node's channel endpoint, once opened.
+    /// The node's channel endpoint state machine, once opened.
     pub fn channel(&self) -> Option<&PaymentChannel> {
-        self.channel.as_ref()
+        self.endpoint.channel(self.peer)
     }
 
     /// Address of the locally deployed payment-channel contract.
     pub fn channel_contract(&self) -> Option<Address> {
-        self.channel_contract
+        self.endpoint.contract(self.peer)
     }
 
     /// The node's side-chain log.
     pub fn side_chain(&self) -> &SideChainLog {
-        &self.log
+        self.endpoint
+            .side_chain(self.peer)
+            .unwrap_or(&self.fallback_log)
     }
 
     /// Acknowledgement signatures received from the peer.
     pub fn peer_signatures(&self) -> &[Signature] {
-        &self.peer_signatures
+        self.endpoint.peer_acks(self.peer).unwrap_or(&[])
     }
 
     /// Captures this node's channel endpoint, side-chain log and collected
     /// peer acknowledgements as a wire-format snapshot, or `None` before a
     /// channel is open.
     pub fn snapshot(&self) -> Option<ChannelSnapshot> {
-        self.channel
-            .as_ref()
-            .map(|channel| channel.snapshot(&self.log, &self.peer_signatures))
+        self.endpoint.snapshot(self.peer)
     }
 
     /// Restores the channel endpoint, side-chain log and peer
@@ -226,20 +356,15 @@ impl OffChainNode {
     /// Returns [`ProtocolError::Wire`] for a snapshot whose log does not
     /// verify and [`ProtocolError::OutOfOrder`] for a role mismatch.
     pub fn restore(&mut self, snapshot: &ChannelSnapshot) -> Result<(), ProtocolError> {
-        let expected = match self.role {
-            ChannelRole::Sender => EndpointRole::Sender,
-            ChannelRole::Receiver => EndpointRole::Receiver,
-        };
-        if snapshot.role != expected {
-            return Err(ProtocolError::OutOfOrder(
-                "snapshot belongs to the other endpoint",
-            ));
-        }
-        let (channel, log, peer_acks) = PaymentChannel::restore(snapshot)?;
-        self.channel = Some(channel);
-        self.log = log;
-        self.peer_signatures = peer_acks;
+        self.endpoint.install_snapshot(self.peer, snapshot)?;
         Ok(())
+    }
+
+    /// Rebinds this node to a peer at `new` (drivers call this when wiring
+    /// two standalone nodes together).
+    fn bind_peer(&mut self, new: NodeAddr) {
+        self.endpoint.rekey_peer(self.peer, new);
+        self.peer = new;
     }
 }
 
@@ -294,7 +419,7 @@ pub struct SettlementReport {
     pub on_chain_transactions: usize,
 }
 
-/// The protocol driver: two devices, a link and the chain.
+/// The protocol driver: two sans-IO endpoints, a link and the chain.
 ///
 /// # Example
 ///
@@ -319,9 +444,6 @@ pub struct ProtocolDriver {
     deposit: Wei,
     template: Option<Address>,
     channel_id: Option<u64>,
-    /// Idle gap inserted between protocol steps (TSCH slot waiting /
-    /// application pacing); spent in LPM2.
-    idle_gap: Duration,
 }
 
 impl ProtocolDriver {
@@ -347,8 +469,8 @@ impl ProtocolDriver {
 
     /// Builds a driver from explicit parts.
     pub fn new(
-        sender: OffChainNode,
-        receiver: OffChainNode,
+        mut sender: OffChainNode,
+        mut receiver: OffChainNode,
         link_config: LinkConfig,
         deposit: Wei,
     ) -> Self {
@@ -356,6 +478,8 @@ impl ProtocolDriver {
         // Genesis allocation: the sender needs funds to lock the deposit.
         chain.fund(sender.address(), deposit.saturating_add(Wei::from_eth(1)));
         let link = Link::between(sender.node_addr(), receiver.node_addr(), link_config);
+        sender.bind_peer(receiver.node_addr());
+        receiver.bind_peer(sender.node_addr());
         ProtocolDriver {
             chain,
             sender,
@@ -364,7 +488,6 @@ impl ProtocolDriver {
             deposit,
             template: None,
             channel_id: None,
-            idle_gap: Duration::from_millis(120),
         }
     }
 
@@ -396,17 +519,18 @@ impl ProtocolDriver {
 
     /// Adjusts the idle gap inserted between protocol steps.
     pub fn set_idle_gap(&mut self, gap: Duration) {
-        self.idle_gap = gap;
+        self.sender.endpoint.set_idle_gap(gap);
+        self.receiver.endpoint.set_idle_gap(gap);
     }
 
     /// The sender's power-state timeline (Figure 5 raw data).
     pub fn sender_timeline(&self) -> &[TimelineEntry] {
-        self.sender.device.timeline()
+        self.sender.device().timeline()
     }
 
     /// The sender's energy report (Table IV data).
     pub fn sender_energy(&self) -> EnergyReport {
-        self.sender.device.energy_report()
+        self.sender.device().energy_report()
     }
 
     // --- phase 1 -----------------------------------------------------------
@@ -430,9 +554,10 @@ impl ProtocolDriver {
 
     // --- phase 2 -----------------------------------------------------------
 
-    /// Opens the off-chain payment channel: the devices exchange sensor
-    /// data, each executes the channel constructor locally (with its IoT
-    /// sensor read), and the template's logical clock issues the channel id.
+    /// Opens the off-chain payment channel: both endpoints observe the
+    /// chain registration, the devices exchange sensor readings and the
+    /// channel-open proposal over the link, and each executes the channel
+    /// constructor locally (with its IoT sensor read).
     ///
     /// # Errors
     ///
@@ -447,87 +572,50 @@ impl ProtocolDriver {
             .create_payment_channel(self.sender.address(), template)?;
         self.channel_id = Some(channel_id);
 
-        // Sensor-data exchange (paper: "the nodes exchange their data"),
-        // each reading carried as an encoded wire message.
-        let mut bytes_exchanged = 0usize;
-        let (_, sensor_bytes) = self.exchange_sensor_readings()?;
-        bytes_exchanged += sensor_bytes;
-        self.pause();
-
-        // The sender proposes the channel parameters; the receiver
-        // instantiates its endpoint from the *decoded* proposal, so a
-        // mis-encoded handshake cannot silently open mismatched channels.
-        let proposal = Message::ChannelOpen(ChannelOpen {
+        // Both endpoints observe the same on-chain registration; the
+        // receiver will refuse any proposal that contradicts it.
+        let registration = ChannelRegistration {
             template,
             channel_id,
             sender: self.sender.address(),
             receiver: self.receiver.address(),
             deposit_cap: self.deposit,
-        });
-        let (delivered, open_bytes, _) = self.exchange_message(true, &proposal)?;
-        bytes_exchanged += open_bytes;
-        let Message::ChannelOpen(accepted) = delivered else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "channel-open",
-                got: "other",
-            });
+            anchor: self
+                .chain
+                .template(&template)
+                .map(|t| t.side_chain_root().hash)
+                .unwrap_or(H256::ZERO),
         };
-
-        // Each side executes the payment-channel constructor locally, in its
-        // own contract world — the constructor's IoT sensor read and storage
-        // writes land there.
-        let init = contracts::payment_channel_init_code(
-            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-            channel_id,
-        );
-        let (sender_contract, sender_create_time) = self
+        self.receiver
+            .endpoint
+            .expect_channel(self.sender.node_addr(), registration.clone())?;
+        let mut effects: Vec<(NodeAddr, Effect)> = self
             .sender
-            .device
-            .create_local_contract(&init)
-            .map_err(|e| ProtocolError::Device(e.to_string()))?;
-        let (receiver_contract, receiver_create_time) = self
-            .receiver
-            .device
-            .create_local_contract(&init)
-            .map_err(|e| ProtocolError::Device(e.to_string()))?;
-        self.sender.channel_contract = Some(sender_contract);
-        self.receiver.channel_contract = Some(receiver_contract);
+            .endpoint
+            .open(self.receiver.node_addr(), registration)?
+            .into_iter()
+            .map(|effect| (self.sender.node_addr(), effect))
+            .collect();
+        let log = self.pump()?;
+        effects.extend(log.effects.iter().cloned());
 
-        // Both endpoints open their channel state machines — the sender
-        // from its local parameters, the receiver from the decoded wire
-        // proposal.
-        let config = ChannelConfig {
-            template,
-            channel_id,
-            sender: self.sender.address(),
-            receiver: self.receiver.address(),
-            deposit_cap: self.deposit,
+        let create_time_of = |addr: NodeAddr| {
+            effects.iter().find_map(|(emitter, effect)| match effect {
+                Effect::ChannelOpened { create_time, .. } if *emitter == addr => Some(*create_time),
+                _ => None,
+            })
         };
-        let receiver_config = ChannelConfig {
-            template: accepted.template,
-            channel_id: accepted.channel_id,
-            sender: accepted.sender,
-            receiver: accepted.receiver,
-            deposit_cap: accepted.deposit_cap,
+        let (Some(sender_create_time), Some(receiver_create_time)) = (
+            create_time_of(self.sender.node_addr()),
+            create_time_of(self.receiver.node_addr()),
+        ) else {
+            return Err(ProtocolError::OutOfOrder("open handshake did not complete"));
         };
-        self.sender.channel = Some(PaymentChannel::new(config, ChannelRole::Sender));
-        self.receiver.channel = Some(PaymentChannel::new(receiver_config, ChannelRole::Receiver));
-
-        // Anchor both side-chain logs at the on-chain template root.
-        let anchor = self
-            .chain
-            .template(&template)
-            .map(|t| t.side_chain_root().hash)
-            .unwrap_or(H256::ZERO);
-        self.sender.log = SideChainLog::new(anchor);
-        self.receiver.log = SideChainLog::new(anchor);
-        self.pause();
-
         Ok(ChannelOpenReport {
             channel_id,
             sender_create_time,
             receiver_create_time,
-            bytes_exchanged,
+            bytes_exchanged: log.wire_bytes(),
         })
     }
 
@@ -541,125 +629,29 @@ impl ProtocolDriver {
     /// Returns [`ProtocolError::OutOfOrder`] before the channel is open, or
     /// the underlying channel / link / signature error.
     pub fn pay(&mut self, amount: Wei) -> Result<RoundReport, ProtocolError> {
-        let started_at = self.sender.device.now();
-        let (sensor_hash, _) = self.exchange_sensor_readings()?;
-
-        // 1. The sender builds and signs the payment. The channel state
-        //    machine signs with the node key; the device model charges the
-        //    crypto-engine latency for the same digest.
-        let (payment, sender_sign_time) = {
-            let channel = self
-                .sender
-                .channel
-                .as_mut()
-                .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
-            let key = *self.sender.device.private_key();
-            let payment = channel.create_payment(&key, amount, sensor_hash)?;
-            let (device_signature, sign_time) =
-                self.sender.device.sign_payload(&payment.encode_payload());
-            debug_assert_eq!(device_signature, payment.signature);
-            (payment, sign_time)
-        };
-
-        // 2. The signed payment crosses the radio link as an encoded wire
-        //    message; everything the receiver does below acts on the
-        //    *decoded* artifact, not the in-process object.
-        let payment_message = Message::Payment(payment.clone());
-        let (delivered, payment_bytes, payment_wire_len) =
-            self.exchange_message(true, &payment_message)?;
-        let Message::Payment(received) = delivered else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "payment",
-                got: "other",
-            });
-        };
-
-        // 3. The receiver verifies the signature and registers the payment
-        //    on its side-chain (its own device time, not the sender's).
-        let receiver_busy_from = self.receiver.device.now();
-        let payer = self
-            .receiver
-            .device
-            .verify_payload(&received.encode_payload(), &received.signature)
-            .ok_or(ProtocolError::BadSignature)?;
-        if payer != self.sender.address() {
-            return Err(ProtocolError::BadSignature);
+        if self.channel_id.is_none() {
+            return Err(ProtocolError::OutOfOrder("open_channel first"));
         }
-        {
-            let channel = self
-                .receiver
-                .channel
-                .as_mut()
-                .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
-            channel.accept_payment(&received)?;
-        }
-        Self::register_on_side_chain(&mut self.receiver, &received)?;
-
-        // 4. The receiver acknowledges by signing the same payload; the
-        //    acknowledgement travels back as a wire message. While the
-        //    receiver works, the sender idles in LPM2 — that wait is part
-        //    of the payment's end-to-end latency (and of the Figure 5
-        //    timeline).
-        let (ack_signature, _) = self
-            .receiver
-            .device
-            .sign_payload(&received.encode_payload());
-        let receiver_busy = self
-            .receiver
-            .device
-            .now()
-            .saturating_sub(receiver_busy_from);
-        self.sender.device.sleep(receiver_busy);
-        let ack_message = Message::PaymentAck(PaymentAck {
-            channel_id: received.channel_id,
-            sequence: received.sequence,
-            signature: ack_signature,
-        });
-        let (delivered_ack, ack_bytes, ack_wire_len) =
-            self.exchange_message(false, &ack_message)?;
-        let Message::PaymentAck(ack) = delivered_ack else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "payment-ack",
-                got: "other",
-            });
-        };
-        if ack.sequence != payment.sequence || ack.channel_id != payment.channel_id {
-            return Err(ProtocolError::OutOfOrder(
-                "acknowledgement for a different payment",
-            ));
-        }
-        // The decoded acknowledgement must recover to the receiver — run
-        // through the sender's device so the recovery is charged to its
-        // crypto engine like every other signature check.
-        let ack_signer = self
-            .sender
-            .device
-            .verify_payload(&payment.encode_payload(), &ack.signature)
-            .ok_or(ProtocolError::BadSignature)?;
-        if ack_signer != self.receiver.address() {
-            return Err(ProtocolError::BadSignature);
-        }
-        self.sender.peer_signatures.push(ack.signature);
-
-        // 5. The sender registers the payment on its own side-chain copy.
-        let sender_register_time = Self::register_on_side_chain(&mut self.sender, &payment)?;
-
-        let end_to_end_latency = self.sender.device.now().saturating_sub(started_at);
-        self.pause();
-
-        let sender_active_time = sender_sign_time
-            + sender_register_time
-            + self.sender.device.airtime(payment_wire_len)
-            + self.sender.device.airtime(ack_wire_len);
-
+        self.sender
+            .endpoint
+            .pay(self.receiver.node_addr(), amount)?;
+        let log = self.pump()?;
+        let receipt = log
+            .effects
+            .iter()
+            .find_map(|(_, effect)| match effect {
+                Effect::PaymentCompleted { receipt, .. } => Some(receipt.clone()),
+                _ => None,
+            })
+            .ok_or(ProtocolError::OutOfOrder("payment round did not complete"))?;
         Ok(RoundReport {
-            sequence: payment.sequence,
-            cumulative: payment.cumulative,
-            end_to_end_latency,
-            sender_active_time,
-            sender_register_time,
-            sender_sign_time,
-            bytes_exchanged: payment_bytes + ack_bytes,
+            sequence: receipt.sequence,
+            cumulative: receipt.cumulative,
+            end_to_end_latency: receipt.end_to_end_latency,
+            sender_active_time: receipt.active_time,
+            sender_register_time: receipt.register_time,
+            sender_sign_time: receipt.sign_time,
+            bytes_exchanged: log.wire_bytes_of(&["payment", "payment-ack"]),
         })
     }
 
@@ -690,8 +682,10 @@ impl ProtocolDriver {
 
     // --- phase 3 -----------------------------------------------------------
 
-    /// Closes the channel, commits the dual-signed final state on-chain,
-    /// waits out the challenge period and settles.
+    /// Closes the channel: the sender's endpoint signs the final state, the
+    /// receiver's endpoint validates it against its own channel view and
+    /// counter-signs, the dual-signed envelope is committed on-chain, the
+    /// challenge period elapses and the deposit is distributed.
     ///
     /// # Errors
     ///
@@ -703,40 +697,22 @@ impl ProtocolDriver {
             .ok_or(ProtocolError::OutOfOrder("publish_template first"))?;
         let payments_exchanged = self
             .receiver
-            .channel
-            .as_ref()
+            .channel()
             .map(|c| c.payments_seen())
             .unwrap_or(0);
 
-        // Close on the receiver side (it holds the money claim) and have
-        // both devices sign the final state.
-        let state = {
-            let channel = self
-                .receiver
-                .channel
-                .as_mut()
-                .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
-            channel.close()
-        };
-        if let Some(channel) = self.sender.channel.as_mut() {
-            channel.close();
-        }
-        let encoded = state.encode();
-        let (sender_signature, _) = self.sender.device.sign_payload(&encoded);
-        let (receiver_signature, _) = self.receiver.device.sign_payload(&encoded);
-        let envelope = PaymentChannel::envelope(state, sender_signature, receiver_signature);
-
-        // The dual-signed final state travels to the receiver's gateway as
-        // a wire message; what goes on-chain is the *decoded* envelope.
-        let (delivered, _, _) = self.exchange_message(true, &Message::ChannelClose(envelope))?;
-        let Message::ChannelClose(committed) = delivered else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "channel-close",
-                got: "other",
-            });
+        // The sender initiates the close over the wire; the receiver
+        // validates, counter-signs, and hands the driver the envelope.
+        self.sender.endpoint.close(self.receiver.node_addr())?;
+        self.pump()?;
+        let commits = self.receiver.endpoint.finalize_closes()?;
+        let Some(Effect::CommitReady { envelope, .. }) = commits.into_iter().next() else {
+            return Err(ProtocolError::OutOfOrder(
+                "close handshake did not complete",
+            ));
         };
         self.chain
-            .commit_channel_state(self.receiver.address(), template, &committed)?;
+            .commit_channel_state(self.receiver.address(), template, &envelope)?;
         self.chain.start_exit(self.receiver.address(), template)?;
         self.chain.advance_blocks(11);
         let settlement = self
@@ -862,158 +838,33 @@ impl ProtocolDriver {
         }
         // Decode both endpoints (side-chain logs re-verified) before any
         // commit.
-        let sender_parts = PaymentChannel::restore(&sender_snapshot)?;
-        let receiver_parts = PaymentChannel::restore(&receiver_snapshot)?;
+        PaymentChannel::restore(&sender_snapshot)?;
+        PaymentChannel::restore(&receiver_snapshot)?;
 
         // Commit.
-        let channel_changed = self.channel_id != Some(sender_snapshot.channel_id);
         self.chain = chain;
         self.template = Some(sender_snapshot.template);
         self.channel_id = Some(sender_snapshot.channel_id);
-        for (node, (channel, log, peer_acks)) in [
-            (&mut self.sender, sender_parts),
-            (&mut self.receiver, receiver_parts),
-        ] {
-            node.channel = Some(channel);
-            node.log = log;
-            node.peer_signatures = peer_acks;
-            if node.channel_contract.is_none() || channel_changed {
-                // The device's contract world was lost with the power
-                // cycle; re-instantiate the off-chain contract from the
-                // template.
-                let init = contracts::payment_channel_init_code(
-                    tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-                    sender_snapshot.channel_id,
-                );
-                let (contract, _) = node
-                    .device
-                    .create_local_contract(&init)
-                    .map_err(|e| ProtocolError::Device(e.to_string()))?;
-                node.channel_contract = Some(contract);
-            }
-        }
+        self.sender.restore(&sender_snapshot)?;
+        self.receiver.restore(&receiver_snapshot)?;
+        // Devices that lost their contract world in the power cycle
+        // re-instantiate the off-chain contract from the template.
+        let receiver_addr = self.receiver.node_addr();
+        let sender_addr = self.sender.node_addr();
+        self.sender.endpoint.ensure_contract(receiver_addr)?;
+        self.receiver.endpoint.ensure_contract(sender_addr)?;
         Ok(())
     }
 
     // --- internals ----------------------------------------------------------
 
-    /// Reads both sensors and exchanges the readings as wire messages;
-    /// returns the hash binding what actually crossed the radio (the price
-    /// justification of the next payment) and the wire bytes moved.
-    fn exchange_sensor_readings(&mut self) -> Result<(H256, usize), ProtocolError> {
-        let sender_reading = self
-            .sender
-            .device
-            .read_sensor(tinyevm_device::sensors::peripheral_id::TEMPERATURE, 0)
-            .unwrap_or(U256::ZERO);
-        let receiver_reading = self
-            .receiver
-            .device
-            .read_sensor(tinyevm_device::sensors::peripheral_id::OCCUPANCY, 0)
-            .unwrap_or(U256::ZERO);
-        let (delivered_sender, sender_bytes, _) = self.exchange_message(
-            true,
-            &Message::SensorReading(SensorReading {
-                peripheral: tinyevm_device::sensors::peripheral_id::TEMPERATURE,
-                value: sender_reading,
-            }),
-        )?;
-        let (delivered_receiver, receiver_bytes, _) = self.exchange_message(
-            false,
-            &Message::SensorReading(SensorReading {
-                peripheral: tinyevm_device::sensors::peripheral_id::OCCUPANCY,
-                value: receiver_reading,
-            }),
-        )?;
-        let (Message::SensorReading(sender_seen), Message::SensorReading(receiver_seen)) =
-            (delivered_sender, delivered_receiver)
-        else {
-            return Err(ProtocolError::UnexpectedMessage {
-                expected: "sensor-reading",
-                got: "other",
-            });
-        };
-        let mut data = Vec::with_capacity(64);
-        data.extend_from_slice(&sender_seen.value.to_be_bytes());
-        data.extend_from_slice(&receiver_seen.value.to_be_bytes());
-        Ok((
-            tinyevm_crypto::keccak256_h256(&data),
-            sender_bytes + receiver_bytes,
-        ))
-    }
-
-    /// Moves one encoded message across the link: the transmitting device
-    /// pays the encode CPU time and TX energy, the receiving device pays RX
-    /// energy and the decode CPU time, and the function returns the
-    /// *decoded* message — the only thing the far side may act on — plus
-    /// the wire bytes (headers and retransmissions included) and the
-    /// envelope's encoded length (so callers don't re-encode just to size
-    /// it).
-    fn exchange_message(
-        &mut self,
-        from_sender: bool,
-        message: &Message,
-    ) -> Result<(Message, usize, usize), ProtocolError> {
-        let wire = message.to_wire();
-        let encoded_len = wire.len();
-        // The frame headers carry the true direction: sender → receiver
-        // uses the link's local → peer addressing, acknowledgements and
-        // receiver-originated readings the reverse.
-        let (delivered, report) = if from_sender {
-            self.link.transfer(&wire)?
-        } else {
-            self.link.transfer_reverse(&wire)?
-        };
-        let (tx_node, rx_node) = if from_sender {
-            (&mut self.sender, &mut self.receiver)
-        } else {
-            (&mut self.receiver, &mut self.sender)
-        };
-        tx_node.device.account_codec(encoded_len);
-        tx_node
-            .device
-            .account_radio(RadioDirection::Transmit, report.wire_bytes);
-        rx_node
-            .device
-            .account_radio(RadioDirection::Receive, report.wire_bytes);
-        rx_node.device.account_codec(delivered.len());
-        let decoded = Message::from_wire(&delivered)?;
-        Ok((decoded, report.wire_bytes, encoded_len))
-    }
-
-    /// Executes the payment-channel contract on a node's device to register
-    /// a payment in its local side-chain, then appends to the hash-linked
-    /// log. Returns the VM execution time.
-    fn register_on_side_chain(
-        node: &mut OffChainNode,
-        payment: &SignedPayment,
-    ) -> Result<Duration, ProtocolError> {
-        let contract = node
-            .channel_contract
-            .ok_or(ProtocolError::OutOfOrder("open_channel first"))?;
-        let calldata =
-            contracts::record_payment_calldata(payment.sequence, payment.cumulative.amount());
-        let (_, success, time) = node
-            .device
-            .call_local_contract(contract, U256::ZERO, &calldata);
-        if !success {
-            return Err(ProtocolError::Device(
-                "payment-channel contract rejected the payment".to_string(),
-            ));
-        }
-        node.log.append(
-            payment.channel_id,
-            payment.sequence,
-            payment.cumulative,
-            H256::from_bytes(payment.digest()),
-        );
-        Ok(time)
-    }
-
-    /// Inserts the configured idle gap on both devices (LPM2).
-    fn pause(&mut self) {
-        self.sender.device.sleep(self.idle_gap);
-        self.receiver.device.sleep(self.idle_gap);
+    /// Drains both endpoints' outboxes through the link.
+    fn pump(&mut self) -> Result<PumpLog, ProtocolError> {
+        pump_pair(
+            &mut self.link,
+            &mut self.sender.endpoint,
+            &mut self.receiver.endpoint,
+        )
     }
 }
 
@@ -1021,6 +872,7 @@ impl ProtocolDriver {
 mod tests {
     use super::*;
     use tinyevm_device::PowerState;
+    use tinyevm_types::U256;
 
     fn driver() -> ProtocolDriver {
         ProtocolDriver::smart_parking(Wei::from(1_000_000u64))
@@ -1070,7 +922,7 @@ mod tests {
             d.sender()
                 .device()
                 .world()
-                .storage_of(&contract, U256::from(contracts::SLOT_SENSOR as u64)),
+                .storage_of(&contract, U256::from(crate::contracts::SLOT_SENSOR as u64)),
             U256::from(2150u64)
         );
     }
@@ -1162,7 +1014,7 @@ mod tests {
         d.close_and_settle().unwrap();
         // Messages on the link: 2 sensor readings + 1 channel-open at
         // opening, then (2 readings + payment + ack) per payment, then the
-        // channel-close. All of them real encoded transfers.
+        // close request. All of them real encoded transfers.
         assert_eq!(d.link().total_messages(), 3 + 2 * 4 + 1);
         assert!(d.link().total_wire_bytes() > 0);
     }
@@ -1273,5 +1125,32 @@ mod tests {
             Err(ProtocolError::Wire(_))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_tampered_close_request_is_refused_by_the_receiver() {
+        // An adversarial sender cannot settle for more than it paid: a
+        // close request whose state disagrees with the receiver's channel
+        // view is rejected before any signature is produced.
+        let mut d = driver();
+        d.run_session(1, Wei::from(5_000u64)).unwrap();
+        let key = *d.sender().device().private_key();
+        let mut state = d.sender().channel().unwrap().closing_state();
+        state.total_to_receiver = Wei::from(900_000u64);
+        let forged = tinyevm_wire::CloseRequest {
+            signature: key.sign_prehashed(&state.digest()),
+            public_key: key.public_key(),
+            state,
+        };
+        let sender_addr = d.sender().node_addr();
+        let error = d
+            .receiver
+            .endpoint_mut()
+            .handle_message(sender_addr, Message::CloseRequest(forged))
+            .unwrap_err();
+        assert!(matches!(error, EndpointError::ProposalMismatch(_)));
+        // The channel is still open and the honest close still settles.
+        let settlement = d.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(5_000u64));
     }
 }

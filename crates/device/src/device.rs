@@ -365,6 +365,38 @@ impl Device {
         recovered
     }
 
+    /// Verifies many `(payload, signature, claimed signer)` triples in one
+    /// host-side batched multi-scalar pass
+    /// ([`tinyevm_crypto::secp256k1::verify_batch`]), while the device
+    /// model still charges the per-signature Keccak and hardware-verify
+    /// latencies — the CC2538 engine checks signatures serially; batching
+    /// is a simulation-host optimization, not a device capability.
+    ///
+    /// Returns `true` when **every** signature is valid for its claimed
+    /// public key. Callers that need the culprit fall back to
+    /// per-signature checks.
+    pub fn verify_payload_batch(&mut self, items: &[(&[u8], Signature, PublicKey)]) -> bool {
+        let start = self.meter.now();
+        let batch: Vec<tinyevm_crypto::secp256k1::BatchItem> = items
+            .iter()
+            .map(|(payload, signature, public_key)| {
+                let digest = self.config.crypto.keccak256(&mut self.meter, payload);
+                self.meter.record(
+                    PowerState::CryptoEngine,
+                    self.config.crypto.latencies().ecdsa_verify,
+                );
+                tinyevm_crypto::secp256k1::BatchItem {
+                    digest,
+                    signature: *signature,
+                    public_key: *public_key,
+                }
+            })
+            .collect();
+        let valid = tinyevm_crypto::secp256k1::verify_batch(&batch);
+        self.log_activity("batch verify payloads", start);
+        valid
+    }
+
     // --- radio ---------------------------------------------------------------
 
     /// Time on air for a payload of `bytes` at the configured bit rate,

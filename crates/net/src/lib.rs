@@ -32,6 +32,7 @@ pub mod addr;
 pub mod frame;
 pub mod link;
 pub mod medium;
+pub mod radio;
 
 pub use addr::NodeAddr;
 pub use frame::{
@@ -40,3 +41,4 @@ pub use frame::{
 };
 pub use link::{Link, LinkConfig, LinkError, LinkProfile, TransferReport};
 pub use medium::{EndpointStats, MediumError, SharedMedium};
+pub use radio::Radio;

@@ -1,0 +1,106 @@
+//! Transport-agnostic pump glue.
+//!
+//! The sans-IO channel endpoints never touch a [`Link`] or a
+//! [`SharedMedium`]; a thin *pump* shuttles encoded messages between them
+//! over whatever radio the scenario uses. [`Radio`] is the one-method
+//! surface a pump needs: move addressed bytes, return what arrived and the
+//! [`TransferReport`] (wire bytes with headers and retransmissions, time on
+//! air) the endpoints' accounting hooks consume.
+
+use crate::addr::NodeAddr;
+use crate::link::{Link, TransferReport};
+use crate::medium::{MediumError, SharedMedium};
+
+/// A bidirectional radio that can move one encoded message between two
+/// addressed nodes.
+pub trait Radio {
+    /// Moves `message` from `from` to `to`, returning the delivered bytes
+    /// and the transfer report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediumError::UnknownEndpoint`] when the radio does not
+    /// connect the two addresses and [`MediumError::Link`] when the
+    /// transfer itself fails (retry budget exhausted, oversized message).
+    fn convey(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        message: &[u8],
+    ) -> Result<(Vec<u8>, TransferReport), MediumError>;
+}
+
+impl Radio for Link {
+    /// A point-to-point link conveys in both directions; any address pair
+    /// other than its two ends is rejected.
+    fn convey(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        message: &[u8],
+    ) -> Result<(Vec<u8>, TransferReport), MediumError> {
+        if from == self.local() && to == self.peer() {
+            Ok(self.transfer(message)?)
+        } else if from == self.peer() && to == self.local() {
+            Ok(self.transfer_reverse(message)?)
+        } else {
+            Err(MediumError::UnknownEndpoint(from))
+        }
+    }
+}
+
+impl Radio for SharedMedium {
+    /// A shared medium conveys uplink (attached endpoint → gateway) and
+    /// downlink (gateway → attached endpoint) traffic.
+    fn convey(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        message: &[u8],
+    ) -> Result<(Vec<u8>, TransferReport), MediumError> {
+        if to == self.gateway() {
+            self.send_to_gateway(from, message)
+        } else if from == self.gateway() {
+            self.send_to_endpoint(to, message)
+        } else {
+            Err(MediumError::UnknownEndpoint(from))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn link_conveys_both_directions_and_rejects_strangers() {
+        let (a, b) = (NodeAddr::new(1), NodeAddr::new(2));
+        let mut link = Link::between(a, b, LinkConfig::default());
+        let (delivered, _) = link.convey(a, b, b"up").unwrap();
+        assert_eq!(delivered, b"up");
+        let (delivered, _) = link.convey(b, a, b"down").unwrap();
+        assert_eq!(delivered, b"down");
+        assert!(matches!(
+            link.convey(a, NodeAddr::new(9), b"lost"),
+            Err(MediumError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn medium_conveys_up_and_down_only() {
+        let gateway = NodeAddr::new(0xFE);
+        let sensor = NodeAddr::new(1);
+        let mut medium = SharedMedium::new(gateway, LinkConfig::default());
+        medium.attach(sensor).unwrap();
+        let (delivered, _) = medium.convey(sensor, gateway, b"up").unwrap();
+        assert_eq!(delivered, b"up");
+        let (delivered, _) = medium.convey(gateway, sensor, b"down").unwrap();
+        assert_eq!(delivered, b"down");
+        // Sensor-to-sensor traffic must go through the gateway.
+        assert!(matches!(
+            medium.convey(sensor, NodeAddr::new(2), b"peer"),
+            Err(MediumError::UnknownEndpoint(_))
+        ));
+    }
+}

@@ -8,7 +8,7 @@
 //! bytes` holds for all accepted inputs — a prerequisite for signing and
 //! hashing wire bytes directly.
 
-use tinyevm_crypto::secp256k1::{CryptoError, Signature};
+use tinyevm_crypto::secp256k1::{CryptoError, Point, PublicKey, Signature};
 use tinyevm_net::FrameError;
 use tinyevm_types::rlp::{self, Item, RlpStream};
 use tinyevm_types::{Address, ParseError, Wei, H256, U256};
@@ -233,6 +233,34 @@ pub fn field_h256(item: &Item) -> Result<H256, WireError> {
 /// invalid.
 pub fn field_signature(item: &Item) -> Result<Signature, WireError> {
     Ok(Signature::from_slice(expect_bytes(item)?)?)
+}
+
+/// Decodes a 64-byte uncompressed secp256k1 public key field.
+///
+/// # Errors
+///
+/// Returns [`WireError::Length`] for the wrong byte length,
+/// [`WireError::Signature`] when the coordinates are not a curve point,
+/// and [`WireError::Value`] for coordinates outside the field (the
+/// decode → encode == bytes law every accepted input must obey).
+pub fn field_public_key(item: &Item) -> Result<PublicKey, WireError> {
+    let bytes = expect_bytes(item)?;
+    if bytes.len() != 64 {
+        return Err(WireError::Length {
+            expected: 64,
+            got: bytes.len(),
+        });
+    }
+    let x = U256::from_be_slice(&bytes[..32]).expect("32 bytes fit a U256");
+    let y = U256::from_be_slice(&bytes[32..]).expect("32 bytes fit a U256");
+    let point = Point::from_affine(x, y)?;
+    // `from_affine` reduces coordinates modulo the field prime, so an
+    // unreduced x or y would decode to the same key as its canonical
+    // form; re-serializing catches that without exposing the prime here.
+    if point.to_uncompressed() != bytes[..] {
+        return Err(WireError::Value("public key coordinates not canonical"));
+    }
+    Ok(PublicKey::from_point(point)?)
 }
 
 /// Decodes a boolean encoded as the integers 0 / 1.

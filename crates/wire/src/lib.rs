@@ -55,6 +55,6 @@ pub mod snapshot;
 pub mod transport;
 
 pub use codec::{Decodable, Encodable, WireError};
-pub use message::{ChannelOpen, Message, PaymentAck, SensorReading, WIRE_VERSION};
+pub use message::{ChannelOpen, CloseRequest, Message, PaymentAck, SensorReading, WIRE_VERSION};
 pub use payment::{PaymentError, SignedPayment};
 pub use snapshot::{ChainSnapshot, ChannelSnapshot, EndpointRole, SideChainEntryRecord};

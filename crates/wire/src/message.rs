@@ -19,14 +19,15 @@
 //! | 5 | `ChannelClose` | `[[template, channel_id, sequence, total, sensor_hash], sender_sig, receiver_sig]` |
 //! | 6 | `ChannelSnapshot` | see [`crate::snapshot::ChannelSnapshot`] |
 //! | 7 | `ChainSnapshot` | see [`crate::snapshot::ChainSnapshot`] |
+//! | 8 | [`CloseRequest`] | `[[template, channel_id, sequence, total, sensor_hash], public_key, signature]` |
 
 use tinyevm_chain::{ChannelState, CommitEnvelope};
 use tinyevm_types::rlp::{self, Item, RlpStream};
 use tinyevm_types::{Address, Wei, U256};
 
 use crate::codec::{
-    expect_list, field_address, field_h256, field_signature, field_u256, field_u64, field_wei,
-    Decodable, Encodable, WireError,
+    expect_list, field_address, field_h256, field_public_key, field_signature, field_u256,
+    field_u64, field_wei, Decodable, Encodable, WireError,
 };
 use crate::payment::SignedPayment;
 use crate::snapshot::{ChainSnapshot, ChannelSnapshot};
@@ -136,6 +137,46 @@ impl Decodable for PaymentAck {
     }
 }
 
+/// Phase-3 close handshake: the closing party proposes the final channel
+/// state it is willing to commit, carrying only *its own* signature (the
+/// counterparty counter-signs after checking the state against its view).
+///
+/// The closer's uncompressed public key rides along so the receiving
+/// endpoint can verify many channels' close signatures in one batched
+/// multi-scalar pass ([`tinyevm_crypto::secp256k1::verify_batch`]); the key
+/// is authenticated by hashing it back to the channel's configured sender
+/// address before it is trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloseRequest {
+    /// The final channel state the closer proposes to commit.
+    pub state: ChannelState,
+    /// The closer's uncompressed secp256k1 public key.
+    pub public_key: tinyevm_crypto::secp256k1::PublicKey,
+    /// The closer's signature over the state's digest.
+    pub signature: tinyevm_crypto::secp256k1::Signature,
+}
+
+impl Encodable for CloseRequest {
+    fn encode(&self) -> Vec<u8> {
+        let mut stream = RlpStream::new_list(3);
+        stream.append_raw(&Encodable::encode(&self.state));
+        stream.append_bytes(&self.public_key.to_uncompressed());
+        stream.append_bytes(&self.signature.to_bytes());
+        stream.finish()
+    }
+}
+
+impl Decodable for CloseRequest {
+    fn decode_item(item: &Item) -> Result<Self, WireError> {
+        let fields = expect_list(item, 3)?;
+        Ok(CloseRequest {
+            state: ChannelState::decode_item(&fields[0])?,
+            public_key: field_public_key(&fields[1])?,
+            signature: field_signature(&fields[2])?,
+        })
+    }
+}
+
 impl Encodable for ChannelState {
     /// Delegates to [`ChannelState::encode`] so the wire item is exactly
     /// the byte string both parties signed.
@@ -195,6 +236,8 @@ pub enum Message {
     ChannelSnapshot(ChannelSnapshot),
     /// A persisted chain.
     ChainSnapshot(ChainSnapshot),
+    /// The closer's half-signed final state (phase 3 over the wire).
+    CloseRequest(CloseRequest),
 }
 
 impl Message {
@@ -208,6 +251,7 @@ impl Message {
             Message::ChannelClose(_) => 5,
             Message::ChannelSnapshot(_) => 6,
             Message::ChainSnapshot(_) => 7,
+            Message::CloseRequest(_) => 8,
         }
     }
 
@@ -221,6 +265,7 @@ impl Message {
             Message::ChannelClose(_) => "channel-close",
             Message::ChannelSnapshot(_) => "channel-snapshot",
             Message::ChainSnapshot(_) => "chain-snapshot",
+            Message::CloseRequest(_) => "close-request",
         }
     }
 
@@ -234,6 +279,7 @@ impl Message {
             Message::ChannelClose(inner) => inner.encode(),
             Message::ChannelSnapshot(inner) => inner.encode(),
             Message::ChainSnapshot(inner) => inner.encode(),
+            Message::CloseRequest(inner) => inner.encode(),
         };
         let mut stream = RlpStream::new_list(3);
         stream.append_u64(u64::from(WIRE_VERSION));
@@ -267,6 +313,7 @@ impl Message {
                 payload,
             )?)),
             7 => Ok(Message::ChainSnapshot(ChainSnapshot::decode_item(payload)?)),
+            8 => Ok(Message::CloseRequest(CloseRequest::decode_item(payload)?)),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -328,9 +375,14 @@ mod tests {
                 signature: key().sign_prehashed(&payment.digest()),
             }),
             Message::ChannelClose(CommitEnvelope {
-                state,
+                state: state.clone(),
                 sender_signature: key().sign_prehashed(&digest),
                 receiver_signature: key().sign_prehashed(&digest),
+            }),
+            Message::CloseRequest(CloseRequest {
+                state,
+                public_key: key().public_key(),
+                signature: key().sign_prehashed(&digest),
             }),
         ];
         for message in messages {
@@ -342,6 +394,59 @@ mod tests {
             assert_eq!(decoded.to_wire(), wire);
             assert!(!message.label().is_empty());
         }
+    }
+
+    #[test]
+    fn close_request_rejects_non_canonical_public_keys() {
+        let state = ChannelState {
+            template: Address::from_low_u64(0xAA),
+            channel_id: 1,
+            sequence: 3,
+            total_to_receiver: Wei::from(500u64),
+            sensor_data_hash: H256::from_low_u64(0xfeed),
+        };
+        let request = CloseRequest {
+            signature: key().sign_prehashed(&state.digest()),
+            public_key: key().public_key(),
+            state,
+        };
+        let wire = Message::CloseRequest(request.clone()).to_wire();
+
+        // Re-encode the same request with the public key's x coordinate
+        // lifted by the field prime: it reduces back to the same point but
+        // is a different byte string — the decoder must refuse, or two
+        // distinct wire encodings would name one key.
+        const FIELD_PRIME_BYTES: [u8; 32] = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xfe,
+            0xff, 0xff, 0xfc, 0x2f,
+        ];
+        let prime = U256::from_be_bytes(FIELD_PRIME_BYTES);
+        let canonical = request.public_key.to_uncompressed();
+        let x = U256::from_be_slice(&canonical[..32]).unwrap();
+        let Some(lifted_x) = x.checked_add(prime) else {
+            // The test key's x happens to be unliftable; nothing to check.
+            return;
+        };
+        let mut lifted = [0u8; 64];
+        lifted[..32].copy_from_slice(&lifted_x.to_be_bytes());
+        lifted[32..].copy_from_slice(&canonical[32..]);
+        let mut stream = RlpStream::new_list(3);
+        stream.append_raw(&Encodable::encode(&request.state));
+        stream.append_bytes(&lifted);
+        stream.append_bytes(&request.signature.to_bytes());
+        let mut envelope = RlpStream::new_list(3);
+        envelope.append_u64(u64::from(WIRE_VERSION));
+        envelope.append_u64(8);
+        envelope.append_raw(&stream.finish());
+        let mangled = envelope.finish();
+        assert_ne!(mangled, wire);
+        assert_eq!(
+            Message::from_wire(&mangled),
+            Err(WireError::Value("public key coordinates not canonical"))
+        );
+        // The canonical encoding still round-trips.
+        assert_eq!(Message::from_wire(&wire).unwrap().to_wire(), wire);
     }
 
     #[test]

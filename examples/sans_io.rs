@@ -1,0 +1,164 @@
+//! The sans-IO endpoint API with no transport at all: two
+//! `ChannelEndpoint` state machines driven by a plain `Vec<Message>`
+//! queue. Nothing from `tinyevm-net` is imported — no link, no medium, no
+//! frames — because endpoints communicate exclusively through encoded
+//! `Message` values and typed effects. This is the surface a fuzzer, an
+//! alternative transport (BLE, TCP, a file), or a real firmware port
+//! builds against.
+//!
+//! ```sh
+//! cargo run --release --example sans_io
+//! ```
+
+use tinyevm::chain::{Blockchain, TemplateConfig};
+use tinyevm::channel::endpoint::{ChannelEndpoint, ChannelRegistration, Effect};
+use tinyevm::channel::NodeAddr;
+use tinyevm::types::{Wei, H256};
+use tinyevm::wire::Message;
+
+/// One queued transmission: who sent it, and the *encoded* bytes — the
+/// queue carries exactly what a radio would.
+struct QueuedMessage {
+    from: NodeAddr,
+    to: NodeAddr,
+    wire: Vec<u8>,
+}
+
+/// Drains both endpoints' outboxes through an in-memory queue until the
+/// conversation goes quiet, collecting every effect.
+fn pump(a: &mut ChannelEndpoint, b: &mut ChannelEndpoint) -> Vec<Effect> {
+    let mut queue: Vec<QueuedMessage> = Vec::new();
+    let mut effects = Vec::new();
+    loop {
+        for endpoint in [&mut *a, &mut *b] {
+            if let Some(envelope) = endpoint.poll_transmit() {
+                queue.push(QueuedMessage {
+                    from: endpoint.addr(),
+                    to: envelope.to,
+                    wire: envelope.message.to_wire(),
+                });
+            }
+        }
+        let Some(next) = queue.pop() else { break };
+        let target = if next.to == a.addr() {
+            &mut *a
+        } else {
+            &mut *b
+        };
+        effects.extend(
+            target
+                .handle_wire(next.from, &next.wire)
+                .expect("honest peers produce valid messages"),
+        );
+    }
+    effects
+}
+
+fn main() {
+    let (car_addr, lot_addr) = (NodeAddr::new(0x51), NodeAddr::new(0x52));
+    let mut car = ChannelEndpoint::two_party_sender("sans-io-car", car_addr);
+    let mut lot = ChannelEndpoint::two_party_receiver("sans-io-lot", lot_addr);
+    println!(
+        "endpoints: car {} ({}), lot {} ({}) — no Link, no SharedMedium",
+        car_addr,
+        car.account(),
+        lot_addr,
+        lot.account()
+    );
+
+    // The chain stays outside both endpoints; the host relays what it saw
+    // registered on-chain as a typed observation.
+    let mut chain = Blockchain::new();
+    let deposit = Wei::from(1_000_000u64);
+    chain.fund(car.account(), deposit.saturating_add(Wei::from_eth(1)));
+    let template = chain
+        .publish_template(TemplateConfig {
+            sender: car.account(),
+            receiver: lot.account(),
+            deposit,
+            challenge_period_blocks: 10,
+        })
+        .expect("template publishes");
+    let channel_id = chain
+        .create_payment_channel(car.account(), template)
+        .expect("channel registers");
+    let registration = ChannelRegistration {
+        template,
+        channel_id,
+        sender: car.account(),
+        receiver: lot.account(),
+        deposit_cap: deposit,
+        anchor: chain
+            .template(&template)
+            .map(|t| t.side_chain_root().hash)
+            .unwrap_or(H256::ZERO),
+    };
+
+    // Open: reading exchange + proposal, all through the queue.
+    lot.expect_channel(car_addr, registration.clone())
+        .expect("fresh peer");
+    car.open(lot_addr, registration).expect("open intent");
+    let opened = pump(&mut car, &mut lot);
+    println!(
+        "channel {channel_id} open on both endpoints ({} open effects)",
+        opened
+            .iter()
+            .filter(|e| matches!(e, Effect::ChannelOpened { .. }))
+            .count()
+    );
+
+    // Three payments. Each is: intent → queue → typed effects.
+    for round in 1..=3u64 {
+        car.pay(lot_addr, Wei::from(2_500u64)).expect("pay intent");
+        for effect in pump(&mut car, &mut lot) {
+            match effect {
+                Effect::PaymentAccepted {
+                    sequence,
+                    cumulative,
+                    ..
+                } => println!("  lot accepted payment #{sequence} (cumulative {cumulative})"),
+                Effect::PaymentCompleted { receipt, .. } => println!(
+                    "  car completed round {round}: seq {} in {:.1} ms end-to-end",
+                    receipt.sequence,
+                    receipt.end_to_end_latency.as_secs_f64() * 1000.0
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    // Close: the car signs its final state; the lot validates it against
+    // its own channel view, counter-signs, and hands back the envelope —
+    // the host does the on-chain part.
+    car.close(lot_addr).expect("close intent");
+    pump(&mut car, &mut lot);
+    let commits = lot.finalize_closes().expect("close signatures verify");
+    for effect in commits {
+        if let Effect::CommitReady { envelope, .. } = effect {
+            chain
+                .commit_channel_state(lot.account(), template, &envelope)
+                .expect("commit accepted");
+            chain.start_exit(lot.account(), template).expect("exit");
+        }
+    }
+    chain.advance_blocks(11);
+    let settlement = chain
+        .finalize_template(lot.account(), template)
+        .expect("settles");
+    println!(
+        "settled on-chain: {} wei to the lot, {} wei back to the car, fraud: {}",
+        settlement.to_receiver.amount(),
+        settlement.to_sender.amount(),
+        settlement.fraud_detected
+    );
+    assert_eq!(settlement.to_receiver, Wei::from(7_500u64));
+
+    // The artifacts both sides hold are the protocol's whole truth: the
+    // queue only ever carried encoded Messages.
+    let snapshot = car.snapshot(lot_addr).expect("channel exists");
+    let as_message = Message::ChannelSnapshot(snapshot);
+    println!(
+        "car endpoint snapshot round-trips the wire format: {} bytes",
+        as_message.to_wire().len()
+    );
+}
