@@ -1,0 +1,1105 @@
+//! The static bytecode analyzer.
+//!
+//! [`analyze`] decodes a contract once, up front, into the [`CodeAnalysis`]
+//! artifact the rest of the system shares:
+//!
+//! * the **jumpdest bitmap** the interpreter needs on every `JUMP`/`JUMPI`
+//!   (byte-for-byte identical to the per-frame scan it replaces);
+//! * the **basic blocks** of the code, each carrying its static gas cost,
+//!   MCU-cycle cost, instruction count, net stack effect and minimum entry
+//!   stack depth, so the interpreter can check a whole block's budgets at
+//!   block entry instead of per opcode;
+//! * a conservative **control-flow graph** over those blocks (constant jump
+//!   edges and fall-throughs), used for reachability;
+//! * **diagnostics** (truncated `PUSH` immediates, undefined opcode bytes,
+//!   unreachable blocks, statically-invalid jump targets) and a three-valued
+//!   [`Verdict`] that deployment gates consult before code ever reaches a
+//!   device.
+//!
+//! The verdict is deliberately conservative, in the style of `revive`'s
+//! upload-time validation: [`Verdict::Accepted`] is a *proof* that execution
+//! can never trap on an invalid jump, an undefined instruction or a stack
+//! underflow; [`Verdict::Rejected`] marks code with a statically-certain
+//! defect on a reachable path; everything the analyzer cannot decide (for
+//! example computed jump targets) is [`Verdict::Unproven`] and simply runs
+//! under the ordinary per-opcode checks.
+
+use crate::opcode::Opcode;
+
+/// Stack heights are tracked up to this many elements; beyond it the
+/// interval analysis saturates. Comfortably above the Ethereum spec limit
+/// of 1024, so saturation never weakens an underflow proof for any profile
+/// the workspace uses.
+const STACK_TRACK_CAP: usize = 2048;
+
+/// Sentinel in the per-byte leader index for "not a block leader".
+const NO_BLOCK: u32 = u32::MAX;
+
+/// A statically-certain defect: executing the contract is guaranteed to
+/// reach (or the deployment gate refuses to find out) a byte sequence the
+/// machine cannot run. These are the typed errors the deploy-time gate
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A reachable byte does not decode to any TinyEVM opcode.
+    UndefinedInstruction {
+        /// Program counter of the byte.
+        pc: usize,
+        /// The raw byte value.
+        byte: u8,
+    },
+    /// A reachable `PUSHn` immediate runs off the end of the code. The
+    /// interpreter zero-pads the missing bytes, but shipped code relying on
+    /// that is almost certainly corrupt, so the gate rejects it.
+    TruncatedPush {
+        /// Program counter of the `PUSHn` opcode.
+        pc: usize,
+        /// The push opcode in question.
+        opcode: Opcode,
+        /// How many immediate bytes are missing.
+        missing: usize,
+    },
+    /// A reachable `JUMP`/`JUMPI` whose statically-known (pushed) target is
+    /// not a valid `JUMPDEST`.
+    InvalidJumpTarget {
+        /// Program counter of the jump.
+        pc: usize,
+        /// The constant destination it would jump to.
+        target: usize,
+    },
+    /// An opcode on a reachable path is guaranteed to find fewer stack
+    /// items than it needs, whatever path execution took to get there.
+    StackUnderflow {
+        /// Program counter of the opcode.
+        pc: usize,
+        /// The opcode that underflows.
+        opcode: Opcode,
+        /// Stack items it needs.
+        needed: usize,
+        /// Maximum stack depth any path can supply at that point.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalysisError::UndefinedInstruction { pc, byte } => {
+                write!(f, "undefined instruction byte 0x{byte:02x} at pc {pc}")
+            }
+            AnalysisError::TruncatedPush {
+                pc,
+                opcode,
+                missing,
+            } => write!(
+                f,
+                "{} at pc {pc} is missing {missing} immediate byte(s)",
+                opcode.info().name
+            ),
+            AnalysisError::InvalidJumpTarget { pc, target } => {
+                write!(f, "jump at pc {pc} targets invalid destination {target}")
+            }
+            AnalysisError::StackUnderflow {
+                pc,
+                opcode,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{} at pc {pc} needs {needed} stack item(s), at most {available} available",
+                opcode.info().name
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Why the analyzer could not fully verify a contract (the code still runs,
+/// under the ordinary per-opcode checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnprovenReason {
+    /// A reachable `JUMP`/`JUMPI` takes its destination from the stack
+    /// rather than an immediately preceding `PUSH`.
+    DynamicJump {
+        /// Program counter of the jump.
+        pc: usize,
+    },
+    /// Some path may reach an opcode with too few stack items (but other
+    /// paths supply enough, so it is not a certain defect).
+    PossibleUnderflow {
+        /// Program counter of the opcode.
+        pc: usize,
+    },
+}
+
+/// The analyzer's overall judgement of one contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Statically verified: execution can never trap on an invalid jump, an
+    /// undefined instruction or a stack underflow.
+    Accepted,
+    /// Nothing statically wrong, but not provable either; runs with full
+    /// per-opcode checking.
+    Unproven(UnprovenReason),
+    /// A statically-certain defect; deploy-time gates refuse this code.
+    Rejected(AnalysisError),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted)
+    }
+
+    /// True for [`Verdict::Rejected`].
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Verdict::Rejected(_))
+    }
+}
+
+/// A non-fatal observation about the code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// A `PUSHn` immediate runs off the end of the code (the interpreter
+    /// zero-pads it).
+    TruncatedPush {
+        /// Program counter of the push.
+        pc: usize,
+        /// Missing immediate bytes.
+        missing: usize,
+    },
+    /// A byte that decodes to no opcode (traps if executed).
+    UndefinedOpcode {
+        /// Program counter of the byte.
+        pc: usize,
+        /// The raw byte.
+        byte: u8,
+    },
+    /// A basic block no constant-edge path reaches (frequently the data
+    /// segment of CODECOPY-style init code).
+    UnreachableCode {
+        /// First byte of the block.
+        start: usize,
+        /// One past the last byte of the block.
+        end: usize,
+    },
+    /// A jump whose constant target is not a valid `JUMPDEST`.
+    InvalidJumpTarget {
+        /// Program counter of the jump.
+        pc: usize,
+        /// The constant destination.
+        target: usize,
+    },
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Execution continues into the next block (its leader is a
+    /// `JUMPDEST`).
+    FallThrough,
+    /// Unconditional `JUMP`. `Some` when the destination is the immediate
+    /// of a `PUSH` directly before the jump.
+    Jump(Option<usize>),
+    /// Conditional `JUMPI`: the constant branch target (if known) plus the
+    /// fall-through edge.
+    JumpI(Option<usize>),
+    /// `STOP`, `RETURN`, `REVERT`, `INVALID` or `SELFDESTRUCT`.
+    Terminate,
+    /// The block reaches the end of the code (implicit `STOP`), or ends at
+    /// an undefined byte (which traps).
+    RunOff,
+}
+
+/// One straight-line run of instructions with single entry (its leader) and
+/// single exit (its last instruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Program counter of the first instruction.
+    pub start: usize,
+    /// One past the last byte of the block (including push immediates).
+    /// Fall-through execution enters the next block exactly here.
+    pub end: usize,
+    /// Number of defined instructions in the block (an undefined trailing
+    /// byte is excluded: the interpreter traps on it before counting it).
+    pub instructions: u32,
+    /// Sum of the static gas costs of the block's instructions.
+    pub static_gas: u64,
+    /// Sum of the modelled MCU cycle costs of the block's instructions.
+    pub mcu_cycles: u64,
+    /// Net stack-height change from entry to exit.
+    pub net_stack: i32,
+    /// Minimum stack depth at entry for no instruction to underflow.
+    pub stack_required: usize,
+    /// Maximum stack growth above the entry depth anywhere in the block.
+    pub max_stack_growth: usize,
+    /// Per-opcode execution counts `(opcode byte, count)`, so a batched
+    /// block entry can update the metrics histogram without replaying the
+    /// instructions.
+    pub histogram: Vec<(u8, u32)>,
+    /// How the block exits.
+    pub exit: BlockExit,
+    /// Indices of successor blocks along statically-known edges (constant
+    /// jump targets and fall-throughs). Dynamic jumps contribute no edge.
+    pub successors: Vec<u32>,
+    /// True when an instruction *before the last one* can trap (memory,
+    /// storage, IoT, call and log opcodes). Such blocks must run under
+    /// per-opcode accounting so a mid-block trap reports an exact retired
+    /// instruction count.
+    pub interior_trap_risk: bool,
+    /// True when the block ends at an undefined byte.
+    pub has_undefined: bool,
+    /// True when the block contains an opcode TinyEVM removes off-chain;
+    /// off-chain profiles must then run the block per-opcode so the trap
+    /// fires exactly where the per-opcode interpreter fires it.
+    pub has_removed_off_chain: bool,
+    /// True when the block contains `GAS`; metered profiles must then run
+    /// the block per-opcode because `GAS` observes the remaining gas.
+    pub has_gas_op: bool,
+    /// True when no statically-known path from the entry reaches the block.
+    pub unreachable: bool,
+}
+
+/// The artifact produced by [`analyze`]: everything the interpreter, the
+/// deployment gates and the experiments need to know about one contract's
+/// bytecode, computed once.
+#[derive(Debug, Clone)]
+pub struct CodeAnalysis {
+    code_len: usize,
+    instruction_count: usize,
+    jumpdests: Vec<bool>,
+    blocks: Vec<BasicBlock>,
+    leader_index: Vec<u32>,
+    diagnostics: Vec<Diagnostic>,
+    verdict: Verdict,
+    worst_case_stack: Option<usize>,
+}
+
+impl CodeAnalysis {
+    /// Length of the analyzed code in bytes.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Number of decoded instructions (defined opcodes plus undefined
+    /// bytes; push immediates are not instructions).
+    pub fn instruction_count(&self) -> usize {
+        self.instruction_count
+    }
+
+    /// The jumpdest bitmap: `true` at every byte position holding a
+    /// `JUMPDEST` opcode that is not push-immediate data.
+    pub fn jumpdests(&self) -> &[bool] {
+        &self.jumpdests
+    }
+
+    /// True when `pc` is a valid jump destination.
+    #[inline]
+    pub fn is_jumpdest(&self, pc: usize) -> bool {
+        pc < self.jumpdests.len() && self.jumpdests[pc]
+    }
+
+    /// The basic blocks, in code order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block whose leader is exactly `pc`, if any.
+    #[inline]
+    pub fn block_at(&self, pc: usize) -> Option<&BasicBlock> {
+        match self.leader_index.get(pc) {
+            Some(&index) if index != NO_BLOCK => Some(&self.blocks[index as usize]),
+            _ => None,
+        }
+    }
+
+    /// Non-fatal observations about the code.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The analyzer's judgement.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// Upper bound on the stack depth any execution can reach, when the
+    /// control flow was fully resolvable (`None` in the presence of dynamic
+    /// jumps). Saturates at an internal tracking cap well above the
+    /// Ethereum spec limit.
+    pub fn worst_case_stack_height(&self) -> Option<usize> {
+        self.worst_case_stack
+    }
+}
+
+/// One decoded instruction (transient; not part of the artifact).
+struct Decoded {
+    pc: usize,
+    opcode: Option<Opcode>,
+    /// Missing immediate bytes for a truncated trailing push.
+    push_missing: usize,
+}
+
+impl Decoded {
+    fn ends_block(&self) -> bool {
+        match self.opcode {
+            None => true,
+            Some(op) => op.is_terminator() || matches!(op, Opcode::Jump | Opcode::JumpI),
+        }
+    }
+}
+
+/// True when `op` can trap *during* [`step`] dispatch (memory, storage,
+/// IoT, call, create and log opcodes, plus every opcode that converts a
+/// stack word to a memory offset). Blocks containing such an opcode before
+/// their final instruction cannot be batch-accounted.
+fn can_trap_in_dispatch(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Sha3 | Iot
+            | CallDataLoad
+            | CallDataCopy
+            | CodeCopy
+            | ExtCodeCopy
+            | ReturnDataCopy
+            | MLoad
+            | MStore
+            | MStore8
+            | SStore
+            | Log0
+            | Log1
+            | Log2
+            | Log3
+            | Log4
+            | Create
+            | Call
+            | CallCode
+            | DelegateCall
+            | StaticCall
+            | Jump
+            | JumpI
+            | Return
+            | Revert
+            | Invalid
+            | SelfDestruct
+    )
+}
+
+/// Statically analyzes `code`, producing the shared [`CodeAnalysis`]
+/// artifact.
+///
+/// The function is total: any byte string is analyzable, and the jumpdest
+/// bitmap it produces is byte-for-byte what the interpreter's legacy
+/// per-frame scan produced.
+pub fn analyze(code: &[u8]) -> CodeAnalysis {
+    let len = code.len();
+
+    // Pass 1: linear decode. Execution can only ever sit on these
+    // boundaries: it starts at 0, advances instruction by instruction, and
+    // jumps only to JUMPDEST bytes that are themselves decode boundaries.
+    let mut instrs: Vec<Decoded> = Vec::new();
+    let mut jumpdests = vec![false; len];
+    let mut pc = 0usize;
+    while pc < len {
+        let byte = code[pc];
+        match Opcode::from_byte(byte) {
+            Some(op) => {
+                if op == Opcode::JumpDest {
+                    jumpdests[pc] = true;
+                }
+                let immediates = op.push_bytes();
+                let next = pc + 1 + immediates;
+                let push_missing = next.saturating_sub(len);
+                instrs.push(Decoded {
+                    pc,
+                    opcode: Some(op),
+                    push_missing,
+                });
+                pc = next;
+            }
+            None => {
+                instrs.push(Decoded {
+                    pc,
+                    opcode: None,
+                    push_missing: 0,
+                });
+                pc += 1;
+            }
+        }
+    }
+    let instruction_count = instrs.len();
+
+    // Pass 2: block leaders — instruction 0, every JUMPDEST, and every
+    // instruction following a jump, a terminator or an undefined byte.
+    let mut is_leader = vec![false; instrs.len()];
+    for (i, instr) in instrs.iter().enumerate() {
+        if i == 0 || instr.opcode == Some(Opcode::JumpDest) {
+            is_leader[i] = true;
+        }
+        if instr.ends_block() && i + 1 < instrs.len() {
+            is_leader[i + 1] = true;
+        }
+    }
+
+    // Pass 3: build the blocks and their static aggregates.
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut leader_index = vec![NO_BLOCK; len];
+    // Fatal findings (pc, error), filtered by reachability later.
+    let mut fatal_candidates: Vec<(u32, AnalysisError)> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    // (block index, pc) of jumps with statically-unknown targets.
+    let mut dynamic_jumps: Vec<(u32, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < instrs.len() {
+        debug_assert!(is_leader[i]);
+        let block_index = blocks.len() as u32;
+        let start = instrs[i].pc;
+        let mut j = i;
+        while j + 1 < instrs.len() && !instrs[j].ends_block() && !is_leader[j + 1] {
+            j += 1;
+        }
+        // Instructions i..=j form the block.
+        let mut instructions = 0u32;
+        let mut static_gas = 0u64;
+        let mut mcu_cycles = 0u64;
+        let mut histogram: Vec<(u8, u32)> = Vec::new();
+        let mut height = 0i64; // relative to entry depth
+        let mut max_height = 0i64;
+        let mut stack_required = 0usize;
+        let mut interior_trap_risk = false;
+        let mut has_undefined = false;
+        let mut has_removed_off_chain = false;
+        let mut has_gas_op = false;
+        let mut end = instrs[j].pc + 1;
+
+        for (k, instr) in instrs[i..=j].iter().enumerate() {
+            let op = match instr.opcode {
+                Some(op) => op,
+                None => {
+                    // The interpreter traps before recording the undefined
+                    // byte, so it contributes nothing to the aggregates.
+                    has_undefined = true;
+                    diagnostics.push(Diagnostic::UndefinedOpcode {
+                        pc: instr.pc,
+                        byte: code[instr.pc],
+                    });
+                    fatal_candidates.push((
+                        block_index,
+                        AnalysisError::UndefinedInstruction {
+                            pc: instr.pc,
+                            byte: code[instr.pc],
+                        },
+                    ));
+                    continue;
+                }
+            };
+            let info = op.info();
+            instructions += 1;
+            static_gas += info.gas;
+            mcu_cycles += info.mcu_cycles as u64;
+            match histogram.iter_mut().find(|(byte, _)| *byte == op.to_byte()) {
+                Some((_, count)) => *count += 1,
+                None => histogram.push((op.to_byte(), 1)),
+            }
+            end = instr.pc + 1 + op.push_bytes();
+
+            // Stack effect: the interpreter checks `inputs` before dispatch,
+            // so the entry-depth requirement at this op is inputs - height.
+            let needed = info.inputs as i64 - height;
+            if needed > stack_required as i64 {
+                stack_required = needed as usize;
+            }
+            height += info.outputs as i64 - info.inputs as i64;
+            if height > max_height {
+                max_height = height;
+            }
+            if instr.push_missing > 0 {
+                diagnostics.push(Diagnostic::TruncatedPush {
+                    pc: instr.pc,
+                    missing: instr.push_missing,
+                });
+                fatal_candidates.push((
+                    block_index,
+                    AnalysisError::TruncatedPush {
+                        pc: instr.pc,
+                        opcode: op,
+                        missing: instr.push_missing,
+                    },
+                ));
+            }
+            if k < j - i && can_trap_in_dispatch(op) {
+                interior_trap_risk = true;
+            }
+            if op.removed_off_chain() {
+                has_removed_off_chain = true;
+            }
+            if op == Opcode::Gas {
+                has_gas_op = true;
+            }
+        }
+
+        // Exit kind and constant jump target.
+        let last = &instrs[j];
+        let exit = match last.opcode {
+            None => BlockExit::RunOff,
+            Some(op) if op.is_terminator() => BlockExit::Terminate,
+            Some(Opcode::Jump) | Some(Opcode::JumpI) => {
+                let target = constant_jump_target(code, &instrs, i, j);
+                if last.opcode == Some(Opcode::Jump) {
+                    BlockExit::Jump(target)
+                } else {
+                    BlockExit::JumpI(target)
+                }
+            }
+            Some(_) => {
+                if j + 1 < instrs.len() {
+                    BlockExit::FallThrough
+                } else {
+                    BlockExit::RunOff
+                }
+            }
+        };
+        match exit {
+            BlockExit::Jump(None) | BlockExit::JumpI(None) => {
+                dynamic_jumps.push((block_index, last.pc));
+            }
+            BlockExit::Jump(Some(target)) | BlockExit::JumpI(Some(target)) => {
+                let valid = target < len && jumpdests[target];
+                if !valid {
+                    diagnostics.push(Diagnostic::InvalidJumpTarget {
+                        pc: last.pc,
+                        target,
+                    });
+                    fatal_candidates.push((
+                        block_index,
+                        AnalysisError::InvalidJumpTarget {
+                            pc: last.pc,
+                            target,
+                        },
+                    ));
+                }
+            }
+            _ => {}
+        }
+
+        leader_index[start] = block_index;
+        blocks.push(BasicBlock {
+            start,
+            end,
+            instructions,
+            static_gas,
+            mcu_cycles,
+            net_stack: height as i32,
+            stack_required,
+            max_stack_growth: max_height.max(0) as usize,
+            histogram,
+            exit,
+            successors: Vec::new(),
+            interior_trap_risk,
+            has_undefined,
+            has_removed_off_chain,
+            has_gas_op,
+            unreachable: false,
+        });
+        i = j + 1;
+    }
+
+    // Pass 4: constant-edge successors.
+    for index in 0..blocks.len() {
+        let mut successors: Vec<u32> = Vec::new();
+        let next = (index + 1) as u32;
+        match blocks[index].exit {
+            BlockExit::FallThrough => successors.push(next),
+            BlockExit::Jump(Some(target)) => {
+                if let Some(succ) = leader_of(&leader_index, target, len) {
+                    successors.push(succ);
+                }
+            }
+            BlockExit::JumpI(target) => {
+                if let Some(target) = target {
+                    if let Some(succ) = leader_of(&leader_index, target, len) {
+                        successors.push(succ);
+                    }
+                }
+                if (index + 1) < blocks.len() {
+                    successors.push(next);
+                }
+            }
+            BlockExit::Jump(None) | BlockExit::Terminate | BlockExit::RunOff => {}
+        }
+        blocks[index].successors = successors;
+    }
+
+    // Pass 5: reachability. Dynamic jumps can target any JUMPDEST, so when
+    // one is reachable the jumpdest blocks all become conservative roots.
+    let mut reachable = vec![false; blocks.len()];
+    if !blocks.is_empty() {
+        bfs(&blocks, &mut reachable, [0u32].iter().copied());
+    }
+    let reachable_dynamic: Vec<&(u32, usize)> = dynamic_jumps
+        .iter()
+        .filter(|(block, _)| reachable[*block as usize])
+        .collect();
+    let has_dynamic = if reachable_dynamic.is_empty() {
+        false
+    } else {
+        let jumpdest_roots: Vec<u32> = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, block)| block.start < len && jumpdests[block.start])
+            .map(|(index, _)| index as u32)
+            .collect();
+        bfs(&blocks, &mut reachable, jumpdest_roots.into_iter());
+        true
+    };
+    for (index, block) in blocks.iter_mut().enumerate() {
+        if !reachable[index] {
+            block.unreachable = true;
+            diagnostics.push(Diagnostic::UnreachableCode {
+                start: block.start,
+                end: block.end,
+            });
+        }
+    }
+
+    // Pass 6: stack dataflow over the reachable graph (only meaningful when
+    // every jump is statically resolved).
+    let mut fatal: Vec<(usize, AnalysisError)> = fatal_candidates
+        .into_iter()
+        .filter(|(block, _)| reachable[*block as usize])
+        .map(|(_, error)| (error_pc(&error), error))
+        .collect();
+    let mut unproven: Option<UnprovenReason> = None;
+    let mut worst_case_stack = None;
+    if has_dynamic {
+        let pc = dynamic_jumps
+            .iter()
+            .filter(|(block, _)| reachable[*block as usize])
+            .map(|&(_, pc)| pc)
+            .min()
+            .unwrap_or(0);
+        unproven = Some(UnprovenReason::DynamicJump { pc });
+    } else if !blocks.is_empty() {
+        let (findings, worst) = stack_dataflow(&instrs, &blocks, &reachable);
+        worst_case_stack = Some(worst);
+        for finding in findings {
+            match finding {
+                StackFinding::Definite { pc, error } => fatal.push((pc, error)),
+                StackFinding::Possible { pc } => {
+                    let keep = match unproven {
+                        Some(UnprovenReason::PossibleUnderflow { pc: existing }) => pc < existing,
+                        _ => true,
+                    };
+                    if keep {
+                        unproven = Some(UnprovenReason::PossibleUnderflow { pc });
+                    }
+                }
+            }
+        }
+    } else {
+        worst_case_stack = Some(0);
+    }
+
+    fatal.sort_by_key(|(pc, _)| *pc);
+    let verdict = match fatal.into_iter().next() {
+        Some((_, error)) => Verdict::Rejected(error),
+        None => match unproven {
+            Some(reason) => Verdict::Unproven(reason),
+            None => Verdict::Accepted,
+        },
+    };
+
+    CodeAnalysis {
+        code_len: len,
+        instruction_count,
+        jumpdests,
+        blocks,
+        leader_index,
+        diagnostics,
+        verdict,
+        worst_case_stack,
+    }
+}
+
+fn error_pc(error: &AnalysisError) -> usize {
+    match error {
+        AnalysisError::UndefinedInstruction { pc, .. }
+        | AnalysisError::TruncatedPush { pc, .. }
+        | AnalysisError::InvalidJumpTarget { pc, .. }
+        | AnalysisError::StackUnderflow { pc, .. } => *pc,
+    }
+}
+
+/// Resolves a constant jump target to the block it leads, when the target
+/// is a valid jumpdest (every valid jumpdest is a block leader).
+fn leader_of(leader_index: &[u32], target: usize, len: usize) -> Option<u32> {
+    if target < len && leader_index[target] != NO_BLOCK {
+        Some(leader_index[target])
+    } else {
+        None
+    }
+}
+
+/// The jump in block `i..=j` has a statically-known target when the
+/// instruction directly before it (within the same block) is a `PUSHn`:
+/// nothing can intervene between the push and the pop.
+fn constant_jump_target(code: &[u8], instrs: &[Decoded], i: usize, j: usize) -> Option<usize> {
+    if j == i {
+        return None;
+    }
+    let prev = &instrs[j - 1];
+    let op = prev.opcode?;
+    let count = op.push_bytes();
+    if count == 0 {
+        return None;
+    }
+    // Parse the (zero-padded, big-endian) immediate. Anything beyond
+    // usize::MAX cannot be a valid destination; saturate so the verdict
+    // logic rejects it.
+    let start = prev.pc + 1;
+    let mut value: u128 = 0;
+    let mut saturated = false;
+    for offset in 0..count {
+        let byte = code.get(start + offset).copied().unwrap_or(0);
+        if value > (u128::MAX >> 8) {
+            saturated = true;
+        }
+        value = (value << 8) | byte as u128;
+    }
+    if saturated || value > usize::MAX as u128 {
+        Some(usize::MAX)
+    } else {
+        Some(value as usize)
+    }
+}
+
+fn bfs(blocks: &[BasicBlock], reachable: &mut [bool], roots: impl Iterator<Item = u32>) {
+    let mut queue: Vec<u32> = Vec::new();
+    for root in roots {
+        if !reachable[root as usize] {
+            reachable[root as usize] = true;
+            queue.push(root);
+        }
+    }
+    while let Some(index) = queue.pop() {
+        for &succ in &blocks[index as usize].successors {
+            if !reachable[succ as usize] {
+                reachable[succ as usize] = true;
+                queue.push(succ);
+            }
+        }
+    }
+}
+
+enum StackFinding {
+    Definite { pc: usize, error: AnalysisError },
+    Possible { pc: usize },
+}
+
+/// Interval dataflow over entry stack depths. Each reachable block gets the
+/// interval `[lo, hi]` of depths any path can reach it with; `lo` is sound
+/// for proving the *absence* of underflow, `hi` for proving its *presence*.
+fn stack_dataflow(
+    instrs: &[Decoded],
+    blocks: &[BasicBlock],
+    reachable: &[bool],
+) -> (Vec<StackFinding>, usize) {
+    let n = blocks.len();
+    let mut entry_lo = vec![usize::MAX; n]; // MAX = not yet visited
+    let mut entry_hi = vec![0usize; n];
+    let mut queue: Vec<usize> = Vec::new();
+    entry_lo[0] = 0;
+    entry_hi[0] = 0;
+    queue.push(0);
+    while let Some(index) = queue.pop() {
+        let block = &blocks[index];
+        let lo = entry_lo[index];
+        let hi = entry_hi[index];
+        let exit_lo = clamp_height(lo as i64 + block.net_stack as i64);
+        let exit_hi = clamp_height(hi as i64 + block.net_stack as i64);
+        for &succ in &block.successors {
+            let succ = succ as usize;
+            let (new_lo, new_hi) = if entry_lo[succ] == usize::MAX {
+                (exit_lo, exit_hi)
+            } else {
+                (entry_lo[succ].min(exit_lo), entry_hi[succ].max(exit_hi))
+            };
+            if new_lo != entry_lo[succ] || new_hi != entry_hi[succ] {
+                entry_lo[succ] = new_lo;
+                entry_hi[succ] = new_hi;
+                queue.push(succ);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut worst = 0usize;
+    for (index, block) in blocks.iter().enumerate() {
+        if !reachable[index] || entry_lo[index] == usize::MAX {
+            continue;
+        }
+        let lo = entry_lo[index];
+        let hi = entry_hi[index];
+        worst = worst.max(hi.saturating_add(block.max_stack_growth));
+        if block.stack_required > lo {
+            // Re-walk the block to name the first offending opcode at the
+            // depth bound in question.
+            if block.stack_required > hi {
+                if let Some((pc, opcode, needed, available)) = first_underflow(instrs, block, hi) {
+                    findings.push(StackFinding::Definite {
+                        pc,
+                        error: AnalysisError::StackUnderflow {
+                            pc,
+                            opcode,
+                            needed,
+                            available,
+                        },
+                    });
+                    continue;
+                }
+            }
+            if let Some((pc, _, _, _)) = first_underflow(instrs, block, lo) {
+                findings.push(StackFinding::Possible { pc });
+            }
+        }
+    }
+    (findings, worst)
+}
+
+fn clamp_height(value: i64) -> usize {
+    value.clamp(0, STACK_TRACK_CAP as i64) as usize
+}
+
+/// Walks a block with the given entry depth and returns the first opcode
+/// that would underflow, as `(pc, opcode, needed, available)`.
+fn first_underflow(
+    instrs: &[Decoded],
+    block: &BasicBlock,
+    entry_depth: usize,
+) -> Option<(usize, Opcode, usize, usize)> {
+    let mut depth = entry_depth as i64;
+    for instr in instrs
+        .iter()
+        .filter(|instr| instr.pc >= block.start && instr.pc < block.end)
+    {
+        let op = instr.opcode?;
+        let info = op.info();
+        if depth < info.inputs as i64 {
+            return Some((instr.pc, op, info.inputs, depth.max(0) as usize));
+        }
+        depth += info.outputs as i64 - info.inputs as i64;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PUSH1: u8 = 0x60;
+    const PUSH2: u8 = 0x61;
+    const ADD: u8 = 0x01;
+    const POP: u8 = 0x50;
+    const JUMP: u8 = 0x56;
+    const JUMPI: u8 = 0x57;
+    const JUMPDEST: u8 = 0x5b;
+    const PC: u8 = 0x58;
+    const STOP: u8 = 0x00;
+    const UNDEFINED: u8 = 0x0e;
+
+    #[test]
+    fn empty_code_is_accepted() {
+        let analysis = analyze(&[]);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert!(analysis.blocks().is_empty());
+        assert_eq!(analysis.worst_case_stack_height(), Some(0));
+    }
+
+    #[test]
+    fn straight_line_block_aggregates() {
+        // PUSH1 1, PUSH1 2, ADD, STOP
+        let code = [PUSH1, 1, PUSH1, 2, ADD, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert_eq!(analysis.blocks().len(), 1);
+        let block = &analysis.blocks()[0];
+        assert_eq!(block.start, 0);
+        assert_eq!(block.end, code.len());
+        assert_eq!(block.instructions, 4);
+        assert_eq!(block.net_stack, 1);
+        assert_eq!(block.stack_required, 0);
+        assert_eq!(block.max_stack_growth, 2);
+        assert_eq!(block.exit, BlockExit::Terminate);
+        let expected_gas: u64 = [PUSH1, PUSH1, ADD, STOP]
+            .iter()
+            .map(|&byte| Opcode::from_byte(byte).unwrap().info().gas)
+            .sum();
+        assert_eq!(block.static_gas, expected_gas);
+        assert_eq!(analysis.worst_case_stack_height(), Some(2));
+    }
+
+    #[test]
+    fn jumpdest_inside_push_data_is_not_a_destination() {
+        // PUSH1 0x5b, STOP — the 0x5b byte is immediate data.
+        let code = [PUSH1, JUMPDEST, STOP];
+        let analysis = analyze(&code);
+        assert!(!analysis.is_jumpdest(1));
+        assert_eq!(analysis.instruction_count(), 2);
+    }
+
+    #[test]
+    fn constant_jump_to_valid_dest_is_accepted() {
+        // PUSH1 4, JUMP, <undefined>, JUMPDEST, STOP
+        let code = [PUSH1, 4, JUMP, UNDEFINED, JUMPDEST, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        // The undefined byte sits in an unreachable block: diagnostics only.
+        assert!(analysis
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UndefinedOpcode { pc: 3, .. })));
+        assert!(analysis
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnreachableCode { start: 3, .. })));
+    }
+
+    #[test]
+    fn constant_jump_to_invalid_dest_is_rejected() {
+        // PUSH1 3, JUMP, STOP — 3 is not a JUMPDEST.
+        let code = [PUSH1, 3, JUMP, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Rejected(AnalysisError::InvalidJumpTarget { pc: 2, target: 3 })
+        );
+    }
+
+    #[test]
+    fn reachable_undefined_byte_is_rejected() {
+        let code = [PUSH1, 1, POP, UNDEFINED];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Rejected(AnalysisError::UndefinedInstruction {
+                pc: 3,
+                byte: UNDEFINED
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_push_is_rejected_with_missing_count() {
+        let code = [PUSH2, 0xaa];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Rejected(AnalysisError::TruncatedPush {
+                pc: 0,
+                opcode: Opcode::Push2,
+                missing: 1
+            })
+        );
+        assert!(analysis
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d, Diagnostic::TruncatedPush { pc: 0, missing: 1 })));
+    }
+
+    #[test]
+    fn definite_stack_underflow_is_rejected() {
+        let code = [ADD, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Rejected(AnalysisError::StackUnderflow {
+                pc: 0,
+                opcode: Opcode::Add,
+                needed: 2,
+                available: 0
+            })
+        );
+    }
+
+    #[test]
+    fn dynamic_jump_is_unproven() {
+        // PC, JUMP — destination comes from the stack, not a push.
+        let code = [PC, JUMP];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Unproven(UnprovenReason::DynamicJump { pc: 1 })
+        );
+        assert_eq!(analysis.worst_case_stack_height(), None);
+    }
+
+    #[test]
+    fn path_sensitive_underflow_is_unproven() {
+        // PUSH1 0, PUSH1 7, JUMPI, PUSH1 1, JUMPDEST, POP, STOP
+        // The taken branch reaches POP with an empty stack; the fall-through
+        // branch supplies one item. Possible, not certain.
+        let code = [PUSH1, 0, PUSH1, 7, JUMPI, PUSH1, 1, JUMPDEST, POP, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Unproven(UnprovenReason::PossibleUnderflow { pc: 8 })
+        );
+    }
+
+    #[test]
+    fn code_after_terminator_is_unreachable_not_rejected() {
+        // STOP followed by junk bytes (the CODECOPY data-segment pattern).
+        let code = [STOP, UNDEFINED, 0xaa, 0xbb];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert!(analysis.blocks().iter().skip(1).all(|b| b.unreachable));
+    }
+
+    #[test]
+    fn loop_with_constant_back_edge_is_accepted() {
+        // PUSH1 5, JUMPDEST(2), PUSH1 1, SWAP1, SUB, DUP1, PUSH1 2, JUMPI, STOP
+        let code = [
+            PUSH1, 5, JUMPDEST, PUSH1, 1, 0x90, 0x03, 0x80, PUSH1, 2, JUMPI, STOP,
+        ];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert!(analysis.worst_case_stack_height().is_some());
+    }
+
+    #[test]
+    fn jumpdest_bitmap_matches_reference_scan() {
+        // Reference semantics: 0x5b counts unless it is push-immediate data.
+        let code = [PUSH2, JUMPDEST, JUMPDEST, JUMPDEST, PUSH1, 0, JUMP];
+        let analysis = analyze(&code);
+        assert!(!analysis.is_jumpdest(1));
+        assert!(!analysis.is_jumpdest(2));
+        assert!(analysis.is_jumpdest(3));
+    }
+
+    #[test]
+    fn gas_and_removed_flags_are_set() {
+        // GAS, POP, TIMESTAMP, POP, STOP
+        let code = [0x5a, POP, 0x42, POP, STOP];
+        let analysis = analyze(&code);
+        let block = &analysis.blocks()[0];
+        assert!(block.has_gas_op);
+        assert!(block.has_removed_off_chain);
+        assert!(!block.interior_trap_risk);
+    }
+
+    #[test]
+    fn interior_memory_op_flags_trap_risk() {
+        // PUSH1 0, PUSH1 0, MSTORE, STOP — MSTORE is interior (STOP follows).
+        let code = [PUSH1, 0, PUSH1, 0, 0x52, STOP];
+        let analysis = analyze(&code);
+        assert!(analysis.blocks()[0].interior_trap_risk);
+        // When the trappable op is the block's last instruction it can be
+        // batched: a trap there still retires the whole block.
+        let code_tail = [PUSH1, 0, PUSH1, 0, 0x52];
+        let analysis_tail = analyze(&code_tail);
+        assert!(!analysis_tail.blocks()[0].interior_trap_risk);
+    }
+}

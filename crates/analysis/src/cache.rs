@@ -1,0 +1,99 @@
+//! Per-code-hash cache of [`CodeAnalysis`] artifacts.
+//!
+//! Contract code is immutable once installed, so its analysis can be shared
+//! by every frame that ever runs it — across calls, across reentrant
+//! subframes and (via [`std::sync::Arc`]) across the experiment harness's
+//! worker threads. This is what turns the interpreter's former per-frame
+//! `analyze_jumpdests` scan into a one-time cost per distinct contract.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tinyevm_crypto::keccak256;
+
+use crate::analyzer::{analyze, CodeAnalysis};
+
+/// A cache of analysis artifacts keyed by the Keccak-256 hash of the code.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisCache {
+    map: HashMap<[u8; 32], Arc<CodeAnalysis>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the analysis for `code`, computing and memoizing it on first
+    /// sight of this code hash.
+    pub fn analyze(&mut self, code: &[u8]) -> Arc<CodeAnalysis> {
+        self.analyze_hashed(keccak256(code), code)
+    }
+
+    /// Like [`AnalysisCache::analyze`], for callers that already know the
+    /// code hash.
+    pub fn analyze_hashed(&mut self, hash: [u8; 32], code: &[u8]) -> Arc<CodeAnalysis> {
+        if let Some(analysis) = self.map.get(&hash) {
+            self.hits += 1;
+            return Arc::clone(analysis);
+        }
+        self.misses += 1;
+        let analysis = Arc::new(analyze(code));
+        self.map.insert(hash, Arc::clone(&analysis));
+        analysis
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to run the analyzer.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct code blobs analyzed so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no code has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all cached artifacts and resets the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_code_hash() {
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&[0x60, 0x01, 0x00]);
+        let b = cache.analyze(&[0x60, 0x01, 0x00]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+
+        cache.analyze(&[0x00]);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+}

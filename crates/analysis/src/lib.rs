@@ -1,0 +1,39 @@
+//! # tinyevm-analysis
+//!
+//! Static bytecode analysis for TinyEVM, in the spirit of upload-time code
+//! validation in `frame/revive`: decode a contract **once** into basic
+//! blocks, derive everything the runtime repeatedly needs (jumpdest
+//! bitmaps, per-block static gas and stack effects), and judge the code
+//! with a typed verdict *before* it reaches a constrained device.
+//!
+//! The crate sits directly above `tinyevm-crypto` in the layer stack and
+//! below `tinyevm-evm`: it owns the opcode table (re-exported by the EVM
+//! crate) and knows nothing about execution state, so deployment gates in
+//! the chain and channel layers can use it without pulling in the
+//! interpreter.
+//!
+//! Three consumers:
+//!
+//! * the **interpreter** runs frames against a shared [`CodeAnalysis`]
+//!   (via [`AnalysisCache`], keyed by code hash) instead of re-scanning
+//!   jumpdests per frame, and batches gas/instruction-limit checks at
+//!   basic-block entry;
+//! * the **deploy-time gate** (`tinyevm-evm`'s `deploy` module and the
+//!   chain layer) rejects code whose verdict is [`Verdict::Rejected`];
+//! * the **fleet gate** (channel endpoints) refuses to install statically
+//!   invalid contract templates, and the experiments harness tabulates
+//!   verdicts over the whole contract corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod cache;
+pub mod opcode;
+
+pub use analyzer::{
+    analyze, AnalysisError, BasicBlock, BlockExit, CodeAnalysis, Diagnostic, UnprovenReason,
+    Verdict,
+};
+pub use cache::AnalysisCache;
+pub use opcode::{Opcode, OpcodeCategory, OpcodeInfo};

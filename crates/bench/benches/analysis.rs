@@ -1,0 +1,38 @@
+//! Static analyzer throughput: single contracts and a corpus sweep, plus the
+//! cache hit path the interpreter takes on every warm call.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tinyevm_analysis::{analyze, AnalysisCache};
+use tinyevm_channel::contracts;
+use tinyevm_corpus::quick_corpus;
+
+fn bench_analysis(c: &mut Criterion) {
+    let channel_runtime = contracts::payment_channel_runtime_code();
+    let corpus: Vec<Vec<u8>> = quick_corpus(128)
+        .into_iter()
+        .map(|contract| contract.init_code)
+        .collect();
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("payment_channel_runtime", |bencher| {
+        bencher.iter(|| analyze(black_box(&channel_runtime)))
+    });
+    group.bench_function("corpus_128", |bencher| {
+        bencher.iter(|| {
+            corpus
+                .iter()
+                .map(|code| analyze(black_box(code)).verdict().is_rejected())
+                .filter(|rejected| *rejected)
+                .count()
+        })
+    });
+    group.bench_function("cache_hit", |bencher| {
+        let mut cache = AnalysisCache::new();
+        cache.analyze(&channel_runtime);
+        bencher.iter(|| cache.analyze(black_box(&channel_runtime)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -21,8 +21,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tinyevm_bench::{
-    corpus_experiment_sharded, multinode_sweep, multinode_text, offchain_experiment,
-    sample_crypto_perf, table1_text, table3_text, MultiNodeLane, PerfRecord,
+    analysis_experiment, corpus_experiment_sharded, multinode_sweep, multinode_text,
+    offchain_experiment, sample_crypto_perf, sample_evm_exec_perf, table1_text, table3_text,
+    MultiNodeLane, PerfRecord,
 };
 use tinyevm_channel::contracts;
 
@@ -130,6 +131,24 @@ fn main() {
     let multinode = multinode_sweep(&fleet_sizes, rounds, jobs);
     emit("multinode.txt", &multinode_text(&multinode));
 
+    // The static-analysis sweep: verdicts always cover the full 7,000
+    // contracts (the committed baseline is scale-independent), while the
+    // batched-vs-per-op differential runs on `count` of them.
+    eprintln!(
+        "running the static-analysis sweep (7000 verdicts, {count} differential, {jobs} workers)..."
+    );
+    let analysis = analysis_experiment(count, jobs);
+    assert_eq!(
+        analysis.differential_mismatches, 0,
+        "batched execution diverged from per-opcode metering"
+    );
+    emit("analysis.txt", &analysis.text());
+    fs::write(
+        output_dir.join("corpus_verdicts.json"),
+        analysis.verdicts_json(),
+    )
+    .expect("write corpus_verdicts.json");
+
     emit("summary.txt", &offchain.summary_text(&corpus));
 
     // The machine-readable perf trajectory (bench.json): host-side crypto
@@ -153,6 +172,8 @@ fn main() {
             .map(MultiNodeLane::from_experiment)
             .collect(),
         crypto: sample_crypto_perf(),
+        evm_exec: sample_evm_exec_perf(),
+        analysis,
     };
     fs::write(output_dir.join("bench.json"), record.to_json()).expect("write bench.json");
     eprintln!("wrote results to {}", output_dir.display());

@@ -1,13 +1,14 @@
 //! The experiment implementations.
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use tinyevm_analysis::{analyze, UnprovenReason, Verdict};
 use tinyevm_channel::{GatewayDriver, GatewaySettlementReport, ProtocolDriver, SensorSummary};
 use tinyevm_corpus::{histogram, summarize, CorpusConfig, DistributionSummary};
 use tinyevm_device::{Footprint, Mcu, PowerState};
 use tinyevm_evm::opcode::{evm_census, tinyevm_census};
-use tinyevm_evm::{deploy, EvmConfig};
+use tinyevm_evm::{deploy, Evm, EvmConfig};
 use tinyevm_net::LinkConfig;
 use tinyevm_types::Wei;
 
@@ -301,6 +302,209 @@ fn deploy_shard(
             }
             Err(_) => experiment.failed_sizes.push(contract.size() as f64),
         }
+    }
+}
+
+/// Results of the static-analysis sweep: analyzer verdicts over the full
+/// corpus, plus the batched-vs-per-opcode differential execution check.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisExperiment {
+    /// Contracts analyzed (always the full paper-scale corpus).
+    pub total: usize,
+    /// Contracts the analyzer proved free of invalid jumps, undefined
+    /// opcodes and stack underflow.
+    pub accepted: usize,
+    /// Contracts with a reachable dynamic jump the analyzer cannot resolve.
+    pub unproven_dynamic_jump: usize,
+    /// Contracts with a path-sensitive possible stack underflow.
+    pub unproven_possible_underflow: usize,
+    /// Contracts rejected outright with a typed [`tinyevm_analysis::AnalysisError`].
+    pub rejected: usize,
+    /// Total init-code bytes decoded.
+    pub bytes_analyzed: usize,
+    /// Wall clock of the verdict sweep (milliseconds).
+    pub analysis_wall_clock_ms: f64,
+    /// Contracts executed both with per-opcode metering and with the
+    /// block-batched fast path.
+    pub differential_contracts: usize,
+    /// Executions where the two interpreters disagreed on outcome, output,
+    /// metrics or trap (must be zero).
+    pub differential_mismatches: usize,
+}
+
+impl AnalysisExperiment {
+    /// Renders the verdict table and the differential line.
+    pub fn text(&self) -> String {
+        let percent = |n: usize| n as f64 / self.total.max(1) as f64 * 100.0;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Static analysis — verdicts over the {}-contract corpus (init code)",
+            self.total
+        );
+        let _ = writeln!(
+            out,
+            "  accepted (proved trap-free):        {:>6}  ({:.1}%)",
+            self.accepted,
+            percent(self.accepted)
+        );
+        let _ = writeln!(
+            out,
+            "  unproven: dynamic jump:             {:>6}  ({:.1}%)",
+            self.unproven_dynamic_jump,
+            percent(self.unproven_dynamic_jump)
+        );
+        let _ = writeln!(
+            out,
+            "  unproven: possible stack underflow: {:>6}  ({:.1}%)",
+            self.unproven_possible_underflow,
+            percent(self.unproven_possible_underflow)
+        );
+        let _ = writeln!(
+            out,
+            "  rejected (typed static error):      {:>6}  ({:.1}%)",
+            self.rejected,
+            percent(self.rejected)
+        );
+        let throughput = if self.analysis_wall_clock_ms > 0.0 {
+            self.bytes_analyzed as f64 / 1024.0 / 1024.0 / (self.analysis_wall_clock_ms / 1000.0)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {} B analyzed in {:.1} ms ({:.1} MB/s)",
+            self.bytes_analyzed, self.analysis_wall_clock_ms, throughput
+        );
+        let _ = writeln!(
+            out,
+            "Differential — block-batched accounting vs per-opcode metering"
+        );
+        let _ = writeln!(
+            out,
+            "  {} contracts executed both ways, {} mismatch(es) (must be 0)",
+            self.differential_contracts, self.differential_mismatches
+        );
+        out
+    }
+
+    /// The verdict counts as stable JSON — committed at the repository root
+    /// as `corpus_verdicts.json` so CI can flag analyzer drift.
+    pub fn verdicts_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"contracts\": {},", self.total);
+        let _ = writeln!(out, "  \"accepted\": {},", self.accepted);
+        let _ = writeln!(
+            out,
+            "  \"unproven_dynamic_jump\": {},",
+            self.unproven_dynamic_jump
+        );
+        let _ = writeln!(
+            out,
+            "  \"unproven_possible_underflow\": {},",
+            self.unproven_possible_underflow
+        );
+        let _ = writeln!(out, "  \"rejected\": {}", self.rejected);
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Runs the static-analysis sweep. The verdict census always covers the
+/// full paper-scale corpus (it is cheap and the committed baseline must not
+/// depend on `--quick`), while the differential execution covers the first
+/// `differential_count` contracts, sharded across `jobs` threads.
+pub fn analysis_experiment(differential_count: usize, jobs: usize) -> AnalysisExperiment {
+    analysis_experiment_on(&tinyevm_corpus::realistic_7000(), differential_count, jobs)
+}
+
+/// [`analysis_experiment`] over an explicit corpus (tests use a small one).
+pub fn analysis_experiment_on(
+    corpus: &[tinyevm_corpus::SyntheticContract],
+    differential_count: usize,
+    jobs: usize,
+) -> AnalysisExperiment {
+    let jobs = jobs.clamp(1, corpus.len().max(1));
+    let mut experiment = AnalysisExperiment {
+        total: corpus.len(),
+        ..AnalysisExperiment::default()
+    };
+    if corpus.is_empty() {
+        return experiment;
+    }
+
+    let sweep_start = Instant::now();
+    let shard_len = corpus.len().div_ceil(jobs);
+    let tallies: Vec<(usize, usize, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .chunks(shard_len)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut tally = (0usize, 0usize, 0usize, 0usize, 0usize);
+                    for contract in shard {
+                        tally.4 += contract.init_code.len();
+                        match analyze(&contract.init_code).verdict() {
+                            Verdict::Accepted => tally.0 += 1,
+                            Verdict::Unproven(UnprovenReason::DynamicJump { .. }) => tally.1 += 1,
+                            Verdict::Unproven(UnprovenReason::PossibleUnderflow { .. }) => {
+                                tally.2 += 1
+                            }
+                            Verdict::Rejected(_) => tally.3 += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("analysis shard worker panicked"))
+            .collect()
+    });
+    for (accepted, dynamic, underflow, rejected, bytes) in tallies {
+        experiment.accepted += accepted;
+        experiment.unproven_dynamic_jump += dynamic;
+        experiment.unproven_possible_underflow += underflow;
+        experiment.rejected += rejected;
+        experiment.bytes_analyzed += bytes;
+    }
+    experiment.analysis_wall_clock_ms = sweep_start.elapsed().as_secs_f64() * 1000.0;
+
+    let differential = &corpus[..differential_count.min(corpus.len())];
+    let shard_len = differential.len().div_ceil(jobs).max(1);
+    let mismatch_counts: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = differential
+            .chunks(shard_len)
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .filter(|contract| !executions_agree(&contract.init_code))
+                        .count()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("differential shard worker panicked"))
+            .collect()
+    });
+    experiment.differential_contracts = differential.len();
+    experiment.differential_mismatches = mismatch_counts.into_iter().sum();
+    experiment
+}
+
+/// Executes `code` once with per-opcode metering and once with the
+/// block-batched fast path and reports whether outcome, output, metrics and
+/// trap (reason, pc, instruction count) all agree.
+fn executions_agree(code: &[u8]) -> bool {
+    let per_op = Evm::new(EvmConfig::cc2538().with_per_op_metering(true)).execute(code, &[]);
+    let batched = Evm::new(EvmConfig::cc2538()).execute(code, &[]);
+    match (per_op, batched) {
+        (Ok(a), Ok(b)) => a.outcome == b.outcome && a.output == b.output && a.metrics == b.metrics,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
     }
 }
 
@@ -946,6 +1150,38 @@ mod tests {
         // More workers than contracts degrades gracefully.
         let oversharded = corpus_experiment_sharded(5, 8 * 1024, 64);
         assert_eq!(oversharded.total, 5);
+    }
+
+    #[test]
+    fn analysis_experiment_tallies_every_contract_once() {
+        let corpus = tinyevm_corpus::quick_corpus(120);
+        let experiment = analysis_experiment_on(&corpus, 24, 4);
+        assert_eq!(experiment.total, 120);
+        assert_eq!(
+            experiment.accepted
+                + experiment.unproven_dynamic_jump
+                + experiment.unproven_possible_underflow
+                + experiment.rejected,
+            120,
+            "every contract lands in exactly one verdict bucket"
+        );
+        assert_eq!(
+            experiment.bytes_analyzed,
+            corpus.iter().map(|c| c.init_code.len()).sum::<usize>()
+        );
+        assert_eq!(experiment.differential_contracts, 24);
+        assert_eq!(
+            experiment.differential_mismatches, 0,
+            "batched and per-op execution must agree on the corpus"
+        );
+        // Sharding never changes the census.
+        let sequential = analysis_experiment_on(&corpus, 24, 1);
+        assert_eq!(sequential.accepted, experiment.accepted);
+        assert_eq!(sequential.rejected, experiment.rejected);
+        assert_eq!(sequential.verdicts_json(), experiment.verdicts_json());
+        let text = experiment.text();
+        assert!(text.contains("accepted"));
+        assert!(text.contains("0 mismatch(es)"));
     }
 
     #[test]

@@ -16,8 +16,10 @@ pub mod experiments;
 pub mod perf;
 
 pub use experiments::{
-    corpus_experiment, corpus_experiment_sharded, multinode_experiment, multinode_sweep,
-    multinode_text, offchain_experiment, table1_text, table3_text, CorpusExperiment,
-    MultiNodeExperiment, OffChainExperiment,
+    analysis_experiment, analysis_experiment_on, corpus_experiment, corpus_experiment_sharded,
+    multinode_experiment, multinode_sweep, multinode_text, offchain_experiment, table1_text,
+    table3_text, AnalysisExperiment, CorpusExperiment, MultiNodeExperiment, OffChainExperiment,
 };
-pub use perf::{sample_crypto_perf, CryptoPerf, MultiNodeLane, PerfRecord};
+pub use perf::{
+    sample_crypto_perf, sample_evm_exec_perf, CryptoPerf, EvmExecPerf, MultiNodeLane, PerfRecord,
+};

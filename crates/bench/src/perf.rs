@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use tinyevm_crypto::secp256k1::{point, verify_batch, BatchItem, PrivateKey, Scalar};
 use tinyevm_crypto::{keccak256, sha256};
+use tinyevm_evm::{asm, Evm, EvmConfig};
 use tinyevm_types::U256;
 
 /// Median nanoseconds per operation for the cryptographic hot paths.
@@ -153,6 +154,56 @@ pub fn sample_crypto_perf() -> CryptoPerf {
     }
 }
 
+/// Host-side interpreter cost of the same hot-loop contract under the two
+/// accounting strategies (mirrors the `evm` criterion bench).
+#[derive(Debug, Clone)]
+pub struct EvmExecPerf {
+    /// Per-opcode metering with per-call re-analysis (nanoseconds per run).
+    pub hot_loop_per_op_ns: f64,
+    /// Cached analysis with block-batched checks (nanoseconds per run).
+    pub hot_loop_batched_ns: f64,
+}
+
+impl EvmExecPerf {
+    /// Speedup of the batched fast path over per-opcode accounting.
+    pub fn speedup(&self) -> f64 {
+        if self.hot_loop_batched_ns > 0.0 {
+            self.hot_loop_per_op_ns / self.hot_loop_batched_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Samples the interpreter fast-path lanes on the hot-loop contract the
+/// `evm` criterion bench uses (a 10,000-iteration counting loop).
+pub fn sample_evm_exec_perf() -> EvmExecPerf {
+    let code = asm::assemble(
+        "PUSH3 0x002710 PUSH1 0x00
+         @loop: JUMPDEST
+         DUP1 DUP1 ADD POP
+         PUSH1 0x01 ADD DUP2 DUP2 LT PUSHLABEL @loop JUMPI
+         POP POP STOP",
+    )
+    .expect("hot loop assembles");
+    EvmExecPerf {
+        hot_loop_per_op_ns: median_ns(3, || {
+            std::hint::black_box(
+                Evm::new(EvmConfig::cc2538().with_per_op_metering(true))
+                    .execute(&code, &[])
+                    .expect("hot loop runs"),
+            );
+        }),
+        hot_loop_batched_ns: median_ns(3, || {
+            std::hint::black_box(
+                Evm::new(EvmConfig::cc2538())
+                    .execute(&code, &[])
+                    .expect("hot loop runs"),
+            );
+        }),
+    }
+}
+
 /// One multi-node gateway lane of the perf record: the modelled cost of a
 /// whole fleet session at one sweep point.
 #[derive(Debug, Clone)]
@@ -214,6 +265,10 @@ pub struct PerfRecord {
     pub multinode: Vec<MultiNodeLane>,
     /// The crypto micro-benchmarks.
     pub crypto: CryptoPerf,
+    /// The interpreter fast-path lanes.
+    pub evm_exec: EvmExecPerf,
+    /// The static-analysis sweep over the corpus.
+    pub analysis: crate::experiments::AnalysisExperiment,
 }
 
 impl PerfRecord {
@@ -222,7 +277,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 3,");
+        let _ = writeln!(out, "  \"schema\": 4,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -246,6 +301,50 @@ impl PerfRecord {
             c.settle_batch_per_sig_ns
         );
         let _ = writeln!(out, "    \"keccak256_64B\": {:.1}", c.keccak256_64b_ns);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"evm_exec_ns\": {{");
+        let _ = writeln!(
+            out,
+            "    \"hot_loop_per_op\": {:.1},",
+            self.evm_exec.hot_loop_per_op_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"hot_loop_batched_cached\": {:.1},",
+            self.evm_exec.hot_loop_batched_ns
+        );
+        let _ = writeln!(out, "    \"speedup\": {:.2}", self.evm_exec.speedup());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"analysis\": {{");
+        let a = &self.analysis;
+        let _ = writeln!(out, "    \"contracts\": {},", a.total);
+        let _ = writeln!(out, "    \"accepted\": {},", a.accepted);
+        let _ = writeln!(
+            out,
+            "    \"unproven_dynamic_jump\": {},",
+            a.unproven_dynamic_jump
+        );
+        let _ = writeln!(
+            out,
+            "    \"unproven_possible_underflow\": {},",
+            a.unproven_possible_underflow
+        );
+        let _ = writeln!(out, "    \"rejected\": {},", a.rejected);
+        let _ = writeln!(
+            out,
+            "    \"wall_clock_ms\": {:.1},",
+            a.analysis_wall_clock_ms
+        );
+        let _ = writeln!(
+            out,
+            "    \"differential_contracts\": {},",
+            a.differential_contracts
+        );
+        let _ = writeln!(
+            out,
+            "    \"differential_mismatches\": {}",
+            a.differential_mismatches
+        );
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"corpus\": {{");
         let _ = writeln!(out, "    \"contracts\": {},", self.contracts);
@@ -349,10 +448,35 @@ mod tests {
                 settle_batch_per_sig_ns: 6.5,
                 keccak256_64b_ns: 7.0,
             },
+            evm_exec: EvmExecPerf {
+                hot_loop_per_op_ns: 2_000_000.0,
+                hot_loop_batched_ns: 900_000.0,
+            },
+            analysis: crate::experiments::AnalysisExperiment {
+                total: 7_000,
+                accepted: 5_000,
+                unproven_dynamic_jump: 1_200,
+                unproven_possible_underflow: 300,
+                rejected: 500,
+                bytes_analyzed: 1_000_000,
+                analysis_wall_clock_ms: 2_000.0,
+                differential_contracts: 700,
+                differential_mismatches: 0,
+            },
         };
         let json = record.to_json();
         for key in [
             "\"schema\"",
+            "\"evm_exec_ns\"",
+            "\"hot_loop_per_op\"",
+            "\"hot_loop_batched_cached\"",
+            "\"speedup\"",
+            "\"analysis\"",
+            "\"accepted\"",
+            "\"unproven_dynamic_jump\"",
+            "\"unproven_possible_underflow\"",
+            "\"rejected\"",
+            "\"differential_mismatches\"",
             "\"crypto_ns\"",
             "\"ecdsa_sign\"",
             "\"ecdsa_verify\"",

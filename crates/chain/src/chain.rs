@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use tinyevm_analysis::{analyze, AnalysisError, Verdict};
 use tinyevm_crypto::keccak256_h256;
 use tinyevm_evm::{ContractStore, EvmConfig, Host, NullIotEnvironment};
 use tinyevm_types::{Address, Wei, H256};
@@ -96,6 +97,9 @@ pub enum ChainError {
     Template(TemplateError),
     /// On-chain EVM deployment failed.
     EvmDeploymentFailed,
+    /// The static analyzer rejected the submitted init code before any of
+    /// it executed (only on chains built with deploy validation enabled).
+    EvmCodeRejected(AnalysisError),
 }
 
 impl core::fmt::Display for ChainError {
@@ -109,6 +113,9 @@ impl core::fmt::Display for ChainError {
             ChainError::UnknownTemplate(address) => write!(f, "no template at {address}"),
             ChainError::Template(error) => write!(f, "template rejected: {error}"),
             ChainError::EvmDeploymentFailed => write!(f, "on-chain EVM deployment failed"),
+            ChainError::EvmCodeRejected(error) => {
+                write!(f, "static analysis rejected the init code: {error}")
+            }
         }
     }
 }
@@ -161,6 +168,20 @@ impl Blockchain {
             evm_world: ContractStore::new(EvmConfig::unconstrained()),
             next_template_nonce: 0,
         }
+    }
+
+    /// Returns a copy with the deploy-time static-analysis gate toggled on
+    /// the embedded EVM world: a validating chain refuses statically-invalid
+    /// init code with [`ChainError::EvmCodeRejected`] before executing it,
+    /// and refuses to install statically-rejected runtime code.
+    pub fn with_deploy_validation(mut self, enabled: bool) -> Self {
+        let config = self
+            .evm_world
+            .config()
+            .clone()
+            .with_deploy_validation(enabled);
+        self.evm_world = ContractStore::new(config);
+        self
     }
 
     /// Reconstructs a chain from persisted parts (the `tinyevm-wire`
@@ -477,12 +498,19 @@ impl Blockchain {
     /// # Errors
     ///
     /// Returns [`ChainError::EvmDeploymentFailed`] when the init code
-    /// reverts, traps or runs out of gas.
+    /// reverts, traps or runs out of gas, and — on a chain built with
+    /// [`Blockchain::with_deploy_validation`] — [`ChainError::EvmCodeRejected`]
+    /// when the static analyzer refuses the init code before execution.
     pub fn deploy_evm_contract(
         &mut self,
         creator: Address,
         init_code: &[u8],
     ) -> Result<Address, ChainError> {
+        if self.evm_world.config().validate_on_deploy {
+            if let Verdict::Rejected(error) = analyze(init_code).verdict() {
+                return Err(ChainError::EvmCodeRejected(error.clone()));
+            }
+        }
         let outcome = self.evm_world.create(
             creator,
             tinyevm_types::U256::ZERO,
@@ -750,6 +778,44 @@ mod tests {
         let bad_init = asm::assemble("PUSH1 0x00 PUSH1 0x00 REVERT").unwrap();
         assert!(matches!(
             chain.deploy_evm_contract(sender.eth_address(), &bad_init),
+            Err(ChainError::EvmDeploymentFailed)
+        ));
+    }
+
+    #[test]
+    fn validating_chain_rejects_bad_init_code_before_execution() {
+        let mut chain = Blockchain::new().with_deploy_validation(true);
+        let sender = PrivateKey::from_seed(b"deployer");
+        chain.fund(sender.eth_address(), Wei::from(10_000u64));
+
+        // Jump into the middle of a push immediate: statically invalid.
+        let bad_init = asm::assemble("PUSH1 0x03 JUMP STOP").unwrap();
+        match chain.deploy_evm_contract(sender.eth_address(), &bad_init) {
+            Err(ChainError::EvmCodeRejected(AnalysisError::InvalidJumpTarget { pc, target })) => {
+                assert_eq!(pc, 2);
+                assert_eq!(target, 3);
+            }
+            other => panic!("expected EvmCodeRejected, got {other:?}"),
+        }
+        // Nothing executed, so no transaction was recorded either.
+        assert!(chain.transactions().is_empty());
+
+        // Well-formed contracts still deploy and run on the gated chain.
+        let runtime =
+            asm::assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = asm::wrap_as_init_code(&runtime);
+        let contract = chain
+            .deploy_evm_contract(sender.eth_address(), &init)
+            .unwrap();
+        let (output, success) = chain.call_evm_contract(sender.eth_address(), contract, &[]);
+        assert!(success);
+        assert_eq!(output[31], 42);
+
+        // The default chain keeps accepting the same bad code (it fails at
+        // runtime instead, preserving the corpus experiments' semantics).
+        let (mut open, open_sender, _) = setup();
+        assert!(matches!(
+            open.deploy_evm_contract(open_sender.eth_address(), &bad_init),
             Err(ChainError::EvmDeploymentFailed)
         ));
     }

@@ -75,6 +75,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
+use tinyevm_analysis::{analyze, AnalysisError, Verdict};
 use tinyevm_chain::{ChannelState, CommitEnvelope};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, RadioDirection};
@@ -115,6 +116,9 @@ pub enum EndpointError {
     },
     /// The peer's proposal contradicts what the chain registered.
     ProposalMismatch(&'static str),
+    /// The static analyzer refused a contract template before the device
+    /// spent any constructor cycles on it.
+    ContractRejected(AnalysisError),
 }
 
 impl core::fmt::Display for EndpointError {
@@ -131,6 +135,9 @@ impl core::fmt::Display for EndpointError {
             }
             EndpointError::ProposalMismatch(what) => {
                 write!(f, "peer proposal contradicts the chain: {what}")
+            }
+            EndpointError::ContractRejected(error) => {
+                write!(f, "static analysis rejected the contract template: {error}")
             }
         }
     }
@@ -912,10 +919,7 @@ impl ChannelEndpoint {
             tinyevm_device::sensors::peripheral_id::TEMPERATURE,
             registration.channel_id,
         );
-        let (contract, create_time) = self
-            .device
-            .create_local_contract(&init)
-            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        let (contract, create_time) = self.deploy_verified_contract(&init)?;
         let config = ChannelConfig {
             template: registration.template,
             channel_id: registration.channel_id,
@@ -1200,10 +1204,7 @@ impl ChannelEndpoint {
             tinyevm_device::sensors::peripheral_id::TEMPERATURE,
             channel_id,
         );
-        let (contract, _) = self
-            .device
-            .create_local_contract(&init)
-            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        let (contract, _) = self.deploy_verified_contract(&init)?;
         self.session_mut(peer)?.contract = Some(contract);
         Ok(())
     }
@@ -1233,6 +1234,21 @@ impl ChannelEndpoint {
         self.sessions
             .get_mut(&peer)
             .ok_or(EndpointError::UnknownPeer(peer))
+    }
+
+    /// Every local contract deployment funnels through here: the template's
+    /// init code is statically verified before the device spends any
+    /// constructor cycles on it.
+    fn deploy_verified_contract(
+        &mut self,
+        init_code: &[u8],
+    ) -> Result<(Address, Duration), EndpointError> {
+        if let Verdict::Rejected(error) = analyze(init_code).verdict() {
+            return Err(EndpointError::ContractRejected(error.clone()));
+        }
+        self.device
+            .create_local_contract(init_code)
+            .map_err(|e| EndpointError::Device(e.to_string()))
     }
 
     /// Reads this node's configured peripheral (500 µs of CPU).
@@ -1266,10 +1282,7 @@ impl ChannelEndpoint {
             tinyevm_device::sensors::peripheral_id::TEMPERATURE,
             registration.channel_id,
         );
-        let (contract, create_time) = self
-            .device
-            .create_local_contract(&init)
-            .map_err(|e| EndpointError::Device(e.to_string()))?;
+        let (contract, create_time) = self.deploy_verified_contract(&init)?;
         self.session_mut(peer)?.contract = Some(contract);
         self.outbox.push_back(Outgoing {
             to: peer,
@@ -1354,5 +1367,47 @@ impl ChannelEndpoint {
             H256::from_bytes(payment.digest()),
         );
         Ok(time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_templates_pass_the_static_gate() {
+        let init = contracts::payment_channel_init_code(
+            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+            7,
+        );
+        assert!(!analyze(&init).verdict().is_rejected());
+        assert!(!analyze(&contracts::payment_channel_runtime_code())
+            .verdict()
+            .is_rejected());
+        let child = contracts::payment_channel_init_code(0, 1);
+        assert!(!analyze(&contracts::template_init_code(&child))
+            .verdict()
+            .is_rejected());
+        assert!(!analyze(&contracts::template_runtime_code(&child))
+            .verdict()
+            .is_rejected());
+    }
+
+    #[test]
+    fn gate_refuses_malformed_template_before_deployment() {
+        let mut endpoint = ChannelEndpoint::two_party_sender("sensor", NodeAddr(1));
+        // PUSH1 0x03 JUMP STOP — the jump lands on the STOP byte, which is
+        // not a JUMPDEST: statically invalid.
+        let bad_init = vec![0x60, 0x03, 0x56, 0x00];
+        match endpoint.deploy_verified_contract(&bad_init) {
+            Err(EndpointError::ContractRejected(AnalysisError::InvalidJumpTarget {
+                pc,
+                target,
+            })) => {
+                assert_eq!(pc, 2);
+                assert_eq!(target, 3);
+            }
+            other => panic!("expected ContractRejected, got {other:?}"),
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! |---|---|---|
 //! | [`types`] | `tinyevm-types` | 256-bit arithmetic, addresses, hashes, RLP |
 //! | [`crypto`] | `tinyevm-crypto` | Keccak-256, SHA-256, secp256k1 ECDSA |
+//! | [`analysis`] | `tinyevm-analysis` | static bytecode verifier, CFG, cached code analysis |
 //! | [`evm`] | `tinyevm-evm` | the customized EVM (IoT opcode, resource limits) |
 //! | [`device`] | `tinyevm-device` | CC2538-class device model: timing, energy, sensors |
 //! | [`net`] | `tinyevm-net` | 802.15.4 / BLE link simulator |
@@ -44,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tinyevm_analysis as analysis;
 pub use tinyevm_chain as chain;
 pub use tinyevm_channel as channel;
 pub use tinyevm_corpus as corpus;

@@ -65,6 +65,18 @@ pub struct EvmConfig {
     /// opcodes trap; when false they return placeholder values, as a full
     /// node context would provide real ones.
     pub off_chain: bool,
+    /// When true, disable the per-basic-block batching of gas and
+    /// instruction-limit checks and account every opcode individually.
+    /// The batched fast path is observationally identical (results, gas,
+    /// metrics and trap PCs), so this exists for differential testing and
+    /// for benchmarking the batching itself.
+    pub per_op_metering: bool,
+    /// When true, the deployment path runs the static analyzer over init
+    /// and runtime code and refuses statically-rejected contracts before
+    /// anything executes. Off by default: the experiment corpus contains
+    /// intentionally-malformed contracts whose runtime traps are themselves
+    /// the measurement.
+    pub validate_on_deploy: bool,
 }
 
 impl EvmConfig {
@@ -83,6 +95,8 @@ impl EvmConfig {
             instruction_limit: 2_000_000,
             gas_mode: GasMode::Unmetered,
             off_chain: true,
+            per_op_metering: false,
+            validate_on_deploy: false,
         }
     }
 
@@ -99,6 +113,8 @@ impl EvmConfig {
             instruction_limit: 50_000_000,
             gas_mode: GasMode::Metered { limit: 8_000_000 },
             off_chain: false,
+            per_op_metering: false,
+            validate_on_deploy: false,
         }
     }
 
@@ -118,6 +134,19 @@ impl EvmConfig {
     /// Returns a copy with the given gas mode.
     pub fn with_gas_mode(mut self, mode: GasMode) -> Self {
         self.gas_mode = mode;
+        self
+    }
+
+    /// Returns a copy with per-opcode accounting forced on (the block-batched
+    /// fast path disabled).
+    pub fn with_per_op_metering(mut self, enabled: bool) -> Self {
+        self.per_op_metering = enabled;
+        self
+    }
+
+    /// Returns a copy with the deploy-time static-analysis gate toggled.
+    pub fn with_deploy_validation(mut self, enabled: bool) -> Self {
+        self.validate_on_deploy = enabled;
         self
     }
 }

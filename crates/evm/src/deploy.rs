@@ -7,6 +7,7 @@
 //! exactly that flow and returns the per-contract measurements that populate
 //! Table II and Figures 3 and 4.
 
+use tinyevm_analysis::{analyze, AnalysisError, Verdict};
 use tinyevm_types::{Address, U256};
 
 use crate::config::EvmConfig;
@@ -44,6 +45,12 @@ pub enum DeployError {
         /// Configured maximum.
         limit: usize,
     },
+    /// The static analyzer rejected the init code before execution
+    /// (only with [`EvmConfig::validate_on_deploy`] enabled).
+    InitCodeRejected(AnalysisError),
+    /// The static analyzer rejected the constructor's returned runtime code
+    /// (only with [`EvmConfig::validate_on_deploy`] enabled).
+    RuntimeCodeRejected(AnalysisError),
 }
 
 impl core::fmt::Display for DeployError {
@@ -60,6 +67,12 @@ impl core::fmt::Display for DeployError {
                     f,
                     "runtime code of {size} bytes exceeds device limit {limit}"
                 )
+            }
+            DeployError::InitCodeRejected(error) => {
+                write!(f, "init code rejected by static analysis: {error}")
+            }
+            DeployError::RuntimeCodeRejected(error) => {
+                write!(f, "runtime code rejected by static analysis: {error}")
             }
         }
     }
@@ -164,6 +177,15 @@ pub fn deploy_with(
     full_code.extend_from_slice(init_code);
     full_code.extend_from_slice(constructor_args);
 
+    // Deploy-time gate: refuse statically-rejected init code before a single
+    // instruction runs. Constructor arguments are appended to the code but
+    // never executed, so only the init code proper is analyzed.
+    if config.validate_on_deploy {
+        if let Verdict::Rejected(error) = analyze(init_code).verdict() {
+            return Err(DeployError::InitCodeRejected(error.clone()));
+        }
+    }
+
     let mut evm = Evm::new(config.clone());
     let mut storage = SideChainStorage::new(config.max_storage_bytes);
     let context = CallContext {
@@ -200,6 +222,11 @@ pub fn deploy_with(
                     size: runtime_code.len(),
                     limit: config.max_code_size,
                 });
+            }
+            if config.validate_on_deploy {
+                if let Verdict::Rejected(error) = analyze(&runtime_code).verdict() {
+                    return Err(DeployError::RuntimeCodeRejected(error.clone()));
+                }
             }
             let deployed_memory_bytes = runtime_code.len();
             Ok(DeployResult {
@@ -374,9 +401,89 @@ mod tests {
             DeployError::ConstructorReverted { output: vec![] },
             DeployError::NoRuntimeCode,
             DeployError::RuntimeCodeTooLarge { size: 3, limit: 2 },
+            DeployError::InitCodeRejected(AnalysisError::UndefinedInstruction {
+                pc: 0,
+                byte: 0x0e,
+            }),
+            DeployError::RuntimeCodeRejected(AnalysisError::InvalidJumpTarget { pc: 2, target: 9 }),
         ];
         for error in errors {
             assert!(!format!("{error}").is_empty());
         }
+    }
+
+    fn gated() -> EvmConfig {
+        config().with_deploy_validation(true)
+    }
+
+    #[test]
+    fn gate_rejects_init_code_with_bad_jump_target() {
+        // PUSH1 3, JUMP, STOP — destination 3 is not a JUMPDEST.
+        let init = assemble("PUSH1 0x03 JUMP STOP").unwrap();
+        let error = deploy(&gated(), &init).unwrap_err();
+        assert_eq!(
+            error,
+            DeployError::InitCodeRejected(AnalysisError::InvalidJumpTarget { pc: 2, target: 3 })
+        );
+        assert!(!error.is_resource_limit());
+        // Without the gate the same contract runs and traps mid-execution.
+        assert!(matches!(
+            deploy(&config(), &init).unwrap_err(),
+            DeployError::ConstructorTrapped(_)
+        ));
+    }
+
+    #[test]
+    fn gate_rejects_init_code_with_truncated_push() {
+        let init = vec![0x61, 0xaa]; // PUSH2 with one immediate byte
+        let error = deploy(&gated(), &init).unwrap_err();
+        assert!(matches!(
+            error,
+            DeployError::InitCodeRejected(AnalysisError::TruncatedPush {
+                pc: 0,
+                missing: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn gate_rejects_init_code_with_certain_stack_underflow() {
+        let init = assemble("ADD STOP").unwrap();
+        let error = deploy(&gated(), &init).unwrap_err();
+        assert!(matches!(
+            error,
+            DeployError::InitCodeRejected(AnalysisError::StackUnderflow {
+                pc: 0,
+                needed: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn gate_rejects_statically_invalid_runtime_code() {
+        // The init code itself is clean (the runtime rides along as an
+        // unreachable data segment), but the *returned* runtime contains a
+        // jump to an invalid destination.
+        let bad_runtime = assemble("PUSH1 0x05 JUMP STOP").unwrap();
+        let init = wrap_as_init_code(&bad_runtime);
+        let error = deploy(&gated(), &init).unwrap_err();
+        assert_eq!(
+            error,
+            DeployError::RuntimeCodeRejected(AnalysisError::InvalidJumpTarget { pc: 2, target: 5 })
+        );
+        // The default profile still deploys it: the corpus relies on being
+        // able to install intentionally-weird contracts.
+        assert!(deploy(&config(), &init).is_ok());
+    }
+
+    #[test]
+    fn gate_accepts_well_formed_contracts() {
+        let runtime =
+            assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = wrap_as_init_code(&runtime);
+        let result = deploy(&gated(), &init).unwrap();
+        assert_eq!(result.runtime_code, runtime);
     }
 }

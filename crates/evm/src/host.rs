@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use tinyevm_analysis::AnalysisCache;
 use tinyevm_types::{Address, U256};
 
 use crate::config::EvmConfig;
@@ -209,6 +210,10 @@ pub struct ContractStore {
     accounts: BTreeMap<Address, AccountState>,
     logs: Vec<LogEntry>,
     create_nonce: u64,
+    /// Per-code-hash cache of static analyses: every contract in the world
+    /// is analyzed once, on its first execution, no matter how many frames
+    /// run it afterwards.
+    analyses: AnalysisCache,
 }
 
 impl ContractStore {
@@ -219,7 +224,18 @@ impl ContractStore {
             accounts: BTreeMap::new(),
             logs: Vec::new(),
             create_nonce: 0,
+            analyses: AnalysisCache::new(),
         }
+    }
+
+    /// The store's static-analysis cache (hit/miss counters included).
+    pub fn analysis_cache(&self) -> &AnalysisCache {
+        &self.analyses
+    }
+
+    /// The configuration nested frames run with.
+    pub fn config(&self) -> &EvmConfig {
+        &self.config
     }
 
     /// Adds `amount` to an account balance (creating the account).
@@ -344,9 +360,13 @@ impl ContractStore {
             .or_default()
             .storage
             .clone();
+        // Look the analysis up (an Arc clone) before handing `self` to the
+        // interpreter as the host.
+        let analysis = self.analyses.analyze(code);
         let mut evm = Evm::new(self.config.clone());
-        let result = evm.execute_in_frame(
+        let result = evm.execute_analyzed(
             code,
+            &analysis,
             context,
             &mut storage,
             self,
@@ -465,6 +485,18 @@ impl Host for ContractStore {
             iot,
         );
         if !frame.success || !frame.returned || frame.output.len() > self.config.max_code_size {
+            return CallOutcome {
+                success: false,
+                output: Vec::new(),
+                metrics: frame.metrics,
+                created: None,
+            };
+        }
+        // Deploy-time gate: a world with validation enabled refuses to
+        // install statically-rejected runtime code.
+        if self.config.validate_on_deploy
+            && self.analyses.analyze(&frame.output).verdict().is_rejected()
+        {
             return CallOutcome {
                 success: false,
                 output: Vec::new(),
@@ -603,6 +635,58 @@ mod tests {
         assert!(world.is_destroyed(&contract));
         assert!(world.code_of(&contract).is_empty());
         assert!(!world.is_destroyed(&heir));
+    }
+
+    #[test]
+    fn repeated_calls_analyze_code_once() {
+        let mut world = store();
+        let caller = Address::from_low_u64(1);
+        let contract = Address::from_low_u64(2);
+        // PUSH1 0x2a, PUSH1 0x00, MSTORE, PUSH1 0x20, PUSH1 0x00, RETURN
+        world.install_code(
+            contract,
+            vec![0x60, 0x2a, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3],
+        );
+        const CALLS: u64 = 16;
+        for _ in 0..CALLS {
+            let outcome =
+                world.execute_contract(caller, contract, U256::ZERO, &[], &mut NullIotEnvironment);
+            assert!(outcome.success);
+            assert_eq!(outcome.output[31], 0x2a);
+        }
+        let cache = world.analysis_cache();
+        assert_eq!(
+            cache.misses(),
+            1,
+            "the contract must be analyzed exactly once"
+        );
+        assert_eq!(cache.hits(), CALLS - 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn create_gate_refuses_rejected_runtime_code() {
+        // Init code returning the 4-byte runtime "PUSH1 0x05 JUMP STOP",
+        // whose jump target lands in the middle of the push immediate:
+        //   PUSH4 0x60055600  PUSH1 0x00  MSTORE  PUSH1 0x04  PUSH1 0x1c  RETURN
+        let init_code = vec![
+            0x63, 0x60, 0x05, 0x56, 0x00, 0x60, 0x00, 0x52, 0x60, 0x04, 0x60, 0x1c, 0xf3,
+        ];
+        let creator = Address::from_low_u64(9);
+
+        let mut open = store();
+        let outcome = open.create(creator, U256::ZERO, &init_code, 4, &mut NullIotEnvironment);
+        assert!(outcome.success, "an unvalidated world installs the code");
+        let deployed = outcome.created.expect("address");
+        assert_eq!(open.code_of(&deployed), vec![0x60, 0x05, 0x56, 0x00]);
+
+        let mut gated = ContractStore::new(EvmConfig::cc2538().with_deploy_validation(true));
+        let outcome = gated.create(creator, U256::ZERO, &init_code, 4, &mut NullIotEnvironment);
+        assert!(
+            !outcome.success,
+            "the gated world must refuse the runtime code"
+        );
+        assert!(outcome.created.is_none());
     }
 
     #[test]

@@ -1,5 +1,18 @@
 //! The TinyEVM bytecode interpreter.
+//!
+//! Frames execute against a shared [`CodeAnalysis`] artifact from
+//! `tinyevm-analysis`: the jumpdest bitmap is precomputed (instead of the
+//! historical per-frame scan), and basic blocks whose instructions cannot
+//! trap mid-block are accounted *per block* — one instruction-limit check,
+//! one gas check and one bulk metrics update at block entry — rather than
+//! per opcode. Blocks containing memory, storage, call or IoT opcodes
+//! before their final instruction, and blocks whose budgets are nearly
+//! exhausted, fall back to the per-opcode slow path, which keeps execution
+//! results, gas accounting, [`ExecMetrics`] and trap PCs byte-identical to
+//! per-opcode interpretation (`EvmConfig::per_op_metering` forces the slow
+//! path everywhere for differential testing).
 
+use tinyevm_analysis::{analyze, CodeAnalysis};
 use tinyevm_types::{Address, I256, U256};
 
 use crate::config::{EvmConfig, GasMode};
@@ -172,9 +185,47 @@ impl Evm {
         static_mode: bool,
         depth_remaining: usize,
     ) -> Result<ExecResult, ExecError> {
+        let analysis = analyze(code);
+        self.execute_analyzed(
+            code,
+            &analysis,
+            context,
+            storage,
+            host,
+            iot,
+            static_mode,
+            depth_remaining,
+        )
+    }
+
+    /// Executes one frame against a precomputed [`CodeAnalysis`] for `code`.
+    ///
+    /// This is the fast path: callers that run the same contract repeatedly
+    /// (the contract store, the payment-channel runtime) analyze the code
+    /// once — typically through `tinyevm_analysis::AnalysisCache`, keyed by
+    /// code hash — and every frame after that borrows the shared artifact.
+    /// `analysis` must have been produced from exactly this `code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the execution traps.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_analyzed(
+        &mut self,
+        code: &[u8],
+        analysis: &CodeAnalysis,
+        context: CallContext,
+        storage: &mut dyn StorageBackend,
+        host: &mut dyn Host,
+        iot: &mut dyn IotEnvironment,
+        static_mode: bool,
+        depth_remaining: usize,
+    ) -> Result<ExecResult, ExecError> {
+        debug_assert_eq!(analysis.code_len(), code.len());
         Frame {
             config: &self.config,
             code,
+            analysis,
             context,
             storage,
             host,
@@ -190,6 +241,8 @@ impl Evm {
                 GasMode::Unmetered => u64::MAX,
             },
             pc: 0,
+            block_limit: 0,
+            batched: false,
         }
         .run()
     }
@@ -199,6 +252,7 @@ impl Evm {
 struct Frame<'a> {
     config: &'a EvmConfig,
     code: &'a [u8],
+    analysis: &'a CodeAnalysis,
     context: CallContext,
     storage: &'a mut dyn StorageBackend,
     host: &'a mut dyn Host,
@@ -211,6 +265,12 @@ struct Frame<'a> {
     return_data: Vec<u8>,
     gas_remaining: u64,
     pc: usize,
+    /// First pc past the current basic block; reaching it (or jumping,
+    /// which resets it to 0) re-enters block accounting.
+    block_limit: usize,
+    /// True while executing a block whose budgets were charged in bulk at
+    /// entry, so the per-opcode bookkeeping must not run.
+    batched: bool,
 }
 
 enum Step {
@@ -220,43 +280,110 @@ enum Step {
 
 impl<'a> Frame<'a> {
     fn run(mut self) -> Result<ExecResult, ExecError> {
-        let jumpdests = analyze_jumpdests(self.code);
         loop {
             if self.pc >= self.code.len() {
                 return Ok(self.finish(ExecOutcome::Stop, Vec::new()));
+            }
+            if self.pc >= self.block_limit {
+                self.enter_block();
             }
             let byte = self.code[self.pc];
             let opcode = match Opcode::from_byte(byte) {
                 Some(op) => op,
                 None => return Err(self.trap(TrapReason::UndefinedInstruction { byte })),
             };
-            self.metrics.record(opcode);
-            if self.metrics.instructions > self.config.instruction_limit {
-                return Err(self.trap(TrapReason::InstructionLimitExceeded {
-                    limit: self.config.instruction_limit,
-                }));
-            }
-            if let GasMode::Metered { limit } = self.config.gas_mode {
-                let cost = opcode.info().gas;
-                if cost > self.gas_remaining {
-                    return Err(self.trap(TrapReason::OutOfGas { limit }));
+            if !self.batched {
+                self.metrics.record(opcode);
+                if self.metrics.instructions > self.config.instruction_limit {
+                    return Err(self.trap(TrapReason::InstructionLimitExceeded {
+                        limit: self.config.instruction_limit,
+                    }));
                 }
-                self.gas_remaining -= cost;
-                self.metrics.gas_used += cost;
+                if let GasMode::Metered { limit } = self.config.gas_mode {
+                    let cost = opcode.info().gas;
+                    if cost > self.gas_remaining {
+                        return Err(self.trap(TrapReason::OutOfGas { limit }));
+                    }
+                    self.gas_remaining -= cost;
+                    self.metrics.gas_used += cost;
+                }
+                if self.config.off_chain && opcode.removed_off_chain() {
+                    return Err(self.trap(TrapReason::UnsupportedOpcode { opcode }));
+                }
+                self.stack
+                    .require(opcode, opcode.info().inputs)
+                    .map_err(|reason| self.trap(reason))?;
             }
-            if self.config.off_chain && opcode.removed_off_chain() {
-                return Err(self.trap(TrapReason::UnsupportedOpcode { opcode }));
-            }
-            self.stack
-                .require(opcode, opcode.info().inputs)
-                .map_err(|reason| self.trap(reason))?;
 
-            match self.step(opcode, &jumpdests) {
+            match self.step(opcode) {
                 Ok(Step::Continue) => {}
                 Ok(Step::Finish(outcome, output)) => return Ok(self.finish(outcome, output)),
                 Err(reason) => return Err(self.trap(reason)),
             }
         }
+    }
+
+    /// Called whenever execution crosses into a new basic block. Decides
+    /// between batched accounting (charge the whole block's instruction
+    /// count, gas, cycles and histogram now; skip per-opcode bookkeeping
+    /// until the block ends) and the per-opcode slow path.
+    ///
+    /// Batching is only chosen when it is observationally equivalent:
+    /// the block must be unable to trap before its final instruction (the
+    /// analyzer's `interior_trap_risk` covers dispatch traps; the budget
+    /// checks below rule out limit, gas, underflow and overflow traps), and
+    /// must not contain opcodes whose behaviour depends on the accounting
+    /// state itself (`GAS` under metering, off-chain-removed opcodes whose
+    /// trap fires in the per-opcode preamble). A trap at the final
+    /// instruction is fine: the per-opcode interpreter would have recorded
+    /// the whole block by then too, so the reported pc and instruction
+    /// count match exactly.
+    fn enter_block(&mut self) {
+        self.batched = false;
+        let analysis = self.analysis;
+        let block = match analysis.block_at(self.pc) {
+            Some(block) => block,
+            None => {
+                // Not a block leader (cannot happen for analyses produced
+                // from this code); run per-opcode, one instruction at a time.
+                self.block_limit = self.pc + 1;
+                return;
+            }
+        };
+        self.block_limit = block.end.max(self.pc + 1);
+        if self.config.per_op_metering
+            || block.interior_trap_risk
+            || block.has_undefined
+            || (self.config.off_chain && block.has_removed_off_chain)
+        {
+            return;
+        }
+        let metered = matches!(self.config.gas_mode, GasMode::Metered { .. });
+        if metered && block.has_gas_op {
+            return;
+        }
+        let instructions = block.instructions as u64;
+        if self.metrics.instructions + instructions > self.config.instruction_limit {
+            return;
+        }
+        if self.stack.depth() < block.stack_required
+            || self.stack.depth() + block.max_stack_growth > self.config.max_stack_depth
+        {
+            return;
+        }
+        if metered && block.static_gas > self.gas_remaining {
+            return;
+        }
+        self.metrics.instructions += instructions;
+        self.metrics.mcu_cycles += block.mcu_cycles;
+        for &(byte, count) in &block.histogram {
+            self.metrics.opcode_histogram[byte as usize] += count as u64;
+        }
+        if metered {
+            self.gas_remaining -= block.static_gas;
+            self.metrics.gas_used += block.static_gas;
+        }
+        self.batched = true;
     }
 
     fn finish(mut self, outcome: ExecOutcome, output: Vec<u8>) -> ExecResult {
@@ -286,7 +413,7 @@ impl<'a> Frame<'a> {
         }
     }
 
-    fn step(&mut self, opcode: Opcode, jumpdests: &[bool]) -> Result<Step, TrapReason> {
+    fn step(&mut self, opcode: Opcode) -> Result<Step, TrapReason> {
         use Opcode::*;
         let mut next_pc = self.pc + 1;
         match opcode {
@@ -464,15 +591,17 @@ impl<'a> Frame<'a> {
             }
             Jump => {
                 let destination = self.pop_usize()?;
-                self.validate_jump(destination, jumpdests)?;
+                self.validate_jump(destination)?;
                 next_pc = destination;
+                self.block_limit = 0;
             }
             JumpI => {
                 let destination = self.pop_usize()?;
                 let condition = self.stack.pop()?;
                 if !condition.is_zero() {
-                    self.validate_jump(destination, jumpdests)?;
+                    self.validate_jump(destination)?;
                     next_pc = destination;
+                    self.block_limit = 0;
                 }
             }
             Pc => self.stack.push(U256::from(self.pc))?,
@@ -638,8 +767,8 @@ impl<'a> Frame<'a> {
         Ok(Step::Continue)
     }
 
-    fn validate_jump(&self, destination: usize, jumpdests: &[bool]) -> Result<(), TrapReason> {
-        if destination >= jumpdests.len() || !jumpdests[destination] {
+    fn validate_jump(&self, destination: usize) -> Result<(), TrapReason> {
+        if !self.analysis.is_jumpdest(destination) {
             return Err(TrapReason::InvalidJump { destination });
         }
         Ok(())

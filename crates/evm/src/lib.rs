@@ -49,9 +49,13 @@ pub mod interpreter;
 pub mod iot;
 pub mod memory;
 pub mod metrics;
-pub mod opcode;
 pub mod stack;
 pub mod storage;
+
+/// The opcode table now lives in `tinyevm-analysis` (the static analyzer
+/// needs it without depending on the interpreter); re-exported here so
+/// `tinyevm_evm::opcode::*` paths keep working.
+pub use tinyevm_analysis::opcode;
 
 pub use config::{EvmConfig, GasMode};
 pub use deploy::{deploy, deploy_with, DeployError, DeployResult};

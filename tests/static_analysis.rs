@@ -1,0 +1,163 @@
+//! Agreement between the static analyzer and the interpreter: pinned
+//! truncated-PUSH semantics, the deploy-time gate's typed rejections, and
+//! two property suites — `Accepted` verdicts really do rule out the static
+//! trap classes, and block-batched accounting is observationally identical
+//! to per-opcode metering on arbitrary bytecode.
+
+use proptest::prelude::*;
+use tinyevm::analysis::{analyze, AnalysisError, Diagnostic, Verdict};
+use tinyevm::evm::error::TrapReason;
+use tinyevm::evm::{deploy, DeployError, Evm, EvmConfig, ExecOutcome};
+
+// --- truncated-PUSH semantics, pinned on both sides ------------------------
+
+#[test]
+fn interpreter_zero_pads_a_truncated_push_and_runs_off_the_end() {
+    // PUSH2 with only one immediate byte: the interpreter fills the missing
+    // byte with zero, the pc lands past the end of the code, and the frame
+    // stops — no trap, exactly one instruction executed, one stack slot.
+    let result = Evm::new(EvmConfig::cc2538())
+        .execute(&[0x61, 0xaa], &[])
+        .expect("truncated push must not trap");
+    assert_eq!(result.outcome, ExecOutcome::Stop);
+    assert_eq!(result.metrics.instructions, 1);
+    assert_eq!(result.metrics.max_stack_pointer, 1);
+
+    // The degenerate case: a PUSH1 with no immediate at all behaves the same.
+    let result = Evm::new(EvmConfig::cc2538())
+        .execute(&[0x60], &[])
+        .expect("empty push immediate must not trap");
+    assert_eq!(result.outcome, ExecOutcome::Stop);
+    assert_eq!(result.metrics.instructions, 1);
+}
+
+#[test]
+fn analyzer_reports_the_truncated_push_with_the_missing_byte_count() {
+    let analysis = analyze(&[0x61, 0xaa]);
+    match analysis.verdict() {
+        Verdict::Rejected(AnalysisError::TruncatedPush { pc, missing, .. }) => {
+            assert_eq!(*pc, 0);
+            assert_eq!(*missing, 1);
+        }
+        other => panic!("expected a TruncatedPush rejection, got {other:?}"),
+    }
+    assert!(analysis
+        .diagnostics()
+        .iter()
+        .any(|d| matches!(d, Diagnostic::TruncatedPush { pc: 0, missing: 1 })));
+
+    // A 32-byte push with no immediate is missing all 32 bytes.
+    match analyze(&[0x7f]).verdict() {
+        Verdict::Rejected(AnalysisError::TruncatedPush { missing, .. }) => {
+            assert_eq!(*missing, 32)
+        }
+        other => panic!("expected a TruncatedPush rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn deploy_gate_turns_the_diagnostic_into_a_typed_error() {
+    let gated = EvmConfig::cc2538().with_deploy_validation(true);
+    match deploy(&gated, &[0x61, 0xaa]) {
+        Err(DeployError::InitCodeRejected(AnalysisError::TruncatedPush { .. })) => {}
+        other => panic!("expected InitCodeRejected(TruncatedPush), got {other:?}"),
+    }
+    // Without the gate the constructor runs (and zero-pads), so whatever
+    // error comes back is about deployment semantics, not static analysis.
+    if let Err(DeployError::InitCodeRejected(_)) = deploy(&EvmConfig::cc2538(), &[0x61, 0xaa]) {
+        panic!("ungated deployment must not consult the analyzer")
+    }
+}
+
+// --- property suites -------------------------------------------------------
+
+/// Programs stitched from mostly-benign fragments with occasional junk:
+/// enough structure that the analyzer accepts a good fraction, enough chaos
+/// to exercise every rejection path.
+fn fragment_soup() -> impl Strategy<Value = Vec<u8>> {
+    // Each u16 picks a fragment with its high byte; the low byte doubles as
+    // the junk byte for the wildcard arm.
+    proptest::collection::vec(any::<u16>(), 0..48).prop_map(|picks| {
+        let mut code = Vec::new();
+        for pick in picks {
+            let junk = (pick & 0xff) as u8;
+            match (pick >> 8) % 16 {
+                0..=3 => code.extend_from_slice(&[0x60, 0x01]), // PUSH1 1
+                4..=5 => code.extend_from_slice(&[0x60, 0x00]), // PUSH1 0
+                6..=7 => code.push(0x01),                       // ADD
+                8..=9 => code.push(0x80),                       // DUP1
+                10..=11 => code.push(0x50),                     // POP
+                12 => code.push(0x5b),                          // JUMPDEST
+                13 => code.push(0x15),                          // ISZERO
+                14 => code.push(0x00),                          // STOP
+                _ => code.push(junk),
+            }
+        }
+        code
+    })
+}
+
+/// The trap classes an `Accepted` verdict statically rules out.
+fn is_statically_excluded_trap(reason: &TrapReason) -> bool {
+    matches!(
+        reason,
+        TrapReason::InvalidJump { .. }
+            | TrapReason::UndefinedInstruction { .. }
+            | TrapReason::StackUnderflow { .. }
+    )
+}
+
+/// Runs `code` under both accounting strategies with a small instruction
+/// budget and asserts observational equality.
+fn assert_batched_matches_per_op(code: &[u8]) -> Result<(), TestCaseError> {
+    let mut per_op_config = EvmConfig::cc2538().with_per_op_metering(true);
+    per_op_config.instruction_limit = 20_000;
+    let mut batched_config = EvmConfig::cc2538();
+    batched_config.instruction_limit = 20_000;
+    let per_op = Evm::new(per_op_config).execute(code, &[]);
+    let batched = Evm::new(batched_config).execute(code, &[]);
+    match (per_op, batched) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.outcome, b.outcome);
+            prop_assert_eq!(a.output, b.output);
+            prop_assert_eq!(a.metrics, b.metrics);
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+        (a, b) => prop_assert!(
+            false,
+            "one lane trapped and the other did not: {a:?} vs {b:?}"
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accepted_verdicts_exclude_the_static_trap_classes(code in fragment_soup()) {
+        let analysis = analyze(&code);
+        if analysis.verdict().is_accepted() {
+            if let Err(trap) = Evm::new(EvmConfig::cc2538()).execute(&code, &[]) {
+                prop_assert!(
+                    !is_statically_excluded_trap(&trap.reason),
+                    "Accepted code trapped on {:?} at pc {}",
+                    trap.reason,
+                    trap.pc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_accounting_matches_per_op_on_fragment_soup(code in fragment_soup()) {
+        assert_batched_matches_per_op(&code)?;
+    }
+
+    #[test]
+    fn batched_accounting_matches_per_op_on_arbitrary_bytes(
+        code in proptest::collection::vec(any::<u8>(), 0..160)
+    ) {
+        assert_batched_matches_per_op(&code)?;
+    }
+}
