@@ -1,0 +1,139 @@
+//! Perf regression gate over the committed `BENCH_crypto.json` snapshot.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tinyevm-bench --release --bin bench_gate
+//! cargo run -p tinyevm-bench --release --bin bench_gate -- \
+//!     --baseline BENCH_crypto.json --current target/experiments/bench.json --tolerance 0.25
+//! ```
+//!
+//! Compares the timing-sensitive lanes of a fresh `bench.json` against the
+//! committed snapshot and exits non-zero when any gated lane drifts beyond
+//! the tolerance (default ±25%). Only the stable microbenchmark lanes are
+//! gated — wall-clocks and corpus counts vary with machine load and are
+//! diffed by eye instead. The flat hand-formatted JSON is parsed with a
+//! small scanner, so no JSON dependency is needed.
+
+use std::process::ExitCode;
+
+/// The lanes the gate enforces: section, key, human label.
+const GATED: &[(&str, &str)] = &[
+    ("crypto_ns", "ecdsa_sign"),
+    ("crypto_ns", "ecdsa_verify"),
+    ("evm_exec_ns", "hot_loop_per_op"),
+    ("evm_exec_ns", "hot_loop_batched_cached"),
+];
+
+/// Extracts `"key": number` from the hand-formatted bench JSON, scoped to
+/// the object opened by `"section": {`. Returns `None` when the section or
+/// key is missing.
+fn lookup(json: &str, section: &str, key: &str) -> Option<f64> {
+    let section_tag = format!("\"{section}\"");
+    let mut in_section = false;
+    for line in json.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with(&section_tag) {
+            in_section = true;
+            continue;
+        }
+        if in_section {
+            if trimmed.starts_with('}') {
+                return None;
+            }
+            let key_tag = format!("\"{key}\"");
+            if let Some(rest) = trimmed.strip_prefix(&key_tag) {
+                let value = rest
+                    .trim_start_matches(':')
+                    .trim()
+                    .trim_end_matches(',')
+                    .trim();
+                return value.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_crypto.json".to_string();
+    let mut current_path = "target/experiments/bench.json".to_string();
+    let mut tolerance = 0.25f64;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--baseline" => {
+                index += 1;
+                baseline_path = args.get(index).cloned().unwrap_or(baseline_path);
+            }
+            "--current" => {
+                index += 1;
+                current_path = args.get(index).cloned().unwrap_or(current_path);
+            }
+            "--tolerance" => {
+                index += 1;
+                tolerance = args
+                    .get(index)
+                    .and_then(|value| value.parse().ok())
+                    .filter(|&parsed: &f64| parsed > 0.0)
+                    .unwrap_or(tolerance);
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_gate [--baseline PATH] [--current PATH] [--tolerance F]");
+                return ExitCode::SUCCESS;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        index += 1;
+    }
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(contents) => Some(contents),
+        Err(error) => {
+            eprintln!("bench_gate: cannot read {path}: {error}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(&baseline_path), read(&current_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0usize;
+    for &(section, key) in GATED {
+        let lane = format!("{section}.{key}");
+        let (Some(was), Some(now)) = (
+            lookup(&baseline, section, key),
+            lookup(&current, section, key),
+        ) else {
+            eprintln!("FAIL {lane}: missing from baseline or current record");
+            failures += 1;
+            continue;
+        };
+        if was <= 0.0 {
+            eprintln!("FAIL {lane}: non-positive baseline {was}");
+            failures += 1;
+            continue;
+        }
+        let ratio = now / was;
+        let drift = (ratio - 1.0) * 100.0;
+        if (ratio - 1.0).abs() > tolerance {
+            eprintln!("FAIL {lane}: {was:.1} -> {now:.1} ns ({drift:+.1}%)");
+            failures += 1;
+        } else {
+            println!("ok   {lane}: {was:.1} -> {now:.1} ns ({drift:+.1}%)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} lane(s) drifted beyond ±{:.0}% — investigate or re-snapshot BENCH_crypto.json",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: all gated lanes within ±{:.0}%",
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}

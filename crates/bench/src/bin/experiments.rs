@@ -23,7 +23,7 @@ use std::time::Instant;
 use tinyevm_bench::{
     analysis_experiment, corpus_experiment_sharded, multinode_sweep, multinode_text,
     offchain_experiment, sample_crypto_perf, sample_evm_exec_perf, table1_text, table3_text,
-    MultiNodeLane, PerfRecord,
+    trace_experiment, MultiNodeLane, PerfRecord, TracePerfLane,
 };
 use tinyevm_channel::contracts;
 
@@ -131,6 +131,14 @@ fn main() {
     let multinode = multinode_sweep(&fleet_sizes, rounds, jobs);
     emit("multinode.txt", &multinode_text(&multinode));
 
+    // The traced fleet sweep: the same fleet sizes re-run with a recording
+    // tracer attached, distilled into per-phase time shares, round-latency
+    // quantiles and energy per settled wei.
+    eprintln!("running the traced fleet sweep ({fleet_sizes:?} sensors × {rounds} rounds)...");
+    let trace = trace_experiment(&fleet_sizes, rounds);
+    emit("trace.txt", &trace.text());
+    fs::write(output_dir.join("trace.jsonl"), &trace.jsonl).expect("write trace.jsonl");
+
     // The static-analysis sweep: verdicts always cover the full 7,000
     // contracts (the committed baseline is scale-independent), while the
     // batched-vs-per-op differential runs on `count` of them.
@@ -171,6 +179,7 @@ fn main() {
             .iter()
             .map(MultiNodeLane::from_experiment)
             .collect(),
+        trace: trace.lanes.iter().map(TracePerfLane::from_lane).collect(),
         crypto: sample_crypto_perf(),
         evm_exec: sample_evm_exec_perf(),
         analysis,

@@ -1074,6 +1074,165 @@ impl MultiNodeExperiment {
     }
 }
 
+/// One traced fleet session: the structured-event view of a multi-node
+/// scenario, distilled into the numbers the paper's evaluation cares about.
+#[derive(Debug, Clone)]
+pub struct TraceLane {
+    /// Sensors in the fleet.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Structured events the recorder kept.
+    pub events: usize,
+    /// Events evicted by the ring buffer (0 unless the session outgrows
+    /// the recorder's capacity).
+    pub dropped: u64,
+    /// Total time spent in each sender-side round phase, as a share of
+    /// the summed phase time, in (phase, share) pairs sorted by name.
+    pub phase_share: Vec<(String, f64)>,
+    /// The per-round end-to-end latency histogram (driver view).
+    pub latency: tinyevm_trace::HistogramSummary,
+    /// Fleet energy divided by the wei actually settled on-chain (µJ/wei).
+    pub energy_per_wei_uj: f64,
+    /// Frames the medium carried.
+    pub frames_tx: u64,
+    /// Frames that needed a retransmission attempt.
+    pub retransmissions: u64,
+    /// Frames lost outright.
+    pub frames_lost: u64,
+}
+
+/// Results of the traced fleet sweep: one [`TraceLane`] per fleet size,
+/// plus the smallest fleet's full event stream as JSONL for offline
+/// inspection.
+#[derive(Debug, Clone)]
+pub struct TraceExperiment {
+    /// One lane per fleet size, in sweep order.
+    pub lanes: Vec<TraceLane>,
+    /// The first lane's complete event stream, one JSON object per line.
+    pub jsonl: String,
+}
+
+/// Runs the traced fleet sweep: each fleet size runs a full gateway
+/// session with a [`tinyevm_trace::RecordingTracer`] attached, and the
+/// recorded events and metrics are distilled into per-phase time shares,
+/// round-latency quantiles and energy-per-settled-wei.
+pub fn trace_experiment(fleet_sizes: &[usize], rounds: usize) -> TraceExperiment {
+    let mut lanes = Vec::with_capacity(fleet_sizes.len());
+    let mut jsonl = String::new();
+    for (index, &sensors) in fleet_sizes.iter().enumerate() {
+        let tracer = tinyevm_trace::TraceHandle::recording(65_536);
+        let mut driver =
+            GatewayDriver::new(sensors, LinkConfig::default(), Wei::from(1_000_000u64))
+                .with_tracer(tracer.clone());
+        driver.open_all().expect("channels open");
+        driver
+            .run(rounds, Wei::from(2_500u64))
+            .expect("payments succeed");
+        let fleet_energy_mj: f64 = driver.sensor_summaries().iter().map(|s| s.energy_mj).sum();
+        let settlement = driver.settle_all().expect("all channels settle");
+        let snapshot = tracer.snapshot().expect("recording tracer snapshots");
+        if index == 0 {
+            jsonl = snapshot.to_jsonl();
+        }
+
+        let mut phase_totals: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for event in &snapshot.events {
+            if let tinyevm_trace::TraceEvent::Phase {
+                phase, duration_us, ..
+            } = event
+            {
+                *phase_totals.entry(phase.clone()).or_default() += duration_us;
+            }
+        }
+        let phase_sum: u64 = phase_totals.values().sum();
+        let phase_share = phase_totals
+            .into_iter()
+            .map(|(phase, us)| (phase, us as f64 / phase_sum.max(1) as f64))
+            .collect();
+
+        let latency = snapshot
+            .metrics
+            .histogram("driver.round_latency_ms")
+            .expect("driver histogram recorded")
+            .summary();
+        let settled_wei = settlement.total_to_gateway.amount().low_u64().max(1);
+        lanes.push(TraceLane {
+            sensors,
+            rounds,
+            events: snapshot.events.len(),
+            dropped: snapshot.dropped,
+            phase_share,
+            latency,
+            energy_per_wei_uj: fleet_energy_mj * 1_000.0 / settled_wei as f64,
+            frames_tx: snapshot.metrics.counter("net.frames_tx"),
+            retransmissions: snapshot.metrics.counter("net.retransmissions"),
+            frames_lost: snapshot.metrics.counter("net.frames_lost"),
+        });
+    }
+    TraceExperiment { lanes, jsonl }
+}
+
+impl TraceExperiment {
+    /// Renders the sweep as the `trace.txt` experiments table.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Structured tracing — per-round phases, latency quantiles and energy per settled wei"
+        );
+        let _ = writeln!(
+            out,
+            "{:<8}{:>8}{:>10}{:>9}{:>11}{:>11}{:>11}{:>11}{:>14}{:>9}",
+            "fleet",
+            "rounds",
+            "events",
+            "dropped",
+            "p50 (ms)",
+            "p90 (ms)",
+            "p99 (ms)",
+            "max (ms)",
+            "µJ/wei",
+            "frames"
+        );
+        for lane in &self.lanes {
+            let _ = writeln!(
+                out,
+                "{:<8}{:>8}{:>10}{:>9}{:>11.1}{:>11.1}{:>11.1}{:>11.1}{:>14.3}{:>9}",
+                lane.sensors,
+                lane.rounds,
+                lane.events,
+                lane.dropped,
+                lane.latency.p50,
+                lane.latency.p90,
+                lane.latency.p99,
+                lane.latency.max,
+                lane.energy_per_wei_uj,
+                lane.frames_tx
+            );
+        }
+        for lane in &self.lanes {
+            let shares = lane
+                .phase_share
+                .iter()
+                .map(|(phase, share)| format!("{phase} {:.1}%", share * 100.0))
+                .collect::<Vec<_>>()
+                .join(" · ");
+            let _ = writeln!(
+                out,
+                "fleet {:>2}: phase time share — {shares} (retransmissions {}, lost {})",
+                lane.sensors, lane.retransmissions, lane.frames_lost
+            );
+        }
+        let _ = writeln!(
+            out,
+            "(round latency from the drivers' histograms; energy = fleet total / wei settled on-chain)"
+        );
+        out
+    }
+}
+
 /// Renders the whole multi-node sweep as one report.
 pub fn multinode_text(sweep: &[MultiNodeExperiment]) -> String {
     let mut out = String::new();
@@ -1243,5 +1402,31 @@ mod tests {
         let summary = experiment.summary_text(&corpus);
         assert!(summary.contains("deployability"));
         assert!(summary.contains("payment"));
+    }
+
+    #[test]
+    fn trace_experiment_distills_phases_latency_and_energy() {
+        let experiment = trace_experiment(&[2], 1);
+        assert_eq!(experiment.lanes.len(), 1);
+        let lane = &experiment.lanes[0];
+        assert_eq!(lane.sensors, 2);
+        assert_eq!(lane.rounds, 1);
+        assert!(lane.events > 0);
+        assert_eq!(lane.dropped, 0, "65k ring must not drop a tiny sweep");
+        // One round per sensor lands in the driver's latency histogram.
+        assert_eq!(lane.latency.count, 2);
+        assert!(lane.latency.p50 > 0.0);
+        assert!(lane.energy_per_wei_uj > 0.0);
+        assert!(lane.frames_tx > 0);
+        let share_sum: f64 = lane.phase_share.iter().map(|(_, share)| share).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "phase shares must normalize, got {share_sum}"
+        );
+        assert!(lane.phase_share.iter().any(|(phase, _)| phase == "payment"));
+        assert!(experiment.jsonl.lines().count() >= lane.events);
+        let text = experiment.text();
+        assert!(text.contains("phase time share"));
+        assert!(text.contains("µJ/wei"));
     }
 }

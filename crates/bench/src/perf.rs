@@ -246,6 +246,41 @@ impl MultiNodeLane {
     }
 }
 
+/// One trace lane of the perf record: the distilled observability numbers
+/// of a traced fleet session at one sweep point.
+#[derive(Debug, Clone)]
+pub struct TracePerfLane {
+    /// Sensors in the fleet.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Structured events the recorder kept.
+    pub events: usize,
+    /// Events evicted by the bounded ring buffer.
+    pub dropped: u64,
+    /// Median per-round end-to-end latency (ms).
+    pub round_latency_p50_ms: f64,
+    /// 99th-percentile per-round end-to-end latency (ms).
+    pub round_latency_p99_ms: f64,
+    /// Fleet energy divided by wei settled on-chain (µJ/wei).
+    pub energy_per_wei_uj: f64,
+}
+
+impl TracePerfLane {
+    /// Builds a lane from a finished traced fleet session.
+    pub fn from_lane(lane: &crate::experiments::TraceLane) -> Self {
+        TracePerfLane {
+            sensors: lane.sensors,
+            rounds: lane.rounds,
+            events: lane.events,
+            dropped: lane.dropped,
+            round_latency_p50_ms: lane.latency.p50,
+            round_latency_p99_ms: lane.latency.p99,
+            energy_per_wei_uj: lane.energy_per_wei_uj,
+        }
+    }
+}
+
 /// The full perf record the harness writes to `bench.json`.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -263,6 +298,8 @@ pub struct PerfRecord {
     pub payment_end_to_end_ms: f64,
     /// The multi-node gateway sweep, one lane per fleet size.
     pub multinode: Vec<MultiNodeLane>,
+    /// The traced fleet sweep, one lane per fleet size.
+    pub trace: Vec<TracePerfLane>,
     /// The crypto micro-benchmarks.
     pub crypto: CryptoPerf,
     /// The interpreter fast-path lanes.
@@ -277,7 +314,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 4,");
+        let _ = writeln!(out, "  \"schema\": 5,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -382,6 +419,26 @@ impl PerfRecord {
                 lane.fleet_energy_mj
             );
         }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"trace\": [");
+        for (index, lane) in self.trace.iter().enumerate() {
+            let comma = if index + 1 < self.trace.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"sensors\": {}, \"rounds\": {}, \"events\": {}, \"dropped\": {}, \"round_latency_p50_ms\": {:.1}, \"round_latency_p99_ms\": {:.1}, \"energy_per_wei_uj\": {:.3}}}{comma}",
+                lane.sensors,
+                lane.rounds,
+                lane.events,
+                lane.dropped,
+                lane.round_latency_p50_ms,
+                lane.round_latency_p99_ms,
+                lane.energy_per_wei_uj
+            );
+        }
         let _ = writeln!(out, "  ]");
         let _ = writeln!(out, "}}");
         out
@@ -448,6 +505,15 @@ mod tests {
                 settle_batch_per_sig_ns: 6.5,
                 keccak256_64b_ns: 7.0,
             },
+            trace: vec![TracePerfLane {
+                sensors: 4,
+                rounds: 3,
+                events: 1_234,
+                dropped: 0,
+                round_latency_p50_ms: 583.8,
+                round_latency_p99_ms: 601.2,
+                energy_per_wei_uj: 0.012,
+            }],
             evm_exec: EvmExecPerf {
                 hot_loop_per_op_ns: 2_000_000.0,
                 hot_loop_batched_ns: 900_000.0,
@@ -500,10 +566,20 @@ mod tests {
             "\"wire_bytes\"",
             "\"airtime_ms\"",
             "\"fleet_energy_mj\"",
+            "\"trace\"",
+            "\"events\"",
+            "\"dropped\"",
+            "\"round_latency_p50_ms\"",
+            "\"round_latency_p99_ms\"",
+            "\"energy_per_wei_uj\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches("\"sensors\"").count(), 2, "both lanes emitted");
+        assert_eq!(
+            json.matches("\"sensors\"").count(),
+            3,
+            "both multinode lanes and the trace lane emitted"
+        );
     }
 }

@@ -80,6 +80,7 @@ use tinyevm_chain::{ChannelState, CommitEnvelope};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, RadioDirection};
 use tinyevm_net::NodeAddr;
+use tinyevm_trace::{TraceEvent, TraceHandle};
 use tinyevm_types::{Address, Wei, H256, U256};
 use tinyevm_wire::{
     ChannelOpen, ChannelSnapshot, CloseRequest, EndpointRole, Message, PaymentAck, SensorReading,
@@ -346,6 +347,9 @@ enum Pending {
         payment_wire_len: usize,
         sign_time: Duration,
         started_at: Duration,
+        /// Device clock when the signed payment left for the outbox (the
+        /// boundary between the round's payment and acknowledgement phases).
+        signed_at: Duration,
     },
 }
 
@@ -382,6 +386,7 @@ pub struct ChannelEndpoint {
     expected: BTreeMap<NodeAddr, ChannelRegistration>,
     outbox: VecDeque<Outgoing>,
     in_flight: Option<OutKind>,
+    tracer: TraceHandle,
 }
 
 impl ChannelEndpoint {
@@ -401,7 +406,23 @@ impl ChannelEndpoint {
             expected: BTreeMap::new(),
             outbox: VecDeque::new(),
             in_flight: None,
+            tracer: TraceHandle::default(),
         }
+    }
+
+    /// Routes this endpoint's trace output — round phases, per-round
+    /// latencies, per-peer balance gauges — plus the device's power and
+    /// contract events through `tracer`.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.device.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`ChannelEndpoint::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.set_tracer(tracer);
+        self
     }
 
     /// An OpenMote-B class paying endpoint with the two-party profile.
@@ -652,8 +673,18 @@ impl ChannelEndpoint {
                 "a protocol round is still in flight",
             ));
         }
+        let close_started = self.device.now();
         let state = self.session_mut(peer)?.channel.close();
         let (signature, _) = self.device.sign_payload(&state.encode());
+        let close_time = self.device.now().saturating_sub(close_started);
+        let node = self.device.name().to_string();
+        self.tracer.event(|| TraceEvent::Phase {
+            node,
+            peer: peer.to_string(),
+            phase: "close".to_string(),
+            sequence: state.sequence,
+            duration_us: close_time.as_micros() as u64,
+        });
         let public_key = self.device.public_key();
         self.outbox.push_back(Outgoing {
             to: peer,
@@ -984,6 +1015,18 @@ impl ChannelEndpoint {
         self.register_on_side_chain(from, &payment)?;
         let (ack_signature, _) = self.device.sign_payload(&payment.encode_payload());
         let processing = self.device.now().saturating_sub(busy_from);
+        let node = self.device.name().to_string();
+        self.tracer.event(|| TraceEvent::Phase {
+            node,
+            peer: from.to_string(),
+            phase: "payment".to_string(),
+            sequence: payment.sequence,
+            duration_us: processing.as_micros() as u64,
+        });
+        self.tracer.gauge_labeled(
+            || format!("channel.cumulative_wei.{from}"),
+            payment.cumulative.amount().low_u64() as f64,
+        );
         self.outbox.push_back(Outgoing {
             to: from,
             message: Message::PaymentAck(PaymentAck {
@@ -1045,6 +1088,7 @@ impl ChannelEndpoint {
             payment_wire_len,
             sign_time,
             started_at,
+            signed_at,
         } = std::mem::replace(&mut self.session_mut(from)?.pending, Pending::Idle)
         else {
             unreachable!("pending state checked above");
@@ -1053,6 +1097,30 @@ impl ChannelEndpoint {
         let register_time = self.register_on_side_chain(from, &payment)?;
         let end_to_end_latency = self.device.now().saturating_sub(started_at);
         self.session_mut(from)?.latencies.push(end_to_end_latency);
+        let ack_time = self.device.now().saturating_sub(signed_at);
+        let node = self.device.name().to_string();
+        self.tracer.event(|| TraceEvent::Phase {
+            node: node.clone(),
+            peer: from.to_string(),
+            phase: "ack".to_string(),
+            sequence: payment.sequence,
+            duration_us: ack_time.as_micros() as u64,
+        });
+        self.tracer.event(|| TraceEvent::Round {
+            node: node.clone(),
+            peer: from.to_string(),
+            sequence: payment.sequence,
+            cumulative_wei: payment.cumulative.amount().low_u64(),
+            latency_us: end_to_end_latency.as_micros() as u64,
+        });
+        self.tracer.observe(
+            "channel.round_latency_ms",
+            end_to_end_latency.as_secs_f64() * 1_000.0,
+        );
+        self.tracer.gauge_labeled(
+            || format!("channel.cumulative_wei.{from}"),
+            payment.cumulative.amount().low_u64() as f64,
+        );
         self.device.sleep(self.profile.idle_gap);
         let active_time = sign_time
             + register_time
@@ -1322,6 +1390,26 @@ impl ChannelEndpoint {
         // the crypto-engine latency for the same digest.
         let (device_signature, sign_time) = self.device.sign_payload(&payment.encode_payload());
         debug_assert_eq!(device_signature, payment.signature);
+        let signed_at = self.device.now();
+        let reading_time = signed_at
+            .saturating_sub(started_at)
+            .saturating_sub(sign_time);
+        let node = self.device.name().to_string();
+        let sequence = payment.sequence;
+        self.tracer.event(|| TraceEvent::Phase {
+            node: node.clone(),
+            peer: peer.to_string(),
+            phase: "reading".to_string(),
+            sequence,
+            duration_us: reading_time.as_micros() as u64,
+        });
+        self.tracer.event(|| TraceEvent::Phase {
+            node: node.clone(),
+            peer: peer.to_string(),
+            phase: "payment".to_string(),
+            sequence,
+            duration_us: sign_time.as_micros() as u64,
+        });
         let message = Message::Payment(payment.clone());
         let payment_wire_len = message.wire_size();
         self.session_mut(peer)?.pending = Pending::AwaitingAck {
@@ -1329,6 +1417,7 @@ impl ChannelEndpoint {
             payment_wire_len,
             sign_time,
             started_at,
+            signed_at,
         };
         self.outbox.push_back(Outgoing {
             to: peer,

@@ -39,6 +39,7 @@ use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::Device;
 use tinyevm_net::{EndpointStats, LinkConfig, NodeAddr, SharedMedium};
+use tinyevm_trace::TraceHandle;
 use tinyevm_types::{Address, Wei, H256};
 use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Message, WireError};
 
@@ -237,6 +238,7 @@ pub struct GatewayDriver {
     deposit: Wei,
     idle_gap: Duration,
     rounds: Vec<GatewayRoundReport>,
+    tracer: TraceHandle,
 }
 
 impl GatewayDriver {
@@ -276,7 +278,29 @@ impl GatewayDriver {
             deposit,
             idle_gap: Duration::from_millis(120),
             rounds: Vec::new(),
+            tracer: TraceHandle::default(),
         }
+    }
+
+    /// Routes the whole fleet's trace output through `tracer`: every
+    /// sensor endpoint and the gateway endpoint (round phases, power
+    /// states, contract calls), the shared medium (per-frame events,
+    /// retransmission and loss counters), and the driver's own per-round
+    /// latency histogram.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        for sensor in &mut self.sensors {
+            sensor.endpoint.set_tracer(tracer.clone());
+        }
+        self.gateway.endpoint.set_tracer(tracer.clone());
+        self.medium.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`GatewayDriver::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.set_tracer(tracer);
+        self
     }
 
     /// The chain settling all channels.
@@ -398,6 +422,10 @@ impl GatewayDriver {
             end_to_end_latency: receipt.end_to_end_latency,
             bytes_exchanged: log.wire_bytes(),
         };
+        self.tracer.observe(
+            "driver.round_latency_ms",
+            receipt.end_to_end_latency.as_secs_f64() * 1_000.0,
+        );
         self.rounds.push(report.clone());
         Ok(report)
     }

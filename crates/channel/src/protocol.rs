@@ -39,6 +39,7 @@ use tinyevm_chain::{Blockchain, Settlement, TemplateConfig};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, EnergyReport, TimelineEntry};
 use tinyevm_net::{Link, LinkConfig, MediumError, NodeAddr, Radio};
+use tinyevm_trace::TraceHandle;
 use tinyevm_types::{Address, Wei, H256};
 use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Message, WireError};
 
@@ -444,6 +445,7 @@ pub struct ProtocolDriver {
     deposit: Wei,
     template: Option<Address>,
     channel_id: Option<u64>,
+    tracer: TraceHandle,
 }
 
 impl ProtocolDriver {
@@ -488,7 +490,26 @@ impl ProtocolDriver {
             deposit,
             template: None,
             channel_id: None,
+            tracer: TraceHandle::default(),
         }
+    }
+
+    /// Routes the whole session's trace output through `tracer`: both
+    /// endpoints (round phases, power states, contract calls), the radio
+    /// link (per-frame events, retransmission and loss counters), and the
+    /// driver's own per-round latency histogram.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.sender.endpoint.set_tracer(tracer.clone());
+        self.receiver.endpoint.set_tracer(tracer.clone());
+        self.link.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`ProtocolDriver::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.set_tracer(tracer);
+        self
     }
 
     /// The simulated main chain.
@@ -644,6 +665,10 @@ impl ProtocolDriver {
                 _ => None,
             })
             .ok_or(ProtocolError::OutOfOrder("payment round did not complete"))?;
+        self.tracer.observe(
+            "driver.round_latency_ms",
+            receipt.end_to_end_latency.as_secs_f64() * 1_000.0,
+        );
         Ok(RoundReport {
             sequence: receipt.sequence,
             cumulative: receipt.cumulative,
@@ -872,6 +897,7 @@ impl ProtocolDriver {
 mod tests {
     use super::*;
     use tinyevm_device::PowerState;
+    use tinyevm_trace::TraceEvent;
     use tinyevm_types::U256;
 
     fn driver() -> ProtocolDriver {
@@ -1125,6 +1151,70 @@ mod tests {
             Err(ProtocolError::Wire(_))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_traced_session_captures_rounds_phases_and_power() {
+        let tracer = tinyevm_trace::TraceHandle::recording(8192);
+        let mut d =
+            ProtocolDriver::smart_parking(Wei::from(1_000_000u64)).with_tracer(tracer.clone());
+        d.run_session(2, Wei::from(1_000u64)).unwrap();
+        d.close_and_settle().unwrap();
+        let snapshot = tracer.snapshot().unwrap();
+
+        // Two completed rounds, each with reading/payment/ack phases on the
+        // sender and a payment phase on the receiver, plus the close.
+        assert_eq!(snapshot.events_of_kind("Round").count(), 2);
+        let phases: Vec<&TraceEvent> = snapshot.events_of_kind("Phase").collect();
+        assert!(phases.len() > 2 * 4, "got {} phases", phases.len());
+        assert!(phases
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Phase { phase, .. } if phase == "close")));
+        // The device meters and the link reported through the same handle.
+        assert!(snapshot.events_of_kind("Power").next().is_some());
+        assert!(snapshot.events_of_kind("FrameTx").next().is_some());
+        assert!(snapshot.events_of_kind("ContractCall").next().is_some());
+
+        // Round latencies landed in both histograms, in the paper's regime.
+        for name in ["channel.round_latency_ms", "driver.round_latency_ms"] {
+            let histogram = snapshot.metrics.histogram(name).unwrap();
+            assert_eq!(histogram.count(), 2);
+            let p50 = histogram.p50().unwrap();
+            assert!(p50 > 300.0, "{name} p50 {p50}");
+        }
+        // The balance gauges track the cumulative amount on both sides.
+        let balances: Vec<(&str, f64)> = snapshot
+            .metrics
+            .gauges()
+            .filter(|(name, _)| name.starts_with("channel.cumulative_wei."))
+            .collect();
+        assert_eq!(balances.len(), 2, "one gauge per endpoint's peer");
+        assert!(balances.iter().all(|(_, value)| *value == 2_000.0));
+        // Lossless link: frames were counted, nothing retransmitted.
+        assert!(snapshot.metrics.counter("net.frames_tx") > 0);
+        assert_eq!(snapshot.metrics.counter("net.frames_lost"), 0);
+    }
+
+    #[test]
+    fn an_untraced_session_is_byte_identical_to_a_traced_one() {
+        let run = |traced: bool| {
+            let mut d = ProtocolDriver::smart_parking(Wei::from(1_000_000u64));
+            if traced {
+                d.set_tracer(tinyevm_trace::TraceHandle::recording(4096));
+            }
+            let reports = d.run_session(2, Wei::from(1_000u64)).unwrap();
+            let settlement = d.close_and_settle().unwrap();
+            (
+                reports
+                    .iter()
+                    .map(|r| (r.sequence, r.end_to_end_latency, r.bytes_exchanged))
+                    .collect::<Vec<_>>(),
+                d.chain().state_root(),
+                settlement.settlement.to_receiver,
+                d.sender_energy().total_energy_mj().to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb the run");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use tinyevm_crypto as crypto;
 pub use tinyevm_device as device;
 pub use tinyevm_evm as evm;
 pub use tinyevm_net as net;
+pub use tinyevm_trace as trace;
 pub use tinyevm_types as types;
 pub use tinyevm_wire as wire;
 
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use tinyevm_device::{Device, EnergyMeter, Mcu, PowerState};
     pub use tinyevm_evm::{asm, deploy, Evm, EvmConfig, Opcode};
     pub use tinyevm_net::{Link, LinkConfig, LinkProfile, NodeAddr, SharedMedium};
+    pub use tinyevm_trace::{TraceHandle, TraceSnapshot};
     pub use tinyevm_types::{Address, Wei, H256, U256};
     pub use tinyevm_wire::{ChainSnapshot, ChannelSnapshot, Message, WireError};
 

@@ -93,6 +93,7 @@ pub struct Device {
     meter: EnergyMeter,
     world: ContractStore,
     activities: Vec<DeviceActivity>,
+    tracer: tinyevm_trace::TraceHandle,
 }
 
 impl Device {
@@ -116,7 +117,26 @@ impl Device {
             meter: EnergyMeter::cc2538(),
             world,
             activities: Vec::new(),
+            tracer: tinyevm_trace::TraceHandle::default(),
         }
+    }
+
+    /// Attaches a tracer to the device: the energy meter publishes
+    /// power-state transition events ([`tinyevm_trace::TraceEvent::Power`])
+    /// under the device's name, and the local contract world publishes
+    /// per-call events and analysis-cache counters. The default handle is a
+    /// no-op.
+    pub fn with_tracer(mut self, tracer: tinyevm_trace::TraceHandle) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// In-place variant of [`Device::with_tracer`].
+    pub fn set_tracer(&mut self, tracer: tinyevm_trace::TraceHandle) {
+        let name = self.config.name.clone();
+        self.meter.set_tracer(&name, tracer.clone());
+        self.world.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The device's name.
@@ -246,7 +266,7 @@ impl Device {
         call_data: &[u8],
     ) -> Result<(ExecResult, Duration), ExecError> {
         let start = self.meter.now();
-        let mut evm = Evm::new(self.config.evm.clone());
+        let mut evm = Evm::new(self.config.evm.clone()).with_tracer(self.tracer.clone());
         let mut storage = SideChainStorage::new(self.config.evm.max_storage_bytes);
         let context = CallContext {
             address: Address::from_low_u64(0xC0DE),

@@ -20,6 +20,7 @@
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use tinyevm_trace::{TraceEvent, TraceHandle};
 
 /// A power state of the device, in the Energest sense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -54,6 +55,18 @@ impl PowerState {
             PowerState::Rx => 20.0,
             PowerState::CpuActive => 13.0,
             PowerState::Lpm2 => 1.3,
+        }
+    }
+
+    /// Index of the state inside [`PowerState::ALL`] (used for the
+    /// per-state residency accumulators).
+    fn index(self) -> usize {
+        match self {
+            PowerState::CryptoEngine => 0,
+            PowerState::Tx => 1,
+            PowerState::Rx => 2,
+            PowerState::CpuActive => 3,
+            PowerState::Lpm2 => 4,
         }
     }
 
@@ -199,6 +212,15 @@ impl EnergyReport {
 
 /// An Energest-style state-residency energy meter with a timeline.
 ///
+/// Residency totals (and therefore every energy figure in
+/// [`EnergyMeter::report`]) live in per-state accumulators, independent of
+/// the timeline. The timeline itself is a *bounded* Figure 5 trace:
+/// adjacent intervals in the same state are merged into one entry, and
+/// once [`EnergyMeter::with_timeline_cap`]'s cap is reached the oldest
+/// entries are evicted (counted in
+/// [`EnergyMeter::timeline_truncated`]). Capping or compaction never
+/// changes the energy report.
+///
 /// # Example
 ///
 /// ```
@@ -215,8 +237,18 @@ impl EnergyReport {
 pub struct EnergyMeter {
     voltage: f64,
     timeline: Vec<TimelineEntry>,
+    timeline_cap: usize,
+    timeline_truncated: u64,
+    totals: [Duration; PowerState::ALL.len()],
     clock: Duration,
+    tracer: TraceHandle,
+    trace_label: String,
 }
+
+/// Default bound on retained timeline entries. A payment round produces a
+/// few dozen state transitions, so this keeps hundreds of rounds of
+/// Figure 5 context while bounding a soak run's memory.
+pub const DEFAULT_TIMELINE_CAP: usize = 8_192;
 
 impl EnergyMeter {
     /// A meter for the CC2538 at the paper's 2.1 V supply.
@@ -229,8 +261,26 @@ impl EnergyMeter {
         EnergyMeter {
             voltage,
             timeline: Vec::new(),
+            timeline_cap: DEFAULT_TIMELINE_CAP,
+            timeline_truncated: 0,
+            totals: [Duration::ZERO; PowerState::ALL.len()],
             clock: Duration::ZERO,
+            tracer: TraceHandle::default(),
+            trace_label: String::new(),
         }
+    }
+
+    /// Sets the maximum number of retained timeline entries (minimum 1).
+    pub fn with_timeline_cap(mut self, cap: usize) -> Self {
+        self.timeline_cap = cap.max(1);
+        self
+    }
+
+    /// Attaches a tracer: every recorded interval is published as a
+    /// [`TraceEvent::Power`] with `label` as the node name.
+    pub fn set_tracer(&mut self, label: &str, tracer: TraceHandle) {
+        self.trace_label = label.to_string();
+        self.tracer = tracer;
     }
 
     /// The supply voltage.
@@ -248,32 +298,57 @@ impl EnergyMeter {
         if duration.is_zero() {
             return;
         }
-        self.timeline.push(TimelineEntry {
-            start: self.clock,
-            duration,
-            state,
+        self.tracer.event(|| TraceEvent::Power {
+            node: self.trace_label.clone(),
+            state: state.label().to_string(),
+            start_us: self.clock.as_micros() as u64,
+            duration_us: duration.as_micros() as u64,
+            current_ma: state.current_ma(),
         });
+        self.totals[state.index()] += duration;
+        // Contiguous same-state intervals compact into one timeline entry
+        // (the Figure 5 trace only changes on state *transitions*).
+        match self.timeline.last_mut() {
+            Some(last) if last.state == state && last.end() == self.clock => {
+                last.duration += duration;
+            }
+            _ => {
+                if self.timeline.len() == self.timeline_cap {
+                    self.timeline.remove(0);
+                    self.timeline_truncated += 1;
+                }
+                self.timeline.push(TimelineEntry {
+                    start: self.clock,
+                    duration,
+                    state,
+                });
+            }
+        }
         self.clock += duration;
     }
 
-    /// The recorded timeline (Figure 5 raw data).
+    /// The recorded timeline (Figure 5 raw data): state-transition
+    /// intervals, bounded by the timeline cap.
     pub fn timeline(&self) -> &[TimelineEntry] {
         &self.timeline
+    }
+
+    /// Number of timeline entries evicted because the cap was reached.
+    pub fn timeline_truncated(&self) -> u64 {
+        self.timeline_truncated
     }
 
     /// Resets the meter and timeline.
     pub fn reset(&mut self) {
         self.timeline.clear();
+        self.timeline_truncated = 0;
+        self.totals = [Duration::ZERO; PowerState::ALL.len()];
         self.clock = Duration::ZERO;
     }
 
-    /// Total residency of one state.
+    /// Total residency of one state (exact even after timeline eviction).
     pub fn time_in(&self, state: PowerState) -> Duration {
-        self.timeline
-            .iter()
-            .filter(|e| e.state == state)
-            .map(|e| e.duration)
-            .sum()
+        self.totals[state.index()]
     }
 
     /// Builds the Table IV style report.
@@ -442,5 +517,91 @@ mod tests {
     fn share_of_empty_report_is_zero() {
         let meter = EnergyMeter::cc2538();
         assert_eq!(meter.report().share_of(PowerState::Tx), 0.0);
+    }
+
+    #[test]
+    fn adjacent_same_state_entries_compact() {
+        let mut meter = EnergyMeter::cc2538();
+        meter.record(PowerState::CpuActive, Duration::from_millis(10));
+        meter.record(PowerState::CpuActive, Duration::from_millis(5));
+        meter.record(PowerState::Tx, Duration::from_millis(2));
+        meter.record(PowerState::CpuActive, Duration::from_millis(3));
+        // Two CPU intervals merged; the one after TX starts a new entry.
+        let timeline = meter.timeline();
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline[0].duration, Duration::from_millis(15));
+        assert_eq!(timeline[0].state, PowerState::CpuActive);
+        // Totals are unaffected by compaction.
+        assert_eq!(
+            meter.time_in(PowerState::CpuActive),
+            Duration::from_millis(18)
+        );
+        assert_eq!(meter.now(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn timeline_cap_keeps_the_report_exact() {
+        // Regression for the unbounded-timeline memory growth: run far past
+        // the cap and check that eviction is counted, the retained tail is
+        // bounded, and the energy report still integrates *all* intervals.
+        let mut capped = EnergyMeter::cc2538().with_timeline_cap(16);
+        let mut unbounded = EnergyMeter::cc2538().with_timeline_cap(usize::MAX);
+        for i in 0..1000u32 {
+            // Alternate states so compaction cannot absorb the entries.
+            let state = if i % 2 == 0 {
+                PowerState::CpuActive
+            } else {
+                PowerState::Rx
+            };
+            capped.record(state, Duration::from_millis(3));
+            unbounded.record(state, Duration::from_millis(3));
+        }
+        assert_eq!(capped.timeline().len(), 16);
+        assert_eq!(capped.timeline_truncated(), 1000 - 16);
+        assert_eq!(unbounded.timeline_truncated(), 0);
+        // Reports and clocks are identical despite the eviction.
+        assert_eq!(capped.report(), unbounded.report());
+        assert_eq!(capped.now(), unbounded.now());
+        assert_eq!(
+            capped.time_in(PowerState::CpuActive),
+            Duration::from_millis(1500)
+        );
+        // The retained tail is the most recent transitions.
+        let first_kept = capped.timeline()[0];
+        assert_eq!(first_kept.start, Duration::from_millis(3 * (1000 - 16)));
+        // Reset clears the eviction counter too.
+        capped.reset();
+        assert_eq!(capped.timeline_truncated(), 0);
+    }
+
+    #[test]
+    fn recorded_intervals_publish_power_events() {
+        use tinyevm_trace::TraceHandle;
+        let tracer = TraceHandle::recording(64);
+        let mut meter = EnergyMeter::cc2538();
+        meter.set_tracer("sensor", tracer.clone());
+        meter.record(PowerState::Tx, Duration::from_millis(4));
+        meter.record(PowerState::Tx, Duration::from_millis(4));
+        let snapshot = tracer.snapshot().unwrap();
+        // One event per record() call, even though the timeline compacted
+        // the two intervals into one entry.
+        assert_eq!(snapshot.events.len(), 2);
+        assert_eq!(meter.timeline().len(), 1);
+        match &snapshot.events[1] {
+            tinyevm_trace::TraceEvent::Power {
+                node,
+                state,
+                start_us,
+                duration_us,
+                current_ma,
+            } => {
+                assert_eq!(node, "sensor");
+                assert_eq!(state, "TX");
+                assert_eq!(*start_us, 4_000);
+                assert_eq!(*duration_us, 4_000);
+                assert_eq!(*current_ma, 24.0);
+            }
+            other => panic!("expected a Power event, got {other:?}"),
+        }
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 
 use tinyevm_analysis::AnalysisCache;
+use tinyevm_trace::TraceHandle;
 use tinyevm_types::{Address, U256};
 
 use crate::config::EvmConfig;
@@ -214,6 +215,7 @@ pub struct ContractStore {
     /// is analyzed once, on its first execution, no matter how many frames
     /// run it afterwards.
     analyses: AnalysisCache,
+    tracer: TraceHandle,
 }
 
 impl ContractStore {
@@ -225,7 +227,15 @@ impl ContractStore {
             logs: Vec::new(),
             create_nonce: 0,
             analyses: AnalysisCache::new(),
+            tracer: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a tracer: nested frames publish per-call events and the
+    /// analysis cache publishes hit/miss counters. The default handle is a
+    /// no-op.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// The store's static-analysis cache (hit/miss counters included).
@@ -362,8 +372,16 @@ impl ContractStore {
             .clone();
         // Look the analysis up (an Arc clone) before handing `self` to the
         // interpreter as the host.
+        let misses_before = self.analyses.misses();
         let analysis = self.analyses.analyze(code);
-        let mut evm = Evm::new(self.config.clone());
+        if self.tracer.enabled() {
+            if self.analyses.misses() > misses_before {
+                self.tracer.count("evm.analysis_cache.misses", 1);
+            } else {
+                self.tracer.count("evm.analysis_cache.hits", 1);
+            }
+        }
+        let mut evm = Evm::new(self.config.clone()).with_tracer(self.tracer.clone());
         let result = evm.execute_analyzed(
             code,
             &analysis,

@@ -13,6 +13,7 @@
 //! path everywhere for differential testing).
 
 use tinyevm_analysis::{analyze, CodeAnalysis};
+use tinyevm_trace::{TraceEvent, TraceHandle};
 use tinyevm_types::{Address, I256, U256};
 
 use crate::config::{EvmConfig, GasMode};
@@ -103,12 +104,24 @@ impl ExecResult {
 #[derive(Debug, Clone)]
 pub struct Evm {
     config: EvmConfig,
+    tracer: TraceHandle,
 }
 
 impl Evm {
     /// Creates a machine with the given resource profile.
     pub fn new(config: EvmConfig) -> Self {
-        Evm { config }
+        Evm {
+            config,
+            tracer: TraceHandle::default(),
+        }
+    }
+
+    /// Attaches a tracer: every completed frame publishes a
+    /// [`TraceEvent::ContractCall`] with the opcode-category cycle
+    /// breakdown. The default handle is a no-op.
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The machine's configuration.
@@ -222,7 +235,7 @@ impl Evm {
         depth_remaining: usize,
     ) -> Result<ExecResult, ExecError> {
         debug_assert_eq!(analysis.code_len(), code.len());
-        Frame {
+        let result = Frame {
             config: &self.config,
             code,
             analysis,
@@ -244,7 +257,59 @@ impl Evm {
             block_limit: 0,
             batched: false,
         }
-        .run()
+        .run();
+        self.tracer.event(|| match &result {
+            Ok(exec) => {
+                let outcome = match exec.outcome {
+                    ExecOutcome::Stop => "stop",
+                    ExecOutcome::Return => "return",
+                    ExecOutcome::Revert => "revert",
+                    ExecOutcome::SelfDestruct => "selfdestruct",
+                };
+                contract_call_event(outcome, &exec.metrics)
+            }
+            Err(error) => {
+                let mut metrics = ExecMetrics::new();
+                metrics.instructions = error.instructions_executed;
+                contract_call_event("trap", &metrics)
+            }
+        });
+        result
+    }
+}
+
+/// Builds the per-frame trace event, splitting the cycle budget by opcode
+/// category. Only runs when a recorder is attached.
+fn contract_call_event(outcome: &str, metrics: &ExecMetrics) -> TraceEvent {
+    use tinyevm_analysis::opcode::OpcodeCategory;
+    let mut by_category = [0u64; 5];
+    for byte in 0..=255u8 {
+        let executions = metrics.opcode_histogram[byte as usize];
+        if executions == 0 {
+            continue;
+        }
+        if let Some(opcode) = Opcode::from_byte(byte) {
+            let info = opcode.info();
+            let index = match info.category {
+                OpcodeCategory::Operation => 0,
+                OpcodeCategory::SmartContract => 1,
+                OpcodeCategory::Memory => 2,
+                OpcodeCategory::Blockchain => 3,
+                OpcodeCategory::Iot => 4,
+            };
+            by_category[index] += executions * info.mcu_cycles as u64;
+        }
+    }
+    TraceEvent::ContractCall {
+        outcome: outcome.to_string(),
+        instructions: metrics.instructions,
+        mcu_cycles: metrics.mcu_cycles,
+        operation_cycles: by_category[0],
+        smart_contract_cycles: by_category[1],
+        memory_cycles: by_category[2],
+        blockchain_cycles: by_category[3],
+        iot_cycles: by_category[4],
+        keccak_invocations: metrics.keccak_invocations,
     }
 }
 

@@ -5,6 +5,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tinyevm_trace::{TraceEvent, TraceHandle};
 
 use crate::addr::NodeAddr;
 use crate::frame::{fragment, reassemble, wire_bytes_for_message, Frame, FrameError};
@@ -198,6 +199,7 @@ pub struct Link {
     next_message_id: u32,
     total_wire_bytes: u64,
     total_messages: u64,
+    tracer: TraceHandle,
 }
 
 impl Link {
@@ -237,7 +239,16 @@ impl Link {
             next_message_id: 0,
             total_wire_bytes: 0,
             total_messages: 0,
+            tracer: TraceHandle::default(),
         })
+    }
+
+    /// Attaches a tracer: every frame put on the air publishes a
+    /// [`TraceEvent::FrameTx`] (retransmissions included) and every frame
+    /// the loss process drops publishes a [`TraceEvent::FrameLost`]. The
+    /// default handle is a no-op.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Creates a link with the given configuration between a default pair
@@ -346,6 +357,25 @@ impl Link {
                 // values outside [0, 1) never reach this sampler), so no
                 // per-call clamp is needed.
                 let lost = self.config.loss_rate > 0.0 && self.rng.gen_bool(self.config.loss_rate);
+                self.tracer.event(|| TraceEvent::FrameTx {
+                    from: source.to_string(),
+                    to: destination.to_string(),
+                    bytes: encoded.len() as u64,
+                    airtime_us: on_air.as_micros() as u64,
+                    retransmission: attempts > 1,
+                });
+                self.tracer.count("net.frames_tx", 1);
+                if attempts > 1 {
+                    self.tracer.count("net.retransmissions", 1);
+                }
+                if lost {
+                    self.tracer.event(|| TraceEvent::FrameLost {
+                        from: source.to_string(),
+                        to: destination.to_string(),
+                        bytes: encoded.len() as u64,
+                    });
+                    self.tracer.count("net.frames_lost", 1);
+                }
                 if !lost {
                     rx_time += on_air;
                     delivered.push(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?);

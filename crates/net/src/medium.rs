@@ -143,6 +143,7 @@ pub struct SharedMedium {
     total_wire_bytes: u64,
     total_messages: u64,
     total_airtime: Duration,
+    tracer: tinyevm_trace::TraceHandle,
 }
 
 impl SharedMedium {
@@ -165,7 +166,18 @@ impl SharedMedium {
             total_wire_bytes: 0,
             total_messages: 0,
             total_airtime: Duration::ZERO,
+            tracer: tinyevm_trace::TraceHandle::default(),
         }
+    }
+
+    /// Attaches a tracer, forwarded to every endpoint link (already
+    /// attached and future ones): per-frame TX and loss events carry the
+    /// endpoints' addresses as node labels.
+    pub fn set_tracer(&mut self, tracer: tinyevm_trace::TraceHandle) {
+        for endpoint in self.endpoints.values_mut() {
+            endpoint.link.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// The gateway's address.
@@ -216,7 +228,8 @@ impl SharedMedium {
             return Err(MediumError::DuplicateEndpoint(addr));
         }
         config.seed = endpoint_seed(self.base.seed, addr);
-        let link = Link::try_between(addr, self.gateway, config)?;
+        let mut link = Link::try_between(addr, self.gateway, config)?;
+        link.set_tracer(self.tracer.clone());
         self.endpoints.insert(
             addr,
             MediumEndpoint {

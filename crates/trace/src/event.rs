@@ -1,0 +1,191 @@
+//! The typed events the stack publishes.
+//!
+//! Fields are plain strings and integers (microseconds, bytes, cycle
+//! counts) so the crate sits at the very bottom of the dependency stack —
+//! every layer can emit without `tinyevm-trace` knowing about addresses,
+//! opcodes or power-state enums. Serialization goes through the vendored
+//! serde's `Value` model; [`TraceEvent::to_json`] renders one event as one
+//! JSON object, and a recorded run exports as JSONL (one event per line).
+//! The shape of these objects is schema: the golden-vector suite pins it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::value_to_json;
+
+/// One structured observation from somewhere in the stack.
+///
+/// Times are microseconds of *simulated* device/link time (the models are
+/// deterministic), not host wall-clock, so traces are reproducible
+/// byte-for-byte across runs and machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// One power-state residency interval of a device's energy meter — the
+    /// Figure 5 current timeline, one entry per state transition.
+    Power {
+        /// Device label (e.g. `"sender"`, `"sensor 0x0001"`).
+        node: String,
+        /// Power-state label in the paper's Table IV vocabulary.
+        state: String,
+        /// Interval start on the device's simulated clock.
+        start_us: u64,
+        /// Interval length.
+        duration_us: u64,
+        /// Current draw in that state (mA), so the event stream alone can
+        /// reproduce the Figure 5 plot.
+        current_ma: f64,
+    },
+    /// One link-layer frame put on the air (including each retransmission).
+    FrameTx {
+        /// Transmitting node label.
+        from: String,
+        /// Receiving node label.
+        to: String,
+        /// On-air size of the frame, headers included.
+        bytes: u64,
+        /// Time-on-air of this frame.
+        airtime_us: u64,
+        /// True when this transmission repeats a lost frame.
+        retransmission: bool,
+    },
+    /// One frame the seeded loss process dropped before delivery.
+    FrameLost {
+        /// Transmitting node label.
+        from: String,
+        /// Intended receiver label.
+        to: String,
+        /// On-air size of the lost frame.
+        bytes: u64,
+    },
+    /// One completed phase of a payment-channel round on one endpoint
+    /// (reading → payment → ack → close).
+    Phase {
+        /// Endpoint label.
+        node: String,
+        /// Peer the channel runs against.
+        peer: String,
+        /// Phase name: `"reading"`, `"payment"`, `"ack"` or `"close"`.
+        phase: String,
+        /// Payment sequence number the phase belongs to (0 for close).
+        sequence: u64,
+        /// Device-time the phase took on this endpoint.
+        duration_us: u64,
+    },
+    /// One completed payment round as the paying endpoint saw it.
+    Round {
+        /// Paying endpoint label.
+        node: String,
+        /// Receiving peer label.
+        peer: String,
+        /// Payment sequence number.
+        sequence: u64,
+        /// Cumulative channel balance after the round (wei).
+        cumulative_wei: u64,
+        /// End-to-end latency of the round.
+        latency_us: u64,
+    },
+    /// One completed contract-call frame of the virtual machine, with the
+    /// MCU-cycle budget broken down by opcode category.
+    ContractCall {
+        /// How the frame finished (`"stop"`, `"return"`, `"revert"`,
+        /// `"selfdestruct"` or `"trap"`).
+        outcome: String,
+        /// Instructions retired, sub-frames included.
+        instructions: u64,
+        /// Total estimated MCU cycles.
+        mcu_cycles: u64,
+        /// Cycles spent in arithmetic/comparison/hash operation opcodes.
+        operation_cycles: u64,
+        /// Cycles spent in call/log/create smart-contract opcodes.
+        smart_contract_cycles: u64,
+        /// Cycles spent in stack/memory/storage opcodes.
+        memory_cycles: u64,
+        /// Cycles spent in blockchain-information opcodes.
+        blockchain_cycles: u64,
+        /// Cycles spent in the IoT opcode.
+        iot_cycles: u64,
+        /// Keccak-256 invocations (hashing runs in software on the MCU).
+        keccak_invocations: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (one JSONL line, without the
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let value = serde::to_value(self).expect("trace events always serialize");
+        value_to_json(&value)
+    }
+
+    /// The event's variant name, as tagged in the JSON export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Power { .. } => "Power",
+            TraceEvent::FrameTx { .. } => "FrameTx",
+            TraceEvent::FrameLost { .. } => "FrameLost",
+            TraceEvent::Phase { .. } => "Phase",
+            TraceEvent::Round { .. } => "Round",
+            TraceEvent::ContractCall { .. } => "ContractCall",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_the_value_model() {
+        let events = [
+            TraceEvent::Power {
+                node: "sender".into(),
+                state: "TX".into(),
+                start_us: 10,
+                duration_us: 25,
+                current_ma: 24.0,
+            },
+            TraceEvent::FrameTx {
+                from: "0x0001".into(),
+                to: "0x00fe".into(),
+                bytes: 127,
+                airtime_us: 4_064,
+                retransmission: true,
+            },
+            TraceEvent::FrameLost {
+                from: "0x0001".into(),
+                to: "0x00fe".into(),
+                bytes: 127,
+            },
+            TraceEvent::Phase {
+                node: "sender".into(),
+                peer: "receiver".into(),
+                phase: "payment".into(),
+                sequence: 3,
+                duration_us: 355_000,
+            },
+            TraceEvent::Round {
+                node: "sender".into(),
+                peer: "receiver".into(),
+                sequence: 3,
+                cumulative_wei: 30_000,
+                latency_us: 1_435_600,
+            },
+            TraceEvent::ContractCall {
+                outcome: "return".into(),
+                instructions: 120,
+                mcu_cycles: 600,
+                operation_cycles: 200,
+                smart_contract_cycles: 0,
+                memory_cycles: 380,
+                blockchain_cycles: 0,
+                iot_cycles: 20,
+                keccak_invocations: 1,
+            },
+        ];
+        for event in events {
+            let value = serde::to_value(&event).unwrap();
+            let back: TraceEvent = serde::from_value(value).unwrap();
+            assert_eq!(back, event);
+            assert!(event.to_json().contains(event.kind()));
+        }
+    }
+}

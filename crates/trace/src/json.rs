@@ -1,0 +1,144 @@
+//! A tiny JSON renderer over the vendored serde's `Value` model.
+//!
+//! The workspace has no `serde_json`; this module is the one place that
+//! turns `serde::Value` trees into JSON text, shared by the JSONL trace
+//! export and the schema-stability golden tests. The rendering is
+//! deterministic: struct fields keep declaration order (the `Value::Map`
+//! preserves it), floats use Rust's shortest round-trip formatting, and
+//! non-finite floats render as `null`.
+
+use serde::Value;
+
+/// Renders a `Value` tree as compact JSON (no whitespace).
+pub fn value_to_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            out.push('{');
+            for (index, (name, field)) in fields.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                write_string(out, name);
+                out.push(':');
+                write_value(out, field);
+            }
+            out.push('}');
+        }
+        // Enum variants render as a tagged object: the struct-variant
+        // payload's fields are inlined after the tag, other payloads go
+        // under "value".
+        Value::Variant(tag, payload) => {
+            out.push('{');
+            out.push_str("\"type\":");
+            write_string(out, tag);
+            match payload.as_ref() {
+                Value::Unit => {}
+                Value::Map(fields) => {
+                    for (name, field) in fields {
+                        out.push(',');
+                        write_string(out, name);
+                        out.push(':');
+                        write_value(out, field);
+                    }
+                }
+                other => {
+                    out.push_str(",\"value\":");
+                    write_value(out, other);
+                }
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_value_shape() {
+        assert_eq!(value_to_json(&Value::Unit), "null");
+        assert_eq!(value_to_json(&Value::Bool(true)), "true");
+        assert_eq!(value_to_json(&Value::UInt(42)), "42");
+        assert_eq!(value_to_json(&Value::Int(-7)), "-7");
+        assert_eq!(value_to_json(&Value::F64(1.5)), "1.5");
+        assert_eq!(value_to_json(&Value::F64(24.0)), "24");
+        assert_eq!(value_to_json(&Value::F64(f64::NAN)), "null");
+        assert_eq!(value_to_json(&Value::Str("a\"b\n".into())), "\"a\\\"b\\n\"");
+        assert_eq!(
+            value_to_json(&Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+            "[1,2]"
+        );
+        assert_eq!(
+            value_to_json(&Value::Map(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::Bool(false)),
+            ])),
+            "{\"a\":1,\"b\":false}"
+        );
+        assert_eq!(
+            value_to_json(&Value::Variant(
+                "Power".into(),
+                Box::new(Value::Map(vec![("node".into(), Value::Str("s".into()))]))
+            )),
+            "{\"type\":\"Power\",\"node\":\"s\"}"
+        );
+        assert_eq!(
+            value_to_json(&Value::Variant("Idle".into(), Box::new(Value::Unit))),
+            "{\"type\":\"Idle\"}"
+        );
+        assert_eq!(
+            value_to_json(&Value::Variant(
+                "Pair".into(),
+                Box::new(Value::Seq(vec![Value::UInt(1), Value::UInt(2)]))
+            )),
+            "{\"type\":\"Pair\",\"value\":[1,2]}"
+        );
+    }
+}

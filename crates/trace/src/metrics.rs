@@ -1,0 +1,339 @@
+//! Named counters, gauges and exact-quantile histograms.
+//!
+//! The registry is deliberately simple: `BTreeMap`s keyed by name, so
+//! snapshots iterate in a stable order and render deterministically. The
+//! histogram keeps the raw samples (bounded) and extracts quantiles by the
+//! nearest-rank definition, which the property suite pins against a
+//! sorted-vector oracle.
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing count (retransmissions, cache hits, frames).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, delta: u64) {
+        self.value = self.value.saturating_add(delta);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A point-in-time value (a channel balance, a queue depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// The last value set.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A distribution of samples with exact quantile extraction.
+///
+/// Samples are stored raw up to `cap`; once the cap is reached further
+/// observations are counted (in [`Histogram::count`]) but not stored, so a
+/// soak run cannot grow memory without bound. Quantiles are exact over the
+/// *stored* samples, by the nearest-rank definition: for `0 < q <= 1` over
+/// `n` ascending samples, the quantile is the sample at index
+/// `ceil(q * n) - 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    observed: u64,
+    cap: usize,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default bound on stored samples per histogram.
+pub const DEFAULT_HISTOGRAM_CAP: usize = 65_536;
+
+impl Histogram {
+    /// Creates an empty histogram with the default sample cap.
+    pub fn new() -> Self {
+        Self::with_cap(DEFAULT_HISTOGRAM_CAP)
+    }
+
+    /// Creates an empty histogram storing at most `cap` samples.
+    pub fn with_cap(cap: usize) -> Self {
+        Histogram {
+            samples: Vec::new(),
+            observed: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records one sample (non-finite samples are counted but not stored,
+    /// so they cannot poison the quantiles).
+    pub fn observe(&mut self, value: f64) {
+        self.observed = self.observed.saturating_add(1);
+        if value.is_finite() && self.samples.len() < self.cap {
+            self.samples.push(value);
+        }
+    }
+
+    /// Total observations, including any beyond the storage cap.
+    pub fn count(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of samples actually stored.
+    pub fn stored(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The raw stored samples, in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The nearest-rank `q`-quantile over the stored samples
+    /// (`None` when empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("stored samples are finite"));
+        let n = sorted.len();
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Largest stored sample.
+    pub fn max(&self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+
+    /// Arithmetic mean of the stored samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Sum of the stored samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The quantile digest most tables want.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            p50: self.p50().unwrap_or(0.0),
+            p90: self.p90().unwrap_or(0.0),
+            p99: self.p99().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            mean: self.mean().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The p50/p90/p99/max/mean digest of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// All named metrics of one recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero on first use.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.counters.entry(name.to_owned()).or_default().add(delta);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.entry(name.to_owned()).or_default().set(value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map(Counter::get).unwrap_or(0)
+    }
+
+    /// The named gauge's value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(Gauge::get)
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut registry = MetricsRegistry::new();
+        registry.count("net.retransmissions", 2);
+        registry.count("net.retransmissions", 3);
+        assert_eq!(registry.counter("net.retransmissions"), 5);
+        assert_eq!(registry.counter("never.touched"), 0);
+        let mut counter = Counter::default();
+        counter.add(u64::MAX);
+        counter.add(10);
+        assert_eq!(counter.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let mut registry = MetricsRegistry::new();
+        registry.gauge("balance", 10.0);
+        registry.gauge("balance", 25.0);
+        assert_eq!(registry.gauge_value("balance"), Some(25.0));
+        assert_eq!(registry.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn quantiles_follow_nearest_rank() {
+        let mut histogram = Histogram::new();
+        for value in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            histogram.observe(value);
+        }
+        assert_eq!(histogram.p50(), Some(30.0));
+        assert_eq!(histogram.p90(), Some(50.0));
+        assert_eq!(histogram.p99(), Some(50.0));
+        assert_eq!(histogram.max(), Some(50.0));
+        assert_eq!(histogram.quantile(0.2), Some(10.0));
+        assert_eq!(histogram.quantile(0.0), Some(10.0));
+        assert_eq!(histogram.mean(), Some(30.0));
+        // Single sample: every quantile is that sample.
+        let mut one = Histogram::new();
+        one.observe(7.5);
+        assert_eq!(one.p50(), Some(7.5));
+        assert_eq!(one.p99(), Some(7.5));
+        // Empty: no quantiles.
+        assert_eq!(Histogram::new().p50(), None);
+    }
+
+    #[test]
+    fn histogram_cap_bounds_storage_but_not_the_count() {
+        let mut histogram = Histogram::with_cap(4);
+        for i in 0..10 {
+            histogram.observe(i as f64);
+        }
+        assert_eq!(histogram.stored(), 4);
+        assert_eq!(histogram.count(), 10);
+        assert_eq!(histogram.max(), Some(3.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_counted_but_not_stored() {
+        let mut histogram = Histogram::new();
+        histogram.observe(f64::NAN);
+        histogram.observe(f64::INFINITY);
+        histogram.observe(1.0);
+        assert_eq!(histogram.count(), 3);
+        assert_eq!(histogram.stored(), 1);
+        assert_eq!(histogram.p50(), Some(1.0));
+    }
+
+    #[test]
+    fn registry_iterates_in_name_order() {
+        let mut registry = MetricsRegistry::new();
+        registry.observe("z", 1.0);
+        registry.observe("a", 2.0);
+        registry.count("m", 1);
+        let names: Vec<&str> = registry.histograms().map(|(name, _)| name).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert!(!registry.is_empty());
+        let summary = registry.histogram("a").unwrap().summary();
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.p50, 2.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Structured tracing end to end: attach a recording tracer to a two-party
+//! payment session, run a few rounds, and distill the trace into round
+//! phases, latency quantiles, metrics counters and a JSONL export.
+//!
+//! ```sh
+//! cargo run --release --example tracing
+//! ```
+
+use tinyevm::channel::ProtocolDriver;
+use tinyevm::prelude::*;
+
+fn main() {
+    // A smart-parking session with a 64k-event recording tracer attached.
+    // The default TraceHandle is a no-op — attaching a recorder is the only
+    // thing that turns observability on, and the traced run is
+    // byte-identical to an untraced one.
+    let tracer = TraceHandle::recording(65_536);
+    let mut driver =
+        ProtocolDriver::smart_parking(Wei::from_eth_milli(50)).with_tracer(tracer.clone());
+    driver.publish_template().expect("template publishes");
+    driver.open_channel().expect("channel opens");
+    for _ in 0..3 {
+        driver.pay(Wei::from_eth_milli(2)).expect("payment lands");
+    }
+    let outcome = driver.close_and_settle().expect("channel settles");
+    println!(
+        "session: 3 payments, {} settled to the receiver",
+        outcome.settlement.to_receiver
+    );
+
+    let snapshot: TraceSnapshot = tracer.snapshot().expect("recording tracer snapshots");
+    println!(
+        "\ntrace: {} events ({} dropped by the ring)",
+        snapshot.events.len(),
+        snapshot.dropped
+    );
+    for kind in ["Round", "Phase", "Power", "FrameTx", "ContractCall"] {
+        println!("  {:<14}{:>6}", kind, snapshot.events_of_kind(kind).count());
+    }
+
+    // Per-phase wall-clock share of a payment round.
+    let mut phase_totals: std::collections::BTreeMap<&str, u64> = Default::default();
+    for event in &snapshot.events {
+        if let tinyevm::trace::TraceEvent::Phase {
+            phase, duration_us, ..
+        } = event
+        {
+            *phase_totals.entry(phase.as_str()).or_default() += duration_us;
+        }
+    }
+    let total: u64 = phase_totals.values().sum::<u64>().max(1);
+    println!("\nphase time share:");
+    for (phase, us) in &phase_totals {
+        println!(
+            "  {:<10}{:>9.1} ms  {:>5.1}%",
+            phase,
+            *us as f64 / 1_000.0,
+            *us as f64 * 100.0 / total as f64
+        );
+    }
+
+    // Round-latency quantiles from the metrics registry.
+    let latency = snapshot
+        .metrics
+        .histogram("channel.round_latency_ms")
+        .expect("round latencies recorded");
+    let summary = latency.summary();
+    println!(
+        "\nround latency over {} rounds: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        summary.count, summary.p50, summary.p99, summary.max
+    );
+    println!(
+        "frames: {} sent, {} retransmitted, {} lost",
+        snapshot.metrics.counter("net.frames_tx"),
+        snapshot.metrics.counter("net.retransmissions"),
+        snapshot.metrics.counter("net.frames_lost")
+    );
+
+    // The machine-readable form: one JSON object per event.
+    let jsonl = snapshot.to_jsonl();
+    println!(
+        "\nJSONL export: {} lines, first line:\n{}",
+        jsonl.lines().count(),
+        jsonl.lines().next().unwrap_or_default()
+    );
+}
