@@ -21,9 +21,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tinyevm_bench::{
-    analysis_experiment, corpus_experiment_sharded, multinode_sweep, multinode_text,
-    offchain_experiment, sample_crypto_perf, sample_evm_exec_perf, table1_text, table3_text,
-    trace_experiment, MultiNodeLane, PerfRecord, TracePerfLane,
+    analysis_experiment, corpus_experiment_sharded, faults_experiment, multinode_sweep,
+    multinode_text, offchain_experiment, sample_crypto_perf, sample_evm_exec_perf, table1_text,
+    table3_text, trace_experiment, MultiNodeLane, PerfRecord, TracePerfLane,
 };
 use tinyevm_channel::contracts;
 
@@ -138,6 +138,11 @@ fn main() {
     let trace = trace_experiment(&fleet_sizes, rounds);
     emit("trace.txt", &trace.text());
     fs::write(output_dir.join("trace.jsonl"), &trace.jsonl).expect("write trace.jsonl");
+
+    // The fault-injection robustness lane: seeded storms over both
+    // deployment shapes, ending in clean settlements.
+    eprintln!("running the fault-injection robustness lane...");
+    emit("faults.txt", &faults_experiment().text());
 
     // The static-analysis sweep: verdicts always cover the full 7,000
     // contracts (the committed baseline is scale-independent), while the

@@ -17,9 +17,9 @@ pub mod perf;
 
 pub use experiments::{
     analysis_experiment, analysis_experiment_on, corpus_experiment, corpus_experiment_sharded,
-    multinode_experiment, multinode_sweep, multinode_text, offchain_experiment, table1_text,
-    table3_text, trace_experiment, AnalysisExperiment, CorpusExperiment, MultiNodeExperiment,
-    OffChainExperiment, TraceExperiment, TraceLane,
+    faults_experiment, multinode_experiment, multinode_sweep, multinode_text, offchain_experiment,
+    table1_text, table3_text, trace_experiment, AnalysisExperiment, CorpusExperiment,
+    FaultsExperiment, MultiNodeExperiment, OffChainExperiment, TraceExperiment, TraceLane,
 };
 pub use perf::{
     sample_crypto_perf, sample_evm_exec_perf, CryptoPerf, EvmExecPerf, MultiNodeLane, PerfRecord,

@@ -120,6 +120,17 @@ pub enum EndpointError {
     /// The static analyzer refused a contract template before the device
     /// spent any constructor cycles on it.
     ContractRejected(AnalysisError),
+    /// The retransmission budget for the in-flight protocol round ran out;
+    /// the round was abandoned and the endpoint returned to idle. Committed
+    /// channel state (accepted payments, the side-chain log, collected
+    /// signatures) is untouched, and the next completed round folds the
+    /// abandoned round's cumulative value back in.
+    RoundAborted {
+        /// Peer whose round was abandoned.
+        peer: NodeAddr,
+        /// Transmission attempts that were made (first send included).
+        attempts: u32,
+    },
 }
 
 impl core::fmt::Display for EndpointError {
@@ -139,6 +150,12 @@ impl core::fmt::Display for EndpointError {
             }
             EndpointError::ContractRejected(error) => {
                 write!(f, "static analysis rejected the contract template: {error}")
+            }
+            EndpointError::RoundAborted { peer, attempts } => {
+                write!(
+                    f,
+                    "round with {peer} aborted after {attempts} transmission attempts"
+                )
             }
         }
     }
@@ -322,11 +339,46 @@ enum OutKind {
     CloseRequest,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Outgoing {
     to: NodeAddr,
     message: Message,
     kind: OutKind,
+}
+
+/// Retransmission policy for in-flight protocol rounds: how often the last
+/// transmitted message is re-sent (with capped exponential backoff on the
+/// virtual clock) before the round is abandoned with
+/// [`EndpointError::RoundAborted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts per message, the first send included.
+    pub max_attempts: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(800),
+        }
+    }
+}
+
+/// The last envelope handed to the transport, kept for retransmission.
+#[derive(Debug)]
+struct RetrySlot {
+    outgoing: Outgoing,
+    attempts: u32,
+    /// Set while a retransmitted copy sits at the front of the outbox, so
+    /// the next `poll_transmit` keeps the attempt count instead of starting
+    /// a fresh slot.
+    requeued: bool,
 }
 
 /// Sender-side position inside one channel's protocol round.
@@ -373,6 +425,12 @@ struct PeerSession {
     latencies: Vec<Duration>,
     pending: Pending,
     staged_close: Option<StagedClose>,
+    /// Digest of the last successfully handled wire message from this peer
+    /// — duplicated or replayed copies are suppressed idempotently.
+    last_inbound: Option<[u8; 32]>,
+    /// The messages queued while handling that last inbound message; a
+    /// suppressed duplicate re-queues these verbatim (no re-signing).
+    last_reply: Vec<Outgoing>,
 }
 
 /// One node's half of the off-chain protocol — see the module docs.
@@ -386,6 +444,8 @@ pub struct ChannelEndpoint {
     expected: BTreeMap<NodeAddr, ChannelRegistration>,
     outbox: VecDeque<Outgoing>,
     in_flight: Option<OutKind>,
+    retry: RetryPolicy,
+    last_sent: Option<RetrySlot>,
     tracer: TraceHandle,
 }
 
@@ -406,6 +466,8 @@ impl ChannelEndpoint {
             expected: BTreeMap::new(),
             outbox: VecDeque::new(),
             in_flight: None,
+            retry: RetryPolicy::default(),
+            last_sent: None,
             tracer: TraceHandle::default(),
         }
     }
@@ -501,6 +563,16 @@ impl ChannelEndpoint {
     /// Adjusts the idle gap inserted between protocol steps.
     pub fn set_idle_gap(&mut self, gap: Duration) {
         self.profile.idle_gap = gap;
+    }
+
+    /// The retransmission policy for in-flight rounds.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Adjusts the retransmission policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Peers this endpoint has a channel with, in address order.
@@ -605,6 +677,8 @@ impl ChannelEndpoint {
                 latencies: Vec::new(),
                 pending: Pending::Idle,
                 staged_close: None,
+                last_inbound: None,
+                last_reply: Vec::new(),
             },
         );
         if self.profile.handshake_readings {
@@ -765,10 +839,127 @@ impl ChannelEndpoint {
         let outgoing = self.outbox.pop_front()?;
         self.device.account_codec(outgoing.message.wire_size());
         self.in_flight = Some(outgoing.kind);
+        match self.last_sent.as_mut() {
+            // A retransmitted copy keeps its attempt count.
+            Some(slot) if slot.requeued => slot.requeued = false,
+            _ => {
+                self.last_sent = Some(RetrySlot {
+                    outgoing: outgoing.clone(),
+                    attempts: 1,
+                    requeued: false,
+                });
+            }
+        }
         Some(Envelope {
             to: outgoing.to,
             message: outgoing.message,
         })
+    }
+
+    /// Reports that the transport failed to move the last polled envelope
+    /// (retry budget exhausted, partition). The endpoint backs off on the
+    /// virtual clock and re-queues the same bytes, or — once
+    /// [`RetryPolicy::max_attempts`] is spent — abandons the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndpointError::RoundAborted`] when the retry budget is
+    /// exhausted (the round's state is rolled back to idle; committed
+    /// channel state is untouched) and [`EndpointError::OutOfOrder`] when
+    /// nothing was ever transmitted.
+    pub fn on_transport_error(&mut self) -> Result<(), EndpointError> {
+        self.retry_last()
+    }
+
+    /// Reports that the host's pump drained every outbox while this
+    /// endpoint still has a protocol round in flight (a reply was lost or
+    /// replaced in transit). Same backoff-and-retransmit behaviour as
+    /// [`ChannelEndpoint::on_transport_error`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelEndpoint::on_transport_error`].
+    pub fn on_round_stalled(&mut self) -> Result<(), EndpointError> {
+        self.retry_last()
+    }
+
+    /// The peer of the first session with a protocol round still in
+    /// flight, if any — what a pump checks after its queues drain to
+    /// distinguish "done" from "stalled".
+    pub fn stalled_round(&self) -> Option<NodeAddr> {
+        self.sessions
+            .iter()
+            .find(|(_, session)| !matches!(session.pending, Pending::Idle))
+            .map(|(addr, _)| *addr)
+    }
+
+    fn retry_last(&mut self) -> Result<(), EndpointError> {
+        let Some(slot) = self.last_sent.as_mut() else {
+            return Err(EndpointError::OutOfOrder("nothing to retransmit"));
+        };
+        let peer = slot.outgoing.to;
+        if slot.attempts >= self.retry.max_attempts {
+            let attempts = slot.attempts;
+            self.last_sent = None;
+            self.abort_round(peer);
+            return Err(EndpointError::RoundAborted { peer, attempts });
+        }
+        slot.attempts += 1;
+        // Capped exponential backoff: base, 2*base, 4*base, ... on the
+        // device's virtual clock (LPM2, like any other protocol wait).
+        let exponent = slot.attempts.saturating_sub(2).min(16);
+        let backoff = self
+            .retry
+            .base_backoff
+            .saturating_mul(1u32 << exponent)
+            .min(self.retry.max_backoff);
+        slot.requeued = true;
+        let outgoing = slot.outgoing.clone();
+        self.outbox.push_front(outgoing);
+        self.tracer.count("channel.endpoint_retransmissions", 1);
+        self.device.sleep(backoff);
+        Ok(())
+    }
+
+    /// Abandons the in-flight round with `peer`: pending state returns to
+    /// idle and queued messages for that peer are dropped. Committed
+    /// channel state (accepted payments, logs, signatures) is untouched;
+    /// the next completed round re-synchronises the channel, because
+    /// cumulative payments fold an abandoned round's value into the next
+    /// one.
+    fn abort_round(&mut self, peer: NodeAddr) {
+        if let Some(session) = self.sessions.get_mut(&peer) {
+            session.pending = Pending::Idle;
+        }
+        self.outbox.retain(|outgoing| outgoing.to != peer);
+        self.in_flight = None;
+        let node = self.device.name().to_string();
+        self.tracer.event(|| TraceEvent::Phase {
+            node,
+            peer: peer.to_string(),
+            phase: "abort".to_string(),
+            sequence: 0,
+            duration_us: 0,
+        });
+        self.tracer.count("channel.rounds_aborted", 1);
+    }
+
+    /// Drops everything a real device keeps in RAM — the outbox, the
+    /// retransmission slot, per-round pending state, duplicate-suppression
+    /// digests and staged closes — modelling a power cycle. Committed
+    /// channel state survives only through snapshots
+    /// ([`ChannelEndpoint::snapshot`] /
+    /// [`ChannelEndpoint::install_snapshot`], the "flash" of the device).
+    pub fn clear_volatile(&mut self) {
+        self.outbox.clear();
+        self.in_flight = None;
+        self.last_sent = None;
+        for session in self.sessions.values_mut() {
+            session.pending = Pending::Idle;
+            session.last_inbound = None;
+            session.last_reply.clear();
+            session.staged_close = None;
+        }
     }
 
     /// Reports that the radio finished moving the last polled envelope
@@ -801,6 +992,12 @@ impl ChannelEndpoint {
     /// Decodes raw peer bytes (decode CPU charged to the device) and
     /// handles the message.
     ///
+    /// Byte-identical duplicates of the last successfully handled message
+    /// from `from` (link-level replays, peer retransmissions after a lost
+    /// reply) are handled idempotently: the stored reply is re-queued
+    /// verbatim — no signature is created twice, no channel state moves —
+    /// and no effects are returned.
+    ///
     /// # Errors
     ///
     /// Returns [`EndpointError::Wire`] for undecodable bytes, then
@@ -811,8 +1008,24 @@ impl ChannelEndpoint {
         bytes: &[u8],
     ) -> Result<Vec<Effect>, EndpointError> {
         self.device.account_codec(bytes.len());
+        let digest = tinyevm_crypto::keccak256(bytes);
+        if let Some(session) = self.sessions.get_mut(&from) {
+            if session.last_inbound == Some(digest) {
+                let replies: Vec<Outgoing> = session.last_reply.clone();
+                self.outbox.extend(replies);
+                self.tracer.count("channel.duplicate_messages", 1);
+                return Ok(Vec::new());
+            }
+        }
         let message = Message::from_wire(bytes)?;
-        self.handle_message(from, message)
+        let queued_before = self.outbox.len();
+        let effects = self.handle_message(from, message)?;
+        let reply: Vec<Outgoing> = self.outbox.iter().skip(queued_before).cloned().collect();
+        if let Some(session) = self.sessions.get_mut(&from) {
+            session.last_inbound = Some(digest);
+            session.last_reply = reply;
+        }
+        Ok(effects)
     }
 
     /// Feeds one decoded peer message into the state machine.
@@ -971,6 +1184,8 @@ impl ChannelEndpoint {
                 latencies: Vec::new(),
                 pending: Pending::Idle,
                 staged_close: None,
+                last_inbound: None,
+                last_reply: Vec::new(),
             },
         );
         if self.profile.reply_with_reading {
@@ -1010,6 +1225,38 @@ impl ChannelEndpoint {
             .ok_or(EndpointError::BadSignature)?;
         if payer != expected_payer {
             return Err(EndpointError::BadSignature);
+        }
+        // A verified retransmission of the payment already at the channel
+        // head: the payer never saw the acknowledgement (it was lost in
+        // flight, or this node power-cycled before the ack left its
+        // outbox). Committing is idempotent, so acknowledging must be too —
+        // re-sign and re-send the ack without touching channel or log.
+        let head = {
+            let session = self.session_mut(from)?;
+            let channel = &session.channel;
+            (
+                channel.sequence(),
+                channel.cumulative(),
+                channel.config().channel_id,
+            )
+        };
+        if payment.sequence == head.0
+            && payment.sequence > 0
+            && payment.cumulative == head.1
+            && payment.channel_id == head.2
+        {
+            let (ack_signature, _) = self.device.sign_payload(&payment.encode_payload());
+            self.tracer.count("channel.duplicate_messages", 1);
+            self.outbox.push_back(Outgoing {
+                to: from,
+                message: Message::PaymentAck(PaymentAck {
+                    channel_id: payment.channel_id,
+                    sequence: payment.sequence,
+                    signature: ack_signature,
+                }),
+                kind: OutKind::Ack,
+            });
+            return Ok(Vec::new());
         }
         self.session_mut(from)?.channel.accept_payment(&payment)?;
         self.register_on_side_chain(from, &payment)?;
@@ -1243,6 +1490,8 @@ impl ChannelEndpoint {
                 latencies: Vec::new(),
                 pending: Pending::Idle,
                 staged_close: None,
+                last_inbound: None,
+                last_reply: Vec::new(),
             },
         );
         Ok(())

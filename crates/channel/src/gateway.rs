@@ -44,9 +44,53 @@ use tinyevm_types::{Address, Wei, H256};
 use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Message, WireError};
 
 use crate::channel::PaymentChannel;
-use crate::endpoint::{ChannelEndpoint, ChannelRegistration, Effect};
+use crate::endpoint::{ChannelEndpoint, ChannelRegistration, Effect, EndpointError};
 use crate::protocol::{pump_pair, ProtocolError, PumpLog};
 use crate::sidechain::SideChainLog;
+
+/// Protocol violations (bad signatures, tampered proposals, channel-rule
+/// breaches) a single sensor may commit before the gateway quarantines it.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
+
+/// Health of one sensor as the gateway driver sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorHealth {
+    /// Behaving normally.
+    Healthy,
+    /// The last round died on transport (retry budget exhausted, link
+    /// refusal); the sensor recovers to [`SensorHealth::Healthy`] on its
+    /// next clean round.
+    Degraded,
+    /// The sensor committed [`QUARANTINE_THRESHOLD`] protocol violations;
+    /// the gateway refuses further rounds and excludes it from settlement.
+    /// The rest of the fleet keeps paying and settles normally.
+    Quarantined,
+}
+
+/// How a pump error reflects on the sensor that caused it.
+enum FaultClass {
+    /// Invalid signature, tampered proposal or channel-rule breach —
+    /// counts toward quarantine.
+    Violation,
+    /// Transport trouble (round aborted, link refusal) — degrades, never
+    /// quarantines.
+    Transport,
+    /// Driver-level misuse or chain trouble — not the sensor's doing.
+    Fatal,
+}
+
+fn classify(error: &ProtocolError) -> FaultClass {
+    match error {
+        ProtocolError::BadSignature
+        | ProtocolError::Channel(_)
+        | ProtocolError::UnexpectedMessage { .. }
+        | ProtocolError::Endpoint(EndpointError::ProposalMismatch(_)) => FaultClass::Violation,
+        ProtocolError::Link(_)
+        | ProtocolError::Medium(_)
+        | ProtocolError::Endpoint(EndpointError::RoundAborted { .. }) => FaultClass::Transport,
+        _ => FaultClass::Fatal,
+    }
+}
 
 /// Default link-layer address of the gateway.
 pub const GATEWAY_ADDR: NodeAddr = NodeAddr::new(0xFE);
@@ -198,6 +242,10 @@ pub struct SensorSummary {
     pub energy_mj: f64,
     /// Wire-level accounting attributed to this sensor on the medium.
     pub wire: EndpointStats,
+    /// Health of the sensor as the gateway sees it.
+    pub health: SensorHealth,
+    /// Protocol violations the sensor has committed.
+    pub violations: u32,
 }
 
 /// Result of settling every channel on the gateway's chain.
@@ -238,6 +286,7 @@ pub struct GatewayDriver {
     deposit: Wei,
     idle_gap: Duration,
     rounds: Vec<GatewayRoundReport>,
+    health: Vec<(SensorHealth, u32)>,
     tracer: TraceHandle,
 }
 
@@ -270,6 +319,7 @@ impl GatewayDriver {
                 sensor
             })
             .collect();
+        let health = vec![(SensorHealth::Healthy, 0u32); sensor_count];
         GatewayDriver {
             chain,
             gateway,
@@ -278,6 +328,7 @@ impl GatewayDriver {
             deposit,
             idle_gap: Duration::from_millis(120),
             rounds: Vec::new(),
+            health,
             tracer: TraceHandle::default(),
         }
     }
@@ -405,6 +456,31 @@ impl GatewayDriver {
             return Err(ProtocolError::OutOfOrder("no such sensor"));
         }
         let sensor_addr = self.sensors[index].node_addr();
+        if self.health[index].0 == SensorHealth::Quarantined {
+            return Err(ProtocolError::Quarantined {
+                sensor: sensor_addr,
+            });
+        }
+        let result = self.pay_inner(index, amount);
+        match &result {
+            Ok(_) => {
+                // A clean round clears a transport-degraded state; recorded
+                // violations are not forgiven.
+                if self.health[index].0 == SensorHealth::Degraded {
+                    self.health[index].0 = SensorHealth::Healthy;
+                }
+            }
+            Err(error) => self.record_fault(index, error),
+        }
+        result
+    }
+
+    fn pay_inner(
+        &mut self,
+        index: usize,
+        amount: Wei,
+    ) -> Result<GatewayRoundReport, ProtocolError> {
+        let sensor_addr = self.sensors[index].node_addr();
         self.sensors[index].endpoint.pay(GATEWAY_ADDR, amount)?;
         let log = self.pump(index)?;
         let receipt = log
@@ -431,15 +507,28 @@ impl GatewayDriver {
     }
 
     /// Runs `rounds` full rounds: every sensor pays `amount` once per
-    /// round, in address order.
+    /// round, in address order. The fleet degrades gracefully: sensors
+    /// whose rounds die on transport or who violate the protocol are
+    /// recorded ([`GatewayDriver::sensor_health`]) and *skipped* —
+    /// quarantining one sensor never blocks the rest of the fleet.
     ///
     /// # Errors
     ///
-    /// Propagates the first error of any payment.
+    /// Propagates the first driver-level error (out-of-order use, chain
+    /// trouble) — per-sensor faults are absorbed into the health state.
     pub fn run(&mut self, rounds: usize, amount: Wei) -> Result<(), ProtocolError> {
         for _ in 0..rounds {
             for index in 0..self.sensors.len() {
-                self.pay(index, amount)?;
+                if self.health[index].0 == SensorHealth::Quarantined {
+                    continue;
+                }
+                match self.pay(index, amount) {
+                    Ok(_) => {}
+                    Err(error) => match classify(&error) {
+                        FaultClass::Violation | FaultClass::Transport => continue,
+                        FaultClass::Fatal => return Err(error),
+                    },
+                }
             }
         }
         Ok(())
@@ -459,6 +548,13 @@ impl GatewayDriver {
     pub fn settle_all(&mut self) -> Result<GatewaySettlementReport, ProtocolError> {
         let gateway_account = self.gateway.address();
         for index in 0..self.sensors.len() {
+            // Quarantined sensors are excluded: the gateway does not run
+            // a close handshake with a peer it no longer trusts. Their
+            // channels simply stay open (a later on-chain challenge can
+            // still settle them unilaterally).
+            if self.health[index].0 == SensorHealth::Quarantined {
+                continue;
+            }
             self.sensors[index].endpoint.close(GATEWAY_ADDR)?;
             self.pump(index)?;
         }
@@ -495,11 +591,101 @@ impl GatewayDriver {
         })
     }
 
+    /// Health of sensor `index`, or `None` for an out-of-range index.
+    pub fn sensor_health(&self, index: usize) -> Option<SensorHealth> {
+        self.health.get(index).map(|(health, _)| *health)
+    }
+
+    /// Protocol violations sensor `index` has committed.
+    pub fn sensor_violations(&self, index: usize) -> u32 {
+        self.health
+            .get(index)
+            .map(|(_, violations)| *violations)
+            .unwrap_or(0)
+    }
+
+    /// Number of currently quarantined sensors.
+    pub fn quarantined_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|(health, _)| *health == SensorHealth::Quarantined)
+            .count()
+    }
+
+    /// Installs a fault plan on one sensor's uplink/downlink (see
+    /// [`tinyevm_net::FaultConfig`]); the rest of the fleet is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] for an out-of-range index and
+    /// [`ProtocolError::Medium`] / [`ProtocolError::Link`] for an invalid
+    /// configuration.
+    pub fn set_sensor_faults(
+        &mut self,
+        index: usize,
+        config: tinyevm_net::FaultConfig,
+    ) -> Result<(), ProtocolError> {
+        let addr = self
+            .sensors
+            .get(index)
+            .map(SensorNode::node_addr)
+            .ok_or(ProtocolError::OutOfOrder("no such sensor"))?;
+        self.medium.set_faults(addr, config)?;
+        Ok(())
+    }
+
+    /// Removes any fault plan from one sensor's endpoint on the medium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] for an out-of-range index.
+    pub fn clear_sensor_faults(&mut self, index: usize) -> Result<(), ProtocolError> {
+        let addr = self
+            .sensors
+            .get(index)
+            .map(SensorNode::node_addr)
+            .ok_or(ProtocolError::OutOfOrder("no such sensor"))?;
+        self.medium.clear_faults(addr)?;
+        Ok(())
+    }
+
+    /// Books a pump error against the sensor that caused it: violations
+    /// count toward quarantine, transport trouble degrades.
+    fn record_fault(&mut self, index: usize, error: &ProtocolError) {
+        match classify(error) {
+            FaultClass::Violation => {
+                let (health, violations) = &mut self.health[index];
+                *violations += 1;
+                self.tracer.count("gateway.violations", 1);
+                if *violations >= QUARANTINE_THRESHOLD && *health != SensorHealth::Quarantined {
+                    *health = SensorHealth::Quarantined;
+                    let node = self.gateway.endpoint.device().name().to_string();
+                    let peer = self.sensors[index].node_addr().to_string();
+                    self.tracer.count("gateway.sensors_quarantined", 1);
+                    self.tracer.event(|| tinyevm_trace::TraceEvent::Phase {
+                        node,
+                        peer,
+                        phase: "quarantine".to_string(),
+                        sequence: 0,
+                        duration_us: 0,
+                    });
+                }
+            }
+            FaultClass::Transport => {
+                if self.health[index].0 == SensorHealth::Healthy {
+                    self.health[index].0 = SensorHealth::Degraded;
+                }
+            }
+            FaultClass::Fatal => {}
+        }
+    }
+
     /// Per-sensor summary rows, in address order.
     pub fn sensor_summaries(&self) -> Vec<SensorSummary> {
         self.sensors
             .iter()
-            .map(|sensor| {
+            .zip(&self.health)
+            .map(|(sensor, (health, violations))| {
                 let latencies = sensor.latencies();
                 let mean_latency = if latencies.is_empty() {
                     Duration::ZERO
@@ -521,6 +707,8 @@ impl GatewayDriver {
                         .stats(sensor.node_addr())
                         .cloned()
                         .unwrap_or_default(),
+                    health: *health,
+                    violations: *violations,
                 }
             })
             .collect()
@@ -640,6 +828,9 @@ impl GatewayDriver {
         // cost, exactly as on real flash-restored hardware.
         self.chain = chain;
         self.rounds.clear();
+        // Health is the gateway process's volatile protection state; a
+        // power cycle starts every sensor back at Healthy.
+        self.health = vec![(SensorHealth::Healthy, 0); self.sensors.len()];
         let stale_peers: Vec<NodeAddr> = self.gateway.endpoint.peers().collect();
         for peer in stale_peers {
             self.gateway.endpoint.drop_session(peer);
@@ -868,6 +1059,79 @@ mod tests {
             Err(ProtocolError::Wire(WireError::Truncated))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repeated_violations_quarantine_one_sensor_without_blocking_the_fleet() {
+        let mut d = GatewayDriver::new(4, LinkConfig::default(), Wei::from(10_000u64));
+        d.open_all().unwrap();
+        d.run(1, Wei::from(2_000u64)).unwrap();
+        // Sensor 1 repeatedly tries to overdraw its deposit — a channel
+        // rule violation, refused every time with a typed error.
+        for _ in 0..QUARANTINE_THRESHOLD {
+            let error = d.pay(1, Wei::from(50_000u64)).unwrap_err();
+            assert!(matches!(error, ProtocolError::Channel(_)));
+        }
+        assert_eq!(d.sensor_health(1), Some(SensorHealth::Quarantined));
+        assert_eq!(d.sensor_violations(1), QUARANTINE_THRESHOLD);
+        assert_eq!(d.quarantined_count(), 1);
+        // Further rounds with the quarantined sensor are refused outright.
+        assert!(matches!(
+            d.pay(1, Wei::from(100u64)),
+            Err(ProtocolError::Quarantined { sensor }) if sensor == NodeAddr::new(2)
+        ));
+        // The rest of the fleet keeps paying (run skips the quarantined
+        // sensor) and settles normally.
+        d.run(1, Wei::from(2_000u64)).unwrap();
+        let report = d.settle_all().unwrap();
+        assert_eq!(report.settlements.len(), 3, "quarantined sensor excluded");
+        // Healthy sensors paid two rounds, the quarantined one only the
+        // first — and its first-round payment is NOT settled (its channel
+        // stays open for a later unilateral challenge).
+        assert_eq!(report.total_to_gateway, Wei::from(3 * 2 * 2_000u64));
+        let summaries = d.sensor_summaries();
+        assert_eq!(summaries[1].health, SensorHealth::Quarantined);
+        assert_eq!(summaries[1].violations, QUARANTINE_THRESHOLD);
+        assert!(summaries
+            .iter()
+            .enumerate()
+            .all(|(i, s)| i == 1 || s.health == SensorHealth::Healthy));
+    }
+
+    #[test]
+    fn a_partitioned_sensor_degrades_and_recovers() {
+        use tinyevm_net::{FaultConfig, MessageWindow};
+        let mut d = driver(3);
+        d.open_all().unwrap();
+        d.run(1, Wei::from(500u64)).unwrap();
+        // Partition sensor 0 permanently; its round aborts after the retry
+        // budget and the health state records the degradation.
+        d.set_sensor_faults(
+            0,
+            FaultConfig {
+                partition: Some(MessageWindow {
+                    from_message: 0,
+                    to_message: u64::MAX,
+                }),
+                ..FaultConfig::quiet(5)
+            },
+        )
+        .unwrap();
+        d.run(1, Wei::from(500u64)).unwrap();
+        assert_eq!(d.sensor_health(0), Some(SensorHealth::Degraded));
+        assert_eq!(d.sensor_violations(0), 0, "transport trouble never counts");
+        // The other sensors were unaffected.
+        assert_eq!(d.sensor_health(1), Some(SensorHealth::Healthy));
+        // The partition lifts; the next clean round restores the sensor.
+        d.clear_sensor_faults(0).unwrap();
+        d.run(1, Wei::from(500u64)).unwrap();
+        assert_eq!(d.sensor_health(0), Some(SensorHealth::Healthy));
+        let report = d.settle_all().unwrap();
+        assert_eq!(report.settlements.len(), 3);
+        // Nothing was lost: sensor 0 had already signed the partitioned
+        // round's payment, so its cumulative value folded into the next
+        // successful payment and the gateway settles for all 3 × 3 rounds.
+        assert_eq!(report.total_to_gateway, Wei::from(3 * 3 * 500u64));
     }
 
     #[test]

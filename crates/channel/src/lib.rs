@@ -47,13 +47,16 @@ pub mod sidechain;
 pub use channel::{ChannelConfig, ChannelError, ChannelRole, ChannelStatus, PaymentChannel};
 pub use endpoint::{
     ChannelEndpoint, ChannelRegistration, Effect, EndpointError, EndpointProfile, Envelope,
-    PaymentReceipt,
+    PaymentReceipt, RetryPolicy,
 };
 pub use gateway::{
-    Gateway, GatewayDriver, GatewayRoundReport, GatewaySettlementReport, SensorNode, SensorSummary,
+    Gateway, GatewayDriver, GatewayRoundReport, GatewaySettlementReport, SensorHealth, SensorNode,
+    SensorSummary, QUARANTINE_THRESHOLD,
 };
 pub use payment::{PaymentError, SignedPayment};
-pub use protocol::{OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport};
+pub use protocol::{
+    CrashSchedule, OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport,
+};
 pub use sidechain::{SideChainEntry, SideChainLog};
 
 /// Link-layer node address, re-exported so transport-free endpoint code

@@ -78,6 +78,19 @@ pub enum ProtocolError {
     /// An endpoint rejected an input (unknown peer, proposal mismatch, or
     /// a future endpoint rule).
     Endpoint(EndpointError),
+    /// A scheduled crash point fired: the named node power-cycled before
+    /// the next message could be conveyed. The driver stays usable; call
+    /// [`ProtocolDriver::power_cycle`] for the node and keep going.
+    Crashed {
+        /// The node the crash schedule targeted.
+        node: NodeAddr,
+    },
+    /// The gateway refuses to run rounds with a quarantined sensor (see
+    /// [`crate::gateway::SensorHealth`]).
+    Quarantined {
+        /// The quarantined sensor.
+        sensor: NodeAddr,
+    },
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -95,6 +108,15 @@ impl core::fmt::Display for ProtocolError {
                 write!(f, "expected a {expected} message, got {got}")
             }
             ProtocolError::Endpoint(error) => write!(f, "endpoint error: {error}"),
+            ProtocolError::Crashed { node } => {
+                write!(f, "node {node} power-cycled at a scheduled crash point")
+            }
+            ProtocolError::Quarantined { sensor } => {
+                write!(
+                    f,
+                    "sensor {sensor} is quarantined after repeated violations"
+                )
+            }
         }
     }
 }
@@ -189,24 +211,90 @@ impl PumpLog {
     }
 }
 
+/// A one-shot crash point: the pump power-fails `target` just before it
+/// would convey the `after_message`-th message of the session (counting
+/// every message the driver has moved so far, across all phases — so a
+/// sweep over `after_message` hits every protocol step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// The node that loses power.
+    pub target: NodeAddr,
+    /// Session-wide conveyed-message count at which the crash fires.
+    pub after_message: u64,
+}
+
+/// Mutable pump state a driver threads through every [`pump_pair_with`]
+/// call: the session-wide conveyed-message counter and the (at most one)
+/// pending crash point.
+#[derive(Debug, Default)]
+pub(crate) struct PumpControl {
+    pub crash: Option<CrashSchedule>,
+    pub conveyed: u64,
+}
+
 /// Shuttles messages between two endpoints over `radio` until both
 /// outboxes drain: poll `a`, then `b`, move the envelope, account both
 /// sides, feed the decoded bytes to the destination, and apply
 /// peer-processing waits to the transmitting side. This is the whole of
 /// the drivers' transport logic — the protocol itself lives in the
 /// endpoints.
+///
+/// Faults surface here and are classified, not panicked on:
+///
+/// * a transport-level [`LinkError`](tinyevm_net::LinkError) hands the
+///   transmitter to its retry/backoff machinery
+///   ([`ChannelEndpoint::on_transport_error`]); exhausted budgets abort the
+///   round with a typed [`EndpointError::RoundAborted`];
+/// * undecodable bytes (corruption that survived framing) and stale
+///   replayed payments are dropped — the sender's stall-retransmit path
+///   recovers the round;
+/// * when both outboxes drain with a round still pending (a message
+///   vanished whole), the stalled endpoint retransmits with backoff until
+///   the round completes or aborts;
+/// * a scheduled [`CrashSchedule`] fires *before* the doomed message is
+///   polled, so the transmitter keeps it for retransmission after the
+///   power cycle.
 pub(crate) fn pump_pair<R: Radio>(
     radio: &mut R,
     a: &mut ChannelEndpoint,
     b: &mut ChannelEndpoint,
 ) -> Result<PumpLog, ProtocolError> {
+    pump_pair_with(radio, a, b, &mut PumpControl::default())
+}
+
+/// [`pump_pair`] with an explicit [`PumpControl`] (crash schedule and
+/// session-wide message counter).
+pub(crate) fn pump_pair_with<R: Radio>(
+    radio: &mut R,
+    a: &mut ChannelEndpoint,
+    b: &mut ChannelEndpoint,
+    control: &mut PumpControl,
+) -> Result<PumpLog, ProtocolError> {
     let mut log = PumpLog::default();
     loop {
+        if let Some(crash) = control.crash {
+            if control.conveyed >= crash.after_message {
+                control.crash = None;
+                return Err(ProtocolError::Crashed { node: crash.target });
+            }
+        }
         let (from_a, envelope) = if let Some(envelope) = a.poll_transmit() {
             (true, envelope)
         } else if let Some(envelope) = b.poll_transmit() {
             (false, envelope)
         } else {
+            // Both outboxes drained. If a round is still pending on either
+            // side, its last message vanished on the air: retransmit with
+            // backoff (or abort with a typed error once the budget runs
+            // out) instead of returning an incomplete round.
+            if a.stalled_round().is_some() {
+                a.on_round_stalled()?;
+                continue;
+            }
+            if b.stalled_round().is_some() {
+                b.on_round_stalled()?;
+                continue;
+            }
             break;
         };
         let (tx, rx) = if from_a {
@@ -220,10 +308,81 @@ pub(crate) fn pump_pair<R: Radio>(
             ));
         }
         let wire = envelope.message.to_wire();
-        let (delivered, report) = radio.convey(tx.addr(), rx.addr(), &wire)?;
+        let (delivered, report) = match radio.convey(tx.addr(), rx.addr(), &wire) {
+            Ok(result) => result,
+            Err(MediumError::Link(_)) => {
+                // The link refused the message (retry budget exhausted,
+                // partition window, ...). The transmitter backs off and
+                // retransmits; when its budget runs out the round aborts
+                // with a typed error and committed state untouched.
+                tx.on_transport_error()?;
+                continue;
+            }
+            Err(other) => return Err(other.into()),
+        };
+        control.conveyed += 1;
         tx.account_transmitted(report.wire_bytes);
         rx.account_received(report.wire_bytes);
-        let effects = rx.handle_wire(tx.addr(), &delivered)?;
+        let effects = match rx.handle_wire(tx.addr(), &delivered) {
+            Ok(effects) => effects,
+            Err(EndpointError::Wire(_)) => {
+                // Corruption that survived framing: the bytes reassembled
+                // but do not decode. Drop them; the sender's
+                // stall-retransmit recovers the round.
+                log.transfers.push(Transfer {
+                    label: envelope.message.label(),
+                    wire_bytes: report.wire_bytes,
+                });
+                continue;
+            }
+            Err(EndpointError::Channel(crate::channel::ChannelError::Payment(
+                crate::payment::PaymentError::StaleSequence { .. },
+            ))) => {
+                // A replayed (or crash-recovery-retransmitted) payment the
+                // channel already holds. Ignoring it is safe: committed
+                // state is monotone and the live round, if any, recovers
+                // via stall-retransmit.
+                log.transfers.push(Transfer {
+                    label: envelope.message.label(),
+                    wire_bytes: report.wire_bytes,
+                });
+                continue;
+            }
+            Err(EndpointError::BadSignature) => {
+                // Bit flips that survive framing *and* RLP can only land in
+                // free-form byte strings — signatures and public keys — so
+                // the message decodes but fails verification. Treat it as
+                // line noise, exactly like a framing error: drop it and let
+                // the retransmission machinery re-deliver the original.
+                // (Deliberate tampering looks identical on the wire, is
+                // equally refused here, and still surfaces as
+                // `BadSignature` when the endpoint is driven directly.)
+                log.transfers.push(Transfer {
+                    label: envelope.message.label(),
+                    wire_bytes: report.wire_bytes,
+                });
+                continue;
+            }
+            Err(EndpointError::UnexpectedMessage { .. } | EndpointError::OutOfOrder(_)) => {
+                // An out-of-phase message: a peer that power-cycled mid
+                // round (its RAM dedup state is gone) or an aborted round's
+                // straggler retransmits something this endpoint is not
+                // waiting for — e.g. a re-sent acknowledgement for a
+                // payment the rebooted sender already holds in flash.
+                // Dropping it is the sans-IO answer — the live round
+                // converges via stall-retransmit or aborts through the
+                // retry budget; committed state is untouched either way.
+                // (`OutOfOrder` from *local intents* — say, paying while a
+                // round is in flight — is raised before the pump runs and
+                // still propagates.)
+                log.transfers.push(Transfer {
+                    label: envelope.message.label(),
+                    wire_bytes: report.wire_bytes,
+                });
+                continue;
+            }
+            Err(other) => return Err(other.into()),
+        };
         log.transfers.push(Transfer {
             label: envelope.message.label(),
             wire_bytes: report.wire_bytes,
@@ -446,6 +605,7 @@ pub struct ProtocolDriver {
     template: Option<Address>,
     channel_id: Option<u64>,
     tracer: TraceHandle,
+    control: PumpControl,
 }
 
 impl ProtocolDriver {
@@ -491,6 +651,7 @@ impl ProtocolDriver {
             template: None,
             channel_id: None,
             tracer: TraceHandle::default(),
+            control: PumpControl::default(),
         }
     }
 
@@ -881,14 +1042,106 @@ impl ProtocolDriver {
         Ok(())
     }
 
+    // --- fault injection ----------------------------------------------------
+
+    /// Installs a fault plan on the link (corruption, duplication,
+    /// reordering, replay, delay windows, partitions — see
+    /// [`tinyevm_net::FaultConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Link`] for a configuration with an invalid
+    /// rate.
+    pub fn set_link_faults(
+        &mut self,
+        config: tinyevm_net::FaultConfig,
+    ) -> Result<(), ProtocolError> {
+        self.link.set_faults(config)?;
+        Ok(())
+    }
+
+    /// Removes any installed fault plan from the link.
+    pub fn clear_link_faults(&mut self) {
+        self.link.clear_faults();
+    }
+
+    /// Configures the retry/backoff policy of both endpoints.
+    pub fn set_retry_policy(&mut self, policy: crate::endpoint::RetryPolicy) {
+        self.sender.endpoint.set_retry_policy(policy);
+        self.receiver.endpoint.set_retry_policy(policy);
+    }
+
+    /// Arms a one-shot crash point: the next pump run returns
+    /// [`ProtocolError::Crashed`] when the session-wide conveyed-message
+    /// counter (see [`ProtocolDriver::messages_conveyed`]) reaches
+    /// `crash.after_message`. At most one crash is armed at a time.
+    pub fn schedule_crash(&mut self, crash: CrashSchedule) {
+        self.control.crash = Some(crash);
+    }
+
+    /// Messages the driver has conveyed over the link so far, across all
+    /// protocol phases (the clock [`CrashSchedule::after_message`] runs
+    /// on).
+    pub fn messages_conveyed(&self) -> u64 {
+        self.control.conveyed
+    }
+
+    /// Power-cycles one node mid-session: volatile state (outbox, pending
+    /// round, retransmission slot, duplicate-suppression cache) is lost,
+    /// while committed state — the channel, the side-chain log and the
+    /// collected acknowledgements, which live in flash via the snapshot
+    /// machinery — survives and is re-installed. The peer's
+    /// stall-retransmit plus the channel's gap tolerance then reconverge
+    /// the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OutOfOrder`] for an address that is
+    /// neither node, and the underlying error when the committed state
+    /// cannot be re-installed.
+    pub fn power_cycle(&mut self, node: NodeAddr) -> Result<(), ProtocolError> {
+        let (target, peer) = if node == self.sender.node_addr() {
+            (&mut self.sender, self.receiver.endpoint.addr())
+        } else if node == self.receiver.node_addr() {
+            (&mut self.receiver, self.sender.endpoint.addr())
+        } else {
+            return Err(ProtocolError::OutOfOrder(
+                "power_cycle targets a node this driver does not own",
+            ));
+        };
+        let snapshot = target.endpoint.snapshot(peer);
+        target.endpoint.clear_volatile();
+        if let Some(snapshot) = snapshot {
+            target.endpoint.install_snapshot(peer, &snapshot)?;
+            target.endpoint.ensure_contract(peer)?;
+        }
+        Ok(())
+    }
+
+    /// Pumps any interrupted round to completion (or to a typed abort)
+    /// without starting new work — what a harness calls after
+    /// [`ProtocolDriver::power_cycle`] to let the surviving node's
+    /// retransmissions reconverge the session before the next payment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a typed [`EndpointError::RoundAborted`] when the
+    /// interrupted round's retry budget runs out, and any other pump
+    /// error.
+    pub fn resume(&mut self) -> Result<(), ProtocolError> {
+        self.pump()?;
+        Ok(())
+    }
+
     // --- internals ----------------------------------------------------------
 
     /// Drains both endpoints' outboxes through the link.
     fn pump(&mut self) -> Result<PumpLog, ProtocolError> {
-        pump_pair(
+        pump_pair_with(
             &mut self.link,
             &mut self.sender.endpoint,
             &mut self.receiver.endpoint,
+            &mut self.control,
         )
     }
 }
@@ -1215,6 +1468,94 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true), "tracing must not perturb the run");
+    }
+
+    #[test]
+    fn a_closing_partition_window_is_ridden_out_by_retransmission() {
+        use tinyevm_net::{FaultConfig, MessageWindow};
+        let mut d = driver();
+        d.run_session(1, Wei::from(5_000u64)).unwrap();
+        // Silence the link for the next three messages; the endpoints'
+        // backoff retransmissions pick the round up when the window ends.
+        let conveyed = d.messages_conveyed();
+        d.set_link_faults(FaultConfig {
+            partition: Some(MessageWindow {
+                from_message: conveyed,
+                to_message: conveyed + 3,
+            }),
+            ..FaultConfig::quiet(9)
+        })
+        .unwrap();
+        let report = d.pay(Wei::from(5_000u64)).unwrap();
+        assert_eq!(report.sequence, 2);
+        let settlement = d.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(10_000u64));
+    }
+
+    #[test]
+    fn a_permanent_partition_aborts_the_round_with_committed_state_intact() {
+        use tinyevm_net::{FaultConfig, MessageWindow};
+        let mut d = driver();
+        d.run_session(1, Wei::from(5_000u64)).unwrap();
+        let committed = d.receiver().channel().unwrap().cumulative();
+        d.set_link_faults(FaultConfig {
+            partition: Some(MessageWindow {
+                from_message: 0,
+                to_message: u64::MAX,
+            }),
+            ..FaultConfig::quiet(9)
+        })
+        .unwrap();
+        let error = d.pay(Wei::from(5_000u64)).unwrap_err();
+        assert!(matches!(
+            error,
+            ProtocolError::Endpoint(EndpointError::RoundAborted { attempts: 5, .. })
+        ));
+        // Committed state on both sides is exactly what it was before.
+        assert_eq!(d.receiver().channel().unwrap().cumulative(), committed);
+        assert_eq!(d.receiver().side_chain().len(), 1);
+        // The round died in the reading exchange, before anything was
+        // signed: once the link heals the session simply continues, and
+        // settles for exactly what was actually paid.
+        d.clear_link_faults();
+        let report = d.pay(Wei::from(5_000u64)).unwrap();
+        assert_eq!(report.cumulative, Wei::from(10_000u64));
+        let settlement = d.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(10_000u64));
+        assert!(!settlement.settlement.fraud_detected);
+    }
+
+    #[test]
+    fn a_scheduled_crash_power_cycles_and_the_session_reconverges() {
+        let mut d = driver();
+        d.run_session(1, Wei::from(5_000u64)).unwrap();
+        let receiver_addr = d.receiver().node_addr();
+        let snapshot_before = d.receiver().snapshot().unwrap();
+        d.schedule_crash(CrashSchedule {
+            target: receiver_addr,
+            after_message: d.messages_conveyed() + 2,
+        });
+        let error = d.pay(Wei::from(5_000u64)).unwrap_err();
+        assert!(matches!(
+            error,
+            ProtocolError::Crashed { node } if node == receiver_addr
+        ));
+        d.power_cycle(receiver_addr).unwrap();
+        // Committed flash state survived the power cycle byte-for-byte...
+        // except for whatever the interrupted round already committed,
+        // which must be a superset, never a regression.
+        let snapshot_after = d.receiver().snapshot().unwrap();
+        assert!(
+            snapshot_after.log.len() >= snapshot_before.log.len(),
+            "power cycle must never lose committed payments"
+        );
+        // ...the surviving sender finishes the interrupted round...
+        d.resume().unwrap();
+        // ...and the next payment reconverges both sides.
+        let report = d.pay(Wei::from(5_000u64)).unwrap();
+        assert_eq!(report.cumulative, Wei::from(15_000u64));
+        let settlement = d.close_and_settle().unwrap();
+        assert_eq!(settlement.settlement.to_receiver, Wei::from(15_000u64));
     }
 
     #[test]

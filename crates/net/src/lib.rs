@@ -16,6 +16,10 @@
 //!   turns into TX / RX energy (Table IV).
 //! * **Loss and retransmission**: an optional independent-loss model with
 //!   per-frame retries, used by the robustness experiments.
+//! * **Deterministic fault injection**: a seeded [`FaultPlan`] composable
+//!   onto a link or a medium endpoint that adds corruption, duplication,
+//!   reordering, replay, delay windows and partitions on top of the loss
+//!   process — see [`fault`].
 //! * **Addressing and a shared medium**: every frame names its
 //!   [`NodeAddr`] endpoints, and a [`SharedMedium`] lets N addressed
 //!   senders contend for one gateway with per-endpoint loss processes and
@@ -29,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod medium;
 pub mod radio;
 
 pub use addr::NodeAddr;
+pub use fault::{DelayWindow, FaultConfig, FaultPlan, MessageWindow};
 pub use frame::{
     fragment, reassemble, Frame, FrameError, FRAME_HEADER_SIZE, MAX_FRAGMENTS, MAX_FRAME_PAYLOAD,
     MAX_FRAME_SIZE, MAX_MESSAGE_SIZE,

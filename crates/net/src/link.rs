@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use tinyevm_trace::{TraceEvent, TraceHandle};
 
 use crate::addr::NodeAddr;
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::frame::{fragment, reassemble, wire_bytes_for_message, Frame, FrameError};
 
 /// Built-in link profiles.
@@ -118,6 +119,18 @@ pub enum LinkError {
         /// The rejected value.
         loss_rate: f64,
     },
+    /// A fault plan's partition window swallowed the whole transfer.
+    Partitioned {
+        /// Link-local id of the refused message.
+        message_id: u32,
+    },
+    /// A fault-plan rate is NaN or outside `[0, 1)`.
+    InvalidFaultRate {
+        /// Which rate was rejected (its `FaultConfig` field name).
+        fault: &'static str,
+        /// The rejected value.
+        rate: f64,
+    },
 }
 
 impl core::fmt::Display for LinkError {
@@ -134,6 +147,12 @@ impl core::fmt::Display for LinkError {
             LinkError::Frame(error) => write!(f, "frame serialization failed: {error}"),
             LinkError::InvalidLossRate { loss_rate } => {
                 write!(f, "loss rate {loss_rate} is not in [0, 1)")
+            }
+            LinkError::Partitioned { message_id } => {
+                write!(f, "message {message_id} dropped by a partition window")
+            }
+            LinkError::InvalidFaultRate { fault, rate } => {
+                write!(f, "fault rate {fault} = {rate} is not in [0, 1)")
             }
         }
     }
@@ -196,6 +215,7 @@ pub struct Link {
     peer: NodeAddr,
     config: LinkConfig,
     rng: StdRng,
+    faults: Option<FaultPlan>,
     next_message_id: u32,
     total_wire_bytes: u64,
     total_messages: u64,
@@ -236,6 +256,7 @@ impl Link {
             peer,
             config,
             rng,
+            faults: None,
             next_message_id: 0,
             total_wire_bytes: 0,
             total_messages: 0,
@@ -261,6 +282,30 @@ impl Link {
     /// [`LinkConfig::validate`].
     pub fn new(config: LinkConfig) -> Self {
         Link::between(NodeAddr::new(1), NodeAddr::new(2), config)
+    }
+
+    /// Installs a seeded fault plan; subsequent transfers are disturbed
+    /// according to its rates and windows. The plan draws from its own RNG,
+    /// so the loss process is unperturbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::InvalidFaultRate`] for a rate that is NaN or
+    /// outside `[0, 1)`.
+    pub fn set_faults(&mut self, config: FaultConfig) -> Result<(), LinkError> {
+        self.faults = Some(FaultPlan::new(config)?);
+        Ok(())
+    }
+
+    /// Removes any installed fault plan; subsequent transfers see only the
+    /// configured loss process.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The link configuration.
@@ -332,6 +377,21 @@ impl Link {
     ) -> Result<(Vec<u8>, TransferReport), LinkError> {
         let message_id = self.next_message_id;
         self.next_message_id = self.next_message_id.wrapping_add(1);
+        // The fault plan's window clock ticks once per transfer attempt,
+        // partitioned or not.
+        let fault_index = self.faults.as_mut().map(FaultPlan::next_message);
+        if let (Some(plan), Some(index)) = (self.faults.as_ref(), fault_index) {
+            if plan.partitioned(index) {
+                self.tracer.event(|| TraceEvent::Fault {
+                    from: source.to_string(),
+                    to: destination.to_string(),
+                    fault: "partition".to_string(),
+                    message_id: u64::from(message_id),
+                });
+                self.tracer.count("net.messages_partitioned", 1);
+                return Err(LinkError::Partitioned { message_id });
+            }
+        }
         let frames =
             fragment(source, destination, message_id, message).map_err(LinkError::Frame)?;
 
@@ -377,9 +437,48 @@ impl Link {
                     self.tracer.count("net.frames_lost", 1);
                 }
                 if !lost {
+                    // The receiver's radio heard *something* either way; a
+                    // frame damaged beyond parsing behaves like a lost one
+                    // (and consumes a retry below).
                     rx_time += on_air;
-                    delivered.push(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?);
-                    break;
+                    let received = match self.faults.as_mut() {
+                        None => Some(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?),
+                        Some(plan) => {
+                            if plan.draw_duplicate() {
+                                // An extra copy goes on the air; the
+                                // receiver recognises and drops it, but both
+                                // radios pay for it.
+                                tx_time += on_air;
+                                rx_time += on_air;
+                                wire_bytes += encoded.len();
+                                self.tracer.event(|| TraceEvent::Fault {
+                                    from: source.to_string(),
+                                    to: destination.to_string(),
+                                    fault: "duplicate".to_string(),
+                                    message_id: u64::from(message_id),
+                                });
+                                self.tracer.count("net.frames_duplicated", 1);
+                            }
+                            if plan.draw_corrupt() {
+                                let mut damaged = encoded.clone();
+                                plan.flip_bits(&mut damaged);
+                                self.tracer.event(|| TraceEvent::Fault {
+                                    from: source.to_string(),
+                                    to: destination.to_string(),
+                                    fault: "corrupt".to_string(),
+                                    message_id: u64::from(message_id),
+                                });
+                                self.tracer.count("net.frames_corrupted", 1);
+                                Frame::from_bytes(&damaged).ok()
+                            } else {
+                                Some(Frame::from_bytes(&encoded).map_err(LinkError::Frame)?)
+                            }
+                        }
+                    };
+                    if let Some(frame) = received {
+                        delivered.push(frame);
+                        break;
+                    }
                 }
                 if attempts > self.config.max_retries {
                     return Err(LinkError::FrameLost {
@@ -391,7 +490,64 @@ impl Link {
             }
         }
 
-        let payload = reassemble(&delivered).map_err(LinkError::Reassembly)?;
+        if let Some(plan) = self.faults.as_mut() {
+            if delivered.len() > 1 && plan.draw_reorder() {
+                // Reassembly is order-independent; rotating the fragments
+                // exercises that property without changing the payload.
+                delivered.rotate_left(1);
+                self.tracer.event(|| TraceEvent::Fault {
+                    from: source.to_string(),
+                    to: destination.to_string(),
+                    fault: "reorder".to_string(),
+                    message_id: u64::from(message_id),
+                });
+                self.tracer.count("net.messages_reordered", 1);
+            }
+        }
+
+        let mut payload = reassemble(&delivered).map_err(LinkError::Reassembly)?;
+
+        if let Some(extra) = self
+            .faults
+            .as_ref()
+            .zip(fault_index)
+            .and_then(|(plan, index)| plan.delay_for(index))
+        {
+            tx_time += extra;
+            rx_time += extra;
+            self.tracer.event(|| TraceEvent::Fault {
+                from: source.to_string(),
+                to: destination.to_string(),
+                fault: "delay".to_string(),
+                message_id: u64::from(message_id),
+            });
+            self.tracer.count("net.messages_delayed", 1);
+        }
+
+        if let Some(plan) = self.faults.as_mut() {
+            let mut replayed = false;
+            if plan.draw_replay() {
+                if let Some(stale) = plan.stale_payload(source, destination) {
+                    // The fresh message is lost in favour of a stale copy of
+                    // the previous one — the receiver's duplicate
+                    // suppression and the sender's retransmission timer
+                    // sort it out.
+                    payload = stale;
+                    replayed = true;
+                }
+            }
+            plan.record_delivery(source, destination, &payload);
+            if replayed {
+                self.tracer.event(|| TraceEvent::Fault {
+                    from: source.to_string(),
+                    to: destination.to_string(),
+                    fault: "replay".to_string(),
+                    message_id: u64::from(message_id),
+                });
+                self.tracer.count("net.messages_replayed", 1);
+            }
+        }
+
         self.total_wire_bytes += wire_bytes as u64;
         self.total_messages += 1;
         Ok((
@@ -579,6 +735,158 @@ mod tests {
         let (delivered, report) = link.transfer(&largest).unwrap();
         assert_eq!(delivered.len(), MAX_MESSAGE_SIZE);
         assert_eq!(report.frames, crate::frame::MAX_FRAGMENTS);
+    }
+
+    #[test]
+    fn quiet_fault_plan_leaves_transfers_byte_identical() {
+        use crate::fault::FaultConfig;
+        let config = LinkConfig::lossless(LinkProfile::Tsch).with_loss(0.2, 77);
+        let mut plain = Link::new(config.clone());
+        let mut faulted = Link::new(config);
+        faulted.set_faults(FaultConfig::quiet(5)).unwrap();
+        let message = vec![9u8; 2500];
+        let (payload_a, report_a) = plain.transfer(&message).unwrap();
+        let (payload_b, report_b) = faulted.transfer(&message).unwrap();
+        assert_eq!(payload_a, payload_b);
+        assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn duplication_costs_wire_bytes_but_not_correctness() {
+        use crate::fault::FaultConfig;
+        let mut link = Link::default();
+        link.set_faults(FaultConfig {
+            duplicate_rate: 0.9,
+            ..FaultConfig::quiet(3)
+        })
+        .unwrap();
+        let message = vec![1u8; 1000];
+        let (delivered, report) = link.transfer(&message).unwrap();
+        assert_eq!(delivered, message);
+        assert!(report.wire_bytes > Link::nominal_wire_bytes(1000));
+        assert_eq!(report.retransmissions, 0);
+    }
+
+    #[test]
+    fn corruption_yields_typed_outcomes_never_panics() {
+        use crate::fault::FaultConfig;
+        let mut config = LinkConfig::lossless(LinkProfile::Tsch);
+        config.max_retries = 1;
+        let mut link = Link::new(config);
+        link.set_faults(FaultConfig {
+            corrupt_rate: 0.8,
+            ..FaultConfig::quiet(11)
+        })
+        .unwrap();
+        let mut failures = 0;
+        for round in 0..32u8 {
+            match link.transfer(&vec![round; 900]) {
+                Ok(_) => {}
+                Err(LinkError::FrameLost { .. } | LinkError::Reassembly(_)) => failures += 1,
+                Err(other) => panic!("corruption must stay typed, got {other:?}"),
+            }
+        }
+        assert!(failures > 0, "80% corruption with one retry must bite");
+    }
+
+    #[test]
+    fn partition_window_refuses_then_heals() {
+        use crate::fault::{FaultConfig, MessageWindow};
+        let mut link = Link::default();
+        link.set_faults(FaultConfig {
+            partition: Some(MessageWindow {
+                from_message: 0,
+                to_message: 2,
+            }),
+            ..FaultConfig::quiet(1)
+        })
+        .unwrap();
+        assert!(matches!(
+            link.transfer(b"one"),
+            Err(LinkError::Partitioned { message_id: 0 })
+        ));
+        assert!(matches!(
+            link.transfer(b"two"),
+            Err(LinkError::Partitioned { message_id: 1 })
+        ));
+        let (delivered, _) = link.transfer(b"three").unwrap();
+        assert_eq!(delivered, b"three");
+        assert_eq!(link.total_messages(), 1, "partitioned sends never count");
+    }
+
+    #[test]
+    fn delay_window_stretches_latency() {
+        use crate::fault::{DelayWindow, FaultConfig, MessageWindow};
+        let extra = Duration::from_millis(250);
+        let mut link = Link::default();
+        link.set_faults(FaultConfig {
+            delay: Some(DelayWindow {
+                window: MessageWindow {
+                    from_message: 0,
+                    to_message: 1,
+                },
+                extra,
+            }),
+            ..FaultConfig::quiet(1)
+        })
+        .unwrap();
+        let (_, slow) = link.transfer(&[7u8; 100]).unwrap();
+        let (_, fast) = link.transfer(&[7u8; 100]).unwrap();
+        assert_eq!(slow.tx_time, fast.tx_time + extra);
+        assert_eq!(slow.rx_time, fast.rx_time + extra);
+    }
+
+    #[test]
+    fn replay_delivers_the_previous_message_again() {
+        use crate::fault::FaultConfig;
+        let mut link = Link::default();
+        link.set_faults(FaultConfig {
+            replay_rate: 0.999_999,
+            ..FaultConfig::quiet(9)
+        })
+        .unwrap();
+        // Nothing has been delivered yet, so the first transfer cannot be
+        // replayed into the past.
+        let (first, _) = link.transfer(b"first").unwrap();
+        assert_eq!(first, b"first");
+        let (second, report) = link.transfer(b"second").unwrap();
+        assert_eq!(second, b"first", "the stale message is delivered instead");
+        assert_eq!(report.payload_bytes, b"second".len());
+    }
+
+    #[test]
+    fn reordered_fragments_still_reassemble() {
+        use crate::fault::FaultConfig;
+        let mut link = Link::default();
+        link.set_faults(FaultConfig {
+            reorder_rate: 0.999_999,
+            ..FaultConfig::quiet(2)
+        })
+        .unwrap();
+        let message = vec![5u8; 1000];
+        let (delivered, _) = link.transfer(&message).unwrap();
+        assert_eq!(delivered, message);
+    }
+
+    #[test]
+    fn invalid_fault_rates_are_rejected_with_the_field_name() {
+        use crate::fault::FaultConfig;
+        let mut link = Link::default();
+        let error = link
+            .set_faults(FaultConfig {
+                replay_rate: 1.5,
+                ..FaultConfig::quiet(0)
+            })
+            .unwrap_err();
+        assert!(matches!(
+            error,
+            LinkError::InvalidFaultRate {
+                fault: "replay_rate",
+                ..
+            }
+        ));
+        assert!(!format!("{error}").is_empty());
+        assert!(link.faults().is_none());
     }
 
     #[test]

@@ -154,12 +154,24 @@ impl SharedMedium {
     /// # Panics
     ///
     /// Panics when the configuration does not pass
-    /// [`LinkConfig::validate`].
+    /// [`LinkConfig::validate`]; use [`SharedMedium::try_new`] to handle
+    /// the error instead.
     pub fn new(gateway: NodeAddr, base: LinkConfig) -> Self {
-        if let Err(error) = base.validate() {
-            panic!("invalid medium configuration: {error}");
+        match SharedMedium::try_new(gateway, base) {
+            Ok(medium) => medium,
+            Err(error) => panic!("invalid medium configuration: {error}"),
         }
-        SharedMedium {
+    }
+
+    /// Creates a medium, validating the base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediumError::Link`] when the base configuration does not
+    /// pass [`LinkConfig::validate`].
+    pub fn try_new(gateway: NodeAddr, base: LinkConfig) -> Result<Self, MediumError> {
+        base.validate()?;
+        Ok(SharedMedium {
             gateway,
             base,
             endpoints: BTreeMap::new(),
@@ -167,7 +179,7 @@ impl SharedMedium {
             total_messages: 0,
             total_airtime: Duration::ZERO,
             tracer: tinyevm_trace::TraceHandle::default(),
-        }
+        })
     }
 
     /// Attaches a tracer, forwarded to every endpoint link (already
@@ -237,6 +249,44 @@ impl SharedMedium {
                 stats: EndpointStats::default(),
             },
         );
+        Ok(())
+    }
+
+    /// Installs a fault plan on one attached endpoint's link. The plan's
+    /// seed is re-derived from the given seed and the endpoint address
+    /// (same splitmix derivation as the loss seeds), so per-peer schedules
+    /// stay independent and adding a plan on one sensor never perturbs
+    /// another's faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediumError::UnknownEndpoint`] for a detached address and
+    /// [`MediumError::Link`] for invalid fault rates.
+    pub fn set_faults(
+        &mut self,
+        addr: NodeAddr,
+        mut config: crate::fault::FaultConfig,
+    ) -> Result<(), MediumError> {
+        config.seed = endpoint_seed(config.seed, addr);
+        let endpoint = self
+            .endpoints
+            .get_mut(&addr)
+            .ok_or(MediumError::UnknownEndpoint(addr))?;
+        endpoint.link.set_faults(config)?;
+        Ok(())
+    }
+
+    /// Removes any fault plan from one attached endpoint's link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediumError::UnknownEndpoint`] for a detached address.
+    pub fn clear_faults(&mut self, addr: NodeAddr) -> Result<(), MediumError> {
+        let endpoint = self
+            .endpoints
+            .get_mut(&addr)
+            .ok_or(MediumError::UnknownEndpoint(addr))?;
+        endpoint.link.clear_faults();
         Ok(())
     }
 
@@ -472,6 +522,54 @@ mod tests {
         let stats = medium.stats(addrs[0]).unwrap();
         assert_eq!(stats.uplink_wire_bytes, 0);
         assert_eq!(stats.downlink_wire_bytes, report.wire_bytes as u64);
+    }
+
+    #[test]
+    fn try_new_surfaces_invalid_configuration_as_a_typed_error() {
+        let bad = LinkConfig {
+            loss_rate: f64::NAN,
+            ..LinkConfig::default()
+        };
+        assert!(matches!(
+            SharedMedium::try_new(NodeAddr::new(0xFE), bad),
+            Err(MediumError::Link(LinkError::InvalidLossRate { .. }))
+        ));
+    }
+
+    #[test]
+    fn per_endpoint_fault_plans_are_independent() {
+        use crate::fault::{FaultConfig, MessageWindow};
+        let (mut medium, addrs) = medium_with(2);
+        medium
+            .set_faults(
+                addrs[0],
+                FaultConfig {
+                    partition: Some(MessageWindow {
+                        from_message: 0,
+                        to_message: u64::MAX,
+                    }),
+                    ..FaultConfig::quiet(4)
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            medium.send_to_gateway(addrs[0], b"blocked"),
+            Err(MediumError::Link(LinkError::Partitioned { .. }))
+        ));
+        // The partitioned sensor never blocks its neighbours.
+        let (delivered, _) = medium.send_to_gateway(addrs[1], b"fine").unwrap();
+        assert_eq!(delivered, b"fine");
+        medium.clear_faults(addrs[0]).unwrap();
+        let (delivered, _) = medium.send_to_gateway(addrs[0], b"healed").unwrap();
+        assert_eq!(delivered, b"healed");
+        assert!(matches!(
+            medium.set_faults(NodeAddr::new(0x99), FaultConfig::quiet(1)),
+            Err(MediumError::UnknownEndpoint(_))
+        ));
+        assert!(matches!(
+            medium.clear_faults(NodeAddr::new(0x99)),
+            Err(MediumError::UnknownEndpoint(_))
+        ));
     }
 
     #[test]

@@ -83,6 +83,18 @@ pub enum TraceEvent {
         /// End-to-end latency of the round.
         latency_us: u64,
     },
+    /// One disturbance a seeded fault plan injected into a transfer.
+    Fault {
+        /// Transmitting node label.
+        from: String,
+        /// Receiving node label.
+        to: String,
+        /// Fault kind: `"corrupt"`, `"duplicate"`, `"reorder"`, `"replay"`,
+        /// `"delay"` or `"partition"`.
+        fault: String,
+        /// Link-local id of the message the fault hit.
+        message_id: u64,
+    },
     /// One completed contract-call frame of the virtual machine, with the
     /// MCU-cycle budget broken down by opcode category.
     ContractCall {
@@ -124,6 +136,7 @@ impl TraceEvent {
             TraceEvent::FrameLost { .. } => "FrameLost",
             TraceEvent::Phase { .. } => "Phase",
             TraceEvent::Round { .. } => "Round",
+            TraceEvent::Fault { .. } => "Fault",
             TraceEvent::ContractCall { .. } => "ContractCall",
         }
     }
@@ -168,6 +181,12 @@ mod tests {
                 sequence: 3,
                 cumulative_wei: 30_000,
                 latency_us: 1_435_600,
+            },
+            TraceEvent::Fault {
+                from: "0x0001".into(),
+                to: "0x00fe".into(),
+                fault: "corrupt".into(),
+                message_id: 12,
             },
             TraceEvent::ContractCall {
                 outcome: "return".into(),

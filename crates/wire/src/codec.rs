@@ -61,6 +61,14 @@ pub enum WireError {
         /// The maximum a record may declare.
         max: usize,
     },
+    /// A persistence record's payload does not match its stored CRC-32
+    /// (flash corruption or a torn write inside the record body).
+    Checksum {
+        /// CRC-32 stored alongside the record.
+        expected: u32,
+        /// CRC-32 of the payload as read.
+        got: u32,
+    },
     /// Frame-level reassembly failed in the transport helpers.
     Frame(FrameError),
     /// Reading or writing a persistence file failed.
@@ -89,6 +97,12 @@ impl core::fmt::Display for WireError {
             WireError::Truncated => write!(f, "record truncated"),
             WireError::RecordTooLarge { size, max } => {
                 write!(f, "record declares {size} bytes, over the {max}-byte bound")
+            }
+            WireError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "record checksum mismatch: stored {expected:#010x}, computed {got:#010x}"
+                )
             }
             WireError::Frame(error) => write!(f, "frame transport: {error}"),
             WireError::Io(message) => write!(f, "io: {message}"),

@@ -16,7 +16,7 @@
 //! | item | canonical RLP: minimal integers, fixed-width byte strings, positional lists |
 //! | envelope | `[version, tag, payload]` — see [`Message`] for the tag table |
 //! | radio | envelope fragmented into 127-byte 802.15.4 frames ([`transport`]) |
-//! | disk | `TEVMWIR\x01` magic + 4-byte BE length-prefixed envelopes ([`persist`]) |
+//! | disk | `TEVMWIR\x02` magic + length-prefixed, CRC-32-guarded envelopes ([`persist`]) |
 //!
 //! Canonicality is enforced on *decode* (the hardened
 //! [`tinyevm_types::rlp::decode`] rejects redundant encodings), which gives

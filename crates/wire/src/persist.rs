@@ -1,13 +1,23 @@
-//! Disk persistence: length-prefixed message records.
+//! Disk persistence: length-prefixed, checksummed message records.
 //!
-//! A persistence file is the 8-byte magic [`SNAPSHOT_MAGIC`] followed by
-//! zero or more records, each a 4-byte big-endian length prefix and one
-//! [`Message`] envelope. The length prefix makes the file a valid *stream*
-//! format too: records can be appended (`append_message`) without
-//! rewriting, and a reader can skip records it does not care about without
-//! decoding them. A device that power-cycles mid-session writes its channel
-//! snapshot as one record and its gateway's chain snapshot as another, and
-//! restores both on boot.
+//! A persistence file is an 8-byte magic followed by zero or more records.
+//! Format v2 ([`SNAPSHOT_MAGIC`], `TEVMWIR\x02`) guards every record with a
+//! CRC-32: a record is a 4-byte big-endian length prefix, one [`Message`]
+//! envelope, and the payload's CRC-32 ([`crc32`]) in 4 big-endian bytes.
+//! Files written by the v1 format (`TEVMWIR\x01`, no checksums) are still
+//! read. The length prefix makes the file a valid *stream* format too:
+//! records can be appended (`append_message`) without rewriting, and a
+//! reader can skip records it does not care about without decoding them. A
+//! device that power-cycles mid-session writes its channel snapshot as one
+//! record and its gateway's chain snapshot as another, and restores both on
+//! boot.
+//!
+//! [`read_messages`] validates the whole file and refuses it entirely on
+//! the first bad record — the right default for session restore, where a
+//! half-applied file is worse than none. [`read_messages_recovering`]
+//! instead salvages the longest clean prefix and reports what was dropped —
+//! what an appliance uses to recover an append-mode log whose tail was torn
+//! by power loss.
 
 use std::fs;
 use std::io::Write as _;
@@ -16,15 +26,73 @@ use std::path::Path;
 use crate::codec::WireError;
 use crate::message::Message;
 
-/// File magic: `TEVMWIR` plus a format-version byte.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TEVMWIR\x01";
+/// File magic of the current format: `TEVMWIR` plus the version byte 2
+/// (per-record CRC-32).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TEVMWIR\x02";
+
+/// File magic of the legacy checksum-free format; still accepted by the
+/// readers, never written.
+pub const LEGACY_MAGIC: [u8; 8] = *b"TEVMWIR\x01";
 
 /// Maximum size of a single record (16 MiB) — a sanity bound so a corrupt
 /// length prefix cannot drive a huge allocation.
 pub const MAX_RECORD_SIZE: usize = 16 * 1024 * 1024;
 
-/// Serializes one message as a length-prefixed record.
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes` —
+/// the per-record integrity check of format v2.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Which record layout a file uses, decided by its magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// `TEVMWIR\x01`: length prefix + payload.
+    V1,
+    /// `TEVMWIR\x02`: length prefix + payload + CRC-32.
+    V2,
+}
+
+impl Format {
+    fn of_magic(bytes: &[u8]) -> Option<Format> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() {
+            return None;
+        }
+        match &bytes[..SNAPSHOT_MAGIC.len()] {
+            magic if *magic == SNAPSHOT_MAGIC => Some(Format::V2),
+            magic if *magic == LEGACY_MAGIC => Some(Format::V1),
+            _ => None,
+        }
+    }
+
+    /// Bytes that trail the payload (the checksum, in v2).
+    fn trailer_len(self) -> usize {
+        match self {
+            Format::V1 => 0,
+            Format::V2 => 4,
+        }
+    }
+}
+
+/// Serializes one message as a length-prefixed, checksummed v2 record.
 pub fn to_record(message: &Message) -> Vec<u8> {
+    let wire = message.to_wire();
+    let mut record = Vec::with_capacity(8 + wire.len());
+    record.extend_from_slice(&(wire.len() as u32).to_be_bytes());
+    record.extend_from_slice(&wire);
+    record.extend_from_slice(&crc32(&wire).to_be_bytes());
+    record
+}
+
+fn to_record_v1(message: &Message) -> Vec<u8> {
     let wire = message.to_wire();
     let mut record = Vec::with_capacity(4 + wire.len());
     record.extend_from_slice(&(wire.len() as u32).to_be_bytes());
@@ -32,37 +100,67 @@ pub fn to_record(message: &Message) -> Vec<u8> {
     record
 }
 
-/// Splits a buffer of concatenated records back into messages.
+/// Parses the next record off the front of `buffer`, returning the message
+/// and the bytes it consumed.
+fn next_record(buffer: &[u8], format: Format) -> Result<(Message, usize), WireError> {
+    if buffer.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let declared = u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]) as usize;
+    if declared > MAX_RECORD_SIZE {
+        return Err(WireError::RecordTooLarge {
+            size: declared,
+            max: MAX_RECORD_SIZE,
+        });
+    }
+    let total = 4 + declared + format.trailer_len();
+    if buffer.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buffer[4..4 + declared];
+    if format == Format::V2 {
+        let stored = u32::from_be_bytes([
+            buffer[4 + declared],
+            buffer[5 + declared],
+            buffer[6 + declared],
+            buffer[7 + declared],
+        ]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(WireError::Checksum {
+                expected: stored,
+                got: computed,
+            });
+        }
+    }
+    Ok((Message::from_wire(payload)?, total))
+}
+
+/// Splits a buffer of concatenated v2 records back into messages.
 ///
 /// # Errors
 ///
 /// Returns [`WireError::Truncated`] when a length prefix overruns the
 /// buffer, [`WireError::RecordTooLarge`] when a prefix declares more than
 /// [`MAX_RECORD_SIZE`] bytes (a hostile or corrupt prefix, not a short
-/// file), and the decoder's errors for each record's payload.
-pub fn from_records(mut buffer: &[u8]) -> Result<Vec<Message>, WireError> {
+/// file), [`WireError::Checksum`] for a record whose payload does not
+/// match its CRC-32, and the decoder's errors for each record's payload.
+pub fn from_records(buffer: &[u8]) -> Result<Vec<Message>, WireError> {
+    from_records_in(buffer, Format::V2)
+}
+
+fn from_records_in(mut buffer: &[u8], format: Format) -> Result<Vec<Message>, WireError> {
     let mut messages = Vec::new();
     while !buffer.is_empty() {
-        if buffer.len() < 4 {
-            return Err(WireError::Truncated);
-        }
-        let declared = u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]) as usize;
-        if declared > MAX_RECORD_SIZE {
-            return Err(WireError::RecordTooLarge {
-                size: declared,
-                max: MAX_RECORD_SIZE,
-            });
-        }
-        if buffer.len() < 4 + declared {
-            return Err(WireError::Truncated);
-        }
-        messages.push(Message::from_wire(&buffer[4..4 + declared])?);
-        buffer = &buffer[4 + declared..];
+        let (message, consumed) = next_record(buffer, format)?;
+        messages.push(message);
+        buffer = &buffer[consumed..];
     }
     Ok(messages)
 }
 
-/// Writes messages to a fresh persistence file (magic + records).
+/// Writes messages to a fresh persistence file (v2 magic + checksummed
+/// records).
 ///
 /// # Errors
 ///
@@ -77,45 +175,113 @@ pub fn write_messages(path: &Path, messages: &[Message]) -> Result<(), WireError
 }
 
 /// Appends one record to an existing persistence file (creating it, magic
-/// included, when absent).
+/// included, when absent). The record is written in the *file's* format —
+/// appending to a legacy v1 file keeps it a valid v1 file rather than
+/// splicing checksummed records into a stream readers would misparse.
 ///
 /// # Errors
 ///
-/// Returns [`WireError::Io`] on filesystem failure.
+/// Returns [`WireError::BadMagic`] for a file that is neither format and
+/// [`WireError::Io`] on filesystem failure.
 pub fn append_message(path: &Path, message: &Message) -> Result<(), WireError> {
     let mut file = fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)
         .map_err(|error| WireError::Io(error.to_string()))?;
-    // Write the magic whenever the file is empty — judged from the opened
-    // handle, not a racy pre-open existence check, so a crash that left a
-    // zero-length file behind heals on the next append.
+    // Judge emptiness from the opened handle, not a racy pre-open
+    // existence check, so a crash that left a zero-length file behind
+    // heals on the next append.
     let is_empty = file
         .metadata()
         .map_err(|error| WireError::Io(error.to_string()))?
         .len()
         == 0;
-    if is_empty {
+    let format = if is_empty {
         file.write_all(&SNAPSHOT_MAGIC)
             .map_err(|error| WireError::Io(error.to_string()))?;
-    }
-    file.write_all(&to_record(message))
+        Format::V2
+    } else {
+        let header = fs::read(path).map_err(|error| WireError::Io(error.to_string()))?;
+        Format::of_magic(&header).ok_or(WireError::BadMagic)?
+    };
+    let record = match format {
+        Format::V2 => to_record(message),
+        Format::V1 => to_record_v1(message),
+    };
+    file.write_all(&record)
         .map_err(|error| WireError::Io(error.to_string()))
 }
 
-/// Reads every message from a persistence file.
+/// Reads every message from a persistence file (v2 with checksums, or the
+/// legacy v1 format without), refusing the whole file on the first bad
+/// record.
 ///
 /// # Errors
 ///
 /// Returns [`WireError::BadMagic`] for a foreign file, [`WireError::Io`]
-/// on filesystem failure, and the record / decode errors otherwise.
+/// on filesystem failure, [`WireError::Checksum`] for a corrupted v2
+/// record, and the record / decode errors otherwise.
 pub fn read_messages(path: &Path) -> Result<Vec<Message>, WireError> {
     let bytes = fs::read(path).map_err(|error| WireError::Io(error.to_string()))?;
-    if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(WireError::BadMagic);
+    let format = Format::of_magic(&bytes).ok_or(WireError::BadMagic)?;
+    from_records_in(&bytes[SNAPSHOT_MAGIC.len()..], format)
+}
+
+/// What [`read_messages_recovering`] found past the clean prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records that decoded (and, in v2, passed their checksum).
+    pub recovered: usize,
+    /// Bytes of the trailing region that were dropped.
+    pub dropped_bytes: usize,
+    /// The error that ended the scan, or `None` for a clean file.
+    pub error: Option<WireError>,
+}
+
+impl RecoveryReport {
+    /// Whether the whole file was read without loss.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
     }
-    from_records(&bytes[SNAPSHOT_MAGIC.len()..])
+}
+
+/// Reads the longest clean prefix of a persistence file: records are
+/// consumed until the first truncated, corrupt or undecodable one, and
+/// everything before it is returned together with a [`RecoveryReport`]
+/// describing what was dropped. This is the recovery path for append-mode
+/// logs whose tail was torn by power loss mid-write; for whole-session
+/// snapshots prefer [`read_messages`], which refuses half-applied state.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadMagic`] for a foreign file and [`WireError::Io`]
+/// on filesystem failure — a file that never was a persistence file has no
+/// prefix worth salvaging.
+pub fn read_messages_recovering(path: &Path) -> Result<(Vec<Message>, RecoveryReport), WireError> {
+    let bytes = fs::read(path).map_err(|error| WireError::Io(error.to_string()))?;
+    let format = Format::of_magic(&bytes).ok_or(WireError::BadMagic)?;
+    let mut buffer = &bytes[SNAPSHOT_MAGIC.len()..];
+    let mut messages = Vec::new();
+    let mut error = None;
+    while !buffer.is_empty() {
+        match next_record(buffer, format) {
+            Ok((message, consumed)) => {
+                messages.push(message);
+                buffer = &buffer[consumed..];
+            }
+            Err(record_error) => {
+                error = Some(record_error);
+                break;
+            }
+        }
+    }
+    let report = RecoveryReport {
+        recovered: messages.len(),
+        dropped_bytes: buffer.len(),
+        error,
+    };
+    Ok((messages, report))
 }
 
 #[cfg(test)]
@@ -138,6 +304,13 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
     fn records_round_trip_in_memory() {
         let messages = vec![reading(1), reading(2150), reading(u64::MAX)];
         let mut buffer = Vec::new();
@@ -156,6 +329,16 @@ mod tests {
             from_records(&record[..record.len() - 1]),
             Err(WireError::Truncated)
         );
+    }
+
+    #[test]
+    fn a_flipped_payload_byte_fails_the_checksum() {
+        let mut record = to_record(&reading(7));
+        record[6] ^= 0x01;
+        assert!(matches!(
+            from_records(&record),
+            Err(WireError::Checksum { .. })
+        ));
     }
 
     #[test]
@@ -198,6 +381,72 @@ mod tests {
         std::fs::write(&path, b"").unwrap();
         append_message(&path, &reading(11)).unwrap();
         assert_eq!(read_messages(&path).unwrap(), vec![reading(11)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_read_and_appended_in_place() {
+        // A file written by the checksum-free v1 format.
+        let path = temp_path("legacy");
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&LEGACY_MAGIC);
+        buffer.extend_from_slice(&to_record_v1(&reading(1)));
+        buffer.extend_from_slice(&to_record_v1(&reading(2)));
+        std::fs::write(&path, &buffer).unwrap();
+        assert_eq!(read_messages(&path).unwrap(), vec![reading(1), reading(2)]);
+        // Appends keep the file's own format.
+        append_message(&path, &reading(3)).unwrap();
+        assert_eq!(
+            read_messages(&path).unwrap(),
+            vec![reading(1), reading(2), reading(3)]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_records_poison_the_whole_strict_read() {
+        let path = temp_path("strict");
+        write_messages(&path, &[reading(1), reading(2)]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Damage the *first* record's payload: strict reading returns no
+        // messages at all, not the intact second record.
+        bytes[13] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_messages(&path),
+            Err(WireError::Checksum { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_salvages_the_clean_prefix_of_a_torn_log() {
+        let path = temp_path("recover");
+        write_messages(&path, &[reading(1), reading(2), reading(3)]).unwrap();
+        // Tear the file mid-way through the last record, as a power loss
+        // during an append would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (messages, report) = read_messages_recovering(&path).unwrap();
+        assert_eq!(messages, vec![reading(1), reading(2)]);
+        assert_eq!(report.recovered, 2);
+        assert!(report.dropped_bytes > 0);
+        assert_eq!(report.error, Some(WireError::Truncated));
+        assert!(!report.is_clean());
+
+        // A clean file recovers everything and reports no loss.
+        write_messages(&path, &[reading(1)]).unwrap();
+        let (messages, report) = read_messages_recovering(&path).unwrap();
+        assert_eq!(messages.len(), 1);
+        assert!(report.is_clean());
+        assert_eq!(report.dropped_bytes, 0);
+
+        // Foreign bytes have no salvageable prefix.
+        std::fs::write(&path, b"definitely not tinyevm").unwrap();
+        assert_eq!(
+            read_messages_recovering(&path).map(|(m, _)| m),
+            Err(WireError::BadMagic)
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

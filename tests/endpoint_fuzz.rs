@@ -238,10 +238,12 @@ proptest! {
             .any(|e| matches!(e, Effect::PaymentCompleted { .. })));
     }
 
-    /// Replays and out-of-order protocol steps get typed errors: an old
-    /// payment is `StaleSequence`, an unsolicited ack is `OutOfOrder`, a
-    /// payment aimed at a sender is `UnexpectedMessage`, and traffic from
-    /// an unknown address is `UnknownPeer`.
+    /// Replays and out-of-order protocol steps get typed errors: a stale
+    /// payment is `StaleSequence` (a verified duplicate of the head is the
+    /// one exception — it is re-acknowledged idempotently, the
+    /// retransmission-recovery path), an unsolicited ack is `OutOfOrder`,
+    /// a payment aimed at a sender is `UnexpectedMessage`, and traffic
+    /// from an unknown address is `UnknownPeer`.
     #[test]
     fn replays_and_out_of_order_steps_get_typed_errors(
         replay_sequence in 1u64..=2,
@@ -252,11 +254,23 @@ proptest! {
 
         // Replay: a payment the receiver has already applied.
         let replay = genuine_payment_wire(&sender, replay_sequence, replay_sequence * 5_000);
-        let error = receiver.handle_wire(CAR, &replay).unwrap_err();
-        prop_assert!(matches!(
-            error,
-            EndpointError::Channel(ChannelError::Payment(PaymentError::StaleSequence { .. }))
-        ));
+        if replay_sequence < 2 {
+            let error = receiver.handle_wire(CAR, &replay).unwrap_err();
+            prop_assert!(matches!(
+                error,
+                EndpointError::Channel(ChannelError::Payment(PaymentError::StaleSequence { .. }))
+            ));
+        } else {
+            // The head itself: indistinguishable from a retransmission
+            // whose ack was lost, so the receiver re-acks without
+            // re-applying anything.
+            let effects = receiver.handle_wire(CAR, &replay).unwrap();
+            prop_assert!(effects.is_empty());
+            prop_assert!(
+                receiver.poll_transmit().is_some(),
+                "a duplicate of the head payment is re-acknowledged"
+            );
+        }
 
         // Unsolicited acknowledgement: no payment is in flight.
         let key = *receiver.device().private_key();
