@@ -24,7 +24,9 @@
 //! example computed jump targets) is [`Verdict::Unproven`] and simply runs
 //! under the ordinary per-opcode checks.
 
+use crate::certificate::{self, GasCertificate};
 use crate::opcode::Opcode;
+use crate::symbolic;
 
 /// Stack heights are tracked up to this many elements; beyond it the
 /// interval analysis saturates. Comfortably above the Ethereum spec limit
@@ -240,9 +242,16 @@ pub struct BasicBlock {
     pub histogram: Vec<(u8, u32)>,
     /// How the block exits.
     pub exit: BlockExit,
-    /// Indices of successor blocks along statically-known edges (constant
-    /// jump targets and fall-throughs). Dynamic jumps contribute no edge.
+    /// Indices of successor blocks along statically-known edges: constant
+    /// jump targets, fall-throughs, and — when the symbolic pass resolved
+    /// the whole contract — resolved dynamic-jump edges, with provably dead
+    /// `JUMPI` branches pruned. Unresolved dynamic jumps contribute no edge.
     pub successors: Vec<u32>,
+    /// True when the block ends in a `JUMP`/`JUMPI` whose destination is
+    /// statically proven to be this exact constant *and* a valid
+    /// `JUMPDEST` — the interpreter may then skip the runtime
+    /// jumpdest-bitmap check for this block's jump.
+    pub jump_target_proven: bool,
     /// True when an instruction *before the last one* can trap (memory,
     /// storage, IoT, call and log opcodes). Such blocks must run under
     /// per-opcode accounting so a mid-block trap reports an exact retired
@@ -274,6 +283,8 @@ pub struct CodeAnalysis {
     diagnostics: Vec<Diagnostic>,
     verdict: Verdict,
     worst_case_stack: Option<usize>,
+    resolved_jumps: Vec<(usize, usize)>,
+    certificate: GasCertificate,
 }
 
 impl CodeAnalysis {
@@ -331,14 +342,28 @@ impl CodeAnalysis {
     pub fn worst_case_stack_height(&self) -> Option<usize> {
         self.worst_case_stack
     }
+
+    /// `(jump pc, destination)` for every dynamic jump the symbolic pass
+    /// resolved into a real CFG edge, in code order. Empty when the code
+    /// has no dynamic jumps or when resolution failed.
+    pub fn resolved_jumps(&self) -> &[(usize, usize)] {
+        &self.resolved_jumps
+    }
+
+    /// The static whole-execution cost certificate: a proven worst-case
+    /// gas/cycle bound over the resolved CFG, or a typed reason no bound
+    /// exists. Budget deploy gates consult this.
+    pub fn gas_certificate(&self) -> &GasCertificate {
+        &self.certificate
+    }
 }
 
 /// One decoded instruction (transient; not part of the artifact).
-struct Decoded {
-    pc: usize,
-    opcode: Option<Opcode>,
+pub(crate) struct Decoded {
+    pub(crate) pc: usize,
+    pub(crate) opcode: Option<Opcode>,
     /// Missing immediate bytes for a truncated trailing push.
-    push_missing: usize,
+    pub(crate) push_missing: usize,
 }
 
 impl Decoded {
@@ -562,12 +587,17 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
                 }
             }
         };
+        let mut jump_target_proven = false;
         match exit {
             BlockExit::Jump(None) | BlockExit::JumpI(None) => {
                 dynamic_jumps.push((block_index, last.pc));
             }
             BlockExit::Jump(Some(target)) | BlockExit::JumpI(Some(target)) => {
                 let valid = target < len && jumpdests[target];
+                // A PUSH immediate directly before the jump is exactly what
+                // the interpreter pops, so validity here is unconditional —
+                // no symbolic fixpoint needed.
+                jump_target_proven = valid;
                 if !valid {
                     diagnostics.push(Diagnostic::InvalidJumpTarget {
                         pc: last.pc,
@@ -598,6 +628,7 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
             histogram,
             exit,
             successors: Vec::new(),
+            jump_target_proven,
             interior_trap_risk,
             has_undefined,
             has_removed_off_chain,
@@ -633,27 +664,50 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
         blocks[index].successors = successors;
     }
 
-    // Pass 5: reachability. Dynamic jumps can target any JUMPDEST, so when
-    // one is reachable the jumpdest blocks all become conservative roots.
+    // Pass 5: symbolic constant propagation to a fixpoint. On success the
+    // dynamic jumps are resolved into real edges and provably dead `JUMPI`
+    // branches are pruned; on failure (some reachable destination is not a
+    // propagated constant) the conservative treatment below stands.
+    let resolution = symbolic::resolve(code, &instrs, &blocks, &jumpdests, &leader_index);
+    let mut resolved_jumps: Vec<(usize, usize)> = Vec::new();
+    if let Some(resolution) = &resolution {
+        for (index, block) in blocks.iter_mut().enumerate() {
+            block.successors = resolution.successors[index].clone();
+            block.jump_target_proven = resolution.proven_valid[index];
+        }
+        for &(block, pc, target) in &resolution.invalid_jumps {
+            diagnostics.push(Diagnostic::InvalidJumpTarget { pc, target });
+            fatal_candidates.push((block, AnalysisError::InvalidJumpTarget { pc, target }));
+        }
+        resolved_jumps.clone_from(&resolution.resolved_jumps);
+    }
+
+    // Pass 6: reachability. With a resolved CFG the entry block is the only
+    // root; otherwise dynamic jumps can target any JUMPDEST, so when one is
+    // reachable the jumpdest blocks all become conservative roots.
     let mut reachable = vec![false; blocks.len()];
     if !blocks.is_empty() {
         bfs(&blocks, &mut reachable, [0u32].iter().copied());
     }
-    let reachable_dynamic: Vec<&(u32, usize)> = dynamic_jumps
-        .iter()
-        .filter(|(block, _)| reachable[*block as usize])
-        .collect();
-    let has_dynamic = if reachable_dynamic.is_empty() {
+    let has_dynamic = if resolution.is_some() {
         false
     } else {
-        let jumpdest_roots: Vec<u32> = blocks
+        let reachable_dynamic: Vec<&(u32, usize)> = dynamic_jumps
             .iter()
-            .enumerate()
-            .filter(|(_, block)| block.start < len && jumpdests[block.start])
-            .map(|(index, _)| index as u32)
+            .filter(|(block, _)| reachable[*block as usize])
             .collect();
-        bfs(&blocks, &mut reachable, jumpdest_roots.into_iter());
-        true
+        if reachable_dynamic.is_empty() {
+            false
+        } else {
+            let jumpdest_roots: Vec<u32> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, block)| block.start < len && jumpdests[block.start])
+                .map(|(index, _)| index as u32)
+                .collect();
+            bfs(&blocks, &mut reachable, jumpdest_roots.into_iter());
+            true
+        }
     };
     for (index, block) in blocks.iter_mut().enumerate() {
         if !reachable[index] {
@@ -665,7 +719,7 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
         }
     }
 
-    // Pass 6: stack dataflow over the reachable graph (only meaningful when
+    // Pass 7: stack dataflow over the reachable graph (only meaningful when
     // every jump is statically resolved).
     let mut fatal: Vec<(usize, AnalysisError)> = fatal_candidates
         .into_iter()
@@ -674,6 +728,7 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
         .collect();
     let mut unproven: Option<UnprovenReason> = None;
     let mut worst_case_stack = None;
+    let mut unresolved_jump_pc = None;
     if has_dynamic {
         let pc = dynamic_jumps
             .iter()
@@ -681,6 +736,7 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
             .map(|&(_, pc)| pc)
             .min()
             .unwrap_or(0);
+        unresolved_jump_pc = Some(pc);
         unproven = Some(UnprovenReason::DynamicJump { pc });
     } else if !blocks.is_empty() {
         let (findings, worst) = stack_dataflow(&instrs, &blocks, &reachable);
@@ -712,6 +768,9 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
         },
     };
 
+    // Pass 8: the whole-execution cost certificate over the final graph.
+    let certificate = certificate::certify(&instrs, &blocks, &reachable, unresolved_jump_pc);
+
     CodeAnalysis {
         code_len: len,
         instruction_count,
@@ -721,6 +780,8 @@ pub fn analyze(code: &[u8]) -> CodeAnalysis {
         diagnostics,
         verdict,
         worst_case_stack,
+        resolved_jumps,
+        certificate,
     }
 }
 
@@ -1038,15 +1099,172 @@ mod tests {
 
     #[test]
     fn path_sensitive_underflow_is_unproven() {
-        // PUSH1 0, PUSH1 7, JUMPI, PUSH1 1, JUMPDEST, POP, STOP
-        // The taken branch reaches POP with an empty stack; the fall-through
-        // branch supplies one item. Possible, not certain.
-        let code = [PUSH1, 0, PUSH1, 7, JUMPI, PUSH1, 1, JUMPDEST, POP, STOP];
+        // CALLDATASIZE, PUSH1 6, JUMPI, PUSH1 1, JUMPDEST, POP, STOP
+        // The condition is genuinely dynamic: the taken branch reaches POP
+        // with an empty stack, the fall-through supplies one item.
+        // Possible, not certain.
+        let code = [0x36, PUSH1, 6, JUMPI, PUSH1, 1, JUMPDEST, POP, STOP];
         let analysis = analyze(&code);
         assert_eq!(
             *analysis.verdict(),
-            Verdict::Unproven(UnprovenReason::PossibleUnderflow { pc: 8 })
+            Verdict::Unproven(UnprovenReason::PossibleUnderflow { pc: 7 })
         );
+    }
+
+    #[test]
+    fn constant_zero_jumpi_prunes_the_dead_branch() {
+        // PUSH1 0, PUSH1 7, JUMPI, PUSH1 1, JUMPDEST, POP, STOP
+        // The condition is the constant 0: the taken edge (which would
+        // reach POP with an empty stack) is provably dead, so the old
+        // PossibleUnderflow false positive discharges to Accepted.
+        let code = [PUSH1, 0, PUSH1, 7, JUMPI, PUSH1, 1, JUMPDEST, POP, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        // The JUMPI block keeps only its fall-through edge.
+        assert_eq!(analysis.blocks()[0].successors, vec![1]);
+    }
+
+    #[test]
+    fn shuffled_push_target_jump_is_resolved_and_accepted() {
+        // PUSH1 8, PUSH1 0xAA, SWAP1, DUP1, POP, JUMP, <unreachable>,
+        // JUMPDEST(8), POP, STOP — the destination is pushed first, then
+        // shuffled through SWAP/DUP/POP before the jump consumes it.
+        let code = [
+            PUSH1, 8, PUSH1, 0xaa, 0x90, 0x80, POP, JUMP, JUMPDEST, POP, STOP,
+        ];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert_eq!(analysis.resolved_jumps(), &[(7, 8)]);
+        assert!(analysis.blocks()[0].jump_target_proven);
+        assert!(analysis.worst_case_stack_height().is_some());
+    }
+
+    #[test]
+    fn folded_constant_jump_is_resolved_through_add() {
+        // PUSH1 5, PUSH1 1, ADD, JUMP, <unreachable>, JUMPDEST(6), STOP —
+        // the corpus's dynamic-jump family: 5 + 1 folds to the valid
+        // destination 6.
+        let code = [PUSH1, 5, PUSH1, 1, ADD, JUMP, JUMPDEST, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert_eq!(analysis.resolved_jumps(), &[(5, 6)]);
+    }
+
+    #[test]
+    fn resolved_jump_to_invalid_destination_is_rejected() {
+        // PUSH1 3, PUSH1 1, ADD, JUMP, STOP — 3 + 1 = 4, not a JUMPDEST.
+        let code = [PUSH1, 3, PUSH1, 1, ADD, JUMP, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.verdict(),
+            Verdict::Rejected(AnalysisError::InvalidJumpTarget { pc: 5, target: 4 })
+        );
+        assert!(!analysis.blocks()[0].jump_target_proven);
+    }
+
+    #[test]
+    fn merge_of_disagreeing_constants_stays_unproven() {
+        // A diamond whose two arms push *different* destinations for the
+        // join block's JUMP: the join demotes the slot to unknown, so the
+        // jump stays dynamic and the verdict stays Unproven.
+        let diamond = [
+            0x36, // 0: CALLDATASIZE (unknown condition)
+            PUSH1, 9,     // 1: PUSH1 9 (taken arm)
+            JUMPI, // 3
+            PUSH1, 13, // 4: destination A = 13
+            PUSH1, 12,       // 6: PUSH1 12 (jump to the join)
+            JUMP,     // 8
+            JUMPDEST, // 9: taken arm
+            PUSH1, 14,       // 10: destination B = 14 (disagrees with A = 13)
+            JUMPDEST, // 12: join block
+            JUMP,     // 13: dynamic jump with conflicting constant inputs
+            JUMPDEST, // 14
+            STOP,     // 15
+        ];
+        let analysis = analyze(&diamond);
+        assert!(matches!(
+            analysis.verdict(),
+            Verdict::Unproven(UnprovenReason::DynamicJump { pc: 13 })
+        ));
+        assert!(analysis.resolved_jumps().is_empty());
+        assert!(matches!(
+            analysis.gas_certificate(),
+            GasCertificate::Uncertified { pc: 13 }
+        ));
+    }
+
+    #[test]
+    fn straight_line_certificate_matches_the_static_sums() {
+        let code = [PUSH1, 1, PUSH1, 2, ADD, STOP];
+        let analysis = analyze(&code);
+        let block = &analysis.blocks()[0];
+        assert_eq!(
+            *analysis.gas_certificate(),
+            GasCertificate::Bounded {
+                max_gas: block.static_gas,
+                max_mcu_cycles: block.mcu_cycles,
+            }
+        );
+    }
+
+    #[test]
+    fn branchier_path_bounds_take_the_maximum() {
+        // CALLDATASIZE, PUSH1 6, JUMPI, PUSH1 1, POP, JUMPDEST?, ...
+        //  0: CALLDATASIZE
+        //  1: PUSH1 7
+        //  3: JUMPI            -> 7 (cheap) / 4 (expensive fall-through)
+        //  4: PUSH1 1
+        //  6: POP? -- pc 6 POP then JUMPDEST@7:
+        let code = [0x36, PUSH1, 7, JUMPI, PUSH1, 1, POP, JUMPDEST, STOP];
+        let analysis = analyze(&code);
+        let blocks = analysis.blocks();
+        let expensive: u64 = blocks[0].static_gas + blocks[1].static_gas + blocks[2].static_gas;
+        assert_eq!(
+            analysis.gas_certificate().bounds().map(|(gas, _)| gas),
+            Some(expensive)
+        );
+    }
+
+    #[test]
+    fn loop_certificate_is_unbounded_at_the_loop_head() {
+        // PUSH1 5, JUMPDEST(2), PUSH1 1, SWAP1, SUB, DUP1, PUSH1 2, JUMPI, STOP
+        let code = [
+            PUSH1, 5, JUMPDEST, PUSH1, 1, 0x90, 0x03, 0x80, PUSH1, 2, JUMPI, STOP,
+        ];
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.gas_certificate(),
+            GasCertificate::Unbounded { loop_head: 2 }
+        );
+    }
+
+    #[test]
+    fn call_bearing_code_is_uncertified() {
+        // PUSHx0 CALL args... simplest: 7 zero pushes then CALL, STOP.
+        let mut code = Vec::new();
+        for _ in 0..7 {
+            code.extend_from_slice(&[PUSH1, 0]);
+        }
+        code.push(0xf1); // CALL
+        code.push(STOP);
+        let analysis = analyze(&code);
+        assert_eq!(
+            *analysis.gas_certificate(),
+            GasCertificate::Uncertified { pc: 14 }
+        );
+        assert!(!analysis.gas_certificate().within_gas_budget(u64::MAX));
+    }
+
+    #[test]
+    fn unreachable_loops_do_not_defeat_the_certificate() {
+        // PUSH1 4, JUMP, <dead infinite loop: JUMPDEST? no>, JUMPDEST, STOP
+        // Dead code after an unconditional jump: JUMPDEST@3, PUSH1 3, JUMP
+        // would be reachable via the conservative rule pre-resolution; with
+        // the resolved CFG it is not.
+        let code = [PUSH1, 7, JUMP, JUMPDEST, PUSH1, 3, JUMP, JUMPDEST, STOP];
+        let analysis = analyze(&code);
+        assert_eq!(*analysis.verdict(), Verdict::Accepted);
+        assert!(analysis.gas_certificate().is_bounded());
     }
 
     #[test]

@@ -5,26 +5,63 @@
 //! subframes and (via [`std::sync::Arc`]) across the experiment harness's
 //! worker threads. This is what turns the interpreter's former per-frame
 //! `analyze_jumpdests` scan into a one-time cost per distinct contract.
+//!
+//! The cache is **bounded**: above its capacity the oldest-inserted entry
+//! is evicted (insertion-order FIFO — cheap, deterministic, and a close
+//! enough proxy for LRU given that hot contracts are re-inserted only after
+//! an eviction). A long-lived node that churns through many distinct
+//! contracts therefore holds at most `capacity` artifacts, and the
+//! [`AnalysisCache::evictions`] counter surfaces the churn to the metrics
+//! registry.
 
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use tinyevm_crypto::keccak256;
 
 use crate::analyzer::{analyze, CodeAnalysis};
 
-/// A cache of analysis artifacts keyed by the Keccak-256 hash of the code.
-#[derive(Debug, Clone, Default)]
+/// Default capacity: far above any fleet's live contract count, small
+/// enough that a node churning through a whole corpus stays bounded.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A bounded cache of analysis artifacts keyed by the Keccak-256 hash of
+/// the code, evicting its oldest entry at capacity.
+#[derive(Debug, Clone)]
 pub struct AnalysisCache {
     map: HashMap<[u8; 32], Arc<CodeAnalysis>>,
+    /// Insertion order of the live keys, oldest first.
+    order: VecDeque<[u8; 32]>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl AnalysisCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` artifacts (at
+    /// least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AnalysisCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Returns the analysis for `code`, computing and memoizing it on first
@@ -41,8 +78,15 @@ impl AnalysisCache {
             return Arc::clone(analysis);
         }
         self.misses += 1;
+        if self.map.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
         let analysis = Arc::new(analyze(code));
         self.map.insert(hash, Arc::clone(&analysis));
+        self.order.push_back(hash);
         analysis
     }
 
@@ -56,7 +100,17 @@ impl AnalysisCache {
         self.misses
     }
 
-    /// Number of distinct code blobs analyzed so far.
+    /// Number of entries dropped to respect the capacity cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configured capacity cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct code blobs currently held.
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -69,8 +123,10 @@ impl AnalysisCache {
     /// Drops all cached artifacts and resets the counters.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.order.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -95,5 +151,37 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entry_first() {
+        let mut cache = AnalysisCache::with_capacity(2);
+        // Three distinct one-byte contracts.
+        cache.analyze(&[0x00]);
+        cache.analyze(&[0x01, 0x00]);
+        assert_eq!(cache.evictions(), 0);
+        cache.analyze(&[0x60, 0x01, 0x00]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+
+        // The oldest ([0x00]) was evicted: looking it up again misses and
+        // in turn evicts the second-oldest.
+        cache.analyze(&[0x00]);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2);
+        // The newest pre-eviction entry is still warm.
+        cache.analyze(&[0x60, 0x01, 0x00]);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut cache = AnalysisCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.analyze(&[0x00]);
+        cache.analyze(&[0x01, 0x00]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
     }
 }

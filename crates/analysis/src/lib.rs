@@ -29,11 +29,14 @@
 
 pub mod analyzer;
 pub mod cache;
+pub mod certificate;
 pub mod opcode;
+mod symbolic;
 
 pub use analyzer::{
     analyze, AnalysisError, BasicBlock, BlockExit, CodeAnalysis, Diagnostic, UnprovenReason,
     Verdict,
 };
 pub use cache::AnalysisCache;
+pub use certificate::GasCertificate;
 pub use opcode::{Opcode, OpcodeCategory, OpcodeInfo};

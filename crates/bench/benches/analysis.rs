@@ -31,6 +31,19 @@ fn bench_analysis(c: &mut Criterion) {
         cache.analyze(&channel_runtime);
         bencher.iter(|| cache.analyze(black_box(&channel_runtime)))
     });
+    // The full symbolic pipeline on a contract whose jump only resolves
+    // through the stack shuffle: PUSH1 8, PUSH1 0xAA, SWAP1, DUP1, POP,
+    // JUMP, JUMPDEST, POP, STOP. Yields a Bounded certificate.
+    let shuffled = vec![
+        0x60, 0x08, 0x60, 0xaa, 0x90, 0x80, 0x50, 0x56, 0x5b, 0x50, 0x00,
+    ];
+    assert!(analyze(&shuffled).gas_certificate().is_bounded());
+    group.bench_function("gas_certificate_shuffled_jump", |bencher| {
+        bencher.iter(|| analyze(black_box(&shuffled)))
+    });
+    group.bench_function("gas_certificate_channel_runtime", |bencher| {
+        bencher.iter(|| *analyze(black_box(&channel_runtime)).gas_certificate())
+    });
     group.finish();
 }
 

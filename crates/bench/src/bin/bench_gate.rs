@@ -23,6 +23,7 @@ const GATED: &[(&str, &str)] = &[
     ("crypto_ns", "ecdsa_verify"),
     ("evm_exec_ns", "hot_loop_per_op"),
     ("evm_exec_ns", "hot_loop_batched_cached"),
+    ("gas_certificate_ns", "hot_loop_analyze"),
 ];
 
 /// Extracts `"key": number` from the hand-formatted bench JSON, scoped to

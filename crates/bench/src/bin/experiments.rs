@@ -22,8 +22,9 @@ use std::time::Instant;
 
 use tinyevm_bench::{
     analysis_experiment, corpus_experiment_sharded, faults_experiment, multinode_sweep,
-    multinode_text, offchain_experiment, sample_crypto_perf, sample_evm_exec_perf, table1_text,
-    table3_text, trace_experiment, MultiNodeLane, PerfRecord, TracePerfLane,
+    multinode_text, offchain_experiment, sample_crypto_perf, sample_evm_exec_perf,
+    sample_gas_certificate_perf, table1_text, table3_text, trace_experiment, MultiNodeLane,
+    PerfRecord, TracePerfLane,
 };
 use tinyevm_channel::contracts;
 
@@ -187,6 +188,7 @@ fn main() {
         trace: trace.lanes.iter().map(TracePerfLane::from_lane).collect(),
         crypto: sample_crypto_perf(),
         evm_exec: sample_evm_exec_perf(),
+        gas_certificate: sample_gas_certificate_perf(),
         analysis,
     };
     fs::write(output_dir.join("bench.json"), record.to_json()).expect("write bench.json");

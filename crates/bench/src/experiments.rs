@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use tinyevm_analysis::{analyze, UnprovenReason, Verdict};
+use tinyevm_analysis::{analyze, GasCertificate, UnprovenReason, Verdict};
 use tinyevm_channel::{GatewayDriver, GatewaySettlementReport, ProtocolDriver, SensorSummary};
 use tinyevm_corpus::{histogram, summarize, CorpusConfig, DistributionSummary};
 use tinyevm_device::{Footprint, Mcu, PowerState};
@@ -320,6 +320,17 @@ pub struct AnalysisExperiment {
     pub unproven_possible_underflow: usize,
     /// Contracts rejected outright with a typed [`tinyevm_analysis::AnalysisError`].
     pub rejected: usize,
+    /// Dynamic jumps the symbolic pass resolved to constant destinations,
+    /// summed over the corpus.
+    pub resolved_jumps: usize,
+    /// Contracts whose gas certificate is `Bounded` (acyclic resolved CFG:
+    /// proven worst-case gas and MCU-cycle bounds).
+    pub certificates_bounded: usize,
+    /// Contracts whose gas certificate is `Unbounded` (reachable loop).
+    pub certificates_unbounded: usize,
+    /// Contracts whose gas certificate is `Uncertified` (unresolved jump or
+    /// subcall defeats static costing).
+    pub certificates_uncertified: usize,
     /// Total init-code bytes decoded.
     pub bytes_analyzed: usize,
     /// Wall clock of the verdict sweep (milliseconds).
@@ -366,6 +377,30 @@ impl AnalysisExperiment {
             self.rejected,
             percent(self.rejected)
         );
+        let _ = writeln!(
+            out,
+            "  resolved dynamic jumps: {} (constant destinations proven by the symbolic pass)",
+            self.resolved_jumps
+        );
+        let _ = writeln!(out, "Gas certificates — static worst-case cost census");
+        let _ = writeln!(
+            out,
+            "  bounded (proven gas/cycle bound):   {:>6}  ({:.1}%)",
+            self.certificates_bounded,
+            percent(self.certificates_bounded)
+        );
+        let _ = writeln!(
+            out,
+            "  unbounded (reachable loop):         {:>6}  ({:.1}%)",
+            self.certificates_unbounded,
+            percent(self.certificates_unbounded)
+        );
+        let _ = writeln!(
+            out,
+            "  uncertified (jump/subcall defeats): {:>6}  ({:.1}%)",
+            self.certificates_uncertified,
+            percent(self.certificates_uncertified)
+        );
         let throughput = if self.analysis_wall_clock_ms > 0.0 {
             self.bytes_analyzed as f64 / 1024.0 / 1024.0 / (self.analysis_wall_clock_ms / 1000.0)
         } else {
@@ -405,7 +440,23 @@ impl AnalysisExperiment {
             "  \"unproven_possible_underflow\": {},",
             self.unproven_possible_underflow
         );
-        let _ = writeln!(out, "  \"rejected\": {}", self.rejected);
+        let _ = writeln!(out, "  \"rejected\": {},", self.rejected);
+        let _ = writeln!(out, "  \"resolved_jumps\": {},", self.resolved_jumps);
+        let _ = writeln!(
+            out,
+            "  \"certificates_bounded\": {},",
+            self.certificates_bounded
+        );
+        let _ = writeln!(
+            out,
+            "  \"certificates_unbounded\": {},",
+            self.certificates_unbounded
+        );
+        let _ = writeln!(
+            out,
+            "  \"certificates_uncertified\": {}",
+            self.certificates_uncertified
+        );
         let _ = writeln!(out, "}}");
         out
     }
@@ -434,23 +485,45 @@ pub fn analysis_experiment_on(
         return experiment;
     }
 
+    #[derive(Default)]
+    struct ShardTally {
+        accepted: usize,
+        dynamic: usize,
+        underflow: usize,
+        rejected: usize,
+        bytes: usize,
+        resolved_jumps: usize,
+        bounded: usize,
+        unbounded: usize,
+        uncertified: usize,
+    }
+
     let sweep_start = Instant::now();
     let shard_len = corpus.len().div_ceil(jobs);
-    let tallies: Vec<(usize, usize, usize, usize, usize)> = std::thread::scope(|scope| {
+    let tallies: Vec<ShardTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = corpus
             .chunks(shard_len)
             .map(|shard| {
                 scope.spawn(move || {
-                    let mut tally = (0usize, 0usize, 0usize, 0usize, 0usize);
+                    let mut tally = ShardTally::default();
                     for contract in shard {
-                        tally.4 += contract.init_code.len();
-                        match analyze(&contract.init_code).verdict() {
-                            Verdict::Accepted => tally.0 += 1,
-                            Verdict::Unproven(UnprovenReason::DynamicJump { .. }) => tally.1 += 1,
-                            Verdict::Unproven(UnprovenReason::PossibleUnderflow { .. }) => {
-                                tally.2 += 1
+                        tally.bytes += contract.init_code.len();
+                        let analysis = analyze(&contract.init_code);
+                        match analysis.verdict() {
+                            Verdict::Accepted => tally.accepted += 1,
+                            Verdict::Unproven(UnprovenReason::DynamicJump { .. }) => {
+                                tally.dynamic += 1
                             }
-                            Verdict::Rejected(_) => tally.3 += 1,
+                            Verdict::Unproven(UnprovenReason::PossibleUnderflow { .. }) => {
+                                tally.underflow += 1
+                            }
+                            Verdict::Rejected(_) => tally.rejected += 1,
+                        }
+                        tally.resolved_jumps += analysis.resolved_jumps().len();
+                        match analysis.gas_certificate() {
+                            GasCertificate::Bounded { .. } => tally.bounded += 1,
+                            GasCertificate::Unbounded { .. } => tally.unbounded += 1,
+                            GasCertificate::Uncertified { .. } => tally.uncertified += 1,
                         }
                     }
                     tally
@@ -462,12 +535,16 @@ pub fn analysis_experiment_on(
             .map(|handle| handle.join().expect("analysis shard worker panicked"))
             .collect()
     });
-    for (accepted, dynamic, underflow, rejected, bytes) in tallies {
-        experiment.accepted += accepted;
-        experiment.unproven_dynamic_jump += dynamic;
-        experiment.unproven_possible_underflow += underflow;
-        experiment.rejected += rejected;
-        experiment.bytes_analyzed += bytes;
+    for tally in tallies {
+        experiment.accepted += tally.accepted;
+        experiment.unproven_dynamic_jump += tally.dynamic;
+        experiment.unproven_possible_underflow += tally.underflow;
+        experiment.rejected += tally.rejected;
+        experiment.bytes_analyzed += tally.bytes;
+        experiment.resolved_jumps += tally.resolved_jumps;
+        experiment.certificates_bounded += tally.bounded;
+        experiment.certificates_unbounded += tally.unbounded;
+        experiment.certificates_uncertified += tally.uncertified;
     }
     experiment.analysis_wall_clock_ms = sweep_start.elapsed().as_secs_f64() * 1000.0;
 
@@ -1508,6 +1585,13 @@ mod tests {
             experiment.bytes_analyzed,
             corpus.iter().map(|c| c.init_code.len()).sum::<usize>()
         );
+        assert_eq!(
+            experiment.certificates_bounded
+                + experiment.certificates_unbounded
+                + experiment.certificates_uncertified,
+            120,
+            "every contract lands in exactly one certificate bucket"
+        );
         assert_eq!(experiment.differential_contracts, 24);
         assert_eq!(
             experiment.differential_mismatches, 0,
@@ -1517,9 +1601,11 @@ mod tests {
         let sequential = analysis_experiment_on(&corpus, 24, 1);
         assert_eq!(sequential.accepted, experiment.accepted);
         assert_eq!(sequential.rejected, experiment.rejected);
+        assert_eq!(sequential.resolved_jumps, experiment.resolved_jumps);
         assert_eq!(sequential.verdicts_json(), experiment.verdicts_json());
         let text = experiment.text();
         assert!(text.contains("accepted"));
+        assert!(text.contains("Gas certificates"));
         assert!(text.contains("0 mismatch(es)"));
     }
 

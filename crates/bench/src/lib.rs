@@ -22,6 +22,6 @@ pub use experiments::{
     FaultsExperiment, MultiNodeExperiment, OffChainExperiment, TraceExperiment, TraceLane,
 };
 pub use perf::{
-    sample_crypto_perf, sample_evm_exec_perf, CryptoPerf, EvmExecPerf, MultiNodeLane, PerfRecord,
-    TracePerfLane,
+    sample_crypto_perf, sample_evm_exec_perf, sample_gas_certificate_perf, CryptoPerf, EvmExecPerf,
+    GasCertPerf, MultiNodeLane, PerfRecord, TracePerfLane,
 };

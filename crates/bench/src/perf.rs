@@ -204,6 +204,46 @@ pub fn sample_evm_exec_perf() -> EvmExecPerf {
     }
 }
 
+/// Analyzer cost of producing a full artifact — decode, symbolic jump
+/// resolution, verdict and gas certificate — for two representative
+/// contracts: one whose loop yields an `Unbounded` certificate, one whose
+/// shuffled constant jump resolves to a `Bounded` one.
+#[derive(Debug, Clone)]
+pub struct GasCertPerf {
+    /// Full analysis of the hot-loop contract (nanoseconds per run).
+    pub hot_loop_analyze_ns: f64,
+    /// Full analysis of a shuffled-constant-jump contract (nanoseconds).
+    pub shuffled_jump_analyze_ns: f64,
+}
+
+/// Samples the certificate lanes (mirrors the `analysis` criterion bench).
+pub fn sample_gas_certificate_perf() -> GasCertPerf {
+    let hot_loop = asm::assemble(
+        "PUSH3 0x002710 PUSH1 0x00
+         @loop: JUMPDEST
+         DUP1 DUP1 ADD POP
+         PUSH1 0x01 ADD DUP2 DUP2 LT PUSHLABEL @loop JUMPI
+         POP POP STOP",
+    )
+    .expect("hot loop assembles");
+    // PUSH1 8, PUSH1 0xAA, SWAP1, DUP1, POP, JUMP, JUMPDEST(8), POP, STOP.
+    let shuffled = vec![
+        0x60, 0x08, 0x60, 0xaa, 0x90, 0x80, 0x50, 0x56, 0x5b, 0x50, 0x00,
+    ];
+    let perf = GasCertPerf {
+        hot_loop_analyze_ns: median_ns(200, || {
+            std::hint::black_box(tinyevm_analysis::analyze(&hot_loop));
+        }),
+        shuffled_jump_analyze_ns: median_ns(200, || {
+            std::hint::black_box(tinyevm_analysis::analyze(&shuffled));
+        }),
+    };
+    debug_assert!(tinyevm_analysis::analyze(&shuffled)
+        .gas_certificate()
+        .is_bounded());
+    perf
+}
+
 /// One multi-node gateway lane of the perf record: the modelled cost of a
 /// whole fleet session at one sweep point.
 #[derive(Debug, Clone)]
@@ -304,6 +344,8 @@ pub struct PerfRecord {
     pub crypto: CryptoPerf,
     /// The interpreter fast-path lanes.
     pub evm_exec: EvmExecPerf,
+    /// The analyzer/certificate lanes.
+    pub gas_certificate: GasCertPerf,
     /// The static-analysis sweep over the corpus.
     pub analysis: crate::experiments::AnalysisExperiment,
 }
@@ -314,7 +356,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 5,");
+        let _ = writeln!(out, "  \"schema\": 6,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -352,6 +394,18 @@ impl PerfRecord {
         );
         let _ = writeln!(out, "    \"speedup\": {:.2}", self.evm_exec.speedup());
         let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"gas_certificate_ns\": {{");
+        let _ = writeln!(
+            out,
+            "    \"hot_loop_analyze\": {:.1},",
+            self.gas_certificate.hot_loop_analyze_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"shuffled_jump_analyze\": {:.1}",
+            self.gas_certificate.shuffled_jump_analyze_ns
+        );
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"analysis\": {{");
         let a = &self.analysis;
         let _ = writeln!(out, "    \"contracts\": {},", a.total);
@@ -367,6 +421,22 @@ impl PerfRecord {
             a.unproven_possible_underflow
         );
         let _ = writeln!(out, "    \"rejected\": {},", a.rejected);
+        let _ = writeln!(out, "    \"resolved_jumps\": {},", a.resolved_jumps);
+        let _ = writeln!(
+            out,
+            "    \"certificates_bounded\": {},",
+            a.certificates_bounded
+        );
+        let _ = writeln!(
+            out,
+            "    \"certificates_unbounded\": {},",
+            a.certificates_unbounded
+        );
+        let _ = writeln!(
+            out,
+            "    \"certificates_uncertified\": {},",
+            a.certificates_uncertified
+        );
         let _ = writeln!(
             out,
             "    \"wall_clock_ms\": {:.1},",
@@ -518,12 +588,20 @@ mod tests {
                 hot_loop_per_op_ns: 2_000_000.0,
                 hot_loop_batched_ns: 900_000.0,
             },
+            gas_certificate: GasCertPerf {
+                hot_loop_analyze_ns: 4_000.0,
+                shuffled_jump_analyze_ns: 1_500.0,
+            },
             analysis: crate::experiments::AnalysisExperiment {
                 total: 7_000,
                 accepted: 5_000,
                 unproven_dynamic_jump: 1_200,
                 unproven_possible_underflow: 300,
                 rejected: 500,
+                resolved_jumps: 1_800,
+                certificates_bounded: 6_000,
+                certificates_unbounded: 700,
+                certificates_uncertified: 300,
                 bytes_analyzed: 1_000_000,
                 analysis_wall_clock_ms: 2_000.0,
                 differential_contracts: 700,
@@ -537,11 +615,18 @@ mod tests {
             "\"hot_loop_per_op\"",
             "\"hot_loop_batched_cached\"",
             "\"speedup\"",
+            "\"gas_certificate_ns\"",
+            "\"hot_loop_analyze\"",
+            "\"shuffled_jump_analyze\"",
             "\"analysis\"",
             "\"accepted\"",
             "\"unproven_dynamic_jump\"",
             "\"unproven_possible_underflow\"",
             "\"rejected\"",
+            "\"resolved_jumps\"",
+            "\"certificates_bounded\"",
+            "\"certificates_unbounded\"",
+            "\"certificates_uncertified\"",
             "\"differential_mismatches\"",
             "\"crypto_ns\"",
             "\"ecdsa_sign\"",

@@ -1,0 +1,104 @@
+//! Soundness of the static gas/energy certificates against the interpreter.
+//!
+//! A [`GasCertificate::Bounded`] claims that *no* run of the frame charges
+//! more than its static bounds. These tests hold the analyzer to that claim
+//! on the full paper-scale corpus and on arbitrary byte soup: whenever a
+//! bounded contract executes to completion, the measured `ExecMetrics` must
+//! sit at or below the certificate, and every resolved jump edge must name
+//! a real `JUMPDEST` the interpreter would accept.
+
+use proptest::prelude::*;
+use tinyevm_analysis::{analyze, GasCertificate};
+use tinyevm_corpus::realistic_7000;
+use tinyevm_evm::{Evm, EvmConfig, GasMode, Opcode};
+
+/// The CC2538 profile with gas accounting switched on (and a limit far
+/// above any certificate the corpus produces), so `gas_used` is measured
+/// rather than reported as zero.
+fn metered_config() -> EvmConfig {
+    let mut config = EvmConfig::cc2538();
+    config.gas_mode = GasMode::Metered { limit: u64::MAX };
+    config
+}
+
+#[test]
+fn bounded_certificates_dominate_measured_cost_across_the_corpus() {
+    let mut evm = Evm::new(metered_config());
+    let mut bounded_runs = 0usize;
+    for contract in realistic_7000() {
+        let analysis = analyze(&contract.init_code);
+        let Some((max_gas, max_mcu_cycles)) = analysis.gas_certificate().bounds() else {
+            continue;
+        };
+        // Trapping runs report no metrics; the bound claim is checked on
+        // every run that completes (Stop/Return/Revert alike).
+        let Ok(result) = evm.execute(&contract.init_code, &[]) else {
+            continue;
+        };
+        assert!(
+            result.metrics.gas_used <= max_gas,
+            "contract {}: measured {} gas exceeds the static bound {max_gas}",
+            contract.id,
+            result.metrics.gas_used
+        );
+        assert!(
+            result.metrics.mcu_cycles <= max_mcu_cycles,
+            "contract {}: measured {} cycles exceeds the static bound {max_mcu_cycles}",
+            contract.id,
+            result.metrics.mcu_cycles
+        );
+        bounded_runs += 1;
+    }
+    // The shuffled-jump family alone guarantees a healthy population.
+    assert!(
+        bounded_runs > 40,
+        "only {bounded_runs} bounded contracts executed — the sweep lost its teeth"
+    );
+}
+
+#[test]
+fn resolved_jump_edges_point_at_real_jumpdests() {
+    let mut resolved_edges = 0usize;
+    for contract in realistic_7000() {
+        let analysis = analyze(&contract.init_code);
+        for &(pc, target) in analysis.resolved_jumps() {
+            assert!(
+                analysis.is_jumpdest(target),
+                "contract {}: resolved jump at pc {pc} names {target}, not a JUMPDEST",
+                contract.id
+            );
+            assert_eq!(
+                contract.init_code[target],
+                Opcode::JumpDest.to_byte(),
+                "contract {}: pc {target} is not a JUMPDEST byte",
+                contract.id
+            );
+            resolved_edges += 1;
+        }
+    }
+    assert!(
+        resolved_edges > 100,
+        "only {resolved_edges} resolved edges across the corpus"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytecode: analysis must never panic, and any `Bounded`
+    /// certificate it issues must dominate a completed metered run.
+    #[test]
+    fn random_bytecode_never_beats_its_certificate(
+        code in proptest::collection::vec(any::<u8>(), 0..300)
+    ) {
+        let analysis = analyze(&code);
+        if let GasCertificate::Bounded { max_gas, max_mcu_cycles } = *analysis.gas_certificate() {
+            let mut config = metered_config();
+            config.instruction_limit = 20_000;
+            if let Ok(result) = Evm::new(config).execute(&code, &[]) {
+                prop_assert!(result.metrics.gas_used <= max_gas);
+                prop_assert!(result.metrics.mcu_cycles <= max_mcu_cycles);
+            }
+        }
+    }
+}

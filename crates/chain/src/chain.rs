@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use tinyevm_analysis::{analyze, AnalysisError, Verdict};
+use tinyevm_analysis::{analyze, AnalysisError, GasCertificate, Verdict};
 use tinyevm_crypto::keccak256_h256;
 use tinyevm_evm::{ContractStore, EvmConfig, Host, NullIotEnvironment};
 use tinyevm_types::{Address, Wei, H256};
@@ -100,6 +100,15 @@ pub enum ChainError {
     /// The static analyzer rejected the submitted init code before any of
     /// it executed (only on chains built with deploy validation enabled).
     EvmCodeRejected(AnalysisError),
+    /// The submitted init code lacks a worst-case gas proof within the
+    /// chain's admission budget (only on chains built with
+    /// [`Blockchain::with_gas_certificate_budget`]).
+    EvmCodeOverBudget {
+        /// What the analyzer could prove about the init code's cost.
+        certificate: GasCertificate,
+        /// The chain's admission budget in gas units.
+        budget: u64,
+    },
 }
 
 impl core::fmt::Display for ChainError {
@@ -115,6 +124,15 @@ impl core::fmt::Display for ChainError {
             ChainError::EvmDeploymentFailed => write!(f, "on-chain EVM deployment failed"),
             ChainError::EvmCodeRejected(error) => {
                 write!(f, "static analysis rejected the init code: {error}")
+            }
+            ChainError::EvmCodeOverBudget {
+                certificate,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "init code not provably within the chain's {budget}-gas admission budget ({certificate})"
+                )
             }
         }
     }
@@ -180,6 +198,21 @@ impl Blockchain {
             .config()
             .clone()
             .with_deploy_validation(enabled);
+        self.evm_world = ContractStore::new(config);
+        self
+    }
+
+    /// Returns a copy whose embedded EVM world demands a static worst-case
+    /// gas proof of at most `max_gas` from every deployed contract:
+    /// submitted init code is refused with [`ChainError::EvmCodeOverBudget`]
+    /// unless its certificate is `Bounded` within the budget, and nested
+    /// `CREATE`s refuse runtime code the same way.
+    pub fn with_gas_certificate_budget(mut self, max_gas: u64) -> Self {
+        let config = self
+            .evm_world
+            .config()
+            .clone()
+            .with_gas_certificate_budget(max_gas);
         self.evm_world = ContractStore::new(config);
         self
     }
@@ -506,9 +539,21 @@ impl Blockchain {
         creator: Address,
         init_code: &[u8],
     ) -> Result<Address, ChainError> {
-        if self.evm_world.config().validate_on_deploy {
-            if let Verdict::Rejected(error) = analyze(init_code).verdict() {
-                return Err(ChainError::EvmCodeRejected(error.clone()));
+        let config = self.evm_world.config();
+        if config.validate_on_deploy || config.gas_certificate_budget.is_some() {
+            let analysis = analyze(init_code);
+            if config.validate_on_deploy {
+                if let Verdict::Rejected(error) = analysis.verdict() {
+                    return Err(ChainError::EvmCodeRejected(error.clone()));
+                }
+            }
+            if let Some(budget) = config.gas_certificate_budget {
+                if !analysis.gas_certificate().within_gas_budget(budget) {
+                    return Err(ChainError::EvmCodeOverBudget {
+                        certificate: *analysis.gas_certificate(),
+                        budget,
+                    });
+                }
             }
         }
         let outcome = self.evm_world.create(
@@ -818,5 +863,38 @@ mod tests {
             open.deploy_evm_contract(open_sender.eth_address(), &bad_init),
             Err(ChainError::EvmDeploymentFailed)
         ));
+    }
+
+    #[test]
+    fn budgeted_chain_demands_a_bounded_gas_proof() {
+        let mut chain = Blockchain::new().with_gas_certificate_budget(100_000);
+        let sender = PrivateKey::from_seed(b"budgeted");
+        chain.fund(sender.eth_address(), Wei::from(10_000u64));
+
+        // A looping constructor can never prove a bound: refused before
+        // execution, regardless of whether it would actually halt.
+        let looping = asm::assemble("JUMPDEST PUSH1 0x00 JUMP").unwrap();
+        match chain.deploy_evm_contract(sender.eth_address(), &looping) {
+            Err(ChainError::EvmCodeOverBudget {
+                certificate,
+                budget,
+            }) => {
+                assert_eq!(certificate, GasCertificate::Unbounded { loop_head: 0 });
+                assert_eq!(budget, 100_000);
+            }
+            other => panic!("expected EvmCodeOverBudget, got {other:?}"),
+        }
+        assert!(chain.transactions().is_empty());
+
+        // A straight-line contract carries its proof and deploys.
+        let runtime =
+            asm::assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = asm::wrap_as_init_code(&runtime);
+        let contract = chain
+            .deploy_evm_contract(sender.eth_address(), &init)
+            .unwrap();
+        let (output, success) = chain.call_evm_contract(sender.eth_address(), contract, &[]);
+        assert!(success);
+        assert_eq!(output[31], 42);
     }
 }

@@ -75,7 +75,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
-use tinyevm_analysis::{analyze, AnalysisError, Verdict};
+use tinyevm_analysis::{analyze, AnalysisError, GasCertificate, Verdict};
 use tinyevm_chain::{ChannelState, CommitEnvelope};
 use tinyevm_crypto::secp256k1::Signature;
 use tinyevm_device::{Device, RadioDirection};
@@ -120,6 +120,18 @@ pub enum EndpointError {
     /// The static analyzer refused a contract template before the device
     /// spent any constructor cycles on it.
     ContractRejected(AnalysisError),
+    /// The contract template's statically proven worst-case CPU energy
+    /// exceeds this endpoint's deploy budget — or no bound could be proven
+    /// at all (only on endpoints built with
+    /// [`ChannelEndpoint::with_deploy_energy_budget_mj`]).
+    EnergyBudgetExceeded {
+        /// The proven worst-case CPU energy in millijoules, when the
+        /// analyzer produced a bound; `None` when the cost is unbounded or
+        /// uncertifiable.
+        required_mj: Option<f64>,
+        /// The endpoint's configured budget in millijoules.
+        budget_mj: f64,
+    },
     /// The retransmission budget for the in-flight protocol round ran out;
     /// the round was abandoned and the endpoint returned to idle. Committed
     /// channel state (accepted payments, the side-chain log, collected
@@ -151,6 +163,19 @@ impl core::fmt::Display for EndpointError {
             EndpointError::ContractRejected(error) => {
                 write!(f, "static analysis rejected the contract template: {error}")
             }
+            EndpointError::EnergyBudgetExceeded {
+                required_mj,
+                budget_mj,
+            } => match required_mj {
+                Some(required) => write!(
+                    f,
+                    "contract needs up to {required:.3} mJ of CPU energy, budget is {budget_mj:.3} mJ"
+                ),
+                None => write!(
+                    f,
+                    "contract has no provable worst-case energy bound (budget is {budget_mj:.3} mJ)"
+                ),
+            },
             EndpointError::RoundAborted { peer, attempts } => {
                 write!(
                     f,
@@ -447,6 +472,9 @@ pub struct ChannelEndpoint {
     retry: RetryPolicy,
     last_sent: Option<RetrySlot>,
     tracer: TraceHandle,
+    /// When set, contract templates must carry a static worst-case CPU
+    /// energy proof within this many millijoules to be deployed.
+    energy_budget_mj: Option<f64>,
 }
 
 impl ChannelEndpoint {
@@ -469,7 +497,22 @@ impl ChannelEndpoint {
             retry: RetryPolicy::default(),
             last_sent: None,
             tracer: TraceHandle::default(),
+            energy_budget_mj: None,
         }
+    }
+
+    /// Builder: refuse to deploy any contract template without a static
+    /// worst-case CPU energy proof of at most `budget_mj` millijoules.
+    ///
+    /// The bound is derived from the analyzer's
+    /// [`GasCertificate::Bounded`] MCU-cycle bound via the device's clock
+    /// and active-CPU current at the meter's supply voltage — a battery
+    /// admission gate: a sensor node can refuse code it cannot afford to
+    /// run even once in the worst case.
+    #[must_use]
+    pub fn with_deploy_energy_budget_mj(mut self, budget_mj: f64) -> Self {
+        self.energy_budget_mj = Some(budget_mj);
+        self
     }
 
     /// Routes this endpoint's trace output — round phases, per-round
@@ -1560,8 +1603,27 @@ impl ChannelEndpoint {
         &mut self,
         init_code: &[u8],
     ) -> Result<(Address, Duration), EndpointError> {
-        if let Verdict::Rejected(error) = analyze(init_code).verdict() {
+        let analysis = analyze(init_code);
+        if let Verdict::Rejected(error) = analysis.verdict() {
             return Err(EndpointError::ContractRejected(error.clone()));
+        }
+        if let Some(budget_mj) = self.energy_budget_mj {
+            // Turn the static MCU-cycle bound into worst-case CPU energy at
+            // this device's clock and supply voltage. No bound, no deploy.
+            let mcu = self.device.config().mcu;
+            let voltage = self.device.energy_report().voltage;
+            let required_mj = match analysis.gas_certificate() {
+                GasCertificate::Bounded { max_mcu_cycles, .. } => {
+                    Some(mcu.cpu_energy_mj(*max_mcu_cycles, voltage))
+                }
+                GasCertificate::Unbounded { .. } | GasCertificate::Uncertified { .. } => None,
+            };
+            if required_mj.map_or(true, |required| required > budget_mj) {
+                return Err(EndpointError::EnergyBudgetExceeded {
+                    required_mj,
+                    budget_mj,
+                });
+            }
         }
         self.device
             .create_local_contract(init_code)
@@ -1747,5 +1809,49 @@ mod tests {
             }
             other => panic!("expected ContractRejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn energy_budget_refuses_unprovable_and_over_budget_templates() {
+        // The real payment-channel template contains a constructor loop, so
+        // no finite energy bound exists: a budgeted endpoint refuses it
+        // outright, whatever the budget.
+        let template = contracts::payment_channel_init_code(
+            tinyevm_device::sensors::peripheral_id::TEMPERATURE,
+            7,
+        );
+        let mut endpoint = ChannelEndpoint::two_party_sender("sensor", NodeAddr(1))
+            .with_deploy_energy_budget_mj(100.0);
+        match endpoint.deploy_verified_contract(&template) {
+            Err(EndpointError::EnergyBudgetExceeded {
+                required_mj: None,
+                budget_mj,
+            }) => assert_eq!(budget_mj, 100.0),
+            other => panic!("expected EnergyBudgetExceeded, got {other:?}"),
+        }
+
+        // A straight-line constructor carries a proof: PUSH1 0, PUSH1 0,
+        // MSTORE8, PUSH1 1, PUSH1 0, RETURN — deploys a one-byte runtime.
+        let straight = vec![0x60, 0x00, 0x60, 0x00, 0x53, 0x60, 0x01, 0x60, 0x00, 0xf3];
+        let mut generous = ChannelEndpoint::two_party_sender("rich", NodeAddr(2))
+            .with_deploy_energy_budget_mj(100.0);
+        assert!(generous.deploy_verified_contract(&straight).is_ok());
+        let mut stingy = ChannelEndpoint::two_party_sender("poor", NodeAddr(3))
+            .with_deploy_energy_budget_mj(1e-12);
+        match stingy.deploy_verified_contract(&straight) {
+            Err(EndpointError::EnergyBudgetExceeded {
+                required_mj: Some(required),
+                budget_mj,
+            }) => {
+                assert!(required > budget_mj);
+                // The proven bound is tiny in absolute terms: well under a
+                // millijoule of CPU for six instructions.
+                assert!(required < 1.0);
+            }
+            other => panic!("expected EnergyBudgetExceeded, got {other:?}"),
+        }
+        // An un-budgeted endpoint deploys the looping template unchanged.
+        let mut open = ChannelEndpoint::two_party_sender("open", NodeAddr(4));
+        assert!(open.deploy_verified_contract(&template).is_ok());
     }
 }

@@ -70,6 +70,15 @@ impl Mcu {
     pub fn deployment_time(&self, metrics: &ExecMetrics) -> Duration {
         self.cycles_to_duration(self.deployment_overhead_cycles + metrics.mcu_cycles)
     }
+
+    /// Energy in millijoules the CPU draws while interpreting `cycles`
+    /// MCU cycles at the given supply voltage (the active-CPU current of
+    /// the energy model, Table IV). This is how a static cycle bound from
+    /// the analyzer becomes a static *energy* bound for admission gates.
+    pub fn cpu_energy_mj(&self, cycles: u64, voltage: f64) -> f64 {
+        let seconds = cycles as f64 / self.clock_hz as f64;
+        crate::energy::PowerState::CpuActive.current_ma() * voltage * seconds
+    }
 }
 
 impl Default for Mcu {
@@ -122,6 +131,18 @@ mod tests {
         assert!(time > Duration::ZERO);
         // 1000 MULs at 420 cycles = 420k cycles ≈ 13.1 ms.
         assert!(time > Duration::from_millis(10) && time < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cpu_energy_follows_the_active_current_model() {
+        let mcu = Mcu::cc2538();
+        // One second of CPU at 13 mA and 2.1 V is 27.3 mJ.
+        let energy = mcu.cpu_energy_mj(32_000_000, 2.1);
+        assert!((energy - 27.3).abs() < 1e-9);
+        assert_eq!(mcu.cpu_energy_mj(0, 2.1), 0.0);
+        // Halving the clock doubles the time, and so the energy.
+        let slow = Mcu::with_clock(16_000_000);
+        assert!((slow.cpu_energy_mj(32_000_000, 2.1) - 2.0 * energy).abs() < 1e-9);
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub struct EvmConfig {
     /// intentionally-malformed contracts whose runtime traps are themselves
     /// the measurement.
     pub validate_on_deploy: bool,
+    /// When set, deployment additionally demands a
+    /// [`tinyevm_analysis::GasCertificate::Bounded`] proof with
+    /// `max_gas` at or below this budget for both init and runtime code.
+    /// Contracts whose worst-case cost is unbounded (reachable loop) or
+    /// uncertifiable (unresolved jump, subcalls) are refused: admission
+    /// requires a proof, not the absence of one. `None` (the default)
+    /// disables the gate.
+    #[serde(default)]
+    pub gas_certificate_budget: Option<u64>,
 }
 
 impl EvmConfig {
@@ -97,6 +106,7 @@ impl EvmConfig {
             off_chain: true,
             per_op_metering: false,
             validate_on_deploy: false,
+            gas_certificate_budget: None,
         }
     }
 
@@ -115,6 +125,7 @@ impl EvmConfig {
             off_chain: false,
             per_op_metering: false,
             validate_on_deploy: false,
+            gas_certificate_budget: None,
         }
     }
 
@@ -147,6 +158,13 @@ impl EvmConfig {
     /// Returns a copy with the deploy-time static-analysis gate toggled.
     pub fn with_deploy_validation(mut self, enabled: bool) -> Self {
         self.validate_on_deploy = enabled;
+        self
+    }
+
+    /// Returns a copy demanding a static worst-case gas proof of at most
+    /// `max_gas` from every deployed contract (init and runtime code).
+    pub fn with_gas_certificate_budget(mut self, max_gas: u64) -> Self {
+        self.gas_certificate_budget = Some(max_gas);
         self
     }
 }

@@ -7,7 +7,7 @@
 //! exactly that flow and returns the per-contract measurements that populate
 //! Table II and Figures 3 and 4.
 
-use tinyevm_analysis::{analyze, AnalysisError, Verdict};
+use tinyevm_analysis::{analyze, AnalysisError, GasCertificate, Verdict};
 use tinyevm_types::{Address, U256};
 
 use crate::config::EvmConfig;
@@ -51,6 +51,23 @@ pub enum DeployError {
     /// The static analyzer rejected the constructor's returned runtime code
     /// (only with [`EvmConfig::validate_on_deploy`] enabled).
     RuntimeCodeRejected(AnalysisError),
+    /// The init code lacks a worst-case gas proof within the configured
+    /// budget (only with [`EvmConfig::gas_certificate_budget`] set).
+    InitCodeOverBudget {
+        /// What the analyzer could prove about the init code's cost.
+        certificate: GasCertificate,
+        /// The configured admission budget in gas units.
+        budget: u64,
+    },
+    /// The returned runtime code lacks a worst-case gas proof within the
+    /// configured budget (only with [`EvmConfig::gas_certificate_budget`]
+    /// set).
+    RuntimeCodeOverBudget {
+        /// What the analyzer could prove about the runtime code's cost.
+        certificate: GasCertificate,
+        /// The configured admission budget in gas units.
+        budget: u64,
+    },
 }
 
 impl core::fmt::Display for DeployError {
@@ -73,6 +90,24 @@ impl core::fmt::Display for DeployError {
             }
             DeployError::RuntimeCodeRejected(error) => {
                 write!(f, "runtime code rejected by static analysis: {error}")
+            }
+            DeployError::InitCodeOverBudget {
+                certificate,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "init code not provably within the {budget}-gas budget ({certificate})"
+                )
+            }
+            DeployError::RuntimeCodeOverBudget {
+                certificate,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "runtime code not provably within the {budget}-gas budget ({certificate})"
+                )
             }
         }
     }
@@ -180,9 +215,20 @@ pub fn deploy_with(
     // Deploy-time gate: refuse statically-rejected init code before a single
     // instruction runs. Constructor arguments are appended to the code but
     // never executed, so only the init code proper is analyzed.
-    if config.validate_on_deploy {
-        if let Verdict::Rejected(error) = analyze(init_code).verdict() {
-            return Err(DeployError::InitCodeRejected(error.clone()));
+    if config.validate_on_deploy || config.gas_certificate_budget.is_some() {
+        let analysis = analyze(init_code);
+        if config.validate_on_deploy {
+            if let Verdict::Rejected(error) = analysis.verdict() {
+                return Err(DeployError::InitCodeRejected(error.clone()));
+            }
+        }
+        if let Some(budget) = config.gas_certificate_budget {
+            if !analysis.gas_certificate().within_gas_budget(budget) {
+                return Err(DeployError::InitCodeOverBudget {
+                    certificate: *analysis.gas_certificate(),
+                    budget,
+                });
+            }
         }
     }
 
@@ -223,9 +269,20 @@ pub fn deploy_with(
                     limit: config.max_code_size,
                 });
             }
-            if config.validate_on_deploy {
-                if let Verdict::Rejected(error) = analyze(&runtime_code).verdict() {
-                    return Err(DeployError::RuntimeCodeRejected(error.clone()));
+            if config.validate_on_deploy || config.gas_certificate_budget.is_some() {
+                let analysis = analyze(&runtime_code);
+                if config.validate_on_deploy {
+                    if let Verdict::Rejected(error) = analysis.verdict() {
+                        return Err(DeployError::RuntimeCodeRejected(error.clone()));
+                    }
+                }
+                if let Some(budget) = config.gas_certificate_budget {
+                    if !analysis.gas_certificate().within_gas_budget(budget) {
+                        return Err(DeployError::RuntimeCodeOverBudget {
+                            certificate: *analysis.gas_certificate(),
+                            budget,
+                        });
+                    }
                 }
             }
             let deployed_memory_bytes = runtime_code.len();
@@ -485,5 +542,42 @@ mod tests {
         let init = wrap_as_init_code(&runtime);
         let result = deploy(&gated(), &init).unwrap();
         assert_eq!(result.runtime_code, runtime);
+    }
+
+    #[test]
+    fn budget_gate_admits_cheap_contracts_and_refuses_tight_budgets() {
+        let runtime =
+            assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let init = wrap_as_init_code(&runtime);
+        // A generous budget admits; the un-budgeted profile is unaffected.
+        assert!(deploy(&config().with_gas_certificate_budget(100_000), &init).is_ok());
+        // A one-gas budget refuses the init code with its certificate.
+        let error = deploy(&config().with_gas_certificate_budget(1), &init).unwrap_err();
+        match error {
+            DeployError::InitCodeOverBudget {
+                certificate,
+                budget: 1,
+            } => assert!(certificate.is_bounded()),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_gate_refuses_unbounded_runtime_code() {
+        // Clean constructor, but the returned runtime loops forever:
+        // JUMPDEST, PUSH1 0, JUMP — no finite worst-case bound exists.
+        let looping = assemble("JUMPDEST PUSH1 0x00 JUMP").unwrap();
+        let init = wrap_as_init_code(&looping);
+        let error = deploy(&config().with_gas_certificate_budget(1_000_000), &init).unwrap_err();
+        assert_eq!(
+            error,
+            DeployError::RuntimeCodeOverBudget {
+                certificate: GasCertificate::Unbounded { loop_head: 0 },
+                budget: 1_000_000,
+            }
+        );
+        assert!(!error.is_resource_limit());
+        // Without the budget the same contract deploys fine.
+        assert!(deploy(&config(), &init).is_ok());
     }
 }

@@ -373,13 +373,30 @@ impl ContractStore {
         // Look the analysis up (an Arc clone) before handing `self` to the
         // interpreter as the host.
         let misses_before = self.analyses.misses();
+        let evictions_before = self.analyses.evictions();
         let analysis = self.analyses.analyze(code);
         if self.tracer.enabled() {
             if self.analyses.misses() > misses_before {
                 self.tracer.count("evm.analysis_cache.misses", 1);
+                // A miss ran the full analyzer: surface what the symbolic
+                // pass concluded about this (previously unseen) code.
+                self.tracer.count("analysis.verdicts", 1);
+                let resolved = analysis.resolved_jumps().len() as u64;
+                if resolved > 0 {
+                    self.tracer.count("analysis.resolved_jumps", resolved);
+                }
+                if analysis.gas_certificate().is_bounded() {
+                    self.tracer.count("analysis.certificates", 1);
+                }
             } else {
                 self.tracer.count("evm.analysis_cache.hits", 1);
             }
+            let evicted = self.analyses.evictions() - evictions_before;
+            if evicted > 0 {
+                self.tracer.count("evm.analysis_cache.evictions", evicted);
+            }
+            self.tracer
+                .gauge("evm.analysis_cache.entries", self.analyses.len() as f64);
         }
         let mut evm = Evm::new(self.config.clone()).with_tracer(self.tracer.clone());
         let result = evm.execute_analyzed(
@@ -511,16 +528,23 @@ impl Host for ContractStore {
             };
         }
         // Deploy-time gate: a world with validation enabled refuses to
-        // install statically-rejected runtime code.
-        if self.config.validate_on_deploy
-            && self.analyses.analyze(&frame.output).verdict().is_rejected()
-        {
-            return CallOutcome {
-                success: false,
-                output: Vec::new(),
-                metrics: frame.metrics,
-                created: None,
-            };
+        // install statically-rejected runtime code, and a world with a gas
+        // budget demands a bounded worst-case-cost proof within it.
+        if self.config.validate_on_deploy || self.config.gas_certificate_budget.is_some() {
+            let analysis = self.analyses.analyze(&frame.output);
+            let rejected = self.config.validate_on_deploy && analysis.verdict().is_rejected();
+            let over_budget = self
+                .config
+                .gas_certificate_budget
+                .is_some_and(|budget| !analysis.gas_certificate().within_gas_budget(budget));
+            if rejected || over_budget {
+                return CallOutcome {
+                    success: false,
+                    output: Vec::new(),
+                    metrics: frame.metrics,
+                    created: None,
+                };
+            }
         }
         self.install_code(new_address, frame.output.clone());
         CallOutcome {

@@ -256,6 +256,7 @@ impl Evm {
             pc: 0,
             block_limit: 0,
             batched: false,
+            block_jump_proven: false,
         }
         .run();
         self.tracer.event(|| match &result {
@@ -336,6 +337,10 @@ struct Frame<'a> {
     /// True while executing a block whose budgets were charged in bulk at
     /// entry, so the per-opcode bookkeeping must not run.
     batched: bool,
+    /// True while executing a block whose terminating jump's destination the
+    /// static analyzer proved to be a valid `JUMPDEST`, so the runtime
+    /// bitmap check can be skipped.
+    block_jump_proven: bool,
 }
 
 enum Step {
@@ -405,6 +410,7 @@ impl<'a> Frame<'a> {
     /// count match exactly.
     fn enter_block(&mut self) {
         self.batched = false;
+        self.block_jump_proven = false;
         let analysis = self.analysis;
         let block = match analysis.block_at(self.pc) {
             Some(block) => block,
@@ -416,6 +422,7 @@ impl<'a> Frame<'a> {
             }
         };
         self.block_limit = block.end.max(self.pc + 1);
+        self.block_jump_proven = block.jump_target_proven;
         if self.config.per_op_metering
             || block.interior_trap_risk
             || block.has_undefined
@@ -833,6 +840,12 @@ impl<'a> Frame<'a> {
     }
 
     fn validate_jump(&self, destination: usize) -> Result<(), TrapReason> {
+        if self.block_jump_proven {
+            // The symbolic pass proved the destination this block's jump
+            // pops is a valid JUMPDEST on every path; skip the bitmap probe.
+            debug_assert!(self.analysis.is_jumpdest(destination));
+            return Ok(());
+        }
         if !self.analysis.is_jumpdest(destination) {
             return Err(TrapReason::InvalidJump { destination });
         }
