@@ -21,10 +21,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tinyevm_bench::{
-    analysis_experiment, corpus_experiment_sharded, faults_experiment, multinode_sweep,
-    multinode_text, offchain_experiment, sample_crypto_perf, sample_evm_exec_perf,
-    sample_gas_certificate_perf, table1_text, table3_text, trace_experiment, MultiNodeLane,
-    PerfRecord, TracePerfLane,
+    analysis_experiment, corpus_experiment_sharded, faults_experiment, fleet_sim_sweep,
+    fleet_sim_text, multinode_sweep, multinode_text, offchain_experiment, sample_crypto_perf,
+    sample_evm_exec_perf, sample_gas_certificate_perf, table1_text, table3_text, trace_experiment,
+    MultiNodeLane, PerfRecord, SimPerfLane, TracePerfLane,
 };
 use tinyevm_channel::contracts;
 
@@ -37,9 +37,13 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let mut index = 0;
+    let mut quick = false;
     while index < args.len() {
         match args[index].as_str() {
-            "--quick" => count = 700,
+            "--quick" => {
+                count = 700;
+                quick = true;
+            }
             "--count" => {
                 index += 1;
                 count = args
@@ -130,7 +134,21 @@ fn main() {
         "running the multi-node gateway sweep ({fleet_sizes:?} sensors × {rounds} rounds, {jobs} workers)..."
     );
     let multinode = multinode_sweep(&fleet_sizes, rounds, jobs);
-    emit("multinode.txt", &multinode_text(&multinode));
+
+    // The contending fleet simulation: the virtual-clock event scheduler
+    // drives every sensor concurrently against one gateway over a CSMA/CA
+    // medium. One payment round per sensor — the 1024-sensor point alone
+    // is a thousand settled channels. Quick runs trim the sweep; the
+    // 64-sensor point is always present because `bench_gate` gates it.
+    let sim_sizes: &[usize] = if quick { &[16, 64] } else { &[64, 256, 1024] };
+    eprintln!(
+        "running the contending fleet simulation ({sim_sizes:?} sensors, CSMA/CA, {jobs} workers)..."
+    );
+    let sim = fleet_sim_sweep(sim_sizes, 1, jobs);
+    emit(
+        "multinode.txt",
+        &format!("{}\n{}", multinode_text(&multinode), fleet_sim_text(&sim)),
+    );
 
     // The traced fleet sweep: the same fleet sizes re-run with a recording
     // tracer attached, distilled into per-phase time shares, round-latency
@@ -186,6 +204,7 @@ fn main() {
             .map(MultiNodeLane::from_experiment)
             .collect(),
         trace: trace.lanes.iter().map(TracePerfLane::from_lane).collect(),
+        sim: sim.iter().map(SimPerfLane::from_experiment).collect(),
         crypto: sample_crypto_perf(),
         evm_exec: sample_evm_exec_perf(),
         gas_certificate: sample_gas_certificate_perf(),

@@ -10,6 +10,7 @@ use tinyevm_device::{Footprint, Mcu, PowerState};
 use tinyevm_evm::opcode::{evm_census, tinyevm_census};
 use tinyevm_evm::{deploy, Evm, EvmConfig};
 use tinyevm_net::LinkConfig;
+use tinyevm_sim::{FleetConfig, FleetReport, FleetScheduler};
 use tinyevm_types::Wei;
 
 /// Results of the corpus macro-benchmark (Table II, Figures 3 and 4).
@@ -1321,6 +1322,138 @@ pub fn multinode_text(sweep: &[MultiNodeExperiment]) -> String {
         let _ = writeln!(out);
         out.push_str(&experiment.text());
     }
+    out
+}
+
+/// One fleet-simulation sweep point: `sensors` endpoints contending on a
+/// CSMA/CA medium under the virtual-clock event scheduler, every round
+/// completing and every channel settling on-chain.
+#[derive(Debug, Clone)]
+pub struct FleetSimExperiment {
+    /// Sensors contending on the medium.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Amount of each payment.
+    pub amount: Wei,
+    /// Goodput / airtime / collision aggregates from the scheduler.
+    pub report: FleetReport,
+    /// Median end-to-end round latency (virtual time).
+    pub p50_latency: Duration,
+    /// 99th-percentile end-to-end round latency (virtual time).
+    pub p99_latency: Duration,
+    /// Sensors quarantined after repeated violations (0 on a clean run).
+    pub quarantined: usize,
+    /// Channels that settled on-chain.
+    pub settlements: usize,
+    /// Total the settlement paid the gateway.
+    pub settled_total: Wei,
+}
+
+/// Runs one fleet-simulation scenario: `sensors` devices all opening
+/// channels, contending for the medium with CSMA/CA, completing `rounds`
+/// payments each under collisions and bounded RX queues, then settling.
+/// Fully deterministic: the medium seed derives from the fleet size, so
+/// the same parameters always produce byte-identical statistics at any
+/// `jobs` value.
+pub fn fleet_sim_experiment(sensors: usize, rounds: usize, jobs: usize) -> FleetSimExperiment {
+    let amount = Wei::from(2_500u64);
+    let mut config = FleetConfig::csma(sensors, 0xF1EE7 ^ sensors as u64);
+    config.deposit = Wei::from(1_000_000u64);
+    config.jobs = jobs.max(1);
+    let mut fleet = FleetScheduler::new(config);
+    fleet.open_all().expect("fleet channels open");
+    fleet.run(rounds, amount).expect("fleet rounds run");
+
+    let mut latencies: Vec<Duration> = fleet
+        .rounds()
+        .iter()
+        .map(|round| round.end_to_end_latency)
+        .collect();
+    latencies.sort();
+    let percentile = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
+        latencies[rank.min(latencies.len()) - 1]
+    };
+    let (p50_latency, p99_latency) = (percentile(50.0), percentile(99.0));
+
+    let report = fleet.report();
+    let quarantined = fleet.quarantined_count();
+    let settlement = fleet.settle_all().expect("fleet settles");
+    FleetSimExperiment {
+        sensors,
+        rounds,
+        amount,
+        report,
+        p50_latency,
+        p99_latency,
+        quarantined,
+        settlements: settlement.settlements.len(),
+        settled_total: settlement.total_to_gateway,
+    }
+}
+
+/// Runs the fleet-simulation sweep, one scenario per entry of
+/// `sensor_counts`. Sweep points run sequentially (each already shards
+/// its compute-bound phases across `jobs` worker threads internally), and
+/// every point is independently seeded, so the sweep is byte-identical
+/// across runs, machines and `jobs` values.
+pub fn fleet_sim_sweep(
+    sensor_counts: &[usize],
+    rounds: usize,
+    jobs: usize,
+) -> Vec<FleetSimExperiment> {
+    sensor_counts
+        .iter()
+        .map(|&sensors| fleet_sim_experiment(sensors, rounds, jobs))
+        .collect()
+}
+
+/// Renders the fleet-simulation sweep as the goodput-vs-fleet-size table.
+pub fn fleet_sim_text(sweep: &[FleetSimExperiment]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet simulation — CSMA/CA contention on one medium, virtual-clock event scheduler"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9}{:>9}{:>14}{:>13}{:>12}{:>10}{:>10}{:>8}{:>9}{:>13}",
+        "sensors",
+        "payments",
+        "goodput(r/s)",
+        "airtime(%)",
+        "collide(%)",
+        "p50(ms)",
+        "p99(ms)",
+        "drops",
+        "aborted",
+        "settled(wei)"
+    );
+    for point in sweep {
+        let _ = writeln!(
+            out,
+            "{:<9}{:>9}{:>14.3}{:>13.2}{:>12.2}{:>10.1}{:>10.1}{:>8}{:>9}{:>13}",
+            point.sensors,
+            point.report.completed_payments,
+            point.report.goodput_rounds_per_s,
+            point.report.airtime_utilization * 100.0,
+            point.report.collision_rate * 100.0,
+            point.p50_latency.as_secs_f64() * 1000.0,
+            point.p99_latency.as_secs_f64() * 1000.0,
+            point.report.frames_dropped_queue_full,
+            point.report.aborted_rounds,
+            point.settled_total.amount().to_string()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(virtual time throughout; goodput = completed rounds / simulated span, \
+         collide(%) = collided frames / transmission attempts)"
+    );
     out
 }
 

@@ -17,11 +17,12 @@ pub mod perf;
 
 pub use experiments::{
     analysis_experiment, analysis_experiment_on, corpus_experiment, corpus_experiment_sharded,
-    faults_experiment, multinode_experiment, multinode_sweep, multinode_text, offchain_experiment,
-    table1_text, table3_text, trace_experiment, AnalysisExperiment, CorpusExperiment,
-    FaultsExperiment, MultiNodeExperiment, OffChainExperiment, TraceExperiment, TraceLane,
+    faults_experiment, fleet_sim_experiment, fleet_sim_sweep, fleet_sim_text, multinode_experiment,
+    multinode_sweep, multinode_text, offchain_experiment, table1_text, table3_text,
+    trace_experiment, AnalysisExperiment, CorpusExperiment, FaultsExperiment, FleetSimExperiment,
+    MultiNodeExperiment, OffChainExperiment, TraceExperiment, TraceLane,
 };
 pub use perf::{
     sample_crypto_perf, sample_evm_exec_perf, sample_gas_certificate_perf, CryptoPerf, EvmExecPerf,
-    GasCertPerf, MultiNodeLane, PerfRecord, TracePerfLane,
+    GasCertPerf, MultiNodeLane, PerfRecord, SimPerfLane, TracePerfLane,
 };

@@ -321,6 +321,48 @@ impl TracePerfLane {
     }
 }
 
+/// One fleet-simulation lane of the perf record: goodput and contention
+/// measurements at one sweep point. Everything here is virtual-time, so
+/// the numbers are byte-identical across machines and `--jobs` values.
+#[derive(Debug, Clone)]
+pub struct SimPerfLane {
+    /// Sensors contending on the medium.
+    pub sensors: usize,
+    /// Payment rounds each sensor ran.
+    pub rounds: usize,
+    /// Completed rounds per simulated second.
+    pub goodput_rounds_per_s: f64,
+    /// Share of the simulated span the medium was busy (percent).
+    pub airtime_utilization_pct: f64,
+    /// Collided frames over transmission attempts (percent).
+    pub collision_rate_pct: f64,
+    /// Median end-to-end round latency (ms, virtual time).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile end-to-end round latency (ms, virtual time).
+    pub p99_latency_ms: f64,
+    /// Frames the bounded per-peer RX queues refused.
+    pub frames_dropped_queue_full: u64,
+    /// Rounds abandoned after their retry budget ran out.
+    pub aborted_rounds: u64,
+}
+
+impl SimPerfLane {
+    /// Builds a lane from a finished fleet-simulation sweep point.
+    pub fn from_experiment(experiment: &crate::experiments::FleetSimExperiment) -> Self {
+        SimPerfLane {
+            sensors: experiment.sensors,
+            rounds: experiment.rounds,
+            goodput_rounds_per_s: experiment.report.goodput_rounds_per_s,
+            airtime_utilization_pct: experiment.report.airtime_utilization * 100.0,
+            collision_rate_pct: experiment.report.collision_rate * 100.0,
+            p50_latency_ms: experiment.p50_latency.as_secs_f64() * 1000.0,
+            p99_latency_ms: experiment.p99_latency.as_secs_f64() * 1000.0,
+            frames_dropped_queue_full: experiment.report.frames_dropped_queue_full,
+            aborted_rounds: experiment.report.aborted_rounds,
+        }
+    }
+}
+
 /// The full perf record the harness writes to `bench.json`.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -340,6 +382,8 @@ pub struct PerfRecord {
     pub multinode: Vec<MultiNodeLane>,
     /// The traced fleet sweep, one lane per fleet size.
     pub trace: Vec<TracePerfLane>,
+    /// The contending fleet-simulation sweep, one lane per fleet size.
+    pub sim: Vec<SimPerfLane>,
     /// The crypto micro-benchmarks.
     pub crypto: CryptoPerf,
     /// The interpreter fast-path lanes.
@@ -356,7 +400,7 @@ impl PerfRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": 6,");
+        let _ = writeln!(out, "  \"schema\": 7,");
         let _ = writeln!(out, "  \"crypto_ns\": {{");
         let c = &self.crypto;
         let _ = writeln!(out, "    \"ecdsa_sign\": {:.1},", c.ecdsa_sign_ns);
@@ -471,6 +515,46 @@ impl PerfRecord {
             self.payment_end_to_end_ms
         );
         let _ = writeln!(out, "  }},");
+        // Flat headline section so `bench_gate`'s line scanner can gate a
+        // sim lane: the 64-sensor sweep point runs in both quick and full
+        // configurations, and its numbers are pure virtual time, so the
+        // gate compares byte-identical values across machines.
+        let headline = self
+            .sim
+            .iter()
+            .find(|lane| lane.sensors == 64)
+            .or_else(|| self.sim.first());
+        let _ = writeln!(out, "  \"sim\": {{");
+        let _ = writeln!(
+            out,
+            "    \"headline_sensors\": {},",
+            headline.map(|lane| lane.sensors).unwrap_or(0)
+        );
+        let _ = writeln!(
+            out,
+            "    \"goodput_rounds_per_s\": {:.4},",
+            headline
+                .map(|lane| lane.goodput_rounds_per_s)
+                .unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            out,
+            "    \"airtime_utilization_pct\": {:.3},",
+            headline
+                .map(|lane| lane.airtime_utilization_pct)
+                .unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            out,
+            "    \"collision_rate_pct\": {:.3},",
+            headline.map(|lane| lane.collision_rate_pct).unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            out,
+            "    \"p99_latency_ms\": {:.1}",
+            headline.map(|lane| lane.p99_latency_ms).unwrap_or(0.0)
+        );
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"multinode\": [");
         for (index, lane) in self.multinode.iter().enumerate() {
             let comma = if index + 1 < self.multinode.len() {
@@ -507,6 +591,24 @@ impl PerfRecord {
                 lane.round_latency_p50_ms,
                 lane.round_latency_p99_ms,
                 lane.energy_per_wei_uj
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"sim_sweep\": [");
+        for (index, lane) in self.sim.iter().enumerate() {
+            let comma = if index + 1 < self.sim.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"sensors\": {}, \"rounds\": {}, \"goodput_rounds_per_s\": {:.4}, \"airtime_utilization_pct\": {:.3}, \"collision_rate_pct\": {:.3}, \"p50_latency_ms\": {:.1}, \"p99_latency_ms\": {:.1}, \"frames_dropped_queue_full\": {}, \"aborted_rounds\": {}}}{comma}",
+                lane.sensors,
+                lane.rounds,
+                lane.goodput_rounds_per_s,
+                lane.airtime_utilization_pct,
+                lane.collision_rate_pct,
+                lane.p50_latency_ms,
+                lane.p99_latency_ms,
+                lane.frames_dropped_queue_full,
+                lane.aborted_rounds
             );
         }
         let _ = writeln!(out, "  ]");
@@ -584,6 +686,17 @@ mod tests {
                 round_latency_p99_ms: 601.2,
                 energy_per_wei_uj: 0.012,
             }],
+            sim: vec![SimPerfLane {
+                sensors: 64,
+                rounds: 1,
+                goodput_rounds_per_s: 1.87,
+                airtime_utilization_pct: 12.3,
+                collision_rate_pct: 34.5,
+                p50_latency_ms: 612.0,
+                p99_latency_ms: 2_480.0,
+                frames_dropped_queue_full: 2,
+                aborted_rounds: 0,
+            }],
             evm_exec: EvmExecPerf {
                 hot_loop_per_op_ns: 2_000_000.0,
                 hot_loop_batched_ns: 900_000.0,
@@ -657,14 +770,28 @@ mod tests {
             "\"round_latency_p50_ms\"",
             "\"round_latency_p99_ms\"",
             "\"energy_per_wei_uj\"",
+            "\"sim\"",
+            "\"headline_sensors\"",
+            "\"goodput_rounds_per_s\"",
+            "\"airtime_utilization_pct\"",
+            "\"collision_rate_pct\"",
+            "\"p50_latency_ms\"",
+            "\"p99_latency_ms\"",
+            "\"frames_dropped_queue_full\"",
+            "\"aborted_rounds\"",
+            "\"sim_sweep\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(
             json.matches("\"sensors\"").count(),
-            3,
-            "both multinode lanes and the trace lane emitted"
+            4,
+            "both multinode lanes, the trace lane and the sim lane emitted"
         );
+        // The flat `sim` headline must mirror the 64-sensor sweep lane so
+        // `bench_gate`'s line scanner gates real numbers.
+        assert!(json.contains("\"headline_sensors\": 64,"));
+        assert!(json.contains("\"goodput_rounds_per_s\": 1.8700,"));
     }
 }

@@ -78,7 +78,7 @@ use std::time::Duration;
 use tinyevm_analysis::{analyze, AnalysisError, GasCertificate, Verdict};
 use tinyevm_chain::{ChannelState, CommitEnvelope};
 use tinyevm_crypto::secp256k1::Signature;
-use tinyevm_device::{Device, RadioDirection};
+use tinyevm_device::{Device, RadioDirection, SimTime};
 use tinyevm_net::NodeAddr;
 use tinyevm_trace::{TraceEvent, TraceHandle};
 use tinyevm_types::{Address, Wei, H256, U256};
@@ -404,6 +404,10 @@ struct RetrySlot {
     /// the next `poll_transmit` keeps the attempt count instead of starting
     /// a fresh slot.
     requeued: bool,
+    /// Virtual-clock deadline of the current backoff window: the requeued
+    /// copy must not be retransmitted before this point. `None` until the
+    /// first transport error or stall arms a backoff.
+    deadline: Option<SimTime>,
 }
 
 /// Sender-side position inside one channel's protocol round.
@@ -890,6 +894,7 @@ impl ChannelEndpoint {
                     outgoing: outgoing.clone(),
                     attempts: 1,
                     requeued: false,
+                    deadline: None,
                 });
             }
         }
@@ -948,20 +953,39 @@ impl ChannelEndpoint {
             return Err(EndpointError::RoundAborted { peer, attempts });
         }
         slot.attempts += 1;
-        // Capped exponential backoff: base, 2*base, 4*base, ... on the
-        // device's virtual clock (LPM2, like any other protocol wait).
+        // Capped exponential backoff: base, 2*base, 4*base, ... expressed
+        // as an absolute virtual-clock deadline (now + backoff) so lockstep
+        // pumps and event schedulers share one timeout semantics.
         let exponent = slot.attempts.saturating_sub(2).min(16);
         let backoff = self
             .retry
             .base_backoff
             .saturating_mul(1u32 << exponent)
             .min(self.retry.max_backoff);
+        let deadline = self.device.sim_now() + backoff;
+        slot.deadline = Some(deadline);
         slot.requeued = true;
         let outgoing = slot.outgoing.clone();
         self.outbox.push_front(outgoing);
         self.tracer.count("channel.endpoint_retransmissions", 1);
-        self.device.sleep(backoff);
+        // Spend the backoff window on the device clock (LPM2, like any
+        // other protocol wait): the clock lands exactly on the deadline,
+        // so `sim_now() >= retry_deadline()` holds the moment the
+        // retransmitted copy becomes eligible.
+        self.device
+            .sleep(deadline.saturating_duration_since(self.device.sim_now()));
         Ok(())
+    }
+
+    /// The virtual-clock deadline of the in-flight backoff window, if a
+    /// retransmission is armed: the requeued copy must not leave before
+    /// this point. Event-driven schedulers use this to park the endpoint
+    /// until the deadline instead of counting pump iterations; after
+    /// [`ChannelEndpoint::on_transport_error`] /
+    /// [`ChannelEndpoint::on_round_stalled`] return, the device clock has
+    /// already been slept onto the deadline.
+    pub fn retry_deadline(&self) -> Option<SimTime> {
+        self.last_sent.as_ref().and_then(|slot| slot.deadline)
     }
 
     /// Abandons the in-flight round with `peer`: pending state returns to

@@ -45,7 +45,7 @@ use tinyevm_wire::{persist, ChainSnapshot, ChannelSnapshot, EndpointRole, Messag
 
 use crate::channel::PaymentChannel;
 use crate::endpoint::{ChannelEndpoint, ChannelRegistration, Effect, EndpointError};
-use crate::protocol::{pump_pair, ProtocolError, PumpLog};
+use crate::protocol::{ProtocolError, PumpLog};
 use crate::sidechain::SideChainLog;
 
 /// Protocol violations (bad signatures, tampered proposals, channel-rule
@@ -856,9 +856,15 @@ impl GatewayDriver {
     // --- internals -------------------------------------------------------
 
     /// Drains the outboxes of sensor `index` and the gateway through the
-    /// shared medium.
+    /// shared medium — one sensor owning the whole medium for its turn.
+    ///
+    /// This is exactly the contention-free single-slot schedule: the same
+    /// shared pump (`pump_contention_free`) that `tinyevm-sim`'s
+    /// `FleetScheduler` runs per slot in its single-slot configuration, so
+    /// the legacy lockstep driver and the event scheduler stay
+    /// byte-identical (pinned by the driver-equivalence goldens).
     fn pump(&mut self, index: usize) -> Result<PumpLog, ProtocolError> {
-        pump_pair(
+        crate::protocol::pump_contention_free(
             &mut self.medium,
             &mut self.sensors[index].endpoint,
             &mut self.gateway.endpoint,

@@ -55,7 +55,8 @@ pub use gateway::{
 };
 pub use payment::{PaymentError, SignedPayment};
 pub use protocol::{
-    CrashSchedule, OffChainNode, ProtocolDriver, ProtocolError, RoundReport, SettlementReport,
+    pump_contention_free, CrashSchedule, OffChainNode, ProtocolDriver, ProtocolError, PumpLog,
+    RoundReport, SettlementReport, Transfer,
 };
 pub use sidechain::{SideChainEntry, SideChainLog};
 

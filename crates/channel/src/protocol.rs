@@ -180,7 +180,7 @@ impl From<EndpointError> for ProtocolError {
 
 /// One radio transfer a pump performed.
 #[derive(Debug, Clone)]
-pub(crate) struct Transfer {
+pub struct Transfer {
     /// The message kind that moved ([`Message::label`]).
     pub label: &'static str,
     /// Bytes on the air, headers and retransmissions included.
@@ -190,8 +190,10 @@ pub(crate) struct Transfer {
 /// Everything a pump run produced: the endpoints' effects (tagged with the
 /// emitting endpoint's address) and the transfers that carried them.
 #[derive(Debug, Default)]
-pub(crate) struct PumpLog {
+pub struct PumpLog {
+    /// Effects the endpoints emitted, tagged with the emitting address.
     pub effects: Vec<(NodeAddr, Effect)>,
+    /// The radio transfers that carried them.
     pub transfers: Vec<Transfer>,
 }
 
@@ -260,6 +262,27 @@ pub(crate) fn pump_pair<R: Radio>(
     b: &mut ChannelEndpoint,
 ) -> Result<PumpLog, ProtocolError> {
     pump_pair_with(radio, a, b, &mut PumpControl::default())
+}
+
+/// The contention-free single-slot pump: shuttles messages between one
+/// endpoint pair until both outboxes drain, exactly as the lockstep
+/// drivers do. Public so event-driven fleet schedulers (`tinyevm-sim`)
+/// running a contention-free single-slot configuration delegate to the
+/// *same* code path as [`GatewayDriver`](crate::GatewayDriver) /
+/// [`ProtocolDriver`] — the equivalence tests pin the two byte-identical.
+///
+/// # Errors
+///
+/// Same classification as the drivers' pumps: transport errors feed the
+/// transmitter's retry machinery, poisoned messages are dropped for the
+/// stall-retransmit path to recover, and exhausted retry budgets surface
+/// as [`EndpointError::RoundAborted`].
+pub fn pump_contention_free<R: Radio>(
+    radio: &mut R,
+    a: &mut ChannelEndpoint,
+    b: &mut ChannelEndpoint,
+) -> Result<PumpLog, ProtocolError> {
+    pump_pair(radio, a, b)
 }
 
 /// [`pump_pair`] with an explicit [`PumpControl`] (crash schedule and

@@ -24,6 +24,7 @@
 //! | [`wire`] | `tinyevm-wire` | canonical RLP wire format, snapshots, persistence |
 //! | [`channel`] | `tinyevm-channel` | signed payments, side-chain logs, the protocol driver |
 //! | [`corpus`] | `tinyevm-corpus` | the synthetic 7,000-contract corpus |
+//! | [`sim`] | `tinyevm-sim` | virtual-clock event scheduler, contending fleet simulation |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use tinyevm_crypto as crypto;
 pub use tinyevm_device as device;
 pub use tinyevm_evm as evm;
 pub use tinyevm_net as net;
+pub use tinyevm_sim as sim;
 pub use tinyevm_trace as trace;
 pub use tinyevm_types as types;
 pub use tinyevm_wire as wire;

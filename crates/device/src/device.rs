@@ -184,6 +184,14 @@ impl Device {
         self.meter.now()
     }
 
+    /// The device's simulated clock as an absolute [`SimTime`] point.
+    ///
+    /// Every device boots at [`SimTime::ZERO`], so readings from different
+    /// device clocks share one virtual epoch and compare directly.
+    pub fn sim_now(&self) -> crate::SimTime {
+        crate::SimTime::from_duration(self.meter.now())
+    }
+
     /// Activities performed so far.
     pub fn activities(&self) -> &[DeviceActivity] {
         &self.activities

@@ -32,6 +32,7 @@ pub mod energy;
 pub mod footprint;
 pub mod mcu;
 pub mod sensors;
+pub mod simtime;
 
 pub use crypto_engine::CryptoEngine;
 pub use device::{Device, DeviceActivity, DeviceConfig, RadioDirection};
@@ -39,3 +40,4 @@ pub use energy::{EnergyMeter, EnergyReport, PowerState, TimelineEntry};
 pub use footprint::{Footprint, FootprintComponent};
 pub use mcu::Mcu;
 pub use sensors::{DeviceSensors, Sensor, SensorReading};
+pub use simtime::SimTime;

@@ -1,0 +1,140 @@
+//! `SimTime` — an `Instant`-like point on the simulated virtual clock.
+//!
+//! Every [`Device`](crate::Device) carries its own monotonic clock that
+//! advances as the device computes, sleeps and keys the radio; the clock is
+//! exposed as a [`Duration`] since boot. `SimTime` wraps that reading in a
+//! nanosecond-granular, totally ordered point-in-time type so that layers
+//! above the device — retry timers in the channel endpoints, the
+//! discrete-event fleet scheduler — can talk about *deadlines* ("retransmit
+//! at t = 1.2 s") instead of iteration counts, and so that event queues can
+//! key on `(time_ns, seq)` with stable tie-breaking.
+//!
+//! All devices in a simulation boot at `SimTime::ZERO`, so readings from
+//! different device clocks are directly comparable: they share one virtual
+//! epoch even though each clock advances independently.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+/// A point on the virtual clock, in nanoseconds since the simulation epoch.
+///
+/// Ordered, copyable and cheap: internally a single `u64` nanosecond count,
+/// which covers ~584 years of simulated time — far beyond any session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    nanos: u64,
+}
+
+impl SimTime {
+    /// The simulation epoch: every device clock starts here at boot.
+    pub const ZERO: SimTime = SimTime { nanos: 0 };
+
+    /// A point `elapsed` after the epoch — converts a device clock reading
+    /// (`device.now()`) into an absolute virtual time.
+    pub fn from_duration(elapsed: Duration) -> Self {
+        SimTime {
+            nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// A point `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime { nanos }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// The offset from the epoch as a [`Duration`].
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+
+    /// `self + duration`, saturating at the far end of the clock.
+    pub fn saturating_add(self, duration: Duration) -> Self {
+        let add = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        SimTime {
+            nanos: self.nanos.saturating_add(add),
+        }
+    }
+
+    /// Time elapsed from `earlier` to `self`, or zero when `earlier` is in
+    /// the future — mirrors `Instant::saturating_duration_since`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// The later of two points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, duration: Duration) -> SimTime {
+        self.saturating_add(duration)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, earlier: SimTime) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic_round_trip() {
+        let a = SimTime::from_duration(Duration::from_millis(5));
+        let b = a + Duration::from_micros(250);
+        assert!(b > a);
+        assert_eq!(b - a, Duration::from_micros(250));
+        assert_eq!(a - b, Duration::ZERO);
+        assert_eq!(b.as_nanos(), 5_250_000);
+        assert_eq!(b.as_duration(), Duration::from_nanos(5_250_000));
+    }
+
+    #[test]
+    fn epoch_is_zero_and_max_picks_the_later_point() {
+        assert_eq!(SimTime::ZERO.as_nanos(), 0);
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        let later = SimTime::from_nanos(7);
+        assert_eq!(SimTime::ZERO.max(later), later);
+        assert_eq!(later.max(SimTime::ZERO), later);
+    }
+
+    #[test]
+    fn saturating_add_never_wraps() {
+        let far = SimTime::from_nanos(u64::MAX - 1);
+        assert_eq!(
+            far.saturating_add(Duration::from_secs(10)).as_nanos(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        let t = SimTime::from_duration(Duration::from_millis(1500));
+        assert_eq!(format!("{t}"), "1.500000s");
+    }
+}

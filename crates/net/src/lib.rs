@@ -22,9 +22,13 @@
 //!   process — see [`fault`].
 //! * **Addressing and a shared medium**: every frame names its
 //!   [`NodeAddr`] endpoints, and a [`SharedMedium`] lets N addressed
-//!   senders contend for one gateway with per-endpoint loss processes and
-//!   wire-byte / airtime accounting — the radio topology of the paper's
-//!   many-sensors-one-gateway deployment.
+//!   senders contend for one gateway with per-endpoint loss processes,
+//!   bounded per-peer RX queues and wire-byte / airtime accounting — the
+//!   radio topology of the paper's many-sensors-one-gateway deployment.
+//! * **Contention**: a [`ContendingMedium`] layers slotted-ALOHA and
+//!   CSMA/CA medium access (p-persistence, binary exponential backoff,
+//!   capture threshold, per-slot collision loss) over the shared medium
+//!   for event-driven fleet simulation — see [`contention`].
 //!
 //! The crate deliberately moves *bytes*, not protocol objects — message
 //! semantics live in `tinyevm-channel`.
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod contention;
 pub mod fault;
 pub mod frame;
 pub mod link;
@@ -40,11 +45,12 @@ pub mod medium;
 pub mod radio;
 
 pub use addr::NodeAddr;
+pub use contention::{AccessScheme, ContendingMedium, ContentionConfig, SlotOutcome};
 pub use fault::{DelayWindow, FaultConfig, FaultPlan, MessageWindow};
 pub use frame::{
     fragment, reassemble, Frame, FrameError, FRAME_HEADER_SIZE, MAX_FRAGMENTS, MAX_FRAME_PAYLOAD,
     MAX_FRAME_SIZE, MAX_MESSAGE_SIZE,
 };
 pub use link::{Link, LinkConfig, LinkError, LinkProfile, TransferReport};
-pub use medium::{EndpointStats, MediumError, SharedMedium};
+pub use medium::{EndpointStats, MediumError, SharedMedium, DEFAULT_RX_QUEUE_CAPACITY};
 pub use radio::Radio;

@@ -11,11 +11,16 @@
 //! talker at a time — so the medium-wide airtime is the sum of the
 //! per-endpoint airtimes, an invariant the accounting tests pin.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use crate::addr::NodeAddr;
 use crate::link::{Link, LinkConfig, LinkError, TransferReport};
+
+/// Default bound on each per-peer RX queue — frames parked for a receiver
+/// beyond this depth are dropped and counted, the way a real radio driver
+/// sheds load when the MAC cannot drain its buffers.
+pub const DEFAULT_RX_QUEUE_CAPACITY: usize = 64;
 
 /// Errors produced by [`SharedMedium`] operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,12 +111,15 @@ impl EndpointStats {
 struct MediumEndpoint {
     link: Link,
     stats: EndpointStats,
+    /// Frames delivered to this endpoint but not yet consumed by its
+    /// protocol state machine (each tagged with the sender).
+    rx_queue: VecDeque<(NodeAddr, Vec<u8>)>,
 }
 
 /// Derives an endpoint's loss-process seed from the medium seed and its
 /// address (a splitmix64 step), so every attached sender has an
 /// independent, reproducible loss process.
-fn endpoint_seed(medium_seed: u64, addr: NodeAddr) -> u64 {
+pub(crate) fn endpoint_seed(medium_seed: u64, addr: NodeAddr) -> u64 {
     let mut z = medium_seed
         .wrapping_add(u64::from(addr.value()))
         .wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -140,6 +148,11 @@ pub struct SharedMedium {
     gateway: NodeAddr,
     base: LinkConfig,
     endpoints: BTreeMap<NodeAddr, MediumEndpoint>,
+    /// Frames parked for the gateway, one bounded queue per sending peer
+    /// (so a flooding sensor sheds its own frames, never a neighbour's).
+    gateway_rx: BTreeMap<NodeAddr, VecDeque<Vec<u8>>>,
+    rx_queue_capacity: usize,
+    frames_dropped_queue_full: u64,
     total_wire_bytes: u64,
     total_messages: u64,
     total_airtime: Duration,
@@ -175,6 +188,9 @@ impl SharedMedium {
             gateway,
             base,
             endpoints: BTreeMap::new(),
+            gateway_rx: BTreeMap::new(),
+            rx_queue_capacity: DEFAULT_RX_QUEUE_CAPACITY,
+            frames_dropped_queue_full: 0,
             total_wire_bytes: 0,
             total_messages: 0,
             total_airtime: Duration::ZERO,
@@ -247,6 +263,7 @@ impl SharedMedium {
             MediumEndpoint {
                 link,
                 stats: EndpointStats::default(),
+                rx_queue: VecDeque::new(),
             },
         );
         Ok(())
@@ -318,6 +335,106 @@ impl SharedMedium {
     /// airtimes.
     pub fn total_airtime(&self) -> Duration {
         self.total_airtime
+    }
+
+    /// Caps every per-peer RX queue at `capacity` frames (existing excess
+    /// frames are shed and counted). A capacity of zero refuses all queued
+    /// delivery.
+    pub fn set_rx_queue_capacity(&mut self, capacity: usize) {
+        self.rx_queue_capacity = capacity;
+        let mut shed = 0u64;
+        for endpoint in self.endpoints.values_mut() {
+            while endpoint.rx_queue.len() > capacity {
+                endpoint.rx_queue.pop_back();
+                shed += 1;
+            }
+        }
+        for queue in self.gateway_rx.values_mut() {
+            while queue.len() > capacity {
+                queue.pop_back();
+                shed += 1;
+            }
+        }
+        if shed > 0 {
+            self.frames_dropped_queue_full += shed;
+            self.tracer.count("net.frames_dropped_queue_full", shed);
+        }
+    }
+
+    /// The per-peer RX queue bound currently in force.
+    pub fn rx_queue_capacity(&self) -> usize {
+        self.rx_queue_capacity
+    }
+
+    /// Frames shed because a receiver's per-peer RX queue was full.
+    pub fn frames_dropped_queue_full(&self) -> u64 {
+        self.frames_dropped_queue_full
+    }
+
+    /// Parks a delivered frame in `to`'s RX queue (tagged with the sender)
+    /// until the receiver's state machine drains it. Returns `true` when
+    /// the frame was queued and `false` when the bounded queue was full and
+    /// the frame was shed (counted under `net.frames_dropped_queue_full`).
+    ///
+    /// Frames for the gateway are queued per sending peer, so one flooding
+    /// sensor only ever sheds its own frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediumError::UnknownEndpoint`] when `to` is neither the
+    /// gateway nor an attached endpoint.
+    pub fn enqueue_rx(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        frame: Vec<u8>,
+    ) -> Result<bool, MediumError> {
+        let depth = if to == self.gateway {
+            self.gateway_rx.get(&from).map(VecDeque::len).unwrap_or(0)
+        } else {
+            self.endpoints
+                .get(&to)
+                .ok_or(MediumError::UnknownEndpoint(to))?
+                .rx_queue
+                .len()
+        };
+        if depth >= self.rx_queue_capacity {
+            self.frames_dropped_queue_full += 1;
+            self.tracer.count("net.frames_dropped_queue_full", 1);
+            return Ok(false);
+        }
+        if to == self.gateway {
+            self.gateway_rx.entry(from).or_default().push_back(frame);
+        } else if let Some(endpoint) = self.endpoints.get_mut(&to) {
+            endpoint.rx_queue.push_back((from, frame));
+        }
+        Ok(true)
+    }
+
+    /// Pops the next parked frame for `to`, with its sender. Gateway frames
+    /// drain per-peer queues in sender-address order (deterministic);
+    /// endpoint frames drain in arrival order.
+    pub fn dequeue_rx(&mut self, to: NodeAddr) -> Option<(NodeAddr, Vec<u8>)> {
+        if to == self.gateway {
+            for (from, queue) in self.gateway_rx.iter_mut() {
+                if let Some(frame) = queue.pop_front() {
+                    return Some((*from, frame));
+                }
+            }
+            return None;
+        }
+        self.endpoints.get_mut(&to)?.rx_queue.pop_front()
+    }
+
+    /// Frames currently parked for `to` (all sending peers combined).
+    pub fn rx_queue_depth(&self, to: NodeAddr) -> usize {
+        if to == self.gateway {
+            return self.gateway_rx.values().map(VecDeque::len).sum();
+        }
+        self.endpoints
+            .get(&to)
+            .map(|endpoint| endpoint.rx_queue.len())
+            .unwrap_or(0)
     }
 
     /// Sends a message from an attached endpoint up to the gateway,
@@ -568,6 +685,42 @@ mod tests {
         ));
         assert!(matches!(
             medium.clear_faults(NodeAddr::new(0x99)),
+            Err(MediumError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn rx_queues_are_bounded_per_peer_and_count_drops() {
+        let (mut medium, addrs) = medium_with(2);
+        medium.set_rx_queue_capacity(2);
+        let gateway = medium.gateway();
+        // A flooding sensor fills only its own gateway-side queue.
+        assert!(medium.enqueue_rx(addrs[0], gateway, vec![1]).unwrap());
+        assert!(medium.enqueue_rx(addrs[0], gateway, vec![2]).unwrap());
+        assert!(!medium.enqueue_rx(addrs[0], gateway, vec![3]).unwrap());
+        assert_eq!(medium.frames_dropped_queue_full(), 1);
+        // The neighbour's per-peer queue is untouched by the flood.
+        assert!(medium.enqueue_rx(addrs[1], gateway, vec![9]).unwrap());
+        assert_eq!(medium.rx_queue_depth(gateway), 3);
+        // Gateway drains per-peer queues in sender-address order.
+        assert_eq!(medium.dequeue_rx(gateway), Some((addrs[0], vec![1])));
+        assert_eq!(medium.dequeue_rx(gateway), Some((addrs[0], vec![2])));
+        assert_eq!(medium.dequeue_rx(gateway), Some((addrs[1], vec![9])));
+        assert_eq!(medium.dequeue_rx(gateway), None);
+        // Downlink queues are bounded the same way.
+        assert!(medium.enqueue_rx(gateway, addrs[0], vec![4]).unwrap());
+        assert!(medium.enqueue_rx(gateway, addrs[0], vec![5]).unwrap());
+        assert!(!medium.enqueue_rx(gateway, addrs[0], vec![6]).unwrap());
+        assert_eq!(medium.frames_dropped_queue_full(), 2);
+        assert_eq!(medium.rx_queue_depth(addrs[0]), 2);
+        assert_eq!(medium.dequeue_rx(addrs[0]), Some((gateway, vec![4])));
+        // Tightening the cap sheds parked excess frames and counts them.
+        medium.set_rx_queue_capacity(0);
+        assert_eq!(medium.rx_queue_depth(addrs[0]), 0);
+        assert_eq!(medium.frames_dropped_queue_full(), 3);
+        // Unknown receivers are a typed error, not silence.
+        assert!(matches!(
+            medium.enqueue_rx(addrs[0], NodeAddr::new(0x99), vec![7]),
             Err(MediumError::UnknownEndpoint(_))
         ));
     }

@@ -95,6 +95,27 @@ pub enum TraceEvent {
         /// Link-local id of the message the fault hit.
         message_id: u64,
     },
+    /// One contention slot in which two or more frames overlapped on the
+    /// shared medium and (unless captured) were destroyed.
+    Collision {
+        /// Medium-wide contention-slot index of the overlap.
+        slot: u64,
+        /// How many senders transmitted in the slot.
+        contenders: u32,
+        /// True when the strongest frame cleared the capture threshold and
+        /// was decoded anyway.
+        captured: bool,
+    },
+    /// One sender growing its contention window after a collision and
+    /// drawing a fresh backoff wait.
+    Backoff {
+        /// Backing-off sender label.
+        node: String,
+        /// Contention window after the (binary exponential) growth, slots.
+        window_slots: u32,
+        /// Slots the sender will wait before recontending.
+        wait_slots: u32,
+    },
     /// One completed contract-call frame of the virtual machine, with the
     /// MCU-cycle budget broken down by opcode category.
     ContractCall {
@@ -137,6 +158,8 @@ impl TraceEvent {
             TraceEvent::Phase { .. } => "Phase",
             TraceEvent::Round { .. } => "Round",
             TraceEvent::Fault { .. } => "Fault",
+            TraceEvent::Collision { .. } => "Collision",
+            TraceEvent::Backoff { .. } => "Backoff",
             TraceEvent::ContractCall { .. } => "ContractCall",
         }
     }
@@ -187,6 +210,16 @@ mod tests {
                 to: "0x00fe".into(),
                 fault: "corrupt".into(),
                 message_id: 12,
+            },
+            TraceEvent::Collision {
+                slot: 811,
+                contenders: 3,
+                captured: false,
+            },
+            TraceEvent::Backoff {
+                node: "0x0001".into(),
+                window_slots: 16,
+                wait_slots: 9,
             },
             TraceEvent::ContractCall {
                 outcome: "return".into(),
